@@ -1,0 +1,102 @@
+// Command betrbench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	betrbench -table 1            # Table 1: baselines + BetrFS v0.4/v0.6
+//	betrbench -table 2            # Table 2: SFL on-disk layout
+//	betrbench -table 3            # Table 3: cumulative optimization ladder
+//	betrbench -figure 2           # Figure 2: application benchmarks
+//	betrbench -hdd                # HDD ablation (BetrFS was compleat there first)
+//	betrbench -scale 128 -table 1 # coarser scaling for quick runs
+//	betrbench -systems ext4,betrfs-v0.6 -table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"betrfs/internal/bench"
+	"betrfs/internal/blockdev"
+	"betrfs/internal/sfl"
+	"betrfs/internal/sim"
+)
+
+func main() {
+	table := flag.Int("table", 0, "reproduce a paper table (1, 2, or 3)")
+	figure := flag.Int("figure", 0, "reproduce a paper figure (2)")
+	hdd := flag.Bool("hdd", false, "run the HDD ablation")
+	scale := flag.Int64("scale", bench.DefaultScale, "divide paper workload sizes by this factor")
+	systems := flag.String("systems", "", "comma-separated subset of systems to run")
+	flag.Parse()
+
+	pick := func(all []string) []string {
+		if *systems == "" {
+			return all
+		}
+		var out []string
+		want := strings.Split(*systems, ",")
+		for _, s := range want {
+			out = append(out, strings.TrimSpace(s))
+		}
+		return out
+	}
+
+	switch {
+	case *table == 1:
+		runMicro(pick(bench.Systems), *scale)
+	case *table == 2:
+		printLayout(*scale)
+	case *table == 3:
+		runMicro(pick(bench.Ladder), *scale)
+	case *figure == 2:
+		runApps(pick(bench.Systems), *scale)
+	case *hdd:
+		runMicro([]string{"ext4-hdd", "betrfs-v0.6-hdd"}, *scale)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runMicro(systems []string, scale int64) {
+	fmt.Printf("microbenchmarks at scale 1/%d (paper: Table 1/3)\n\n", scale)
+	var rows []bench.MicroResults
+	for _, s := range systems {
+		fmt.Fprintf(os.Stderr, "running %s...\n", s)
+		rows = append(rows, bench.RunMicro(s, scale))
+	}
+	bench.WriteMicroTable(os.Stdout, rows)
+}
+
+func runApps(systems []string, scale int64) {
+	fmt.Printf("application benchmarks at scale 1/%d (paper: Figure 2)\n\n", scale)
+	var rows []bench.AppResults
+	for _, s := range systems {
+		fmt.Fprintf(os.Stderr, "running %s...\n", s)
+		rows = append(rows, bench.RunApps(s, scale))
+	}
+	bench.WriteAppTable(os.Stdout, rows)
+}
+
+func printLayout(scale int64) {
+	env := sim.NewEnv(1)
+	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(scale))
+	s := sfl.NewDefault(env, dev)
+	lay := s.Layout()
+	fmt.Printf("SFL on-disk layout (paper: Table 2), device %d MiB:\n\n", dev.Size()>>20)
+	fmt.Printf("%-12s %12s\n", "Name", "Size")
+	for _, row := range []struct {
+		name string
+		size int64
+	}{
+		{"SuperBlock", lay.SuperBytes},
+		{"Log", lay.LogBytes},
+		{"Meta Index", lay.MetaBytes},
+		{"Data Index", lay.DataBytes},
+	} {
+		fmt.Printf("%-12s %9d KiB\n", row.name, row.size>>10)
+	}
+}

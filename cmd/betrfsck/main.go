@@ -1,0 +1,122 @@
+// Command betrfsck exercises BetrFS crash recovery: it populates a file
+// system, injects a crash at a random point in the unflushed write stream,
+// remounts, and checks the recovered state — the simulation analog of a
+// crash-consistency fsck pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"betrfs/internal/betrfs"
+	"betrfs/internal/blockdev"
+	"betrfs/internal/keys"
+	"betrfs/internal/kmem"
+	"betrfs/internal/sfl"
+	"betrfs/internal/sim"
+	"betrfs/internal/vfs"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "crash-point seed")
+	trials := flag.Int("trials", 10, "number of crash trials")
+	flag.Parse()
+
+	failures := 0
+	for trial := 0; trial < *trials; trial++ {
+		if !runTrial(*seed + uint64(trial)) {
+			failures++
+		}
+	}
+	fmt.Printf("\n%d/%d crash trials recovered consistently\n", *trials-failures, *trials)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func runTrial(seed uint64) bool {
+	env := sim.NewEnv(seed)
+	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
+	dev.EnableCrashTracking()
+	backend := sfl.NewDefault(env, dev)
+	alloc := kmem.New(env, true)
+	fs, err := betrfs.New(env, alloc, betrfs.V06Config(), backend)
+	if err != nil {
+		fmt.Println("format:", err)
+		return false
+	}
+	m := vfs.NewMount(env, fs, vfs.DefaultConfig())
+	rnd := sim.NewRand(seed)
+
+	// Synced phase.
+	m.MkdirAll("stable")
+	synced := map[string]int{}
+	for i := 0; i < 200; i++ {
+		p := fmt.Sprintf("stable/f%04d", i)
+		f, _ := m.Create(p)
+		size := 100 + rnd.Intn(8000)
+		f.Write(make([]byte, size))
+		f.Close()
+		synced[p] = size
+	}
+	m.Sync()
+
+	// Unsynced phase, then crash.
+	m.MkdirAll("volatile")
+	for i := 0; i < 200; i++ {
+		f, _ := m.Create(fmt.Sprintf("volatile/f%04d", i))
+		f.Write(make([]byte, 100+rnd.Intn(8000)))
+		f.Close()
+	}
+	keep := 0
+	if n := dev.UnflushedWrites(); n > 0 {
+		keep = rnd.Intn(n + 1)
+	}
+	dev.Crash(keep)
+
+	fs2, err := betrfs.New(env, alloc, betrfs.V06Config(), backend)
+	if err != nil {
+		fmt.Printf("seed %d: recovery failed: %v\n", seed, err)
+		return false
+	}
+	m2 := vfs.NewMount(env, fs2, vfs.DefaultConfig())
+	ok := true
+	for p, size := range synced {
+		a, err := m2.Stat(p)
+		if err != nil || a.Size != int64(size) {
+			fmt.Printf("seed %d: synced file %s lost or resized (%v)\n", seed, p, err)
+			ok = false
+		}
+	}
+	// Structural check: every reachable metadata entry decodes and every
+	// file's data blocks are readable.
+	checked := 0
+	var walk func(dir string)
+	walk = func(dir string) {
+		ents, err := m2.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		for _, e := range ents {
+			p := keys.Join(dir, e.Name)
+			if e.Dir {
+				walk(p)
+				continue
+			}
+			f, err := m2.Open(p)
+			if err != nil {
+				fmt.Printf("seed %d: listed file %s unopenable: %v\n", seed, p, err)
+				ok = false
+				continue
+			}
+			buf := make([]byte, 16<<10)
+			f.ReadAt(buf, 0)
+			checked++
+		}
+	}
+	walk("")
+	fmt.Printf("seed %d: kept %d unflushed writes; %d files verified; ok=%v\n",
+		seed, keep, checked, ok)
+	return ok
+}

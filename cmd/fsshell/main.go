@@ -1,0 +1,146 @@
+// Command fsshell is an interactive shell over any of the simulated file
+// systems — handy for poking at behaviour and watching simulated time and
+// device I/O respond to individual operations.
+//
+//	$ go run ./cmd/fsshell -fs betrfs-v0.6
+//	> mkdir a
+//	> write a/hello.txt hello world
+//	> ls a
+//	> cat a/hello.txt
+//	> stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"betrfs/internal/bench"
+	"betrfs/internal/vfs"
+)
+
+func main() {
+	fsName := flag.String("fs", "betrfs-v0.6", "file system: "+strings.Join(bench.Systems, ", "))
+	flag.Parse()
+
+	in := bench.Build(*fsName, 64)
+	m := in.Mount
+	fmt.Printf("mounted %s on a simulated SSD; type 'help'\n", *fsName)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 {
+			if !execute(in, m, fields) {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func execute(in *bench.Instance, m *vfs.Mount, f []string) bool {
+	switch f[0] {
+	case "help":
+		fmt.Println("commands: ls [dir] | mkdir p | write p text... | cat p | rm p | rmr p | mv a b | stat p | sync | dropcaches | stats | time | quit")
+	case "quit", "exit":
+		return false
+	case "ls":
+		dir := ""
+		if len(f) > 1 {
+			dir = f[1]
+		}
+		ents, err := m.ReadDir(dir)
+		if err != nil {
+			fmt.Println("ls:", err)
+			break
+		}
+		for _, e := range ents {
+			kind := "-"
+			if e.Dir {
+				kind = "d"
+			}
+			fmt.Printf("%s %s\n", kind, e.Name)
+		}
+	case "mkdir":
+		if len(f) < 2 {
+			break
+		}
+		if err := m.MkdirAll(f[1]); err != nil {
+			fmt.Println("mkdir:", err)
+		}
+	case "write":
+		if len(f) < 3 {
+			break
+		}
+		file, err := m.Create(f[1])
+		if err != nil {
+			fmt.Println("write:", err)
+			break
+		}
+		file.Write([]byte(strings.Join(f[2:], " ")))
+		file.Close()
+	case "cat":
+		if len(f) < 2 {
+			break
+		}
+		file, err := m.Open(f[1])
+		if err != nil {
+			fmt.Println("cat:", err)
+			break
+		}
+		buf := make([]byte, 64<<10)
+		n, _ := file.ReadAt(buf, 0)
+		fmt.Println(string(buf[:n]))
+	case "rm":
+		if len(f) < 2 {
+			break
+		}
+		if err := m.Remove(f[1]); err != nil {
+			fmt.Println("rm:", err)
+		}
+	case "rmr":
+		if len(f) < 2 {
+			break
+		}
+		if err := m.RemoveAll(f[1]); err != nil {
+			fmt.Println("rmr:", err)
+		}
+	case "mv":
+		if len(f) < 3 {
+			break
+		}
+		if err := m.Rename(f[1], f[2]); err != nil {
+			fmt.Println("mv:", err)
+		}
+	case "stat":
+		if len(f) < 2 {
+			break
+		}
+		a, err := m.Stat(f[1])
+		if err != nil {
+			fmt.Println("stat:", err)
+			break
+		}
+		fmt.Printf("dir=%v size=%d nlink=%d mtime=%v\n", a.Dir, a.Size, a.Nlink, a.Mtime)
+	case "sync":
+		m.Sync()
+	case "dropcaches":
+		m.DropCaches()
+	case "time":
+		fmt.Println("simulated time:", in.Env.Now())
+	case "stats":
+		d := in.Dev.Stats()
+		fmt.Printf("device: %d reads (%d KiB), %d writes (%d KiB), %d flushes\n",
+			d.Reads, d.BytesRead>>10, d.Writes, d.BytesWritten>>10, d.Flushes)
+		v := m.Stats()
+		fmt.Printf("vfs: lookups=%d dcacheHits=%d pagesRead=%d pagesWritten=%d fsyncs=%d\n",
+			v.Lookups, v.DcacheHits, v.PagesRead, v.PagesWritten, v.Fsyncs)
+	default:
+		fmt.Println("unknown command; try 'help'")
+	}
+	return true
+}

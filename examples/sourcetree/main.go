@@ -1,0 +1,31 @@
+// sourcetree: the paper's introduction workloads — populate a Linux-like
+// source tree, grep it cold, find in it, and rm -rf it — comparing BetrFS
+// v0.4 and v0.6 to show the range-message and query-path fixes (§4).
+package main
+
+import (
+	"fmt"
+
+	"betrfs/internal/bench"
+	"betrfs/internal/workload"
+)
+
+func main() {
+	spec := workload.LinuxTree(8)
+	fmt.Printf("synthetic source tree: %d files\n\n", spec.FileCount())
+	for _, system := range []string{"betrfs-v0.4", "betrfs-v0.6", "ext4"} {
+		in := bench.Build(system, 64)
+		spec.Populate(in.Mount, "linux")
+		g := workload.Grep(in.Env, in.Mount, "linux")
+		f := workload.Find(in.Env, in.Mount, "linux")
+		// The rm pathology needs enough files for the deletion's
+		// messages to overflow Bε-tree buffers; use the harness's
+		// scale-true variant.
+		r := bench.RunMicroRmOnly(system, 64)
+		fmt.Printf("%-12s grep %7.3fs   find %7.3fs   rm -rf %8.3fs\n",
+			system, g.Seconds(), f.Seconds(), r)
+	}
+	fmt.Println("\nthe v0.4 rm -rf pathology (quadratic PacMan over adjacent range")
+	fmt.Println("deletes, §4) disappears once directory-wide range deletes, the")
+	fmt.Println("dentry-cache warm-up, and the new apply-on-query policy are applied.")
+}

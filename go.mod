@@ -1,0 +1,3 @@
+module betrfs
+
+go 1.22

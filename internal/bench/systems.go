@@ -1,0 +1,150 @@
+// Package bench is the harness that regenerates every table and figure of
+// the paper: it builds each file system on an identically scaled simulated
+// SSD, runs the workload, and reports simulated throughput/latency next to
+// the paper's published numbers.
+package bench
+
+import (
+	"fmt"
+
+	"betrfs/internal/betrfs"
+	"betrfs/internal/blockdev"
+	"betrfs/internal/cowfs"
+	"betrfs/internal/extfs"
+	"betrfs/internal/kmem"
+	"betrfs/internal/logfs"
+	"betrfs/internal/sfl"
+	"betrfs/internal/sim"
+	"betrfs/internal/southbound"
+	"betrfs/internal/vfs"
+)
+
+// Scale divides the paper's workload and hardware sizes. The default 64
+// turns the 80 GiB sequential write into 1.25 GiB and the 12 GiB device
+// write cache into 192 MiB, preserving every regime the paper exercises
+// (cache overflow, RAM-exceeding datasets).
+const DefaultScale = 64
+
+// Systems lists the Table 1 file systems in paper order.
+var Systems = []string{"ext4", "btrfs", "xfs", "f2fs", "zfs", "betrfs-v0.4", "betrfs-v0.6"}
+
+// Ladder lists the cumulative-optimization rows of Table 3.
+var Ladder = []string{
+	"betrfs-v0.4", "betrfs+SFL", "betrfs+RG", "betrfs+MLC",
+	"betrfs+PGSH", "betrfs+DC", "betrfs+CL", "betrfs+QRY",
+}
+
+// Instance is one mounted system under test.
+type Instance struct {
+	Name  string
+	Env   *sim.Env
+	Dev   *blockdev.Dev
+	Mount *vfs.Mount
+}
+
+// Build constructs a named system on a fresh scaled device. Valid names
+// are the Systems and Ladder entries plus "betrfs-v0.6-hdd" and
+// "ext4-hdd" for the HDD ablation.
+func Build(name string, scale int64) *Instance {
+	env := sim.NewEnv(1)
+	profile := blockdev.SamsungEVO860()
+	if name == "betrfs-v0.6-hdd" || name == "ext4-hdd" {
+		profile = blockdev.ToshibaDT01()
+	}
+	dev := blockdev.New(env, profile.Scale(scale))
+
+	ramBytes := (32 << 30) / scale // the testbed's 32 GB, scaled
+	vcfg := vfs.DefaultConfig()
+	vcfg.CacheBytes = ramBytes
+
+	var fs vfs.FS
+	switch name {
+	case "ext4", "ext4-hdd":
+		fs = extfs.New(env, dev, extfs.Ext4Profile())
+	case "xfs":
+		fs = extfs.New(env, dev, extfs.XFSProfile())
+	case "f2fs":
+		fs = logfs.New(env, dev)
+	case "btrfs":
+		fs = cowfs.New(env, dev, cowfs.BtrfsProfile())
+	case "zfs":
+		fs = cowfs.New(env, dev, cowfs.ZFSProfile())
+	default:
+		fs = buildBetrFS(env, dev, name, ramBytes)
+		// BetrFS splits RAM between the node cache and the page cache.
+		vcfg.CacheBytes = ramBytes / 2
+	}
+	return &Instance{Name: name, Env: env, Dev: dev, Mount: vfs.NewMount(env, fs, vcfg)}
+}
+
+// ladderConfig returns the cumulative betrfs configuration for a ladder
+// rung (Table 3 order: SFL, RG, MLC, PGSH, DC, CL, QRY).
+func ladderConfig(name string) (cfg betrfs.Config, useSFL bool) {
+	cfg = betrfs.V04Config()
+	switch name {
+	case "betrfs-v0.4":
+		return cfg, false
+	case "betrfs+SFL":
+	case "betrfs+RG":
+	case "betrfs+MLC":
+	case "betrfs+PGSH":
+	case "betrfs+DC":
+	case "betrfs+CL":
+	case "betrfs+QRY", "betrfs-v0.6", "betrfs-v0.6-hdd":
+	default:
+		panic(fmt.Sprintf("bench: unknown system %q", name))
+	}
+	apply := func(rung string) bool {
+		switch rung {
+		case "SFL":
+			useSFL = true
+			cfg.Tree.ReadAhead = true
+		case "RG":
+			cfg.DirRangeDelete = true
+			cfg.NlinkChecks = true
+			cfg.RedundantDeletes = false
+			cfg.Tree.CoalesceRangeDeletes = true
+		case "MLC":
+			cfg.CooperativeMem = true
+		case "PGSH":
+			cfg.Tree.PageSharing = true
+		case "DC":
+			cfg.ReaddirInstantiates = true
+		case "CL":
+			cfg.ConditionalLogging = true
+		case "QRY":
+			cfg.Tree.LegacyApplyOnQuery = false
+		}
+		return true
+	}
+	order := []string{"SFL", "RG", "MLC", "PGSH", "DC", "CL", "QRY"}
+	target := name[len("betrfs+"):]
+	if name == "betrfs-v0.6" || name == "betrfs-v0.6-hdd" {
+		target = "QRY"
+	}
+	for _, rung := range order {
+		apply(rung)
+		if rung == target {
+			break
+		}
+	}
+	return cfg, useSFL
+}
+
+func buildBetrFS(env *sim.Env, dev *blockdev.Dev, name string, ramBytes int64) vfs.FS {
+	cfg, useSFL := ladderConfig(name)
+	cfg.Tree.CacheBytes = ramBytes / 2
+	alloc := kmem.New(env, cfg.CooperativeMem)
+	var fs *betrfs.FS
+	var err error
+	if useSFL {
+		fs, err = betrfs.New(env, alloc, cfg, sfl.NewDefault(env, dev))
+	} else {
+		lower := extfs.New(env, dev, extfs.Ext4Profile())
+		fs, err = betrfs.New(env, alloc, cfg, southbound.New(env, lower, southbound.DefaultLayout(dev.Size())))
+	}
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}

@@ -1,0 +1,211 @@
+package betree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// extent is a contiguous on-disk byte range within a tree's node file.
+type extent struct {
+	off int64
+	len int64
+}
+
+// blockTable maps node IDs to on-disk extents, copy-on-write style
+// (§2.2): node writes always allocate fresh space, and extents referenced
+// by the last durable checkpoint are only recycled after the next
+// checkpoint commits. The table itself is serialized into the superblock
+// at each checkpoint.
+type blockTable struct {
+	capacity int64
+	// entries is the mapping as of the running state (checkpointed
+	// entries overlaid with post-checkpoint writes).
+	entries map[nodeID]extent
+	// checkpointed notes which node IDs were part of the last durable
+	// checkpoint; their old extents must survive until the next one.
+	checkpointed map[nodeID]bool
+	// free is the sorted free list.
+	free []extent
+	// deferred holds extents that become free once the next checkpoint
+	// commits.
+	deferred []extent
+}
+
+const blockAlign = 4096
+
+func newBlockTable(capacity int64) *blockTable {
+	bt := &blockTable{
+		capacity:     capacity,
+		entries:      make(map[nodeID]extent),
+		checkpointed: make(map[nodeID]bool),
+	}
+	bt.free = []extent{{off: 0, len: capacity}}
+	return bt
+}
+
+func alignUp(n int64) int64 {
+	return (n + blockAlign - 1) &^ (blockAlign - 1)
+}
+
+// allocate finds space for size bytes (first fit) and returns the extent.
+func (bt *blockTable) allocate(size int64) (extent, error) {
+	size = alignUp(size)
+	for i, f := range bt.free {
+		if f.len >= size {
+			e := extent{off: f.off, len: size}
+			if f.len == size {
+				bt.free = append(bt.free[:i], bt.free[i+1:]...)
+			} else {
+				bt.free[i] = extent{off: f.off + size, len: f.len - size}
+			}
+			return e, nil
+		}
+	}
+	return extent{}, fmt.Errorf("betree: node file full (want %d bytes)", size)
+}
+
+// release returns an extent to the free list, coalescing neighbors.
+func (bt *blockTable) release(e extent) {
+	i := sort.Search(len(bt.free), func(i int) bool { return bt.free[i].off > e.off })
+	bt.free = append(bt.free, extent{})
+	copy(bt.free[i+1:], bt.free[i:])
+	bt.free[i] = e
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(bt.free) && bt.free[i].off+bt.free[i].len == bt.free[i+1].off {
+		bt.free[i].len += bt.free[i+1].len
+		bt.free = append(bt.free[:i+1], bt.free[i+2:]...)
+	}
+	if i > 0 && bt.free[i-1].off+bt.free[i-1].len == bt.free[i].off {
+		bt.free[i-1].len += bt.free[i].len
+		bt.free = append(bt.free[:i], bt.free[i+1:]...)
+	}
+}
+
+// place records a fresh extent for node id, handling the copy-on-write
+// recycling rules for any previous extent.
+func (bt *blockTable) place(id nodeID, e extent) {
+	if old, ok := bt.entries[id]; ok {
+		if bt.checkpointed[id] {
+			// The last durable checkpoint still references it.
+			bt.deferred = append(bt.deferred, old)
+			bt.checkpointed[id] = false
+		} else {
+			bt.release(old)
+		}
+	}
+	bt.entries[id] = e
+}
+
+// remove drops node id from the table (node deleted by a merge).
+func (bt *blockTable) remove(id nodeID) {
+	if old, ok := bt.entries[id]; ok {
+		if bt.checkpointed[id] {
+			bt.deferred = append(bt.deferred, old)
+		} else {
+			bt.release(old)
+		}
+		delete(bt.entries, id)
+		delete(bt.checkpointed, id)
+	}
+}
+
+// lookup returns the extent of node id.
+func (bt *blockTable) lookup(id nodeID) (extent, bool) {
+	e, ok := bt.entries[id]
+	return e, ok
+}
+
+// checkpointCommitted transitions the table after a checkpoint becomes
+// durable: deferred extents become free, and the current mapping becomes
+// the protected one.
+func (bt *blockTable) checkpointCommitted() {
+	for _, e := range bt.deferred {
+		bt.release(e)
+	}
+	bt.deferred = bt.deferred[:0]
+	bt.checkpointed = make(map[nodeID]bool, len(bt.entries))
+	for id := range bt.entries {
+		bt.checkpointed[id] = true
+	}
+}
+
+// usedBytes reports allocated space, for df-style accounting.
+func (bt *blockTable) usedBytes() int64 {
+	free := int64(0)
+	for _, f := range bt.free {
+		free += f.len
+	}
+	return bt.capacity - free
+}
+
+// serialize encodes the mapping (used at checkpoint time). The free list
+// is rebuilt from the mapping at load.
+func (bt *blockTable) serialize() []byte {
+	ids := make([]nodeID, 0, len(bt.entries))
+	for id := range bt.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]byte, 0, 8+24*len(ids))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(len(ids)))
+	out = append(out, tmp[:]...)
+	for _, id := range ids {
+		e := bt.entries[id]
+		binary.BigEndian.PutUint64(tmp[:], uint64(id))
+		out = append(out, tmp[:]...)
+		binary.BigEndian.PutUint64(tmp[:], uint64(e.off))
+		out = append(out, tmp[:]...)
+		binary.BigEndian.PutUint64(tmp[:], uint64(e.len))
+		out = append(out, tmp[:]...)
+	}
+	return out
+}
+
+// loadBlockTable reconstructs a table from its serialized form, rebuilding
+// the free list from the gaps between allocated extents.
+func loadBlockTable(capacity int64, data []byte) (*blockTable, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("betree: truncated block table")
+	}
+	n := binary.BigEndian.Uint64(data)
+	data = data[8:]
+	if uint64(len(data)) < n*24 {
+		return nil, fmt.Errorf("betree: truncated block table entries")
+	}
+	bt := &blockTable{
+		capacity:     capacity,
+		entries:      make(map[nodeID]extent, n),
+		checkpointed: make(map[nodeID]bool, n),
+	}
+	type pair struct {
+		id nodeID
+		e  extent
+	}
+	pairs := make([]pair, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id := nodeID(binary.BigEndian.Uint64(data))
+		off := int64(binary.BigEndian.Uint64(data[8:]))
+		ln := int64(binary.BigEndian.Uint64(data[16:]))
+		data = data[24:]
+		pairs = append(pairs, pair{id: id, e: extent{off: off, len: ln}})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].e.off < pairs[j].e.off })
+	pos := int64(0)
+	for _, p := range pairs {
+		if p.e.off < pos {
+			return nil, fmt.Errorf("betree: overlapping extents in block table")
+		}
+		if p.e.off > pos {
+			bt.free = append(bt.free, extent{off: pos, len: p.e.off - pos})
+		}
+		bt.entries[p.id] = p.e
+		bt.checkpointed[p.id] = true
+		pos = p.e.off + p.e.len
+	}
+	if pos < capacity {
+		bt.free = append(bt.free, extent{off: pos, len: capacity - pos})
+	}
+	return bt, nil
+}

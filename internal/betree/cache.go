@@ -1,0 +1,136 @@
+package betree
+
+import (
+	"container/list"
+)
+
+// cacheKey identifies a node across the trees sharing one cache.
+type cacheKey struct {
+	tree *Tree
+	id   nodeID
+}
+
+// nodeCache is the cachetable: an LRU of decoded nodes shared by the
+// metadata and data trees, bounded by a byte budget. Dirty nodes are
+// written back (copy-on-write) on eviction; clean nodes are dropped.
+type nodeCache struct {
+	budget  int64
+	used    int64
+	lru     *list.List // front = most recently used
+	entries map[cacheKey]*list.Element
+
+	// writeNode is provided by the Store.
+	writeNode func(t *Tree, n *node)
+
+	hits, misses, evictions, dirtyEvictions int64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	node *node
+}
+
+func newNodeCache(budget int64, writeNode func(*Tree, *node)) *nodeCache {
+	return &nodeCache{
+		budget:    budget,
+		lru:       list.New(),
+		entries:   make(map[cacheKey]*list.Element),
+		writeNode: writeNode,
+	}
+}
+
+// get returns the cached node and pins it hot in the LRU.
+func (c *nodeCache) get(t *Tree, id nodeID) (*node, bool) {
+	el, ok := c.entries[cacheKey{t, id}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).node, true
+}
+
+// put inserts a node, evicting as needed to stay within budget.
+func (c *nodeCache) put(t *Tree, n *node) {
+	key := cacheKey{t, n.id}
+	if el, ok := c.entries[key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.used -= int64(old.node.memSize)
+		old.node = n
+		c.used += int64(n.computeMemSize())
+		c.lru.MoveToFront(el)
+		c.evictTo(c.budget)
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, node: n})
+	c.entries[key] = el
+	c.used += int64(n.computeMemSize())
+	c.evictTo(c.budget)
+}
+
+// resize recomputes a node's footprint after mutation.
+func (c *nodeCache) resize(t *Tree, n *node) {
+	if el, ok := c.entries[cacheKey{t, n.id}]; ok {
+		c.used -= int64(n.memSize)
+		c.used += int64(n.computeMemSize())
+		_ = el
+	}
+}
+
+// remove drops a node without writeback (deleted by merges).
+func (c *nodeCache) remove(t *Tree, id nodeID) {
+	key := cacheKey{t, id}
+	if el, ok := c.entries[key]; ok {
+		ce := el.Value.(*cacheEntry)
+		c.used -= int64(ce.node.memSize)
+		ce.node.releaseRefs()
+		c.lru.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// evictTo evicts cold, unpinned nodes until used <= target.
+func (c *nodeCache) evictTo(target int64) {
+	el := c.lru.Back()
+	for el != nil && c.used > target {
+		prev := el.Prev()
+		ce := el.Value.(*cacheEntry)
+		if ce.node.pins > 0 {
+			el = prev
+			continue
+		}
+		if ce.node.dirty {
+			c.dirtyEvictions++
+			c.writeNode(ce.key.tree, ce.node)
+		}
+		c.evictions++
+		c.used -= int64(ce.node.memSize)
+		ce.node.releaseRefs()
+		c.lru.Remove(el)
+		delete(c.entries, ce.key)
+		el = prev
+	}
+}
+
+// dirtyNodes returns all dirty cached nodes of tree t (checkpoint sweep).
+func (c *nodeCache) dirtyNodes(t *Tree) []*node {
+	var out []*node
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		ce := el.Value.(*cacheEntry)
+		if ce.key.tree == t && ce.node.dirty {
+			out = append(out, ce.node)
+		}
+	}
+	return out
+}
+
+// dropAll empties the cache without writeback (crash simulation).
+func (c *nodeCache) dropAll() {
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		el.Value.(*cacheEntry).node.releaseRefs()
+	}
+	c.lru.Init()
+	c.entries = make(map[cacheKey]*list.Element)
+	c.used = 0
+}

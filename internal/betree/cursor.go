@@ -1,0 +1,147 @@
+package betree
+
+import (
+	"sort"
+
+	"betrfs/internal/keys"
+)
+
+// Scan iterates all live key-value pairs in [lo, hi) in key order, calling
+// fn for each; fn returning false stops the scan. hi == nil means
+// unbounded.
+//
+// Scans materialize each basement they traverse: pending messages from the
+// root-to-leaf path are applied to the in-memory basement (bumping its
+// maxApplied watermark) exactly like apply-on-query, which is how BetrFS
+// serves range queries from a consistent view while leaving the on-disk
+// tree untouched (§2.1, §4). With read-ahead enabled, the next leaf is
+// prefetched while the current one is consumed (§3.2).
+func (t *Tree) Scan(lo, hi []byte, fn func(k, v []byte) bool) {
+	t.stats.Scans++
+	s := t.store
+	cursor := lo
+	if cursor == nil {
+		cursor = []byte{}
+	}
+	for {
+		if hi != nil && keys.Compare(cursor, hi) >= 0 {
+			return
+		}
+		leafHi, more := t.scanLeaf(cursor, hi, fn)
+		if !more || leafHi == nil {
+			return
+		}
+		cursor = leafHi
+		_ = s
+	}
+}
+
+// scanLeaf processes the leaf containing key cursor, returning the leaf's
+// upper bound (nil when it is the rightmost leaf) and whether iteration
+// should continue.
+func (t *Tree) scanLeaf(cursor, hi []byte, fn func(k, v []byte) bool) ([]byte, bool) {
+	s := t.store
+	var path []pathEl
+	var llo, lhi []byte
+	n := t.fetch(t.rootID, nil)
+	defer func() {
+		for _, pe := range path {
+			t.unpin(pe.n)
+		}
+		t.unpin(n)
+	}()
+	for !n.isLeaf() {
+		ci := n.childFor(s.env, cursor)
+		path = append(path, pathEl{n, ci})
+		llo, lhi = n.childRange(ci, llo, lhi)
+		n = t.fetch(n.children[ci], nil)
+	}
+	// Prefetch the next leaf while this one is consumed.
+	if s.cfg.ReadAhead {
+		for i := len(path) - 1; i >= 0; i-- {
+			pe := path[i]
+			if pe.ci+1 < len(pe.n.children) {
+				s.prefetch(t, pe.n.children[pe.ci+1])
+				break
+			}
+		}
+	}
+
+	// Materialize the basements overlapping [cursor, hi) against the
+	// path's pending messages; basements outside the requested range are
+	// left untouched (and unread, for partially loaded leaves).
+	for bi := range n.basements {
+		b := n.basements[bi]
+		blo, bhi := basementRange(n, bi, llo, lhi)
+		if keys.Compare(bhi, cursor) <= 0 {
+			continue // entirely below the scan start
+		}
+		if hi != nil && keys.Compare(blo, hi) >= 0 {
+			break // entirely above the scan end
+		}
+		t.ensureBasement(n, bi)
+		var msgs []*Msg
+		for _, pe := range path {
+			msgs = pe.n.bufs[pe.ci].collectRange(s.env, blo, bhi, b.maxApplied, msgs)
+		}
+		if len(msgs) == 0 {
+			continue
+		}
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].MSN < msgs[j].MSN })
+		for _, m := range msgs {
+			// Messages stay live in ancestor buffers, so apply clones.
+			n.applyToBasement(s.env, bi, cloneForSharedApply(s.env, clipToBasement(m, blo, bhi)), false)
+		}
+		s.cache.resize(t, n)
+	}
+
+	// Yield entries within [cursor, hi).
+	for bi, b := range n.basements {
+		blo, bhi := basementRange(n, bi, llo, lhi)
+		if keys.Compare(bhi, cursor) <= 0 {
+			continue
+		}
+		if hi != nil && keys.Compare(blo, hi) >= 0 {
+			return lhi, false
+		}
+		for i := range b.entries {
+			e := &b.entries[i]
+			s.env.Compare(len(cursor))
+			if keys.Compare(e.key, cursor) < 0 {
+				continue
+			}
+			if hi != nil && keys.Compare(e.key, hi) >= 0 {
+				return lhi, false
+			}
+			if !fn(e.key, e.val.Bytes()) {
+				return lhi, false
+			}
+		}
+	}
+	return lhi, true
+}
+
+// clipToBasement narrows a range delete to the basement's bounds so that
+// the per-basement maxApplied guard reflects exactly what was applied. The
+// original message object is never mutated (it is shared with ancestors).
+func clipToBasement(m *Msg, blo, bhi []byte) *Msg {
+	if m.Type != MsgRangeDelete {
+		return m
+	}
+	c := *m
+	if keys.Compare(c.Key, blo) < 0 {
+		c.Key = blo
+	}
+	if keys.Compare(bhi, c.EndKey) < 0 {
+		c.EndKey = bhi
+	}
+	return &c
+}
+
+// Count returns the number of live pairs in [lo, hi); mainly for tests and
+// tools.
+func (t *Tree) Count(lo, hi []byte) int {
+	n := 0
+	t.Scan(lo, hi, func(_, _ []byte) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,404 @@
+package betree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	keylen "betrfs/internal/keys"
+	"betrfs/internal/sim"
+)
+
+// On-disk node format.
+//
+// Common header (32 bytes):
+//
+//	[0:4]   crc32 over [4:headerEnd]
+//	[4:8]   magic
+//	[8:12]  height
+//	[12:20] node id
+//	[20:24] total serialized length
+//	[24:28] page-section base offset (aligned value payloads)
+//	[28:32] child/basement count
+//
+// Leaves follow with a basement directory; each basement has a small
+// section (keys + small values) and, in the page-sharing format (§6), a
+// separate 4 KiB-aligned page section at the tail of the node so that file
+// blocks land in aligned buffers and can be written scatter-gather without
+// a serialization copy. Interior nodes follow with pivots, child IDs, and
+// per-child message buffers (page-valued insert messages use the same
+// aligned tail).
+const (
+	nodeMagic      = 0xbe72ee01
+	baseHeaderSize = 32
+	// alignedValueMin is the value size at or above which the aligned
+	// page section is used (when page sharing is on).
+	alignedValueMin = 2048
+)
+
+type nodeEncoder struct {
+	env *sim.Env
+	cfg *Config
+	buf []byte
+	// smallBytes counts bytes that required CPU serialization work;
+	// aligned page payloads are excluded under page sharing.
+	smallBytes int
+}
+
+func (e *nodeEncoder) u8(v uint8) { e.buf = append(e.buf, v); e.smallBytes++ }
+func (e *nodeEncoder) u16(v uint16) {
+	var t [2]byte
+	binary.BigEndian.PutUint16(t[:], v)
+	e.buf = append(e.buf, t[:]...)
+	e.smallBytes += 2
+}
+func (e *nodeEncoder) u32(v uint32) {
+	var t [4]byte
+	binary.BigEndian.PutUint32(t[:], v)
+	e.buf = append(e.buf, t[:]...)
+	e.smallBytes += 4
+}
+func (e *nodeEncoder) u64(v uint64) {
+	var t [8]byte
+	binary.BigEndian.PutUint64(t[:], v)
+	e.buf = append(e.buf, t[:]...)
+	e.smallBytes += 8
+}
+func (e *nodeEncoder) bytes(b []byte) {
+	e.buf = append(e.buf, b...)
+	e.smallBytes += len(b)
+}
+func (e *nodeEncoder) keyed(b []byte) { e.u16(uint16(len(b))); e.bytes(b) }
+
+// serializeNode encodes n, charging serialization and checksum CPU costs.
+// Returned bytes are 4 KiB-aligned in length.
+func serializeNode(env *sim.Env, cfg *Config, n *node) []byte {
+	e := &nodeEncoder{env: env, cfg: cfg, buf: make([]byte, 0, cfg.NodeSize/2)}
+	// Header placeholder; patched at the end.
+	e.buf = append(e.buf, make([]byte, baseHeaderSize)...)
+	e.smallBytes += baseHeaderSize
+
+	var pages [][]byte // aligned payloads appended at the tail
+	pageBytes := 0
+	addPage := func(v Value) (off uint32) {
+		b := v.Bytes()
+		pages = append(pages, b)
+		off = uint32(pageBytes)
+		pageBytes += (len(b) + blockAlign - 1) &^ (blockAlign - 1)
+		return off
+	}
+	useAligned := func(v Value) bool {
+		return cfg.PageSharing && v.Len() >= alignedValueMin
+	}
+	encValue := func(v Value) {
+		if useAligned(v) {
+			e.u8(1)
+			e.u32(uint32(v.Len()))
+			e.u32(addPage(v))
+		} else {
+			e.u8(0)
+			e.u32(uint32(v.Len()))
+			e.bytes(v.Bytes())
+		}
+	}
+
+	if n.isLeaf() {
+		// Basement directory placeholder: fixed-size slots, then
+		// variable first keys after the slots.
+		dirStart := len(e.buf)
+		for _, b := range n.basements {
+			if !b.loaded {
+				panic("betree: serializing leaf with unloaded basement")
+			}
+			_ = b
+			e.buf = append(e.buf, make([]byte, 28)...)
+			e.smallBytes += 28
+		}
+		for _, b := range n.basements {
+			e.keyed(b.lowKey())
+		}
+		// Basement small sections. With lifting (§2.2), the longest
+		// common prefix of a basement's keys is stored once and
+		// stripped from every key — very effective for full-path keys.
+		type bloc struct{ smallOff, smallLen, pageOff, pageLen int }
+		locs := make([]bloc, len(n.basements))
+		for bi, b := range n.basements {
+			start := len(e.buf)
+			pstart := pageBytes
+			e.u32(uint32(len(b.entries)))
+			lift := 0
+			if cfg.Lifting && len(b.entries) > 1 {
+				lift = keylen.CommonPrefix(b.entries[0].key, b.entries[len(b.entries)-1].key)
+			}
+			var prefix []byte
+			if lift > 0 {
+				prefix = b.entries[0].key[:lift]
+			}
+			e.keyed(prefix)
+			for i := range b.entries {
+				e.keyed(b.entries[i].key[lift:])
+				encValue(b.entries[i].val)
+			}
+			locs[bi] = bloc{smallOff: start, smallLen: len(e.buf) - start, pageOff: pstart, pageLen: pageBytes - pstart}
+		}
+		// Page section begins at the next aligned boundary.
+		pageBase := (len(e.buf) + blockAlign - 1) &^ (blockAlign - 1)
+		e.buf = append(e.buf, make([]byte, pageBase-len(e.buf))...)
+		for _, p := range pages {
+			e.buf = append(e.buf, p...)
+			if pad := (blockAlign - len(p)%blockAlign) % blockAlign; pad > 0 {
+				e.buf = append(e.buf, make([]byte, pad)...)
+			}
+		}
+		// Patch the directory.
+		for bi := range n.basements {
+			slot := dirStart + bi*28
+			loc := locs[bi]
+			binary.BigEndian.PutUint32(e.buf[slot:], uint32(loc.smallOff))
+			binary.BigEndian.PutUint32(e.buf[slot+4:], uint32(loc.smallLen))
+			binary.BigEndian.PutUint32(e.buf[slot+8:], uint32(pageBase+loc.pageOff))
+			binary.BigEndian.PutUint32(e.buf[slot+12:], uint32(loc.pageLen))
+			binary.BigEndian.PutUint64(e.buf[slot+16:], uint64(n.basements[bi].maxApplied))
+			binary.BigEndian.PutUint32(e.buf[slot+24:], uint32(len(n.basements[bi].entries)))
+		}
+		patchHeader(e.buf, n, pageBase, len(n.basements))
+	} else {
+		e.u32(uint32(len(n.children)))
+		for _, p := range n.pivots {
+			e.keyed(p)
+		}
+		for _, c := range n.children {
+			e.u64(uint64(c))
+		}
+		for ci := range n.bufs {
+			e.u32(uint32(n.bufs[ci].len()))
+			for _, m := range n.bufs[ci].msgs {
+				e.u8(uint8(m.Type))
+				e.u64(uint64(m.MSN))
+				e.keyed(m.Key)
+				e.keyed(m.EndKey)
+				e.u32(uint32(m.Off))
+				encValue(m.Val)
+			}
+		}
+		// Page section for by-ref message values.
+		pageBase := (len(e.buf) + blockAlign - 1) &^ (blockAlign - 1)
+		e.buf = append(e.buf, make([]byte, pageBase-len(e.buf))...)
+		for _, p := range pages {
+			e.buf = append(e.buf, p...)
+			if pad := (blockAlign - len(p)%blockAlign) % blockAlign; pad > 0 {
+				e.buf = append(e.buf, make([]byte, pad)...)
+			}
+		}
+		patchHeader(e.buf, n, pageBase, len(n.children))
+	}
+
+	// Align total length.
+	if pad := (blockAlign - len(e.buf)%blockAlign) % blockAlign; pad > 0 {
+		e.buf = append(e.buf, make([]byte, pad)...)
+	}
+	binary.BigEndian.PutUint32(e.buf[20:], uint32(len(e.buf)))
+	crc := crc32.ChecksumIEEE(e.buf[4:])
+	binary.BigEndian.PutUint32(e.buf[0:], crc)
+
+	env.Serialize(e.smallBytes)
+	env.Checksum(len(e.buf))
+	return e.buf
+}
+
+func patchHeader(buf []byte, n *node, headerEnd, count int) {
+	binary.BigEndian.PutUint32(buf[4:], nodeMagic)
+	binary.BigEndian.PutUint32(buf[8:], uint32(n.height))
+	binary.BigEndian.PutUint64(buf[12:], uint64(n.id))
+	binary.BigEndian.PutUint32(buf[24:], uint32(headerEnd))
+	binary.BigEndian.PutUint32(buf[28:], uint32(count))
+}
+
+type nodeDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *nodeDecoder) u8() uint8 { v := d.data[d.pos]; d.pos++; return v }
+func (d *nodeDecoder) u16() uint16 {
+	v := binary.BigEndian.Uint16(d.data[d.pos:])
+	d.pos += 2
+	return v
+}
+func (d *nodeDecoder) u32() uint32 {
+	v := binary.BigEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v
+}
+func (d *nodeDecoder) u64() uint64 {
+	v := binary.BigEndian.Uint64(d.data[d.pos:])
+	d.pos += 8
+	return v
+}
+func (d *nodeDecoder) keyed() []byte {
+	n := int(d.u16())
+	b := append([]byte{}, d.data[d.pos:d.pos+n]...)
+	d.pos += n
+	return b
+}
+
+// value decodes one encoded value. whole is the full node image and
+// pageBase the node's page-section base offset (header bytes [24:28]).
+func (d *nodeDecoder) value(whole []byte, pageBase int) Value {
+	aligned := d.u8() == 1
+	n := int(d.u32())
+	if aligned {
+		off := pageBase + int(d.u32())
+		return InlineValue(append([]byte{}, whole[off:off+n]...))
+	}
+	v := append([]byte{}, d.data[d.pos:d.pos+n]...)
+	d.pos += n
+	return InlineValue(v)
+}
+
+// deserializeNode decodes a full node image, charging CPU costs and
+// verifying the header checksum.
+func deserializeNode(env *sim.Env, cfg *Config, data []byte) (*node, error) {
+	if len(data) < baseHeaderSize {
+		return nil, fmt.Errorf("betree: short node")
+	}
+	if binary.BigEndian.Uint32(data[4:]) != nodeMagic {
+		return nil, fmt.Errorf("betree: bad node magic")
+	}
+	total := int(binary.BigEndian.Uint32(data[20:]))
+	if total > len(data) {
+		return nil, fmt.Errorf("betree: truncated node: want %d have %d", total, len(data))
+	}
+	data = data[:total]
+	env.Checksum(len(data))
+	if crc32.ChecksumIEEE(data[4:]) != binary.BigEndian.Uint32(data[0:]) {
+		return nil, fmt.Errorf("betree: node checksum mismatch")
+	}
+	n := &node{
+		height: int(binary.BigEndian.Uint32(data[8:])),
+		id:     nodeID(binary.BigEndian.Uint64(data[12:])),
+	}
+	count := int(binary.BigEndian.Uint32(data[28:]))
+	if n.height == 0 {
+		shell, _, err := decodeLeafShell(data)
+		if err != nil {
+			return nil, err
+		}
+		n.basements = shell
+		for bi := range n.basements {
+			if err := loadBasementFrom(env, data, n.basements[bi]); err != nil {
+				return nil, err
+			}
+		}
+		env.Serialize(smallSpan(n.basements))
+		return n, nil
+	}
+	d := &nodeDecoder{data: data, pos: baseHeaderSize}
+	if got := int(d.u32()); got != count {
+		return nil, fmt.Errorf("betree: child count mismatch")
+	}
+	for i := 0; i < count-1; i++ {
+		n.pivots = append(n.pivots, d.keyed())
+	}
+	for i := 0; i < count; i++ {
+		n.children = append(n.children, nodeID(d.u64()))
+	}
+	n.bufs = make([]buffer, count)
+	for ci := 0; ci < count; ci++ {
+		msgs := int(d.u32())
+		for i := 0; i < msgs; i++ {
+			m := &Msg{}
+			m.Type = MsgType(d.u8())
+			m.MSN = MSN(d.u64())
+			m.Key = d.keyed()
+			m.EndKey = d.keyed()
+			m.Off = int(d.u32())
+			m.Val = d.value(data, pageBase(data))
+			n.bufs[ci].append(m)
+		}
+	}
+	env.Serialize(d.pos)
+	n.computeMemSize()
+	return n, nil
+}
+
+// decodeLeafShell parses the header + basement directory of a leaf image,
+// returning unloaded basements and the number of directory bytes consumed
+// (partial-read support, §2.2). A truncated or corrupt directory returns an
+// error rather than panicking, so callers can fall back to a full read.
+func decodeLeafShell(data []byte) (bs []*basement, consumed int, err error) {
+	defer func() {
+		if recover() != nil {
+			bs, consumed, err = nil, 0, fmt.Errorf("betree: truncated leaf directory")
+		}
+	}()
+	if binary.BigEndian.Uint32(data[4:]) != nodeMagic {
+		return nil, 0, fmt.Errorf("betree: bad node magic")
+	}
+	if binary.BigEndian.Uint32(data[8:]) != 0 {
+		return nil, 0, fmt.Errorf("betree: leaf shell on interior node")
+	}
+	count := int(binary.BigEndian.Uint32(data[28:]))
+	basements := make([]*basement, count)
+	d := &nodeDecoder{data: data, pos: baseHeaderSize}
+	for i := 0; i < count; i++ {
+		b := &basement{}
+		b.diskOff = int(d.u32())
+		b.diskLen = int(d.u32())
+		b.pageOff = int(d.u32())
+		b.pageLen = int(d.u32())
+		b.maxApplied = MSN(d.u64())
+		d.u32() // entry count, informational
+		basements[i] = b
+	}
+	for i := 0; i < count; i++ {
+		basements[i].firstKey = d.keyed()
+	}
+	return basements, d.pos, nil
+}
+
+// pageBase extracts the page-section base offset from a node image header.
+func pageBase(data []byte) int {
+	return int(binary.BigEndian.Uint32(data[24:]))
+}
+
+// loadBasementFrom materializes basement b from a (possibly sparse) node
+// image in which the header, b's small section, and b's page range have
+// been populated.
+func loadBasementFrom(env *sim.Env, data []byte, b *basement) error {
+	if b.loaded {
+		return nil
+	}
+	if b.diskOff+b.diskLen > len(data) {
+		return fmt.Errorf("betree: basement out of bounds")
+	}
+	pb := pageBase(data)
+	d := &nodeDecoder{data: data, pos: b.diskOff}
+	nEntries := int(d.u32())
+	prefix := d.keyed()
+	b.entries = make([]entry, 0, nEntries)
+	for i := 0; i < nEntries; i++ {
+		suffix := d.keyed()
+		k := suffix
+		if len(prefix) > 0 {
+			k = append(append(make([]byte, 0, len(prefix)+len(suffix)), prefix...), suffix...)
+		}
+		v := d.value(data, pb)
+		b.entries = append(b.entries, entry{key: k, val: v})
+	}
+	b.loaded = true
+	b.bytes = b.entryBytes()
+	return nil
+}
+
+func smallSpan(bs []*basement) int {
+	n := 0
+	for _, b := range bs {
+		n += b.diskLen
+	}
+	return n
+}
+
+// headerRegion is how many leading bytes of a node image are read to parse
+// the header and basement directory for partial leaf reads.
+const headerRegion = 16 << 10

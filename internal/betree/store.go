@@ -1,0 +1,590 @@
+package betree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"betrfs/internal/kmem"
+	"betrfs/internal/sim"
+	"betrfs/internal/stor"
+	"betrfs/internal/wal"
+)
+
+// Backend provides the named storage files the key-value store needs: the
+// Simple File Layer exposes exactly these (§3.1), and the stacked
+// southbound emulates them over ext4.
+type Backend interface {
+	// File returns the named file. Required names: "super", "log",
+	// "meta", "data".
+	File(name string) stor.File
+}
+
+// StoreStats aggregates store-level counters.
+type StoreStats struct {
+	NodesWritten   int64
+	NodesRead      int64
+	BasementsRead  int64
+	PartialReads   int64
+	BytesWritten   int64
+	BytesRead      int64
+	Checkpoints    int64
+	Prefetches     int64
+	PrefetchHits   int64
+	PacmanScans    int64
+	PacmanDrops    int64
+	ApplyOnQuery   int64
+	Flushes        int64
+	LeafSplits     int64
+	InternalSplits int64
+}
+
+// Store is the in-kernel write-optimized key-value store: two Bε-trees
+// (metadata and data indexes) sharing a node cache, a redo log, and a
+// checkpointing protocol (§2.2).
+type Store struct {
+	env   *sim.Env
+	alloc *kmem.Allocator
+	cfg   Config
+
+	backend Backend
+	log     *wal.Log
+	superF  stor.File
+
+	meta *Tree
+	data *Tree
+
+	cache   *nodeCache
+	pending map[cacheKey]*pendingRead
+	// inflight holds node-write completions not yet waited on, so
+	// serialization CPU overlaps device writes; barriers drain it.
+	inflight []stor.Wait
+
+	nextMSN        MSN
+	generation     uint64
+	lastCheckpoint time.Duration
+	// OnLogPressure, when set, is invoked before retrying a log append
+	// that failed for space, giving the northbound a chance to release
+	// conditional-logging pins that block reclamation (§3.3).
+	OnLogPressure func()
+	// unloggedData is set when a bulk value entered the tree without its
+	// payload in the log; full durability then requires a checkpoint.
+	unloggedData bool
+
+	stats StoreStats
+}
+
+type pendingRead struct {
+	data []byte
+	wait stor.Wait
+}
+
+// Open mounts (or formats, if empty) a store on backend.
+func Open(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend Backend) (*Store, error) {
+	s := &Store{
+		env:     env,
+		alloc:   alloc,
+		cfg:     cfg,
+		backend: backend,
+		superF:  backend.File("super"),
+		pending: make(map[cacheKey]*pendingRead),
+		nextMSN: 1,
+	}
+	s.cache = newNodeCache(cfg.CacheBytes, s.writeNode)
+	s.meta = newTree(s, "meta", backend.File("meta"))
+	s.data = newTree(s, "data", backend.File("data"))
+
+	gen, payload, ok := s.readSuperblock()
+	if !ok {
+		// Fresh store: empty root leaves, then an initial checkpoint so
+		// a crash right after format recovers to empty.
+		s.log = wal.New(env, backend.File("log"), 1)
+		s.meta.formatEmpty()
+		s.data.formatEmpty()
+		s.Checkpoint()
+		return s, nil
+	}
+	s.generation = gen
+	hint, err := s.loadSuperblock(payload)
+	if err != nil {
+		return nil, err
+	}
+	s.log = wal.New(env, backend.File("log"), hint.Epoch)
+	// Replay the redo log against the checkpointed state.
+	for _, rec := range wal.Recover(env, backend.File("log"), hint) {
+		if err := s.replay(rec); err != nil {
+			return nil, err
+		}
+	}
+	// Start a fresh log incarnation; the immediate checkpoint persists
+	// the replayed state and records the new epoch in the superblock.
+	s.log = wal.New(env, backend.File("log"), hint.Epoch+1)
+	s.Checkpoint()
+	return s, nil
+}
+
+// Env returns the simulation environment.
+func (s *Store) Env() *sim.Env { return s.env }
+
+// Meta returns the metadata-index tree.
+func (s *Store) Meta() *Tree { return s.meta }
+
+// Data returns the data-index tree.
+func (s *Store) Data() *Tree { return s.data }
+
+// Stats returns store counters.
+func (s *Store) Stats() *StoreStats { return &s.stats }
+
+// Log exposes the redo log (conditional logging pins).
+func (s *Store) Log() *wal.Log { return s.log }
+
+func (s *Store) nextMsn() MSN {
+	m := s.nextMSN
+	s.nextMSN++
+	return m
+}
+
+// --- logical operation logging -------------------------------------------
+
+const opRecord wal.RecordType = 1
+
+func (s *Store) logOp(t *Tree, m *Msg, withPayload bool) uint64 {
+	treeTag := byte(0)
+	if t == s.data {
+		treeTag = 1
+	}
+	var payload []byte
+	vlen := 0
+	if m.Type == MsgInsert || m.Type == MsgUpdate {
+		vlen = m.Val.Len()
+		if withPayload {
+			payload = m.Val.Bytes()
+		}
+	}
+	rec := make([]byte, 0, 20+len(m.Key)+len(m.EndKey)+len(payload))
+	rec = append(rec, treeTag, byte(m.Type))
+	var t16 [2]byte
+	var t32 [4]byte
+	binary.BigEndian.PutUint16(t16[:], uint16(len(m.Key)))
+	rec = append(rec, t16[:]...)
+	rec = append(rec, m.Key...)
+	binary.BigEndian.PutUint16(t16[:], uint16(len(m.EndKey)))
+	rec = append(rec, t16[:]...)
+	rec = append(rec, m.EndKey...)
+	binary.BigEndian.PutUint32(t32[:], uint32(m.Off))
+	rec = append(rec, t32[:]...)
+	binary.BigEndian.PutUint32(t32[:], uint32(vlen))
+	rec = append(rec, t32[:]...)
+	if withPayload {
+		rec = append(rec, 1)
+		rec = append(rec, payload...)
+	} else {
+		rec = append(rec, 0)
+		s.unloggedData = true
+	}
+	lsn, err := s.log.Append(opRecord, rec)
+	if err == wal.ErrLogFull {
+		if s.OnLogPressure != nil {
+			s.OnLogPressure()
+		}
+		s.Checkpoint()
+		lsn, err = s.log.Append(opRecord, rec)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("betree: log append failed: %v", err))
+	}
+	return lsn
+}
+
+func (s *Store) replay(rec wal.Record) error {
+	if rec.Type != opRecord {
+		return nil
+	}
+	p := rec.Payload
+	if len(p) < 2 {
+		return fmt.Errorf("betree: short log record")
+	}
+	t := s.meta
+	if p[0] == 1 {
+		t = s.data
+	}
+	mt := MsgType(p[1])
+	p = p[2:]
+	klen := int(binary.BigEndian.Uint16(p))
+	key := append([]byte{}, p[2:2+klen]...)
+	p = p[2+klen:]
+	eklen := int(binary.BigEndian.Uint16(p))
+	ekey := append([]byte{}, p[2:2+eklen]...)
+	p = p[2+eklen:]
+	off := int(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	vlen := int(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	hasPayload := p[0] == 1
+	p = p[1:]
+	m := &Msg{Type: mt, MSN: s.nextMsn(), Key: key, EndKey: ekey, Off: off}
+	switch mt {
+	case MsgInsert, MsgUpdate:
+		if !hasPayload {
+			// Bulk value never payload-logged: its durability was
+			// checkpoint-based, so the checkpointed tree already has
+			// the newest durable version. Skip.
+			return nil
+		}
+		if len(p) < vlen {
+			return fmt.Errorf("betree: short log payload")
+		}
+		m.Val = InlineValue(append([]byte{}, p[:vlen]...))
+	}
+	t.insertMsg(m)
+	return nil
+}
+
+// --- node I/O -------------------------------------------------------------
+
+// writeNode serializes and writes a dirty node copy-on-write, charging the
+// allocator costs of assembling the serialization buffer.
+func (s *Store) writeNode(t *Tree, n *node) {
+	// Serialization buffer life cycle: the legacy code path grows a
+	// buffer by doubling as it serializes (paying realloc copies); the
+	// cooperative path negotiates the final size up front (§5).
+	var buf *kmem.Buf
+	if s.alloc.Cooperative() {
+		buf = s.alloc.AllocUsable(n.memSize + 512)
+	} else {
+		buf = s.alloc.Alloc(64 << 10)
+		buf = s.alloc.GrowDoubling(buf, n.memSize+512, 64<<10)
+	}
+	data := serializeNode(s.env, &s.cfg, n)
+	if s.cfg.Compression {
+		data = compressNode(s.env, data)
+	}
+	ext, err := t.bt.allocate(int64(len(data)))
+	if err != nil {
+		panic(fmt.Sprintf("betree: %v", err))
+	}
+	t.bt.place(n.id, ext)
+	s.inflight = append(s.inflight, t.f.SubmitWrite(data, ext.off))
+	if len(s.inflight) > 8 {
+		s.inflight[0]()
+		s.inflight = s.inflight[1:]
+	}
+	s.alloc.FreeSized(buf)
+	n.dirty = false
+	s.stats.NodesWritten++
+	s.stats.BytesWritten += int64(len(data))
+}
+
+// readNode fetches a node image from disk. If partialKey is non-nil and
+// the node is a leaf, only the header region and the basement containing
+// partialKey are read and materialized (§2.2 basement nodes).
+func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) *node {
+	ext, ok := t.bt.lookup(id)
+	if !ok {
+		panic(fmt.Sprintf("betree: node %d has no extent", id))
+	}
+	key := cacheKey{t, id}
+	if pr, ok := s.pending[key]; ok {
+		// A prefetch is in flight: wait for it instead of re-reading.
+		delete(s.pending, key)
+		pr.wait()
+		s.stats.PrefetchHits++
+		raw, err := maybeDecompressNode(s.env, pr.data)
+		if err != nil {
+			panic(fmt.Sprintf("betree: %v", err))
+		}
+		n, err := deserializeNode(s.env, &s.cfg, raw)
+		if err != nil {
+			panic(fmt.Sprintf("betree: %v", err))
+		}
+		s.stats.NodesRead++
+		s.stats.BytesRead += ext.len
+		return n
+	}
+
+	if partialKey != nil {
+		// Header region first.
+		hlen := int64(headerRegion)
+		if hlen > ext.len {
+			hlen = ext.len
+		}
+		hdr := make([]byte, ext.len) // sparse image; only ranges read below are valid
+		t.f.SubmitRead(hdr[:hlen], ext.off)()
+		if s.cfg.Compression && binary.BigEndian.Uint32(hdr) == compressedMagic {
+			// Compressed nodes cannot be partially read: fetch the
+			// rest and inflate.
+			if ext.len > hlen {
+				t.f.SubmitRead(hdr[hlen:], ext.off+hlen)()
+			}
+			raw, err := maybeDecompressNode(s.env, hdr)
+			if err != nil {
+				panic(fmt.Sprintf("betree: %v", err))
+			}
+			n, err := deserializeNode(s.env, &s.cfg, raw)
+			if err != nil {
+				panic(fmt.Sprintf("betree: %v", err))
+			}
+			s.stats.NodesRead++
+			s.stats.BytesRead += ext.len
+			return n
+		}
+		if binary.BigEndian.Uint32(hdr[4:]) == nodeMagic && binary.BigEndian.Uint32(hdr[8:]) == 0 {
+			basements, consumed, err := decodeLeafShell(hdr[:hlen])
+			if err == nil && consumed <= int(hlen) {
+				n := &node{id: id, height: 0, basements: basements}
+				s.stats.NodesRead++
+				s.stats.PartialReads++
+				s.stats.BytesRead += hlen
+				s.loadBasement(t, n, ext, n.basementFor(s.env, partialKey))
+				n.computeMemSize()
+				return n
+			}
+		}
+		// Shell didn't fit in the header region; fall through to a
+		// full read of the remainder.
+		if ext.len > hlen {
+			t.f.SubmitRead(hdr[hlen:], ext.off+hlen)()
+		}
+		n, err := deserializeNode(s.env, &s.cfg, hdr)
+		if err != nil {
+			panic(fmt.Sprintf("betree: %v", err))
+		}
+		s.stats.NodesRead++
+		s.stats.BytesRead += ext.len
+		return n
+	}
+
+	data := make([]byte, ext.len)
+	t.f.SubmitRead(data, ext.off)()
+	raw, err := maybeDecompressNode(s.env, data)
+	if err != nil {
+		panic(fmt.Sprintf("betree: %v", err))
+	}
+	n, err := deserializeNode(s.env, &s.cfg, raw)
+	if err != nil {
+		panic(fmt.Sprintf("betree: %v", err))
+	}
+	s.stats.NodesRead++
+	s.stats.BytesRead += ext.len
+	return n
+}
+
+// loadBasement materializes basement bi of cached leaf n with a partial
+// disk read (small section + page section).
+func (s *Store) loadBasement(t *Tree, n *node, ext extent, bi int) {
+	b := n.basements[bi]
+	if b.loaded {
+		return
+	}
+	img := make([]byte, ext.len)
+	if b.diskLen > 0 {
+		t.f.SubmitRead(img[b.diskOff:b.diskOff+b.diskLen], ext.off+int64(b.diskOff))()
+	}
+	if b.pageLen > 0 {
+		t.f.SubmitRead(img[b.pageOff:b.pageOff+b.pageLen], ext.off+int64(b.pageOff))()
+	}
+	s.env.Checksum(b.diskLen + b.pageLen)
+	s.env.Serialize(b.diskLen)
+	if err := loadBasementFrom(s.env, img, b); err != nil {
+		panic(fmt.Sprintf("betree: %v", err))
+	}
+	s.stats.BasementsRead++
+	s.stats.BytesRead += int64(b.diskLen + b.pageLen)
+	s.cache.resize(t, n)
+}
+
+// prefetch issues an asynchronous read of a node (tree-level read-ahead,
+// §3.2). The read overlaps with the caller's CPU work and is claimed by a
+// later readNode.
+func (s *Store) prefetch(t *Tree, id nodeID) {
+	if !s.cfg.ReadAhead {
+		return
+	}
+	key := cacheKey{t, id}
+	if _, ok := s.pending[key]; ok {
+		return
+	}
+	if _, ok := s.cache.get(t, id); ok {
+		return
+	}
+	ext, ok := t.bt.lookup(id)
+	if !ok {
+		return
+	}
+	data := make([]byte, ext.len)
+	wait := t.f.SubmitRead(data, ext.off)
+	s.pending[key] = &pendingRead{data: data, wait: wait}
+	s.stats.Prefetches++
+}
+
+// --- durability ------------------------------------------------------------
+
+// drainWrites waits for all in-flight node writes.
+func (s *Store) drainWrites() {
+	for _, w := range s.inflight {
+		w()
+	}
+	s.inflight = s.inflight[:0]
+}
+
+// SyncLog flushes the redo log (the fsync fast path).
+func (s *Store) SyncLog() {
+	s.log.Flush()
+}
+
+// Sync makes everything durable: the log is flushed, and if bulk data
+// entered the tree without payload logging, a checkpoint persists it.
+func (s *Store) Sync() {
+	s.log.Flush()
+	if s.unloggedData {
+		s.Checkpoint()
+	}
+}
+
+// MaybeCheckpoint runs a checkpoint if the period elapsed or log space is
+// low; the northbound calls it on its operation paths.
+func (s *Store) MaybeCheckpoint() {
+	if s.env.Now()-s.lastCheckpoint >= s.cfg.CheckpointPeriod ||
+		s.log.FreeBytes() < s.log.LiveBytes()/4 {
+		s.Checkpoint()
+	}
+}
+
+// Checkpoint writes all dirty nodes copy-on-write, commits a new
+// superblock generation, recycles old extents, and reclaims log space
+// (§2.2 crash consistency).
+func (s *Store) Checkpoint() {
+	checkpointLSN := s.log.NextLSN()
+	s.log.Flush()
+	for _, t := range []*Tree{s.meta, s.data} {
+		for _, n := range s.cache.dirtyNodes(t) {
+			s.writeNode(t, n)
+		}
+	}
+	s.drainWrites()
+	for _, t := range []*Tree{s.meta, s.data} {
+		t.f.Flush()
+	}
+	s.writeSuperblock()
+	for _, t := range []*Tree{s.meta, s.data} {
+		t.bt.checkpointCommitted()
+	}
+	s.log.Reclaim(checkpointLSN)
+	s.unloggedData = false
+	s.lastCheckpoint = s.env.Now()
+	s.stats.Checkpoints++
+}
+
+// --- superblock -------------------------------------------------------------
+
+const (
+	superMagic    = 0x5bee7f5b
+	superSlotSize = 4 << 20
+)
+
+func (s *Store) writeSuperblock() {
+	hint := s.log.Hint()
+	payload := make([]byte, 0, 1<<20)
+	var t8 [8]byte
+	put64 := func(v uint64) {
+		binary.BigEndian.PutUint64(t8[:], v)
+		payload = append(payload, t8[:]...)
+	}
+	put64(uint64(s.nextMSN))
+	put64(uint64(hint.Offset))
+	put64(hint.LSN)
+	put64(uint64(hint.Epoch))
+	for _, t := range []*Tree{s.meta, s.data} {
+		put64(uint64(t.rootID))
+		put64(uint64(t.nextNodeID))
+		bt := t.bt.serialize()
+		put64(uint64(len(bt)))
+		payload = append(payload, bt...)
+	}
+	s.generation++
+	blob := make([]byte, 0, len(payload)+24)
+	var t4 [4]byte
+	binary.BigEndian.PutUint32(t4[:], superMagic)
+	blob = append(blob, t4[:]...)
+	binary.BigEndian.PutUint64(t8[:], s.generation)
+	blob = append(blob, t8[:]...)
+	binary.BigEndian.PutUint32(t4[:], uint32(len(payload)))
+	blob = append(blob, t4[:]...)
+	blob = append(blob, payload...)
+	binary.BigEndian.PutUint32(t4[:], crc32.ChecksumIEEE(blob))
+	blob = append(blob, t4[:]...)
+	if len(blob) > superSlotSize {
+		panic("betree: superblock exceeds slot")
+	}
+	s.env.Serialize(len(blob))
+	s.env.Checksum(len(blob))
+	slot := int64(s.generation%2) * superSlotSize
+	s.superF.WriteAt(blob, slot)
+	s.superF.Flush()
+}
+
+// readSuperblock returns the newest valid superblock generation.
+func (s *Store) readSuperblock() (gen uint64, payload []byte, ok bool) {
+	for slot := int64(0); slot < 2; slot++ {
+		hdr := make([]byte, 16)
+		s.superF.ReadAt(hdr, slot*superSlotSize)
+		if binary.BigEndian.Uint32(hdr) != superMagic {
+			continue
+		}
+		g := binary.BigEndian.Uint64(hdr[4:])
+		plen := int(binary.BigEndian.Uint32(hdr[12:]))
+		if plen > superSlotSize {
+			continue
+		}
+		blob := make([]byte, 16+plen+4)
+		s.superF.ReadAt(blob, slot*superSlotSize)
+		s.env.Checksum(len(blob))
+		if crc32.ChecksumIEEE(blob[:16+plen]) != binary.BigEndian.Uint32(blob[16+plen:]) {
+			continue
+		}
+		if !ok || g > gen {
+			gen = g
+			payload = blob[16 : 16+plen]
+			ok = true
+		}
+	}
+	return gen, payload, ok
+}
+
+func (s *Store) loadSuperblock(payload []byte) (wal.Hint, error) {
+	if len(payload) < 24 {
+		return wal.Hint{}, fmt.Errorf("betree: short superblock")
+	}
+	get64 := func() uint64 {
+		v := binary.BigEndian.Uint64(payload)
+		payload = payload[8:]
+		return v
+	}
+	s.nextMSN = MSN(get64())
+	hint := wal.Hint{Offset: int64(get64()), LSN: get64()}
+	hint.Epoch = uint32(get64())
+	for _, t := range []*Tree{s.meta, s.data} {
+		t.rootID = nodeID(get64())
+		t.nextNodeID = nodeID(get64())
+		btLen := int(get64())
+		bt, err := loadBlockTable(t.f.Capacity(), payload[:btLen])
+		if err != nil {
+			return wal.Hint{}, err
+		}
+		payload = payload[btLen:]
+		t.bt = bt
+	}
+	return hint, nil
+}
+
+// DropCleanCaches checkpoints and then empties the node cache and pending
+// prefetches — the cold-cache state benchmarks start from.
+func (s *Store) DropCleanCaches() {
+	s.Checkpoint()
+	for k, pr := range s.pending {
+		pr.wait()
+		delete(s.pending, k)
+	}
+	s.cache.dropAll()
+}

@@ -1,0 +1,848 @@
+package betree
+
+import (
+	"fmt"
+	"sort"
+
+	"betrfs/internal/keys"
+	"betrfs/internal/stor"
+)
+
+// TreeStats aggregates per-tree counters.
+type TreeStats struct {
+	Inserts      int64
+	Deletes      int64
+	RangeDeletes int64
+	Updates      int64
+	Gets         int64
+	Scans        int64
+}
+
+// Tree is one Bε-tree index (metadata or data) within a Store.
+type Tree struct {
+	store *Store
+	name  string
+	f     stor.File
+	bt    *blockTable
+
+	rootID     nodeID
+	nextNodeID nodeID
+
+	stats TreeStats
+
+	// seqGet tracks the last point-queried key for the cooperative
+	// read-ahead hint (§3.2): the northbound detects sequential file
+	// reads and tells the tree, which prefetches upcoming basements.
+	seqHint bool
+}
+
+func newTree(s *Store, name string, f stor.File) *Tree {
+	return &Tree{
+		store: s,
+		name:  name,
+		f:     f,
+		bt:    newBlockTable(f.Capacity()),
+	}
+}
+
+// Name returns the index name ("meta" or "data").
+func (t *Tree) Name() string { return t.name }
+
+// Stats returns per-tree counters.
+func (t *Tree) Stats() *TreeStats { return &t.stats }
+
+// SetSeqHint informs the tree that point queries are following a
+// sequential pattern, enabling basement/leaf read-ahead.
+func (t *Tree) SetSeqHint(on bool) { t.seqHint = on }
+
+// formatEmpty initializes the tree with a single empty root leaf.
+func (t *Tree) formatEmpty() {
+	t.nextNodeID = 1
+	root := &node{
+		id:        t.newNodeID(),
+		height:    0,
+		dirty:     true,
+		basements: []*basement{{loaded: true}},
+	}
+	t.rootID = root.id
+	t.store.cache.put(t, root)
+}
+
+func (t *Tree) newNodeID() nodeID {
+	id := t.nextNodeID
+	t.nextNodeID++
+	return id
+}
+
+// fetch returns the node, loading it from disk on a miss, and pins it.
+// partialKey (for leaves) enables basement-granular reads.
+func (t *Tree) fetch(id nodeID, partialKey []byte) *node {
+	s := t.store
+	s.env.Charge(s.env.Costs.PageCacheOp) // cachetable lookup
+	if n, ok := s.cache.get(t, id); ok {
+		n.pins++
+		return n
+	}
+	var n *node
+	if partialKey != nil && !t.seqHint {
+		n = s.readNode(t, id, partialKey)
+	} else {
+		n = s.readNode(t, id, nil)
+	}
+	n.pins++
+	s.cache.put(t, n)
+	return n
+}
+
+func (t *Tree) unpin(n *node) {
+	if n.pins <= 0 {
+		panic("betree: unpin of unpinned node")
+	}
+	n.pins--
+}
+
+// markDirty flags a node dirty and refreshes cache accounting.
+func (t *Tree) markDirty(n *node) {
+	n.dirty = true
+	t.store.cache.resize(t, n)
+}
+
+// ensureBasement makes basement bi of leaf n resident.
+func (t *Tree) ensureBasement(n *node, bi int) {
+	b := n.basements[bi]
+	if b.loaded {
+		return
+	}
+	ext, ok := t.bt.lookup(n.id)
+	if !ok {
+		panic("betree: leaf with unloaded basement has no extent")
+	}
+	t.store.loadBasement(t, n, ext, bi)
+}
+
+// ensureAllBasements loads every basement (required before structural
+// changes or serialization).
+func (t *Tree) ensureAllBasements(n *node) {
+	for bi := range n.basements {
+		t.ensureBasement(n, bi)
+	}
+}
+
+// --- public operations ------------------------------------------------------
+
+// Durability selects how an operation's payload reaches the redo log.
+type Durability int
+
+const (
+	// LogAuto logs the payload if it is small (metadata, tiny updates);
+	// bulk values are logged key-only and persist via checkpoint.
+	LogAuto Durability = iota
+	// LogPayload forces payload logging (fsync-driven write-back).
+	LogPayload
+	// LogNone skips logging (replay and internal restructuring).
+	LogNone
+)
+
+// Put inserts or replaces key with an inline value.
+func (t *Tree) Put(key, val []byte, d Durability) {
+	t.stats.Inserts++
+	m := &Msg{Type: MsgInsert, Key: key, Val: InlineValue(val)}
+	t.logAndInsert(m, d)
+}
+
+// PutRef inserts key with an externally owned page (insertByRef, §6).
+// Without page sharing configured the value is copied inline immediately,
+// reproducing the v0.4 copy-on-ingest behaviour.
+func (t *Tree) PutRef(key []byte, ref PageRef, d Durability) {
+	t.stats.Inserts++
+	var v Value
+	if t.store.cfg.PageSharing {
+		v = RefValue(ref)
+	} else {
+		data := append([]byte{}, ref.Data()...)
+		t.store.env.Memcpy(len(data))
+		ref.Release()
+		v = InlineValue(data)
+	}
+	m := &Msg{Type: MsgInsert, Key: key, Val: v}
+	t.logAndInsert(m, d)
+}
+
+// Update applies a blind sub-value write: data is patched at byte offset
+// off of key's value, without reading it first (§2.1).
+func (t *Tree) Update(key []byte, off int, data []byte, d Durability) {
+	t.stats.Updates++
+	m := &Msg{Type: MsgUpdate, Key: key, Off: off, Val: InlineValue(data)}
+	t.logAndInsert(m, d)
+}
+
+// Delete removes key.
+func (t *Tree) Delete(key []byte, d Durability) {
+	t.stats.Deletes++
+	m := &Msg{Type: MsgDelete, Key: key}
+	t.logAndInsert(m, d)
+}
+
+// DeleteRange removes every key in [lo, hi) with a single range-delete
+// message (§2.1, §4).
+func (t *Tree) DeleteRange(lo, hi []byte, d Durability) {
+	t.stats.RangeDeletes++
+	m := &Msg{Type: MsgRangeDelete, Key: lo, EndKey: hi}
+	t.logAndInsert(m, d)
+}
+
+func (t *Tree) logAndInsert(m *Msg, d Durability) {
+	if d != LogNone {
+		withPayload := true
+		if m.Type == MsgInsert || m.Type == MsgUpdate {
+			if d == LogAuto && m.Val.Len() > t.store.cfg.LogPayloadMax {
+				withPayload = false
+			}
+		}
+		t.store.logOp(t, m, withPayload)
+	}
+	m.MSN = t.store.nextMsn()
+	t.insertMsg(m)
+}
+
+// insertMsg routes a message into the root, flushing and splitting as
+// needed.
+func (t *Tree) insertMsg(m *Msg) {
+	s := t.store
+	s.env.Charge(s.env.Costs.MessageOverhead)
+	root := t.fetch(t.rootID, nil)
+	defer t.unpin(root)
+	if root.isLeaf() {
+		t.applyToLeaf(root, m)
+		t.markDirty(root)
+		if root.leafBytes() > s.cfg.NodeSize {
+			t.splitRoot(root)
+		}
+		return
+	}
+	ci := root.childFor(s.env, m.Key)
+	root.bufs[ci].appendCharged(s.alloc, m)
+	if m.Type == MsgRangeDelete {
+		t.routeRangeMsg(root, m, ci)
+	}
+	t.markDirty(root)
+	if root.bufferBytes() > s.cfg.NodeSize {
+		t.flushDescend(root)
+		if len(root.children) > s.cfg.Fanout {
+			t.splitRoot(root)
+		}
+	}
+}
+
+// routeRangeMsg duplicates a range-delete into every additional child
+// buffer whose range it overlaps (the message was already appended to ci).
+func (t *Tree) routeRangeMsg(n *node, m *Msg, ci int) {
+	for i := ci + 1; i < len(n.children); i++ {
+		lo, hi := n.childRange(i, nil, nil)
+		_ = hi
+		if lo != nil && keys.Compare(m.EndKey, lo) <= 0 {
+			break
+		}
+		n.bufs[i].append(m)
+	}
+}
+
+// flushDescend relieves pressure on n by flushing its fullest child
+// buffers downward until n is under the threshold (§2.1 write
+// optimization).
+func (t *Tree) flushDescend(n *node) {
+	s := t.store
+	t.pacman(n)
+	for n.bufferBytes() > s.cfg.NodeSize/2 {
+		ci := 0
+		for i := 1; i < len(n.bufs); i++ {
+			if n.bufs[i].bytes > n.bufs[ci].bytes {
+				ci = i
+			}
+		}
+		if n.bufs[ci].len() == 0 {
+			return
+		}
+		t.flushToChild(n, ci)
+	}
+}
+
+// flushToChild moves the entire buffer for child ci down one level.
+func (t *Tree) flushToChild(parent *node, ci int) {
+	s := t.store
+	s.stats.Flushes++
+	child := t.fetch(parent.children[ci], nil)
+	defer t.unpin(child)
+	msgs := parent.bufs[ci].takeAll(s.alloc)
+	t.markDirty(parent)
+	t.markDirty(child)
+
+	if child.isLeaf() {
+		for _, m := range msgs {
+			t.applyToLeaf(child, m)
+		}
+		s.cache.resize(t, child)
+		if child.leafBytes() > s.cfg.NodeSize {
+			t.splitChild(parent, ci, child)
+		}
+		return
+	}
+	for _, m := range msgs {
+		// Without page sharing, the complete message is memcpy-ed into
+		// the child's buffer at every level (§2.3, §6).
+		if !s.cfg.PageSharing {
+			s.env.Memcpy(m.memBytes())
+		} else {
+			s.env.Memcpy(len(m.Key) + 48) // header + key only; value by ref
+		}
+		cci := child.childFor(s.env, m.Key)
+		child.bufs[cci].appendCharged(s.alloc, m)
+		if m.Type == MsgRangeDelete {
+			t.routeRangeMsg(child, m, cci)
+		}
+	}
+	t.pacman(child)
+	s.cache.resize(t, child)
+	if child.bufferBytes() > s.cfg.NodeSize {
+		t.flushDescend(child)
+	}
+	if len(child.children) > s.cfg.Fanout {
+		t.splitChild(parent, ci, child)
+	}
+}
+
+// applyToLeaf applies one message to leaf n, loading the affected
+// basements. Per-level value copies are charged unless page sharing is on.
+func (t *Tree) applyToLeaf(n *node, m *Msg) {
+	s := t.store
+	withCopies := !s.cfg.PageSharing
+	if m.Type == MsgRangeDelete {
+		lo := n.basementFor(s.env, m.Key)
+		hi := n.basementFor(s.env, m.EndKey)
+		for bi := lo; bi <= hi && bi < len(n.basements); bi++ {
+			t.ensureBasement(n, bi)
+			n.applyToBasement(s.env, bi, m, withCopies)
+		}
+		return
+	}
+	bi := n.basementFor(s.env, m.Key)
+	t.ensureBasement(n, bi)
+	n.applyToBasement(s.env, bi, m, withCopies)
+}
+
+// --- PacMan -----------------------------------------------------------------
+
+// pacman runs the range-message compaction pass over a node's buffers
+// (§2.2, §4). Conceptually every range-delete is compared against every
+// other message — the quadratic scan whose CPU cost the paper analyzes —
+// and messages fully covered by a newer range-delete are consumed
+// ("eaten"). The simulated cost charges that full quadratic comparison
+// count; the host-side implementation finds the covered messages through a
+// sorted index so large nodes stay tractable to simulate. Without the
+// v0.6 coalescing order this reproduces the v0.4 behaviour: the same
+// quadratic charge, oldest-first traversal, and nothing to eat when range
+// deletes are adjacent-but-not-overlapping.
+func (t *Tree) pacman(n *node) {
+	s := t.store
+	s.stats.PacmanScans++
+	type loc struct {
+		m     *Msg
+		ci, i int
+	}
+	var ranges []loc
+	var points []loc
+	total := 0
+	keyBytes := 0
+	for ci := range n.bufs {
+		for i, m := range n.bufs[ci].msgs {
+			total++
+			keyBytes += len(m.Key)
+			if m.Type == MsgRangeDelete {
+				ranges = append(ranges, loc{m, ci, i})
+			} else {
+				points = append(points, loc{m, ci, i})
+			}
+		}
+	}
+	if len(ranges) == 0 {
+		return
+	}
+	avgKey := keyBytes / total
+
+	// Traversal order: v0.6 considers the most recent (broadest,
+	// directory-level) deletes first so they gobble narrower ones; v0.4
+	// considers them in discovery order.
+	if s.cfg.CoalesceRangeDeletes {
+		sort.Slice(ranges, func(a, b int) bool { return ranges[a].m.MSN > ranges[b].m.MSN })
+	}
+	// Sorted indexes for efficient coverage queries.
+	byKey := append([]loc{}, points...)
+	sort.Slice(byKey, func(a, b int) bool { return keys.Compare(byKey[a].m.Key, byKey[b].m.Key) < 0 })
+	byStart := append([]loc{}, ranges...)
+	sort.Slice(byStart, func(a, b int) bool { return keys.Compare(byStart[a].m.Key, byStart[b].m.Key) < 0 })
+
+	eaten := make(map[*Msg]bool)
+	for _, rl := range ranges {
+		r := rl.m
+		if eaten[r] {
+			continue
+		}
+		// Point messages inside [r.Key, r.EndKey) older than r.
+		lo := sort.Search(len(byKey), func(i int) bool { return keys.Compare(byKey[i].m.Key, r.Key) >= 0 })
+		for i := lo; i < len(byKey) && keys.Compare(byKey[i].m.Key, r.EndKey) < 0; i++ {
+			m := byKey[i].m
+			if m.MSN < r.MSN && !eaten[m] {
+				eaten[m] = true
+			}
+		}
+		// Older range deletes fully covered by r.
+		rlo := sort.Search(len(byStart), func(i int) bool { return keys.Compare(byStart[i].m.Key, r.Key) >= 0 })
+		for i := rlo; i < len(byStart) && keys.Compare(byStart[i].m.Key, r.EndKey) < 0; i++ {
+			m := byStart[i].m
+			if m != r && m.MSN < r.MSN && !eaten[m] && keys.Compare(m.EndKey, r.EndKey) <= 0 {
+				eaten[m] = true
+			}
+		}
+	}
+	// The quadratic scan cost: every live range delete examines every
+	// other message with two key comparisons. Eaten range deletes are
+	// consumed before taking their own turn as eaters, which is exactly
+	// why the directory-level deletes of §4 slash the CPU cost: with
+	// newest-first traversal one broad delete swallows the narrow ones,
+	// and none of them scan. Without coalescing (v0.4) nothing is eaten
+	// and every range delete pays the full scan.
+	eatenRanges := 0
+	for _, rl := range ranges {
+		if eaten[rl.m] {
+			eatenRanges++
+		}
+	}
+	s.env.CompareBulk(2*(len(ranges)-eatenRanges)*(total-1), avgKey)
+	if len(eaten) == 0 {
+		return
+	}
+	for ci := range n.bufs {
+		for i := len(n.bufs[ci].msgs) - 1; i >= 0; i-- {
+			if eaten[n.bufs[ci].msgs[i]] {
+				n.bufs[ci].drop(i)
+				s.stats.PacmanDrops++
+			}
+		}
+	}
+	s.cache.resize(t, n)
+}
+
+// --- splits
+
+// --- splits -----------------------------------------------------------------
+
+// splitRoot replaces the root with a new interior node over the split
+// halves of the old root.
+func (t *Tree) splitRoot(old *node) {
+	s := t.store
+	newRoot := &node{
+		id:       t.newNodeID(),
+		height:   old.height + 1,
+		dirty:    true,
+		children: []nodeID{old.id},
+		bufs:     make([]buffer, 1),
+	}
+	t.rootID = newRoot.id
+	s.cache.put(t, newRoot)
+	newRoot.pins++
+	t.splitChild(newRoot, 0, old)
+	newRoot.pins--
+	t.markDirty(newRoot)
+}
+
+// splitChild splits child (at index ci of parent) into pieces, updating
+// the parent's pivots, children, and buffers.
+func (t *Tree) splitChild(parent *node, ci int, child *node) {
+	s := t.store
+	if child.isLeaf() {
+		t.ensureAllBasements(child)
+		entries := t.flattenLeaf(child)
+		if len(entries) < 2 {
+			return
+		}
+		s.stats.LeafSplits++
+		// Split into halves no larger than NodeSize/2.
+		pieces := splitEntries(entries, s.cfg.NodeSize/2)
+		if len(pieces) < 2 {
+			return
+		}
+		nodes := make([]*node, len(pieces))
+		for i, p := range pieces {
+			var nn *node
+			if i == 0 {
+				nn = child
+				nn.basements = nil
+			} else {
+				nn = &node{id: t.newNodeID(), height: 0}
+			}
+			nn.dirty = true
+			nn.basements = rebalanceBasements(p, s.cfg.BasementSize)
+			nodes[i] = nn
+		}
+		var pivots [][]byte
+		for i := 1; i < len(nodes); i++ {
+			pivots = append(pivots, append([]byte{}, pieces[i][0].key...))
+		}
+		t.replaceChild(parent, ci, nodes, pivots)
+		return
+	}
+	if len(child.children) < 2 {
+		return
+	}
+	s.stats.InternalSplits++
+	mid := len(child.children) / 2
+	right := &node{
+		id:       t.newNodeID(),
+		height:   child.height,
+		dirty:    true,
+		pivots:   append([][]byte{}, child.pivots[mid:]...),
+		children: append([]nodeID{}, child.children[mid:]...),
+		bufs:     append([]buffer{}, child.bufs[mid:]...),
+	}
+	promoted := child.pivots[mid-1]
+	child.pivots = child.pivots[:mid-1]
+	child.children = child.children[:mid]
+	child.bufs = child.bufs[:mid]
+	t.markDirty(child)
+	t.replaceChild(parent, ci, []*node{child, right}, [][]byte{promoted})
+}
+
+// replaceChild swaps parent.children[ci] for the given nodes with pivots
+// between them, distributing the (already empty, post-flush) buffer.
+func (t *Tree) replaceChild(parent *node, ci int, nodes []*node, pivots [][]byte) {
+	s := t.store
+	oldBuf := parent.bufs[ci]
+	newChildren := make([]nodeID, 0, len(parent.children)+len(nodes)-1)
+	newChildren = append(newChildren, parent.children[:ci]...)
+	for _, n := range nodes {
+		newChildren = append(newChildren, n.id)
+	}
+	newChildren = append(newChildren, parent.children[ci+1:]...)
+	newPivots := make([][]byte, 0, len(parent.pivots)+len(pivots))
+	newPivots = append(newPivots, parent.pivots[:ci]...)
+	newPivots = append(newPivots, pivots...)
+	newPivots = append(newPivots, parent.pivots[ci:]...)
+	newBufs := make([]buffer, 0, len(parent.bufs)+len(nodes)-1)
+	newBufs = append(newBufs, parent.bufs[:ci]...)
+	for range nodes {
+		newBufs = append(newBufs, buffer{})
+	}
+	newBufs = append(newBufs, parent.bufs[ci+1:]...)
+	parent.children = newChildren
+	parent.pivots = newPivots
+	parent.bufs = newBufs
+	// Re-route any residual messages from the old buffer.
+	for _, m := range oldBuf.msgs {
+		i := parent.childFor(s.env, m.Key)
+		parent.bufs[i].append(m)
+		if m.Type == MsgRangeDelete {
+			t.routeRangeMsg(parent, m, i)
+		}
+	}
+	t.markDirty(parent)
+	for _, n := range nodes {
+		n.computeMemSize()
+		s.cache.put(t, n)
+	}
+}
+
+// flattenLeaf concatenates all basement entries of a loaded leaf.
+func (t *Tree) flattenLeaf(n *node) []entry {
+	var out []entry
+	for _, b := range n.basements {
+		out = append(out, b.entries...)
+	}
+	return out
+}
+
+// splitEntries chunks entries into pieces of at most maxBytes.
+func splitEntries(entries []entry, maxBytes int) [][]entry {
+	var out [][]entry
+	var cur []entry
+	bytes := 0
+	for _, e := range entries {
+		sz := len(e.key) + e.val.Len() + entryOverhead
+		if bytes+sz > maxBytes && len(cur) > 0 {
+			out = append(out, cur)
+			cur = nil
+			bytes = 0
+		}
+		cur = append(cur, e)
+		bytes += sz
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	if len(out) == 0 {
+		out = append(out, nil)
+	}
+	return out
+}
+
+// rebalanceBasements packs entries into basement nodes of ~target bytes.
+// Each basement records its first key so its key range stays well defined
+// even if deletions later empty it.
+func rebalanceBasements(entries []entry, target int) []*basement {
+	var out []*basement
+	cur := &basement{loaded: true}
+	for _, e := range entries {
+		sz := len(e.key) + e.val.Len() + entryOverhead
+		if cur.bytes+sz > target && len(cur.entries) > 0 {
+			out = append(out, cur)
+			cur = &basement{loaded: true}
+		}
+		if len(cur.entries) == 0 {
+			cur.firstKey = append([]byte{}, e.key...)
+		}
+		cur.entries = append(cur.entries, e)
+		cur.bytes += sz
+	}
+	out = append(out, cur)
+	return out
+}
+
+// --- queries ----------------------------------------------------------------
+
+// pathEl is one step of a root-to-leaf descent: node, chosen child, and
+// the key bounds that child covers.
+type pathEl struct {
+	n  *node
+	ci int
+}
+
+// Get returns the newest value for key, or ok=false. The query walks one
+// root-to-leaf path, gathering pending messages and applying them to the
+// leaf entry in MSN order (§2.1), and then runs the configured
+// apply-on-query policy (§4).
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	t.stats.Gets++
+	s := t.store
+	s.env.Charge(s.env.Costs.MessageOverhead)
+
+	var path []pathEl
+	var lo, hi []byte
+	n := t.fetch(t.rootID, nil)
+	defer func() {
+		for _, pe := range path {
+			t.unpin(pe.n)
+		}
+		t.unpin(n)
+	}()
+	for !n.isLeaf() {
+		ci := n.childFor(s.env, key)
+		path = append(path, pathEl{n, ci})
+		lo, hi = n.childRange(ci, lo, hi)
+		var pk []byte
+		if n.height == 1 {
+			pk = key // child is a leaf: basement-granular read allowed
+		}
+		n = t.fetch(n.children[ci], pk)
+	}
+	bi := n.basementFor(s.env, key)
+	t.ensureBasement(n, bi)
+	b := n.basements[bi]
+
+	// Gather pending messages for this key from the path.
+	var pend []*Msg
+	for _, pe := range path {
+		pend = pe.n.bufs[pe.ci].collect(s.env, key, b.maxApplied, pend)
+	}
+	sort.SliceStable(pend, func(i, j int) bool { return pend[i].MSN < pend[j].MSN })
+
+	// Compute the query result.
+	val, found := currentValue(s, b, key, pend)
+
+	// Apply-on-query (§4).
+	t.applyOnQuery(path, n, bi, lo, hi, pend)
+
+	// Read-ahead (§3.2): on sequential hints, prefetch upcoming
+	// basements (or the next leaf when at the last basement).
+	if t.seqHint && s.cfg.ReadAhead {
+		t.prefetchAfter(path, n, bi)
+	}
+	return val, found
+}
+
+// currentValue applies pending messages (ascending MSN) to the stored
+// entry without mutating the tree.
+func currentValue(s *Store, b *basement, key []byte, pend []*Msg) ([]byte, bool) {
+	i, found := b.find(s.env, key)
+	var val []byte
+	if found {
+		val = b.entries[i].val.Bytes()
+	}
+	if len(pend) == 0 {
+		if !found {
+			return nil, false
+		}
+		return val, true
+	}
+	exists := found
+	cloned := false
+	for _, m := range pend {
+		s.env.Charge(s.env.Costs.MessageOverhead)
+		switch m.Type {
+		case MsgInsert:
+			val = m.Val.Bytes()
+			cloned = false
+			exists = true
+		case MsgDelete, MsgRangeDelete:
+			val = nil
+			exists = false
+		case MsgUpdate:
+			patch := m.Val.Bytes()
+			need := m.Off + len(patch)
+			if !cloned {
+				nv := make([]byte, len(val))
+				copy(nv, val)
+				val = nv
+				cloned = true
+				s.env.Memcpy(len(val))
+			}
+			if need > len(val) {
+				nv := make([]byte, need)
+				copy(nv, val)
+				val = nv
+			}
+			copy(val[m.Off:], patch)
+			s.env.Memcpy(len(patch))
+			exists = true
+		}
+	}
+	if !exists {
+		return nil, false
+	}
+	return val, true
+}
+
+// applyOnQuery implements both policies from §4.
+//
+// Legacy (v0.4): on every query, if the leaf is clean, search the path for
+// any pending message targeting the queried basement's range and apply
+// them in memory; if the leaf is dirty, flush (remove from ancestors) all
+// messages targeting the whole leaf. This burns CPU proportional to the
+// path's buffered messages on every query.
+//
+// v0.6: act only when pending messages affected this query's outcome, and
+// then only for the queried key's basement.
+func (t *Tree) applyOnQuery(path []pathEl, leaf *node, bi int, leafLo, leafHi []byte, pend []*Msg) {
+	s := t.store
+	legacy := s.cfg.LegacyApplyOnQuery
+	if !legacy && len(pend) == 0 {
+		return
+	}
+	s.stats.ApplyOnQuery++
+	b := leaf.basements[bi]
+	blo, bhi := basementRange(leaf, bi, leafLo, leafHi)
+
+	if leaf.dirty && legacy {
+		// Flush everything targeting the whole leaf out of the path.
+		llo, lhi := boundsOrSentinels(leafLo, leafHi)
+		var moved []*Msg
+		for _, pe := range path {
+			moved = append(moved, pe.n.bufs[pe.ci].removeOverlapping(s.env, llo, lhi)...)
+			t.markDirty(pe.n)
+		}
+		sort.SliceStable(moved, func(i, j int) bool { return moved[i].MSN < moved[j].MSN })
+		for _, m := range moved {
+			t.applyToLeaf(leaf, m)
+		}
+		t.markDirty(leaf)
+		return
+	}
+
+	// Clean-leaf path (both policies): apply the pending messages for the
+	// whole basement range in memory, leaving ancestors untouched. The
+	// policies differ in the *trigger* — legacy acts on every query,
+	// v0.6 only when a pending message affected this query's outcome —
+	// but the action is basement-wide either way, because applying bumps
+	// the basement's maxApplied watermark and every message at or below
+	// it must then be reflected in the basement.
+	var msgs []*Msg
+	for _, pe := range path {
+		msgs = pe.n.bufs[pe.ci].collectRange(s.env, blo, bhi, b.maxApplied, msgs)
+	}
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].MSN < msgs[j].MSN })
+	for _, m := range msgs {
+		if !b.loaded {
+			break
+		}
+		// Messages stay live in ancestor buffers, so apply clones.
+		leaf.applyToBasement(s.env, bi, cloneForSharedApply(s.env, clipToBasement(m, blo, bhi)), false)
+	}
+	s.cache.resize(t, leaf)
+}
+
+// basementRange returns the key range a basement spans within its leaf,
+// clipped to the leaf's own bounds (from the descent pivots).
+func basementRange(leaf *node, bi int, leafLo, leafHi []byte) (lo, hi []byte) {
+	lo, hi = boundsOrSentinels(leafLo, leafHi)
+	if bi > 0 {
+		if k := leaf.basements[bi].lowKey(); k != nil {
+			lo = k
+		}
+	}
+	if bi+1 < len(leaf.basements) {
+		if k := leaf.basements[bi+1].lowKey(); k != nil {
+			hi = k
+		}
+	}
+	return lo, hi
+}
+
+// boundsOrSentinels replaces open bounds with concrete sentinels.
+func boundsOrSentinels(lo, hi []byte) ([]byte, []byte) {
+	if lo == nil {
+		lo = []byte{}
+	}
+	if hi == nil {
+		hi = maxKeySentinel
+	}
+	return lo, hi
+}
+
+// maxKeySentinel is an upper bound beyond any real key (keys are paths, so
+// 0xff-prefixed keys do not occur).
+var maxKeySentinel = []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// prefetchAfter issues read-ahead under a sequential hint (§3.2): the
+// upcoming basements arrive with the whole-leaf read, and the next leaf is
+// prefetched as soon as the scan enters a leaf, so its device read fully
+// overlaps the CPU work of consuming the current one.
+func (t *Tree) prefetchAfter(path []pathEl, leaf *node, bi int) {
+	s := t.store
+	if bi+2 < len(leaf.basements) {
+		for b := bi + 1; b <= bi+2; b++ {
+			if !leaf.basements[b].loaded {
+				t.ensureBasement(leaf, b)
+			}
+		}
+	}
+	// Prefetch the next leaf via the deepest ancestor with a right
+	// sibling pointer (prefetch dedups against cache and pending reads).
+	for i := len(path) - 1; i >= 0; i-- {
+		pe := path[i]
+		if pe.ci+1 < len(pe.n.children) {
+			s.prefetch(t, pe.n.children[pe.ci+1])
+			return
+		}
+	}
+}
+
+func (t *Tree) String() string {
+	return fmt.Sprintf("betree(%s, root=%d)", t.name, t.rootID)
+}
+
+// LogInsertOnly appends an insert record to the redo log without touching
+// the tree, returning the record's LSN. Conditional logging (§3.3) uses it
+// to defer inode creation: the caller pins the log section via
+// Store.Log().Pin(lsn) and performs the real insert on inode write-back.
+func (t *Tree) LogInsertOnly(key, val []byte) uint64 {
+	m := &Msg{Type: MsgInsert, Key: key, Val: InlineValue(val)}
+	return t.store.logOp(t, m, true)
+}

@@ -1,0 +1,577 @@
+// Package betrfs implements the BetrFS "northbound" layer (§2.2): the
+// translation from VFS operations to key-value operations on two Bε-tree
+// indexes keyed by full path — a metadata index (path → stat structure)
+// and a data index (path, block → 4 KiB block).
+//
+// Every optimization the paper contributes is a configuration flag here or
+// in the underlying tree, so the evaluation can apply them cumulatively
+// exactly as Table 3 does:
+//
+//	SFL   — storage backend selection (sfl vs southbound), wired by the caller
+//	RG    — directory-wide range deletes on rmdir, nlink-based empty
+//	        checks, no redundant per-file delete messages (§4)
+//	MLC   — cooperative memory management (kmem allocator mode, §5)
+//	PGSH  — page sharing via insert-by-reference (§6)
+//	DC    — readdir instantiates child inodes in the VFS caches (§4)
+//	CL    — conditional logging of inode creates (§3.3)
+//	QRY   — the revised apply-on-query policy (§4)
+package betrfs
+
+import (
+	"encoding/binary"
+	"time"
+
+	"betrfs/internal/betree"
+	"betrfs/internal/keys"
+	"betrfs/internal/kmem"
+	"betrfs/internal/sim"
+	"betrfs/internal/vfs"
+)
+
+// Config selects the northbound optimizations. Tree-level optimizations
+// live in the embedded betree.Config.
+type Config struct {
+	Tree betree.Config
+	// DirRangeDelete issues a directory-wide range delete on rmdir so
+	// PacMan can coalesce the per-file deletes beneath it (RG, §4).
+	DirRangeDelete bool
+	// NlinkChecks maintains in-memory child counts so rmdir's emptiness
+	// check avoids a Bε-tree query (RG, §4).
+	NlinkChecks bool
+	// RedundantDeletes reproduces the v0.4 bug of sending the file
+	// delete message from both the unlink and evict_inode hooks (§4).
+	RedundantDeletes bool
+	// ReaddirInstantiates returns child handles and attributes from
+	// readdir so the VFS can populate its caches (DC, §4).
+	ReaddirInstantiates bool
+	// ConditionalLogging defers inode-create inserts: the create is
+	// logged, the log section pinned, and the insert happens at inode
+	// write-back (CL, §3.3).
+	ConditionalLogging bool
+	// CooperativeMem selects the v0.6 allocator interfaces (MLC, §5);
+	// consumed by the caller when constructing the kmem allocator.
+	CooperativeMem bool
+}
+
+// V04Config is BetrFS v0.4: stacked southbound (caller's choice), legacy
+// tree heuristics, none of the paper's optimizations.
+func V04Config() Config {
+	return Config{
+		Tree:             betree.V04Config(),
+		RedundantDeletes: true,
+	}
+}
+
+// V06Config is BetrFS v0.6: everything on.
+func V06Config() Config {
+	return Config{
+		Tree:                betree.DefaultConfig(),
+		DirRangeDelete:      true,
+		NlinkChecks:         true,
+		ReaddirInstantiates: true,
+		ConditionalLogging:  true,
+		CooperativeMem:      true,
+	}
+}
+
+// FS is the BetrFS northbound; vfs.Handle values are cleaned full paths.
+type FS struct {
+	env   *sim.Env
+	cfg   Config
+	store *betree.Store
+
+	// pending tracks conditionally-logged creates not yet inserted.
+	pending map[string]*deferredCreate
+	// nlink tracks per-directory child counts (RG); a directory's count
+	// is only authoritative once initialized (at its creation or by a
+	// full readdir), mirroring the paper's note that the cached values
+	// must be kept coherent with the on-disk link counts.
+	nlink      map[string]int
+	nlinkKnown map[string]bool
+	// unloggedData marks files whose page writes bypassed payload
+	// logging since the last checkpoint; their fsync must checkpoint.
+	unloggedData map[string]bool
+
+	stats Stats
+}
+
+type deferredCreate struct {
+	attr  vfs.Attr
+	unpin func()
+}
+
+// Stats counts northbound activity.
+type Stats struct {
+	MetaQueries           int64
+	DeferredCreates       int64
+	EmptyDirChecksByQuery int64
+	EmptyDirChecksByNlink int64
+	DirRangeDeletes       int64
+	RenamedKeys           int64
+}
+
+// New opens a BetrFS instance over the given backend.
+func New(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend betree.Backend) (*FS, error) {
+	store, err := betree.Open(env, alloc, cfg.Tree, backend)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		env:          env,
+		cfg:          cfg,
+		store:        store,
+		pending:      make(map[string]*deferredCreate),
+		nlink:        make(map[string]int),
+		nlinkKnown:   map[string]bool{"": true},
+		unloggedData: make(map[string]bool),
+	}
+	// Under log-space pressure, deferred creates must reach the tree so
+	// their pins stop blocking reclamation (§3.3 notes this cannot occur
+	// in practice on the real log sizes; scaled simulations can hit it).
+	store.OnLogPressure = func() {
+		for path := range fs.pending {
+			fs.flushPending(path)
+		}
+	}
+	return fs, nil
+}
+
+// Store exposes the underlying key-value store (tools, tests).
+func (fs *FS) Store() *betree.Store { return fs.store }
+
+// Stats returns counters.
+func (fs *FS) Stats() *Stats { return &fs.stats }
+
+// --- attribute encoding ------------------------------------------------------
+
+func encodeAttr(a vfs.Attr) []byte {
+	b := make([]byte, 21)
+	if a.Dir {
+		b[0] = 1
+	}
+	binary.BigEndian.PutUint64(b[1:], uint64(a.Size))
+	binary.BigEndian.PutUint32(b[9:], uint32(a.Nlink))
+	binary.BigEndian.PutUint64(b[13:], uint64(a.Mtime))
+	return b
+}
+
+func decodeAttr(b []byte) vfs.Attr {
+	return vfs.Attr{
+		Dir:   b[0] == 1,
+		Size:  int64(binary.BigEndian.Uint64(b[1:])),
+		Nlink: int(binary.BigEndian.Uint32(b[9:])),
+		Mtime: time.Duration(binary.BigEndian.Uint64(b[13:])),
+	}
+}
+
+// --- vfs.FS implementation ----------------------------------------------------
+
+// Root returns the root handle ("").
+func (fs *FS) Root() vfs.Handle { return "" }
+
+// Lookup resolves name within parent by querying the metadata index (or
+// the deferred-create table).
+func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, error) {
+	path := keys.Join(parent.(string), name)
+	if dc, ok := fs.pending[path]; ok {
+		return path, dc.attr, nil
+	}
+	fs.stats.MetaQueries++
+	v, ok := fs.store.Meta().Get(keys.MetaKey(path))
+	if !ok {
+		return nil, vfs.Attr{}, vfs.ErrNotExist
+	}
+	return path, decodeAttr(v), nil
+}
+
+// Create makes a file or directory. With conditional logging the insert is
+// deferred: the creation is logged, the log section pinned, and the tree
+// insert happens when the VFS writes the inode back (§3.3).
+func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.Attr, error) {
+	path := keys.Join(parent.(string), name)
+	attr := vfs.Attr{Dir: dir, Nlink: 1, Mtime: fs.env.Now()}
+	if dir {
+		attr.Nlink = 2
+	}
+	if fs.cfg.ConditionalLogging {
+		lsn := fs.store.Meta().LogInsertOnly(keys.MetaKey(path), encodeAttr(attr))
+		fs.pending[path] = &deferredCreate{attr: attr, unpin: fs.store.Log().Pin(lsn)}
+		fs.stats.DeferredCreates++
+	} else {
+		fs.store.Meta().Put(keys.MetaKey(path), encodeAttr(attr), betree.LogAuto)
+	}
+	if fs.cfg.NlinkChecks {
+		if fs.nlinkKnown[parent.(string)] {
+			fs.nlink[parent.(string)]++
+		}
+		if dir {
+			fs.nlink[path] = 0
+			fs.nlinkKnown[path] = true
+		}
+	}
+	fs.maybeCheckpoint()
+	return path, attr, nil
+}
+
+// Remove unlinks a file (single range delete over its blocks plus a point
+// delete of its metadata) or removes an empty directory.
+func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) error {
+	path := h.(string)
+	if dir {
+		if err := fs.checkEmpty(path); err != nil {
+			return err
+		}
+	}
+	// Deferred create that never reached the tree: cancel it.
+	if dc, ok := fs.pending[path]; ok {
+		dc.unpin()
+		delete(fs.pending, path)
+	}
+	fs.store.Meta().Delete(keys.MetaKey(path), betree.LogAuto)
+	if fs.cfg.RedundantDeletes {
+		// v0.4: a second delete message from the evict_inode hook.
+		fs.store.Meta().Delete(keys.MetaKey(path), betree.LogAuto)
+	}
+	if dir {
+		if fs.cfg.DirRangeDelete {
+			// RG (§4): a directory-wide range delete whose purpose is
+			// to let PacMan gobble the stale per-file messages below.
+			lo, hi := keys.SubtreeRange(path)
+			fs.store.Meta().DeleteRange(lo, hi, betree.LogAuto)
+			fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
+			fs.stats.DirRangeDeletes++
+		}
+		delete(fs.nlink, path)
+		delete(fs.nlinkKnown, path)
+	} else {
+		lo, hi := keys.FileDataRange(path)
+		fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
+		if fs.cfg.RedundantDeletes {
+			fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
+		}
+	}
+	if fs.cfg.NlinkChecks && fs.nlinkKnown[parent.(string)] {
+		fs.nlink[parent.(string)]--
+	}
+	delete(fs.unloggedData, path)
+	fs.maybeCheckpoint()
+	return nil
+}
+
+// checkEmpty verifies a directory has no children, via the coherent nlink
+// counter (RG) or a Bε-tree range query (baseline).
+func (fs *FS) checkEmpty(path string) error {
+	if fs.cfg.NlinkChecks && fs.nlinkKnown[path] {
+		fs.stats.EmptyDirChecksByNlink++
+		if fs.nlink[path] > 0 {
+			return vfs.ErrNotEmpty
+		}
+		// Deferred creates under the path also count.
+		for p := range fs.pending {
+			if keys.Clean(p) != path && isUnder(p, path) {
+				return vfs.ErrNotEmpty
+			}
+		}
+		return nil
+	}
+	fs.stats.EmptyDirChecksByQuery++
+	lo, hi := keys.SubtreeRange(path)
+	empty := true
+	fs.store.Meta().Scan(lo, hi, func(_, _ []byte) bool {
+		empty = false
+		return false
+	})
+	if !empty {
+		return vfs.ErrNotEmpty
+	}
+	for p := range fs.pending {
+		if isUnder(p, path) {
+			return vfs.ErrNotEmpty
+		}
+	}
+	return nil
+}
+
+func isUnder(p, dir string) bool {
+	return len(p) > len(dir)+1 && p[:len(dir)] == dir && p[len(dir)] == '/'
+}
+
+// Rename moves a file or directory. Range rename is implemented as a
+// batched key-range transform — scan, reinsert under the new prefix, range
+// delete the old — rather than v0.4's lifted tree surgery; see DESIGN.md
+// for the substitution note.
+func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (vfs.Handle, error) {
+	oldPath := h.(string)
+	newPath := keys.Join(newParent.(string), newName)
+	// Flush any deferred create so the rename sees tree state.
+	fs.flushPending(oldPath)
+
+	v, ok := fs.store.Meta().Get(keys.MetaKey(oldPath))
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	attr := decodeAttr(v)
+	fs.store.Meta().Put(keys.MetaKey(newPath), v, betree.LogAuto)
+	fs.store.Meta().Delete(keys.MetaKey(oldPath), betree.LogAuto)
+	oldEnc := keys.Encode(oldPath)
+	newEnc := keys.Encode(newPath)
+	if attr.Dir {
+		// Move every descendant key in both indexes.
+		for _, t := range []*betree.Tree{fs.store.Meta(), fs.store.Data()} {
+			lo, hi := keys.SubtreeRange(oldPath)
+			type kv struct{ k, v []byte }
+			var moved []kv
+			t.Scan(lo, hi, func(k, val []byte) bool {
+				moved = append(moved, kv{append([]byte{}, k...), append([]byte{}, val...)})
+				return true
+			})
+			for _, e := range moved {
+				t.Put(keys.RewritePrefix(e.k, oldEnc, newEnc), e.v, betree.LogAuto)
+				fs.stats.RenamedKeys++
+			}
+			t.DeleteRange(lo, hi, betree.LogAuto)
+		}
+		// Re-key in-memory child counts.
+		for d, n := range fs.nlink {
+			if isUnder(d, oldPath) {
+				delete(fs.nlink, d)
+				fs.nlink[newPath+d[len(oldPath):]] = n
+			}
+		}
+		for d := range fs.nlinkKnown {
+			if isUnder(d, oldPath) {
+				delete(fs.nlinkKnown, d)
+				fs.nlinkKnown[newPath+d[len(oldPath):]] = true
+			}
+		}
+		if n, ok := fs.nlink[oldPath]; ok {
+			delete(fs.nlink, oldPath)
+			fs.nlink[newPath] = n
+		}
+		if fs.nlinkKnown[oldPath] {
+			delete(fs.nlinkKnown, oldPath)
+			fs.nlinkKnown[newPath] = true
+		}
+	} else {
+		lo, hi := keys.FileDataRange(oldPath)
+		type kv struct{ k, v []byte }
+		var moved []kv
+		fs.store.Data().Scan(lo, hi, func(k, val []byte) bool {
+			moved = append(moved, kv{append([]byte{}, k...), append([]byte{}, val...)})
+			return true
+		})
+		for _, e := range moved {
+			fs.store.Data().Put(keys.RewritePrefix(e.k, oldEnc, newEnc), e.v, betree.LogAuto)
+			fs.stats.RenamedKeys++
+		}
+		fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
+		if fs.unloggedData[oldPath] {
+			delete(fs.unloggedData, oldPath)
+			fs.unloggedData[newPath] = true
+		}
+	}
+	if fs.cfg.NlinkChecks {
+		if fs.nlinkKnown[oldParent.(string)] {
+			fs.nlink[oldParent.(string)]--
+		}
+		if fs.nlinkKnown[newParent.(string)] {
+			fs.nlink[newParent.(string)]++
+		}
+	}
+	fs.maybeCheckpoint()
+	return newPath, nil
+}
+
+// ReadDir scans the metadata index once; the same range query that yields
+// the names also carries the children's inodes, so with DC enabled the
+// entries come back Known and the VFS instantiates them (§4).
+func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
+	path := h.(string)
+	dirKey := keys.Encode(path)
+	lo, hi := keys.SubtreeRange(path)
+	var out []vfs.DirEntry
+	fs.store.Meta().Scan(lo, hi, func(k, v []byte) bool {
+		if !keys.IsDirectChild(dirKey, k) {
+			return true
+		}
+		childPath := keys.Decode(k)
+		_, name := keys.ParentAndName(childPath)
+		attr := decodeAttr(v)
+		e := vfs.DirEntry{Name: name, Dir: attr.Dir}
+		if fs.cfg.ReaddirInstantiates {
+			e.Handle = childPath
+			e.Attr = attr
+			e.Known = true
+		}
+		out = append(out, e)
+		return true
+	})
+	// Merge deferred creates that have not reached the tree yet.
+	for p, dc := range fs.pending {
+		parent, name := keys.ParentAndName(p)
+		if parent != path {
+			continue
+		}
+		e := vfs.DirEntry{Name: name, Dir: dc.attr.Dir}
+		if fs.cfg.ReaddirInstantiates {
+			e.Handle = p
+			e.Attr = dc.attr
+			e.Known = true
+		}
+		out = append(out, e)
+	}
+	// A full listing initializes the coherent child count (RG).
+	if fs.cfg.NlinkChecks {
+		fs.nlink[path] = len(out)
+		fs.nlinkKnown[path] = true
+	}
+	return out, nil
+}
+
+// WriteAttr persists inode metadata; for a deferred create this is the
+// moment the insert finally enters the tree and the log pin is released.
+func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) {
+	path := h.(string)
+	fs.store.Meta().Put(keys.MetaKey(path), encodeAttr(a), betree.LogAuto)
+	if dc, ok := fs.pending[path]; ok {
+		dc.unpin()
+		delete(fs.pending, path)
+	}
+	fs.maybeCheckpoint()
+}
+
+// flushPending forces a deferred create into the tree. The insert is not
+// re-logged: the creation record already sits in the redo log (that is
+// what the pin protected), so only the tree needs the message.
+func (fs *FS) flushPending(path string) {
+	if dc, ok := fs.pending[path]; ok {
+		delete(fs.pending, path)
+		fs.store.Meta().Put(keys.MetaKey(path), encodeAttr(dc.attr), betree.LogNone)
+		dc.unpin()
+	}
+}
+
+// ReadBlocks queries the data index per block; sequential runs set the
+// tree's read-ahead hint (§3.2).
+func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
+	path := h.(string)
+	data := fs.store.Data()
+	data.SetSeqHint(seq)
+	for i, pg := range pages {
+		v, ok := data.Get(keys.DataKey(path, uint64(blk+int64(i))))
+		if !ok {
+			for j := range pg.Data {
+				pg.Data[j] = 0
+			}
+			continue
+		}
+		n := copy(pg.Data, v)
+		for j := n; j < len(pg.Data); j++ {
+			pg.Data[j] = 0
+		}
+		fs.env.Memcpy(n)
+	}
+	data.SetSeqHint(false)
+}
+
+// pageRef adapts a VFS page to the tree's insert-by-reference interface.
+type pageRef struct {
+	pg *vfs.Page
+}
+
+func (r pageRef) Data() []byte { return r.pg.Data }
+func (r pageRef) Len() int     { return len(r.pg.Data) }
+func (r pageRef) Release()     { r.pg.Release() }
+
+// WriteBlocks inserts the pages into the data index, one message each —
+// the tree batches them into node-sized I/O. With page sharing each page
+// is pinned and moves through the tree by reference (§6); without it the
+// v0.4 copy-on-ingest applies. Durable (fsync-path) writes are
+// payload-logged; background write-back is logged key-only and relies on
+// checkpoints (DESIGN.md crash-semantics note).
+func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) {
+	path := h.(string)
+	d := betree.LogAuto
+	if durable {
+		d = betree.LogPayload
+	} else {
+		fs.unloggedData[path] = true
+	}
+	for i, pg := range pgs {
+		key := keys.DataKey(path, uint64(blk+int64(i)))
+		if fs.cfg.Tree.PageSharing {
+			pg.Pin()
+			fs.store.Data().PutRef(key, pageRef{pg: pg}, d)
+		} else {
+			data := append([]byte{}, pg.Data...)
+			fs.env.Memcpy(len(data))
+			fs.store.Data().Put(key, data, d)
+		}
+	}
+	fs.maybeCheckpoint()
+}
+
+// WritePartial is a blind sub-block update (§2.1): no read, one message.
+func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) {
+	path := h.(string)
+	d := betree.LogAuto
+	if durable {
+		d = betree.LogPayload
+	}
+	fs.store.Data().Update(keys.DataKey(path, uint64(blk)), off, append([]byte{}, data...), d)
+	fs.maybeCheckpoint()
+}
+
+// SupportsBlindWrites reports true: BetrFS never reads before writing.
+func (fs *FS) SupportsBlindWrites() bool { return true }
+
+// TruncateBlocks removes blocks at or beyond fromBlk with one range
+// delete.
+func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) {
+	path := h.(string)
+	lo := keys.DataKey(path, uint64(fromBlk))
+	_, hi := keys.FileDataRange(path)
+	fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
+}
+
+// Fsync makes the file durable: a log flush normally; a checkpoint when
+// the file has background-written unlogged data.
+func (fs *FS) Fsync(h vfs.Handle) {
+	path := h.(string)
+	fs.flushPending(path)
+	if fs.unloggedData[path] {
+		fs.store.Sync()
+		fs.unloggedData = make(map[string]bool)
+		return
+	}
+	fs.store.SyncLog()
+}
+
+// Sync makes the whole file system durable.
+func (fs *FS) Sync() {
+	for path := range fs.pending {
+		fs.flushPending(path)
+	}
+	fs.store.Sync()
+	fs.unloggedData = make(map[string]bool)
+}
+
+// Maintain runs periodic checkpoints.
+func (fs *FS) Maintain() {
+	fs.maybeCheckpoint()
+}
+
+func (fs *FS) maybeCheckpoint() {
+	fs.store.MaybeCheckpoint()
+}
+
+// DropCaches empties the node cache after a checkpoint.
+func (fs *FS) DropCaches() {
+	for path := range fs.pending {
+		fs.flushPending(path)
+	}
+	fs.store.DropCleanCaches()
+	fs.unloggedData = make(map[string]bool)
+}
+
+var _ vfs.FS = (*FS)(nil)

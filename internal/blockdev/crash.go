@@ -1,0 +1,54 @@
+package blockdev
+
+// Crash injection: when tracking is enabled, the device records the prior
+// contents of every write issued since the last Flush barrier. Crash
+// reverts an arbitrary suffix of those unflushed writes, modeling a power
+// failure with a volatile on-device write cache. File-system recovery code
+// is exercised against the surviving state.
+
+type writeRecord struct {
+	off int64
+	old []byte
+}
+
+// EnableCrashTracking starts recording pre-images of unflushed writes so
+// Crash can revert them. Intended for tests; it has a memory cost
+// proportional to write traffic between flushes.
+func (d *Dev) EnableCrashTracking() {
+	d.trackUnflushed = true
+	d.unflushed = d.unflushed[:0]
+}
+
+func (d *Dev) recordUnflushed(p []byte, off int64) {
+	old := make([]byte, len(p))
+	d.copyOut(old, off)
+	d.unflushed = append(d.unflushed, writeRecord{off: off, old: old})
+}
+
+// UnflushedWrites reports how many writes are revertible right now.
+func (d *Dev) UnflushedWrites() int { return len(d.unflushed) }
+
+// Crash reverts all unflushed writes from index keep onward (so the first
+// keep unflushed writes survive, emulating a partially drained device
+// cache) and clears the tracking state. The device remains usable, as a
+// freshly powered-on disk would be.
+func (d *Dev) Crash(keep int) {
+	if !d.trackUnflushed {
+		panic("blockdev: Crash without EnableCrashTracking")
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > len(d.unflushed) {
+		keep = len(d.unflushed)
+	}
+	// Revert in reverse order so overlapping writes restore correctly.
+	for i := len(d.unflushed) - 1; i >= keep; i-- {
+		r := d.unflushed[i]
+		d.copyIn(r.old, r.off)
+	}
+	d.unflushed = d.unflushed[:0]
+	d.readEnd = 0
+	d.writeEnd = 0
+	d.cacheDirty = 0
+}

@@ -1,0 +1,54 @@
+package blockdev
+
+import (
+	"fmt"
+
+	"betrfs/internal/stor"
+)
+
+// Region exposes a byte range of a device as a stor.File; the journaling
+// and log-structured file systems build their fixed on-disk areas from
+// regions.
+func Region(dev Device, off, length int64) stor.File {
+	if off < 0 || off+length > dev.Size() {
+		panic(fmt.Sprintf("blockdev: region [%d,%d) outside device", off, off+length))
+	}
+	return &region{dev: dev, off: off, len: length}
+}
+
+type region struct {
+	dev Device
+	off int64
+	len int64
+}
+
+func (r *region) check(n int, off int64) {
+	if off < 0 || off+int64(n) > r.len {
+		panic(fmt.Sprintf("blockdev: region I/O out of bounds: off=%d len=%d size=%d", off, n, r.len))
+	}
+}
+
+func (r *region) ReadAt(p []byte, off int64) {
+	r.check(len(p), off)
+	r.dev.ReadAt(p, r.off+off)
+}
+
+func (r *region) WriteAt(p []byte, off int64) {
+	r.check(len(p), off)
+	r.dev.WriteAt(p, r.off+off)
+}
+
+func (r *region) SubmitRead(p []byte, off int64) stor.Wait {
+	r.check(len(p), off)
+	c := r.dev.SubmitRead(p, r.off+off)
+	return func() { r.dev.Wait(c) }
+}
+
+func (r *region) SubmitWrite(p []byte, off int64) stor.Wait {
+	r.check(len(p), off)
+	c := r.dev.SubmitWrite(p, r.off+off)
+	return func() { r.dev.Wait(c) }
+}
+
+func (r *region) Flush()          { r.dev.Flush() }
+func (r *region) Capacity() int64 { return r.len }

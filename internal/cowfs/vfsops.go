@@ -1,0 +1,362 @@
+package cowfs
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"betrfs/internal/vfs"
+)
+
+// vfs.FS implementation. Handles are inode numbers.
+
+// Root returns the root handle.
+func (fs *FS) Root() vfs.Handle { return rootIno }
+
+func (fs *FS) attrOf(n *node) vfs.Attr {
+	return vfs.Attr{Dir: n.dir, Size: n.size, Nlink: n.nlink, Mtime: n.mtime}
+}
+
+// Lookup resolves name in parent.
+func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, error) {
+	p := fs.node(parent.(Ino))
+	fs.env.Compare(len(name))
+	c, ok := p.children[name]
+	if !ok {
+		return nil, vfs.Attr{}, vfs.ErrNotExist
+	}
+	return c.ino, fs.attrOf(fs.node(c.ino)), nil
+}
+
+// Create allocates an inode; its blob reaches disk at the next txg.
+func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.Attr, error) {
+	p := fs.node(parent.(Ino))
+	if _, ok := p.children[name]; ok {
+		return nil, vfs.Attr{}, vfs.ErrExist
+	}
+	ino := fs.nextIno
+	fs.nextIno++
+	n := &node{ino: ino, dir: dir, nlink: 1, mtime: fs.env.Now(), blocks: map[int64]int64{}, dirty: true}
+	if dir {
+		n.nlink = 2
+		n.children = map[string]childRef{}
+	}
+	fs.inodes[ino] = n
+	fs.imap[ino] = blobLoc{first: -1}
+	p.children[name] = childRef{ino: ino, dir: dir}
+	p.mtime = fs.env.Now()
+	p.dirty = true
+	fs.logZil(func(e *zilEnc) { e.op(zilCreate); e.i64(int64(p.ino)); e.str(name); e.i64(int64(ino)); e.bool(dir) })
+	return ino, fs.attrOf(n), nil
+}
+
+// Remove unlinks name; the child's blocks are freed after the next txg.
+func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) error {
+	p := fs.node(parent.(Ino))
+	c, ok := p.children[name]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	n := fs.node(c.ino)
+	if dir && len(n.children) > 0 {
+		return vfs.ErrNotEmpty
+	}
+	for _, b := range n.blocks {
+		fs.deferFree(b)
+	}
+	if loc, ok := fs.imap[c.ino]; ok && loc.first >= 0 {
+		for i := 0; i < loc.count; i++ {
+			fs.deferFree(loc.first + int64(i))
+		}
+	}
+	delete(fs.imap, c.ino)
+	delete(fs.inodes, c.ino)
+	delete(p.children, name)
+	p.mtime = fs.env.Now()
+	p.dirty = true
+	fs.logZil(func(e *zilEnc) { e.op(zilRemove); e.i64(int64(p.ino)); e.str(name); e.i64(int64(c.ino)) })
+	return nil
+}
+
+// Rename moves the entry.
+func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (vfs.Handle, error) {
+	op := fs.node(oldParent.(Ino))
+	np := fs.node(newParent.(Ino))
+	c, ok := op.children[oldName]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	delete(op.children, oldName)
+	np.children[newName] = c
+	op.dirty = true
+	np.dirty = true
+	op.mtime = fs.env.Now()
+	np.mtime = fs.env.Now()
+	fs.logZil(func(e *zilEnc) {
+		e.op(zilRename)
+		e.i64(int64(op.ino))
+		e.str(oldName)
+		e.i64(int64(np.ino))
+		e.str(newName)
+		e.i64(int64(c.ino))
+	})
+	return h, nil
+}
+
+// ReadDir lists children in sorted (tree-key) order.
+func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
+	n := fs.node(h.(Ino))
+	if !n.dir {
+		return nil, vfs.ErrNotDir
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]vfs.DirEntry, 0, len(names))
+	for _, name := range names {
+		c := n.children[name]
+		out = append(out, vfs.DirEntry{Name: name, Dir: c.dir})
+	}
+	return out, nil
+}
+
+// WriteAttr records metadata changes; the intent log carries them so an
+// fsync-then-crash recovers sizes correctly (ZFS logs setattr in the ZIL).
+func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) {
+	n := fs.node(h.(Ino))
+	n.size = a.Size
+	n.mtime = a.Mtime
+	n.dirty = true
+	fs.logZil(func(e *zilEnc) { e.op(zilAttr); e.i64(int64(n.ino)); e.i64(a.Size); e.i64(int64(a.Mtime)) })
+}
+
+// ReadBlocks fills pages, verifying checksums per record.
+func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
+	n := fs.node(h.(Ino))
+	i := 0
+	for i < len(pages) {
+		phys, ok := n.blocks[blk+int64(i)]
+		if !ok {
+			for j := range pages[i].Data {
+				pages[i].Data[j] = 0
+			}
+			i++
+			continue
+		}
+		run := 1
+		for i+run < len(pages) {
+			np, ok := n.blocks[blk+int64(i+run)]
+			if !ok || np != phys+int64(run) {
+				break
+			}
+			run++
+		}
+		buf := make([]byte, run*BlockSize)
+		fs.dev.ReadAt(buf, fs.blockAddr(phys))
+		fs.env.Checksum(len(buf))
+		for j := 0; j < run; j++ {
+			copy(pages[i+j].Data, buf[j*BlockSize:(j+1)*BlockSize])
+		}
+		fs.env.Memcpy(len(buf))
+		fs.stats.DataReads++
+		i += run
+	}
+}
+
+// WriteBlocks writes a run of pages copy-on-write in record-sized units,
+// with the old versions deferred-freed. Records are the unit of
+// allocation and checksumming: a sub-record write to an allocated record
+// must read the record's remaining blocks first and rewrite the whole
+// record — the read-modify-write that makes small random writes so
+// expensive on large-record CoW file systems (ZFS's 128 KiB recordsize).
+func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) {
+	n := fs.node(h.(Ino))
+	rb := int64(fs.prof.RecordBlocks)
+	// Sub-record writes into existing data: expand to record boundaries
+	// by reading the missing blocks (RMW), batched into one read per
+	// side of the written range.
+	if len(pgs) < fs.prof.RecordBlocks {
+		rStart := blk / rb * rb
+		rEnd := rStart + rb
+		fileBlocks := (n.size + BlockSize - 1) / BlockSize
+		if rEnd > fileBlocks {
+			rEnd = fileBlocks
+		}
+		if rEnd > blk+int64(len(pgs)) || rStart < blk {
+			allMapped := true
+			for b := rStart; b < rEnd; b++ {
+				if b >= blk && b < blk+int64(len(pgs)) {
+					continue
+				}
+				if _, ok := n.blocks[b]; !ok {
+					allMapped = false
+					break
+				}
+			}
+			if allMapped && rEnd > rStart {
+				expanded := make([]*vfs.Page, rEnd-rStart)
+				var head, tail []*vfs.Page
+				for b := rStart; b < rEnd; b++ {
+					if b >= blk && b < blk+int64(len(pgs)) {
+						expanded[b-rStart] = pgs[b-blk]
+						continue
+					}
+					pg := &vfs.Page{Data: make([]byte, BlockSize)}
+					expanded[b-rStart] = pg
+					if b < blk {
+						head = append(head, pg)
+					} else {
+						tail = append(tail, pg)
+					}
+				}
+				if len(head) > 0 {
+					fs.ReadBlocks(h, rStart, head, false)
+				}
+				if len(tail) > 0 {
+					fs.ReadBlocks(h, blk+int64(len(pgs)), tail, false)
+				}
+				pgs = expanded
+				blk = rStart
+			}
+		}
+	}
+	i := 0
+	for i < len(pgs) {
+		want := fs.prof.RecordBlocks
+		if rem := len(pgs) - i; want > rem {
+			want = rem
+		}
+		first, run := fs.alloc(int64(want))
+		buf := make([]byte, run*BlockSize)
+		for j := int64(0); j < run; j++ {
+			l := blk + int64(i) + j
+			if old, ok := n.blocks[l]; ok {
+				fs.deferFree(old)
+			}
+			copy(buf[j*BlockSize:], pgs[i+int(j)].Data)
+			n.blocks[l] = first + j
+		}
+		fs.dev.WriteAt(buf, fs.blockAddr(first))
+		fs.env.Checksum(len(buf))
+		fs.stats.DataWrites++
+		if durable {
+			// fsync path: the ZIL logs the write intents with payload.
+			for j := int64(0); j < run; j++ {
+				l := blk + int64(i) + j
+				data := pgs[i+int(j)].Data
+				fs.logZil(func(e *zilEnc) { e.op(zilWrite); e.i64(int64(n.ino)); e.i64(l); e.bytes(data) })
+			}
+		}
+		i += int(run)
+	}
+	n.dirty = true
+}
+
+// WritePartial is unsupported.
+func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) {
+	panic("cowfs: blind writes unsupported")
+}
+
+// SupportsBlindWrites reports false.
+func (fs *FS) SupportsBlindWrites() bool { return false }
+
+// TruncateBlocks defer-frees blocks at or beyond fromBlk.
+func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) {
+	n := fs.node(h.(Ino))
+	for blk, b := range n.blocks {
+		if blk >= fromBlk {
+			fs.deferFree(b)
+			delete(n.blocks, blk)
+		}
+	}
+	n.dirty = true
+}
+
+// Fsync flushes the intent log (ZIL / log tree): much cheaper than a txg.
+func (fs *FS) Fsync(h vfs.Handle) {
+	fs.zil.Flush()
+	fs.dev.Flush()
+	fs.stats.ZilWrites++
+}
+
+// Sync commits a transaction group.
+func (fs *FS) Sync() {
+	fs.txgCommit()
+}
+
+// Maintain commits a txg when the interval has elapsed.
+func (fs *FS) Maintain() {
+	if fs.env.Now()-fs.lastTxg >= fs.prof.TxgInterval {
+		fs.txgCommit()
+	}
+}
+
+// DropCaches commits and evicts the inode cache.
+func (fs *FS) DropCaches() {
+	fs.txgCommit()
+	for ino := range fs.inodes {
+		if ino != rootIno {
+			delete(fs.inodes, ino)
+		}
+	}
+}
+
+// txgCommit writes every dirty blob, the inode map, and the uberblock,
+// then releases deferred frees.
+func (fs *FS) txgCommit() {
+	if fs.inTxg {
+		return
+	}
+	fs.inTxg = true
+	defer func() { fs.inTxg = false }()
+	fs.stats.TxgCommits++
+	inos := make([]Ino, 0)
+	for ino, n := range fs.inodes {
+		if n.dirty {
+			inos = append(inos, ino)
+		}
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
+		fs.writeBlob(fs.inodes[ino])
+	}
+	fs.writeImap()
+	fs.dev.Flush()
+	for _, b := range fs.deferred {
+		fs.bitClear(b)
+	}
+	fs.deferred = fs.deferred[:0]
+	// The committed txg supersedes the intent log.
+	fs.zil.Flush()
+	fs.zil.Reclaim(fs.zil.NextLSN())
+	fs.lastTxg = fs.env.Now()
+}
+
+// writeImap persists the inode map region and the uberblock.
+func (fs *FS) writeImap() {
+	const entrySize = 16
+	per := Ino(BlockSize / entrySize)
+	buf := make([]byte, BlockSize)
+	for first := Ino(0); first < fs.nextIno; first += per {
+		for i := Ino(0); i < per; i++ {
+			off := int64(i) * entrySize
+			loc, ok := fs.imap[first+i]
+			if !ok {
+				binary.BigEndian.PutUint64(buf[off:], ^uint64(0))
+				binary.BigEndian.PutUint64(buf[off+8:], 0)
+				continue
+			}
+			binary.BigEndian.PutUint64(buf[off:], uint64(loc.first))
+			binary.BigEndian.PutUint64(buf[off+8:], uint64(loc.count))
+		}
+		fs.dev.WriteAt(buf, fs.imapOff+int64(first)*entrySize)
+	}
+	sb := make([]byte, BlockSize)
+	binary.BigEndian.PutUint32(sb, 0xc0f5c0f5)
+	binary.BigEndian.PutUint64(sb[4:], uint64(fs.nextIno))
+	binary.BigEndian.PutUint32(sb[12:], fs.zil.Epoch())
+	fs.dev.WriteAt(sb, 0)
+	fs.env.Serialize(int(fs.nextIno) * entrySize)
+	fs.stats.MetaWrites++
+}

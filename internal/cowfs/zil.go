@@ -1,0 +1,218 @@
+package cowfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"betrfs/internal/blockdev"
+	"betrfs/internal/sim"
+	"betrfs/internal/wal"
+)
+
+// The intent log (ZIL in ZFS, the log tree in Btrfs) makes fsync cheap:
+// synchronous operations append small records to a dedicated region, and a
+// crash replays them against the last committed txg.
+
+type zilOp byte
+
+const (
+	zilCreate zilOp = iota + 1
+	zilRemove
+	zilRename
+	zilWrite
+	zilAttr
+)
+
+type zilEnc struct{ b []byte }
+
+func (e *zilEnc) op(o zilOp) { e.b = append(e.b, byte(o)) }
+func (e *zilEnc) i64(v int64) {
+	var t [8]byte
+	binary.BigEndian.PutUint64(t[:], uint64(v))
+	e.b = append(e.b, t[:]...)
+}
+func (e *zilEnc) str(s string) { e.i64(int64(len(s))); e.b = append(e.b, s...) }
+func (e *zilEnc) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *zilEnc) bytes(p []byte) { e.i64(int64(len(p))); e.b = append(e.b, p...) }
+
+func (fs *FS) logZil(enc func(*zilEnc)) {
+	e := &zilEnc{}
+	enc(e)
+	if _, err := fs.zil.Append(wal.RecordType(1), e.b); err == wal.ErrLogFull {
+		fs.txgCommit()
+		if _, err2 := fs.zil.Append(wal.RecordType(1), e.b); err2 != nil {
+			panic("cowfs: intent log full after txg commit")
+		}
+	} else if err != nil {
+		panic(err)
+	}
+}
+
+type zilDec struct{ b []byte }
+
+func (d *zilDec) op() zilOp { o := zilOp(d.b[0]); d.b = d.b[1:]; return o }
+func (d *zilDec) i64() int64 {
+	v := int64(binary.BigEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+func (d *zilDec) str() string {
+	n := d.i64()
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+func (d *zilDec) bool() bool { v := d.b[0] == 1; d.b = d.b[1:]; return v }
+func (d *zilDec) bytes() []byte {
+	n := d.i64()
+	p := append([]byte{}, d.b[:n]...)
+	d.b = d.b[n:]
+	return p
+}
+
+func timeDur(v int64) (d timeDuration) { return timeDuration(v) }
+
+// Recover mounts an existing cowfs from its uberblock, inode map, and
+// intent log.
+func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
+	fs := New(env, dev, prof)
+	sb := make([]byte, BlockSize)
+	dev.ReadAt(sb, 0)
+	if binary.BigEndian.Uint32(sb) != 0xc0f5c0f5 {
+		return nil, fmt.Errorf("cowfs: no uberblock")
+	}
+	fs.nextIno = Ino(binary.BigEndian.Uint64(sb[4:]))
+	zilEpoch := binary.BigEndian.Uint32(sb[12:])
+	if zilEpoch == 0 {
+		zilEpoch = 1
+	}
+	fs.inodes = make(map[Ino]*node)
+	fs.imap = make(map[Ino]blobLoc)
+
+	const entrySize = 16
+	per := Ino(BlockSize / entrySize)
+	buf := make([]byte, BlockSize)
+	for first := Ino(0); first < fs.nextIno; first += per {
+		dev.ReadAt(buf, fs.imapOff+int64(first)*entrySize)
+		for i := Ino(0); i < per && first+i < fs.nextIno; i++ {
+			off := int64(i) * entrySize
+			f := binary.BigEndian.Uint64(buf[off:])
+			if f == ^uint64(0) {
+				continue
+			}
+			fs.imap[first+i] = blobLoc{first: int64(f), count: int(binary.BigEndian.Uint64(buf[off+8:]))}
+		}
+	}
+	// Rebuild the allocation bitmap from reachable blobs and block maps.
+	for ino, loc := range fs.imap {
+		if loc.first < 0 {
+			continue
+		}
+		n := fs.readBlob(ino, loc)
+		fs.inodes[ino] = n
+		for i := 0; i < loc.count; i++ {
+			fs.bitSet(loc.first + int64(i))
+		}
+		for _, b := range n.blocks {
+			fs.bitSet(b)
+		}
+	}
+	if _, ok := fs.inodes[rootIno]; !ok {
+		root := &node{ino: rootIno, dir: true, nlink: 2, blocks: map[int64]int64{}, children: map[string]childRef{}, dirty: true}
+		fs.inodes[rootIno] = root
+		fs.imap[rootIno] = blobLoc{first: -1}
+	}
+	// Replay the intent log against the committed state, scanning from
+	// the region start in the epoch the uberblock recorded.
+	for _, rec := range wal.Recover(env, blockdev.Region(dev, fs.zilOff, fs.zilLen), wal.Hint{Offset: 0, LSN: 1, Epoch: zilEpoch}) {
+		fs.replayZil(rec.Payload)
+	}
+	fs.zil = wal.New(env, blockdev.Region(dev, fs.zilOff, fs.zilLen), zilEpoch+1)
+	fs.txgCommit()
+	return fs, nil
+}
+
+func (fs *FS) replayZil(payload []byte) {
+	d := &zilDec{b: payload}
+	switch d.op() {
+	case zilCreate:
+		pino := Ino(d.i64())
+		name := d.str()
+		ino := Ino(d.i64())
+		dir := d.bool()
+		p := fs.node(pino)
+		if _, ok := p.children[name]; ok {
+			return
+		}
+		n := &node{ino: ino, dir: dir, nlink: 1, blocks: map[int64]int64{}, dirty: true}
+		if dir {
+			n.nlink = 2
+			n.children = map[string]childRef{}
+		}
+		fs.inodes[ino] = n
+		fs.imap[ino] = blobLoc{first: -1}
+		p.children[name] = childRef{ino: ino, dir: dir}
+		p.dirty = true
+		if ino >= fs.nextIno {
+			fs.nextIno = ino + 1
+		}
+	case zilRemove:
+		pino := Ino(d.i64())
+		name := d.str()
+		p := fs.node(pino)
+		delete(p.children, name)
+		p.dirty = true
+	case zilRename:
+		opino := Ino(d.i64())
+		oldName := d.str()
+		npino := Ino(d.i64())
+		newName := d.str()
+		op := fs.node(opino)
+		np := fs.node(npino)
+		if c, ok := op.children[oldName]; ok {
+			delete(op.children, oldName)
+			np.children[newName] = c
+			op.dirty = true
+			np.dirty = true
+		}
+	case zilAttr:
+		ino := Ino(d.i64())
+		size := d.i64()
+		mtime := d.i64()
+		if _, ok := fs.imap[ino]; !ok {
+			return
+		}
+		n := fs.node(ino)
+		n.size = size
+		n.mtime = timeDur(mtime)
+		n.dirty = true
+	case zilWrite:
+		ino := Ino(d.i64())
+		blk := d.i64()
+		data := d.bytes()
+		if _, ok := fs.imap[ino]; !ok {
+			return
+		}
+		n := fs.node(ino)
+		if old, ok := n.blocks[blk]; ok {
+			fs.deferFree(old)
+		}
+		b, _ := fs.alloc(1)
+		padded := make([]byte, BlockSize)
+		copy(padded, data)
+		fs.dev.WriteAt(padded, fs.blockAddr(b))
+		n.blocks[blk] = b
+		if int64(len(data)) > n.size-blk*BlockSize {
+			if sz := blk*BlockSize + int64(len(data)); sz > n.size {
+				n.size = sz
+			}
+		}
+		n.dirty = true
+	}
+}

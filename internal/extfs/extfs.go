@@ -1,0 +1,223 @@
+// Package extfs implements a simplified update-in-place journaling file
+// system in the mold of ext4 and XFS. It is used two ways in this
+// reproduction:
+//
+//   - as the baseline "ext4" and "xfs" file systems in the evaluation, and
+//   - as the southbound substrate BetrFS v0.4 stacks on (§2.2, Figure 1),
+//     via the low-level file API in lowlevel.go.
+//
+// The design is deliberately conventional: a static layout (superblock,
+// journal, inode table, block bitmap, data blocks), goal-directed
+// first-fit extent allocation within allocation groups, a JBD-style
+// metadata journal in ordered mode (data reaches its in-place location
+// before the transaction that references it commits), and periodic
+// write-back of dirty metadata blocks. Everything is device-backed:
+// dropping caches forces real reads of inode-table and directory blocks,
+// which is what gives traversal workloads their cold-cache cost.
+package extfs
+
+import (
+	"fmt"
+	"time"
+
+	"betrfs/internal/blockdev"
+	"betrfs/internal/sim"
+	"betrfs/internal/vfs"
+)
+
+// BlockSize is the file-system block size.
+const BlockSize = 4096
+
+// Ino is an inode number.
+type Ino int64
+
+const rootIno Ino = 1
+
+// Profile selects behavioural differences between the ext4-like and
+// XFS-like flavors.
+type Profile struct {
+	Name string
+	// HashedReaddir makes ReadDir return entries in name-hash order
+	// (ext4 htree directories), decorrelating traversal order from
+	// allocation order.
+	HashedReaddir bool
+	// CommitInterval is the journal commit period (ext4: 5 s).
+	CommitInterval time.Duration
+	// AllocGroups spreads top-level directories across allocation
+	// groups (the Orlov/XFS-AG policy).
+	AllocGroups int
+	// DataJournal additionally journals file data (data=journal mode).
+	DataJournal bool
+}
+
+// Ext4Profile mimics ext4 in its default data=ordered configuration.
+func Ext4Profile() Profile {
+	return Profile{Name: "ext4", HashedReaddir: true, CommitInterval: 5 * time.Second, AllocGroups: 16}
+}
+
+// XFSProfile mimics XFS: sorted directories, more allocation groups.
+func XFSProfile() Profile {
+	return Profile{Name: "xfs", HashedReaddir: false, CommitInterval: 30 * time.Second, AllocGroups: 32}
+}
+
+// layout is the static disk layout.
+type layout struct {
+	journalOff, journalLen int64
+	itableOff, itableLen   int64
+	dataOff, dataBlocks    int64
+}
+
+// FS is the extfs instance.
+type FS struct {
+	env  *sim.Env
+	dev  blockdev.Device
+	prof Profile
+	lay  layout
+
+	jnl *journal
+
+	// Caches over device-backed state.
+	inodes map[Ino]*xinode
+	// itableDirty tracks inode-table blocks needing in-place write-back.
+	itableDirty map[int64]bool
+
+	bitmap   []uint64
+	groupPtr []int64 // per-group next-allocation hints
+	nextIno  Ino
+	// erased inodes pending tombstone write-back.
+	erased []Ino
+
+	lastCommit time.Duration
+
+	stats Stats
+}
+
+// Stats counts extfs activity.
+type Stats struct {
+	InodeReads     int64
+	InodeWrites    int64
+	DirReads       int64
+	JournalCommits int64
+	DataReads      int64
+	DataWrites     int64
+	AllocExtents   int64
+}
+
+// xinode is the in-memory inode cache entry.
+type xinode struct {
+	ino   Ino
+	dir   bool
+	size  int64
+	nlink int
+	mtime time.Duration
+	// extents maps the file's logical blocks to physical block runs.
+	extents []extent
+	// children is the decoded directory content (dir inodes only).
+	children       map[string]dirent
+	childrenLoaded bool
+	// overflow lists extent-overflow chain blocks owned by this inode.
+	overflow  []int64
+	dirty     bool
+	group     int
+	lastAlloc int64
+}
+
+type dirent struct {
+	ino Ino
+	dir bool
+}
+
+type extent struct {
+	logical int64 // first logical block
+	phys    int64 // first physical block (data-area relative)
+	count   int64
+}
+
+// New formats a fresh extfs over dev.
+func New(env *sim.Env, dev blockdev.Device, prof Profile) *FS {
+	cap := dev.Size()
+	lay := layout{}
+	lay.journalOff = BlockSize
+	lay.journalLen = cap / 64
+	if lay.journalLen < 4<<20 {
+		lay.journalLen = 4 << 20
+	}
+	if lay.journalLen > 1<<30 {
+		lay.journalLen = 1 << 30
+	}
+	lay.itableOff = lay.journalOff + lay.journalLen
+	lay.itableLen = cap / 64
+	lay.dataOff = lay.itableOff + lay.itableLen
+	lay.dataBlocks = (cap - lay.dataOff) / BlockSize
+
+	fs := &FS{
+		env:         env,
+		dev:         dev,
+		prof:        prof,
+		lay:         lay,
+		inodes:      make(map[Ino]*xinode),
+		itableDirty: make(map[int64]bool),
+		bitmap:      make([]uint64, (lay.dataBlocks+63)/64),
+		groupPtr:    make([]int64, prof.AllocGroups),
+		nextIno:     rootIno + 1,
+	}
+	for g := range fs.groupPtr {
+		fs.groupPtr[g] = int64(g) * lay.dataBlocks / int64(prof.AllocGroups)
+	}
+	fs.jnl = newJournal(env, dev, lay.journalOff, lay.journalLen)
+	root := &xinode{ino: rootIno, dir: true, nlink: 2, children: map[string]dirent{}, childrenLoaded: true}
+	fs.inodes[rootIno] = root
+	fs.markInodeDirty(root)
+	fs.writeSuper()
+	return fs
+}
+
+// Profile returns the flavor.
+func (fs *FS) Profile() Profile { return fs.prof }
+
+// Stats returns counters.
+func (fs *FS) Stats() *Stats { return &fs.stats }
+
+func (fs *FS) markInodeDirty(x *xinode) {
+	x.dirty = true
+	fs.itableDirty[int64(x.ino)/inodesPerBlock] = true
+}
+
+// inode returns the cached inode, reading its inode-table block on a
+// miss.
+func (fs *FS) inode(ino Ino) *xinode {
+	if x, ok := fs.inodes[ino]; ok {
+		return x
+	}
+	x := fs.readInode(ino)
+	fs.inodes[ino] = x
+	return x
+}
+
+// DropCaches evicts clean cached metadata, forcing subsequent operations
+// back to the device (used by cold-cache benchmarks).
+func (fs *FS) DropCaches() {
+	fs.commit()
+	fs.writebackMeta()
+	for ino, x := range fs.inodes {
+		if ino == rootIno {
+			x.childrenLoaded = false
+			x.children = nil
+			continue
+		}
+		if !x.dirty {
+			delete(fs.inodes, ino)
+		}
+	}
+}
+
+// blockAddr converts a data-area block number to a device byte offset.
+func (fs *FS) blockAddr(b int64) int64 { return fs.lay.dataOff + b*BlockSize }
+
+// errNoSpace is returned (as a panic, since callers cannot recover in the
+// simulation) when the data area is exhausted.
+func (fs *FS) noSpace() {
+	panic(fmt.Sprintf("extfs(%s): out of space", fs.prof.Name))
+}
+
+var _ vfs.FS = (*FS)(nil)

@@ -1,0 +1,227 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Inode table: fixed 512-byte on-disk inodes, eight per block. Up to 24
+// extents are stored inline; larger files chain overflow blocks from the
+// data area (a flattened extent tree).
+
+const (
+	inodeSize      = 512
+	inodesPerBlock = BlockSize / inodeSize
+	inlineExtents  = 24
+	// overflow block: next pointer (8) + count (4) + extents (24 B each)
+	overflowExtents = (BlockSize - 12) / 24
+)
+
+// itableBlockAddr returns the device offset of the inode-table block
+// containing ino.
+func (fs *FS) itableBlockAddr(ino Ino) int64 {
+	blk := int64(ino) / inodesPerBlock
+	addr := fs.lay.itableOff + blk*BlockSize
+	if addr+BlockSize > fs.lay.itableOff+fs.lay.itableLen {
+		panic(fmt.Sprintf("extfs: inode %d beyond inode table", ino))
+	}
+	return addr
+}
+
+// encodeInode serializes x into a 512-byte blob (plus overflow blocks for
+// long extent lists, which are written separately).
+func (fs *FS) encodeInode(x *xinode) []byte {
+	b := make([]byte, inodeSize)
+	b[0] = 1 // used
+	if x.dir {
+		b[1] = 1
+	}
+	binary.BigEndian.PutUint64(b[2:], uint64(x.size))
+	binary.BigEndian.PutUint32(b[10:], uint32(x.nlink))
+	binary.BigEndian.PutUint64(b[14:], uint64(x.mtime))
+	binary.BigEndian.PutUint32(b[22:], uint32(x.group))
+	n := len(x.extents)
+	binary.BigEndian.PutUint32(b[26:], uint32(n))
+	inline := n
+	if inline > inlineExtents {
+		inline = inlineExtents
+	}
+	off := 38
+	for i := 0; i < inline; i++ {
+		e := x.extents[i]
+		binary.BigEndian.PutUint64(b[off:], uint64(e.logical))
+		binary.BigEndian.PutUint64(b[off+8:], uint64(e.phys))
+		binary.BigEndian.PutUint64(b[off+16:], uint64(e.count))
+		off += 24
+	}
+	if n > inlineExtents {
+		// Overflow chain pointer written at [30:38] by writeOverflow.
+		ovb := fs.writeOverflow(x, x.extents[inlineExtents:])
+		binary.BigEndian.PutUint64(b[30:], uint64(ovb))
+	}
+	return b
+}
+
+// writeOverflow persists an extent-overflow chain and returns the first
+// block number. Any previous chain blocks are recycled first.
+func (fs *FS) writeOverflow(x *xinode, exts []extent) int64 {
+	for _, b := range x.overflow {
+		fs.bitClear(b)
+	}
+	x.overflow = x.overflow[:0]
+	first := int64(-1)
+	var prevBuf []byte
+	var prevAddr int64
+	for len(exts) > 0 {
+		n := len(exts)
+		if n > overflowExtents {
+			n = overflowExtents
+		}
+		blk, _ := fs.allocRun(fs.groupGoal(x), 1)
+		buf := make([]byte, BlockSize)
+		binary.BigEndian.PutUint64(buf[0:], ^uint64(0)) // next: none yet
+		binary.BigEndian.PutUint32(buf[8:], uint32(n))
+		off := 12
+		for i := 0; i < n; i++ {
+			binary.BigEndian.PutUint64(buf[off:], uint64(exts[i].logical))
+			binary.BigEndian.PutUint64(buf[off+8:], uint64(exts[i].phys))
+			binary.BigEndian.PutUint64(buf[off+16:], uint64(exts[i].count))
+			off += 24
+		}
+		if first < 0 {
+			first = blk
+		}
+		x.overflow = append(x.overflow, blk)
+		if prevBuf != nil {
+			binary.BigEndian.PutUint64(prevBuf[0:], uint64(blk))
+			fs.dev.WriteAt(prevBuf, prevAddr)
+		}
+		prevBuf = buf
+		prevAddr = fs.blockAddr(blk)
+		exts = exts[n:]
+	}
+	if prevBuf != nil {
+		fs.dev.WriteAt(prevBuf, prevAddr)
+	}
+	fs.env.Serialize(BlockSize)
+	return first
+}
+
+// readInode loads ino from the inode table (cold-cache path).
+func (fs *FS) readInode(ino Ino) *xinode {
+	buf := make([]byte, BlockSize)
+	fs.dev.ReadAt(buf, fs.itableBlockAddr(ino))
+	fs.stats.InodeReads++
+	off := (int64(ino) % inodesPerBlock) * inodeSize
+	b := buf[off : off+inodeSize]
+	fs.env.Serialize(inodeSize)
+	if b[0] != 1 {
+		panic(fmt.Sprintf("extfs: reading unused inode %d", ino))
+	}
+	x := &xinode{ino: ino}
+	x.dir = b[1] == 1
+	x.size = int64(binary.BigEndian.Uint64(b[2:]))
+	x.nlink = int(binary.BigEndian.Uint32(b[10:]))
+	x.mtime = time.Duration(binary.BigEndian.Uint64(b[14:]))
+	x.group = int(binary.BigEndian.Uint32(b[22:]))
+	n := int(binary.BigEndian.Uint32(b[26:]))
+	inline := n
+	if inline > inlineExtents {
+		inline = inlineExtents
+	}
+	eoff := 38
+	for i := 0; i < inline; i++ {
+		x.extents = append(x.extents, extent{
+			logical: int64(binary.BigEndian.Uint64(b[eoff:])),
+			phys:    int64(binary.BigEndian.Uint64(b[eoff+8:])),
+			count:   int64(binary.BigEndian.Uint64(b[eoff+16:])),
+		})
+		eoff += 24
+	}
+	if n > inlineExtents {
+		next := int64(binary.BigEndian.Uint64(b[30:]))
+		remaining := n - inlineExtents
+		for next >= 0 && uint64(next) != ^uint64(0) && remaining > 0 {
+			x.overflow = append(x.overflow, next)
+			ob := make([]byte, BlockSize)
+			fs.dev.ReadAt(ob, fs.blockAddr(next))
+			fs.env.Serialize(BlockSize)
+			cnt := int(binary.BigEndian.Uint32(ob[8:]))
+			ooff := 12
+			for i := 0; i < cnt; i++ {
+				x.extents = append(x.extents, extent{
+					logical: int64(binary.BigEndian.Uint64(ob[ooff:])),
+					phys:    int64(binary.BigEndian.Uint64(ob[ooff+8:])),
+					count:   int64(binary.BigEndian.Uint64(ob[ooff+16:])),
+				})
+				ooff += 24
+			}
+			remaining -= cnt
+			nv := binary.BigEndian.Uint64(ob[0:])
+			if nv == ^uint64(0) {
+				break
+			}
+			next = int64(nv)
+		}
+	}
+	return x
+}
+
+// writebackMeta writes all dirty inode-table blocks (and dirty directory
+// content) in place, then the journal can be reclaimed.
+func (fs *FS) writebackMeta() {
+	// Flush dirty directory content first: it allocates blocks and can
+	// dirty more inodes.
+	for _, x := range fs.inodes {
+		if x.dirty && x.dir && x.childrenLoaded {
+			fs.writeDir(x)
+		}
+	}
+	blocks := make(map[int64][]Ino)
+	for ino, x := range fs.inodes {
+		if x.dirty {
+			blk := int64(ino) / inodesPerBlock
+			blocks[blk] = append(blocks[blk], ino)
+		}
+	}
+	tombstones := make(map[int64][]Ino)
+	for _, ino := range fs.erased {
+		blk := int64(ino) / inodesPerBlock
+		tombstones[blk] = append(tombstones[blk], ino)
+		if _, ok := blocks[blk]; !ok {
+			blocks[blk] = nil
+		}
+	}
+	fs.erased = fs.erased[:0]
+	for blk, inos := range blocks {
+		// Read-modify-write the table block with all its dirty inodes.
+		addr := fs.lay.itableOff + blk*BlockSize
+		buf := make([]byte, BlockSize)
+		fs.dev.ReadAt(buf, addr)
+		for _, ino := range inos {
+			x := fs.inodes[ino]
+			blob := fs.encodeInode(x)
+			copy(buf[(int64(ino)%inodesPerBlock)*inodeSize:], blob)
+			x.dirty = false
+			fs.env.Serialize(inodeSize)
+		}
+		for _, ino := range tombstones[blk] {
+			zero := make([]byte, inodeSize)
+			copy(buf[(int64(ino)%inodesPerBlock)*inodeSize:], zero)
+		}
+		fs.dev.WriteAt(buf, addr)
+		fs.stats.InodeWrites++
+		delete(fs.itableDirty, blk)
+	}
+}
+
+// eraseInode marks ino unused on disk (lazy: zero the used flag at next
+// table write-back by writing an empty blob now in memory).
+func (fs *FS) eraseInode(ino Ino) {
+	blk := int64(ino) / inodesPerBlock
+	fs.itableDirty[blk] = true
+	// Write the tombstone directly: read-modify-write of the block is
+	// deferred to writebackMeta via the erased set.
+	fs.erased = append(fs.erased, ino)
+}

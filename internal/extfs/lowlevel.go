@@ -1,0 +1,105 @@
+package extfs
+
+import (
+	"betrfs/internal/blockdev"
+	"betrfs/internal/vfs"
+)
+
+// Low-level file API for the stacked BetrFS v0.4 southbound (§2.2): the
+// Bε-tree's 11 files live as regular extfs files, fallocate()-ed up front.
+// I/O here is direct to the file's extents; the southbound package layers
+// the klibc page-cache copies and write-back stalls on top.
+
+// ExtFile is an open low-level file.
+type ExtFile struct {
+	fs *FS
+	x  *xinode
+}
+
+// OpenLowLevel creates (or opens) a root-level file named name,
+// preallocated to size bytes in as few extents as possible.
+func (fs *FS) OpenLowLevel(name string, size int64) *ExtFile {
+	root := fs.inode(rootIno)
+	fs.loadDir(root)
+	if d, ok := root.children[name]; ok {
+		return &ExtFile{fs: fs, x: fs.inode(d.ino)}
+	}
+	h, _, err := fs.Create(rootIno, name, false)
+	if err != nil {
+		panic(err)
+	}
+	x := fs.inode(h.(Ino))
+	blocks := (size + BlockSize - 1) / BlockSize
+	fs.allocBlocks(x, 0, blocks) // fallocate
+	x.size = size
+	fs.markInodeDirty(x)
+	return &ExtFile{fs: fs, x: x}
+}
+
+// Size returns the preallocated size.
+func (f *ExtFile) Size() int64 { return f.x.size }
+
+// PWrite writes p at off directly to the file's extents (block-aligned
+// writes go straight through; unaligned ones read-modify-write).
+func (f *ExtFile) PWrite(p []byte, off int64) {
+	fs := f.fs
+	if off%BlockSize == 0 && int64(len(p))%BlockSize == 0 {
+		fs.writeExtents(f.x, p, off)
+		return
+	}
+	// Read-modify-write the boundary blocks.
+	start := off / BlockSize * BlockSize
+	end := (off + int64(len(p)) + BlockSize - 1) / BlockSize * BlockSize
+	buf := make([]byte, end-start)
+	fs.readExtents(f.x, buf, start)
+	copy(buf[off-start:], p)
+	fs.writeExtents(f.x, buf, start)
+}
+
+// PRead reads len(p) bytes at off.
+func (f *ExtFile) PRead(p []byte, off int64) {
+	f.fs.readExtents(f.x, p, off)
+}
+
+// SubmitPWrite starts an asynchronous aligned write and returns a wait
+// function.
+func (f *ExtFile) SubmitPWrite(p []byte, off int64) func() {
+	fs := f.fs
+	if off%BlockSize != 0 || int64(len(p))%BlockSize != 0 {
+		f.PWrite(p, off)
+		return func() {}
+	}
+	// Issue per physical run.
+	var waits []blockdev.Completion
+	pos := int64(0)
+	for pos < int64(len(p)) {
+		blk := (off + pos) / BlockSize
+		phys := fs.ensureBlock(f.x, blk)
+		run := int64(1)
+		for pos+run*BlockSize < int64(len(p)) {
+			np := fs.ensureBlock(f.x, blk+run)
+			if np != phys+run {
+				break
+			}
+			run++
+		}
+		c := fs.dev.SubmitWrite(p[pos:pos+run*BlockSize], fs.blockAddr(phys))
+		waits = append(waits, c)
+		fs.stats.DataWrites++
+		pos += run * BlockSize
+	}
+	return func() {
+		for _, c := range waits {
+			fs.dev.Wait(c)
+		}
+	}
+}
+
+// Fsync commits the extfs journal on behalf of the file — this is the
+// second journal of the double-journaling pathology (§2.3).
+func (f *ExtFile) Fsync() {
+	f.fs.dev.Flush()
+	f.fs.commit()
+}
+
+var _ vfs.FS = (*FS)(nil)

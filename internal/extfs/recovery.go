@@ -1,0 +1,120 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"betrfs/internal/blockdev"
+	"betrfs/internal/sim"
+	"betrfs/internal/wal"
+)
+
+// Mount-time recovery: the superblock stores the journal recovery hint;
+// the inode table is scanned fsck-style to rebuild the block bitmap and
+// the inode allocator, then the journal is replayed.
+
+const superMagic = 0xe47f5b10
+
+func timeDuration(v int64) time.Duration { return time.Duration(v) }
+
+func (fs *FS) inodeExists(ino Ino) bool {
+	if _, ok := fs.inodes[ino]; ok {
+		return true
+	}
+	if fs.itableBlockAddr(ino) >= fs.lay.itableOff+fs.lay.itableLen {
+		return false
+	}
+	buf := make([]byte, BlockSize)
+	fs.dev.ReadAt(buf, fs.itableBlockAddr(ino))
+	return buf[(int64(ino)%inodesPerBlock)*inodeSize] == 1
+}
+
+// writeSuper persists the superblock (journal hint + allocator state).
+func (fs *FS) writeSuper() {
+	hint := fs.jnl.log.Hint()
+	b := make([]byte, BlockSize)
+	binary.BigEndian.PutUint32(b[0:], superMagic)
+	binary.BigEndian.PutUint64(b[4:], uint64(fs.nextIno))
+	binary.BigEndian.PutUint64(b[12:], uint64(hint.Offset))
+	binary.BigEndian.PutUint64(b[20:], hint.LSN)
+	binary.BigEndian.PutUint32(b[28:], hint.Epoch)
+	fs.dev.WriteAt(b, 0)
+	fs.dev.Flush()
+}
+
+// Recover mounts an existing extfs: superblock, fsck scan, journal replay.
+func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
+	fs := New(env, dev, prof)
+	// New() created a fresh root; discard that state and reload.
+	fs.inodes = make(map[Ino]*xinode)
+	fs.itableDirty = make(map[int64]bool)
+	for i := range fs.bitmap {
+		fs.bitmap[i] = 0
+	}
+
+	b := make([]byte, BlockSize)
+	dev.ReadAt(b, 0)
+	if binary.BigEndian.Uint32(b[0:]) != superMagic {
+		return nil, fmt.Errorf("extfs: no superblock")
+	}
+	fs.nextIno = Ino(binary.BigEndian.Uint64(b[4:]))
+	hint := wal.Hint{
+		Offset: int64(binary.BigEndian.Uint64(b[12:])),
+		LSN:    binary.BigEndian.Uint64(b[20:]),
+		Epoch:  binary.BigEndian.Uint32(b[28:]),
+	}
+
+	// fsck pass: scan the inode table, rebuilding the bitmap from extent
+	// lists and finding the highest inode number.
+	maxIno := rootIno
+	tableBlocks := fs.lay.itableLen / BlockSize
+	buf := make([]byte, BlockSize)
+	for tb := int64(0); tb < tableBlocks; tb++ {
+		firstIno := tb * inodesPerBlock
+		if Ino(firstIno) >= fs.nextIno {
+			break
+		}
+		fs.dev.ReadAt(buf, fs.lay.itableOff+tb*BlockSize)
+		for i := int64(0); i < inodesPerBlock; i++ {
+			ino := Ino(firstIno + i)
+			if ino < rootIno {
+				continue
+			}
+			if buf[i*inodeSize] != 1 {
+				continue
+			}
+			x := fs.readInode(ino) // cached table block; accounting only
+			fs.inodes[ino] = x
+			for _, e := range x.extents {
+				for j := int64(0); j < e.count; j++ {
+					fs.bitSet(e.phys + j)
+				}
+			}
+			for _, ob := range x.overflow {
+				fs.bitSet(ob)
+			}
+			if ino > maxIno {
+				maxIno = ino
+			}
+		}
+	}
+	if maxIno+1 > fs.nextIno {
+		fs.nextIno = maxIno + 1
+	}
+	if _, ok := fs.inodes[rootIno]; !ok {
+		root := &xinode{ino: rootIno, dir: true, nlink: 2, children: map[string]dirent{}, childrenLoaded: true}
+		fs.inodes[rootIno] = root
+		fs.markInodeDirty(root)
+	}
+
+	// Journal replay.
+	region := blockdev.Region(dev, fs.lay.journalOff, fs.lay.journalLen)
+	for _, rec := range wal.Recover(env, region, hint) {
+		fs.replayRecord(rec)
+	}
+	fs.jnl.log = wal.New(env, region, hint.Epoch+1)
+	fs.writebackMeta()
+	fs.writeSuper()
+	return fs, nil
+}

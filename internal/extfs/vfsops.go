@@ -1,0 +1,350 @@
+package extfs
+
+import (
+	"sort"
+
+	"betrfs/internal/vfs"
+	"betrfs/internal/wal"
+)
+
+// vfs.FS implementation. Handles are inode numbers.
+
+// Root returns the root handle.
+func (fs *FS) Root() vfs.Handle { return rootIno }
+
+func (fs *FS) attrOf(x *xinode) vfs.Attr {
+	return vfs.Attr{Dir: x.dir, Size: x.size, Nlink: x.nlink, Mtime: x.mtime}
+}
+
+// Lookup resolves name in parent, reading directory blocks and the child's
+// inode-table block on cache misses.
+func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, error) {
+	p := fs.inode(parent.(Ino))
+	fs.loadDir(p)
+	fs.env.Compare(len(name))
+	d, ok := p.children[name]
+	if !ok {
+		return nil, vfs.Attr{}, vfs.ErrNotExist
+	}
+	x := fs.inode(d.ino)
+	return d.ino, fs.attrOf(x), nil
+}
+
+// Create allocates an inode and adds the directory entry, journaling the
+// operation.
+func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.Attr, error) {
+	p := fs.inode(parent.(Ino))
+	fs.loadDir(p)
+	if _, ok := p.children[name]; ok {
+		return nil, vfs.Attr{}, vfs.ErrExist
+	}
+	ino := fs.nextIno
+	fs.nextIno++
+	x := &xinode{ino: ino, dir: dir, nlink: 1, mtime: fs.env.Now()}
+	// Orlov-style spreading: directories created in the root go to a new
+	// allocation group; files inherit the parent's group.
+	if dir {
+		x.nlink = 2
+		x.children = map[string]dirent{}
+		x.childrenLoaded = true
+		if p.ino == rootIno {
+			x.group = int(ino) % fs.prof.AllocGroups
+		} else {
+			x.group = p.group
+		}
+	} else {
+		x.group = p.group
+	}
+	fs.inodes[ino] = x
+	fs.markInodeDirty(x)
+	p.children[name] = dirent{ino: ino, dir: dir}
+	p.mtime = fs.env.Now()
+	fs.markInodeDirty(p)
+	fs.logRec(recCreate, func(e *recEncoder) {
+		e.i64(int64(p.ino))
+		e.str(name)
+		e.i64(int64(ino))
+		e.flag(dir)
+	})
+	return ino, fs.attrOf(x), nil
+}
+
+// Remove unlinks name from parent, freeing the inode and its blocks.
+func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) error {
+	p := fs.inode(parent.(Ino))
+	fs.loadDir(p)
+	d, ok := p.children[name]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	x := fs.inode(d.ino)
+	if dir {
+		fs.loadDir(x)
+		if len(x.children) > 0 {
+			return vfs.ErrNotEmpty
+		}
+	}
+	delete(p.children, name)
+	p.mtime = fs.env.Now()
+	fs.markInodeDirty(p)
+	fs.freeAll(x)
+	for _, b := range x.overflow {
+		fs.bitClear(b)
+	}
+	delete(fs.inodes, d.ino)
+	fs.eraseInode(d.ino)
+	fs.logRec(recRemove, func(e *recEncoder) {
+		e.i64(int64(p.ino))
+		e.str(name)
+		e.i64(int64(d.ino))
+		e.flag(dir)
+	})
+	return nil
+}
+
+// Rename moves the entry; inode numbers are stable so the handle is
+// unchanged.
+func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (vfs.Handle, error) {
+	op := fs.inode(oldParent.(Ino))
+	np := fs.inode(newParent.(Ino))
+	fs.loadDir(op)
+	fs.loadDir(np)
+	d, ok := op.children[oldName]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	delete(op.children, oldName)
+	np.children[newName] = d
+	op.mtime = fs.env.Now()
+	np.mtime = fs.env.Now()
+	fs.markInodeDirty(op)
+	fs.markInodeDirty(np)
+	fs.logRec(recRename, func(e *recEncoder) {
+		e.i64(int64(op.ino))
+		e.str(oldName)
+		e.i64(int64(np.ino))
+		e.str(newName)
+		e.i64(int64(d.ino))
+	})
+	return h, nil
+}
+
+// ReadDir lists parent's children, in hash order for the ext4 flavor and
+// sorted order for XFS. Entries are not Known: Linux's VFS does not
+// instantiate inodes from readdir (§4).
+func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
+	x := fs.inode(h.(Ino))
+	if !x.dir {
+		return nil, vfs.ErrNotDir
+	}
+	fs.loadDir(x)
+	names := make([]string, 0, len(x.children))
+	for name := range x.children {
+		names = append(names, name)
+	}
+	if fs.prof.HashedReaddir {
+		sort.Slice(names, func(i, j int) bool { return hashName(names[i]) < hashName(names[j]) })
+	} else {
+		sort.Strings(names)
+	}
+	out := make([]vfs.DirEntry, 0, len(names))
+	for _, name := range names {
+		d := x.children[name]
+		out = append(out, vfs.DirEntry{Name: name, Dir: d.dir})
+	}
+	return out, nil
+}
+
+// WriteAttr persists inode metadata.
+func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) {
+	x := fs.inode(h.(Ino))
+	x.size = a.Size
+	x.mtime = a.Mtime
+	fs.markInodeDirty(x)
+	fs.logRec(recAttr, func(e *recEncoder) {
+		e.i64(int64(x.ino))
+		e.i64(a.Size)
+		e.i64(int64(a.Nlink))
+		e.i64(int64(a.Mtime))
+	})
+}
+
+// ReadBlocks fills pages from the file's extents.
+func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
+	x := fs.inode(h.(Ino))
+	// Merge the whole request into as few device reads as the physical
+	// layout allows.
+	buf := make([]byte, len(pages)*BlockSize)
+	fs.readExtents(x, buf, blk*BlockSize)
+	for i, pg := range pages {
+		copy(pg.Data, buf[i*BlockSize:(i+1)*BlockSize])
+	}
+	fs.env.Memcpy(len(buf))
+}
+
+// WriteBlocks writes a run of pages in place (ordered mode: data first,
+// journal commit later), merging physically contiguous blocks into single
+// device writes. Extent allocation is journaled.
+func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) {
+	x := fs.inode(h.(Ino))
+	before := len(x.extents)
+	buf := make([]byte, len(pgs)*BlockSize)
+	for i, pg := range pgs {
+		copy(buf[i*BlockSize:], pg.Data)
+	}
+	fs.writeExtents(x, buf, blk*BlockSize)
+	// Journal any extents added by the allocation.
+	for i := before; i <= len(x.extents)-1; i++ {
+		e := x.extents[i]
+		fs.logRec(recExtentAdd, func(enc *recEncoder) {
+			enc.i64(int64(x.ino))
+			enc.i64(e.logical)
+			enc.i64(e.phys)
+			enc.i64(e.count)
+		})
+	}
+	if before > 0 && len(x.extents) >= before {
+		// The pre-existing last extent may have grown by merging.
+		e := x.extents[before-1]
+		fs.logRec(recExtentAdd, func(enc *recEncoder) {
+			enc.i64(int64(x.ino))
+			enc.i64(e.logical)
+			enc.i64(e.phys)
+			enc.i64(e.count)
+		})
+	}
+	if fs.prof.DataJournal {
+		fs.env.Memcpy(len(buf))
+	}
+	// Ordered mode: the data is in place now; the journal transaction
+	// that references it commits in Fsync/Sync/Maintain, not per run.
+	_ = durable
+}
+
+// WritePartial is unsupported: update-in-place file systems must
+// read-modify-write.
+func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) {
+	panic("extfs: blind writes unsupported")
+}
+
+// SupportsBlindWrites reports false.
+func (fs *FS) SupportsBlindWrites() bool { return false }
+
+// TruncateBlocks drops blocks at or beyond fromBlk.
+func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) {
+	x := fs.inode(h.(Ino))
+	fs.freeBlocksFrom(x, fromBlk)
+	fs.logRec(recTruncate, func(e *recEncoder) {
+		e.i64(int64(x.ino))
+		e.i64(fromBlk)
+	})
+}
+
+// Fsync commits the journal (data already reached the device in ordered
+// mode).
+func (fs *FS) Fsync(h vfs.Handle) {
+	fs.commit()
+}
+
+// Sync commits the journal, writes back all dirty metadata, and refreshes
+// the superblock's recovery hint.
+func (fs *FS) Sync() {
+	fs.writebackMeta()
+	fs.commit()
+	fs.jnl.log.Reclaim(fs.jnl.log.NextLSN())
+	fs.writeSuper()
+}
+
+// replayRecord applies one journal record during recovery.
+func (fs *FS) replayRecord(rec wal.Record) {
+	d := &recDecoder{b: rec.Payload}
+	switch rec.Type {
+	case recCreate:
+		pino := Ino(d.i64())
+		name := d.str()
+		ino := Ino(d.i64())
+		dir := d.flag()
+		p := fs.inode(pino)
+		fs.loadDir(p)
+		p.children[name] = dirent{ino: ino, dir: dir}
+		fs.markInodeDirty(p)
+		if _, ok := fs.inodes[ino]; !ok {
+			x := &xinode{ino: ino, dir: dir, nlink: 1, group: p.group}
+			if dir {
+				x.nlink = 2
+				x.children = map[string]dirent{}
+				x.childrenLoaded = true
+			}
+			fs.inodes[ino] = x
+			fs.markInodeDirty(x)
+		}
+		if ino >= fs.nextIno {
+			fs.nextIno = ino + 1
+		}
+	case recRemove:
+		pino := Ino(d.i64())
+		name := d.str()
+		ino := Ino(d.i64())
+		p := fs.inode(pino)
+		fs.loadDir(p)
+		delete(p.children, name)
+		fs.markInodeDirty(p)
+		if x, ok := fs.inodes[ino]; ok {
+			fs.freeAll(x)
+			delete(fs.inodes, ino)
+		}
+		fs.eraseInode(ino)
+	case recRename:
+		opino := Ino(d.i64())
+		oldName := d.str()
+		npino := Ino(d.i64())
+		newName := d.str()
+		ino := Ino(d.i64())
+		op := fs.inode(opino)
+		np := fs.inode(npino)
+		fs.loadDir(op)
+		fs.loadDir(np)
+		if ent, ok := op.children[oldName]; ok && ent.ino == ino {
+			delete(op.children, oldName)
+			np.children[newName] = ent
+			fs.markInodeDirty(op)
+			fs.markInodeDirty(np)
+		}
+	case recAttr:
+		ino := Ino(d.i64())
+		size := d.i64()
+		nlink := d.i64()
+		mtime := d.i64()
+		if !fs.inodeExists(ino) {
+			return
+		}
+		x := fs.inode(ino)
+		x.size = size
+		x.nlink = int(nlink)
+		x.mtime = timeDuration(mtime)
+		fs.markInodeDirty(x)
+	case recExtentAdd:
+		ino := Ino(d.i64())
+		logical := d.i64()
+		phys := d.i64()
+		count := d.i64()
+		if !fs.inodeExists(ino) {
+			return
+		}
+		x := fs.inode(ino)
+		if x.physFor(logical) < 0 {
+			fs.appendExtent(x, extent{logical: logical, phys: phys, count: count})
+			for i := int64(0); i < count; i++ {
+				fs.bitSet(phys + i)
+			}
+			fs.markInodeDirty(x)
+		}
+	case recTruncate:
+		ino := Ino(d.i64())
+		fromBlk := d.i64()
+		if !fs.inodeExists(ino) {
+			return
+		}
+		fs.freeBlocksFrom(fs.inode(ino), fromBlk)
+	}
+}

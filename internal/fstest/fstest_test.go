@@ -1,0 +1,402 @@
+// Package fstest runs one conformance suite over every file system in the
+// repository: the three baselines (extfs ext4/xfs, logfs f2fs, cowfs
+// btrfs/zfs) and BetrFS in both v0.4 (stacked) and v0.6 (SFL)
+// configurations. Passing the same scenarios everywhere is what makes the
+// benchmark comparisons meaningful.
+package fstest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"betrfs/internal/betrfs"
+	"betrfs/internal/blockdev"
+	"betrfs/internal/cowfs"
+	"betrfs/internal/extfs"
+	"betrfs/internal/kmem"
+	"betrfs/internal/logfs"
+	"betrfs/internal/sfl"
+	"betrfs/internal/sim"
+	"betrfs/internal/southbound"
+	"betrfs/internal/vfs"
+)
+
+// build constructs a named file system over a fresh scaled SSD.
+func build(t testing.TB, name string) (*sim.Env, *vfs.Mount) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
+	var fs vfs.FS
+	switch name {
+	case "ext4":
+		fs = extfs.New(env, dev, extfs.Ext4Profile())
+	case "xfs":
+		fs = extfs.New(env, dev, extfs.XFSProfile())
+	case "f2fs":
+		fs = logfs.New(env, dev)
+	case "btrfs":
+		fs = cowfs.New(env, dev, cowfs.BtrfsProfile())
+	case "zfs":
+		fs = cowfs.New(env, dev, cowfs.ZFSProfile())
+	case "betrfs-v0.6":
+		cfg := betrfs.V06Config()
+		cfg.Tree.CacheBytes = 64 << 20
+		b, err := betrfs.New(env, kmem.New(env, true), cfg, sfl.NewDefault(env, dev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs = b
+	case "betrfs-v0.4":
+		cfg := betrfs.V04Config()
+		cfg.Tree.CacheBytes = 64 << 20
+		lower := extfs.New(env, dev, extfs.Ext4Profile())
+		backend := southbound.New(env, lower, southbound.DefaultLayout(dev.Size()))
+		b, err := betrfs.New(env, kmem.New(env, false), cfg, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs = b
+	default:
+		t.Fatalf("unknown fs %q", name)
+	}
+	mcfg := vfs.DefaultConfig()
+	mcfg.CacheBytes = 128 << 20
+	return env, vfs.NewMount(env, fs, mcfg)
+}
+
+var allFS = []string{"ext4", "xfs", "f2fs", "btrfs", "zfs", "betrfs-v0.4", "betrfs-v0.6"}
+
+func forAll(t *testing.T, fn func(t *testing.T, m *vfs.Mount)) {
+	for _, name := range allFS {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, m := build(t, name)
+			fn(t, m)
+		})
+	}
+}
+
+func TestBasicFileLifecycle(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		f, err := m.Create("file.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("contents"))
+		f.Close()
+		a, err := m.Stat("file.txt")
+		if err != nil || a.Size != 8 || a.Dir {
+			t.Fatalf("stat: %+v %v", a, err)
+		}
+		g, _ := m.Open("file.txt")
+		buf := make([]byte, 16)
+		n, _ := g.ReadAt(buf, 0)
+		if string(buf[:n]) != "contents" {
+			t.Fatalf("read %q", buf[:n])
+		}
+		if err := m.Remove("file.txt"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Stat("file.txt"); err != vfs.ErrNotExist {
+			t.Fatalf("stat after remove: %v", err)
+		}
+	})
+}
+
+func TestDeepDirectoryTree(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		if err := m.MkdirAll("a/b/c/d/e"); err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.Create("a/b/c/d/e/leaf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("x"))
+		f.Close()
+		ents, err := m.ReadDir("a/b/c/d")
+		if err != nil || len(ents) != 1 || ents[0].Name != "e" || !ents[0].Dir {
+			t.Fatalf("readdir: %v %v", ents, err)
+		}
+	})
+}
+
+func TestDataIntegrityAcrossCacheDrop(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		m.MkdirAll("dir")
+		payload := make([]byte, 5*vfs.PageSize+777)
+		for i := range payload {
+			payload[i] = byte(i * 131)
+		}
+		f, _ := m.Create("dir/data")
+		f.Write(payload)
+		f.Close()
+		m.DropCaches()
+		g, err := m.Open("dir/data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payload))
+		n, _ := g.ReadAt(got, 0)
+		if n != len(payload) || !bytes.Equal(got, payload) {
+			t.Fatalf("data corrupted across cache drop (n=%d want %d)", n, len(payload))
+		}
+	})
+}
+
+func TestSparseFileReadsZero(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		f, _ := m.Create("sparse")
+		f.WriteAt([]byte("end"), 10*vfs.PageSize)
+		buf := make([]byte, 100)
+		n, _ := f.ReadAt(buf, 5*vfs.PageSize)
+		for i := 0; i < n; i++ {
+			if buf[i] != 0 {
+				t.Fatal("hole read non-zero")
+			}
+		}
+	})
+}
+
+func TestOverwriteMiddle(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		f, _ := m.Create("f")
+		f.Write(bytes.Repeat([]byte{0xaa}, 3*vfs.PageSize))
+		f.WriteAt([]byte("XYZ"), vfs.PageSize+100)
+		m.DropCaches()
+		g, _ := m.Open("f")
+		buf := make([]byte, 3)
+		g.ReadAt(buf, vfs.PageSize+100)
+		if string(buf) != "XYZ" {
+			t.Fatalf("overwrite lost: %q", buf)
+		}
+		g.ReadAt(buf, 0)
+		if buf[0] != 0xaa {
+			t.Fatal("neighboring data damaged")
+		}
+	})
+}
+
+func TestSubPageWrites(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		f, _ := m.Create("f")
+		f.Write(bytes.Repeat([]byte{1}, 2*vfs.PageSize))
+		m.DropCaches() // force the uncached sub-page write path
+		g, _ := m.Open("f")
+		g.WriteAt([]byte{9, 9, 9, 9}, 100)
+		g.Fsync()
+		m.DropCaches()
+		h, _ := m.Open("f")
+		buf := make([]byte, 8)
+		h.ReadAt(buf, 98)
+		want := []byte{1, 1, 9, 9, 9, 9, 1, 1}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("sub-page write: %v want %v", buf, want)
+		}
+	})
+}
+
+func TestRenameFileKeepsData(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		m.MkdirAll("src")
+		m.MkdirAll("dst")
+		f, _ := m.Create("src/f")
+		f.Write(bytes.Repeat([]byte{7}, 2*vfs.PageSize))
+		f.Close()
+		if err := m.Rename("src/f", "dst/g"); err != nil {
+			t.Fatal(err)
+		}
+		m.DropCaches()
+		g, err := m.Open("dst/g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 2*vfs.PageSize)
+		n, _ := g.ReadAt(buf, 0)
+		if n != len(buf) || buf[0] != 7 || buf[len(buf)-1] != 7 {
+			t.Fatal("rename lost data")
+		}
+		if _, err := m.Stat("src/f"); err != vfs.ErrNotExist {
+			t.Fatal("old name still present")
+		}
+	})
+}
+
+func TestRenameDirectoryMovesSubtree(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		m.MkdirAll("old/sub")
+		f, _ := m.Create("old/sub/file")
+		f.Write([]byte("deep"))
+		f.Close()
+		if err := m.Rename("old", "new"); err != nil {
+			t.Fatal(err)
+		}
+		m.DropCaches()
+		g, err := m.Open("new/sub/file")
+		if err != nil {
+			t.Fatalf("moved file missing: %v", err)
+		}
+		buf := make([]byte, 4)
+		g.ReadAt(buf, 0)
+		if string(buf) != "deep" {
+			t.Fatal("directory rename lost data")
+		}
+	})
+}
+
+func TestRemoveAllDeletesEverything(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		for d := 0; d < 3; d++ {
+			m.MkdirAll(fmt.Sprintf("top/d%d", d))
+			for i := 0; i < 10; i++ {
+				f, _ := m.Create(fmt.Sprintf("top/d%d/f%d", d, i))
+				f.Write([]byte("data"))
+				f.Close()
+			}
+		}
+		if err := m.RemoveAll("top"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Stat("top"); err != vfs.ErrNotExist {
+			t.Fatalf("tree still present: %v", err)
+		}
+		// Recreate to confirm namespace is clean.
+		if err := m.MkdirAll("top/d0"); err != nil {
+			t.Fatal(err)
+		}
+		ents, _ := m.ReadDir("top/d0")
+		if len(ents) != 0 {
+			t.Fatalf("stale entries after rm -rf: %v", ents)
+		}
+	})
+}
+
+func TestManySmallFiles(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		m.MkdirAll("spool")
+		const n = 300
+		for i := 0; i < n; i++ {
+			f, err := m.Create(fmt.Sprintf("spool/msg%04d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write(bytes.Repeat([]byte{byte(i)}, 200))
+			f.Close()
+		}
+		m.DropCaches()
+		ents, _ := m.ReadDir("spool")
+		if len(ents) != n {
+			t.Fatalf("readdir found %d files, want %d", len(ents), n)
+		}
+		g, err := m.Open("spool/msg0123")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 200)
+		k, _ := g.ReadAt(buf, 0)
+		if k != 200 || buf[0] != 123 {
+			t.Fatal("small file content wrong after cache drop")
+		}
+	})
+}
+
+func TestFsyncDurableAfterCrashBetrFS(t *testing.T) {
+	// Crash-recovery end-to-end through the VFS for BetrFS v0.6.
+	env := sim.NewEnv(7)
+	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
+	dev.EnableCrashTracking()
+	backend := sfl.NewDefault(env, dev)
+	alloc := kmem.New(env, true)
+	cfg := betrfs.V06Config()
+	b, err := betrfs.New(env, alloc, cfg, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vfs.NewMount(env, b, vfs.DefaultConfig())
+	m.MkdirAll("mail")
+	f, _ := m.Create("mail/msg1")
+	f.Write([]byte("important"))
+	f.Fsync()
+	g, _ := m.Create("mail/volatile")
+	g.Write([]byte("lost"))
+	// no fsync
+	dev.Crash(0)
+
+	b2, err := betrfs.New(env, alloc, cfg, backend)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	m2 := vfs.NewMount(env, b2, vfs.DefaultConfig())
+	h, err := m2.Open("mail/msg1")
+	if err != nil {
+		t.Fatalf("fsynced file lost: %v", err)
+	}
+	buf := make([]byte, 16)
+	n, _ := h.ReadAt(buf, 0)
+	if string(buf[:n]) != "important" {
+		t.Fatalf("fsynced data corrupted: %q", buf[:n])
+	}
+}
+
+func TestBlindWriteOnlyOnBetrFS(t *testing.T) {
+	env, m := build(t, "betrfs-v0.6")
+	_ = env
+	f, _ := m.Create("f")
+	f.Write(bytes.Repeat([]byte{1}, 4*vfs.PageSize))
+	m.DropCaches()
+	g, _ := m.Open("f")
+	before := m.Stats().BlindWrites
+	g.WriteAt([]byte{5}, 100) // sub-page, uncached
+	if m.Stats().BlindWrites != before+1 {
+		t.Fatal("BetrFS sub-page write did not use the blind path")
+	}
+
+	_, m2 := build(t, "ext4")
+	f2, _ := m2.Create("f")
+	f2.Write(bytes.Repeat([]byte{1}, 4*vfs.PageSize))
+	m2.DropCaches()
+	g2, _ := m2.Open("f")
+	before2 := m2.Stats().RMWReads
+	g2.WriteAt([]byte{5}, 100)
+	if m2.Stats().RMWReads != before2+1 {
+		t.Fatal("ext4 sub-page write did not read-modify-write")
+	}
+}
+
+func TestReaddirInstantiationOnlyBetrFSv06(t *testing.T) {
+	_, m := build(t, "betrfs-v0.6")
+	m.MkdirAll("d")
+	for i := 0; i < 20; i++ {
+		f, _ := m.Create(fmt.Sprintf("d/f%02d", i))
+		f.Close()
+	}
+	m.DropCaches()
+	m.ReadDir("d")
+	before := m.Stats().FsLookups
+	for i := 0; i < 20; i++ {
+		if _, err := m.Stat(fmt.Sprintf("d/f%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Stats().FsLookups != before {
+		t.Fatalf("DC: lookups after readdir should all hit the dcache, %d FS lookups",
+			m.Stats().FsLookups-before)
+	}
+}
+
+func TestRootReaddir(t *testing.T) {
+	forAll(t, func(t *testing.T, m *vfs.Mount) {
+		m.MkdirAll("top1")
+		f, _ := m.Create("file1")
+		f.Close()
+		m.DropCaches()
+		ents, err := m.ReadDir("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 2 {
+			t.Fatalf("root readdir found %d entries, want 2", len(ents))
+		}
+	})
+}

@@ -1,0 +1,446 @@
+// Package logfs implements a simplified log-structured file system in the
+// mold of F2FS (Lee et al., FAST '15), the flash-native baseline in the
+// paper's evaluation.
+//
+// All writes — file data and node blocks (inodes + block maps + directory
+// content) — append to active log segments. Multi-head logging separates
+// data and node writes into different segments. A node address table
+// (NAT) in a fixed region maps inode numbers to the current node-block
+// address, so node blocks can move during segment cleaning without
+// rewriting their parents. Checkpoints persist the NAT and segment
+// information; fsync appends the affected node block and a roll-forward
+// record. When free segments run low, greedy cleaning migrates the valid
+// blocks of the dirtiest victim segments to the active logs.
+package logfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"betrfs/internal/blockdev"
+	"betrfs/internal/sim"
+)
+
+// BlockSize is the file-system block size.
+const BlockSize = 4096
+
+// SegmentBlocks is the number of blocks per log segment (2 MiB).
+const SegmentBlocks = 512
+
+// Ino is an inode number.
+type Ino int64
+
+const rootIno Ino = 1
+
+// logHead identifies one of the multi-head logs.
+type logHead int
+
+const (
+	headHotData logHead = iota
+	headColdData
+	headNode
+	numHeads
+)
+
+// FS is the logfs instance.
+type FS struct {
+	env *sim.Env
+	dev blockdev.Device
+
+	// Layout: superblock+NAT region, then the main area of segments.
+	natOff   int64
+	mainOff  int64
+	segments int64
+
+	// Per-segment valid-block counts (SIT) and allocation state.
+	segValid []int
+	segState []byte // 0 free, 1 active, 2 dirty/full
+	heads    [numHeads]struct {
+		seg  int64
+		next int64 // next block within segment
+	}
+	freeSegs int64
+
+	// blockOwner tracks, for each main-area block, what it currently
+	// holds (for cleaning): the owning inode and logical index, or a
+	// node block. Cleared when invalidated.
+	blockOwner map[int64]owner
+
+	// NAT: inode -> node blob location; first < 0 when only in memory.
+	nat map[Ino]natEntry
+
+	inodes  map[Ino]*node
+	nextIno Ino
+
+	lastCheckpoint time.Duration
+	// CheckpointInterval controls periodic checkpoints.
+	CheckpointInterval time.Duration
+	// cleaning guards against re-entering the cleaner from the
+	// allocations the cleaner itself performs.
+	cleaning bool
+
+	stats Stats
+}
+
+type owner struct {
+	ino     Ino
+	logical int64 // -1 for a node block
+}
+
+// Stats counts logfs activity.
+type Stats struct {
+	DataWrites  int64
+	NodeWrites  int64
+	NodeReads   int64
+	Checkpoints int64
+	CleanedSegs int64
+	MovedBlocks int64
+	Fsyncs      int64
+}
+
+// node is an in-memory inode with its block map and directory content.
+type node struct {
+	ino      Ino
+	dir      bool
+	size     int64
+	nlink    int
+	mtime    time.Duration
+	blocks   map[int64]int64 // logical -> main-area block address
+	children map[string]childRef
+	dirty    bool
+	hot      bool // recently rewritten: route to the hot data log
+}
+
+type childRef struct {
+	ino Ino
+	dir bool
+}
+
+// New formats a logfs over dev.
+func New(env *sim.Env, dev blockdev.Device) *FS {
+	capacity := dev.Size()
+	natLen := capacity / 128
+	fs := &FS{
+		env:                env,
+		dev:                dev,
+		natOff:             BlockSize,
+		mainOff:            BlockSize + natLen,
+		blockOwner:         make(map[int64]owner),
+		nat:                make(map[Ino]natEntry),
+		inodes:             make(map[Ino]*node),
+		nextIno:            rootIno + 1,
+		CheckpointInterval: 30 * time.Second,
+	}
+	fs.segments = (capacity - fs.mainOff) / (SegmentBlocks * BlockSize)
+	fs.segValid = make([]int, fs.segments)
+	fs.segState = make([]byte, fs.segments)
+	fs.freeSegs = fs.segments
+	for h := logHead(0); h < numHeads; h++ {
+		fs.heads[h].seg = -1
+	}
+	root := &node{ino: rootIno, dir: true, nlink: 2, blocks: map[int64]int64{}, children: map[string]childRef{}, dirty: true}
+	fs.inodes[rootIno] = root
+	fs.nat[rootIno] = natEntry{first: -1}
+	return fs
+}
+
+// natEntry locates an inode's node blob: count contiguous blocks starting
+// at first (first < 0: not yet written).
+type natEntry struct {
+	first int64
+	count int
+}
+
+// Stats returns counters.
+func (fs *FS) Stats() *Stats { return &fs.stats }
+
+// blockAddr converts a main-area block number to a device offset.
+func (fs *FS) blockAddr(b int64) int64 { return fs.mainOff + b*BlockSize }
+
+// allocBlock appends one block to the given log head, cleaning if needed.
+func (fs *FS) allocBlock(h logHead) int64 {
+	hd := &fs.heads[h]
+	if hd.seg < 0 || hd.next >= SegmentBlocks {
+		if hd.seg >= 0 {
+			fs.segState[hd.seg] = 2
+		}
+		fs.maybeClean()
+		seg := fs.findFreeSegment()
+		fs.segState[seg] = 1
+		fs.freeSegs--
+		hd.seg = seg
+		hd.next = 0
+	}
+	b := hd.seg*SegmentBlocks + hd.next
+	hd.next++
+	fs.segValid[hd.seg]++
+	return b
+}
+
+func (fs *FS) findFreeSegment() int64 {
+	for s := int64(0); s < fs.segments; s++ {
+		if fs.segState[s] == 0 {
+			return s
+		}
+	}
+	panic("logfs: no free segments")
+}
+
+// invalidate marks a block dead in its segment.
+func (fs *FS) invalidate(b int64) {
+	if b < 0 {
+		return
+	}
+	seg := b / SegmentBlocks
+	if fs.segValid[seg] > 0 {
+		fs.segValid[seg]--
+	}
+	delete(fs.blockOwner, b)
+	if fs.segValid[seg] == 0 && fs.segState[seg] == 2 {
+		fs.segState[seg] = 0
+		fs.freeSegs++
+	}
+}
+
+// maybeClean runs greedy segment cleaning when free space is low.
+func (fs *FS) maybeClean() {
+	threshold := fs.segments / 10
+	if threshold < 4 {
+		threshold = 4
+	}
+	if fs.cleaning || fs.freeSegs > threshold {
+		return
+	}
+	fs.cleaning = true
+	defer func() { fs.cleaning = false }()
+	// Greedy victim selection: fullest-dead segments first.
+	type victim struct {
+		seg   int64
+		valid int
+	}
+	var vs []victim
+	for s := int64(0); s < fs.segments; s++ {
+		if fs.segState[s] == 2 {
+			vs = append(vs, victim{s, fs.segValid[s]})
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].valid < vs[j].valid })
+	cleaned := 0
+	for _, v := range vs {
+		if cleaned >= 16 || fs.freeSegs > fs.segments/5 {
+			break
+		}
+		fs.cleanSegment(v.seg)
+		cleaned++
+	}
+}
+
+// cleanSegment migrates a victim's valid blocks to the active logs.
+func (fs *FS) cleanSegment(seg int64) {
+	fs.stats.CleanedSegs++
+	base := seg * SegmentBlocks
+	buf := make([]byte, BlockSize)
+	for i := int64(0); i < SegmentBlocks; i++ {
+		b := base + i
+		own, ok := fs.blockOwner[b]
+		if !ok {
+			continue
+		}
+		if own.logical < 0 {
+			// Node blob: rewrite the whole blob contiguously at the
+			// node head (this invalidates all of its blocks,
+			// including any others in this victim).
+			fs.stats.MovedBlocks++
+			fs.writeNodeBlock(fs.node(own.ino))
+			continue
+		}
+		// Data block: migrate to the cold data log and repoint the
+		// owning node's block map (loading the node if cold).
+		fs.dev.ReadAt(buf, fs.blockAddr(b))
+		fs.stats.MovedBlocks++
+		nb := fs.allocBlock(headColdData)
+		n := fs.node(own.ino)
+		n.blocks[own.logical] = nb
+		n.dirty = true
+		fs.dev.WriteAt(buf, fs.blockAddr(nb))
+		fs.blockOwner[nb] = own
+		fs.invalidate(b)
+	}
+	if fs.segValid[seg] == 0 {
+		fs.segState[seg] = 0
+		fs.freeSegs++
+	}
+}
+
+// errUnknown converts lookup misses.
+func (fs *FS) node(ino Ino) *node {
+	if n, ok := fs.inodes[ino]; ok {
+		return n
+	}
+	// Cold-cache path: read the node blob via the NAT.
+	ent, ok := fs.nat[ino]
+	if !ok || ent.first < 0 {
+		panic(fmt.Sprintf("logfs: inode %d has no node block", ino))
+	}
+	n := fs.readNodeBlock(ino, ent)
+	fs.inodes[ino] = n
+	return n
+}
+
+// allocNodeRun allocates n contiguous blocks at the node head, skipping to
+// a fresh segment when the current one cannot fit the blob.
+func (fs *FS) allocNodeRun(n int) int64 {
+	hd := &fs.heads[headNode]
+	if hd.seg >= 0 && SegmentBlocks-hd.next < int64(n) {
+		// Waste the tail so the blob stays contiguous.
+		fs.segState[hd.seg] = 2
+		if fs.segValid[hd.seg] == 0 {
+			fs.segState[hd.seg] = 0
+			fs.freeSegs++
+		}
+		hd.seg = -1
+	}
+	first := fs.allocBlock(headNode)
+	for i := 1; i < n; i++ {
+		fs.allocBlock(headNode)
+	}
+	return first
+}
+
+// --- node-block serialization ------------------------------------------------
+
+// writeNodeBlock persists n's metadata (and directory content) as one or
+// more node blocks at the node head, updating the NAT.
+func (fs *FS) writeNodeBlock(n *node) {
+	blob := fs.encodeNode(n)
+	// Invalidate the old blob.
+	if old, ok := fs.nat[n.ino]; ok && old.first >= 0 {
+		for i := 0; i < old.count; i++ {
+			fs.invalidate(old.first + int64(i))
+		}
+	}
+	// Node blobs are written contiguously at the node head so cold reads
+	// can follow continuation blocks.
+	nBlocks := (len(blob) + BlockSize - 1) / BlockSize
+	padded := make([]byte, nBlocks*BlockSize)
+	copy(padded, blob)
+	first := fs.allocNodeRun(nBlocks)
+	fs.dev.WriteAt(padded, fs.blockAddr(first))
+	for i := 0; i < nBlocks; i++ {
+		fs.blockOwner[first+int64(i)] = owner{ino: n.ino, logical: -1}
+	}
+	fs.stats.NodeWrites++
+	fs.nat[n.ino] = natEntry{first: first, count: nBlocks}
+	n.dirty = false
+	fs.env.Serialize(len(blob))
+}
+
+func (fs *FS) encodeNode(n *node) []byte {
+	e := make([]byte, 0, 256)
+	var t8 [8]byte
+	put := func(v int64) {
+		binary.BigEndian.PutUint64(t8[:], uint64(v))
+		e = append(e, t8[:]...)
+	}
+	flags := int64(0)
+	if n.dir {
+		flags = 1
+	}
+	put(flags)
+	put(n.size)
+	put(int64(n.nlink))
+	put(int64(n.mtime))
+	// Block map as run-length extents: logical, physical, count.
+	blks := make([]int64, 0, len(n.blocks))
+	for l := range n.blocks {
+		blks = append(blks, l)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	type run struct{ l, p, c int64 }
+	var runs []run
+	for _, l := range blks {
+		p := n.blocks[l]
+		if len(runs) > 0 {
+			last := &runs[len(runs)-1]
+			if l == last.l+last.c && p == last.p+last.c {
+				last.c++
+				continue
+			}
+		}
+		runs = append(runs, run{l, p, 1})
+	}
+	put(int64(len(runs)))
+	for _, r := range runs {
+		put(r.l)
+		put(r.p)
+		put(r.c)
+	}
+	if n.dir {
+		put(int64(len(n.children)))
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			put(int64(len(name)))
+			e = append(e, name...)
+			c := n.children[name]
+			put(int64(c.ino))
+			if c.dir {
+				put(1)
+			} else {
+				put(0)
+			}
+		}
+	}
+	return e
+}
+
+// readNodeBlock loads and decodes a node from its contiguous node blob.
+func (fs *FS) readNodeBlock(ino Ino, ent natEntry) *node {
+	fs.stats.NodeReads++
+	buf := make([]byte, ent.count*BlockSize)
+	fs.dev.ReadAt(buf, fs.blockAddr(ent.first))
+	n := &node{ino: ino, blocks: map[int64]int64{}}
+	pos := 0
+	get := func() int64 {
+		v := int64(binary.BigEndian.Uint64(buf[pos:]))
+		pos += 8
+		return v
+	}
+	getBytes := func(k int64) []byte {
+		b := buf[pos : pos+int(k)]
+		pos += int(k)
+		return b
+	}
+	flags := get()
+	n.dir = flags&1 != 0
+	n.size = get()
+	n.nlink = int(get())
+	n.mtime = time.Duration(get())
+	nb := get()
+	for i := int64(0); i < nb; i++ {
+		l := get()
+		p := get()
+		c := get()
+		for j := int64(0); j < c; j++ {
+			n.blocks[l+j] = p + j
+		}
+	}
+	if n.dir {
+		n.children = map[string]childRef{}
+		nc := get()
+		for i := int64(0); i < nc; i++ {
+			nameLen := get()
+			name := string(getBytes(nameLen))
+			cino := Ino(get())
+			cdir := get() == 1
+			n.children[name] = childRef{ino: cino, dir: cdir}
+		}
+	}
+	fs.env.Serialize(pos)
+	return n
+}

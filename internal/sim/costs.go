@@ -1,0 +1,78 @@
+package sim
+
+import "time"
+
+// Costs is the single calibration table for all simulated CPU work.
+//
+// The values model a ~3 GHz Xeon E3-1220 v6 (the paper's testbed). They are
+// calibrated once against the absolute throughputs in Table 1/3 of the
+// paper and then used unchanged by every experiment; individual benchmarks
+// never carry their own fudge factors.
+//
+// Per-byte rates are expressed in picoseconds per byte because realistic
+// memory-bandwidth costs are well below one nanosecond per byte.
+type Costs struct {
+	// MemcpyPsPerByte is the cost of copying one byte of memory
+	// (large-copy amortized, ~8 GiB/s).
+	MemcpyPsPerByte int64
+	// ChecksumPsPerByte is the cost of checksumming one byte.
+	ChecksumPsPerByte int64
+	// ComparePsPerByte is the per-byte cost of a key comparison.
+	ComparePsPerByte int64
+	// SerializePsPerByte is the per-byte cost of structured
+	// encoding/decoding (slightly worse than raw memcpy).
+	SerializePsPerByte int64
+
+	// CompareBase is the fixed cost of one key comparison call.
+	CompareBase time.Duration
+	// MessageOverhead is the fixed cost of creating, routing, or applying
+	// one Bε-tree message (allocation bookkeeping, MSN checks, etc.).
+	MessageOverhead time.Duration
+	// Syscall is the user/kernel boundary crossing cost charged by the
+	// VFS for each file-system operation.
+	Syscall time.Duration
+	// PathComponent is the per-component cost of a VFS path walk that
+	// hits the dentry cache.
+	PathComponent time.Duration
+	// PageCacheOp is the cost of looking up/inserting one page in the
+	// VFS page cache radix tree.
+	PageCacheOp time.Duration
+	// LockUnlock is the cost of an uncontended lock round trip.
+	LockUnlock time.Duration
+	// KmallocBase is the cost of a slab allocation or free.
+	KmallocBase time.Duration
+	// VmallocBase is the fixed cost of establishing a vmalloc mapping.
+	VmallocBase time.Duration
+	// VmallocPerPage is the per-4KiB-page cost of a vmalloc mapping
+	// (page-table population).
+	VmallocPerPage time.Duration
+	// VfreeSizeLookup is the cost of discovering the size of a vmalloc
+	// region from the kernel's mapping tree (paid by legacy free paths;
+	// elided by the cooperative free-with-size interface of §5).
+	VfreeSizeLookup time.Duration
+	// TLBShootdown is the cross-CPU invalidation cost paid when a large
+	// kernel mapping is torn down.
+	TLBShootdown time.Duration
+}
+
+// DefaultCosts returns the calibrated cost table.
+func DefaultCosts() Costs {
+	return Costs{
+		MemcpyPsPerByte:    125, // 8 GiB/s
+		ChecksumPsPerByte:  250, // 4 GiB/s
+		ComparePsPerByte:   250,
+		SerializePsPerByte: 220,
+
+		CompareBase:     8 * time.Nanosecond,
+		MessageOverhead: 120 * time.Nanosecond,
+		Syscall:         900 * time.Nanosecond,
+		PathComponent:   250 * time.Nanosecond,
+		PageCacheOp:     180 * time.Nanosecond,
+		LockUnlock:      40 * time.Nanosecond,
+		KmallocBase:     90 * time.Nanosecond,
+		VmallocBase:     2500 * time.Nanosecond,
+		VmallocPerPage:  55 * time.Nanosecond,
+		VfreeSizeLookup: 1800 * time.Nanosecond,
+		TLBShootdown:    9000 * time.Nanosecond,
+	}
+}

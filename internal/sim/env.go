@@ -1,0 +1,108 @@
+package sim
+
+import "time"
+
+// Env bundles the shared clock, cost table, and random source handed to
+// every simulated component. One Env corresponds to one machine.
+type Env struct {
+	Clock *Clock
+	Costs Costs
+	Rand  *Rand
+
+	// Stats accumulates coarse CPU accounting by category so experiments
+	// can report where simulated time went.
+	Stats CPUStats
+}
+
+// CPUStats tallies simulated CPU time by broad category.
+type CPUStats struct {
+	Memcpy    time.Duration
+	Checksum  time.Duration
+	Compare   time.Duration
+	Serialize time.Duration
+	Alloc     time.Duration
+	Other     time.Duration
+}
+
+// Total returns the total CPU time across categories.
+func (s CPUStats) Total() time.Duration {
+	return s.Memcpy + s.Checksum + s.Compare + s.Serialize + s.Alloc + s.Other
+}
+
+// NewEnv returns an environment with default costs and the given seed.
+func NewEnv(seed uint64) *Env {
+	return &Env{
+		Clock: NewClock(),
+		Costs: DefaultCosts(),
+		Rand:  NewRand(seed),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Env) Now() time.Duration { return e.Clock.Now() }
+
+// Charge advances the clock by a fixed CPU cost.
+func (e *Env) Charge(d time.Duration) {
+	e.Clock.Advance(d)
+	e.Stats.Other += d
+}
+
+func psCost(bytes int, psPerByte int64) time.Duration {
+	return time.Duration(int64(bytes) * psPerByte / 1000)
+}
+
+// Memcpy charges for copying n bytes.
+func (e *Env) Memcpy(n int) {
+	d := psCost(n, e.Costs.MemcpyPsPerByte)
+	e.Clock.Advance(d)
+	e.Stats.Memcpy += d
+	if memcpyTrap > 0 && e.Stats.Memcpy > memcpyTrap {
+		panic("memcpy trap")
+	}
+}
+
+// memcpyTrap is a debugging aid: panic when cumulative memcpy passes it.
+var memcpyTrap = time.Duration(0)
+
+// SetMemcpyTrap arms the trap (tests/debugging only).
+func SetMemcpyTrap(d time.Duration) { memcpyTrap = d }
+
+// Checksum charges for checksumming n bytes.
+func (e *Env) Checksum(n int) {
+	d := psCost(n, e.Costs.ChecksumPsPerByte)
+	e.Clock.Advance(d)
+	e.Stats.Checksum += d
+}
+
+// Serialize charges for encoding or decoding n bytes of structured data.
+func (e *Env) Serialize(n int) {
+	d := psCost(n, e.Costs.SerializePsPerByte)
+	e.Clock.Advance(d)
+	e.Stats.Serialize += d
+}
+
+// Compare charges for one key comparison that inspected n bytes.
+func (e *Env) Compare(n int) {
+	d := e.Costs.CompareBase + psCost(n, e.Costs.ComparePsPerByte)
+	e.Clock.Advance(d)
+	e.Stats.Compare += d
+}
+
+// ChargeAlloc advances the clock by an allocation-related CPU cost.
+func (e *Env) ChargeAlloc(d time.Duration) {
+	e.Clock.Advance(d)
+	e.Stats.Alloc += d
+}
+
+// CompareBulk charges for n key comparisons of avgLen bytes each in one
+// arithmetic step. Components use it when an algorithm's comparison count
+// is known in closed form (e.g. PacMan's quadratic scan), so the simulated
+// cost stays faithful without the host looping pair by pair.
+func (e *Env) CompareBulk(n int, avgLen int) {
+	if n <= 0 {
+		return
+	}
+	d := time.Duration(n)*e.Costs.CompareBase + psCost(n*avgLen, e.Costs.ComparePsPerByte)
+	e.Clock.Advance(d)
+	e.Stats.Compare += d
+}

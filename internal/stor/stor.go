@@ -1,0 +1,28 @@
+// Package stor defines the byte-store interface shared by the Bε-tree, the
+// write-ahead log, and the two storage backends (the Simple File Layer and
+// the stacked ext4 southbound). Keeping it separate avoids dependency
+// cycles between those packages.
+package stor
+
+// Wait blocks (advances the simulated clock) until an asynchronous I/O
+// completes.
+type Wait func()
+
+// File is a named region of storage with direct synchronous and
+// asynchronous I/O plus a durability barrier. Offsets are file-relative.
+type File interface {
+	// ReadAt synchronously reads len(p) bytes at off.
+	ReadAt(p []byte, off int64)
+	// WriteAt synchronously writes len(p) bytes at off.
+	WriteAt(p []byte, off int64)
+	// SubmitRead starts an asynchronous read; p is filled when the
+	// returned Wait is called.
+	SubmitRead(p []byte, off int64) Wait
+	// SubmitWrite starts an asynchronous write; the caller must not
+	// modify p until the returned Wait is called.
+	SubmitWrite(p []byte, off int64) Wait
+	// Flush makes all completed writes durable.
+	Flush()
+	// Capacity returns the addressable size of the file in bytes.
+	Capacity() int64
+}

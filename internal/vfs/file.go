@@ -1,0 +1,308 @@
+package vfs
+
+import (
+	"betrfs/internal/keys"
+)
+
+// File is an open file description with a cursor, as returned by Open.
+type File struct {
+	m   *Mount
+	ino *inode
+	pos int64
+	// lastReadEnd and raPages implement per-file sequential read
+	// detection with a growing read-ahead window, as the VFS does.
+	lastReadEnd int64
+	raPages     int
+	closed      bool
+}
+
+// Create creates (or truncates) a file and opens it.
+func (m *Mount) Create(path string) (*File, error) {
+	return m.OpenFile(path, true, true)
+}
+
+// Open opens an existing file.
+func (m *Mount) Open(path string) (*File, error) {
+	return m.OpenFile(path, false, false)
+}
+
+// OpenFile opens path; create makes it if absent, trunc empties it.
+func (m *Mount) OpenFile(path string, create, trunc bool) (*File, error) {
+	m.chargeSyscall()
+	defer m.maintain()
+	path = keys.Clean(path)
+	ino, err := m.walk(path)
+	if err == ErrNotExist && create {
+		parentPath, name := keys.ParentAndName(path)
+		parent, perr := m.walk(parentPath)
+		if perr != nil {
+			return nil, perr
+		}
+		m.stats.Creates++
+		h, attr, cerr := m.fs.Create(parent.h, name, false)
+		if cerr != nil {
+			return nil, cerr
+		}
+		ino = m.internInode(h, path, attr)
+		m.markInodeDirty(ino)
+		m.dcache[path] = &dentry{ino: ino}
+		m.markInodeDirty(parent)
+	} else if err != nil {
+		return nil, err
+	}
+	if ino.attr.Dir {
+		return nil, ErrIsDir
+	}
+	f := &File{m: m, ino: ino}
+	if trunc && ino.attr.Size > 0 {
+		f.Truncate(0)
+	}
+	return f, nil
+}
+
+// Size returns the current file size.
+func (f *File) Size() int64 { return f.ino.attr.Size }
+
+// Path returns the file's current path.
+func (f *File) Path() string { return f.ino.path }
+
+// Truncate resizes the file to size (only shrinking discards data).
+func (f *File) Truncate(size int64) {
+	m := f.m
+	m.chargeSyscall()
+	if size < f.ino.attr.Size {
+		fromBlk := (size + PageSize - 1) / PageSize
+		for blk, pg := range f.ino.pages {
+			if blk >= fromBlk {
+				m.forgetPage(pg)
+				delete(f.ino.pages, blk)
+			}
+		}
+		m.fs.TruncateBlocks(f.ino.h, fromBlk)
+		// Zero the tail of the new EOF block so a later extension past
+		// it reads zeros, not stale bytes (as the kernel does at
+		// truncate time).
+		if po := int(size % PageSize); po != 0 {
+			blk := size / PageSize
+			pg, ok := f.ino.pages[blk]
+			if !ok {
+				pg = m.newPage(f.ino, blk)
+				m.fs.ReadBlocks(f.ino.h, blk, []*Page{pg}, false)
+			} else {
+				pg = m.cowIfPinned(f.ino, blk, pg, false)
+			}
+			for i := po; i < PageSize; i++ {
+				pg.Data[i] = 0
+			}
+			m.dirtyPage(pg)
+		}
+	}
+	f.ino.attr.Size = size
+	m.markInodeDirty(f.ino)
+}
+
+// Write appends at the cursor.
+func (f *File) Write(p []byte) (int, error) {
+	n, err := f.WriteAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Read reads from the cursor.
+func (f *File) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Seek sets the cursor (whence 0 = absolute, 1 = relative, 2 = from end)
+// and returns the new position.
+func (f *File) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case 1:
+		f.pos += off
+	case 2:
+		f.pos = f.ino.attr.Size + off
+	default:
+		f.pos = off
+	}
+	return f.pos, nil
+}
+
+// WriteAt writes p at offset off, through the page cache. Full-page
+// overwrites never read; sub-page writes to uncached blocks either use the
+// FS's blind-write path (WODs, §2.1) or fall back to read-modify-write.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	m := f.m
+	m.chargeSyscall()
+	defer m.maintain()
+	ino := f.ino
+	m.stats.WriteBytes += int64(len(p))
+	rest := p
+	pos := off
+	for len(rest) > 0 {
+		blk := pos / PageSize
+		po := int(pos % PageSize)
+		n := PageSize - po
+		if n > len(rest) {
+			n = len(rest)
+		}
+		chunk := rest[:n]
+		m.env.Charge(m.env.Costs.PageCacheOp)
+		pg, cached := ino.pages[blk]
+		switch {
+		case cached:
+			pg = m.cowIfPinned(ino, blk, pg, po == 0 && n == PageSize)
+			m.env.Memcpy(n)
+			copy(pg.Data[po:po+n], chunk)
+			m.dirtyPage(pg)
+		case po == 0 && (n == PageSize || pos+int64(n) >= ino.attr.Size):
+			// Full overwrite of the block (or write reaching EOF):
+			// no read needed.
+			pg = m.newPage(ino, blk)
+			m.env.Memcpy(n)
+			copy(pg.Data[:n], chunk)
+			m.dirtyPage(pg)
+		case m.fs.SupportsBlindWrites():
+			// Sub-page write to an uncached block: blind update, no
+			// page instantiated (§2.1 blind writes).
+			m.stats.BlindWrites++
+			m.env.Memcpy(n)
+			m.fs.WritePartial(ino.h, blk, po, chunk, false)
+		default:
+			// Read-modify-write, the update-in-place path.
+			m.stats.RMWReads++
+			pg = m.newPage(ino, blk)
+			m.fs.ReadBlocks(ino.h, blk, []*Page{pg}, false)
+			m.stats.PagesRead++
+			m.env.Memcpy(n)
+			copy(pg.Data[po:po+n], chunk)
+			m.dirtyPage(pg)
+		}
+		rest = rest[n:]
+		pos += int64(n)
+	}
+	if pos > ino.attr.Size {
+		ino.attr.Size = pos
+	}
+	m.markInodeDirty(ino)
+	m.balanceDirty()
+	return len(p), nil
+}
+
+// ReadAt reads into p from offset off through the page cache with
+// sequential read-ahead.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	m := f.m
+	m.chargeSyscall()
+	defer m.maintain()
+	ino := f.ino
+	if off >= ino.attr.Size {
+		return 0, nil
+	}
+	if max := ino.attr.Size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	seq := off == f.lastReadEnd && off > 0 || (off == 0 && f.lastReadEnd == 0)
+	if seq {
+		if f.raPages == 0 {
+			f.raPages = 4
+		} else if f.raPages < m.cfg.ReadAheadMaxPages {
+			f.raPages *= 2
+			if f.raPages > m.cfg.ReadAheadMaxPages {
+				f.raPages = m.cfg.ReadAheadMaxPages
+			}
+		}
+	} else {
+		f.raPages = 0
+	}
+	read := 0
+	pos := off
+	for read < len(p) {
+		blk := pos / PageSize
+		po := int(pos % PageSize)
+		n := PageSize - po
+		if n > len(p)-read {
+			n = len(p) - read
+		}
+		m.env.Charge(m.env.Costs.PageCacheOp)
+		pg, ok := ino.pages[blk]
+		if !ok {
+			pg = m.fillPages(ino, blk, seq, f.raPages)
+		} else {
+			m.touchPage(pg)
+		}
+		m.env.Memcpy(n)
+		copy(p[read:read+n], pg.Data[po:po+n])
+		read += n
+		pos += int64(n)
+	}
+	f.lastReadEnd = off + int64(read)
+	return read, nil
+}
+
+// fillPages reads block blk (plus read-ahead) from the FS and returns
+// blk's page.
+func (m *Mount) fillPages(ino *inode, blk int64, seq bool, raPages int) *Page {
+	lastBlk := (ino.attr.Size + PageSize - 1) / PageSize
+	count := 1
+	if seq && raPages > 1 {
+		count = raPages
+	}
+	if blk+int64(count) > lastBlk {
+		count = int(lastBlk - blk)
+		if count < 1 {
+			count = 1
+		}
+	}
+	var pages []*Page
+	var blks []int64
+	for i := 0; i < count; i++ {
+		b := blk + int64(i)
+		if _, ok := ino.pages[b]; ok && i > 0 {
+			break // read-ahead ran into cached territory
+		}
+		if i > 0 {
+			m.env.Charge(m.env.Costs.PageCacheOp)
+		}
+		pg := m.newPage(ino, b)
+		pages = append(pages, pg)
+		blks = append(blks, b)
+	}
+	m.fs.ReadBlocks(ino.h, blk, pages, seq)
+	m.stats.PagesRead += int64(len(pages))
+	for i, pg := range pages {
+		_ = blks[i]
+		m.trackClean(pg)
+	}
+	return pages[0]
+}
+
+// fsyncDurableMaxPages bounds how many dirty pages an fsync writes back
+// through the payload-logged durable path; larger dirty sets go through
+// normal write-back and the FS persists them wholesale (for BetrFS, a
+// checkpoint — see the crash-semantics note in DESIGN.md).
+const fsyncDurableMaxPages = 64
+
+// Fsync writes back the file's dirty pages and metadata, then asks the FS
+// for durability (§3.3, DESIGN.md).
+func (f *File) Fsync() {
+	m := f.m
+	m.chargeSyscall()
+	m.stats.Fsyncs++
+	dirty := 0
+	for _, pg := range f.ino.pages {
+		if pg.Dirty {
+			dirty++
+		}
+	}
+	m.writebackInodePages(f.ino, dirty <= fsyncDurableMaxPages)
+	m.writebackInodeAttr(f.ino)
+	m.fs.Fsync(f.ino.h)
+	m.maintain()
+}
+
+// Close drops the descriptor (data remains cached; Close does not sync).
+func (f *File) Close() {
+	f.closed = true
+}

@@ -1,0 +1,122 @@
+// Package vfs implements a user-space analog of the Linux VFS: path
+// resolution over a dentry cache, an inode cache with dirty-inode
+// write-back, a page cache with read-ahead and write-back watermarks, and
+// a file-descriptor API that workloads program against.
+//
+// Every file system in this repository (BetrFS, extfs, logfs, cowfs)
+// implements the FS interface below and is driven through a Mount. The
+// VFS behaviours the paper modifies live here: opportunistic population of
+// the dentry/inode caches from readdir (§4 DC), coherent nlink counters
+// (§4), deferred inode write-back (§3.3 CL), blind sub-page writes (§2.1),
+// page pinning with copy-on-write for page sharing (§6), and sequential
+// read detection feeding FS-level read-ahead (§3.2).
+package vfs
+
+import (
+	"errors"
+	"time"
+)
+
+// PageSize is the VFS page and file-block size.
+const PageSize = 4096
+
+// Common error values. They mirror the POSIX errors the workloads expect.
+var (
+	ErrNotExist = errors.New("vfs: no such file or directory")
+	ErrExist    = errors.New("vfs: file exists")
+	ErrNotDir   = errors.New("vfs: not a directory")
+	ErrIsDir    = errors.New("vfs: is a directory")
+	ErrNotEmpty = errors.New("vfs: directory not empty")
+)
+
+// Handle is a file-system-specific node reference: BetrFS uses full paths,
+// the inode-based file systems use inode numbers.
+type Handle interface{}
+
+// Attr is the stat metadata of a file or directory.
+type Attr struct {
+	Dir   bool
+	Size  int64
+	Nlink int
+	Mtime time.Duration
+}
+
+// DirEntry is one readdir result. FS implementations that support
+// opportunistic inode instantiation (§4) fill Handle and Attr so the VFS
+// can populate its caches without further lookups; others leave Handle
+// nil.
+type DirEntry struct {
+	Name   string
+	Dir    bool
+	Handle Handle
+	Attr   Attr
+	Known  bool // Handle/Attr are valid
+}
+
+// Page is a page-cache page. FS implementations may pin pages (page
+// sharing, §6): while pinned the contents are immutable and the VFS
+// copies-on-write if the application writes again.
+type Page struct {
+	Data  []byte
+	Dirty bool
+	pins  int
+
+	ino *inode
+	blk int64
+	// dirtiedAt is when the page last transitioned clean->dirty, for
+	// dirty_expire-style write-back.
+	dirtiedAt time.Duration
+}
+
+// Pin marks the page immutable-by-VFS; Release undoes it.
+func (p *Page) Pin()     { p.pins++ }
+func (p *Page) Release() { p.pins-- }
+
+// Pinned reports whether any FS-side reference holds the page.
+func (p *Page) Pinned() bool { return p.pins > 0 }
+
+// FS is the interface a concrete file system exposes to the VFS.
+type FS interface {
+	// Root returns the handle of the root directory.
+	Root() Handle
+	// Lookup resolves name within parent.
+	Lookup(parent Handle, name string) (Handle, Attr, error)
+	// Create makes a file or directory. The returned attr is the
+	// initial metadata.
+	Create(parent Handle, name string, dir bool) (Handle, Attr, error)
+	// Remove unlinks a file or removes an (empty, FS-checked) directory.
+	Remove(parent Handle, name string, h Handle, dir bool) error
+	// Rename moves h from oldParent/oldName to newParent/newName,
+	// returning the (possibly new) handle.
+	Rename(oldParent Handle, oldName string, h Handle, newParent Handle, newName string) (Handle, error)
+	// ReadDir lists parent's direct children.
+	ReadDir(h Handle) ([]DirEntry, error)
+	// WriteAttr persists inode metadata (dirty-inode write-back).
+	WriteAttr(h Handle, a Attr)
+	// ReadBlocks fills pages [blk, blk+len(pages)) of the file; seq
+	// hints that the reads are part of a sequential run.
+	ReadBlocks(h Handle, blk int64, pages []*Page, seq bool)
+	// WriteBlocks persists a contiguous run of file pages starting at
+	// blk (write-back coalesces adjacent dirty pages into one call, as
+	// bio merging does). durable marks an fsync-driven write-back. The
+	// FS may Pin pages instead of copying them (page sharing).
+	WriteBlocks(h Handle, blk int64, pgs []*Page, durable bool)
+	// WritePartial is a blind sub-page write (off, data within one
+	// block) without a prior read; only WODs support it.
+	WritePartial(h Handle, blk int64, off int, data []byte, durable bool)
+	// SupportsBlindWrites reports whether WritePartial is available.
+	SupportsBlindWrites() bool
+	// TruncateBlocks drops blocks at index >= fromBlk.
+	TruncateBlocks(h Handle, fromBlk int64)
+	// Fsync makes h's previously written data and metadata durable.
+	Fsync(h Handle)
+	// Sync makes the whole file system durable.
+	Sync()
+	// Maintain gives the FS a chance to run background work
+	// (checkpoints, segment cleaning, transaction-group commits); the
+	// VFS calls it periodically from operation paths.
+	Maintain()
+	// DropCaches evicts the FS's internal clean caches (node caches,
+	// metadata caches), used by cold-cache benchmarks.
+	DropCaches()
+}

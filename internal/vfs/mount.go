@@ -1,0 +1,469 @@
+package vfs
+
+import (
+	"container/list"
+	"strings"
+	"time"
+
+	"betrfs/internal/keys"
+	"betrfs/internal/sim"
+)
+
+// Config tunes the VFS caches; defaults model the paper's 32 GB testbed
+// scaled down alongside the workloads.
+type Config struct {
+	// CacheBytes bounds the page cache.
+	CacheBytes int64
+	// DirtyRatio is the fraction of CacheBytes at which writers are
+	// throttled into write-back (vm.dirty_ratio).
+	DirtyRatio float64
+	// DirtyExpire is how long a page or inode may stay dirty before
+	// background write-back picks it up (dirty_expire_centisecs).
+	DirtyExpire time.Duration
+	// MaintainInterval is how often operation paths run background work.
+	MaintainInterval time.Duration
+	// ReadAheadMaxPages bounds the sequential read-ahead window.
+	ReadAheadMaxPages int
+	// ReaddirPopulatesCaches enables using Known directory entries to
+	// instantiate dentries and inodes opportunistically (§4 DC). The FS
+	// must also choose to return Known entries.
+	ReaddirPopulatesCaches bool
+}
+
+// DefaultConfig returns the standard VFS configuration.
+func DefaultConfig() Config {
+	return Config{
+		CacheBytes:             1 << 30,
+		DirtyRatio:             0.20,
+		DirtyExpire:            30 * time.Second,
+		MaintainInterval:       time.Second,
+		ReadAheadMaxPages:      64,
+		ReaddirPopulatesCaches: true,
+	}
+}
+
+// Stats counts VFS activity.
+type Stats struct {
+	Lookups       int64
+	DcacheHits    int64
+	FsLookups     int64
+	Creates       int64
+	Removes       int64
+	Renames       int64
+	ReadBytes     int64
+	WriteBytes    int64
+	PagesRead     int64
+	PagesWritten  int64
+	BlindWrites   int64
+	RMWReads      int64 // read-modify-write fills for sub-page writes
+	Fsyncs        int64
+	PageEvictions int64
+	CowCopies     int64
+}
+
+// inode is the VFS in-memory inode.
+type inode struct {
+	h          Handle
+	path       string
+	attr       Attr
+	dirty      bool
+	dirtySince time.Duration
+	pages      map[int64]*Page
+}
+
+// dentry maps a path to an inode (or caches a negative lookup).
+type dentry struct {
+	ino *inode
+	neg bool
+}
+
+// Mount is a mounted file system instance.
+type Mount struct {
+	env *sim.Env
+	fs  FS
+	cfg Config
+
+	dcache map[string]*dentry
+	icache map[Handle]*inode
+	root   *inode
+
+	// Page accounting: lru holds clean pages for eviction; dirty holds
+	// dirty pages in dirtying order for write-back.
+	lru        *list.List // of *Page
+	lruEl      map[*Page]*list.Element
+	dirty      *list.List // of *Page
+	dirtyEl    map[*Page]*list.Element
+	cleanBytes int64
+	dirtyBytes int64
+
+	dirtyInodes map[*inode]time.Duration
+
+	lastMaintain time.Duration
+	stats        Stats
+}
+
+// Mount wraps fs with the VFS caches.
+func NewMount(env *sim.Env, fs FS, cfg Config) *Mount {
+	m := &Mount{
+		env:         env,
+		fs:          fs,
+		cfg:         cfg,
+		dcache:      make(map[string]*dentry),
+		icache:      make(map[Handle]*inode),
+		lru:         list.New(),
+		lruEl:       make(map[*Page]*list.Element),
+		dirty:       list.New(),
+		dirtyEl:     make(map[*Page]*list.Element),
+		dirtyInodes: make(map[*inode]time.Duration),
+	}
+	rootH := fs.Root()
+	m.root = &inode{h: rootH, path: "", attr: Attr{Dir: true, Nlink: 2}, pages: map[int64]*Page{}}
+	m.icache[rootH] = m.root
+	m.dcache[""] = &dentry{ino: m.root}
+	return m
+}
+
+// Stats returns VFS counters.
+func (m *Mount) Stats() *Stats { return &m.stats }
+
+// FS returns the underlying file system.
+func (m *Mount) FS() FS { return m.fs }
+
+// --- path resolution --------------------------------------------------------
+
+// walk resolves path to an inode, charging dentry-cache costs per
+// component and falling back to FS lookups on misses.
+func (m *Mount) walk(path string) (*inode, error) {
+	m.stats.Lookups++
+	path = keys.Clean(path)
+	if d, ok := m.dcache[path]; ok {
+		m.env.Charge(m.env.Costs.PathComponent)
+		m.stats.DcacheHits++
+		if d.neg {
+			return nil, ErrNotExist
+		}
+		return d.ino, nil
+	}
+	parts := keys.Split(path)
+	cur := m.root
+	walked := ""
+	for _, part := range parts {
+		m.env.Charge(m.env.Costs.PathComponent)
+		if !cur.attr.Dir {
+			return nil, ErrNotDir
+		}
+		walked = keys.Join(walked, part)
+		if d, ok := m.dcache[walked]; ok {
+			if d.neg {
+				return nil, ErrNotExist
+			}
+			cur = d.ino
+			continue
+		}
+		m.stats.FsLookups++
+		h, attr, err := m.fs.Lookup(cur.h, part)
+		if err != nil {
+			if err == ErrNotExist {
+				m.dcache[walked] = &dentry{neg: true}
+			}
+			return nil, err
+		}
+		child := m.internInode(h, walked, attr)
+		m.dcache[walked] = &dentry{ino: child}
+		cur = child
+	}
+	return cur, nil
+}
+
+// internInode returns the cached inode for h, creating it if needed.
+func (m *Mount) internInode(h Handle, path string, attr Attr) *inode {
+	if ino, ok := m.icache[h]; ok {
+		return ino
+	}
+	ino := &inode{h: h, path: path, attr: attr, pages: map[int64]*Page{}}
+	m.icache[h] = ino
+	return ino
+}
+
+func (m *Mount) markInodeDirty(ino *inode) {
+	ino.attr.Mtime = m.env.Now()
+	if !ino.dirty {
+		ino.dirty = true
+		ino.dirtySince = m.env.Now()
+		m.dirtyInodes[ino] = ino.dirtySince
+	}
+}
+
+// --- namespace operations ---------------------------------------------------
+
+// Mkdir creates a directory.
+func (m *Mount) Mkdir(path string) error {
+	m.chargeSyscall()
+	defer m.maintain()
+	path = keys.Clean(path)
+	parentPath, name := keys.ParentAndName(path)
+	if name == "" {
+		return ErrExist
+	}
+	parent, err := m.walk(parentPath)
+	if err != nil {
+		return err
+	}
+	if _, err := m.walk(path); err == nil {
+		return ErrExist
+	}
+	m.stats.Creates++
+	h, attr, err := m.fs.Create(parent.h, name, true)
+	if err != nil {
+		return err
+	}
+	ino := m.internInode(h, path, attr)
+	m.markInodeDirty(ino)
+	m.dcache[path] = &dentry{ino: ino}
+	parent.attr.Nlink++
+	m.markInodeDirty(parent)
+	return nil
+}
+
+// MkdirAll creates path and any missing parents.
+func (m *Mount) MkdirAll(path string) error {
+	parts := keys.Split(path)
+	cur := ""
+	for _, p := range parts {
+		cur = keys.Join(cur, p)
+		if err := m.Mkdir(cur); err != nil && err != ErrExist {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove unlinks the file at path.
+func (m *Mount) Remove(path string) error {
+	return m.remove(path, false)
+}
+
+// Rmdir removes the (empty) directory at path.
+func (m *Mount) Rmdir(path string) error {
+	return m.remove(path, true)
+}
+
+func (m *Mount) remove(path string, dir bool) error {
+	m.chargeSyscall()
+	defer m.maintain()
+	path = keys.Clean(path)
+	ino, err := m.walk(path)
+	if err != nil {
+		return err
+	}
+	if ino.attr.Dir != dir {
+		if dir {
+			return ErrNotDir
+		}
+		return ErrIsDir
+	}
+	parentPath, name := keys.ParentAndName(path)
+	parent, err := m.walk(parentPath)
+	if err != nil {
+		return err
+	}
+	m.stats.Removes++
+	if err := m.fs.Remove(parent.h, name, ino.h, dir); err != nil {
+		return err
+	}
+	// Discard cached state: deleted data is never written back.
+	m.dropInodePages(ino)
+	delete(m.icache, ino.h)
+	delete(m.dirtyInodes, ino)
+	ino.dirty = false
+	delete(m.dcache, path)
+	if dir {
+		parent.attr.Nlink--
+	}
+	m.markInodeDirty(parent)
+	return nil
+}
+
+// RemoveAll recursively deletes path, mirroring rm -rf's bottom-up
+// traversal through the VFS (§2.3): readdir each directory, recurse, then
+// unlink children before the parent rmdir.
+func (m *Mount) RemoveAll(path string) error {
+	path = keys.Clean(path)
+	ino, err := m.walk(path)
+	if err != nil {
+		if err == ErrNotExist {
+			return nil
+		}
+		return err
+	}
+	if !ino.attr.Dir {
+		return m.Remove(path)
+	}
+	entries, err := m.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := m.RemoveAll(keys.Join(path, e.Name)); err != nil {
+			return err
+		}
+	}
+	return m.Rmdir(path)
+}
+
+// ReadDir lists the directory at path, opportunistically instantiating
+// child dentries and inodes when the FS provides them (§4 DC).
+func (m *Mount) ReadDir(path string) ([]DirEntry, error) {
+	m.chargeSyscall()
+	defer m.maintain()
+	path = keys.Clean(path)
+	ino, err := m.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if !ino.attr.Dir {
+		return nil, ErrNotDir
+	}
+	entries, err := m.fs.ReadDir(ino.h)
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.ReaddirPopulatesCaches {
+		for _, e := range entries {
+			if !e.Known {
+				continue
+			}
+			childPath := keys.Join(path, e.Name)
+			if _, ok := m.dcache[childPath]; ok {
+				continue
+			}
+			child := m.internInode(e.Handle, childPath, e.Attr)
+			m.dcache[childPath] = &dentry{ino: child}
+			m.env.Charge(m.env.Costs.PathComponent) // dcache insert
+		}
+	}
+	return entries, nil
+}
+
+// Rename moves oldPath to newPath (replacing a non-directory target).
+func (m *Mount) Rename(oldPath, newPath string) error {
+	m.chargeSyscall()
+	defer m.maintain()
+	oldPath = keys.Clean(oldPath)
+	newPath = keys.Clean(newPath)
+	ino, err := m.walk(oldPath)
+	if err != nil {
+		return err
+	}
+	if target, err := m.walk(newPath); err == nil {
+		if target.attr.Dir {
+			return ErrExist
+		}
+		if err := m.Remove(newPath); err != nil {
+			return err
+		}
+	}
+	oldParentPath, oldName := keys.ParentAndName(oldPath)
+	newParentPath, newName := keys.ParentAndName(newPath)
+	oldParent, err := m.walk(oldParentPath)
+	if err != nil {
+		return err
+	}
+	newParent, err := m.walk(newParentPath)
+	if err != nil {
+		return err
+	}
+	m.stats.Renames++
+	if ino.attr.Dir {
+		// Directory renames change descendant handles in path-indexed
+		// file systems: write back and drop everything beneath.
+		m.writebackSubtree(oldPath)
+		m.dropSubtreeCaches(oldPath)
+	}
+	newH, err := m.fs.Rename(oldParent.h, oldName, ino.h, newParent.h, newName)
+	if err != nil {
+		return err
+	}
+	delete(m.dcache, oldPath)
+	delete(m.icache, ino.h)
+	ino.h = newH
+	ino.path = newPath
+	m.icache[newH] = ino
+	m.dcache[newPath] = &dentry{ino: ino}
+	if ino.attr.Dir {
+		oldParent.attr.Nlink--
+		newParent.attr.Nlink++
+	}
+	m.markInodeDirty(oldParent)
+	m.markInodeDirty(newParent)
+	return nil
+}
+
+// Stat returns metadata for path.
+func (m *Mount) Stat(path string) (Attr, error) {
+	m.chargeSyscall()
+	defer m.maintain()
+	ino, err := m.walk(path)
+	if err != nil {
+		return Attr{}, err
+	}
+	return ino.attr, nil
+}
+
+// Sync writes back all dirty state and asks the FS to persist everything.
+func (m *Mount) Sync() {
+	m.chargeSyscall()
+	m.writebackAll(false)
+	m.fs.Sync()
+}
+
+// DropCaches writes back dirty state and then empties the page, dentry,
+// and inode caches plus the FS's own caches — the echo 3 >
+// /proc/sys/vm/drop_caches step cold-cache benchmarks perform.
+func (m *Mount) DropCaches() {
+	m.Sync()
+	for ino := range m.icache {
+		_ = ino
+	}
+	for h, ino := range m.icache {
+		m.dropInodePages(ino)
+		if ino != m.root {
+			delete(m.icache, h)
+		}
+	}
+	m.dcache = map[string]*dentry{"": {ino: m.root}}
+	m.dirtyInodes = make(map[*inode]time.Duration)
+	m.fs.DropCaches()
+}
+
+func (m *Mount) chargeSyscall() {
+	m.env.Charge(m.env.Costs.Syscall)
+}
+
+// writebackSubtree flushes dirty pages and inodes under prefix.
+func (m *Mount) writebackSubtree(prefix string) {
+	for h, ino := range m.icache {
+		_ = h
+		if ino.path == prefix || strings.HasPrefix(ino.path, prefix+"/") {
+			m.writebackInodePages(ino, false)
+			m.writebackInodeAttr(ino)
+		}
+	}
+}
+
+// dropSubtreeCaches discards dentries and inodes under prefix (must be
+// clean).
+func (m *Mount) dropSubtreeCaches(prefix string) {
+	for p := range m.dcache {
+		if p == prefix || strings.HasPrefix(p, prefix+"/") {
+			delete(m.dcache, p)
+		}
+	}
+	for h, ino := range m.icache {
+		if ino.path == prefix || strings.HasPrefix(ino.path, prefix+"/") {
+			m.dropInodePages(ino)
+			delete(m.icache, h)
+			delete(m.dirtyInodes, ino)
+		}
+	}
+}

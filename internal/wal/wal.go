@@ -1,0 +1,353 @@
+// Package wal implements the Bε-tree redo log engine of BetrFS v0.6.
+//
+// The log is a circular buffer in a statically allocated disk region (§3.1).
+// Each entry carries a sequence number and a checksum used to validate
+// integrity during recovery; a recovery hint (the caller persists it in its
+// superblock) records a recent starting point for the scan.
+//
+// The log supports the reference counts on log sections that the
+// conditional-logging optimization (§3.3) requires: a dirty VFS inode pins
+// the section of the log holding its creation record until the inode is
+// written into the Bε-tree, so the circular buffer cannot reclaim it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"betrfs/internal/sim"
+	"betrfs/internal/stor"
+)
+
+const (
+	recMagic   = 0xbee7f00d
+	headerSize = 4 + 4 + 4 + 8 + 1 // magic, epoch, len, lsn, type
+	crcSize    = 4
+)
+
+// RecordType distinguishes log entries; the meaning of payloads belongs to
+// the caller, except PadType which the log uses internally at wrap-around.
+type RecordType byte
+
+// PadType fills the tail of the region when a record would wrap.
+const PadType RecordType = 0xff
+
+// ErrLogFull is returned by Append when the circular region has no space;
+// the caller must checkpoint (or release pins) and retry.
+var ErrLogFull = errors.New("wal: log region full")
+
+// Record is one recovered log entry.
+type Record struct {
+	LSN     uint64
+	Type    RecordType
+	Payload []byte
+}
+
+// Hint is the recovery starting point a caller persists in its superblock.
+type Hint struct {
+	Offset int64  // byte offset of the oldest live record
+	LSN    uint64 // its sequence number
+	Epoch  uint32 // log incarnation; records from other epochs are stale
+}
+
+// Log is a circular redo log over a fixed storage region.
+type Log struct {
+	env   *sim.Env
+	f     stor.File
+	cap   int64
+	epoch uint32
+
+	nextLSN uint64
+	durable uint64 // highest LSN guaranteed on stable storage
+
+	// head/tail are monotonically increasing byte positions; the disk
+	// offset is position mod cap. Live bytes are [tail, head).
+	head int64
+	tail int64
+
+	// pending holds appended-but-unflushed bytes, destined for positions
+	// [flushedTo, head).
+	pending   []byte
+	flushedTo int64
+
+	// positions records (lsn, start position) so reclamation can find
+	// the byte position of a given LSN.
+	positions []lsnPos
+
+	// pins maps LSN -> refcount; reclamation never passes the minimum
+	// pinned LSN (conditional logging).
+	pins map[uint64]int
+
+	// SyncDelay models the synchronous commit path latency beyond the
+	// device flush itself (context switches, plug/unplug); OLTP-style
+	// fsync-heavy workloads are sensitive to it.
+	SyncDelay time.Duration
+
+	stats Stats
+}
+
+type lsnPos struct {
+	lsn uint64
+	pos int64
+}
+
+// Stats counts log activity.
+type Stats struct {
+	Appends     int64
+	Flushes     int64
+	BytesLogged int64
+	PadBytes    int64
+	PinsBlocked int64 // reclaim attempts stopped early by pins
+}
+
+// New creates a log over region f starting empty at LSN 1. The epoch
+// distinguishes this incarnation of the log from stale bytes left by a
+// previous one occupying the same region.
+func New(env *sim.Env, f stor.File, epoch uint32) *Log {
+	return &Log{
+		env:     env,
+		f:       f,
+		cap:     f.Capacity(),
+		epoch:   epoch,
+		nextLSN: 1,
+		pins:    make(map[uint64]int),
+	}
+}
+
+// Epoch returns the log incarnation number.
+func (l *Log) Epoch() uint32 { return l.epoch }
+
+// Stats returns cumulative log statistics.
+func (l *Log) Stats() *Stats { return &l.stats }
+
+// NextLSN returns the LSN the next Append will receive.
+func (l *Log) NextLSN() uint64 { return l.nextLSN }
+
+// DurableLSN returns the highest LSN known to be on stable storage.
+func (l *Log) DurableLSN() uint64 { return l.durable }
+
+// FreeBytes returns how much circular space remains before Append fails.
+func (l *Log) FreeBytes() int64 { return l.cap - (l.head - l.tail) }
+
+// LiveBytes returns the space occupied by unreclaimed records.
+func (l *Log) LiveBytes() int64 { return l.head - l.tail }
+
+func recordSize(payload int) int64 {
+	return int64(headerSize + payload + crcSize)
+}
+
+// Append adds a record and returns its LSN. The record is buffered in
+// memory until Flush. ErrLogFull means the caller must reclaim space.
+func (l *Log) Append(t RecordType, payload []byte) (uint64, error) {
+	need := recordSize(len(payload))
+	if need > l.cap {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds log capacity %d", need, l.cap)
+	}
+	// Records never wrap: pad to the end of the region if necessary. A
+	// sliver too small to hold even a pad record is skipped as implicit
+	// filler; recovery applies the same rule.
+	if rem := l.cap - l.head%l.cap; rem < need {
+		if l.FreeBytes() < rem+need {
+			return 0, ErrLogFull
+		}
+		if rem < int64(headerSize+crcSize) {
+			l.pending = append(l.pending, make([]byte, rem)...)
+			l.head += rem
+			l.stats.PadBytes += rem
+		} else {
+			l.appendPad(int(rem))
+		}
+	} else if l.FreeBytes() < need {
+		return 0, ErrLogFull
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.positions = append(l.positions, lsnPos{lsn: lsn, pos: l.head})
+	l.encode(t, lsn, payload)
+	l.stats.Appends++
+	l.stats.BytesLogged += need
+	l.env.Charge(l.env.Costs.MessageOverhead)
+	return lsn, nil
+}
+
+// appendPad emits a pad record of exactly n bytes (n >= header+crc).
+func (l *Log) appendPad(n int) {
+	payload := make([]byte, n-headerSize-crcSize)
+	l.encode(PadType, 0, payload)
+	l.stats.PadBytes += int64(n)
+}
+
+func (l *Log) encode(t RecordType, lsn uint64, payload []byte) {
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], recMagic)
+	binary.BigEndian.PutUint32(hdr[4:], l.epoch)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[12:], lsn)
+	hdr[20] = byte(t)
+	rec := append(append(append([]byte{}, hdr[:]...), payload...), 0, 0, 0, 0)
+	crc := crc32.ChecksumIEEE(rec[:len(rec)-crcSize])
+	binary.BigEndian.PutUint32(rec[len(rec)-crcSize:], crc)
+	l.env.Serialize(len(rec))
+	l.env.Checksum(len(rec))
+	l.pending = append(l.pending, rec...)
+	l.head += int64(len(rec))
+}
+
+// Flush writes all pending records to the region and issues a durability
+// barrier; afterwards DurableLSN covers everything appended so far.
+func (l *Log) Flush() {
+	if len(l.pending) > 0 {
+		// The pending buffer may straddle the wrap point only at pad
+		// boundaries, so writes can be split at region end safely.
+		data := l.pending
+		pos := l.flushedTo
+		for len(data) > 0 {
+			off := pos % l.cap
+			n := int64(len(data))
+			if off+n > l.cap {
+				n = l.cap - off
+			}
+			l.f.WriteAt(data[:n], off)
+			data = data[n:]
+			pos += n
+		}
+		l.flushedTo = l.head
+		l.pending = l.pending[:0]
+	}
+	l.f.Flush()
+	l.env.Charge(l.SyncDelay)
+	l.durable = l.nextLSN - 1
+	l.stats.Flushes++
+}
+
+// Pin prevents reclamation of the log at or beyond lsn; the returned
+// function releases the pin. Used by conditional logging to keep inode
+// creation records alive while the inode is only dirty in the VFS.
+func (l *Log) Pin(lsn uint64) func() {
+	l.pins[lsn]++
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		if l.pins[lsn]--; l.pins[lsn] <= 0 {
+			delete(l.pins, lsn)
+		}
+	}
+}
+
+func (l *Log) minPinned() (uint64, bool) {
+	var min uint64
+	found := false
+	for lsn := range l.pins {
+		if !found || lsn < min {
+			min = lsn
+			found = true
+		}
+	}
+	return min, found
+}
+
+// Reclaim releases log space for all records with LSN < upto (typically
+// the LSN of the last completed checkpoint), except that pinned sections
+// survive. It returns the new recovery hint.
+func (l *Log) Reclaim(upto uint64) Hint {
+	if min, ok := l.minPinned(); ok && min < upto {
+		upto = min
+		l.stats.PinsBlocked++
+	}
+	i := 0
+	for i < len(l.positions) && l.positions[i].lsn < upto {
+		i++
+	}
+	if i > 0 {
+		// Tail moves to the start of the first live record, or to head
+		// if everything was reclaimed.
+		if i < len(l.positions) {
+			l.tail = l.positions[i].pos
+		} else {
+			l.tail = l.head
+		}
+		l.positions = l.positions[i:]
+	}
+	return l.Hint()
+}
+
+// Hint returns the current recovery starting point.
+func (l *Log) Hint() Hint {
+	if len(l.positions) == 0 {
+		return Hint{Offset: l.head % l.cap, LSN: l.nextLSN, Epoch: l.epoch}
+	}
+	return Hint{Offset: l.positions[0].pos % l.cap, LSN: l.positions[0].lsn, Epoch: l.epoch}
+}
+
+// Recover scans the region from hint, returning every valid record in LSN
+// order. The scan stops at the first record that fails validation (torn
+// write, stale data, or wrap past the end of the log).
+func Recover(env *sim.Env, f stor.File, hint Hint) []Record {
+	capacity := f.Capacity()
+	var out []Record
+	pos := hint.Offset
+	want := hint.LSN
+	// Bound the scan to one full pass around the region.
+	for scanned := int64(0); scanned < capacity; {
+		// Slivers at the region end too small for any record are
+		// implicit filler (see Append); skip to the next lap.
+		if rem := capacity - pos%capacity; rem < int64(headerSize+crcSize) {
+			pos = (pos + rem) % capacity
+			scanned += rem
+			continue
+		}
+		var hdr [headerSize]byte
+		readWrapped(f, hdr[:], pos, capacity)
+		if binary.BigEndian.Uint32(hdr[0:]) != recMagic {
+			break
+		}
+		if binary.BigEndian.Uint32(hdr[4:]) != hint.Epoch {
+			break // stale bytes from a previous log incarnation
+		}
+		plen := int64(binary.BigEndian.Uint32(hdr[8:]))
+		lsn := binary.BigEndian.Uint64(hdr[12:])
+		t := RecordType(hdr[20])
+		total := recordSize(int(plen))
+		if total > capacity-scanned {
+			break
+		}
+		rec := make([]byte, total)
+		readWrapped(f, rec, pos, capacity)
+		env.Checksum(len(rec))
+		crc := binary.BigEndian.Uint32(rec[total-crcSize:])
+		if crc32.ChecksumIEEE(rec[:total-crcSize]) != crc {
+			break
+		}
+		if t != PadType {
+			if lsn != want {
+				break // out-of-sequence: stale data from a prior lap
+			}
+			out = append(out, Record{LSN: lsn, Type: t, Payload: append([]byte{}, rec[headerSize:total-crcSize]...)})
+			want = lsn + 1
+		}
+		pos = (pos + total) % capacity
+		scanned += total
+	}
+	return out
+}
+
+func readWrapped(f stor.File, p []byte, pos, capacity int64) {
+	off := pos % capacity
+	n := int64(len(p))
+	if off+n <= capacity {
+		f.ReadAt(p, off)
+		return
+	}
+	first := capacity - off
+	f.ReadAt(p[:first], off)
+	f.ReadAt(p[first:], 0)
+}
+
+// Capacity returns the size of the circular region in bytes.
+func (l *Log) Capacity() int64 { return l.cap }

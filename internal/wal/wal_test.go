@@ -1,0 +1,217 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"betrfs/internal/sim"
+	"betrfs/internal/stor"
+)
+
+// memFile is a minimal in-memory stor.File for unit testing the log in
+// isolation from the device and SFL layers.
+type memFile struct {
+	env  *sim.Env
+	data []byte
+}
+
+func newMemFile(env *sim.Env, size int64) *memFile {
+	return &memFile{env: env, data: make([]byte, size)}
+}
+
+func (m *memFile) ReadAt(p []byte, off int64)  { copy(p, m.data[off:]) }
+func (m *memFile) WriteAt(p []byte, off int64) { copy(m.data[off:], p) }
+func (m *memFile) SubmitRead(p []byte, off int64) stor.Wait {
+	m.ReadAt(p, off)
+	return func() {}
+}
+func (m *memFile) SubmitWrite(p []byte, off int64) stor.Wait {
+	m.WriteAt(p, off)
+	return func() {}
+}
+func (m *memFile) Flush()          {}
+func (m *memFile) Capacity() int64 { return int64(len(m.data)) }
+
+func newLog(t *testing.T, size int64) (*sim.Env, *memFile, *Log) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	f := newMemFile(env, size)
+	return env, f, New(env, f, 1)
+}
+
+func TestAppendFlushRecover(t *testing.T) {
+	env, f, l := newLog(t, 1<<20)
+	var want []string
+	for i := 0; i < 100; i++ {
+		p := fmt.Sprintf("record-%d", i)
+		want = append(want, p)
+		if _, err := l.Append(RecordType(1), []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Flush()
+	recs := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	if len(recs) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if string(r.Payload) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, r.Payload, want[i])
+		}
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has lsn %d", i, r.LSN)
+		}
+	}
+}
+
+func TestUnflushedRecordsNotRecovered(t *testing.T) {
+	env, f, l := newLog(t, 1<<20)
+	l.Append(1, []byte("durable"))
+	l.Flush()
+	l.Append(1, []byte("volatile"))
+	// no flush
+	recs := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	if len(recs) != 1 || string(recs[0].Payload) != "durable" {
+		t.Fatalf("recovered %v", recs)
+	}
+}
+
+func TestDurableLSNTracksFlush(t *testing.T) {
+	_, _, l := newLog(t, 1<<20)
+	lsn, _ := l.Append(1, []byte("x"))
+	if l.DurableLSN() != 0 {
+		t.Fatal("nothing should be durable before flush")
+	}
+	l.Flush()
+	if l.DurableLSN() != lsn {
+		t.Fatalf("durable=%d, want %d", l.DurableLSN(), lsn)
+	}
+}
+
+func TestCorruptRecordStopsRecovery(t *testing.T) {
+	env, f, l := newLog(t, 1<<20)
+	l.Append(1, []byte("aaaa"))
+	l.Append(1, []byte("bbbb"))
+	l.Append(1, []byte("cccc"))
+	l.Flush()
+	// Corrupt the second record's payload.
+	first := recordSize(4)
+	f.data[first+headerSize+1] ^= 0xff
+	recs := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records past corruption, want 1", len(recs))
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	env, f, l := newLog(t, 4096)
+	payload := bytes.Repeat([]byte{7}, 100)
+	// Fill most of the region, reclaim, and keep appending to force a wrap.
+	var lastHint Hint
+	total := 0
+	for i := 0; i < 100; i++ {
+		lsn, err := l.Append(1, payload)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		l.Flush()
+		lastHint = l.Reclaim(lsn) // everything before the newest record dies
+		total++
+	}
+	if l.head <= l.cap {
+		t.Fatal("log never wrapped; test is not exercising wrap-around")
+	}
+	recs := Recover(env, f, lastHint)
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records after wrap, want 1", len(recs))
+	}
+	if recs[0].LSN != uint64(total) {
+		t.Fatalf("recovered lsn %d, want %d", recs[0].LSN, total)
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	_, _, l := newLog(t, 4096)
+	payload := bytes.Repeat([]byte{1}, 1000)
+	var err error
+	n := 0
+	for n < 100 {
+		if _, err = l.Append(1, payload); err != nil {
+			break
+		}
+		n++
+	}
+	if err != ErrLogFull {
+		t.Fatalf("expected ErrLogFull, got %v after %d appends", err, n)
+	}
+	// Reclaiming everything lets appends proceed again.
+	l.Flush()
+	l.Reclaim(l.NextLSN())
+	if _, err := l.Append(1, payload); err != nil {
+		t.Fatalf("append after reclaim: %v", err)
+	}
+}
+
+func TestPinBlocksReclaim(t *testing.T) {
+	_, _, l := newLog(t, 1<<20)
+	lsn1, _ := l.Append(1, []byte("pinned"))
+	l.Append(1, []byte("later"))
+	l.Flush()
+	unpin := l.Pin(lsn1)
+	l.Reclaim(l.NextLSN())
+	if l.LiveBytes() == 0 {
+		t.Fatal("pin did not prevent reclamation")
+	}
+	if l.Stats().PinsBlocked != 1 {
+		t.Fatalf("PinsBlocked=%d", l.Stats().PinsBlocked)
+	}
+	unpin()
+	l.Reclaim(l.NextLSN())
+	if l.LiveBytes() != 0 {
+		t.Fatalf("after unpin, %d live bytes remain", l.LiveBytes())
+	}
+}
+
+func TestUnpinIdempotent(t *testing.T) {
+	_, _, l := newLog(t, 1<<20)
+	lsn, _ := l.Append(1, []byte("x"))
+	unpin := l.Pin(lsn)
+	unpin()
+	unpin() // double release must not underflow another pin
+	unpin2 := l.Pin(lsn)
+	_ = unpin2
+	if len(l.pins) != 1 || l.pins[lsn] != 1 {
+		t.Fatalf("pin state corrupted: %v", l.pins)
+	}
+}
+
+func TestRecoverFromHintMidLog(t *testing.T) {
+	env, f, l := newLog(t, 1<<20)
+	l.Append(1, []byte("old-1"))
+	l.Append(1, []byte("old-2"))
+	l.Flush()
+	hint := l.Reclaim(3) // both old records reclaimed
+	l.Append(1, []byte("new-3"))
+	l.Flush()
+	recs := Recover(env, f, hint)
+	if len(recs) != 1 || string(recs[0].Payload) != "new-3" {
+		t.Fatalf("recovered %v from mid-log hint", recs)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	_, _, l := newLog(t, 4096)
+	if _, err := l.Append(1, make([]byte, 8192)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestLoggingChargesTime(t *testing.T) {
+	env, _, l := newLog(t, 1<<20)
+	l.Append(1, bytes.Repeat([]byte{1}, 4096))
+	l.Flush()
+	if env.Now() == 0 {
+		t.Fatal("logging charged no simulated time")
+	}
+}

@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"fmt"
+
+	"betrfs/internal/sim"
+	"betrfs/internal/vfs"
+)
+
+// Application workloads of Figure 2.
+
+// TarUnpack expands an archive into a fresh tree: sequential archive read
+// interleaved with file creates and writes, in archive (sorted) order.
+func TarUnpack(env *sim.Env, m *vfs.Mount, spec TreeSpec, archive, dst string) Result {
+	m.DropCaches()
+	start := env.Now()
+	af, err := m.Open(archive)
+	if err != nil {
+		panic(err)
+	}
+	apos := int64(0)
+	buf := make([]byte, 64<<10)
+	spec.Paths(func(path string, dir bool, size int) {
+		full := join(dst, path)
+		if dir {
+			m.MkdirAll(full)
+			return
+		}
+		f, err := m.Create(full)
+		if err != nil {
+			panic(err)
+		}
+		for size > 0 {
+			n := size
+			if n > len(buf) {
+				n = len(buf)
+			}
+			af.ReadAt(buf[:n], apos) // archive is read sequentially
+			apos += int64(n)
+			f.Write(buf[:n])
+			size -= n
+		}
+		f.Close()
+	})
+	m.Sync()
+	return Result{Name: "tar", Elapsed: env.Now() - start, Bytes: apos}
+}
+
+// TarPack reads a tree and writes it into a single archive file.
+func TarPack(env *sim.Env, m *vfs.Mount, src, archive string) Result {
+	m.DropCaches()
+	start := env.Now()
+	af, err := m.Create(archive)
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]byte, 64<<10)
+	var total int64
+	Walk(m, src, func(path string, e vfs.DirEntry) bool {
+		if e.Dir {
+			return true
+		}
+		f, err := m.Open(path)
+		if err != nil {
+			return true
+		}
+		for {
+			n, _ := f.Read(buf)
+			if n == 0 {
+				break
+			}
+			af.Write(buf[:n])
+			total += int64(n)
+		}
+		f.Close()
+		return true
+	})
+	af.Fsync()
+	af.Close()
+	return Result{Name: "untar", Elapsed: env.Now() - start, Bytes: total}
+}
+
+// GitClone copies a source tree to a destination (working tree) and writes
+// a single pack file of comparable size (object store), as a local clone
+// does.
+func GitClone(env *sim.Env, m *vfs.Mount, src, dst string) Result {
+	m.DropCaches()
+	start := env.Now()
+	m.MkdirAll(dst + "/.git")
+	pack, _ := m.Create(dst + "/.git/pack")
+	buf := make([]byte, 64<<10)
+	var total int64
+	Walk(m, src, func(path string, e vfs.DirEntry) bool {
+		rel := path[len(src)+1:]
+		if e.Dir {
+			m.MkdirAll(join(dst, rel))
+			return true
+		}
+		in, err := m.Open(path)
+		if err != nil {
+			return true
+		}
+		out, err := m.Create(join(dst, rel))
+		if err != nil {
+			return true
+		}
+		for {
+			n, _ := in.Read(buf)
+			if n == 0 {
+				break
+			}
+			out.Write(buf[:n])
+			pack.Write(buf[:n]) // objects land in the pack too
+			total += int64(n)
+		}
+		in.Close()
+		out.Close()
+		return true
+	})
+	pack.Fsync()
+	pack.Close()
+	m.Sync()
+	return Result{Name: "git_clone", Elapsed: env.Now() - start, Bytes: 2 * total}
+}
+
+// GitDiff walks the tree stat-ing everything and reads the ~20% of files
+// that differ between the two tags.
+func GitDiff(env *sim.Env, m *vfs.Mount, src string) Result {
+	m.DropCaches()
+	start := env.Now()
+	rnd := sim.NewRand(17)
+	buf := make([]byte, 64<<10)
+	var read int64
+	Walk(m, src, func(path string, e vfs.DirEntry) bool {
+		m.Stat(path)
+		if !e.Dir && rnd.Intn(5) == 0 {
+			f, err := m.Open(path)
+			if err != nil {
+				return true
+			}
+			for {
+				n, _ := f.Read(buf)
+				if n == 0 {
+					break
+				}
+				env.Charge(psDuration(n, grepScanPsPerByte)) // diff compare
+				read += int64(n)
+			}
+			f.Close()
+		}
+		return true
+	})
+	return Result{Name: "git_diff", Elapsed: env.Now() - start, Bytes: read}
+}
+
+// Rsync copies src to dst. Without inPlace each file is written to a
+// temporary name, fsynced by rsync's default settings only at the end,
+// and renamed into place; with --in-place the data is written directly to
+// the destination file (§7.2).
+func Rsync(env *sim.Env, m *vfs.Mount, src, dst string, inPlace bool) Result {
+	m.DropCaches()
+	start := env.Now()
+	buf := make([]byte, 64<<10)
+	var total int64
+	seq := 0
+	Walk(m, src, func(path string, e vfs.DirEntry) bool {
+		rel := path[len(src)+1:]
+		if e.Dir {
+			m.MkdirAll(join(dst, rel))
+			return true
+		}
+		in, err := m.Open(path)
+		if err != nil {
+			return true
+		}
+		target := join(dst, rel)
+		name := target
+		if !inPlace {
+			seq++
+			name = join(dst, fmt.Sprintf(".tmp.%06d", seq))
+		}
+		out, err := m.Create(name)
+		if err != nil {
+			in.Close()
+			return true
+		}
+		for {
+			n, _ := in.Read(buf)
+			if n == 0 {
+				break
+			}
+			out.Write(buf[:n])
+			total += int64(n)
+		}
+		out.Close()
+		in.Close()
+		if !inPlace {
+			if err := m.Rename(name, target); err != nil {
+				panic(err)
+			}
+		}
+		return true
+	})
+	m.Sync()
+	name := "rsync"
+	if inPlace {
+		name = "rsync_in_place"
+	}
+	return Result{Name: name, Elapsed: env.Now() - start, Bytes: total}
+}
+
+// MailServer models the Dovecot maildir benchmark (§7.2): folders of
+// messages; each operation is a read (open + read a message) or an update
+// (flag rewrite, move to another folder, or delete+recreate), updates
+// fsynced as mail servers do.
+func MailServer(env *sim.Env, m *vfs.Mount, folders, msgsPerFolder, ops int) Result {
+	rnd := sim.NewRand(23)
+	msgSize := func() int { return 2048 + rnd.Intn(12<<10) }
+	// Initialize the mailbox (untimed).
+	payload := make([]byte, 16<<10)
+	for fo := 0; fo < folders; fo++ {
+		m.MkdirAll(fmt.Sprintf("mail/folder%02d", fo))
+		for i := 0; i < msgsPerFolder; i++ {
+			f, err := m.Create(fmt.Sprintf("mail/folder%02d/msg%05d", fo, i))
+			if err != nil {
+				panic(err)
+			}
+			f.Write(payload[:msgSize()])
+			f.Close()
+		}
+	}
+	m.Sync()
+	m.DropCaches()
+
+	// Live message set per folder (moves/deletes change it).
+	nextID := msgsPerFolder
+	live := make([][]string, folders)
+	for fo := range live {
+		for i := 0; i < msgsPerFolder; i++ {
+			live[fo] = append(live[fo], fmt.Sprintf("msg%05d", i))
+		}
+	}
+	pathOf := func(fo int, name string) string {
+		return fmt.Sprintf("mail/folder%02d/%s", fo, name)
+	}
+
+	start := env.Now()
+	buf := make([]byte, 16<<10)
+	for op := 0; op < ops; op++ {
+		fo := rnd.Intn(folders)
+		if len(live[fo]) == 0 {
+			continue
+		}
+		idx := rnd.Intn(len(live[fo]))
+		name := live[fo][idx]
+		switch {
+		case rnd.Intn(2) == 0: // read
+			f, err := m.Open(pathOf(fo, name))
+			if err != nil {
+				continue
+			}
+			for {
+				n, _ := f.Read(buf)
+				if n == 0 {
+					break
+				}
+			}
+			f.Close()
+		case rnd.Intn(3) == 0: // move to another folder
+			dst := rnd.Intn(folders)
+			nextID++
+			newName := fmt.Sprintf("msg%05d", nextID)
+			if err := m.Rename(pathOf(fo, name), pathOf(dst, newName)); err != nil {
+				continue
+			}
+			live[fo] = append(live[fo][:idx], live[fo][idx+1:]...)
+			live[dst] = append(live[dst], newName)
+		case rnd.Intn(3) == 0: // delete
+			if err := m.Remove(pathOf(fo, name)); err != nil {
+				continue
+			}
+			live[fo] = append(live[fo][:idx], live[fo][idx+1:]...)
+		default: // mark: rewrite the flag region and fsync
+			f, err := m.OpenFile(pathOf(fo, name), false, false)
+			if err != nil {
+				continue
+			}
+			f.WriteAt([]byte("\\Seen"), 32)
+			f.Fsync()
+			f.Close()
+		}
+	}
+	return Result{Name: "dovecot", Elapsed: env.Now() - start, Ops: int64(ops)}
+}

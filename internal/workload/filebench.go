@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"fmt"
+
+	"betrfs/internal/sim"
+	"betrfs/internal/vfs"
+)
+
+// FileBench personalities (Figures 2e–2h), simplified from the standard
+// workload definitions but preserving each one's operation mix and
+// durability behaviour.
+
+// FilebenchSpec sizes a personality run.
+type FilebenchSpec struct {
+	Files    int
+	MeanFile int
+	Ops      int
+	Seed     uint64
+}
+
+// prepFiles creates the working set (untimed) and returns the paths.
+func prepFiles(m *vfs.Mount, dir string, n, meanSize int, rnd *sim.Rand) []string {
+	m.MkdirAll(dir)
+	paths := make([]string, 0, n)
+	payload := make([]byte, 4*meanSize)
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("%s/f%06d", dir, i)
+		f, err := m.Create(p)
+		if err != nil {
+			panic(err)
+		}
+		size := meanSize/2 + rnd.Intn(meanSize)
+		f.Write(payload[:size])
+		f.Close()
+		paths = append(paths, p)
+	}
+	m.Sync()
+	m.DropCaches()
+	return paths
+}
+
+// OLTP models filebench's oltp: a database file with small random reads
+// and writes plus a heavily fsynced log writer.
+func OLTP(env *sim.Env, m *vfs.Mount, spec FilebenchSpec) Result {
+	rnd := sim.NewRand(spec.Seed)
+	const dbSize = 64 << 20
+	db, err := m.Create("oltp/db")
+	if err != nil {
+		m.MkdirAll("oltp")
+		db, err = m.Create("oltp/db")
+		if err != nil {
+			panic(err)
+		}
+	}
+	chunk := make([]byte, 1<<20)
+	for w := 0; w < dbSize; w += len(chunk) {
+		db.Write(chunk)
+	}
+	db.Fsync()
+	logf, _ := m.Create("oltp/log")
+	m.DropCaches()
+	db, _ = m.Open("oltp/db")
+
+	start := env.Now()
+	buf := make([]byte, 2048)
+	logged := 0
+	for op := 0; op < spec.Ops; op++ {
+		off := rnd.Int63n(dbSize/2048) * 2048
+		switch rnd.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // read
+			db.ReadAt(buf, off)
+		case 6, 7, 8: // write
+			db.WriteAt(buf, off)
+		default: // log write + fsync (the commit path)
+			logf.Write(buf)
+			logf.Fsync()
+			logged++
+		}
+	}
+	db.Fsync()
+	return Result{Name: "oltp", Elapsed: env.Now() - start, Ops: int64(spec.Ops)}
+}
+
+// Fileserver models filebench's fileserver: create/write, append, read
+// whole file, delete, stat across a large working set.
+func Fileserver(env *sim.Env, m *vfs.Mount, spec FilebenchSpec) Result {
+	rnd := sim.NewRand(spec.Seed)
+	paths := prepFiles(m, "fsrv", spec.Files, spec.MeanFile, rnd)
+	start := env.Now()
+	buf := make([]byte, 128<<10)
+	created := spec.Files
+	for op := 0; op < spec.Ops; op++ {
+		switch rnd.Intn(5) {
+		case 0: // create + write whole file
+			created++
+			p := fmt.Sprintf("fsrv/f%06d", created)
+			f, err := m.Create(p)
+			if err != nil {
+				continue
+			}
+			f.Write(buf[:spec.MeanFile])
+			f.Close()
+			paths = append(paths, p)
+		case 1: // append
+			p := paths[rnd.Intn(len(paths))]
+			f, err := m.OpenFile(p, false, false)
+			if err != nil {
+				continue
+			}
+			f.WriteAt(buf[:16<<10], f.Size())
+			f.Close()
+		case 2, 3: // read whole file
+			p := paths[rnd.Intn(len(paths))]
+			f, err := m.Open(p)
+			if err != nil {
+				continue
+			}
+			for {
+				n, _ := f.Read(buf)
+				if n == 0 {
+					break
+				}
+			}
+			f.Close()
+		default: // stat + delete
+			i := rnd.Intn(len(paths))
+			m.Stat(paths[i])
+			if rnd.Intn(4) == 0 && len(paths) > 100 {
+				if m.Remove(paths[i]) == nil {
+					paths = append(paths[:i], paths[i+1:]...)
+				}
+			}
+		}
+	}
+	m.Sync()
+	return Result{Name: "fileserver", Elapsed: env.Now() - start, Ops: int64(spec.Ops)}
+}
+
+// Webserver models filebench's webserver: whole-file reads of small files
+// with a log append every ten reads.
+func Webserver(env *sim.Env, m *vfs.Mount, spec FilebenchSpec) Result {
+	rnd := sim.NewRand(spec.Seed)
+	paths := prepFiles(m, "web", spec.Files, spec.MeanFile, rnd)
+	logf, _ := m.Create("weblog")
+	start := env.Now()
+	buf := make([]byte, 64<<10)
+	for op := 0; op < spec.Ops; op++ {
+		p := paths[rnd.Intn(len(paths))]
+		f, err := m.Open(p)
+		if err != nil {
+			continue
+		}
+		for {
+			n, _ := f.Read(buf)
+			if n == 0 {
+				break
+			}
+		}
+		f.Close()
+		if op%10 == 9 {
+			logf.Write(buf[:16<<10])
+		}
+	}
+	return Result{Name: "webserver", Elapsed: env.Now() - start, Ops: int64(spec.Ops)}
+}
+
+// Webproxy models filebench's webproxy: a create/delete/read mix over
+// small files plus log appends.
+func Webproxy(env *sim.Env, m *vfs.Mount, spec FilebenchSpec) Result {
+	rnd := sim.NewRand(spec.Seed)
+	paths := prepFiles(m, "proxy", spec.Files, spec.MeanFile, rnd)
+	logf, _ := m.Create("proxylog")
+	start := env.Now()
+	buf := make([]byte, 64<<10)
+	created := spec.Files
+	for op := 0; op < spec.Ops; op++ {
+		switch rnd.Intn(6) {
+		case 0: // replace a cached object: delete + create + write
+			i := rnd.Intn(len(paths))
+			m.Remove(paths[i])
+			created++
+			p := fmt.Sprintf("proxy/f%06d", created)
+			f, err := m.Create(p)
+			if err != nil {
+				continue
+			}
+			f.Write(buf[:spec.MeanFile])
+			f.Close()
+			paths[i] = p
+		default: // read an object
+			p := paths[rnd.Intn(len(paths))]
+			f, err := m.Open(p)
+			if err != nil {
+				continue
+			}
+			for {
+				n, _ := f.Read(buf)
+				if n == 0 {
+					break
+				}
+			}
+			f.Close()
+		}
+		if op%5 == 4 {
+			logf.Write(buf[:16<<10])
+		}
+	}
+	return Result{Name: "webproxy", Elapsed: env.Now() - start, Ops: int64(spec.Ops)}
+}

@@ -1,0 +1,153 @@
+// Package workload implements the paper's benchmark workloads as programs
+// against the VFS file API: the Table 1/3 microbenchmarks (sequential and
+// random I/O, TokuBench, grep, find, recursive delete) and the Figure 2
+// applications (tar, git, rsync, the Dovecot-style mail server, and the
+// four FileBench personalities).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"betrfs/internal/sim"
+	"betrfs/internal/vfs"
+)
+
+// Result is one benchmark measurement in simulated time.
+type Result struct {
+	Name    string
+	Elapsed time.Duration
+	Bytes   int64
+	Ops     int64
+}
+
+// MBps returns throughput in MB/s (decimal, as the paper reports).
+func (r Result) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds() / 1e6
+}
+
+// KOpsPerSec returns throughput in thousands of operations per second.
+func (r Result) KOpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e3
+}
+
+// Seconds returns the latency in seconds.
+func (r Result) Seconds() float64 { return r.Elapsed.Seconds() }
+
+// TreeSpec describes a synthetic source tree in the image of the Linux
+// 3.11.10 sources the paper uses: ~45k files averaging ~12 KiB across
+// ~3k directories.
+type TreeSpec struct {
+	TopDirs     int // top-level directories (arch, drivers, fs, ...)
+	SubDirs     int // subdirectories per top-level directory
+	FilesPerDir int
+	MeanFile    int // mean file size in bytes
+	Seed        uint64
+}
+
+// LinuxTree returns a spec scaled to 1/scale of the full source tree.
+func LinuxTree(scale int) TreeSpec {
+	if scale < 1 {
+		scale = 1
+	}
+	spec := TreeSpec{TopDirs: 20, SubDirs: 10, FilesPerDir: 16, MeanFile: 12 << 10, Seed: 42}
+	// Metadata workloads need realistic file counts, so scaling reduces
+	// the tree gently: ~3200 files at the default scale.
+	if scale >= 16 {
+		spec.SubDirs = 5
+	}
+	if scale >= 64 {
+		spec.FilesPerDir = 8
+	}
+	return spec
+}
+
+// FileCount returns the number of files the spec creates.
+func (s TreeSpec) FileCount() int { return s.TopDirs * s.SubDirs * s.FilesPerDir }
+
+// Paths enumerates the tree deterministically: dirs first (parents before
+// children), then files with their sizes.
+func (s TreeSpec) Paths(fn func(path string, dir bool, size int)) {
+	rnd := sim.NewRand(s.Seed)
+	for d := 0; d < s.TopDirs; d++ {
+		top := fmt.Sprintf("src/dir%02d", d)
+		fn(top, true, 0)
+		for sd := 0; sd < s.SubDirs; sd++ {
+			sub := fmt.Sprintf("%s/sub%02d", top, sd)
+			fn(sub, true, 0)
+			for f := 0; f < s.FilesPerDir; f++ {
+				// Log-normal-ish size: most files small, a few large.
+				size := s.MeanFile/4 + rnd.Intn(s.MeanFile)
+				if rnd.Intn(20) == 0 {
+					size *= 8 // headers vs. big drivers
+				}
+				fn(fmt.Sprintf("%s/file%03d.c", sub, f), false, size)
+			}
+		}
+	}
+}
+
+// Populate creates the tree under root on m, returning total bytes.
+func (s TreeSpec) Populate(m *vfs.Mount, root string) int64 {
+	var total int64
+	buf := make([]byte, 64<<10)
+	for i := range buf {
+		buf[i] = byte(i*7 + 13)
+	}
+	s.Paths(func(path string, dir bool, size int) {
+		full := join(root, path)
+		if dir {
+			if err := m.MkdirAll(full); err != nil {
+				panic(err)
+			}
+			return
+		}
+		f, err := m.Create(full)
+		if err != nil {
+			panic(err)
+		}
+		for size > 0 {
+			n := size
+			if n > len(buf) {
+				n = len(buf)
+			}
+			f.Write(buf[:n])
+			size -= n
+			total += int64(n)
+		}
+		f.Close()
+	})
+	m.Sync()
+	return total
+}
+
+func join(root, path string) string {
+	if root == "" {
+		return path
+	}
+	return root + "/" + path
+}
+
+// Walk traverses the tree at root depth-first in readdir order, invoking
+// fn for every entry.
+func Walk(m *vfs.Mount, root string, fn func(path string, e vfs.DirEntry) bool) {
+	ents, err := m.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		p := join(root, e.Name)
+		if !fn(p, e) {
+			return
+		}
+		if e.Dir {
+			Walk(m, p, fn)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"betrfs/internal/blockdev"
+	"betrfs/internal/extfs"
+	"betrfs/internal/sim"
+	"betrfs/internal/vfs"
+)
+
+func testMount(t testing.TB) (*sim.Env, *vfs.Mount) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
+	fs := extfs.New(env, dev, extfs.Ext4Profile())
+	cfg := vfs.DefaultConfig()
+	cfg.CacheBytes = 256 << 20
+	return env, vfs.NewMount(env, fs, cfg)
+}
+
+func TestTreeSpecDeterministic(t *testing.T) {
+	a := LinuxTree(8)
+	b := LinuxTree(8)
+	var pa, pb []string
+	a.Paths(func(p string, dir bool, size int) { pa = append(pa, fmt.Sprintf("%s/%v/%d", p, dir, size)) })
+	b.Paths(func(p string, dir bool, size int) { pb = append(pb, fmt.Sprintf("%s/%v/%d", p, dir, size)) })
+	if len(pa) != len(pb) {
+		t.Fatal("tree enumeration not deterministic in length")
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("tree enumeration differs at %d", i)
+		}
+	}
+}
+
+func TestPopulateAndWalk(t *testing.T) {
+	_, m := testMount(t)
+	spec := LinuxTree(64)
+	total := spec.Populate(m, "linux")
+	if total <= 0 {
+		t.Fatal("populate wrote nothing")
+	}
+	files, dirs := 0, 0
+	Walk(m, "linux", func(path string, e vfs.DirEntry) bool {
+		if e.Dir {
+			dirs++
+		} else {
+			files++
+		}
+		return true
+	})
+	if files != spec.FileCount() {
+		t.Fatalf("walk found %d files, spec says %d", files, spec.FileCount())
+	}
+	if dirs == 0 {
+		t.Fatal("walk found no directories")
+	}
+}
+
+func TestSequentialIORoundTrip(t *testing.T) {
+	env, m := testMount(t)
+	w := SequentialWrite(env, m, 16<<20, 1<<20)
+	if w.Bytes != 16<<20 || w.Elapsed <= 0 {
+		t.Fatalf("write result %+v", w)
+	}
+	r := SequentialRead(env, m, 1<<20)
+	if r.Bytes != 16<<20 {
+		t.Fatalf("read back %d bytes", r.Bytes)
+	}
+	if r.MBps() <= 0 || w.MBps() <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestRandomWriteCounts(t *testing.T) {
+	env, m := testMount(t)
+	r := RandomWrite(env, m, 16<<20, 100, 4096)
+	if r.Ops != 100 || r.Bytes != 100*4096 {
+		t.Fatalf("result %+v", r)
+	}
+	r2 := RandomWrite(env, m, 16<<20, 50, 4)
+	if r2.Bytes != 200 {
+		t.Fatalf("4B result %+v", r2)
+	}
+}
+
+func TestTokuBenchCreatesAll(t *testing.T) {
+	env, m := testMount(t)
+	r := TokuBench(env, m, 1000)
+	if r.Ops != 1000 {
+		t.Fatalf("ops=%d", r.Ops)
+	}
+	// Count the files.
+	count := 0
+	Walk(m, "tokubench", func(path string, e vfs.DirEntry) bool {
+		if !e.Dir {
+			count++
+		}
+		return true
+	})
+	if count != 1000 {
+		t.Fatalf("found %d created files, want 1000", count)
+	}
+}
+
+func TestGrepScansEverything(t *testing.T) {
+	env, m := testMount(t)
+	spec := LinuxTree(64)
+	total := spec.Populate(m, "src")
+	g := Grep(env, m, "src")
+	if g.Bytes != total {
+		t.Fatalf("grep scanned %d bytes, tree has %d", g.Bytes, total)
+	}
+}
+
+func TestRecursiveDeleteEmptiesTree(t *testing.T) {
+	env, m := testMount(t)
+	LinuxTree(64).Populate(m, "victim")
+	r := RecursiveDelete(env, m, "victim")
+	if r.Elapsed <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if _, err := m.Stat("victim"); err != vfs.ErrNotExist {
+		t.Fatal("tree survived rm -rf")
+	}
+}
+
+func TestTarRoundTrip(t *testing.T) {
+	env, m := testMount(t)
+	spec := LinuxTree(64)
+	var total int64
+	spec.Paths(func(_ string, dir bool, size int) {
+		if !dir {
+			total += int64(size)
+		}
+	})
+	af, _ := m.Create("a.tar")
+	af.Write(make([]byte, total))
+	af.Close()
+	r := TarUnpack(env, m, spec, "a.tar", "out")
+	if r.Bytes != total {
+		t.Fatalf("unpacked %d bytes, want %d", r.Bytes, total)
+	}
+	p := TarPack(env, m, "out", "b.tar")
+	if p.Bytes != total {
+		t.Fatalf("packed %d bytes, want %d", p.Bytes, total)
+	}
+}
+
+func TestRsyncCopies(t *testing.T) {
+	env, m := testMount(t)
+	spec := LinuxTree(64)
+	total := spec.Populate(m, "src")
+	m.MkdirAll("dst")
+	r := Rsync(env, m, "src", "dst", false)
+	if r.Bytes != total {
+		t.Fatalf("rsync copied %d bytes, want %d", r.Bytes, total)
+	}
+	// Spot-check one file exists at the destination.
+	found := false
+	Walk(m, "dst", func(path string, e vfs.DirEntry) bool {
+		if !e.Dir {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("rsync produced no files")
+	}
+	// No temp files left behind.
+	ents, _ := m.ReadDir("dst")
+	for _, e := range ents {
+		if len(e.Name) > 4 && e.Name[:4] == ".tmp" {
+			t.Fatalf("leftover temp file %s", e.Name)
+		}
+	}
+}
+
+func TestMailServerRuns(t *testing.T) {
+	env, m := testMount(t)
+	r := MailServer(env, m, 3, 50, 500)
+	if r.Ops != 500 || r.Elapsed <= 0 {
+		t.Fatalf("result %+v", r)
+	}
+}
+
+func TestFilebenchPersonalities(t *testing.T) {
+	spec := FilebenchSpec{Files: 50, MeanFile: 8 << 10, Ops: 300, Seed: 3}
+	for _, run := range []struct {
+		name string
+		fn   func(*sim.Env, *vfs.Mount, FilebenchSpec) Result
+	}{
+		{"oltp", OLTP},
+		{"fileserver", Fileserver},
+		{"webserver", Webserver},
+		{"webproxy", Webproxy},
+	} {
+		t.Run(run.name, func(t *testing.T) {
+			env, m := testMount(t)
+			r := run.fn(env, m, spec)
+			if r.Ops != int64(spec.Ops) || r.Elapsed <= 0 {
+				t.Fatalf("result %+v", r)
+			}
+		})
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	r := Result{Bytes: 1e6, Ops: 1000, Elapsed: 1e9} // 1 second
+	if r.MBps() != 1.0 {
+		t.Fatalf("MBps=%v", r.MBps())
+	}
+	if r.KOpsPerSec() != 1.0 {
+		t.Fatalf("KOps=%v", r.KOpsPerSec())
+	}
+	zero := Result{}
+	if zero.MBps() != 0 || zero.KOpsPerSec() != 0 {
+		t.Fatal("zero elapsed should give zero throughput")
+	}
+}
