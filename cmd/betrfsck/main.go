@@ -1,7 +1,14 @@
-// Command betrfsck exercises BetrFS crash recovery: it populates a file
-// system, injects a crash at a random point in the unflushed write stream,
-// remounts, and checks the recovered state — the simulation analog of a
-// crash-consistency fsck pass.
+// Command betrfsck verifies BetrFS on-disk integrity in simulation.
+//
+//	-mode=crash  populate a file system, crash at a seeded point in the
+//	             unflushed write stream (-kind=prefix|torn|subset),
+//	             remount, check the recovered state, and scrub every
+//	             node checksum (default)
+//	-mode=scrub  populate and checkpoint a store, optionally flip bytes
+//	             inside -corrupt node images, then verify every Bε-tree
+//	             node checksum and print a per-node report
+//
+// Exit codes: 0 clean, 1 corruption or recovery failure, 2 usage error.
 package main
 
 import (
@@ -19,39 +26,63 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "crash-point seed")
+	mode := flag.String("mode", "crash", "crash | scrub")
+	kind := flag.String("kind", "prefix", "crash mode cut: prefix | torn | subset")
+	seed := flag.Uint64("seed", 1, "crash-point / corruption seed")
 	trials := flag.Int("trials", 10, "number of crash trials")
+	corrupt := flag.Int("corrupt", 0, "scrub mode: number of node images to corrupt")
+	verbose := flag.Bool("v", false, "scrub mode: print clean nodes too")
 	flag.Parse()
-
-	failures := 0
-	for trial := 0; trial < *trials; trial++ {
-		if !runTrial(*seed + uint64(trial)) {
-			failures++
-		}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "betrfsck: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
 	}
-	fmt.Printf("\n%d/%d crash trials recovered consistently\n", *trials-failures, *trials)
-	if failures > 0 {
-		os.Exit(1)
+
+	switch *mode {
+	case "crash":
+		switch *kind {
+		case "prefix", "torn", "subset":
+		default:
+			fmt.Fprintf(os.Stderr, "betrfsck: unknown -kind %q (want prefix, torn, or subset)\n", *kind)
+			os.Exit(2)
+		}
+		failures := 0
+		for trial := 0; trial < *trials; trial++ {
+			if !runTrial(*seed+uint64(trial), *kind) {
+				failures++
+			}
+		}
+		fmt.Printf("\n%d/%d crash trials recovered consistently\n", *trials-failures, *trials)
+		if failures > 0 {
+			os.Exit(1)
+		}
+	case "scrub":
+		os.Exit(runScrub(*seed, *corrupt, *verbose))
+	default:
+		fmt.Fprintf(os.Stderr, "betrfsck: unknown -mode %q (want crash or scrub)\n", *mode)
+		os.Exit(2)
 	}
 }
 
-func runTrial(seed uint64) bool {
-	env := sim.NewEnv(seed)
-	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
+// buildPopulated formats a BetrFS over a fresh device and fills it with a
+// synced population under stable/.
+func buildPopulated(seed uint64) (env *sim.Env, dev *blockdev.Dev, backend *sfl.SFL, alloc *kmem.Allocator, fs *betrfs.FS, m *vfs.Mount, synced map[string]int) {
+	env = sim.NewEnv(seed)
+	dev = blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
 	dev.EnableCrashTracking()
-	backend := sfl.NewDefault(env, dev)
-	alloc := kmem.New(env, true)
-	fs, err := betrfs.New(env, alloc, betrfs.V06Config(), backend)
+	backend = sfl.NewDefault(env, dev)
+	alloc = kmem.New(env, true)
+	var err error
+	fs, err = betrfs.New(env, alloc, betrfs.V06Config(), backend)
 	if err != nil {
-		fmt.Println("format:", err)
-		return false
+		fmt.Fprintln(os.Stderr, "betrfsck: format:", err)
+		os.Exit(1)
 	}
-	m := vfs.NewMount(env, fs, vfs.DefaultConfig())
+	m = vfs.NewMount(env, fs, vfs.DefaultConfig())
 	rnd := sim.NewRand(seed)
-
-	// Synced phase.
 	m.MkdirAll("stable")
-	synced := map[string]int{}
+	synced = map[string]int{}
 	for i := 0; i < 200; i++ {
 		p := fmt.Sprintf("stable/f%04d", i)
 		f, _ := m.Create(p)
@@ -61,6 +92,12 @@ func runTrial(seed uint64) bool {
 		synced[p] = size
 	}
 	m.Sync()
+	return env, dev, backend, alloc, fs, m, synced
+}
+
+func runTrial(seed uint64, kind string) bool {
+	env, dev, backend, alloc, fs, m, synced := buildPopulated(seed)
+	rnd := sim.NewRand(seed ^ 0x5eed)
 
 	// Unsynced phase, then crash.
 	m.MkdirAll("volatile")
@@ -69,15 +106,46 @@ func runTrial(seed uint64) bool {
 		f.Write(make([]byte, 100+rnd.Intn(8000)))
 		f.Close()
 	}
-	keep := 0
-	if n := dev.UnflushedWrites(); n > 0 {
-		keep = rnd.Intn(n + 1)
+	// Background writeback without a barrier: dirty pages reach the FS and
+	// the log tail reaches the device, so the crash cuts an in-flight
+	// stream rather than an empty one.
+	m.Writeback()
+	fs.Store().Log().WriteOut()
+	n := dev.UnflushedWrites()
+	switch kind {
+	case "prefix":
+		keep := 0
+		if n > 0 {
+			keep = rnd.Intn(n + 1)
+		}
+		dev.Crash(keep)
+		fmt.Printf("seed %d: prefix crash kept %d/%d unflushed writes", seed, keep, n)
+	case "torn":
+		if n == 0 {
+			dev.Crash(0)
+			fmt.Printf("seed %d: torn crash (empty stream)", seed)
+			break
+		}
+		keep := rnd.Intn(n)
+		torn := rnd.Intn(dev.UnflushedWriteLen(keep) + 1)
+		dev.CrashTorn(keep, torn)
+		fmt.Printf("seed %d: torn crash kept %d/%d writes + %d bytes", seed, keep, n, torn)
+	case "subset":
+		survive := make([]bool, n)
+		kept := 0
+		for i := range survive {
+			survive[i] = rnd.Intn(2) == 0
+			if survive[i] {
+				kept++
+			}
+		}
+		dev.CrashSubset(survive)
+		fmt.Printf("seed %d: subset crash kept %d/%d unflushed writes", seed, kept, n)
 	}
-	dev.Crash(keep)
 
 	fs2, err := betrfs.New(env, alloc, betrfs.V06Config(), backend)
 	if err != nil {
-		fmt.Printf("seed %d: recovery failed: %v\n", seed, err)
+		fmt.Printf("\nseed %d: recovery failed: %v\n", seed, err)
 		return false
 	}
 	m2 := vfs.NewMount(env, fs2, vfs.DefaultConfig())
@@ -85,7 +153,7 @@ func runTrial(seed uint64) bool {
 	for p, size := range synced {
 		a, err := m2.Stat(p)
 		if err != nil || a.Size != int64(size) {
-			fmt.Printf("seed %d: synced file %s lost or resized (%v)\n", seed, p, err)
+			fmt.Printf("\nseed %d: synced file %s lost or resized (%v)", seed, p, err)
 			ok = false
 		}
 	}
@@ -106,7 +174,7 @@ func runTrial(seed uint64) bool {
 			}
 			f, err := m2.Open(p)
 			if err != nil {
-				fmt.Printf("seed %d: listed file %s unopenable: %v\n", seed, p, err)
+				fmt.Printf("\nseed %d: listed file %s unopenable: %v", seed, p, err)
 				ok = false
 				continue
 			}
@@ -116,7 +184,65 @@ func runTrial(seed uint64) bool {
 		}
 	}
 	walk("")
-	fmt.Printf("seed %d: kept %d unflushed writes; %d files verified; ok=%v\n",
-		seed, keep, checked, ok)
+	// Checksum scrub of the recovered store: every node the durable block
+	// tables reference must verify.
+	badNodes := 0
+	for _, rep := range fs2.Store().Scrub() {
+		if rep.Err != nil {
+			fmt.Printf("\nseed %d: node %s/%d failed scrub: %v", seed, rep.Tree, rep.ID, rep.Err)
+			badNodes++
+			ok = false
+		}
+	}
+	fmt.Printf("; %d files verified, %d bad nodes; ok=%v\n", checked, badNodes, ok)
 	return ok
+}
+
+// runScrub checkpoints a populated store, optionally corrupts node images
+// on the device, and reports every node's checksum verdict.
+func runScrub(seed uint64, corruptN int, verbose bool) int {
+	_, dev, backend, _, fs, m, _ := buildPopulated(seed)
+	m.Sync()
+	fs.Store().Checkpoint()
+
+	clean := fs.Store().Scrub()
+	if corruptN > len(clean) {
+		corruptN = len(clean)
+	}
+	rnd := sim.NewRand(seed)
+	lay := backend.Layout()
+	for i := 0; i < corruptN; i++ {
+		rep := clean[rnd.Intn(len(clean))]
+		// Node extents are offsets into the tree's SFL file; translate to
+		// a device offset via the static layout (super, log, meta, data).
+		base := lay.SuperBytes + lay.LogBytes
+		if rep.Tree == "data" {
+			base += lay.MetaBytes
+		}
+		dev.CorruptFlip(base+rep.Off+rep.Len/2, 4, seed+uint64(i))
+		fmt.Printf("injected bit flips into %s node %d (extent off=%d len=%d)\n",
+			rep.Tree, rep.ID, rep.Off, rep.Len)
+	}
+
+	badNodes := 0
+	for _, rep := range fs.Store().Scrub() {
+		switch {
+		case rep.Err != nil:
+			verdict := "INVALID"
+			if rep.Corrupt() {
+				verdict = "CORRUPT"
+			}
+			fmt.Printf("%-7s tree=%-4s node=%-6d off=%-10d len=%-7d err=%v\n",
+				verdict, rep.Tree, rep.ID, rep.Off, rep.Len, rep.Err)
+			badNodes++
+		case verbose:
+			fmt.Printf("%-7s tree=%-4s node=%-6d off=%-10d len=%-7d\n",
+				"OK", rep.Tree, rep.ID, rep.Off, rep.Len)
+		}
+	}
+	fmt.Printf("\nscrub: %d nodes checked, %d corrupt\n", len(clean), badNodes)
+	if badNodes > 0 {
+		return 1
+	}
+	return 0
 }

@@ -42,7 +42,7 @@ func main() {
 
 	// Point and range queries.
 	tr.Put([]byte("app/config/mode"), []byte("fast"), betree.LogAuto)
-	if v, ok := tr.Get([]byte("app/config/mode")); ok {
+	if v, ok, _ := tr.Get([]byte("app/config/mode")); ok {
 		fmt.Printf("point query: app/config/mode = %s\n", v)
 	}
 

@@ -45,11 +45,11 @@ func TestPutGetSmall(t *testing.T) {
 	tr := s.Meta()
 	tr.Put([]byte("a"), []byte("1"), LogAuto)
 	tr.Put([]byte("b"), []byte("2"), LogAuto)
-	got, ok := tr.Get([]byte("a"))
+	got, ok, _ := tr.Get([]byte("a"))
 	if !ok || string(got) != "1" {
 		t.Fatalf("Get(a) = %q,%v", got, ok)
 	}
-	if _, ok := tr.Get([]byte("zzz")); ok {
+	if _, ok, _ := tr.Get([]byte("zzz")); ok {
 		t.Fatal("Get of absent key succeeded")
 	}
 }
@@ -59,7 +59,7 @@ func TestOverwrite(t *testing.T) {
 	tr := s.Meta()
 	tr.Put([]byte("k"), []byte("old"), LogAuto)
 	tr.Put([]byte("k"), []byte("new"), LogAuto)
-	got, ok := tr.Get([]byte("k"))
+	got, ok, _ := tr.Get([]byte("k"))
 	if !ok || string(got) != "new" {
 		t.Fatalf("Get = %q,%v, want new", got, ok)
 	}
@@ -70,7 +70,7 @@ func TestDelete(t *testing.T) {
 	tr := s.Meta()
 	tr.Put([]byte("k"), []byte("v"), LogAuto)
 	tr.Delete([]byte("k"), LogAuto)
-	if _, ok := tr.Get([]byte("k")); ok {
+	if _, ok, _ := tr.Get([]byte("k")); ok {
 		t.Fatal("deleted key still visible")
 	}
 }
@@ -83,7 +83,7 @@ func TestManyInsertsAcrossSplits(t *testing.T) {
 		tr.Put(k(i), v(i, 64), LogAuto)
 	}
 	for i := 0; i < n; i += 97 {
-		got, ok := tr.Get(k(i))
+		got, ok, _ := tr.Get(k(i))
 		if !ok {
 			t.Fatalf("key %d missing after splits", i)
 		}
@@ -164,10 +164,10 @@ func TestRangeDelete(t *testing.T) {
 	if got := tr.Count(nil, nil); got != 200 {
 		t.Fatalf("after range delete, %d keys remain, want 200", got)
 	}
-	if _, ok := tr.Get(k(500)); ok {
+	if _, ok, _ := tr.Get(k(500)); ok {
 		t.Fatal("range-deleted key still visible to Get")
 	}
-	if _, ok := tr.Get(k(99)); !ok {
+	if _, ok, _ := tr.Get(k(99)); !ok {
 		t.Fatal("key outside range was deleted")
 	}
 }
@@ -180,7 +180,7 @@ func TestRangeDeleteThenReinsert(t *testing.T) {
 	}
 	tr.DeleteRange(k(0), k(100), LogAuto)
 	tr.Put(k(50), []byte("b"), LogAuto)
-	got, ok := tr.Get(k(50))
+	got, ok, _ := tr.Get(k(50))
 	if !ok || string(got) != "b" {
 		t.Fatalf("reinsert after range delete: %q,%v", got, ok)
 	}
@@ -195,7 +195,7 @@ func TestBlindUpdate(t *testing.T) {
 	val := bytes.Repeat([]byte{0xaa}, 4096)
 	tr.Put([]byte("f"), val, LogAuto)
 	tr.Update([]byte("f"), 100, []byte{1, 2, 3, 4}, LogAuto)
-	got, ok := tr.Get([]byte("f"))
+	got, ok, _ := tr.Get([]byte("f"))
 	if !ok {
 		t.Fatal("updated key missing")
 	}
@@ -210,7 +210,7 @@ func TestBlindUpdateToAbsentKey(t *testing.T) {
 	_, s := testStore(t, nil)
 	tr := s.Data()
 	tr.Update([]byte("ghost"), 8, []byte{9}, LogAuto)
-	got, ok := tr.Get([]byte("ghost"))
+	got, ok, _ := tr.Get([]byte("ghost"))
 	if !ok || len(got) != 9 || got[8] != 9 {
 		t.Fatalf("blind update to absent key: %v,%v", got, ok)
 	}
@@ -221,7 +221,7 @@ func TestUpdateExtendsValue(t *testing.T) {
 	tr := s.Data()
 	tr.Put([]byte("f"), []byte{1, 2}, LogAuto)
 	tr.Update([]byte("f"), 4, []byte{5}, LogAuto)
-	got, _ := tr.Get([]byte("f"))
+	got, _, _ := tr.Get([]byte("f"))
 	if len(got) != 5 || got[0] != 1 || got[4] != 5 {
 		t.Fatalf("extendingupdate: %v", got)
 	}
@@ -235,7 +235,7 @@ func TestLargeValues(t *testing.T) {
 		tr.Put(k(i), v(i, 4096), LogAuto)
 	}
 	for i := 0; i < n; i += 17 {
-		got, ok := tr.Get(k(i))
+		got, ok, _ := tr.Get(k(i))
 		if !ok || !bytes.Equal(got, v(i, 4096)) {
 			t.Fatalf("4KiB value %d corrupted", i)
 		}
@@ -267,7 +267,7 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 		t.Fatalf("reopen: %v", err)
 	}
 	for i := 0; i < n; i += 31 {
-		got, ok := s2.Meta().Get(k(i))
+		got, ok, _ := s2.Meta().Get(k(i))
 		if !ok || !bytes.Equal(got, v(i, 48)) {
 			t.Fatalf("key %d lost across reopen", i)
 		}
@@ -301,7 +301,7 @@ func TestLogReplayAfterCrash(t *testing.T) {
 		t.Fatalf("recover: %v", err)
 	}
 	for i := 0; i < 100; i++ {
-		got, ok := s2.Meta().Get(k(i))
+		got, ok, _ := s2.Meta().Get(k(i))
 		if !ok || !bytes.Equal(got, v(i, 32)) {
 			t.Fatalf("key %d lost after crash+replay", i)
 		}
@@ -328,10 +328,10 @@ func TestUnsyncedOpsLostAfterCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s2.Meta().Get([]byte("durable")); !ok {
+	if _, ok, _ := s2.Meta().Get([]byte("durable")); !ok {
 		t.Fatal("synced op lost")
 	}
-	if _, ok := s2.Meta().Get([]byte("volatile")); ok {
+	if _, ok, _ := s2.Meta().Get([]byte("volatile")); ok {
 		t.Fatal("unsynced op survived crash (not prefix-consistent)")
 	}
 }

@@ -62,14 +62,16 @@ func maybeDecompressNode(env *sim.Env, data []byte) ([]byte, error) {
 	}
 	clen := int(binary.BigEndian.Uint32(data[4:]))
 	rawLen := int(binary.BigEndian.Uint32(data[8:]))
-	if compressHeader+clen > len(data) {
-		return nil, fmt.Errorf("betree: truncated compressed node")
+	if clen < 0 || compressHeader+clen > len(data) {
+		return nil, fmt.Errorf("betree: truncated compressed node: %w", ErrChecksum)
 	}
 	r := flate.NewReader(bytes.NewReader(data[compressHeader : compressHeader+clen]))
 	out := make([]byte, 0, rawLen)
 	w := bytes.NewBuffer(out)
 	if _, err := io.Copy(w, r); err != nil {
-		return nil, fmt.Errorf("betree: decompress: %w", err)
+		// A flate error on read-back means the stored bytes changed
+		// underneath us: classify as corruption.
+		return nil, fmt.Errorf("betree: decompress (%v): %w", err, ErrChecksum)
 	}
 	env.Charge(time.Duration(int64(rawLen) * decompressPsPerByte / 1000))
 	return w.Bytes(), nil

@@ -8,7 +8,9 @@ import (
 
 // Scan iterates all live key-value pairs in [lo, hi) in key order, calling
 // fn for each; fn returning false stops the scan. hi == nil means
-// unbounded.
+// unbounded. A corrupted node or basement encountered mid-scan stops the
+// iteration and surfaces an error wrapping ErrChecksum; pairs already
+// yielded remain valid.
 //
 // Scans materialize each basement they traverse: pending messages from the
 // root-to-leaf path are applied to the in-memory basement (bumping its
@@ -16,7 +18,7 @@ import (
 // serves range queries from a consistent view while leaving the on-disk
 // tree untouched (§2.1, §4). With read-ahead enabled, the next leaf is
 // prefetched while the current one is consumed (§3.2).
-func (t *Tree) Scan(lo, hi []byte, fn func(k, v []byte) bool) {
+func (t *Tree) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
 	t.stats.Scans++
 	s := t.store
 	cursor := lo
@@ -25,11 +27,14 @@ func (t *Tree) Scan(lo, hi []byte, fn func(k, v []byte) bool) {
 	}
 	for {
 		if hi != nil && keys.Compare(cursor, hi) >= 0 {
-			return
+			return nil
 		}
-		leafHi, more := t.scanLeaf(cursor, hi, fn)
+		leafHi, more, err := t.scanLeaf(cursor, hi, fn)
+		if err != nil {
+			return err
+		}
 		if !more || leafHi == nil {
-			return
+			return nil
 		}
 		cursor = leafHi
 		_ = s
@@ -39,11 +44,14 @@ func (t *Tree) Scan(lo, hi []byte, fn func(k, v []byte) bool) {
 // scanLeaf processes the leaf containing key cursor, returning the leaf's
 // upper bound (nil when it is the rightmost leaf) and whether iteration
 // should continue.
-func (t *Tree) scanLeaf(cursor, hi []byte, fn func(k, v []byte) bool) ([]byte, bool) {
+func (t *Tree) scanLeaf(cursor, hi []byte, fn func(k, v []byte) bool) ([]byte, bool, error) {
 	s := t.store
 	var path []pathEl
 	var llo, lhi []byte
-	n := t.fetch(t.rootID, nil)
+	n, err := t.fetch(t.rootID, nil)
+	if err != nil {
+		return nil, false, err
+	}
 	defer func() {
 		for _, pe := range path {
 			t.unpin(pe.n)
@@ -52,9 +60,13 @@ func (t *Tree) scanLeaf(cursor, hi []byte, fn func(k, v []byte) bool) ([]byte, b
 	}()
 	for !n.isLeaf() {
 		ci := n.childFor(s.env, cursor)
-		path = append(path, pathEl{n, ci})
+		child, err := t.fetch(n.children[ci], nil)
+		if err != nil {
+			return nil, false, err
+		}
 		llo, lhi = n.childRange(ci, llo, lhi)
-		n = t.fetch(n.children[ci], nil)
+		path = append(path, pathEl{n, ci})
+		n = child
 	}
 	// Prefetch the next leaf while this one is consumed.
 	if s.cfg.ReadAhead {
@@ -79,7 +91,9 @@ func (t *Tree) scanLeaf(cursor, hi []byte, fn func(k, v []byte) bool) ([]byte, b
 		if hi != nil && keys.Compare(blo, hi) >= 0 {
 			break // entirely above the scan end
 		}
-		t.ensureBasement(n, bi)
+		if err := t.ensureBasement(n, bi); err != nil {
+			return nil, false, err
+		}
 		var msgs []*Msg
 		for _, pe := range path {
 			msgs = pe.n.bufs[pe.ci].collectRange(s.env, blo, bhi, b.maxApplied, msgs)
@@ -102,7 +116,7 @@ func (t *Tree) scanLeaf(cursor, hi []byte, fn func(k, v []byte) bool) ([]byte, b
 			continue
 		}
 		if hi != nil && keys.Compare(blo, hi) >= 0 {
-			return lhi, false
+			return lhi, false, nil
 		}
 		for i := range b.entries {
 			e := &b.entries[i]
@@ -111,14 +125,14 @@ func (t *Tree) scanLeaf(cursor, hi []byte, fn func(k, v []byte) bool) ([]byte, b
 				continue
 			}
 			if hi != nil && keys.Compare(e.key, hi) >= 0 {
-				return lhi, false
+				return lhi, false, nil
 			}
 			if !fn(e.key, e.val.Bytes()) {
-				return lhi, false
+				return lhi, false, nil
 			}
 		}
 	}
-	return lhi, true
+	return lhi, true, nil
 }
 
 // clipToBasement narrows a range delete to the basement's bounds so that
@@ -138,10 +152,11 @@ func clipToBasement(m *Msg, blo, bhi []byte) *Msg {
 	return &c
 }
 
-// Count returns the number of live pairs in [lo, hi); mainly for tests and
-// tools.
+// Count returns the number of live pairs in [lo, hi); mainly for tests
+// and tools. Corruption mid-scan truncates the count (use Scan directly
+// for the error).
 func (t *Tree) Count(lo, hi []byte) int {
 	n := 0
-	t.Scan(lo, hi, func(_, _ []byte) bool { n++; return true })
+	_ = t.Scan(lo, hi, func(_, _ []byte) bool { n++; return true })
 	return n
 }

@@ -21,7 +21,7 @@ func checkInvariants(t *testing.T, tr *Tree) {
 	t.Helper()
 	var walk func(id nodeID, lo, hi []byte, wantHeight int)
 	walk = func(id nodeID, lo, hi []byte, wantHeight int) {
-		n := tr.fetch(id, nil)
+		n := tr.mustFetch(id, nil)
 		defer tr.unpin(n)
 		if wantHeight >= 0 && n.height != wantHeight {
 			t.Fatalf("node %d height %d, want %d", id, n.height, wantHeight)
@@ -77,7 +77,7 @@ func checkInvariants(t *testing.T, tr *Tree) {
 			walk(n.children[ci], clo, chi, n.height-1)
 		}
 	}
-	root := tr.fetch(tr.rootID, nil)
+	root := tr.mustFetch(tr.rootID, nil)
 	h := root.height
 	tr.unpin(root)
 	walk(tr.rootID, nil, nil, h)
@@ -138,7 +138,7 @@ func TestPrefetchHitsOnSequentialGets(t *testing.T) {
 	s.DropCleanCaches()
 	tr.SetSeqHint(true)
 	for i := 0; i < n; i++ {
-		if _, ok := tr.Get(k(i)); !ok {
+		if _, ok, _ := tr.Get(k(i)); !ok {
 			t.Fatalf("key %d missing", i)
 		}
 	}

@@ -33,6 +33,9 @@ type basement struct {
 	diskLen int
 	pageOff int
 	pageLen int
+	// crc is the directory checksum over the small section and page
+	// range, verified when the basement is materialized from disk.
+	crc uint32
 	// firstKey bounds the basement's key range when entries are not
 	// loaded; for loaded basements the entries themselves bound it.
 	firstKey []byte
@@ -80,6 +83,10 @@ type node struct {
 
 	// Leaf state.
 	basements []*basement
+	// pageBase is the on-disk page-section base offset, captured from
+	// the (verified) header when the node was decoded from disk; basement
+	// partial loads need it to resolve aligned value offsets.
+	pageBase int
 
 	// Cache bookkeeping.
 	pins    int

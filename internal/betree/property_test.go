@@ -100,7 +100,7 @@ func TestRandomOpsAgainstModel(t *testing.T) {
 					md.update(k, off, patch)
 				case 8: // point query
 					k := key()
-					got, ok := tr.Get([]byte(k))
+					got, ok, _ := tr.Get([]byte(k))
 					want, wok := md.m[k]
 					if ok != wok || (ok && !bytes.Equal(got, want)) {
 						t.Fatalf("op %d: Get(%q) = (%v,%v), want (%v,%v)", i, k, got, ok, want, wok)
@@ -184,7 +184,7 @@ func TestRandomUpdatesAgainstModel(t *testing.T) {
 		}
 	}
 	for k, want := range md.m {
-		got, ok := tr.Get([]byte(k))
+		got, ok, _ := tr.Get([]byte(k))
 		if !ok || !bytes.Equal(got, want) {
 			t.Fatalf("Get(%q) diverged from model (ok=%v len=%d want %d)", k, ok, len(got), len(want))
 		}
@@ -243,7 +243,7 @@ func TestCrashInjection(t *testing.T) {
 			}
 			tr2 := s2.Meta()
 			for k, v := range synced {
-				got, ok := tr2.Get([]byte(k))
+				got, ok, _ := tr2.Get([]byte(k))
 				if !ok || !bytes.Equal(got, v) {
 					t.Fatalf("synced key %q lost or corrupted after crash", k)
 				}
@@ -254,7 +254,7 @@ func TestCrashInjection(t *testing.T) {
 			holes := false
 			for i := 0; i < 300; i++ {
 				k := fmt.Sprintf("u/f%04d", i)
-				if _, ok := tr2.Get([]byte(k)); ok {
+				if _, ok, _ := tr2.Get([]byte(k)); ok {
 					if holes {
 						t.Fatalf("unsynced key %q survived after a hole (not prefix-consistent)", k)
 					}
@@ -300,7 +300,7 @@ func TestCrashDuringCheckpoint(t *testing.T) {
 		t.Fatalf("recovery after torn checkpoint: %v", err)
 	}
 	for i := 0; i < 1000; i++ {
-		if _, ok := s2.Meta().Get(k(i)); !ok {
+		if _, ok, _ := s2.Meta().Get(k(i)); !ok {
 			t.Fatalf("state-A key %d lost after torn checkpoint", i)
 		}
 	}

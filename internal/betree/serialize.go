@@ -2,6 +2,7 @@ package betree
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -9,17 +10,25 @@ import (
 	"betrfs/internal/sim"
 )
 
+// ErrChecksum reports that an on-disk image (node shell, basement, or
+// whole node) failed checksum verification — a torn write, bit-rot, or a
+// latent sector error. Callers detect it with errors.Is and degrade
+// gracefully instead of consuming garbage.
+var ErrChecksum = errors.New("betree: checksum mismatch")
+
 // On-disk node format.
 //
-// Common header (32 bytes):
+// Common header (40 bytes):
 //
-//	[0:4]   crc32 over [4:headerEnd]
+//	[0:4]   crc32 over [4:total] (whole-image checksum)
 //	[4:8]   magic
 //	[8:12]  height
 //	[12:20] node id
 //	[20:24] total serialized length
 //	[24:28] page-section base offset (aligned value payloads)
 //	[28:32] child/basement count
+//	[32:36] shell end (header + basement directory + first keys)
+//	[36:40] crc32 over [4:36] ++ [40:shellEnd] (shell checksum)
 //
 // Leaves follow with a basement directory; each basement has a small
 // section (keys + small values) and, in the page-sharing format (§6), a
@@ -28,9 +37,19 @@ import (
 // a serialization copy. Interior nodes follow with pivots, child IDs, and
 // per-child message buffers (page-valued insert messages use the same
 // aligned tail).
+//
+// Checksums come in three granularities so every read path is verified
+// (fault model, DESIGN.md): the whole-image crc covers full node reads;
+// the shell crc covers the header-region read of a partial leaf read; and
+// each basement directory slot carries a crc over that basement's small
+// section and page range, covering basement-granular reads. A torn node
+// write therefore cannot yield a silently wrong partial read: either the
+// shell crc or the basement crc fails and the read surfaces ErrChecksum.
 const (
-	nodeMagic      = 0xbe72ee01
-	baseHeaderSize = 32
+	nodeMagic      = 0xbe72ee02
+	baseHeaderSize = 40
+	// dirSlotSize is the size of one basement directory slot.
+	dirSlotSize = 32
 	// alignedValueMin is the value size at or above which the aligned
 	// page section is used (when page sharing is on).
 	alignedValueMin = 2048
@@ -102,6 +121,7 @@ func serializeNode(env *sim.Env, cfg *Config, n *node) []byte {
 		}
 	}
 
+	shellEnd := baseHeaderSize
 	if n.isLeaf() {
 		// Basement directory placeholder: fixed-size slots, then
 		// variable first keys after the slots.
@@ -111,12 +131,13 @@ func serializeNode(env *sim.Env, cfg *Config, n *node) []byte {
 				panic("betree: serializing leaf with unloaded basement")
 			}
 			_ = b
-			e.buf = append(e.buf, make([]byte, 28)...)
-			e.smallBytes += 28
+			e.buf = append(e.buf, make([]byte, dirSlotSize)...)
+			e.smallBytes += dirSlotSize
 		}
 		for _, b := range n.basements {
 			e.keyed(b.lowKey())
 		}
+		shellEnd = len(e.buf)
 		// Basement small sections. With lifting (§2.2), the longest
 		// common prefix of a basement's keys is stored once and
 		// stripped from every key — very effective for full-path keys.
@@ -150,9 +171,11 @@ func serializeNode(env *sim.Env, cfg *Config, n *node) []byte {
 				e.buf = append(e.buf, make([]byte, pad)...)
 			}
 		}
-		// Patch the directory.
+		// Patch the directory, including each basement's checksum over
+		// its small section and page range (verified by basement-granular
+		// partial reads).
 		for bi := range n.basements {
-			slot := dirStart + bi*28
+			slot := dirStart + bi*dirSlotSize
 			loc := locs[bi]
 			binary.BigEndian.PutUint32(e.buf[slot:], uint32(loc.smallOff))
 			binary.BigEndian.PutUint32(e.buf[slot+4:], uint32(loc.smallLen))
@@ -160,6 +183,11 @@ func serializeNode(env *sim.Env, cfg *Config, n *node) []byte {
 			binary.BigEndian.PutUint32(e.buf[slot+12:], uint32(loc.pageLen))
 			binary.BigEndian.PutUint64(e.buf[slot+16:], uint64(n.basements[bi].maxApplied))
 			binary.BigEndian.PutUint32(e.buf[slot+24:], uint32(len(n.basements[bi].entries)))
+			crc := crc32.ChecksumIEEE(e.buf[loc.smallOff : loc.smallOff+loc.smallLen])
+			if loc.pageLen > 0 {
+				crc = crc32.Update(crc, crc32.IEEETable, e.buf[pageBase+loc.pageOff:pageBase+loc.pageOff+loc.pageLen])
+			}
+			binary.BigEndian.PutUint32(e.buf[slot+28:], crc)
 		}
 		patchHeader(e.buf, n, pageBase, len(n.basements))
 	} else {
@@ -193,17 +221,31 @@ func serializeNode(env *sim.Env, cfg *Config, n *node) []byte {
 		patchHeader(e.buf, n, pageBase, len(n.children))
 	}
 
-	// Align total length.
+	// Align total length, then patch the length-dependent header fields
+	// and checksums: the shell crc covers the header (minus the two crc
+	// fields) and the directory + first keys, so it must be computed
+	// after the total length and shell end are in place; the whole-image
+	// crc goes last, covering everything after itself.
 	if pad := (blockAlign - len(e.buf)%blockAlign) % blockAlign; pad > 0 {
 		e.buf = append(e.buf, make([]byte, pad)...)
 	}
 	binary.BigEndian.PutUint32(e.buf[20:], uint32(len(e.buf)))
+	binary.BigEndian.PutUint32(e.buf[32:], uint32(shellEnd))
+	binary.BigEndian.PutUint32(e.buf[36:], shellCRC(e.buf, shellEnd))
 	crc := crc32.ChecksumIEEE(e.buf[4:])
 	binary.BigEndian.PutUint32(e.buf[0:], crc)
 
 	env.Serialize(e.smallBytes)
 	env.Checksum(len(e.buf))
 	return e.buf
+}
+
+// shellCRC computes the shell checksum: header fields [4:36] plus the
+// basement directory and first keys [40:shellEnd], skipping the two crc
+// fields themselves.
+func shellCRC(buf []byte, shellEnd int) uint32 {
+	crc := crc32.ChecksumIEEE(buf[4:36])
+	return crc32.Update(crc, crc32.IEEETable, buf[baseHeaderSize:shellEnd])
 }
 
 func patchHeader(buf []byte, n *node, headerEnd, count int) {
@@ -260,19 +302,19 @@ func (d *nodeDecoder) value(whole []byte, pageBase int) Value {
 // verifying the header checksum.
 func deserializeNode(env *sim.Env, cfg *Config, data []byte) (*node, error) {
 	if len(data) < baseHeaderSize {
-		return nil, fmt.Errorf("betree: short node")
+		return nil, fmt.Errorf("betree: short node: %w", ErrChecksum)
 	}
 	if binary.BigEndian.Uint32(data[4:]) != nodeMagic {
-		return nil, fmt.Errorf("betree: bad node magic")
+		return nil, fmt.Errorf("betree: bad node magic: %w", ErrChecksum)
 	}
 	total := int(binary.BigEndian.Uint32(data[20:]))
-	if total > len(data) {
-		return nil, fmt.Errorf("betree: truncated node: want %d have %d", total, len(data))
+	if total < baseHeaderSize || total > len(data) {
+		return nil, fmt.Errorf("betree: truncated node: want %d have %d: %w", total, len(data), ErrChecksum)
 	}
 	data = data[:total]
 	env.Checksum(len(data))
 	if crc32.ChecksumIEEE(data[4:]) != binary.BigEndian.Uint32(data[0:]) {
-		return nil, fmt.Errorf("betree: node checksum mismatch")
+		return nil, fmt.Errorf("betree: node image: %w", ErrChecksum)
 	}
 	n := &node{
 		height: int(binary.BigEndian.Uint32(data[8:])),
@@ -285,8 +327,9 @@ func deserializeNode(env *sim.Env, cfg *Config, data []byte) (*node, error) {
 			return nil, err
 		}
 		n.basements = shell
+		n.pageBase = pageBase(data)
 		for bi := range n.basements {
-			if err := loadBasementFrom(env, data, n.basements[bi]); err != nil {
+			if err := loadBasementFrom(env, data, n.basements[bi], n.pageBase); err != nil {
 				return nil, err
 			}
 		}
@@ -324,19 +367,38 @@ func deserializeNode(env *sim.Env, cfg *Config, data []byte) (*node, error) {
 
 // decodeLeafShell parses the header + basement directory of a leaf image,
 // returning unloaded basements and the number of directory bytes consumed
-// (partial-read support, §2.2). A truncated or corrupt directory returns an
-// error rather than panicking, so callers can fall back to a full read.
+// (partial-read support, §2.2). The shell checksum is verified before the
+// directory is trusted: a torn or corrupted header region surfaces
+// ErrChecksum instead of garbage basement extents. A shell extending past
+// the provided bytes returns a plain error so callers can fall back to a
+// full read.
 func decodeLeafShell(data []byte) (bs []*basement, consumed int, err error) {
 	defer func() {
 		if recover() != nil {
-			bs, consumed, err = nil, 0, fmt.Errorf("betree: truncated leaf directory")
+			bs, consumed, err = nil, 0, fmt.Errorf("betree: truncated leaf directory: %w", ErrChecksum)
 		}
 	}()
+	if len(data) < baseHeaderSize {
+		return nil, 0, fmt.Errorf("betree: short leaf shell: %w", ErrChecksum)
+	}
 	if binary.BigEndian.Uint32(data[4:]) != nodeMagic {
-		return nil, 0, fmt.Errorf("betree: bad node magic")
+		return nil, 0, fmt.Errorf("betree: bad node magic: %w", ErrChecksum)
 	}
 	if binary.BigEndian.Uint32(data[8:]) != 0 {
 		return nil, 0, fmt.Errorf("betree: leaf shell on interior node")
+	}
+	shellEnd := int(binary.BigEndian.Uint32(data[32:]))
+	if shellEnd < baseHeaderSize {
+		return nil, 0, fmt.Errorf("betree: bad shell end %d: %w", shellEnd, ErrChecksum)
+	}
+	if shellEnd > len(data) {
+		// Not necessarily corrupt: the directory may simply exceed the
+		// header-region read. The caller falls back to a full read, whose
+		// whole-image checksum decides.
+		return nil, 0, fmt.Errorf("betree: leaf shell exceeds %d bytes", len(data))
+	}
+	if shellCRC(data, shellEnd) != binary.BigEndian.Uint32(data[36:]) {
+		return nil, 0, fmt.Errorf("betree: leaf shell: %w", ErrChecksum)
 	}
 	count := int(binary.BigEndian.Uint32(data[28:]))
 	basements := make([]*basement, count)
@@ -349,6 +411,7 @@ func decodeLeafShell(data []byte) (bs []*basement, consumed int, err error) {
 		b.pageLen = int(d.u32())
 		b.maxApplied = MSN(d.u64())
 		d.u32() // entry count, informational
+		b.crc = d.u32()
 		basements[i] = b
 	}
 	for i := 0; i < count; i++ {
@@ -363,16 +426,35 @@ func pageBase(data []byte) int {
 }
 
 // loadBasementFrom materializes basement b from a (possibly sparse) node
-// image in which the header, b's small section, and b's page range have
-// been populated.
-func loadBasementFrom(env *sim.Env, data []byte, b *basement) error {
+// image in which b's small section and b's page range have been
+// populated; pb is the node's page-section base offset, taken from the
+// (checksum-verified) header rather than the image bytes, since sparse
+// partial reads never populate the header region. The basement's
+// directory checksum is verified over the small section and page range
+// before decoding, so a basement-granular partial read of a torn or
+// corrupted node surfaces ErrChecksum.
+func loadBasementFrom(env *sim.Env, data []byte, b *basement, pb int) (err error) {
 	if b.loaded {
 		return nil
 	}
-	if b.diskOff+b.diskLen > len(data) {
-		return fmt.Errorf("betree: basement out of bounds")
+	defer func() {
+		if recover() != nil {
+			err = fmt.Errorf("betree: truncated basement: %w", ErrChecksum)
+		}
+	}()
+	if b.diskOff < baseHeaderSize || b.diskLen < 4 || b.diskOff+b.diskLen > len(data) {
+		return fmt.Errorf("betree: basement small section out of bounds: %w", ErrChecksum)
 	}
-	pb := pageBase(data)
+	if b.pageLen < 0 || b.pageOff < 0 || b.pageOff+b.pageLen > len(data) {
+		return fmt.Errorf("betree: basement page range out of bounds: %w", ErrChecksum)
+	}
+	crc := crc32.ChecksumIEEE(data[b.diskOff : b.diskOff+b.diskLen])
+	if b.pageLen > 0 {
+		crc = crc32.Update(crc, crc32.IEEETable, data[b.pageOff:b.pageOff+b.pageLen])
+	}
+	if crc != b.crc {
+		return fmt.Errorf("betree: basement at %d: %w", b.diskOff, ErrChecksum)
+	}
 	d := &nodeDecoder{data: data, pos: b.diskOff}
 	nEntries := int(d.u32())
 	prefix := d.keyed()

@@ -159,7 +159,7 @@ func TestLeafShellPartialDecode(t *testing.T) {
 	}
 	// Load just one basement and verify its entries.
 	bi := len(shell) / 2
-	if err := loadBasementFrom(env, data, shell[bi]); err != nil {
+	if err := loadBasementFrom(env, data, shell[bi], pageBase(data)); err != nil {
 		t.Fatal(err)
 	}
 	want := n.basements[bi].entries
@@ -345,7 +345,7 @@ func TestCompressedStoreEndToEnd(t *testing.T) {
 	s.Checkpoint()
 	s.DropCleanCaches()
 	for i := 0; i < 3000; i += 111 {
-		got, ok := tr.Get(k(i))
+		got, ok, _ := tr.Get(k(i))
 		if !ok || !bytes.Equal(got, v(i, 64)) {
 			t.Fatalf("key %d lost under compression", i)
 		}

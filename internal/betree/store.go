@@ -110,18 +110,35 @@ func Open(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend Backend) (*St
 	if err != nil {
 		return nil, err
 	}
-	s.log = wal.New(env, backend.File("log"), hint.Epoch)
-	// Replay the redo log against the checkpointed state.
-	for _, rec := range wal.Recover(env, backend.File("log"), hint) {
+	if err := s.recoverFromLog(hint); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recoverFromLog replays the redo log against the checkpointed state and
+// persists the result. Recovery walks on-disk structures that a crash or
+// corruption may have damaged, so panics from deep inside the replay
+// (write paths treat unreadable nodes as fatal) are converted into an
+// Open error: a store that cannot recover reports it instead of taking
+// the process down.
+func (s *Store) recoverFromLog(hint wal.Hint) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("betree: recovery failed: %v", r)
+		}
+	}()
+	s.log = wal.New(s.env, s.backend.File("log"), hint.Epoch)
+	for _, rec := range wal.Recover(s.env, s.backend.File("log"), hint) {
 		if err := s.replay(rec); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	// Start a fresh log incarnation; the immediate checkpoint persists
 	// the replayed state and records the new epoch in the superblock.
-	s.log = wal.New(env, backend.File("log"), hint.Epoch+1)
+	s.log = wal.New(s.env, s.backend.File("log"), hint.Epoch+1)
 	s.Checkpoint()
-	return s, nil
+	return nil
 }
 
 // Env returns the simulation environment.
@@ -278,11 +295,16 @@ func (s *Store) writeNode(t *Tree, n *node) {
 
 // readNode fetches a node image from disk. If partialKey is non-nil and
 // the node is a leaf, only the header region and the basement containing
-// partialKey are read and materialized (§2.2 basement nodes).
-func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) *node {
+// partialKey are read and materialized (§2.2 basement nodes). A corrupted
+// or torn image surfaces an error wrapping ErrChecksum rather than
+// garbage or a panic.
+func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 	ext, ok := t.bt.lookup(id)
 	if !ok {
-		panic(fmt.Sprintf("betree: node %d has no extent", id))
+		return nil, fmt.Errorf("betree: %s node %d has no extent", t.name, id)
+	}
+	fail := func(err error) (*node, error) {
+		return nil, fmt.Errorf("betree: %s node %d: %w", t.name, id, err)
 	}
 	key := cacheKey{t, id}
 	if pr, ok := s.pending[key]; ok {
@@ -292,15 +314,15 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) *node {
 		s.stats.PrefetchHits++
 		raw, err := maybeDecompressNode(s.env, pr.data)
 		if err != nil {
-			panic(fmt.Sprintf("betree: %v", err))
+			return fail(err)
 		}
 		n, err := deserializeNode(s.env, &s.cfg, raw)
 		if err != nil {
-			panic(fmt.Sprintf("betree: %v", err))
+			return fail(err)
 		}
 		s.stats.NodesRead++
 		s.stats.BytesRead += ext.len
-		return n
+		return n, nil
 	}
 
 	if partialKey != nil {
@@ -319,63 +341,71 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) *node {
 			}
 			raw, err := maybeDecompressNode(s.env, hdr)
 			if err != nil {
-				panic(fmt.Sprintf("betree: %v", err))
+				return fail(err)
 			}
 			n, err := deserializeNode(s.env, &s.cfg, raw)
 			if err != nil {
-				panic(fmt.Sprintf("betree: %v", err))
+				return fail(err)
 			}
 			s.stats.NodesRead++
 			s.stats.BytesRead += ext.len
-			return n
+			return n, nil
 		}
 		if binary.BigEndian.Uint32(hdr[4:]) == nodeMagic && binary.BigEndian.Uint32(hdr[8:]) == 0 {
 			basements, consumed, err := decodeLeafShell(hdr[:hlen])
 			if err == nil && consumed <= int(hlen) {
-				n := &node{id: id, height: 0, basements: basements}
+				n := &node{id: id, height: 0, basements: basements, pageBase: pageBase(hdr)}
 				s.stats.NodesRead++
 				s.stats.PartialReads++
 				s.stats.BytesRead += hlen
-				s.loadBasement(t, n, ext, n.basementFor(s.env, partialKey))
+				if err := s.loadBasement(t, n, ext, n.basementFor(s.env, partialKey)); err != nil {
+					return fail(err)
+				}
 				n.computeMemSize()
-				return n
+				return n, nil
 			}
 		}
-		// Shell didn't fit in the header region; fall through to a
-		// full read of the remainder.
+		// Shell didn't fit in the header region (or failed its checksum);
+		// fall through to a full read of the remainder, whose whole-image
+		// checksum decides.
 		if ext.len > hlen {
 			t.f.SubmitRead(hdr[hlen:], ext.off+hlen)()
 		}
 		n, err := deserializeNode(s.env, &s.cfg, hdr)
 		if err != nil {
-			panic(fmt.Sprintf("betree: %v", err))
+			return fail(err)
 		}
 		s.stats.NodesRead++
 		s.stats.BytesRead += ext.len
-		return n
+		return n, nil
 	}
 
 	data := make([]byte, ext.len)
 	t.f.SubmitRead(data, ext.off)()
 	raw, err := maybeDecompressNode(s.env, data)
 	if err != nil {
-		panic(fmt.Sprintf("betree: %v", err))
+		return fail(err)
 	}
 	n, err := deserializeNode(s.env, &s.cfg, raw)
 	if err != nil {
-		panic(fmt.Sprintf("betree: %v", err))
+		return fail(err)
 	}
 	s.stats.NodesRead++
 	s.stats.BytesRead += ext.len
-	return n
+	return n, nil
 }
 
 // loadBasement materializes basement bi of cached leaf n with a partial
-// disk read (small section + page section).
-func (s *Store) loadBasement(t *Tree, n *node, ext extent, bi int) {
+// disk read (small section + page section), verifying the basement's
+// directory checksum.
+func (s *Store) loadBasement(t *Tree, n *node, ext extent, bi int) error {
 	b := n.basements[bi]
 	if b.loaded {
-		return
+		return nil
+	}
+	if b.diskOff < 0 || b.diskLen < 0 || b.pageOff < 0 || b.pageLen < 0 ||
+		int64(b.diskOff)+int64(b.diskLen) > ext.len || int64(b.pageOff)+int64(b.pageLen) > ext.len {
+		return fmt.Errorf("betree: %s node %d basement %d extent out of bounds: %w", t.name, n.id, bi, ErrChecksum)
 	}
 	img := make([]byte, ext.len)
 	if b.diskLen > 0 {
@@ -386,12 +416,13 @@ func (s *Store) loadBasement(t *Tree, n *node, ext extent, bi int) {
 	}
 	s.env.Checksum(b.diskLen + b.pageLen)
 	s.env.Serialize(b.diskLen)
-	if err := loadBasementFrom(s.env, img, b); err != nil {
-		panic(fmt.Sprintf("betree: %v", err))
+	if err := loadBasementFrom(s.env, img, b, n.pageBase); err != nil {
+		return fmt.Errorf("betree: %s node %d basement %d: %w", t.name, n.id, bi, err)
 	}
 	s.stats.BasementsRead++
 	s.stats.BytesRead += int64(b.diskLen + b.pageLen)
 	s.cache.resize(t, n)
+	return nil
 }
 
 // prefetch issues an asynchronous read of a node (tree-level read-ahead,

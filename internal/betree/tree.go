@@ -75,22 +75,38 @@ func (t *Tree) newNodeID() nodeID {
 }
 
 // fetch returns the node, loading it from disk on a miss, and pins it.
-// partialKey (for leaves) enables basement-granular reads.
-func (t *Tree) fetch(id nodeID, partialKey []byte) *node {
+// partialKey (for leaves) enables basement-granular reads. A corrupted
+// on-disk image surfaces an error wrapping ErrChecksum; read paths
+// propagate it, write paths use mustFetch (an unreadable node under a
+// mutation leaves no consistent state to continue from).
+func (t *Tree) fetch(id nodeID, partialKey []byte) (*node, error) {
 	s := t.store
 	s.env.Charge(s.env.Costs.PageCacheOp) // cachetable lookup
 	if n, ok := s.cache.get(t, id); ok {
 		n.pins++
-		return n
+		return n, nil
 	}
 	var n *node
+	var err error
 	if partialKey != nil && !t.seqHint {
-		n = s.readNode(t, id, partialKey)
+		n, err = s.readNode(t, id, partialKey)
 	} else {
-		n = s.readNode(t, id, nil)
+		n, err = s.readNode(t, id, nil)
+	}
+	if err != nil {
+		return nil, err
 	}
 	n.pins++
 	s.cache.put(t, n)
+	return n, nil
+}
+
+// mustFetch is fetch for write paths, where an unreadable node is fatal.
+func (t *Tree) mustFetch(id nodeID, partialKey []byte) *node {
+	n, err := t.fetch(id, partialKey)
+	if err != nil {
+		panic(fmt.Sprintf("betree: %v", err))
+	}
 	return n
 }
 
@@ -107,24 +123,32 @@ func (t *Tree) markDirty(n *node) {
 	t.store.cache.resize(t, n)
 }
 
-// ensureBasement makes basement bi of leaf n resident.
-func (t *Tree) ensureBasement(n *node, bi int) {
+// ensureBasement makes basement bi of leaf n resident. Corruption in the
+// basement's on-disk image surfaces as an error wrapping ErrChecksum.
+func (t *Tree) ensureBasement(n *node, bi int) error {
 	b := n.basements[bi]
 	if b.loaded {
-		return
+		return nil
 	}
 	ext, ok := t.bt.lookup(n.id)
 	if !ok {
-		panic("betree: leaf with unloaded basement has no extent")
+		return fmt.Errorf("betree: leaf %d with unloaded basement has no extent", n.id)
 	}
-	t.store.loadBasement(t, n, ext, bi)
+	return t.store.loadBasement(t, n, ext, bi)
+}
+
+// mustEnsureBasement is ensureBasement for write paths.
+func (t *Tree) mustEnsureBasement(n *node, bi int) {
+	if err := t.ensureBasement(n, bi); err != nil {
+		panic(fmt.Sprintf("betree: %v", err))
+	}
 }
 
 // ensureAllBasements loads every basement (required before structural
-// changes or serialization).
+// changes or serialization; write path, so corruption is fatal).
 func (t *Tree) ensureAllBasements(n *node) {
 	for bi := range n.basements {
-		t.ensureBasement(n, bi)
+		t.mustEnsureBasement(n, bi)
 	}
 }
 
@@ -210,7 +234,7 @@ func (t *Tree) logAndInsert(m *Msg, d Durability) {
 func (t *Tree) insertMsg(m *Msg) {
 	s := t.store
 	s.env.Charge(s.env.Costs.MessageOverhead)
-	root := t.fetch(t.rootID, nil)
+	root := t.mustFetch(t.rootID, nil)
 	defer t.unpin(root)
 	if root.isLeaf() {
 		t.applyToLeaf(root, m)
@@ -271,7 +295,7 @@ func (t *Tree) flushDescend(n *node) {
 func (t *Tree) flushToChild(parent *node, ci int) {
 	s := t.store
 	s.stats.Flushes++
-	child := t.fetch(parent.children[ci], nil)
+	child := t.mustFetch(parent.children[ci], nil)
 	defer t.unpin(child)
 	msgs := parent.bufs[ci].takeAll(s.alloc)
 	t.markDirty(parent)
@@ -312,7 +336,8 @@ func (t *Tree) flushToChild(parent *node, ci int) {
 }
 
 // applyToLeaf applies one message to leaf n, loading the affected
-// basements. Per-level value copies are charged unless page sharing is on.
+// basements (a write path: unreadable basements are fatal). Per-level
+// value copies are charged unless page sharing is on.
 func (t *Tree) applyToLeaf(n *node, m *Msg) {
 	s := t.store
 	withCopies := !s.cfg.PageSharing
@@ -320,13 +345,13 @@ func (t *Tree) applyToLeaf(n *node, m *Msg) {
 		lo := n.basementFor(s.env, m.Key)
 		hi := n.basementFor(s.env, m.EndKey)
 		for bi := lo; bi <= hi && bi < len(n.basements); bi++ {
-			t.ensureBasement(n, bi)
+			t.mustEnsureBasement(n, bi)
 			n.applyToBasement(s.env, bi, m, withCopies)
 		}
 		return
 	}
 	bi := n.basementFor(s.env, m.Key)
-	t.ensureBasement(n, bi)
+	t.mustEnsureBasement(n, bi)
 	n.applyToBasement(s.env, bi, m, withCopies)
 }
 
@@ -618,15 +643,19 @@ type pathEl struct {
 // Get returns the newest value for key, or ok=false. The query walks one
 // root-to-leaf path, gathering pending messages and applying them to the
 // leaf entry in MSN order (§2.1), and then runs the configured
-// apply-on-query policy (§4).
-func (t *Tree) Get(key []byte) ([]byte, bool) {
+// apply-on-query policy (§4). A corrupted node or basement on the path
+// surfaces an error wrapping ErrChecksum instead of garbage or a panic.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	t.stats.Gets++
 	s := t.store
 	s.env.Charge(s.env.Costs.MessageOverhead)
 
 	var path []pathEl
 	var lo, hi []byte
-	n := t.fetch(t.rootID, nil)
+	n, err := t.fetch(t.rootID, nil)
+	if err != nil {
+		return nil, false, err
+	}
 	defer func() {
 		for _, pe := range path {
 			t.unpin(pe.n)
@@ -635,16 +664,22 @@ func (t *Tree) Get(key []byte) ([]byte, bool) {
 	}()
 	for !n.isLeaf() {
 		ci := n.childFor(s.env, key)
-		path = append(path, pathEl{n, ci})
-		lo, hi = n.childRange(ci, lo, hi)
 		var pk []byte
 		if n.height == 1 {
 			pk = key // child is a leaf: basement-granular read allowed
 		}
-		n = t.fetch(n.children[ci], pk)
+		child, err := t.fetch(n.children[ci], pk)
+		if err != nil {
+			return nil, false, err
+		}
+		lo, hi = n.childRange(ci, lo, hi)
+		path = append(path, pathEl{n, ci})
+		n = child
 	}
 	bi := n.basementFor(s.env, key)
-	t.ensureBasement(n, bi)
+	if err := t.ensureBasement(n, bi); err != nil {
+		return nil, false, err
+	}
 	b := n.basements[bi]
 
 	// Gather pending messages for this key from the path.
@@ -665,7 +700,7 @@ func (t *Tree) Get(key []byte) ([]byte, bool) {
 	if t.seqHint && s.cfg.ReadAhead {
 		t.prefetchAfter(path, n, bi)
 	}
-	return val, found
+	return val, found, nil
 }
 
 // currentValue applies pending messages (ascending MSN) to the stored
@@ -819,7 +854,11 @@ func (t *Tree) prefetchAfter(path []pathEl, leaf *node, bi int) {
 	if bi+2 < len(leaf.basements) {
 		for b := bi + 1; b <= bi+2; b++ {
 			if !leaf.basements[b].loaded {
-				t.ensureBasement(leaf, b)
+				// Best-effort read-ahead: a corrupt upcoming basement is
+				// reported when (if) a query actually needs it.
+				if t.ensureBasement(leaf, b) != nil {
+					break
+				}
 			}
 		}
 	}

@@ -108,6 +108,11 @@ type Stats struct {
 	EmptyDirChecksByNlink int64
 	DirRangeDeletes       int64
 	RenamedKeys           int64
+	// CorruptReads counts data-index reads that failed checksum
+	// verification and were served as zero-filled pages (the vfs
+	// read-path interface carries no error; this is the degradation
+	// signal, mirrored by an EIO in a real kernel).
+	CorruptReads int64
 }
 
 // New opens a BetrFS instance over the given backend.
@@ -177,7 +182,10 @@ func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, erro
 		return path, dc.attr, nil
 	}
 	fs.stats.MetaQueries++
-	v, ok := fs.store.Meta().Get(keys.MetaKey(path))
+	v, ok, err := fs.store.Meta().Get(keys.MetaKey(path))
+	if err != nil {
+		return nil, vfs.Attr{}, err
+	}
 	if !ok {
 		return nil, vfs.Attr{}, vfs.ErrNotExist
 	}
@@ -277,10 +285,12 @@ func (fs *FS) checkEmpty(path string) error {
 	fs.stats.EmptyDirChecksByQuery++
 	lo, hi := keys.SubtreeRange(path)
 	empty := true
-	fs.store.Meta().Scan(lo, hi, func(_, _ []byte) bool {
+	if err := fs.store.Meta().Scan(lo, hi, func(_, _ []byte) bool {
 		empty = false
 		return false
-	})
+	}); err != nil {
+		return err
+	}
 	if !empty {
 		return vfs.ErrNotEmpty
 	}
@@ -306,7 +316,10 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 	// Flush any deferred create so the rename sees tree state.
 	fs.flushPending(oldPath)
 
-	v, ok := fs.store.Meta().Get(keys.MetaKey(oldPath))
+	v, ok, err := fs.store.Meta().Get(keys.MetaKey(oldPath))
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, vfs.ErrNotExist
 	}
@@ -321,10 +334,12 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 			lo, hi := keys.SubtreeRange(oldPath)
 			type kv struct{ k, v []byte }
 			var moved []kv
-			t.Scan(lo, hi, func(k, val []byte) bool {
+			if err := t.Scan(lo, hi, func(k, val []byte) bool {
 				moved = append(moved, kv{append([]byte{}, k...), append([]byte{}, val...)})
 				return true
-			})
+			}); err != nil {
+				return nil, err
+			}
 			for _, e := range moved {
 				t.Put(keys.RewritePrefix(e.k, oldEnc, newEnc), e.v, betree.LogAuto)
 				fs.stats.RenamedKeys++
@@ -356,10 +371,12 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 		lo, hi := keys.FileDataRange(oldPath)
 		type kv struct{ k, v []byte }
 		var moved []kv
-		fs.store.Data().Scan(lo, hi, func(k, val []byte) bool {
+		if err := fs.store.Data().Scan(lo, hi, func(k, val []byte) bool {
 			moved = append(moved, kv{append([]byte{}, k...), append([]byte{}, val...)})
 			return true
-		})
+		}); err != nil {
+			return nil, err
+		}
 		for _, e := range moved {
 			fs.store.Data().Put(keys.RewritePrefix(e.k, oldEnc, newEnc), e.v, betree.LogAuto)
 			fs.stats.RenamedKeys++
@@ -390,7 +407,7 @@ func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
 	dirKey := keys.Encode(path)
 	lo, hi := keys.SubtreeRange(path)
 	var out []vfs.DirEntry
-	fs.store.Meta().Scan(lo, hi, func(k, v []byte) bool {
+	if err := fs.store.Meta().Scan(lo, hi, func(k, v []byte) bool {
 		if !keys.IsDirectChild(dirKey, k) {
 			return true
 		}
@@ -405,7 +422,9 @@ func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
 		}
 		out = append(out, e)
 		return true
-	})
+	}); err != nil {
+		return nil, err
+	}
 	// Merge deferred creates that have not reached the tree yet.
 	for p, dc := range fs.pending {
 		parent, name := keys.ParentAndName(p)
@@ -458,7 +477,13 @@ func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
 	data := fs.store.Data()
 	data.SetSeqHint(seq)
 	for i, pg := range pages {
-		v, ok := data.Get(keys.DataKey(path, uint64(blk+int64(i))))
+		v, ok, err := data.Get(keys.DataKey(path, uint64(blk+int64(i))))
+		if err != nil {
+			// The vfs read-path interface carries no error: serve zeros
+			// and count the corruption (a real kernel returns EIO here).
+			fs.stats.CorruptReads++
+			ok = false
+		}
 		if !ok {
 			for j := range pg.Data {
 				pg.Data[j] = 0

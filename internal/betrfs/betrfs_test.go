@@ -36,7 +36,7 @@ func TestConditionalLoggingDefersInsert(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The metadata index must NOT contain the key yet.
-	if _, ok := fs.store.Meta().Get(keys.MetaKey("deferred")); ok {
+	if _, ok, _ := fs.store.Meta().Get(keys.MetaKey("deferred")); ok {
 		t.Fatal("conditional logging did not defer the insert")
 	}
 	if fs.Stats().DeferredCreates != 1 {
@@ -48,7 +48,7 @@ func TestConditionalLoggingDefersInsert(t *testing.T) {
 	}
 	// Inode write-back performs the real insert and releases the pin.
 	fs.WriteAttr(h, vfs.Attr{Size: 10, Nlink: 1})
-	if _, ok := fs.store.Meta().Get(keys.MetaKey("deferred")); !ok {
+	if _, ok, _ := fs.store.Meta().Get(keys.MetaKey("deferred")); !ok {
 		t.Fatal("write-back did not insert the inode")
 	}
 	if len(fs.pending) != 0 {
@@ -159,7 +159,7 @@ func TestRenameMovesDataKeys(t *testing.T) {
 	if out.Data[0] != 0x77 {
 		t.Fatal("rename lost data blocks")
 	}
-	if _, ok := fs.store.Data().Get(keys.DataKey("old", 0)); ok {
+	if _, ok, _ := fs.store.Data().Get(keys.DataKey("old", 0)); ok {
 		t.Fatal("old data keys survived rename")
 	}
 }

@@ -61,6 +61,9 @@ type Stats struct {
 	RandWrites   int64
 	SeqReads     int64
 	RandReads    int64
+	// ReadFaults counts reads that overlapped an injected unreadable
+	// range (see Dev.InjectReadFault).
+	ReadFaults int64
 }
 
 // Profile describes the performance characteristics of a device.
@@ -152,9 +155,10 @@ type Dev struct {
 	cacheDirty   int64
 	cacheUpdated time.Duration
 
-	// Crash-injection support (see crash.go).
+	// Crash- and fault-injection support (see crash.go).
 	trackUnflushed bool
 	unflushed      []writeRecord
+	readFaults     []faultRange
 }
 
 // New creates a device with the given profile.
@@ -264,6 +268,9 @@ func (d *Dev) SubmitRead(p []byte, off int64) Completion {
 	d.stats.BytesRead += int64(len(p))
 	d.stats.BusyTime += dur
 	d.copyOut(p, off)
+	if len(d.readFaults) > 0 {
+		d.applyReadFaults(p, off)
+	}
 	return Completion{At: d.busyUntil}
 }
 

@@ -14,6 +14,7 @@ package cowfs
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"time"
 
@@ -79,19 +80,21 @@ type FS struct {
 	imap    map[Ino]blobLoc
 	nextIno Ino
 
-	lastTxg time.Duration
-	inTxg   bool
-	stats   Stats
+	lastTxg    time.Duration
+	inTxg      bool
+	generation uint64 // uberblock generation, bumped per txg commit
+	stats      Stats
 }
 
 // Stats counts cowfs activity.
 type Stats struct {
-	DataWrites int64
-	DataReads  int64
-	MetaWrites int64
-	MetaReads  int64
-	TxgCommits int64
-	ZilWrites  int64
+	DataWrites   int64
+	DataReads    int64
+	MetaWrites   int64
+	MetaReads    int64
+	TxgCommits   int64
+	ZilWrites    int64
+	DroppedNodes int64 // invalid metadata blobs discarded during recovery
 }
 
 type blobLoc struct {
@@ -231,15 +234,76 @@ func (fs *FS) node(ino Ino) *node {
 	if !ok || loc.first < 0 {
 		panic(fmt.Sprintf("cowfs: inode %d has no blob", ino))
 	}
-	n := fs.readBlob(ino, loc)
+	n, err := fs.readBlob(ino, loc)
+	if err != nil {
+		panic(fmt.Sprintf("cowfs: %v", err))
+	}
 	fs.inodes[ino] = n
 	return n
+}
+
+// nodeIfPresent is the non-panicking variant used during recovery: it
+// returns false when the inode is unknown or its blob fails validation.
+func (fs *FS) nodeIfPresent(ino Ino) (*node, bool) {
+	if n, ok := fs.inodes[ino]; ok {
+		return n, true
+	}
+	loc, ok := fs.imap[ino]
+	if !ok || loc.first < 0 {
+		return nil, false
+	}
+	n, err := fs.readBlob(ino, loc)
+	if err != nil {
+		return nil, false
+	}
+	fs.inodes[ino] = n
+	return n, true
+}
+
+// Metadata blobs carry a self-validating header so that recovery can
+// tell a durable blob from one the crash tore or never persisted: magic,
+// the owning inode number (a stale imap entry may point at blocks since
+// reused by a different inode), payload length, and a payload CRC.
+const (
+	blobMagic      = 0xc0b10b55
+	blobHeaderSize = 4 + 8 + 4 + 4
+)
+
+func sealBlob(ino Ino, payload []byte) []byte {
+	blob := make([]byte, blobHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(blob[0:], blobMagic)
+	binary.BigEndian.PutUint64(blob[4:], uint64(ino))
+	binary.BigEndian.PutUint32(blob[12:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(blob[16:], crc32.ChecksumIEEE(payload))
+	copy(blob[blobHeaderSize:], payload)
+	return blob
+}
+
+func openBlob(ino Ino, b []byte) ([]byte, error) {
+	if len(b) < blobHeaderSize {
+		return nil, fmt.Errorf("blob for inode %d too short", ino)
+	}
+	if binary.BigEndian.Uint32(b) != blobMagic {
+		return nil, fmt.Errorf("bad blob magic for inode %d", ino)
+	}
+	if got := Ino(binary.BigEndian.Uint64(b[4:])); got != ino {
+		return nil, fmt.Errorf("blob owned by inode %d, want %d", got, ino)
+	}
+	n := int(binary.BigEndian.Uint32(b[12:]))
+	if n < 0 || blobHeaderSize+n > len(b) {
+		return nil, fmt.Errorf("blob length %d for inode %d out of range", n, ino)
+	}
+	payload := b[blobHeaderSize : blobHeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(b[16:]) {
+		return nil, fmt.Errorf("blob checksum mismatch for inode %d", ino)
+	}
+	return payload, nil
 }
 
 // writeBlob persists n's metadata copy-on-write and charges the tree-path
 // amplification.
 func (fs *FS) writeBlob(n *node) {
-	blob := encodeNode(n)
+	blob := sealBlob(n.ino, encodeNode(n))
 	if old, ok := fs.imap[n.ino]; ok && old.first >= 0 {
 		for i := 0; i < old.count; i++ {
 			fs.deferFree(old.first + int64(i))
@@ -274,15 +338,35 @@ func (fs *FS) writeBlob(n *node) {
 	n.dirty = false
 }
 
-// readBlob loads a metadata blob, verifying its checksum.
-func (fs *FS) readBlob(ino Ino, loc blobLoc) *node {
+// readBlob loads a metadata blob, verifying its header and checksum. Any
+// structural damage — out-of-range imap entry, torn or reused blocks,
+// block map pointing outside the data area — comes back as an error
+// instead of garbage state or a panic.
+func (fs *FS) readBlob(ino Ino, loc blobLoc) (rn *node, err error) {
+	if loc.count <= 0 || loc.first < 0 || loc.first+int64(loc.count) > fs.dataBlocks {
+		return nil, fmt.Errorf("imap entry for inode %d out of range: first=%d count=%d", ino, loc.first, loc.count)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rn, err = nil, fmt.Errorf("malformed blob for inode %d: %v", ino, r)
+		}
+	}()
 	buf := make([]byte, loc.count*BlockSize)
 	fs.dev.ReadAt(buf, fs.blockAddr(loc.first))
 	fs.env.Checksum(len(buf))
 	fs.stats.MetaReads++
-	n := decodeNode(ino, buf)
+	payload, err := openBlob(ino, buf)
+	if err != nil {
+		return nil, err
+	}
+	n := decodeNode(ino, payload)
+	for _, b := range n.blocks {
+		if b < 0 || b >= fs.dataBlocks {
+			return nil, fmt.Errorf("inode %d block map points outside the data area", ino)
+		}
+	}
 	fs.env.Serialize(len(buf))
-	return n
+	return n, nil
 }
 
 func encodeNode(n *node) []byte {

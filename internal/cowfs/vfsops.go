@@ -2,9 +2,12 @@ package cowfs
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"sort"
 
+	"betrfs/internal/blockdev"
 	"betrfs/internal/vfs"
+	"betrfs/internal/wal"
 )
 
 // vfs.FS implementation. Handles are inode numbers.
@@ -183,6 +186,12 @@ func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool
 		if rEnd > fileBlocks {
 			rEnd = fileBlocks
 		}
+		// An extending write can land past the current EOF; the record
+		// range must still cover every page the caller handed us, or the
+		// expansion below would silently drop them.
+		if end := blk + int64(len(pgs)); rEnd < end {
+			rEnd = end
+		}
 		if rEnd > blk+int64(len(pgs)) || rStart < blk {
 			allMapped := true
 			for b := rStart; b < rEnd; b++ {
@@ -321,21 +330,44 @@ func (fs *FS) txgCommit() {
 	for _, ino := range inos {
 		fs.writeBlob(fs.inodes[ino])
 	}
+	// Three-phase flush: blobs must be durable before the imap that
+	// references them, and the imap slot before the uberblock that
+	// selects it — otherwise a reordered cache drain could persist a
+	// root pointing at state the device never wrote.
+	fs.dev.Flush()
+	// The committed txg supersedes the intent log. Start a fresh log
+	// incarnation (epoch bump) rather than reclaiming in place: the
+	// uberblock records only the epoch, and recovery replays every
+	// same-epoch record still physically present in the region, so
+	// reclaimed-in-place records would be re-applied over the newer
+	// committed state, resurrecting stale block maps.
+	fs.zil = wal.New(fs.env, blockdev.Region(fs.dev, fs.zilOff, fs.zilLen), fs.zil.Epoch()+1)
 	fs.writeImap()
+	fs.dev.Flush()
+	fs.writeUberblock()
 	fs.dev.Flush()
 	for _, b := range fs.deferred {
 		fs.bitClear(b)
 	}
 	fs.deferred = fs.deferred[:0]
-	// The committed txg supersedes the intent log.
-	fs.zil.Flush()
-	fs.zil.Reclaim(fs.zil.NextLSN())
 	fs.lastTxg = fs.env.Now()
 }
 
-// writeImap persists the inode map region and the uberblock.
+// imapSlotBase returns the device offset of the imap copy that
+// generation gen selects. The region is double-buffered like the
+// uberblock ring: overwriting the live copy in place would let a torn
+// imap write corrupt entries the previous generation still depends on.
+func (fs *FS) imapSlotBase(gen uint64) int64 {
+	return fs.imapOff + int64(gen%2)*(fs.imapLen/2)
+}
+
+// writeImap persists the inode map into the slot the next generation
+// selects. The uberblock publishing that generation is written
+// separately (writeUberblock) after the slot is flushed.
 func (fs *FS) writeImap() {
 	const entrySize = 16
+	fs.generation++
+	base := fs.imapSlotBase(fs.generation)
 	per := Ino(BlockSize / entrySize)
 	buf := make([]byte, BlockSize)
 	for first := Ino(0); first < fs.nextIno; first += per {
@@ -350,13 +382,45 @@ func (fs *FS) writeImap() {
 			binary.BigEndian.PutUint64(buf[off:], uint64(loc.first))
 			binary.BigEndian.PutUint64(buf[off+8:], uint64(loc.count))
 		}
-		fs.dev.WriteAt(buf, fs.imapOff+int64(first)*entrySize)
+		fs.dev.WriteAt(buf, base+int64(first)*entrySize)
 	}
-	sb := make([]byte, BlockSize)
-	binary.BigEndian.PutUint32(sb, 0xc0f5c0f5)
-	binary.BigEndian.PutUint64(sb[4:], uint64(fs.nextIno))
-	binary.BigEndian.PutUint32(sb[12:], fs.zil.Epoch())
-	fs.dev.WriteAt(sb, 0)
 	fs.env.Serialize(int(fs.nextIno) * entrySize)
 	fs.stats.MetaWrites++
+}
+
+// writeUberblock publishes the current generation; call only after the
+// imap slot it selects is durable.
+func (fs *FS) writeUberblock() {
+	fs.dev.WriteAt(encodeUberblock(fs.generation, fs.nextIno, fs.zil.Epoch()),
+		int64(fs.generation%2)*uberSlotSize)
+}
+
+// The uberblock is double-slotted like ZFS's uberblock ring: each txg
+// writes the next generation to the alternate slot, so a torn uberblock
+// write can never destroy the previous consistent root. A CRC over the
+// slot makes tears detectable.
+const (
+	uberMagic    = 0xc0f5c0f5
+	uberSlotSize = BlockSize / 2
+	uberSize     = 4 + 8 + 4 + 8 + 4 // magic, nextIno, zilEpoch, generation, crc
+)
+
+func encodeUberblock(gen uint64, nextIno Ino, zilEpoch uint32) []byte {
+	sb := make([]byte, uberSlotSize)
+	binary.BigEndian.PutUint32(sb, uberMagic)
+	binary.BigEndian.PutUint64(sb[4:], uint64(nextIno))
+	binary.BigEndian.PutUint32(sb[12:], zilEpoch)
+	binary.BigEndian.PutUint64(sb[16:], gen)
+	binary.BigEndian.PutUint32(sb[24:], crc32.ChecksumIEEE(sb[:24]))
+	return sb
+}
+
+func decodeUberblock(sb []byte) (gen uint64, nextIno Ino, zilEpoch uint32, ok bool) {
+	if binary.BigEndian.Uint32(sb) != uberMagic {
+		return 0, 0, 0, false
+	}
+	if crc32.ChecksumIEEE(sb[:24]) != binary.BigEndian.Uint32(sb[24:]) {
+		return 0, 0, 0, false
+	}
+	return binary.BigEndian.Uint64(sb[16:]), Ino(binary.BigEndian.Uint64(sb[4:])), binary.BigEndian.Uint32(sb[12:]), true
 }

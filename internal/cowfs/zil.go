@@ -82,15 +82,31 @@ func timeDur(v int64) (d timeDuration) { return timeDuration(v) }
 // intent log.
 func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 	fs := New(env, dev, prof)
+	// Pick the newest slot of the uberblock ring that passes its CRC; a
+	// torn uberblock write then falls back to the previous generation
+	// instead of mounting garbage.
 	sb := make([]byte, BlockSize)
 	dev.ReadAt(sb, 0)
-	if binary.BigEndian.Uint32(sb) != 0xc0f5c0f5 {
-		return nil, fmt.Errorf("cowfs: no uberblock")
+	var (
+		zilEpoch uint32
+		found    bool
+	)
+	for slot := 0; slot < 2; slot++ {
+		gen, nextIno, epoch, ok := decodeUberblock(sb[slot*uberSlotSize : (slot+1)*uberSlotSize])
+		if !ok || (found && gen <= fs.generation) {
+			continue
+		}
+		fs.generation, fs.nextIno, zilEpoch, found = gen, nextIno, epoch, true
 	}
-	fs.nextIno = Ino(binary.BigEndian.Uint64(sb[4:]))
-	zilEpoch := binary.BigEndian.Uint32(sb[12:])
+	if !found {
+		return nil, fmt.Errorf("cowfs: no valid uberblock")
+	}
 	if zilEpoch == 0 {
 		zilEpoch = 1
+	}
+	// A corrupted nextIno cannot be trusted to bound the imap scan.
+	if maxInos := Ino(fs.imapLen / 2 / 16); fs.nextIno > maxInos {
+		fs.nextIno = maxInos
 	}
 	fs.inodes = make(map[Ino]*node)
 	fs.imap = make(map[Ino]blobLoc)
@@ -99,7 +115,7 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 	per := Ino(BlockSize / entrySize)
 	buf := make([]byte, BlockSize)
 	for first := Ino(0); first < fs.nextIno; first += per {
-		dev.ReadAt(buf, fs.imapOff+int64(first)*entrySize)
+		dev.ReadAt(buf, fs.imapSlotBase(fs.generation)+int64(first)*entrySize)
 		for i := Ino(0); i < per && first+i < fs.nextIno; i++ {
 			off := int64(i) * entrySize
 			f := binary.BigEndian.Uint64(buf[off:])
@@ -110,11 +126,18 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 		}
 	}
 	// Rebuild the allocation bitmap from reachable blobs and block maps.
+	// Entries whose blob fails validation are dropped: they referenced
+	// state the crash never made durable.
 	for ino, loc := range fs.imap {
 		if loc.first < 0 {
 			continue
 		}
-		n := fs.readBlob(ino, loc)
+		n, err := fs.readBlob(ino, loc)
+		if err != nil {
+			delete(fs.imap, ino)
+			fs.stats.DroppedNodes++
+			continue
+		}
 		fs.inodes[ino] = n
 		for i := 0; i < loc.count; i++ {
 			fs.bitSet(loc.first + int64(i))
@@ -134,10 +157,27 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 		fs.replayZil(rec.Payload)
 	}
 	fs.zil = wal.New(env, blockdev.Region(dev, fs.zilOff, fs.zilLen), zilEpoch+1)
+	// Prune dangling directory entries — children whose inode was dropped
+	// above and not resurrected by the intent-log replay.
+	for _, n := range fs.inodes {
+		if !n.dir {
+			continue
+		}
+		for name, c := range n.children {
+			if _, ok := fs.nodeIfPresent(c.ino); !ok {
+				delete(n.children, name)
+				delete(fs.imap, c.ino)
+				n.dirty = true
+			}
+		}
+	}
 	fs.txgCommit()
 	return fs, nil
 }
 
+// replayZil applies one intent-log record. Records referencing inodes
+// that did not survive recovery (dropped blobs) are skipped rather than
+// left to panic — the oracle treats the files they describe as volatile.
 func (fs *FS) replayZil(payload []byte) {
 	d := &zilDec{b: payload}
 	switch d.op() {
@@ -146,7 +186,10 @@ func (fs *FS) replayZil(payload []byte) {
 		name := d.str()
 		ino := Ino(d.i64())
 		dir := d.bool()
-		p := fs.node(pino)
+		p, ok := fs.nodeIfPresent(pino)
+		if !ok {
+			return
+		}
 		if _, ok := p.children[name]; ok {
 			return
 		}
@@ -165,7 +208,10 @@ func (fs *FS) replayZil(payload []byte) {
 	case zilRemove:
 		pino := Ino(d.i64())
 		name := d.str()
-		p := fs.node(pino)
+		p, ok := fs.nodeIfPresent(pino)
+		if !ok {
+			return
+		}
 		delete(p.children, name)
 		p.dirty = true
 	case zilRename:
@@ -173,8 +219,11 @@ func (fs *FS) replayZil(payload []byte) {
 		oldName := d.str()
 		npino := Ino(d.i64())
 		newName := d.str()
-		op := fs.node(opino)
-		np := fs.node(npino)
+		op, okOld := fs.nodeIfPresent(opino)
+		np, okNew := fs.nodeIfPresent(npino)
+		if !okOld || !okNew {
+			return
+		}
 		if c, ok := op.children[oldName]; ok {
 			delete(op.children, oldName)
 			np.children[newName] = c
@@ -185,10 +234,10 @@ func (fs *FS) replayZil(payload []byte) {
 		ino := Ino(d.i64())
 		size := d.i64()
 		mtime := d.i64()
-		if _, ok := fs.imap[ino]; !ok {
+		n, ok := fs.nodeIfPresent(ino)
+		if !ok {
 			return
 		}
-		n := fs.node(ino)
 		n.size = size
 		n.mtime = timeDur(mtime)
 		n.dirty = true
@@ -196,10 +245,10 @@ func (fs *FS) replayZil(payload []byte) {
 		ino := Ino(d.i64())
 		blk := d.i64()
 		data := d.bytes()
-		if _, ok := fs.imap[ino]; !ok {
+		n, ok := fs.nodeIfPresent(ino)
+		if !ok {
 			return
 		}
-		n := fs.node(ino)
 		if old, ok := n.blocks[blk]; ok {
 			fs.deferFree(old)
 		}

@@ -1,0 +1,132 @@
+package crashtest
+
+import (
+	"testing"
+)
+
+func report(t *testing.T, o Outcome) {
+	t.Helper()
+	for _, v := range o.Violations {
+		t.Errorf("%s", v)
+	}
+	if len(o.Violations) == 0 {
+		t.Logf("%d trials, no oracle violations", o.Trials)
+	}
+}
+
+// prefixSpecsFor enumerates exhaustively when the crash space is small
+// and strides through it otherwise, always including both endpoints.
+func prefixSpecsFor(n, budget int) []CrashSpec {
+	if n+1 <= budget {
+		return PrefixSpecs(n)
+	}
+	stride := (n + budget - 1) / budget
+	var out []CrashSpec
+	for k := 0; k <= n; k += stride {
+		out = append(out, CrashSpec{Kind: CrashPrefix, Keep: k})
+	}
+	out = append(out, CrashSpec{Kind: CrashPrefix, Keep: n})
+	return out
+}
+
+func workloadFor(t *testing.T) []Step {
+	n := 10
+	if testing.Short() {
+		n = 6
+	}
+	return StandardWorkload(7, n)
+}
+
+func TestPrefixCrashSweep(t *testing.T) {
+	steps := workloadFor(t)
+	for _, sys := range Systems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			n := ProbeUnflushed(sys, steps)
+			budget := 40
+			if testing.Short() {
+				budget = 12
+			}
+			report(t, Sweep(sys, steps, prefixSpecsFor(n, budget)))
+		})
+	}
+}
+
+func TestTornCrashSweep(t *testing.T) {
+	steps := workloadFor(t)
+	for _, sys := range Systems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			n := ProbeUnflushed(sys, steps)
+			// Tear every writeStride-th boundary at 1/4 and 3/4.
+			var keeps []int
+			stride := n/10 + 1
+			for k := 0; k < n; k += stride {
+				keeps = append(keeps, k)
+			}
+			var specs []CrashSpec
+			for _, k := range keeps {
+				for _, num := range []int{1, 3} {
+					specs = append(specs, CrashSpec{Kind: CrashTorn, Keep: k, TornNum: num, TornDen: 4})
+				}
+			}
+			report(t, Sweep(sys, steps, specs))
+		})
+	}
+}
+
+func TestSubsetCrashSweep(t *testing.T) {
+	steps := workloadFor(t)
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for _, sys := range Systems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			specs := SubsetSpecs(trials, 101, 50)
+			specs = append(specs, SubsetSpecs(trials/2, 900, 85)...)
+			report(t, Sweep(sys, steps, specs))
+		})
+	}
+}
+
+// TestCleanSyncSurvives pins the oracle's easy direction: crashing with
+// nothing unflushed (workload ends in Sync) must preserve everything.
+func TestCleanSyncSurvives(t *testing.T) {
+	steps := append(workloadFor(t), Step{Op: OpSync})
+	for _, sys := range Systems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			report(t, Sweep(sys, steps, []CrashSpec{{Kind: CrashPrefix, Keep: 0}}))
+		})
+	}
+}
+
+func TestStoreCrashSweep(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 12
+	}
+	ops := StandardStoreOps(5, n)
+	// Probe the unflushed-write count with a keep-everything trial.
+	probeSpec := CrashSpec{Kind: CrashPrefix, Keep: 1 << 30}
+	if vs := RunStoreTrial(ops, probeSpec); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("%s", v)
+		}
+	}
+
+	var specs []CrashSpec
+	specs = append(specs, prefixSpecsFor(64, 24)...)
+	specs = append(specs, TornSpecs(8, []int{1, 3}, 4)...)
+	specs = append(specs, SubsetSpecs(8, 55, 50)...)
+	trials := 0
+	for _, spec := range specs {
+		for _, v := range RunStoreTrial(ops, spec) {
+			t.Errorf("%s", v)
+		}
+		trials++
+	}
+	t.Logf("%d store trials", trials)
+}

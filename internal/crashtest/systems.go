@@ -1,0 +1,95 @@
+package crashtest
+
+import (
+	"betrfs/internal/betrfs"
+	"betrfs/internal/blockdev"
+	"betrfs/internal/cowfs"
+	"betrfs/internal/extfs"
+	"betrfs/internal/kmem"
+	"betrfs/internal/logfs"
+	"betrfs/internal/sfl"
+	"betrfs/internal/sim"
+	"betrfs/internal/vfs"
+)
+
+// System is one file system under crash test: a formatter and a
+// mount-time recovery entry point over the same device.
+type System struct {
+	Name string
+	// Build formats a fresh file system over dev.
+	Build func(env *sim.Env, dev *blockdev.Dev) (vfs.FS, error)
+	// Recover re-mounts the (crashed) device.
+	Recover func(env *sim.Env, dev *blockdev.Dev) (vfs.FS, error)
+	// Push, if set, writes FS-internal buffers to the device without a
+	// durability barrier (background log writeback), so the crash cuts
+	// an in-flight stream. It must not assert any durability.
+	Push func(fs vfs.FS)
+}
+
+func newBetrfs(env *sim.Env, dev *blockdev.Dev) (vfs.FS, error) {
+	cfg := betrfs.V06Config()
+	// A deliberately tiny node cache: evictions force tree-node
+	// writeouts during the workload, so the unflushed-write stream the
+	// crash cuts contains in-flight node writes racing the log, not
+	// just the log tail.
+	cfg.Tree.CacheBytes = 1 << 20
+	return betrfs.New(env, kmem.New(env, true), cfg, sfl.NewDefault(env, dev))
+}
+
+// Systems returns the file systems under test: the three baselines plus
+// BetrFS v0.6 (the raw SFL-backed store is covered separately by
+// RunStoreTrial). BetrFS has no separate recovery entry point — opening
+// the store over an existing device replays the superblock and log.
+func Systems() []System {
+	return []System{
+		{
+			Name: "ext4",
+			Build: func(env *sim.Env, dev *blockdev.Dev) (vfs.FS, error) {
+				return extfs.New(env, dev, extfs.Ext4Profile()), nil
+			},
+			Recover: func(env *sim.Env, dev *blockdev.Dev) (vfs.FS, error) {
+				return extfs.Recover(env, dev, extfs.Ext4Profile())
+			},
+		},
+		{
+			Name: "f2fs",
+			Build: func(env *sim.Env, dev *blockdev.Dev) (vfs.FS, error) {
+				return logfs.New(env, dev), nil
+			},
+			Recover: func(env *sim.Env, dev *blockdev.Dev) (vfs.FS, error) {
+				return logfs.Recover(env, dev)
+			},
+		},
+		{
+			Name: "btrfs",
+			Build: func(env *sim.Env, dev *blockdev.Dev) (vfs.FS, error) {
+				return cowfs.New(env, dev, cowfs.BtrfsProfile()), nil
+			},
+			Recover: func(env *sim.Env, dev *blockdev.Dev) (vfs.FS, error) {
+				return cowfs.Recover(env, dev, cowfs.BtrfsProfile())
+			},
+		},
+		{
+			Name:    "betrfs-v0.6",
+			Build:   newBetrfs,
+			Recover: newBetrfs,
+			// BetrFS buffers messages in the tree and the WAL until a
+			// barrier; background log writeback is what puts a tearable
+			// log tail on the device.
+			Push: func(fs vfs.FS) {
+				fs.(*betrfs.FS).Store().Log().WriteOut()
+			},
+		},
+	}
+}
+
+// SystemByName looks up a system; it panics on unknown names (harness
+// wiring error, not a runtime condition).
+func SystemByName(name string) System {
+	for _, s := range Systems() {
+		if s.Name == name {
+			return s
+		}
+	}
+	panic("crashtest: unknown system " + name)
+}

@@ -124,18 +124,21 @@ func (fs *FS) ensureBlock(x *xinode, blk int64) int64 {
 }
 
 // freeBlocksFrom releases all blocks with logical index >= fromBlk.
+// Frees are deferred to the next journal commit (JBD semantics): reusing
+// a freed block before the record that freed it is durable would let a
+// crash resurrect the old file with another file's data in it.
 func (fs *FS) freeBlocksFrom(x *xinode, fromBlk int64) {
 	kept := x.extents[:0]
 	for _, e := range x.extents {
 		switch {
 		case e.logical >= fromBlk:
 			for i := int64(0); i < e.count; i++ {
-				fs.bitClear(e.phys + i)
+				fs.deferFree(e.phys + i)
 			}
 		case e.logical+e.count > fromBlk:
 			keep := fromBlk - e.logical
 			for i := keep; i < e.count; i++ {
-				fs.bitClear(e.phys + i)
+				fs.deferFree(e.phys + i)
 			}
 			e.count = keep
 			kept = append(kept, e)
@@ -145,6 +148,21 @@ func (fs *FS) freeBlocksFrom(x *xinode, fromBlk int64) {
 	}
 	x.extents = kept
 	fs.markInodeDirty(x)
+}
+
+// deferFree queues block b for release at the next journal commit.
+func (fs *FS) deferFree(b int64) {
+	fs.pendingFree = append(fs.pendingFree, b)
+}
+
+// applyPendingFrees clears the bitmap bits of blocks freed since the
+// last commit. Call only after the journal records that freed them have
+// been flushed.
+func (fs *FS) applyPendingFrees() {
+	for _, b := range fs.pendingFree {
+		fs.bitClear(b)
+	}
+	fs.pendingFree = fs.pendingFree[:0]
 }
 
 // freeAll releases every block of x.

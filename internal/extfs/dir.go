@@ -13,7 +13,10 @@ import (
 // readdir order from inode/data allocation order — a major contributor to
 // ext4's slow cold-cache grep in the paper's Table 1.
 
-// loadDir decodes a directory's content from its data blocks.
+// loadDir decodes a directory's content from its data blocks. A
+// malformed blob — torn write, corruption — resets the directory to
+// empty rather than panicking; journal replay re-adds any entries whose
+// records are still in the log.
 func (fs *FS) loadDir(x *xinode) {
 	if x.childrenLoaded {
 		return
@@ -27,19 +30,45 @@ func (fs *FS) loadDir(x *xinode) {
 	fs.readExtents(x, data, 0)
 	fs.stats.DirReads++
 	fs.env.Serialize(len(data))
+	if err := decodeDir(data, x.children); err != nil {
+		x.children = make(map[string]dirent)
+		fs.stats.DirRepairs++
+		fs.markInodeDirty(x)
+	}
+}
+
+func decodeDir(data []byte, out map[string]dirent) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("extfs: malformed directory blob: %v", r)
+		}
+	}()
+	if len(data) < 4 {
+		return fmt.Errorf("extfs: directory blob too short")
+	}
 	n := int(binary.BigEndian.Uint32(data))
 	pos := 4
 	for i := 0; i < n; i++ {
+		if pos+2 > len(data) {
+			return fmt.Errorf("extfs: directory blob truncated")
+		}
 		nameLen := int(binary.BigEndian.Uint16(data[pos:]))
 		pos += 2
+		if nameLen <= 0 || pos+nameLen+9 > len(data) {
+			return fmt.Errorf("extfs: directory entry out of range")
+		}
 		name := string(data[pos : pos+nameLen])
 		pos += nameLen
 		ino := Ino(binary.BigEndian.Uint64(data[pos:]))
 		pos += 8
 		dir := data[pos] == 1
 		pos++
-		x.children[name] = dirent{ino: ino, dir: dir}
+		if ino < rootIno {
+			return fmt.Errorf("extfs: directory entry with invalid inode %d", ino)
+		}
+		out[name] = dirent{ino: ino, dir: dir}
 	}
+	return nil
 }
 
 // writeDir persists a directory's content into its data blocks.

@@ -83,11 +83,15 @@ type FS struct {
 
 	bitmap   []uint64
 	groupPtr []int64 // per-group next-allocation hints
-	nextIno  Ino
+	// pendingFree holds blocks freed since the last journal commit;
+	// they become reusable only once the freeing records are durable.
+	pendingFree []int64
+	nextIno     Ino
 	// erased inodes pending tombstone write-back.
 	erased []Ino
 
 	lastCommit time.Duration
+	superGen   uint64 // superblock generation, bumped per writeSuper
 
 	stats Stats
 }
@@ -101,6 +105,8 @@ type Stats struct {
 	DataReads      int64
 	DataWrites     int64
 	AllocExtents   int64
+	DroppedNodes   int64 // invalid inodes discarded during recovery
+	DirRepairs     int64 // malformed directory blobs reset during load
 }
 
 // xinode is the in-memory inode cache entry.
@@ -189,9 +195,29 @@ func (fs *FS) inode(ino Ino) *xinode {
 	if x, ok := fs.inodes[ino]; ok {
 		return x
 	}
-	x := fs.readInode(ino)
+	x, err := fs.readInode(ino)
+	if err != nil {
+		panic(err.Error())
+	}
 	fs.inodes[ino] = x
 	return x
+}
+
+// inodeIfPresent is the non-panicking variant used during recovery: it
+// returns false when the inode is unknown or fails validation.
+func (fs *FS) inodeIfPresent(ino Ino) (*xinode, bool) {
+	if x, ok := fs.inodes[ino]; ok {
+		return x, true
+	}
+	if !fs.inodeExists(ino) {
+		return nil, false
+	}
+	x, err := fs.readInode(ino)
+	if err != nil {
+		return nil, false
+	}
+	fs.inodes[ino] = x
+	return x, true
 }
 
 // DropCaches evicts clean cached metadata, forcing subsequent operations

@@ -128,6 +128,9 @@ func TestRemoveFreesSpace(t *testing.T) {
 	if err := m.Remove("big"); err != nil {
 		t.Fatal(err)
 	}
+	// Frees are deferred until the journal commit that records the
+	// remove is durable (JBD semantics), so sync before counting.
+	m.Sync()
 	if after := used(); after >= before {
 		t.Fatalf("remove did not free blocks: %d -> %d", before, after)
 	}

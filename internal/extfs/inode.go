@@ -3,6 +3,7 @@ package extfs
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"time"
 )
 
@@ -13,10 +14,25 @@ import (
 const (
 	inodeSize      = 512
 	inodesPerBlock = BlockSize / inodeSize
-	inlineExtents  = 24
-	// overflow block: next pointer (8) + count (4) + extents (24 B each)
-	overflowExtents = (BlockSize - 12) / 24
+	// 19 inline extents fill bytes 38..494 of the 512-byte inode; the
+	// last 4 bytes hold a CRC over the rest so fsck and recovery can
+	// tell a durable inode from a torn or corrupted one.
+	inlineExtents = 19
+	inodeCRCOff   = inodeSize - 4
+	// overflow block: next pointer (8) + count (4) + extents (24 B
+	// each) + trailing CRC (4).
+	overflowExtents = (BlockSize - 12 - 4) / 24
+	blockCRCOff     = BlockSize - 4
 )
+
+// sealBlock stamps the trailing CRC an overflow block carries.
+func sealBlock(buf []byte) {
+	binary.BigEndian.PutUint32(buf[blockCRCOff:], crc32.ChecksumIEEE(buf[:blockCRCOff]))
+}
+
+func blockSealed(buf []byte) bool {
+	return crc32.ChecksumIEEE(buf[:blockCRCOff]) == binary.BigEndian.Uint32(buf[blockCRCOff:])
+}
 
 // itableBlockAddr returns the device offset of the inode-table block
 // containing ino.
@@ -60,6 +76,7 @@ func (fs *FS) encodeInode(x *xinode) []byte {
 		ovb := fs.writeOverflow(x, x.extents[inlineExtents:])
 		binary.BigEndian.PutUint64(b[30:], uint64(ovb))
 	}
+	binary.BigEndian.PutUint32(b[inodeCRCOff:], crc32.ChecksumIEEE(b[:inodeCRCOff]))
 	return b
 }
 
@@ -67,7 +84,7 @@ func (fs *FS) encodeInode(x *xinode) []byte {
 // block number. Any previous chain blocks are recycled first.
 func (fs *FS) writeOverflow(x *xinode, exts []extent) int64 {
 	for _, b := range x.overflow {
-		fs.bitClear(b)
+		fs.deferFree(b)
 	}
 	x.overflow = x.overflow[:0]
 	first := int64(-1)
@@ -95,6 +112,7 @@ func (fs *FS) writeOverflow(x *xinode, exts []extent) int64 {
 		x.overflow = append(x.overflow, blk)
 		if prevBuf != nil {
 			binary.BigEndian.PutUint64(prevBuf[0:], uint64(blk))
+			sealBlock(prevBuf)
 			fs.dev.WriteAt(prevBuf, prevAddr)
 		}
 		prevBuf = buf
@@ -102,14 +120,23 @@ func (fs *FS) writeOverflow(x *xinode, exts []extent) int64 {
 		exts = exts[n:]
 	}
 	if prevBuf != nil {
+		sealBlock(prevBuf)
 		fs.dev.WriteAt(prevBuf, prevAddr)
 	}
 	fs.env.Serialize(BlockSize)
 	return first
 }
 
-// readInode loads ino from the inode table (cold-cache path).
-func (fs *FS) readInode(ino Ino) *xinode {
+// readInode loads ino from the inode table (cold-cache path). A torn or
+// corrupted on-disk inode — bad CRC, out-of-range extents, a broken
+// overflow chain — comes back as an error so recovery can drop it
+// instead of decoding garbage.
+func (fs *FS) readInode(ino Ino) (rx *xinode, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rx, err = nil, fmt.Errorf("extfs: malformed inode %d: %v", ino, r)
+		}
+	}()
 	buf := make([]byte, BlockSize)
 	fs.dev.ReadAt(buf, fs.itableBlockAddr(ino))
 	fs.stats.InodeReads++
@@ -117,7 +144,10 @@ func (fs *FS) readInode(ino Ino) *xinode {
 	b := buf[off : off+inodeSize]
 	fs.env.Serialize(inodeSize)
 	if b[0] != 1 {
-		panic(fmt.Sprintf("extfs: reading unused inode %d", ino))
+		return nil, fmt.Errorf("extfs: reading unused inode %d", ino)
+	}
+	if crc32.ChecksumIEEE(b[:inodeCRCOff]) != binary.BigEndian.Uint32(b[inodeCRCOff:]) {
+		return nil, fmt.Errorf("extfs: inode %d checksum mismatch", ino)
 	}
 	x := &xinode{ino: ino}
 	x.dir = b[1] == 1
@@ -126,6 +156,9 @@ func (fs *FS) readInode(ino Ino) *xinode {
 	x.mtime = time.Duration(binary.BigEndian.Uint64(b[14:]))
 	x.group = int(binary.BigEndian.Uint32(b[22:]))
 	n := int(binary.BigEndian.Uint32(b[26:]))
+	if n < 0 {
+		return nil, fmt.Errorf("extfs: inode %d extent count %d", ino, n)
+	}
 	inline := n
 	if inline > inlineExtents {
 		inline = inlineExtents
@@ -143,11 +176,20 @@ func (fs *FS) readInode(ino Ino) *xinode {
 		next := int64(binary.BigEndian.Uint64(b[30:]))
 		remaining := n - inlineExtents
 		for next >= 0 && uint64(next) != ^uint64(0) && remaining > 0 {
+			if next >= fs.lay.dataBlocks {
+				return nil, fmt.Errorf("extfs: inode %d overflow block %d out of range", ino, next)
+			}
 			x.overflow = append(x.overflow, next)
 			ob := make([]byte, BlockSize)
 			fs.dev.ReadAt(ob, fs.blockAddr(next))
 			fs.env.Serialize(BlockSize)
+			if !blockSealed(ob) {
+				return nil, fmt.Errorf("extfs: inode %d overflow block %d checksum mismatch", ino, next)
+			}
 			cnt := int(binary.BigEndian.Uint32(ob[8:]))
+			if cnt <= 0 || cnt > overflowExtents {
+				return nil, fmt.Errorf("extfs: inode %d overflow block %d holds %d extents", ino, next, cnt)
+			}
 			ooff := 12
 			for i := 0; i < cnt; i++ {
 				x.extents = append(x.extents, extent{
@@ -165,7 +207,12 @@ func (fs *FS) readInode(ino Ino) *xinode {
 			next = int64(nv)
 		}
 	}
-	return x
+	for _, e := range x.extents {
+		if e.count <= 0 || e.phys < 0 || e.phys+e.count > fs.lay.dataBlocks || e.logical < 0 {
+			return nil, fmt.Errorf("extfs: inode %d extent out of range: logical=%d phys=%d count=%d", ino, e.logical, e.phys, e.count)
+		}
+	}
+	return x, nil
 }
 
 // writebackMeta writes all dirty inode-table blocks (and dirty directory

@@ -76,6 +76,7 @@ func (fs *FS) logRec(t wal.RecordType, enc func(*recEncoder)) {
 	if _, err := fs.jnl.log.Append(t, e.b); err == wal.ErrLogFull {
 		fs.writebackMeta()
 		fs.jnl.log.Flush()
+		fs.applyPendingFrees()
 		fs.jnl.log.Reclaim(fs.jnl.log.NextLSN())
 		if _, err2 := fs.jnl.log.Append(t, e.b); err2 != nil {
 			panic("extfs: journal full after checkpoint")
@@ -85,9 +86,11 @@ func (fs *FS) logRec(t wal.RecordType, enc func(*recEncoder)) {
 	}
 }
 
-// commit flushes the journal (a transaction commit with barrier).
+// commit flushes the journal (a transaction commit with barrier). Once
+// the records are durable, blocks they freed become reusable.
 func (fs *FS) commit() {
 	fs.jnl.log.Flush()
+	fs.applyPendingFrees()
 	fs.stats.JournalCommits++
 	fs.lastCommit = fs.env.Now()
 }

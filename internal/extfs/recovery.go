@@ -3,6 +3,7 @@ package extfs
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"time"
 
 	"betrfs/internal/blockdev"
@@ -22,25 +23,70 @@ func (fs *FS) inodeExists(ino Ino) bool {
 	if _, ok := fs.inodes[ino]; ok {
 		return true
 	}
-	if fs.itableBlockAddr(ino) >= fs.lay.itableOff+fs.lay.itableLen {
+	if ino < rootIno {
+		return false
+	}
+	// Range-check before itableBlockAddr, which panics out of range.
+	addr := fs.lay.itableOff + int64(ino)/inodesPerBlock*BlockSize
+	if addr+BlockSize > fs.lay.itableOff+fs.lay.itableLen {
 		return false
 	}
 	buf := make([]byte, BlockSize)
-	fs.dev.ReadAt(buf, fs.itableBlockAddr(ino))
+	fs.dev.ReadAt(buf, addr)
 	return buf[(int64(ino)%inodesPerBlock)*inodeSize] == 1
 }
+
+// The superblock is double-slotted: each write goes to the alternate
+// half of block 0 with a generation number and a CRC, so a torn
+// superblock write can never destroy the previous consistent copy.
+const superSlotSize = BlockSize / 2
 
 // writeSuper persists the superblock (journal hint + allocator state).
 func (fs *FS) writeSuper() {
 	hint := fs.jnl.log.Hint()
-	b := make([]byte, BlockSize)
+	fs.superGen++
+	b := make([]byte, superSlotSize)
 	binary.BigEndian.PutUint32(b[0:], superMagic)
 	binary.BigEndian.PutUint64(b[4:], uint64(fs.nextIno))
 	binary.BigEndian.PutUint64(b[12:], uint64(hint.Offset))
 	binary.BigEndian.PutUint64(b[20:], hint.LSN)
 	binary.BigEndian.PutUint32(b[28:], hint.Epoch)
-	fs.dev.WriteAt(b, 0)
+	binary.BigEndian.PutUint64(b[32:], fs.superGen)
+	binary.BigEndian.PutUint32(b[40:], crc32.ChecksumIEEE(b[:40]))
+	fs.dev.WriteAt(b, int64(fs.superGen%2)*superSlotSize)
 	fs.dev.Flush()
+}
+
+// readSuper picks the newest superblock slot that passes its CRC.
+func readSuper(dev blockdev.Device) (nextIno Ino, hint wal.Hint, gen uint64, err error) {
+	sb := make([]byte, BlockSize)
+	dev.ReadAt(sb, 0)
+	found := false
+	for slot := 0; slot < 2; slot++ {
+		b := sb[slot*superSlotSize : (slot+1)*superSlotSize]
+		if binary.BigEndian.Uint32(b[0:]) != superMagic {
+			continue
+		}
+		if crc32.ChecksumIEEE(b[:40]) != binary.BigEndian.Uint32(b[40:]) {
+			continue
+		}
+		g := binary.BigEndian.Uint64(b[32:])
+		if found && g <= gen {
+			continue
+		}
+		gen = g
+		nextIno = Ino(binary.BigEndian.Uint64(b[4:]))
+		hint = wal.Hint{
+			Offset: int64(binary.BigEndian.Uint64(b[12:])),
+			LSN:    binary.BigEndian.Uint64(b[20:]),
+			Epoch:  binary.BigEndian.Uint32(b[28:]),
+		}
+		found = true
+	}
+	if !found {
+		return 0, wal.Hint{}, 0, fmt.Errorf("extfs: no valid superblock")
+	}
+	return nextIno, hint, gen, nil
 }
 
 // Recover mounts an existing extfs: superblock, fsck scan, journal replay.
@@ -53,20 +99,21 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 		fs.bitmap[i] = 0
 	}
 
-	b := make([]byte, BlockSize)
-	dev.ReadAt(b, 0)
-	if binary.BigEndian.Uint32(b[0:]) != superMagic {
-		return nil, fmt.Errorf("extfs: no superblock")
+	nextIno, hint, gen, err := readSuper(dev)
+	if err != nil {
+		return nil, err
 	}
-	fs.nextIno = Ino(binary.BigEndian.Uint64(b[4:]))
-	hint := wal.Hint{
-		Offset: int64(binary.BigEndian.Uint64(b[12:])),
-		LSN:    binary.BigEndian.Uint64(b[20:]),
-		Epoch:  binary.BigEndian.Uint32(b[28:]),
+	fs.nextIno = nextIno
+	fs.superGen = gen
+	// A corrupted nextIno cannot be trusted to bound the table scan.
+	if maxInos := Ino(fs.lay.itableLen / inodeSize); fs.nextIno > maxInos {
+		fs.nextIno = maxInos
 	}
 
 	// fsck pass: scan the inode table, rebuilding the bitmap from extent
-	// lists and finding the highest inode number.
+	// lists and finding the highest inode number. Inodes that fail
+	// validation — torn table writes, corrupted extents — are dropped and
+	// tombstoned; they described un-synced state.
 	maxIno := rootIno
 	tableBlocks := fs.lay.itableLen / BlockSize
 	buf := make([]byte, BlockSize)
@@ -84,7 +131,12 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 			if buf[i*inodeSize] != 1 {
 				continue
 			}
-			x := fs.readInode(ino) // cached table block; accounting only
+			x, err := fs.readInode(ino) // cached table block; accounting only
+			if err != nil {
+				fs.erased = append(fs.erased, ino)
+				fs.stats.DroppedNodes++
+				continue
+			}
 			fs.inodes[ino] = x
 			for _, e := range x.extents {
 				for j := int64(0); j < e.count; j++ {
@@ -114,6 +166,23 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 		fs.replayRecord(rec)
 	}
 	fs.jnl.log = wal.New(env, region, hint.Epoch+1)
+	// Prune dangling directory entries — children whose inode was
+	// dropped by the fsck pass and not resurrected by journal replay.
+	var dirs []*xinode
+	for _, x := range fs.inodes {
+		if x.dir {
+			dirs = append(dirs, x)
+		}
+	}
+	for _, x := range dirs {
+		fs.loadDir(x)
+		for name, d := range x.children {
+			if _, ok := fs.inodeIfPresent(d.ino); !ok {
+				delete(x.children, name)
+				fs.markInodeDirty(x)
+			}
+		}
+	}
 	fs.writebackMeta()
 	fs.writeSuper()
 	return fs, nil

@@ -255,7 +255,9 @@ func (fs *FS) Sync() {
 	fs.writeSuper()
 }
 
-// replayRecord applies one journal record during recovery.
+// replayRecord applies one journal record during recovery. Records
+// referencing inodes that did not survive the fsck pass are skipped
+// rather than left to panic.
 func (fs *FS) replayRecord(rec wal.Record) {
 	d := &recDecoder{b: rec.Payload}
 	switch rec.Type {
@@ -264,7 +266,10 @@ func (fs *FS) replayRecord(rec wal.Record) {
 		name := d.str()
 		ino := Ino(d.i64())
 		dir := d.flag()
-		p := fs.inode(pino)
+		p, ok := fs.inodeIfPresent(pino)
+		if !ok {
+			return
+		}
 		fs.loadDir(p)
 		p.children[name] = dirent{ino: ino, dir: dir}
 		fs.markInodeDirty(p)
@@ -285,7 +290,10 @@ func (fs *FS) replayRecord(rec wal.Record) {
 		pino := Ino(d.i64())
 		name := d.str()
 		ino := Ino(d.i64())
-		p := fs.inode(pino)
+		p, ok := fs.inodeIfPresent(pino)
+		if !ok {
+			return
+		}
 		fs.loadDir(p)
 		delete(p.children, name)
 		fs.markInodeDirty(p)
@@ -300,8 +308,11 @@ func (fs *FS) replayRecord(rec wal.Record) {
 		npino := Ino(d.i64())
 		newName := d.str()
 		ino := Ino(d.i64())
-		op := fs.inode(opino)
-		np := fs.inode(npino)
+		op, okOld := fs.inodeIfPresent(opino)
+		np, okNew := fs.inodeIfPresent(npino)
+		if !okOld || !okNew {
+			return
+		}
 		fs.loadDir(op)
 		fs.loadDir(np)
 		if ent, ok := op.children[oldName]; ok && ent.ino == ino {
@@ -315,10 +326,10 @@ func (fs *FS) replayRecord(rec wal.Record) {
 		size := d.i64()
 		nlink := d.i64()
 		mtime := d.i64()
-		if !fs.inodeExists(ino) {
+		x, ok := fs.inodeIfPresent(ino)
+		if !ok {
 			return
 		}
-		x := fs.inode(ino)
 		x.size = size
 		x.nlink = int(nlink)
 		x.mtime = timeDuration(mtime)
@@ -328,10 +339,13 @@ func (fs *FS) replayRecord(rec wal.Record) {
 		logical := d.i64()
 		phys := d.i64()
 		count := d.i64()
-		if !fs.inodeExists(ino) {
+		x, ok := fs.inodeIfPresent(ino)
+		if !ok {
 			return
 		}
-		x := fs.inode(ino)
+		if count <= 0 || phys < 0 || phys+count > fs.lay.dataBlocks || logical < 0 {
+			return
+		}
 		if x.physFor(logical) < 0 {
 			fs.appendExtent(x, extent{logical: logical, phys: phys, count: count})
 			for i := int64(0); i < count; i++ {
@@ -342,9 +356,10 @@ func (fs *FS) replayRecord(rec wal.Record) {
 	case recTruncate:
 		ino := Ino(d.i64())
 		fromBlk := d.i64()
-		if !fs.inodeExists(ino) {
+		x, ok := fs.inodeIfPresent(ino)
+		if !ok {
 			return
 		}
-		fs.freeBlocksFrom(fs.inode(ino), fromBlk)
+		fs.freeBlocksFrom(x, fromBlk)
 	}
 }

@@ -16,6 +16,7 @@ package logfs
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"time"
 
@@ -33,6 +34,10 @@ const SegmentBlocks = 512
 type Ino int64
 
 const rootIno Ino = 1
+
+// segPendingFree marks a fully dead segment awaiting the next NAT
+// persist before it can be reallocated.
+const segPendingFree = 3
 
 // logHead identifies one of the multi-head logs.
 type logHead int
@@ -56,12 +61,15 @@ type FS struct {
 
 	// Per-segment valid-block counts (SIT) and allocation state.
 	segValid []int
-	segState []byte // 0 free, 1 active, 2 dirty/full
+	segState []byte // 0 free, 1 active, 2 dirty/full, 3 pending free
 	heads    [numHeads]struct {
 		seg  int64
 		next int64 // next block within segment
 	}
 	freeSegs int64
+	// pendingSegs counts fully dead segments that cannot be reused until
+	// the next NAT persist (see invalidate).
+	pendingSegs int64
 
 	// blockOwner tracks, for each main-area block, what it currently
 	// holds (for cleaning): the owning inode and logical index, or a
@@ -91,13 +99,14 @@ type owner struct {
 
 // Stats counts logfs activity.
 type Stats struct {
-	DataWrites  int64
-	NodeWrites  int64
-	NodeReads   int64
-	Checkpoints int64
-	CleanedSegs int64
-	MovedBlocks int64
-	Fsyncs      int64
+	DataWrites   int64
+	NodeWrites   int64
+	NodeReads    int64
+	Checkpoints  int64
+	CleanedSegs  int64
+	MovedBlocks  int64
+	Fsyncs       int64
+	DroppedNodes int64 // invalid node blobs discarded during recovery
 }
 
 // node is an in-memory inode with its block map and directory content.
@@ -185,10 +194,27 @@ func (fs *FS) findFreeSegment() int64 {
 			return s
 		}
 	}
+	// Space pressure: persisting the NAT releases the pending-free
+	// segments parked since the last checkpoint. Flush first so every
+	// blob the in-memory NAT references is durable before the NAT is.
+	if fs.pendingSegs > 0 {
+		fs.dev.Flush()
+		fs.writeNAT()
+		fs.releasePendingSegs()
+		for s := int64(0); s < fs.segments; s++ {
+			if fs.segState[s] == 0 {
+				return s
+			}
+		}
+	}
 	panic("logfs: no free segments")
 }
 
-// invalidate marks a block dead in its segment.
+// invalidate marks a block dead in its segment. A fully dead segment is
+// not reusable immediately: the durable NAT may still reference blobs in
+// it, so it parks in the pending-free state until the next NAT persist
+// (F2FS's rule that checkpointed segments are not reused before the
+// following checkpoint).
 func (fs *FS) invalidate(b int64) {
 	if b < 0 {
 		return
@@ -199,9 +225,25 @@ func (fs *FS) invalidate(b int64) {
 	}
 	delete(fs.blockOwner, b)
 	if fs.segValid[seg] == 0 && fs.segState[seg] == 2 {
-		fs.segState[seg] = 0
-		fs.freeSegs++
+		fs.segState[seg] = segPendingFree
+		fs.pendingSegs++
 	}
+}
+
+// releasePendingSegs returns pending-free segments to the allocatable
+// pool. Call only after the NAT and superblock have been flushed — at
+// that point no durable metadata can reference their old contents.
+func (fs *FS) releasePendingSegs() {
+	if fs.pendingSegs == 0 {
+		return
+	}
+	for s := int64(0); s < fs.segments; s++ {
+		if fs.segState[s] == segPendingFree {
+			fs.segState[s] = 0
+			fs.freeSegs++
+		}
+	}
+	fs.pendingSegs = 0
 }
 
 // maybeClean runs greedy segment cleaning when free space is low.
@@ -268,9 +310,9 @@ func (fs *FS) cleanSegment(seg int64) {
 		fs.blockOwner[nb] = own
 		fs.invalidate(b)
 	}
-	if fs.segValid[seg] == 0 {
-		fs.segState[seg] = 0
-		fs.freeSegs++
+	if fs.segValid[seg] == 0 && fs.segState[seg] == 2 {
+		fs.segState[seg] = segPendingFree
+		fs.pendingSegs++
 	}
 }
 
@@ -284,7 +326,10 @@ func (fs *FS) node(ino Ino) *node {
 	if !ok || ent.first < 0 {
 		panic(fmt.Sprintf("logfs: inode %d has no node block", ino))
 	}
-	n := fs.readNodeBlock(ino, ent)
+	n, err := fs.readNodeBlock(ino, ent)
+	if err != nil {
+		panic(fmt.Sprintf("logfs: %v", err))
+	}
 	fs.inodes[ino] = n
 	return n
 }
@@ -311,10 +356,50 @@ func (fs *FS) allocNodeRun(n int) int64 {
 
 // --- node-block serialization ------------------------------------------------
 
+// Node blobs carry a self-identifying checksummed header so that a NAT
+// entry torn by a crash (or a blob whose write never fully persisted)
+// is detected during recovery instead of being decoded as garbage.
+const (
+	blobMagic      = 0x1f2b10b5
+	blobHeaderSize = 4 + 8 + 4 + 4 // magic, ino, payload len, crc
+)
+
+func sealBlob(ino Ino, payload []byte) []byte {
+	b := make([]byte, blobHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(b[0:], blobMagic)
+	binary.BigEndian.PutUint64(b[4:], uint64(ino))
+	binary.BigEndian.PutUint32(b[12:], uint32(len(payload)))
+	copy(b[blobHeaderSize:], payload)
+	binary.BigEndian.PutUint32(b[16:], crc32.ChecksumIEEE(b[blobHeaderSize:]))
+	return b
+}
+
+// openBlob validates a sealed blob's header and returns its payload.
+func openBlob(ino Ino, b []byte) ([]byte, error) {
+	if len(b) < blobHeaderSize {
+		return nil, fmt.Errorf("logfs: node blob for inode %d too short", ino)
+	}
+	if binary.BigEndian.Uint32(b[0:]) != blobMagic {
+		return nil, fmt.Errorf("logfs: node blob for inode %d has bad magic", ino)
+	}
+	if got := Ino(binary.BigEndian.Uint64(b[4:])); got != ino {
+		return nil, fmt.Errorf("logfs: node blob claims inode %d, NAT says %d", got, ino)
+	}
+	plen := int(binary.BigEndian.Uint32(b[12:]))
+	if plen < 0 || blobHeaderSize+plen > len(b) {
+		return nil, fmt.Errorf("logfs: node blob for inode %d has bad length %d", ino, plen)
+	}
+	payload := b[blobHeaderSize : blobHeaderSize+plen]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(b[16:]) {
+		return nil, fmt.Errorf("logfs: node blob for inode %d failed checksum", ino)
+	}
+	return payload, nil
+}
+
 // writeNodeBlock persists n's metadata (and directory content) as one or
 // more node blocks at the node head, updating the NAT.
 func (fs *FS) writeNodeBlock(n *node) {
-	blob := fs.encodeNode(n)
+	blob := sealBlob(n.ino, fs.encodeNode(n))
 	// Invalidate the old blob.
 	if old, ok := fs.nat[n.ino]; ok && old.first >= 0 {
 		for i := 0; i < old.count; i++ {
@@ -399,11 +484,26 @@ func (fs *FS) encodeNode(n *node) []byte {
 	return e
 }
 
-// readNodeBlock loads and decodes a node from its contiguous node blob.
-func (fs *FS) readNodeBlock(ino Ino, ent natEntry) *node {
+// readNodeBlock loads, validates, and decodes a node from its contiguous
+// node blob. An entry torn by a crash — out-of-range location, bad magic,
+// wrong inode, or failed checksum — returns an error instead of garbage.
+func (fs *FS) readNodeBlock(ino Ino, ent natEntry) (rn *node, err error) {
+	total := fs.segments * SegmentBlocks
+	if ent.count <= 0 || ent.first < 0 || ent.first+int64(ent.count) > total {
+		return nil, fmt.Errorf("logfs: NAT entry for inode %d out of range (%d+%d)", ino, ent.first, ent.count)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rn, err = nil, fmt.Errorf("logfs: node blob for inode %d malformed: %v", ino, r)
+		}
+	}()
 	fs.stats.NodeReads++
-	buf := make([]byte, ent.count*BlockSize)
-	fs.dev.ReadAt(buf, fs.blockAddr(ent.first))
+	raw := make([]byte, ent.count*BlockSize)
+	fs.dev.ReadAt(raw, fs.blockAddr(ent.first))
+	buf, err := openBlob(ino, raw)
+	if err != nil {
+		return nil, err
+	}
 	n := &node{ino: ino, blocks: map[int64]int64{}}
 	pos := 0
 	get := func() int64 {
@@ -426,6 +526,9 @@ func (fs *FS) readNodeBlock(ino Ino, ent natEntry) *node {
 		l := get()
 		p := get()
 		c := get()
+		if l < 0 || c <= 0 || p < 0 || p+c > total {
+			return nil, fmt.Errorf("logfs: inode %d block run (%d,%d,%d) out of range", ino, l, p, c)
+		}
 		for j := int64(0); j < c; j++ {
 			n.blocks[l+j] = p + j
 		}
@@ -442,5 +545,5 @@ func (fs *FS) readNodeBlock(ino Ino, ent natEntry) *node {
 		}
 	}
 	fs.env.Serialize(pos)
-	return n
+	return n, nil
 }

@@ -21,6 +21,12 @@ func Recover(env *sim.Env, dev blockdev.Device) (*FS, error) {
 		return nil, fmt.Errorf("logfs: no superblock")
 	}
 	fs.nextIno = Ino(binary.BigEndian.Uint64(sb[4:]))
+	// A torn superblock write can only inflate nextIno (the mixed
+	// big-endian value is never below the last durable one); clamp it to
+	// what the NAT region can address so the scan stays bounded.
+	if maxInos := Ino((fs.mainOff - fs.natOff) / natEntrySize); fs.nextIno > maxInos {
+		fs.nextIno = maxInos
+	}
 	fs.inodes = make(map[Ino]*node)
 	fs.nat = make(map[Ino]natEntry)
 
@@ -39,11 +45,19 @@ func Recover(env *sim.Env, dev blockdev.Device) (*FS, error) {
 		}
 	}
 	// Rebuild segment state from every reachable node blob and block map.
+	// A NAT entry whose blob fails validation — torn by the crash, or
+	// pointing into space the crash never persisted — belonged to an
+	// un-checkpointed file; drop it rather than decode garbage.
 	for ino, ent := range fs.nat {
 		if ent.first < 0 {
 			continue
 		}
-		n := fs.readNodeBlock(ino, ent)
+		n, err := fs.readNodeBlock(ino, ent)
+		if err != nil {
+			delete(fs.nat, ino)
+			fs.stats.DroppedNodes++
+			continue
+		}
 		fs.inodes[ino] = n
 		for i := 0; i < ent.count; i++ {
 			b := ent.first + int64(i)
@@ -59,6 +73,20 @@ func Recover(env *sim.Env, dev blockdev.Device) (*FS, error) {
 		root := &node{ino: rootIno, dir: true, nlink: 2, blocks: map[int64]int64{}, children: map[string]childRef{}, dirty: true}
 		fs.inodes[rootIno] = root
 		fs.nat[rootIno] = natEntry{first: -1}
+	}
+	// Prune dangling directory entries: a dirent whose target inode was
+	// dropped above (or never persisted) must not survive, or later
+	// lookups would fault on a missing node.
+	for _, n := range fs.inodes {
+		if !n.dir {
+			continue
+		}
+		for name, c := range n.children {
+			if _, ok := fs.inodes[c.ino]; !ok {
+				delete(n.children, name)
+				n.dirty = true
+			}
+		}
 	}
 	// Segments with any valid blocks are dirty; fully dead ones are free.
 	fs.freeSegs = 0

@@ -1,0 +1,23 @@
+package logfs_test
+
+import (
+	"testing"
+
+	"betrfs/internal/crashtest"
+)
+
+// TestReorderedPersistenceRecovery drives recovery under the
+// out-of-order cache-drain model: an arbitrary subset of unflushed
+// writes survives the crash, not just a prefix. Every survivor state
+// must satisfy the crashtest legal-states oracle.
+func TestReorderedPersistenceRecovery(t *testing.T) {
+	sys := crashtest.SystemByName("f2fs")
+	steps := crashtest.StandardWorkload(11, 8)
+	specs := crashtest.SubsetSpecs(10, 42, 50)
+	specs = append(specs, crashtest.SubsetSpecs(5, 7000, 85)...)
+	o := crashtest.Sweep(sys, steps, specs)
+	for _, v := range o.Violations {
+		t.Errorf("%s", v)
+	}
+	t.Logf("%d reordered-persistence trials", o.Trials)
+}

@@ -255,11 +255,16 @@ func (fs *FS) Fsync(h vfs.Handle) {
 		}
 	}
 	written[fs.natAddr(h.(Ino))] = true
+	// Two-phase flush: node blobs must be durable before the NAT blocks
+	// that point at them, or a crash between the two could leave a durable
+	// NAT entry referencing a blob the device never persisted.
+	fs.dev.Flush()
 	for addr := range written {
 		fs.writeNATBlockAt(addr)
 	}
 	fs.writeSuperOnly()
 	fs.dev.Flush()
+	fs.releasePendingSegs()
 }
 
 // writeNATBlockAt persists one NAT block by device address.
@@ -305,7 +310,10 @@ func (fs *FS) Checkpoint() {
 	for _, ino := range inos {
 		fs.writeNodeBlock(fs.inodes[ino])
 	}
+	// Blob/NAT write barrier — see Fsync.
+	fs.dev.Flush()
 	fs.writeNAT()
+	fs.releasePendingSegs()
 	fs.lastCheckpoint = fs.env.Now()
 }
 

@@ -417,6 +417,15 @@ func (m *Mount) Sync() {
 	m.fs.Sync()
 }
 
+// Writeback pushes every dirty page and inode attribute to the file
+// system without a durability barrier — the state the device sees when
+// background writeback has run but no flush was issued. Crash-test
+// harnesses call this before cutting power so the unflushed-write
+// stream contains the interesting in-flight writes.
+func (m *Mount) Writeback() {
+	m.writebackAll(false)
+}
+
 // DropCaches writes back dirty state and then empties the page, dentry,
 // and inode caches plus the FS's own caches — the echo 3 >
 // /proc/sys/vm/drop_caches step cold-cache benchmarks perform.

@@ -196,27 +196,36 @@ func (l *Log) encode(t RecordType, lsn uint64, payload []byte) {
 	l.head += int64(len(rec))
 }
 
+// WriteOut writes all pending records to the region without a
+// durability barrier — background log writeback. DurableLSN does not
+// advance; a crash may tear or drop the written tail, which recovery
+// detects via record CRCs.
+func (l *Log) WriteOut() {
+	if len(l.pending) == 0 {
+		return
+	}
+	// The pending buffer may straddle the wrap point only at pad
+	// boundaries, so writes can be split at region end safely.
+	data := l.pending
+	pos := l.flushedTo
+	for len(data) > 0 {
+		off := pos % l.cap
+		n := int64(len(data))
+		if off+n > l.cap {
+			n = l.cap - off
+		}
+		l.f.WriteAt(data[:n], off)
+		data = data[n:]
+		pos += n
+	}
+	l.flushedTo = l.head
+	l.pending = l.pending[:0]
+}
+
 // Flush writes all pending records to the region and issues a durability
 // barrier; afterwards DurableLSN covers everything appended so far.
 func (l *Log) Flush() {
-	if len(l.pending) > 0 {
-		// The pending buffer may straddle the wrap point only at pad
-		// boundaries, so writes can be split at region end safely.
-		data := l.pending
-		pos := l.flushedTo
-		for len(data) > 0 {
-			off := pos % l.cap
-			n := int64(len(data))
-			if off+n > l.cap {
-				n = l.cap - off
-			}
-			l.f.WriteAt(data[:n], off)
-			data = data[n:]
-			pos += n
-		}
-		l.flushedTo = l.head
-		l.pending = l.pending[:0]
-	}
+	l.WriteOut()
 	l.f.Flush()
 	l.env.Charge(l.SyncDelay)
 	l.durable = l.nextLSN - 1
