@@ -1,12 +1,13 @@
 # Developer checks. `make check` is the gate a change must pass: static
-# analysis, a full build, the race-enabled test suite, and a crash-
-# consistency smoke sweep over every file system plus the raw store.
+# analysis, a full build, the race-enabled test suite, a crash-
+# consistency smoke sweep over every file system plus the raw store, and
+# a machine-readable bench run whose JSON must validate.
 
 GO ?= go
 
-.PHONY: check vet build test crashtest scrub
+.PHONY: check vet build test crashtest scrub bench-json
 
-check: vet build test crashtest scrub
+check: vet build test crashtest scrub bench-json
 
 vet:
 	$(GO) vet ./...
@@ -29,3 +30,11 @@ crashtest:
 scrub:
 	$(GO) run ./cmd/betrfsck -mode=scrub > /dev/null
 	! $(GO) run ./cmd/betrfsck -mode=scrub -corrupt=2 > /dev/null
+
+# Scaled microbenchmark run with machine-readable output: writes
+# BENCH_micro.json and fails unless the document round-trips the schema
+# documented in EXPERIMENTS.md.
+bench-json:
+	$(GO) run ./cmd/betrbench -table 1 -scale 1024 \
+		-systems ext4,betrfs-v0.4,betrfs-v0.6 -o BENCH_micro.json > /dev/null
+	$(GO) run ./cmd/betrbench -validate BENCH_micro.json

@@ -10,6 +10,15 @@
 //	betrbench -hdd                # HDD ablation (BetrFS was compleat there first)
 //	betrbench -scale 128 -table 1 # coarser scaling for quick runs
 //	betrbench -systems ext4,betrfs-v0.6 -table 1
+//	betrbench -table 1 -json      # also write BENCH_table1.json
+//	betrbench -table 1 -json -o out.json
+//	betrbench -validate out.json  # check a BENCH_*.json document
+//
+// With -json the run additionally emits a machine-readable document
+// (schema in EXPERIMENTS.md): every measured cell next to the paper's
+// value, plus each system's merged metric-counter snapshot. A system that
+// fails to build or run is reported on stderr and the process exits
+// non-zero after the remaining systems finish.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 
 	"betrfs/internal/bench"
 	"betrfs/internal/blockdev"
+	"betrfs/internal/metrics"
 	"betrfs/internal/sfl"
 	"betrfs/internal/sim"
 )
@@ -30,7 +40,22 @@ func main() {
 	hdd := flag.Bool("hdd", false, "run the HDD ablation")
 	scale := flag.Int64("scale", bench.DefaultScale, "divide paper workload sizes by this factor")
 	systems := flag.String("systems", "", "comma-separated subset of systems to run")
+	jsonOut := flag.Bool("json", false, "also write a BENCH_<name>.json document")
+	outPath := flag.String("o", "", "path for the JSON document (implies -json)")
+	validate := flag.String("validate", "", "validate a BENCH_*.json document and exit")
 	flag.Parse()
+
+	if *validate != "" {
+		if _, err := bench.ValidateFile(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (schema v%d)\n", *validate, bench.SchemaVersion)
+		return
+	}
+	if *outPath != "" {
+		*jsonOut = true
+	}
 
 	pick := func(all []string) []string {
 		if *systems == "" {
@@ -44,41 +69,109 @@ func main() {
 		return out
 	}
 
+	opts := runOpts{json: *jsonOut, outPath: *outPath, scale: *scale}
+	ok := true
 	switch {
 	case *table == 1:
-		runMicro(pick(bench.Systems), *scale)
+		ok = runMicro(pick(bench.Systems), "table1", opts)
 	case *table == 2:
 		printLayout(*scale)
 	case *table == 3:
-		runMicro(pick(bench.Ladder), *scale)
+		ok = runMicro(pick(bench.Ladder), "table3", opts)
 	case *figure == 2:
-		runApps(pick(bench.Systems), *scale)
+		ok = runApps(pick(bench.Systems), "figure2", opts)
 	case *hdd:
-		runMicro([]string{"ext4-hdd", "betrfs-v0.6-hdd"}, *scale)
+		ok = runMicro([]string{"ext4-hdd", "betrfs-v0.6-hdd"}, "hdd", opts)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if !ok {
+		os.Exit(1)
+	}
 }
 
-func runMicro(systems []string, scale int64) {
-	fmt.Printf("microbenchmarks at scale 1/%d (paper: Table 1/3)\n\n", scale)
+type runOpts struct {
+	json    bool
+	outPath string
+	scale   int64
+}
+
+func (o runOpts) jsonPath(name string) string {
+	if o.outPath != "" {
+		return o.outPath
+	}
+	return "BENCH_" + name + ".json"
+}
+
+// runSystem runs one system's benchmarks, converting a panic (a system
+// that fails to build or mount mid-run) into an error so the harness can
+// finish the other systems and still exit non-zero.
+func runSystem(system string, f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: %v", system, r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func writeDoc(d *bench.Doc, path string) bool {
+	if err := d.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "betrbench: %v\n", err)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return true
+}
+
+func runMicro(systems []string, name string, o runOpts) bool {
+	fmt.Printf("microbenchmarks at scale 1/%d (paper: Table 1/3)\n\n", o.scale)
 	var rows []bench.MicroResults
+	var snaps []metrics.Snapshot
+	ok := true
 	for _, s := range systems {
 		fmt.Fprintf(os.Stderr, "running %s...\n", s)
-		rows = append(rows, bench.RunMicro(s, scale))
+		err := runSystem(s, func() {
+			r, snap := bench.RunMicroCollect(s, o.scale)
+			rows = append(rows, r)
+			snaps = append(snaps, snap)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "betrbench: %v\n", err)
+			ok = false
+		}
 	}
 	bench.WriteMicroTable(os.Stdout, rows)
+	if o.json && len(rows) > 0 {
+		ok = writeDoc(bench.MicroDoc(name, o.scale, rows, snaps), o.jsonPath(name)) && ok
+	}
+	return ok
 }
 
-func runApps(systems []string, scale int64) {
-	fmt.Printf("application benchmarks at scale 1/%d (paper: Figure 2)\n\n", scale)
+func runApps(systems []string, name string, o runOpts) bool {
+	fmt.Printf("application benchmarks at scale 1/%d (paper: Figure 2)\n\n", o.scale)
 	var rows []bench.AppResults
+	var snaps []metrics.Snapshot
+	ok := true
 	for _, s := range systems {
 		fmt.Fprintf(os.Stderr, "running %s...\n", s)
-		rows = append(rows, bench.RunApps(s, scale))
+		err := runSystem(s, func() {
+			r, snap := bench.RunAppsCollect(s, o.scale)
+			rows = append(rows, r)
+			snaps = append(snaps, snap)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "betrbench: %v\n", err)
+			ok = false
+		}
 	}
 	bench.WriteAppTable(os.Stdout, rows)
+	if o.json && len(rows) > 0 {
+		ok = writeDoc(bench.AppDoc(name, o.scale, rows, snaps), o.jsonPath(name)) && ok
+	}
+	return ok
 }
 
 func printLayout(scale int64) {

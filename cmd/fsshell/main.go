@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"betrfs/internal/bench"
@@ -139,8 +140,42 @@ func execute(in *bench.Instance, m *vfs.Mount, f []string) bool {
 		v := m.Stats()
 		fmt.Printf("vfs: lookups=%d dcacheHits=%d pagesRead=%d pagesWritten=%d fsyncs=%d\n",
 			v.Lookups, v.DcacheHits, v.PagesRead, v.PagesWritten, v.Fsyncs)
+		printRegistry(in)
 	default:
 		fmt.Println("unknown command; try 'help'")
 	}
 	return true
+}
+
+// printRegistry dumps every non-zero counter and histogram the mounted
+// stack has registered (the full metrics registry, sorted by name).
+func printRegistry(in *bench.Instance) {
+	snap := in.Env.Metrics.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("counters:")
+	for _, name := range names {
+		if v := snap.Counters[name]; v != 0 {
+			fmt.Printf("  %-28s %12d\n", name, v)
+		}
+	}
+	if len(snap.Histograms) == 0 {
+		return
+	}
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("histograms:")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-28s count=%d sum=%d max=%d (%s)\n", name, h.Count, h.Sum, h.Max, h.Unit)
+	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"betrfs/internal/metrics"
 	"betrfs/internal/workload"
 )
 
@@ -73,8 +74,18 @@ type MicroResults struct {
 // RunMicro runs the full Table 3 row for one system. Each benchmark runs
 // on a fresh instance, as the artifact's scripts do.
 func RunMicro(system string, scale int64) MicroResults {
+	out, _ := RunMicroCollect(system, scale)
+	return out
+}
+
+// RunMicroCollect runs RunMicro and additionally returns the system's
+// metric counters, merged across the fresh instances the individual
+// benchmarks run on (each Build gets its own sim.Env and registry).
+func RunMicroCollect(system string, scale int64) (MicroResults, metrics.Snapshot) {
 	p := Scaled(scale)
 	out := MicroResults{System: system}
+	var snap metrics.Snapshot
+	collect := func(in *Instance) { snap.Merge(in.Env.Metrics.Snapshot()) }
 
 	{ // Sequential write then cold re-read on the same instance.
 		in := Build(system, scale)
@@ -82,21 +93,25 @@ func RunMicro(system string, scale int64) MicroResults {
 		out.SeqWrite = w.MBps()
 		r := workload.SequentialRead(in.Env, in.Mount, p.SeqChunk)
 		out.SeqRead = r.MBps()
+		collect(in)
 	}
 	{
 		in := Build(system, scale)
 		r := workload.RandomWrite(in.Env, in.Mount, p.RandFile, p.RandCount, 4096)
 		out.Rand4K = r.MBps()
+		collect(in)
 	}
 	{
 		in := Build(system, scale)
 		r := workload.RandomWrite(in.Env, in.Mount, p.RandFile, p.RandCount, 4)
 		out.Rand4B = r.MBps()
+		collect(in)
 	}
 	{
 		in := Build(system, scale)
 		r := workload.TokuBench(in.Env, in.Mount, p.TokuFiles)
 		out.TokuBench = r.KOpsPerSec()
+		collect(in)
 	}
 	{ // grep and find share a populated tree.
 		in := Build(system, scale)
@@ -105,6 +120,7 @@ func RunMicro(system string, scale int64) MicroResults {
 		out.Grep = g.Seconds()
 		f := workload.Find(in.Env, in.Mount, "linux")
 		out.Find = f.Seconds()
+		collect(in)
 	}
 	{ // rm -rf of two copies of the tree. The recursive-delete pathology
 		// needs the deletion's message volume to exceed Bε-tree node
@@ -120,8 +136,9 @@ func RunMicro(system string, scale int64) MicroResults {
 		r1 := workload.RecursiveDelete(in.Env, in.Mount, "copy1")
 		r2 := workload.RecursiveDelete(in.Env, in.Mount, "copy2")
 		out.Rm = r1.Seconds() + r2.Seconds()
+		collect(in)
 	}
-	return out
+	return out, snap
 }
 
 // AppResults holds one system's Figure 2 values.
@@ -142,8 +159,17 @@ type AppResults struct {
 
 // RunApps runs the Figure 2 application benchmarks for one system.
 func RunApps(system string, scale int64) AppResults {
+	out, _ := RunAppsCollect(system, scale)
+	return out
+}
+
+// RunAppsCollect runs RunApps and additionally returns the system's metric
+// counters merged across the per-benchmark instances.
+func RunAppsCollect(system string, scale int64) (AppResults, metrics.Snapshot) {
 	p := Scaled(scale)
 	out := AppResults{System: system}
+	var snap metrics.Snapshot
+	collect := func(in *Instance) { snap.Merge(in.Env.Metrics.Snapshot()) }
 
 	{ // tar: build an archive image, unpack it, then repack the tree.
 		in := Build(system, scale)
@@ -167,6 +193,7 @@ func RunApps(system string, scale int64) AppResults {
 		out.Tar = r.Seconds()
 		r2 := workload.TarPack(in.Env, in.Mount, "untarred", "repacked.tar")
 		out.Untar = r2.Seconds()
+		collect(in)
 	}
 	{
 		in := Build(system, scale)
@@ -175,6 +202,7 @@ func RunApps(system string, scale int64) AppResults {
 		out.GitClone = r.Seconds()
 		r2 := workload.GitDiff(in.Env, in.Mount, "repo")
 		out.GitDiff = r2.Seconds()
+		collect(in)
 	}
 	{
 		in := Build(system, scale)
@@ -182,6 +210,7 @@ func RunApps(system string, scale int64) AppResults {
 		in.Mount.MkdirAll("dst")
 		r := workload.Rsync(in.Env, in.Mount, "srctree", "dst", false)
 		out.Rsync = r.MBps()
+		collect(in)
 	}
 	{
 		in := Build(system, scale)
@@ -189,6 +218,7 @@ func RunApps(system string, scale int64) AppResults {
 		in.Mount.MkdirAll("dst")
 		r := workload.Rsync(in.Env, in.Mount, "srctree", "dst", true)
 		out.RsyncInPlace = r.MBps()
+		collect(in)
 	}
 	{
 		in := Build(system, scale)
@@ -199,29 +229,34 @@ func RunApps(system string, scale int64) AppResults {
 		ops := int(80_000 / scale * 8)
 		r := workload.MailServer(in.Env, in.Mount, 10, msgs, ops)
 		out.Dovecot = r.KOpsPerSec() * 1000
+		collect(in)
 	}
 	fb := workload.FilebenchSpec{Files: 800, MeanFile: 16 << 10, Ops: 6000, Seed: 5}
 	{
 		in := Build(system, scale)
 		r := workload.OLTP(in.Env, in.Mount, fb)
 		out.OLTP = r.KOpsPerSec()
+		collect(in)
 	}
 	{
 		in := Build(system, scale)
 		r := workload.Fileserver(in.Env, in.Mount, fb)
 		out.Fileserver = r.KOpsPerSec()
+		collect(in)
 	}
 	{
 		in := Build(system, scale)
 		r := workload.Webserver(in.Env, in.Mount, fb)
 		out.Webserver = r.KOpsPerSec()
+		collect(in)
 	}
 	{
 		in := Build(system, scale)
 		r := workload.Webproxy(in.Env, in.Mount, fb)
 		out.Webproxy = r.KOpsPerSec()
+		collect(in)
 	}
-	return out
+	return out, snap
 }
 
 // RunMicroRmOnly runs just the recursive-delete experiment (tools/tests).

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"betrfs/internal/metrics"
+)
+
+// Machine-readable benchmark output. Every betrbench run can emit, next to
+// the human table, a BENCH_<name>.json document pairing each measured cell
+// with the paper's published value and each system's merged metric
+// snapshot (the counters from every layer the run exercised). The schema
+// is documented in EXPERIMENTS.md and validated by Validate; downstream
+// tooling should reject documents whose SchemaVersion it does not know.
+
+// SchemaVersion identifies the BENCH_*.json document layout. Bump it on
+// any incompatible change and update EXPERIMENTS.md in the same commit.
+const SchemaVersion = 1
+
+// Doc is one benchmark run: a set of columns measured across a set of
+// systems, plus per-system metric snapshots.
+type Doc struct {
+	SchemaVersion int            `json:"schema_version"`
+	Name          string         `json:"name"` // e.g. "table1", "figure2"
+	Kind          string         `json:"kind"` // "micro" or "apps"
+	Scale         int64          `json:"scale"`
+	Columns       []ColumnMeta   `json:"columns"`
+	Systems       []SystemResult `json:"systems"`
+}
+
+// ColumnMeta describes one benchmark column.
+type ColumnMeta struct {
+	Name   string `json:"name"`
+	Unit   string `json:"unit"`   // "MB/s", "kop/s", "op/s", "s"
+	Better string `json:"better"` // "higher" or "lower"
+}
+
+// CellJSON is one measured value with its paper reference (0 when the
+// paper does not report the cell).
+type CellJSON struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Paper float64 `json:"paper,omitempty"`
+}
+
+// SystemResult is one system's row: its cells in column order and the
+// merged metric snapshot of every instance the benchmarks built for it.
+type SystemResult struct {
+	System  string           `json:"system"`
+	Cells   []CellJSON       `json:"cells"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+func better(lower bool) string {
+	if lower {
+		return "lower"
+	}
+	return "higher"
+}
+
+// MicroDoc assembles a Doc from Table 1/3 rows; snaps[i] belongs to
+// rows[i] (it may be shorter — trailing systems then carry empty
+// snapshots, which Validate rejects, so callers should pass one per row).
+func MicroDoc(name string, scale int64, rows []MicroResults, snaps []metrics.Snapshot) *Doc {
+	d := &Doc{SchemaVersion: SchemaVersion, Name: name, Kind: "micro", Scale: scale}
+	for _, c := range microColumns {
+		d.Columns = append(d.Columns, ColumnMeta{Name: c.Name, Unit: c.Unit, Better: better(c.Lower)})
+	}
+	for i, r := range rows {
+		sr := SystemResult{System: r.System}
+		paper, hasPaper := PaperMicro[r.System]
+		for _, c := range microColumns {
+			cell := CellJSON{Name: c.Name, Value: c.Get(r)}
+			if hasPaper {
+				cell.Paper = c.Get(paper)
+			}
+			sr.Cells = append(sr.Cells, cell)
+		}
+		if i < len(snaps) {
+			sr.Metrics = snaps[i]
+		}
+		d.Systems = append(d.Systems, sr)
+	}
+	return d
+}
+
+// AppDoc assembles a Doc from Figure 2 rows; snaps[i] belongs to rows[i].
+func AppDoc(name string, scale int64, rows []AppResults, snaps []metrics.Snapshot) *Doc {
+	d := &Doc{SchemaVersion: SchemaVersion, Name: name, Kind: "apps", Scale: scale}
+	for _, c := range appColumns {
+		d.Columns = append(d.Columns, ColumnMeta{Name: c.Name, Unit: c.Unit, Better: better(c.Lower)})
+	}
+	for i, r := range rows {
+		sr := SystemResult{System: r.System}
+		for _, c := range appColumns {
+			sr.Cells = append(sr.Cells, CellJSON{Name: c.Name, Value: c.Get(r)})
+		}
+		if i < len(snaps) {
+			sr.Metrics = snaps[i]
+		}
+		d.Systems = append(d.Systems, sr)
+	}
+	return d
+}
+
+// Marshal renders the document exactly as WriteFile stores it.
+func (d *Doc) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile stores the document at path.
+func (d *Doc) WriteFile(path string) error {
+	b, err := d.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Validate checks that data is a well-formed BENCH_*.json document: it
+// must strict-decode into the schema (unknown fields are errors), satisfy
+// the structural invariants, and re-marshal byte-identically — so a file
+// that passes was produced by (or is indistinguishable from) WriteFile,
+// and every field it carries is one the schema documents.
+func Validate(data []byte) (*Doc, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var d Doc
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("bench json: decode: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("bench json: trailing data after document")
+	}
+	if d.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench json: schema_version %d, want %d", d.SchemaVersion, SchemaVersion)
+	}
+	if d.Name == "" {
+		return nil, fmt.Errorf("bench json: empty name")
+	}
+	if d.Kind != "micro" && d.Kind != "apps" {
+		return nil, fmt.Errorf("bench json: kind %q, want \"micro\" or \"apps\"", d.Kind)
+	}
+	if d.Scale < 1 {
+		return nil, fmt.Errorf("bench json: scale %d < 1", d.Scale)
+	}
+	if len(d.Columns) == 0 {
+		return nil, fmt.Errorf("bench json: no columns")
+	}
+	for _, c := range d.Columns {
+		if c.Name == "" || c.Unit == "" {
+			return nil, fmt.Errorf("bench json: column %+v missing name or unit", c)
+		}
+		if c.Better != "higher" && c.Better != "lower" {
+			return nil, fmt.Errorf("bench json: column %q: better %q, want \"higher\" or \"lower\"", c.Name, c.Better)
+		}
+	}
+	if len(d.Systems) == 0 {
+		return nil, fmt.Errorf("bench json: no systems")
+	}
+	for _, s := range d.Systems {
+		if s.System == "" {
+			return nil, fmt.Errorf("bench json: system with empty name")
+		}
+		if len(s.Cells) != len(d.Columns) {
+			return nil, fmt.Errorf("bench json: system %q has %d cells, want %d", s.System, len(s.Cells), len(d.Columns))
+		}
+		for i, c := range s.Cells {
+			if c.Name != d.Columns[i].Name {
+				return nil, fmt.Errorf("bench json: system %q cell %d named %q, want %q", s.System, i, c.Name, d.Columns[i].Name)
+			}
+		}
+		if len(s.Metrics.Counters) == 0 {
+			return nil, fmt.Errorf("bench json: system %q has an empty metric snapshot", s.System)
+		}
+	}
+	remarshaled, err := d.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(bytes.TrimRight(data, "\n"), bytes.TrimRight(remarshaled, "\n")) {
+		return nil, fmt.Errorf("bench json: document does not round-trip the schema (field order, formatting, or extraneous content differs from the canonical encoding)")
+	}
+	return &d, nil
+}
+
+// ValidateFile runs Validate on the file at path.
+func ValidateFile(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Validate(data)
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"betrfs/internal/metrics"
+)
+
+func sampleDoc() *Doc {
+	reg := metrics.NewRegistry()
+	reg.Counter("betree.msg.inject").Add(7)
+	reg.Counter("wal.fsync.count").Add(3)
+	reg.Histogram("vfs.read.ns", "ns").Observe(1000)
+	snap := reg.Snapshot()
+	rows := []MicroResults{{System: "betrfs-v0.6", SeqRead: 400, SeqWrite: 300,
+		Rand4K: 100, Rand4B: 0.3, TokuBench: 10, Grep: 1.5, Rm: 2, Find: 0.3}}
+	return MicroDoc("table1", 64, rows, []metrics.Snapshot{snap})
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := sampleDoc()
+	path := filepath.Join(t.TempDir(), "BENCH_table1.json")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ValidateFile(path)
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got.Name != "table1" || got.Kind != "micro" || got.Scale != 64 {
+		t.Fatalf("round-trip mangled header: %+v", got)
+	}
+	if len(got.Systems) != 1 || got.Systems[0].Metrics.Counters["betree.msg.inject"] != 7 {
+		t.Fatalf("round-trip lost metrics: %+v", got.Systems)
+	}
+	if len(got.Systems[0].Cells) != len(microColumns) {
+		t.Fatalf("got %d cells, want %d", len(got.Systems[0].Cells), len(microColumns))
+	}
+	// The paper reference must ride along for a known system.
+	if got.Systems[0].Cells[0].Paper != PaperMicro["betrfs-v0.6"].SeqRead {
+		t.Fatalf("paper value missing: %+v", got.Systems[0].Cells[0])
+	}
+}
+
+func TestJSONValidateRejects(t *testing.T) {
+	good, err := sampleDoc().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(good); err != nil {
+		t.Fatalf("canonical doc rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   string
+	}{
+		{"unknown field", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"schema_version"`), []byte(`"bogus": 1, "schema_version"`), 1)
+		}, "decode"},
+		{"wrong version", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"schema_version": 1`), []byte(`"schema_version": 99`), 1)
+		}, "schema_version"},
+		{"bad better", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"better": "higher"`), []byte(`"better": "sideways"`), 1)
+		}, "better"},
+		{"cell/column mismatch", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"name": "seq_read",
+          "value"`), []byte(`"name": "not_a_column",
+          "value"`), 1)
+		}, "cell"},
+		{"non-canonical formatting", func(b []byte) []byte {
+			return bytes.Replace(b, []byte("  "), []byte("\t"), 1)
+		}, "round-trip"},
+		{"empty metrics", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"betree.msg.inject": 7,`), []byte(``), 1)
+		}, ""},
+	}
+	for _, tc := range cases {
+		mutated := tc.mutate(append([]byte(nil), good...))
+		if bytes.Equal(mutated, good) {
+			t.Fatalf("%s: mutation did not apply", tc.name)
+		}
+		_, err := Validate(mutated)
+		if err == nil {
+			t.Errorf("%s: mutated document accepted", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -119,35 +119,41 @@ func WriteMicroTable(w io.Writer, rows []MicroResults) {
 	fmt.Fprintln(w, "\nmeasured [paper].  + within 15% of best, ! below 30% of best (the paper's shading rule)")
 }
 
+// appColumns enumerates the Figure 2 columns generically (shared by the
+// text table and the JSON writer).
+type appColumn struct {
+	Name  string
+	Unit  string
+	Lower bool // lower is better
+	Get   func(AppResults) float64
+}
+
+var appColumns = []appColumn{
+	{"tar", "s", true, func(r AppResults) float64 { return r.Tar }},
+	{"untar", "s", true, func(r AppResults) float64 { return r.Untar }},
+	{"git_clone", "s", true, func(r AppResults) float64 { return r.GitClone }},
+	{"git_diff", "s", true, func(r AppResults) float64 { return r.GitDiff }},
+	{"rsync", "MB/s", false, func(r AppResults) float64 { return r.Rsync }},
+	{"rsync_ip", "MB/s", false, func(r AppResults) float64 { return r.RsyncInPlace }},
+	{"dovecot", "op/s", false, func(r AppResults) float64 { return r.Dovecot }},
+	{"oltp", "kop/s", false, func(r AppResults) float64 { return r.OLTP }},
+	{"fileserver", "kop/s", false, func(r AppResults) float64 { return r.Fileserver }},
+	{"webserver", "kop/s", false, func(r AppResults) float64 { return r.Webserver }},
+	{"webproxy", "kop/s", false, func(r AppResults) float64 { return r.Webproxy }},
+}
+
 // WriteAppTable renders the Figure 2 results.
 func WriteAppTable(w io.Writer, rows []AppResults) {
-	cols := []struct {
-		name string
-		unit string
-		get  func(AppResults) float64
-	}{
-		{"tar", "s", func(r AppResults) float64 { return r.Tar }},
-		{"untar", "s", func(r AppResults) float64 { return r.Untar }},
-		{"git_clone", "s", func(r AppResults) float64 { return r.GitClone }},
-		{"git_diff", "s", func(r AppResults) float64 { return r.GitDiff }},
-		{"rsync", "MB/s", func(r AppResults) float64 { return r.Rsync }},
-		{"rsync_ip", "MB/s", func(r AppResults) float64 { return r.RsyncInPlace }},
-		{"dovecot", "op/s", func(r AppResults) float64 { return r.Dovecot }},
-		{"oltp", "kop/s", func(r AppResults) float64 { return r.OLTP }},
-		{"fileserver", "kop/s", func(r AppResults) float64 { return r.Fileserver }},
-		{"webserver", "kop/s", func(r AppResults) float64 { return r.Webserver }},
-		{"webproxy", "kop/s", func(r AppResults) float64 { return r.Webproxy }},
-	}
 	fmt.Fprintf(w, "%-14s", "system")
-	for _, c := range cols {
-		fmt.Fprintf(w, " | %12s", fmt.Sprintf("%s(%s)", c.name, c.unit))
+	for _, c := range appColumns {
+		fmt.Fprintf(w, " | %12s", fmt.Sprintf("%s(%s)", c.Name, c.Unit))
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, strings.Repeat("-", 14+len(cols)*15))
+	fmt.Fprintln(w, strings.Repeat("-", 14+len(appColumns)*15))
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-14s", r.System)
-		for _, c := range cols {
-			fmt.Fprintf(w, " | %12.4g", c.get(r))
+		for _, c := range appColumns {
+			fmt.Fprintf(w, " | %12.4g", c.Get(r))
 		}
 		fmt.Fprintln(w)
 	}

@@ -2,6 +2,8 @@ package betree
 
 import (
 	"container/list"
+
+	"betrfs/internal/metrics"
 )
 
 // cacheKey identifies a node across the trees sharing one cache.
@@ -23,6 +25,9 @@ type nodeCache struct {
 	writeNode func(t *Tree, n *node)
 
 	hits, misses, evictions, dirtyEvictions int64
+
+	// Registry counters, set by Store.Open right after construction.
+	mHit, mMiss, mEvict, mEvictDirty *metrics.Counter
 }
 
 type cacheEntry struct {
@@ -31,11 +36,16 @@ type cacheEntry struct {
 }
 
 func newNodeCache(budget int64, writeNode func(*Tree, *node)) *nodeCache {
+	zero := &metrics.Counter{}
 	return &nodeCache{
-		budget:    budget,
-		lru:       list.New(),
-		entries:   make(map[cacheKey]*list.Element),
-		writeNode: writeNode,
+		budget:      budget,
+		lru:         list.New(),
+		entries:     make(map[cacheKey]*list.Element),
+		writeNode:   writeNode,
+		mHit:        zero,
+		mMiss:       zero,
+		mEvict:      zero,
+		mEvictDirty: zero,
 	}
 }
 
@@ -44,9 +54,11 @@ func (c *nodeCache) get(t *Tree, id nodeID) (*node, bool) {
 	el, ok := c.entries[cacheKey{t, id}]
 	if !ok {
 		c.misses++
+		c.mMiss.Inc()
 		return nil, false
 	}
 	c.hits++
+	c.mHit.Inc()
 	c.lru.MoveToFront(el)
 	return el.Value.(*cacheEntry).node, true
 }
@@ -102,9 +114,11 @@ func (c *nodeCache) evictTo(target int64) {
 		}
 		if ce.node.dirty {
 			c.dirtyEvictions++
+			c.mEvictDirty.Inc()
 			c.writeNode(ce.key.tree, ce.node)
 		}
 		c.evictions++
+		c.mEvict.Inc()
 		c.used -= int64(ce.node.memSize)
 		ce.node.releaseRefs()
 		c.lru.Remove(el)

@@ -21,6 +21,7 @@ import (
 func (t *Tree) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
 	t.stats.Scans++
 	s := t.store
+	s.m.queryScan.Inc()
 	cursor := lo
 	if cursor == nil {
 		cursor = []byte{}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"betrfs/internal/kmem"
+	"betrfs/internal/metrics"
 	"betrfs/internal/sim"
 	"betrfs/internal/stor"
 	"betrfs/internal/wal"
@@ -73,6 +74,60 @@ type Store struct {
 	unloggedData bool
 
 	stats StoreStats
+	m     storeMetrics
+}
+
+// storeMetrics holds the store's registry instruments, resolved once at
+// Open so hot paths pay a single atomic add per event.
+type storeMetrics struct {
+	msgInject     *metrics.Counter
+	msgFlush      *metrics.Counter
+	msgPushed     *metrics.Counter
+	nodeWrite     *metrics.Counter
+	nodeRead      *metrics.Counter
+	nodePartial   *metrics.Counter
+	basementRead  *metrics.Counter
+	bytesWritten  *metrics.Counter
+	bytesRead     *metrics.Counter
+	checkpoint    *metrics.Counter
+	prefetchIssue *metrics.Counter
+	prefetchHit   *metrics.Counter
+	flushRun      *metrics.Counter
+	applyOnQuery  *metrics.Counter
+	pacmanScan    *metrics.Counter
+	pacmanDrop    *metrics.Counter
+	leafSplit     *metrics.Counter
+	internalSplit *metrics.Counter
+	queryGet      *metrics.Counter
+	queryScan     *metrics.Counter
+}
+
+func resolveStoreMetrics(reg *metrics.Registry) storeMetrics {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return storeMetrics{
+		msgInject:     reg.Counter("betree.msg.inject"),
+		msgFlush:      reg.Counter("betree.msg.flush"),
+		msgPushed:     reg.Counter("betree.msg.pushed"),
+		nodeWrite:     reg.Counter("betree.node.write"),
+		nodeRead:      reg.Counter("betree.node.read"),
+		nodePartial:   reg.Counter("betree.node.partialread"),
+		basementRead:  reg.Counter("betree.basement.read"),
+		bytesWritten:  reg.Counter("betree.bytes.written"),
+		bytesRead:     reg.Counter("betree.bytes.read"),
+		checkpoint:    reg.Counter("betree.checkpoint.run"),
+		prefetchIssue: reg.Counter("betree.prefetch.issue"),
+		prefetchHit:   reg.Counter("betree.prefetch.hit"),
+		flushRun:      reg.Counter("betree.flush.run"),
+		applyOnQuery:  reg.Counter("betree.applyonquery.run"),
+		pacmanScan:    reg.Counter("betree.pacman.scan"),
+		pacmanDrop:    reg.Counter("betree.pacman.drop"),
+		leafSplit:     reg.Counter("betree.leaf.split"),
+		internalSplit: reg.Counter("betree.internal.split"),
+		queryGet:      reg.Counter("betree.query.get"),
+		queryScan:     reg.Counter("betree.query.scan"),
+	}
 }
 
 type pendingRead struct {
@@ -91,7 +146,16 @@ func Open(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend Backend) (*St
 		pending: make(map[cacheKey]*pendingRead),
 		nextMSN: 1,
 	}
+	reg := env.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s.m = resolveStoreMetrics(reg)
 	s.cache = newNodeCache(cfg.CacheBytes, s.writeNode)
+	s.cache.mHit = reg.Counter("betree.cache.hit")
+	s.cache.mMiss = reg.Counter("betree.cache.miss")
+	s.cache.mEvict = reg.Counter("betree.cache.evict")
+	s.cache.mEvictDirty = reg.Counter("betree.cache.evictdirty")
 	s.meta = newTree(s, "meta", backend.File("meta"))
 	s.data = newTree(s, "data", backend.File("data"))
 
@@ -291,6 +355,9 @@ func (s *Store) writeNode(t *Tree, n *node) {
 	n.dirty = false
 	s.stats.NodesWritten++
 	s.stats.BytesWritten += int64(len(data))
+	s.m.nodeWrite.Inc()
+	s.m.bytesWritten.Add(int64(len(data)))
+	s.env.Trace("betree", "node.write", t.name, int64(len(data)))
 }
 
 // readNode fetches a node image from disk. If partialKey is non-nil and
@@ -312,6 +379,7 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 		delete(s.pending, key)
 		pr.wait()
 		s.stats.PrefetchHits++
+		s.m.prefetchHit.Inc()
 		raw, err := maybeDecompressNode(s.env, pr.data)
 		if err != nil {
 			return fail(err)
@@ -322,6 +390,8 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 		}
 		s.stats.NodesRead++
 		s.stats.BytesRead += ext.len
+		s.m.nodeRead.Inc()
+		s.m.bytesRead.Add(ext.len)
 		return n, nil
 	}
 
@@ -349,6 +419,8 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 			}
 			s.stats.NodesRead++
 			s.stats.BytesRead += ext.len
+			s.m.nodeRead.Inc()
+			s.m.bytesRead.Add(ext.len)
 			return n, nil
 		}
 		if binary.BigEndian.Uint32(hdr[4:]) == nodeMagic && binary.BigEndian.Uint32(hdr[8:]) == 0 {
@@ -358,6 +430,9 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 				s.stats.NodesRead++
 				s.stats.PartialReads++
 				s.stats.BytesRead += hlen
+				s.m.nodeRead.Inc()
+				s.m.nodePartial.Inc()
+				s.m.bytesRead.Add(hlen)
 				if err := s.loadBasement(t, n, ext, n.basementFor(s.env, partialKey)); err != nil {
 					return fail(err)
 				}
@@ -377,6 +452,8 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 		}
 		s.stats.NodesRead++
 		s.stats.BytesRead += ext.len
+		s.m.nodeRead.Inc()
+		s.m.bytesRead.Add(ext.len)
 		return n, nil
 	}
 
@@ -392,6 +469,8 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 	}
 	s.stats.NodesRead++
 	s.stats.BytesRead += ext.len
+	s.m.nodeRead.Inc()
+	s.m.bytesRead.Add(ext.len)
 	return n, nil
 }
 
@@ -421,6 +500,8 @@ func (s *Store) loadBasement(t *Tree, n *node, ext extent, bi int) error {
 	}
 	s.stats.BasementsRead++
 	s.stats.BytesRead += int64(b.diskLen + b.pageLen)
+	s.m.basementRead.Inc()
+	s.m.bytesRead.Add(int64(b.diskLen + b.pageLen))
 	s.cache.resize(t, n)
 	return nil
 }
@@ -447,6 +528,7 @@ func (s *Store) prefetch(t *Tree, id nodeID) {
 	wait := t.f.SubmitRead(data, ext.off)
 	s.pending[key] = &pendingRead{data: data, wait: wait}
 	s.stats.Prefetches++
+	s.m.prefetchIssue.Inc()
 }
 
 // --- durability ------------------------------------------------------------
@@ -505,6 +587,8 @@ func (s *Store) Checkpoint() {
 	s.unloggedData = false
 	s.lastCheckpoint = s.env.Now()
 	s.stats.Checkpoints++
+	s.m.checkpoint.Inc()
+	s.env.Trace("betree", "checkpoint", "", int64(checkpointLSN))
 }
 
 // --- superblock -------------------------------------------------------------

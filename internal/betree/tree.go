@@ -233,6 +233,8 @@ func (t *Tree) logAndInsert(m *Msg, d Durability) {
 // needed.
 func (t *Tree) insertMsg(m *Msg) {
 	s := t.store
+	s.m.msgInject.Inc()
+	s.env.Trace("betree", "msg.inject", string(m.Key), int64(m.MSN))
 	s.env.Charge(s.env.Costs.MessageOverhead)
 	root := t.mustFetch(t.rootID, nil)
 	defer t.unpin(root)
@@ -295,9 +297,11 @@ func (t *Tree) flushDescend(n *node) {
 func (t *Tree) flushToChild(parent *node, ci int) {
 	s := t.store
 	s.stats.Flushes++
+	s.m.flushRun.Inc()
 	child := t.mustFetch(parent.children[ci], nil)
 	defer t.unpin(child)
 	msgs := parent.bufs[ci].takeAll(s.alloc)
+	s.m.msgFlush.Add(int64(len(msgs)))
 	t.markDirty(parent)
 	t.markDirty(child)
 
@@ -370,6 +374,7 @@ func (t *Tree) applyToLeaf(n *node, m *Msg) {
 func (t *Tree) pacman(n *node) {
 	s := t.store
 	s.stats.PacmanScans++
+	s.m.pacmanScan.Inc()
 	type loc struct {
 		m     *Msg
 		ci, i int
@@ -451,6 +456,7 @@ func (t *Tree) pacman(n *node) {
 			if eaten[n.bufs[ci].msgs[i]] {
 				n.bufs[ci].drop(i)
 				s.stats.PacmanDrops++
+				s.m.pacmanDrop.Inc()
 			}
 		}
 	}
@@ -491,6 +497,7 @@ func (t *Tree) splitChild(parent *node, ci int, child *node) {
 			return
 		}
 		s.stats.LeafSplits++
+		s.m.leafSplit.Inc()
 		// Split into halves no larger than NodeSize/2.
 		pieces := splitEntries(entries, s.cfg.NodeSize/2)
 		if len(pieces) < 2 {
@@ -520,6 +527,7 @@ func (t *Tree) splitChild(parent *node, ci int, child *node) {
 		return
 	}
 	s.stats.InternalSplits++
+	s.m.internalSplit.Inc()
 	mid := len(child.children) / 2
 	right := &node{
 		id:       t.newNodeID(),
@@ -648,6 +656,7 @@ type pathEl struct {
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	t.stats.Gets++
 	s := t.store
+	s.m.queryGet.Inc()
 	s.env.Charge(s.env.Costs.MessageOverhead)
 
 	var path []pathEl
@@ -772,6 +781,7 @@ func (t *Tree) applyOnQuery(path []pathEl, leaf *node, bi int, leafLo, leafHi []
 		return
 	}
 	s.stats.ApplyOnQuery++
+	s.m.applyOnQuery.Inc()
 	b := leaf.basements[bi]
 	blo, bhi := basementRange(leaf, bi, leafLo, leafHi)
 
@@ -787,6 +797,8 @@ func (t *Tree) applyOnQuery(path []pathEl, leaf *node, bi int, leafLo, leafHi []
 		for _, m := range moved {
 			t.applyToLeaf(leaf, m)
 		}
+		s.m.msgPushed.Add(int64(len(moved)))
+		s.env.Trace("betree", "msg.pushed", "", int64(len(moved)))
 		t.markDirty(leaf)
 		return
 	}
@@ -803,12 +815,18 @@ func (t *Tree) applyOnQuery(path []pathEl, leaf *node, bi int, leafLo, leafHi []
 		msgs = pe.n.bufs[pe.ci].collectRange(s.env, blo, bhi, b.maxApplied, msgs)
 	}
 	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].MSN < msgs[j].MSN })
+	pushed := int64(0)
 	for _, m := range msgs {
 		if !b.loaded {
 			break
 		}
 		// Messages stay live in ancestor buffers, so apply clones.
 		leaf.applyToBasement(s.env, bi, cloneForSharedApply(s.env, clipToBasement(m, blo, bhi)), false)
+		pushed++
+	}
+	s.m.msgPushed.Add(pushed)
+	if pushed > 0 {
+		s.env.Trace("betree", "msg.pushed", "", pushed)
 	}
 	s.cache.resize(t, leaf)
 }

@@ -24,6 +24,7 @@ import (
 	"betrfs/internal/betree"
 	"betrfs/internal/keys"
 	"betrfs/internal/kmem"
+	"betrfs/internal/metrics"
 	"betrfs/internal/sim"
 	"betrfs/internal/vfs"
 )
@@ -93,6 +94,41 @@ type FS struct {
 	unloggedData map[string]bool
 
 	stats Stats
+	m     fsMetrics
+}
+
+// fsMetrics holds the northbound layer's pre-resolved metric handles
+// (naming convention: betrfs.<noun>.<verb>, see DESIGN.md §8).
+type fsMetrics struct {
+	metaQuery       *metrics.Counter
+	create          *metrics.Counter
+	createDeferred  *metrics.Counter
+	remove          *metrics.Counter
+	rename          *metrics.Counter
+	renameKeys      *metrics.Counter
+	rangeDeleteDir  *metrics.Counter
+	emptyNlink      *metrics.Counter
+	emptyQuery      *metrics.Counter
+	readCorrupt     *metrics.Counter
+	fsync           *metrics.Counter
+	fsyncCheckpoint *metrics.Counter
+}
+
+func resolveFSMetrics(reg *metrics.Registry) fsMetrics {
+	return fsMetrics{
+		metaQuery:       reg.Counter("betrfs.meta.query"),
+		create:          reg.Counter("betrfs.create.count"),
+		createDeferred:  reg.Counter("betrfs.create.deferred"),
+		remove:          reg.Counter("betrfs.remove.count"),
+		rename:          reg.Counter("betrfs.rename.count"),
+		renameKeys:      reg.Counter("betrfs.rename.keys"),
+		rangeDeleteDir:  reg.Counter("betrfs.rangedelete.dir"),
+		emptyNlink:      reg.Counter("betrfs.emptycheck.nlink"),
+		emptyQuery:      reg.Counter("betrfs.emptycheck.query"),
+		readCorrupt:     reg.Counter("betrfs.read.corrupt"),
+		fsync:           reg.Counter("betrfs.fsync.count"),
+		fsyncCheckpoint: reg.Counter("betrfs.fsync.checkpoint"),
+	}
 }
 
 type deferredCreate struct {
@@ -130,6 +166,11 @@ func New(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend betree.Backend
 		nlinkKnown:   map[string]bool{"": true},
 		unloggedData: make(map[string]bool),
 	}
+	reg := env.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	fs.m = resolveFSMetrics(reg)
 	// Under log-space pressure, deferred creates must reach the tree so
 	// their pins stop blocking reclamation (§3.3 notes this cannot occur
 	// in practice on the real log sizes; scaled simulations can hit it).
@@ -182,6 +223,7 @@ func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, erro
 		return path, dc.attr, nil
 	}
 	fs.stats.MetaQueries++
+	fs.m.metaQuery.Inc()
 	v, ok, err := fs.store.Meta().Get(keys.MetaKey(path))
 	if err != nil {
 		return nil, vfs.Attr{}, err
@@ -197,6 +239,7 @@ func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, erro
 // insert happens when the VFS writes the inode back (§3.3).
 func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.Attr, error) {
 	path := keys.Join(parent.(string), name)
+	fs.m.create.Inc()
 	attr := vfs.Attr{Dir: dir, Nlink: 1, Mtime: fs.env.Now()}
 	if dir {
 		attr.Nlink = 2
@@ -205,6 +248,8 @@ func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.
 		lsn := fs.store.Meta().LogInsertOnly(keys.MetaKey(path), encodeAttr(attr))
 		fs.pending[path] = &deferredCreate{attr: attr, unpin: fs.store.Log().Pin(lsn)}
 		fs.stats.DeferredCreates++
+		fs.m.createDeferred.Inc()
+		fs.env.Trace("betrfs", "create.deferred", path, 0)
 	} else {
 		fs.store.Meta().Put(keys.MetaKey(path), encodeAttr(attr), betree.LogAuto)
 	}
@@ -225,6 +270,7 @@ func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.
 // delete of its metadata) or removes an empty directory.
 func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) error {
 	path := h.(string)
+	fs.m.remove.Inc()
 	if dir {
 		if err := fs.checkEmpty(path); err != nil {
 			return err
@@ -248,6 +294,8 @@ func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) err
 			fs.store.Meta().DeleteRange(lo, hi, betree.LogAuto)
 			fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
 			fs.stats.DirRangeDeletes++
+			fs.m.rangeDeleteDir.Inc()
+			fs.env.Trace("betrfs", "rangedelete.dir", path, 0)
 		}
 		delete(fs.nlink, path)
 		delete(fs.nlinkKnown, path)
@@ -271,6 +319,7 @@ func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) err
 func (fs *FS) checkEmpty(path string) error {
 	if fs.cfg.NlinkChecks && fs.nlinkKnown[path] {
 		fs.stats.EmptyDirChecksByNlink++
+		fs.m.emptyNlink.Inc()
 		if fs.nlink[path] > 0 {
 			return vfs.ErrNotEmpty
 		}
@@ -283,6 +332,7 @@ func (fs *FS) checkEmpty(path string) error {
 		return nil
 	}
 	fs.stats.EmptyDirChecksByQuery++
+	fs.m.emptyQuery.Inc()
 	lo, hi := keys.SubtreeRange(path)
 	empty := true
 	if err := fs.store.Meta().Scan(lo, hi, func(_, _ []byte) bool {
@@ -313,6 +363,7 @@ func isUnder(p, dir string) bool {
 func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (vfs.Handle, error) {
 	oldPath := h.(string)
 	newPath := keys.Join(newParent.(string), newName)
+	fs.m.rename.Inc()
 	// Flush any deferred create so the rename sees tree state.
 	fs.flushPending(oldPath)
 
@@ -343,6 +394,8 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 			for _, e := range moved {
 				t.Put(keys.RewritePrefix(e.k, oldEnc, newEnc), e.v, betree.LogAuto)
 				fs.stats.RenamedKeys++
+				fs.m.renameKeys.Inc()
+				fs.m.renameKeys.Inc()
 			}
 			t.DeleteRange(lo, hi, betree.LogAuto)
 		}
@@ -380,6 +433,7 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 		for _, e := range moved {
 			fs.store.Data().Put(keys.RewritePrefix(e.k, oldEnc, newEnc), e.v, betree.LogAuto)
 			fs.stats.RenamedKeys++
+			fs.m.renameKeys.Inc()
 		}
 		fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
 		if fs.unloggedData[oldPath] {
@@ -482,6 +536,8 @@ func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
 			// The vfs read-path interface carries no error: serve zeros
 			// and count the corruption (a real kernel returns EIO here).
 			fs.stats.CorruptReads++
+			fs.m.readCorrupt.Inc()
+			fs.env.Trace("betrfs", "read.corrupt", path, blk+int64(i))
 			ok = false
 		}
 		if !ok {
@@ -563,8 +619,11 @@ func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) {
 // the file has background-written unlogged data.
 func (fs *FS) Fsync(h vfs.Handle) {
 	path := h.(string)
+	fs.m.fsync.Inc()
 	fs.flushPending(path)
 	if fs.unloggedData[path] {
+		fs.m.fsyncCheckpoint.Inc()
+		fs.env.Trace("betrfs", "fsync.checkpoint", path, 0)
 		fs.store.Sync()
 		fs.unloggedData = make(map[string]bool)
 		return

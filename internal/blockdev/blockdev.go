@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"betrfs/internal/metrics"
 	"betrfs/internal/sim"
 )
 
@@ -159,14 +160,41 @@ type Dev struct {
 	trackUnflushed bool
 	unflushed      []writeRecord
 	readFaults     []faultRange
+
+	mReadCount  *metrics.Counter
+	mWriteCount *metrics.Counter
+	mReadBytes  *metrics.Counter
+	mWriteBytes *metrics.Counter
+	mFlushCount *metrics.Counter
+	mReadSeq    *metrics.Counter
+	mReadRand   *metrics.Counter
+	mWriteSeq   *metrics.Counter
+	mWriteRand  *metrics.Counter
+	mReadSize   *metrics.Histogram
+	mWriteSize  *metrics.Histogram
 }
 
 // New creates a device with the given profile.
 func New(env *sim.Env, profile Profile) *Dev {
+	reg := env.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return &Dev{
-		env:     env,
-		profile: profile,
-		chunks:  make(map[int64][]byte),
+		env:         env,
+		profile:     profile,
+		chunks:      make(map[int64][]byte),
+		mReadCount:  reg.Counter("blockdev.read.count"),
+		mWriteCount: reg.Counter("blockdev.write.count"),
+		mReadBytes:  reg.Counter("blockdev.read.bytes"),
+		mWriteBytes: reg.Counter("blockdev.write.bytes"),
+		mFlushCount: reg.Counter("blockdev.flush.count"),
+		mReadSeq:    reg.Counter("blockdev.read.seq"),
+		mReadRand:   reg.Counter("blockdev.read.rand"),
+		mWriteSeq:   reg.Counter("blockdev.write.seq"),
+		mWriteRand:  reg.Counter("blockdev.write.rand"),
+		mReadSize:   reg.Histogram("blockdev.read.size", "bytes"),
+		mWriteSize:  reg.Histogram("blockdev.write.size", "bytes"),
 	}
 }
 
@@ -259,14 +287,19 @@ func (d *Dev) SubmitRead(p []byte, off int64) Completion {
 	if off != d.readEnd {
 		dur += d.profile.RandReadPenalty
 		d.stats.RandReads++
+		d.mReadRand.Inc()
 	} else {
 		d.stats.SeqReads++
+		d.mReadSeq.Inc()
 	}
 	d.readEnd = off + int64(len(p))
 	d.busyUntil = start + dur
 	d.stats.Reads++
 	d.stats.BytesRead += int64(len(p))
 	d.stats.BusyTime += dur
+	d.mReadCount.Inc()
+	d.mReadBytes.Add(int64(len(p)))
+	d.mReadSize.Observe(int64(len(p)))
 	d.copyOut(p, off)
 	if len(d.readFaults) > 0 {
 		d.applyReadFaults(p, off)
@@ -298,8 +331,10 @@ func (d *Dev) SubmitWrite(p []byte, off int64) Completion {
 	if off != d.writeEnd {
 		dur += d.profile.RandWritePenalty
 		d.stats.RandWrites++
+		d.mWriteRand.Inc()
 	} else {
 		d.stats.SeqWrites++
+		d.mWriteSeq.Inc()
 	}
 	d.writeEnd = off + int64(len(p))
 	d.cacheDirty += fast
@@ -307,6 +342,9 @@ func (d *Dev) SubmitWrite(p []byte, off int64) Completion {
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(len(p))
 	d.stats.BusyTime += dur
+	d.mWriteCount.Inc()
+	d.mWriteBytes.Add(int64(len(p)))
+	d.mWriteSize.Observe(int64(len(p)))
 	if d.trackUnflushed {
 		d.recordUnflushed(p, off)
 	}
@@ -336,6 +374,7 @@ func (d *Dev) Flush() {
 	d.env.Clock.Advance(d.profile.FlushLatency)
 	d.busyUntil = d.env.Now()
 	d.stats.Flushes++
+	d.mFlushCount.Inc()
 	if d.trackUnflushed {
 		d.unflushed = d.unflushed[:0]
 	}

@@ -22,6 +22,7 @@ package kmem
 import (
 	"time"
 
+	"betrfs/internal/metrics"
 	"betrfs/internal/sim"
 )
 
@@ -66,6 +67,16 @@ type Allocator struct {
 	cache    map[int]int
 	cacheCap map[int]int
 	stats    Stats
+
+	mKmalloc     *metrics.Counter
+	mVmalloc     *metrics.Counter
+	mCacheHit    *metrics.Counter
+	mCacheMiss   *metrics.Counter
+	mFree        *metrics.Counter
+	mRealloc     *metrics.Counter
+	mReallocCopy *metrics.Counter
+	mBytesCopied *metrics.Counter
+	mAllocHist   *metrics.Histogram
 }
 
 // legacy BetrFS kept a small cache of one common size only.
@@ -80,11 +91,24 @@ const cachePerClass = 32
 
 // New returns an allocator. cooperative selects the v0.6 interfaces.
 func New(env *sim.Env, cooperative bool) *Allocator {
+	reg := env.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	a := &Allocator{
-		env:         env,
-		cooperative: cooperative,
-		cache:       make(map[int]int),
-		cacheCap:    make(map[int]int),
+		env:          env,
+		cooperative:  cooperative,
+		cache:        make(map[int]int),
+		cacheCap:     make(map[int]int),
+		mKmalloc:     reg.Counter("kmem.alloc.kmalloc"),
+		mVmalloc:     reg.Counter("kmem.alloc.vmalloc"),
+		mCacheHit:    reg.Counter("kmem.buffercache.hit"),
+		mCacheMiss:   reg.Counter("kmem.buffercache.miss"),
+		mFree:        reg.Counter("kmem.free.count"),
+		mRealloc:     reg.Counter("kmem.realloc.count"),
+		mReallocCopy: reg.Counter("kmem.realloc.copy"),
+		mBytesCopied: reg.Counter("kmem.bytes.copied"),
+		mAllocHist:   reg.Histogram("kmem.alloc.bytes", "bytes"),
 	}
 	classes := legacyClasses
 	if cooperative {
@@ -122,19 +146,24 @@ func (a *Allocator) classFor(size int) int {
 // would. The returned Buf's Usable equals Size unless a cached region with
 // extra capacity was used.
 func (a *Allocator) Alloc(size int) *Buf {
+	a.mAllocHist.Observe(int64(size))
 	if size <= KmallocMax {
 		a.stats.Kmallocs++
+		a.mKmalloc.Inc()
 		a.charge(a.env.Costs.KmallocBase)
 		return &Buf{Size: size, Usable: size}
 	}
 	if c := a.classFor(size); c != 0 && a.cache[c] > 0 {
 		a.cache[c]--
 		a.stats.CacheHits++
+		a.mCacheHit.Inc()
 		a.charge(a.env.Costs.KmallocBase) // cache pop is cheap
 		return &Buf{Size: size, Usable: c, vmalloc: true, class: c}
 	}
 	a.stats.Vmallocs++
 	a.stats.CacheMisses++
+	a.mVmalloc.Inc()
+	a.mCacheMiss.Inc()
 	pages := (size + pageSize - 1) / pageSize
 	a.charge(a.env.Costs.VmallocBase + time.Duration(pages)*a.env.Costs.VmallocPerPage)
 	class := a.classFor(size)
@@ -186,6 +215,7 @@ func (a *Allocator) free(b *Buf, sized bool) {
 		return
 	}
 	a.stats.Frees++
+	a.mFree.Inc()
 	if !b.vmalloc {
 		a.charge(a.env.Costs.KmallocBase)
 		return
@@ -210,6 +240,7 @@ func (a *Allocator) free(b *Buf, sized bool) {
 // applies: allocate, copy the used bytes, free the old region.
 func (a *Allocator) Realloc(b *Buf, newSize int, usedBytes int) *Buf {
 	a.stats.Reallocs++
+	a.mRealloc.Inc()
 	if b == nil {
 		return a.Alloc(newSize)
 	}
@@ -218,6 +249,7 @@ func (a *Allocator) Realloc(b *Buf, newSize int, usedBytes int) *Buf {
 		return b
 	}
 	a.stats.ReallocCopies++
+	a.mReallocCopy.Inc()
 	var nb *Buf
 	if a.cooperative {
 		nb = a.AllocUsable(newSize)
@@ -226,6 +258,7 @@ func (a *Allocator) Realloc(b *Buf, newSize int, usedBytes int) *Buf {
 	}
 	if usedBytes > 0 {
 		a.stats.BytesCopied += int64(usedBytes)
+		a.mBytesCopied.Add(int64(usedBytes))
 		a.env.Memcpy(usedBytes)
 	}
 	a.free(b, a.cooperative)

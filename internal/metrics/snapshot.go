@@ -1,0 +1,171 @@
+package metrics
+
+// Snapshot is a point-in-time copy of a registry's values as plain data,
+// suitable for JSON encoding, diffing, and merging.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// HistSnapshot is the serialized form of one histogram. Buckets lists only
+// the non-empty power-of-two buckets in increasing upper-bound order.
+type HistSnapshot struct {
+	Unit    string   `json:"unit,omitempty"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket: Count samples with value <= Le
+// (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// bucketUpperBound returns the inclusive upper bound of bucket i.
+func bucketUpperBound(i int) int64 {
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // max int64
+	}
+	return int64(1) << uint(i)
+}
+
+// Snapshot captures the current registry values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Counters: make(map[string]int64, len(r.counters))}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Load()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Load()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.histograms))
+		for n, h := range r.histograms {
+			hs := HistSnapshot{Unit: h.unit, Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+			for i := range h.buckets {
+				if c := h.buckets[i].Load(); c > 0 {
+					hs.Buckets = append(hs.Buckets, Bucket{Le: bucketUpperBound(i), Count: c})
+				}
+			}
+			s.Histograms[n] = hs
+		}
+	}
+	return s
+}
+
+// Diff returns after minus before, per instrument: counter and gauge values
+// subtract; histogram counts, sums, and buckets subtract (Max is taken from
+// after, as maxima are not invertible). Instruments absent from before are
+// reported at their after values.
+func Diff(before, after Snapshot) Snapshot {
+	d := Snapshot{Counters: make(map[string]int64, len(after.Counters))}
+	for n, v := range after.Counters {
+		d.Counters[n] = v - before.Counters[n]
+	}
+	if len(after.Gauges) > 0 {
+		d.Gauges = make(map[string]int64, len(after.Gauges))
+		for n, v := range after.Gauges {
+			d.Gauges[n] = v - before.Gauges[n]
+		}
+	}
+	if len(after.Histograms) > 0 {
+		d.Histograms = make(map[string]HistSnapshot, len(after.Histograms))
+		for n, hv := range after.Histograms {
+			bv := before.Histograms[n]
+			d.Histograms[n] = HistSnapshot{
+				Unit:    hv.Unit,
+				Count:   hv.Count - bv.Count,
+				Sum:     hv.Sum - bv.Sum,
+				Max:     hv.Max,
+				Buckets: diffBuckets(bv.Buckets, hv.Buckets),
+			}
+		}
+	}
+	return d
+}
+
+// Merge adds other into s, instrument by instrument: counters and gauges
+// sum, histogram counts/sums/buckets sum, Max takes the larger. Used to
+// aggregate the snapshots of the fresh instances a benchmark sweep builds.
+func (s *Snapshot) Merge(other Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64, len(other.Counters))
+	}
+	for n, v := range other.Counters {
+		s.Counters[n] += v
+	}
+	if len(other.Gauges) > 0 {
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]int64, len(other.Gauges))
+		}
+		for n, v := range other.Gauges {
+			s.Gauges[n] += v
+		}
+	}
+	if len(other.Histograms) > 0 {
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistSnapshot, len(other.Histograms))
+		}
+		for n, hv := range other.Histograms {
+			cur := s.Histograms[n]
+			if cur.Unit == "" {
+				cur.Unit = hv.Unit
+			}
+			cur.Count += hv.Count
+			cur.Sum += hv.Sum
+			if hv.Max > cur.Max {
+				cur.Max = hv.Max
+			}
+			cur.Buckets = addBuckets(cur.Buckets, hv.Buckets)
+			s.Histograms[n] = cur
+		}
+	}
+}
+
+// diffBuckets subtracts before from after by matching Le bounds.
+func diffBuckets(before, after []Bucket) []Bucket {
+	prior := make(map[int64]int64, len(before))
+	for _, b := range before {
+		prior[b.Le] = b.Count
+	}
+	var out []Bucket
+	for _, b := range after {
+		if c := b.Count - prior[b.Le]; c > 0 {
+			out = append(out, Bucket{Le: b.Le, Count: c})
+		}
+	}
+	return out
+}
+
+// addBuckets merges two sorted bucket lists by Le bound.
+func addBuckets(a, b []Bucket) []Bucket {
+	if len(a) == 0 {
+		return append([]Bucket{}, b...)
+	}
+	out := make([]Bucket, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].Le < b[j].Le):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j].Le < a[i].Le:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, Bucket{Le: a[i].Le, Count: a[i].Count + b[j].Count})
+			i++
+			j++
+		}
+	}
+	return out
+}

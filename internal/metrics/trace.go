@@ -1,0 +1,108 @@
+package metrics
+
+import "time"
+
+// Event is one typed trace record. When carries the simulated time stamped
+// by the emitting layer (the registry itself has no clock, by design).
+type Event struct {
+	When  time.Duration `json:"when"`
+	Layer string        `json:"layer"`
+	Op    string        `json:"op"`
+	Key   string        `json:"key,omitempty"`
+	Value int64         `json:"value,omitempty"`
+}
+
+// traceRing is a bounded ring of events; once full, the oldest events are
+// overwritten.
+type traceRing struct {
+	events  []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// DefaultTraceCapacity bounds the ring when StartTrace is called with a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// StartTrace enables event collection into a fresh ring of the given
+// capacity (DefaultTraceCapacity if cap <= 0). Emission sites check
+// Tracing() with one atomic load, so a disabled trace costs nothing on hot
+// paths — and tracing never advances the simulated clock either way.
+func (r *Registry) StartTrace(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	r.mu.Lock()
+	r.trace = &traceRing{events: make([]Event, capacity)}
+	r.mu.Unlock()
+	r.tracing.Store(true)
+}
+
+// StopTrace disables collection and returns the buffered events, oldest
+// first.
+func (r *Registry) StopTrace() []Event {
+	r.tracing.Store(false)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.snapshotTrace()
+	r.trace = nil
+	return out
+}
+
+// Tracing reports whether a trace ring is collecting events.
+func (r *Registry) Tracing() bool { return r.tracing.Load() }
+
+// Emit records one event if tracing is enabled.
+func (r *Registry) Emit(e Event) {
+	if !r.tracing.Load() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.trace
+	if t == nil {
+		return
+	}
+	if t.wrapped {
+		t.dropped++
+	}
+	t.events[t.next] = e
+	t.next++
+	if t.next == len(t.events) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// TraceEvents returns the currently buffered events, oldest first, without
+// stopping collection.
+func (r *Registry) TraceEvents() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotTrace()
+}
+
+// TraceDropped returns how many events were overwritten since StartTrace.
+func (r *Registry) TraceDropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.trace == nil {
+		return 0
+	}
+	return r.trace.dropped
+}
+
+func (r *Registry) snapshotTrace() []Event {
+	t := r.trace
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		return append([]Event{}, t.events[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/metrics"
 	"betrfs/internal/sim"
 	"betrfs/internal/stor"
 )
@@ -55,6 +56,12 @@ type SFL struct {
 	dev    blockdev.Device
 	files  map[string]*file
 	layout Layout
+
+	mReadCount  *metrics.Counter
+	mWriteCount *metrics.Counter
+	mReadBytes  *metrics.Counter
+	mWriteBytes *metrics.Counter
+	mFlushCount *metrics.Counter
 }
 
 // New formats an SFL over dev with the given layout.
@@ -64,6 +71,15 @@ func New(env *sim.Env, dev blockdev.Device, layout Layout) *SFL {
 		panic(fmt.Sprintf("sfl: layout (%d) exceeds device (%d)", total, dev.Size()))
 	}
 	s := &SFL{env: env, dev: dev, files: make(map[string]*file), layout: layout}
+	reg := env.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s.mReadCount = reg.Counter("sfl.read.count")
+	s.mWriteCount = reg.Counter("sfl.write.count")
+	s.mReadBytes = reg.Counter("sfl.read.bytes")
+	s.mWriteBytes = reg.Counter("sfl.write.bytes")
+	s.mFlushCount = reg.Counter("sfl.flush.count")
 	off := int64(0)
 	for _, f := range []struct {
 		name string
@@ -126,18 +142,24 @@ func (f *file) check(n int, off int64) {
 // ReadAt synchronously reads len(p) bytes at off.
 func (f *file) ReadAt(p []byte, off int64) {
 	f.check(len(p), off)
+	f.sfl.mReadCount.Inc()
+	f.sfl.mReadBytes.Add(int64(len(p)))
 	f.sfl.dev.ReadAt(p, f.base+off)
 }
 
 // WriteAt synchronously writes len(p) bytes at off.
 func (f *file) WriteAt(p []byte, off int64) {
 	f.check(len(p), off)
+	f.sfl.mWriteCount.Inc()
+	f.sfl.mWriteBytes.Add(int64(len(p)))
 	f.sfl.dev.WriteAt(p, f.base+off)
 }
 
 // SubmitRead starts an asynchronous read.
 func (f *file) SubmitRead(p []byte, off int64) stor.Wait {
 	f.check(len(p), off)
+	f.sfl.mReadCount.Inc()
+	f.sfl.mReadBytes.Add(int64(len(p)))
 	c := f.sfl.dev.SubmitRead(p, f.base+off)
 	return func() { f.sfl.dev.Wait(c) }
 }
@@ -145,12 +167,17 @@ func (f *file) SubmitRead(p []byte, off int64) stor.Wait {
 // SubmitWrite starts an asynchronous write.
 func (f *file) SubmitWrite(p []byte, off int64) stor.Wait {
 	f.check(len(p), off)
+	f.sfl.mWriteCount.Inc()
+	f.sfl.mWriteBytes.Add(int64(len(p)))
 	c := f.sfl.dev.SubmitWrite(p, f.base+off)
 	return func() { f.sfl.dev.Wait(c) }
 }
 
 // Flush issues a device barrier.
-func (f *file) Flush() { f.sfl.dev.Flush() }
+func (f *file) Flush() {
+	f.sfl.mFlushCount.Inc()
+	f.sfl.dev.Flush()
+}
 
 // Capacity returns the extent size.
 func (f *file) Capacity() int64 { return f.size }

@@ -1,6 +1,10 @@
 package sim
 
-import "time"
+import (
+	"time"
+
+	"betrfs/internal/metrics"
+)
 
 // Env bundles the shared clock, cost table, and random source handed to
 // every simulated component. One Env corresponds to one machine.
@@ -8,6 +12,12 @@ type Env struct {
 	Clock *Clock
 	Costs Costs
 	Rand  *Rand
+
+	// Metrics is the machine's observability registry: every layer
+	// registers its counters and histograms here at construction time.
+	// Recording metrics never advances the clock (the metrics package has
+	// no access to it), so instrumentation cannot perturb results.
+	Metrics *metrics.Registry
 
 	// Stats accumulates coarse CPU accounting by category so experiments
 	// can report where simulated time went.
@@ -32,14 +42,25 @@ func (s CPUStats) Total() time.Duration {
 // NewEnv returns an environment with default costs and the given seed.
 func NewEnv(seed uint64) *Env {
 	return &Env{
-		Clock: NewClock(),
-		Costs: DefaultCosts(),
-		Rand:  NewRand(seed),
+		Clock:   NewClock(),
+		Costs:   DefaultCosts(),
+		Rand:    NewRand(seed),
+		Metrics: metrics.NewRegistry(),
 	}
 }
 
 // Now returns the current simulated time.
 func (e *Env) Now() time.Duration { return e.Clock.Now() }
+
+// Trace emits one typed trace event stamped with the current simulated time,
+// if tracing is enabled on this environment's registry. The check is a single
+// atomic load, so disabled tracing costs nothing on hot paths, and emission
+// never advances the clock.
+func (e *Env) Trace(layer, op, key string, value int64) {
+	if e.Metrics != nil && e.Metrics.Tracing() {
+		e.Metrics.Emit(metrics.Event{When: e.Now(), Layer: layer, Op: op, Key: key, Value: value})
+	}
+}
 
 // Charge advances the clock by a fixed CPU cost.
 func (e *Env) Charge(d time.Duration) {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"betrfs/internal/extfs"
+	"betrfs/internal/metrics"
 	"betrfs/internal/sim"
 	"betrfs/internal/stor"
 )
@@ -61,6 +62,14 @@ type Backend struct {
 	StallDelay     time.Duration
 
 	stats Stats
+
+	mReadCount   *metrics.Counter
+	mWriteCount  *metrics.Counter
+	mReadBytes   *metrics.Counter
+	mWriteBytes  *metrics.Counter
+	mFlushCount  *metrics.Counter
+	mBytesCopied *metrics.Counter
+	mStallCount  *metrics.Counter
 }
 
 type pendingWrite struct {
@@ -85,6 +94,17 @@ func New(env *sim.Env, lower *extfs.FS, lay Layout) *Backend {
 		StallThreshold: 32 << 20,
 		StallDelay:     220 * time.Millisecond,
 	}
+	reg := env.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	b.mReadCount = reg.Counter("southbound.read.count")
+	b.mWriteCount = reg.Counter("southbound.write.count")
+	b.mReadBytes = reg.Counter("southbound.read.bytes")
+	b.mWriteBytes = reg.Counter("southbound.write.bytes")
+	b.mFlushCount = reg.Counter("southbound.flush.count")
+	b.mBytesCopied = reg.Counter("southbound.bytes.copied")
+	b.mStallCount = reg.Counter("southbound.stall.count")
 	for _, f := range []struct {
 		name string
 		size int64
@@ -130,6 +150,8 @@ func (b *Backend) throttle() {
 		return
 	}
 	b.stats.Stalls++
+	b.mStallCount.Inc()
+	b.env.Trace("southbound", "stall", "", b.dirtyBytes)
 	b.env.Charge(b.StallDelay)
 	b.drainTo(b.StallThreshold / 2)
 }
@@ -146,6 +168,9 @@ type sbFile struct {
 func (f *sbFile) ReadAt(p []byte, off int64) {
 	f.b.env.Memcpy(len(p))
 	f.b.stats.BytesCopied += int64(len(p))
+	f.b.mReadCount.Inc()
+	f.b.mReadBytes.Add(int64(len(p)))
+	f.b.mBytesCopied.Add(int64(len(p)))
 	f.lf.PRead(p, off)
 }
 
@@ -155,6 +180,9 @@ func (f *sbFile) WriteAt(p []byte, off int64) {
 	b := f.b
 	b.env.Memcpy(len(p))
 	b.stats.BytesCopied += int64(len(p))
+	b.mWriteCount.Inc()
+	b.mWriteBytes.Add(int64(len(p)))
+	b.mBytesCopied.Add(int64(len(p)))
 	wait := f.lf.SubmitPWrite(p, off)
 	b.dirtyBytes += int64(len(p))
 	b.pending = append(b.pending, pendingWrite{wait: wait, bytes: int64(len(p))})
@@ -165,6 +193,9 @@ func (f *sbFile) WriteAt(p []byte, off int64) {
 func (f *sbFile) SubmitRead(p []byte, off int64) stor.Wait {
 	f.b.env.Memcpy(len(p))
 	f.b.stats.BytesCopied += int64(len(p))
+	f.b.mReadCount.Inc()
+	f.b.mReadBytes.Add(int64(len(p)))
+	f.b.mBytesCopied.Add(int64(len(p)))
 	f.lf.PRead(p, off) // lower read path is synchronous through the cache
 	return func() {}
 }
@@ -182,6 +213,7 @@ func (f *sbFile) Flush() {
 	b := f.b
 	b.drainTo(0)
 	b.stats.Fsyncs++
+	b.mFlushCount.Inc()
 	f.lf.Fsync()
 }
 

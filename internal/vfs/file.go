@@ -39,6 +39,8 @@ func (m *Mount) OpenFile(path string, create, trunc bool) (*File, error) {
 			return nil, perr
 		}
 		m.stats.Creates++
+		m.m.create.Inc()
+		m.env.Trace("vfs", "create", path, 0)
 		h, attr, cerr := m.fs.Create(parent.h, name, false)
 		if cerr != nil {
 			return nil, cerr
@@ -136,8 +138,11 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	m := f.m
 	m.chargeSyscall()
 	defer m.maintain()
+	opStart := m.env.Now()
+	defer func() { m.m.writeNs.Observe(int64(m.env.Now() - opStart)) }()
 	ino := f.ino
 	m.stats.WriteBytes += int64(len(p))
+	m.m.bytesWrite.Add(int64(len(p)))
 	rest := p
 	pos := off
 	for len(rest) > 0 {
@@ -167,14 +172,17 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 			// Sub-page write to an uncached block: blind update, no
 			// page instantiated (§2.1 blind writes).
 			m.stats.BlindWrites++
+			m.m.writeBlind.Inc()
 			m.env.Memcpy(n)
 			m.fs.WritePartial(ino.h, blk, po, chunk, false)
 		default:
 			// Read-modify-write, the update-in-place path.
 			m.stats.RMWReads++
+			m.m.writeRMW.Inc()
 			pg = m.newPage(ino, blk)
 			m.fs.ReadBlocks(ino.h, blk, []*Page{pg}, false)
 			m.stats.PagesRead++
+			m.m.pageRead.Inc()
 			m.env.Memcpy(n)
 			copy(pg.Data[po:po+n], chunk)
 			m.dirtyPage(pg)
@@ -196,6 +204,12 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	m := f.m
 	m.chargeSyscall()
 	defer m.maintain()
+	opStart := m.env.Now()
+	read := 0
+	defer func() {
+		m.m.readNs.Observe(int64(m.env.Now() - opStart))
+		m.m.bytesRead.Add(int64(read))
+	}()
 	ino := f.ino
 	if off >= ino.attr.Size {
 		return 0, nil
@@ -216,7 +230,6 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	} else {
 		f.raPages = 0
 	}
-	read := 0
 	pos := off
 	for read < len(p) {
 		blk := pos / PageSize
@@ -271,6 +284,7 @@ func (m *Mount) fillPages(ino *inode, blk int64, seq bool, raPages int) *Page {
 	}
 	m.fs.ReadBlocks(ino.h, blk, pages, seq)
 	m.stats.PagesRead += int64(len(pages))
+	m.m.pageRead.Add(int64(len(pages)))
 	for i, pg := range pages {
 		_ = blks[i]
 		m.trackClean(pg)
@@ -290,6 +304,10 @@ func (f *File) Fsync() {
 	m := f.m
 	m.chargeSyscall()
 	m.stats.Fsyncs++
+	m.m.fsync.Inc()
+	opStart := m.env.Now()
+	defer func() { m.m.fsyncNs.Observe(int64(m.env.Now() - opStart)) }()
+	m.env.Trace("vfs", "fsync", f.ino.path, 0)
 	dirty := 0
 	for _, pg := range f.ino.pages {
 		if pg.Dirty {

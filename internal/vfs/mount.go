@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"betrfs/internal/keys"
+	"betrfs/internal/metrics"
 	"betrfs/internal/sim"
 )
 
@@ -100,6 +101,59 @@ type Mount struct {
 
 	lastMaintain time.Duration
 	stats        Stats
+	m            mountMetrics
+}
+
+// mountMetrics holds the VFS registry instruments, resolved at NewMount.
+type mountMetrics struct {
+	lookup     *metrics.Counter
+	dcacheHit  *metrics.Counter
+	fsLookup   *metrics.Counter
+	create     *metrics.Counter
+	remove     *metrics.Counter
+	rename     *metrics.Counter
+	readdir    *metrics.Counter
+	stat       *metrics.Counter
+	bytesRead  *metrics.Counter
+	bytesWrite *metrics.Counter
+	pageRead   *metrics.Counter
+	pageWrite  *metrics.Counter
+	pageEvict  *metrics.Counter
+	writeBlind *metrics.Counter
+	writeRMW   *metrics.Counter
+	cowCopy    *metrics.Counter
+	fsync      *metrics.Counter
+	readNs     *metrics.Histogram
+	writeNs    *metrics.Histogram
+	fsyncNs    *metrics.Histogram
+}
+
+func resolveMountMetrics(reg *metrics.Registry) mountMetrics {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return mountMetrics{
+		lookup:     reg.Counter("vfs.lookup.count"),
+		dcacheHit:  reg.Counter("vfs.dcache.hit"),
+		fsLookup:   reg.Counter("vfs.lookup.fs"),
+		create:     reg.Counter("vfs.create.count"),
+		remove:     reg.Counter("vfs.remove.count"),
+		rename:     reg.Counter("vfs.rename.count"),
+		readdir:    reg.Counter("vfs.readdir.count"),
+		stat:       reg.Counter("vfs.stat.count"),
+		bytesRead:  reg.Counter("vfs.bytes.read"),
+		bytesWrite: reg.Counter("vfs.bytes.written"),
+		pageRead:   reg.Counter("vfs.page.read"),
+		pageWrite:  reg.Counter("vfs.page.write"),
+		pageEvict:  reg.Counter("vfs.page.evict"),
+		writeBlind: reg.Counter("vfs.write.blind"),
+		writeRMW:   reg.Counter("vfs.write.rmw"),
+		cowCopy:    reg.Counter("vfs.page.cow"),
+		fsync:      reg.Counter("vfs.fsync.count"),
+		readNs:     reg.Histogram("vfs.read.ns", "ns"),
+		writeNs:    reg.Histogram("vfs.write.ns", "ns"),
+		fsyncNs:    reg.Histogram("vfs.fsync.ns", "ns"),
+	}
 }
 
 // Mount wraps fs with the VFS caches.
@@ -116,6 +170,7 @@ func NewMount(env *sim.Env, fs FS, cfg Config) *Mount {
 		dirtyEl:     make(map[*Page]*list.Element),
 		dirtyInodes: make(map[*inode]time.Duration),
 	}
+	m.m = resolveMountMetrics(env.Metrics)
 	rootH := fs.Root()
 	m.root = &inode{h: rootH, path: "", attr: Attr{Dir: true, Nlink: 2}, pages: map[int64]*Page{}}
 	m.icache[rootH] = m.root
@@ -135,10 +190,12 @@ func (m *Mount) FS() FS { return m.fs }
 // component and falling back to FS lookups on misses.
 func (m *Mount) walk(path string) (*inode, error) {
 	m.stats.Lookups++
+	m.m.lookup.Inc()
 	path = keys.Clean(path)
 	if d, ok := m.dcache[path]; ok {
 		m.env.Charge(m.env.Costs.PathComponent)
 		m.stats.DcacheHits++
+		m.m.dcacheHit.Inc()
 		if d.neg {
 			return nil, ErrNotExist
 		}
@@ -161,6 +218,7 @@ func (m *Mount) walk(path string) (*inode, error) {
 			continue
 		}
 		m.stats.FsLookups++
+		m.m.fsLookup.Inc()
 		h, attr, err := m.fs.Lookup(cur.h, part)
 		if err != nil {
 			if err == ErrNotExist {
@@ -213,6 +271,7 @@ func (m *Mount) Mkdir(path string) error {
 		return ErrExist
 	}
 	m.stats.Creates++
+	m.m.create.Inc()
 	h, attr, err := m.fs.Create(parent.h, name, true)
 	if err != nil {
 		return err
@@ -268,6 +327,7 @@ func (m *Mount) remove(path string, dir bool) error {
 		return err
 	}
 	m.stats.Removes++
+	m.m.remove.Inc()
 	if err := m.fs.Remove(parent.h, name, ino.h, dir); err != nil {
 		return err
 	}
@@ -324,6 +384,7 @@ func (m *Mount) ReadDir(path string) ([]DirEntry, error) {
 	if !ino.attr.Dir {
 		return nil, ErrNotDir
 	}
+	m.m.readdir.Inc()
 	entries, err := m.fs.ReadDir(ino.h)
 	if err != nil {
 		return nil, err
@@ -374,6 +435,7 @@ func (m *Mount) Rename(oldPath, newPath string) error {
 		return err
 	}
 	m.stats.Renames++
+	m.m.rename.Inc()
 	if ino.attr.Dir {
 		// Directory renames change descendant handles in path-indexed
 		// file systems: write back and drop everything beneath.
@@ -403,6 +465,7 @@ func (m *Mount) Rename(oldPath, newPath string) error {
 func (m *Mount) Stat(path string) (Attr, error) {
 	m.chargeSyscall()
 	defer m.maintain()
+	m.m.stat.Inc()
 	ino, err := m.walk(path)
 	if err != nil {
 		return Attr{}, err

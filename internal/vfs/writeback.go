@@ -31,6 +31,7 @@ func (m *Mount) cowIfPinned(ino *inode, blk int64, pg *Page, fullOverwrite bool)
 		return pg
 	}
 	m.stats.CowCopies++
+	m.m.cowCopy.Inc()
 	m.forgetPage(pg)
 	npg := &Page{Data: make([]byte, PageSize), ino: ino, blk: blk}
 	if !fullOverwrite {
@@ -138,6 +139,7 @@ func (m *Mount) writebackRun(ino *inode, blk int64, run []*Page, durable bool) {
 	}
 	m.fs.WriteBlocks(ino.h, blk, run, durable)
 	m.stats.PagesWritten += int64(len(run))
+	m.m.pageWrite.Add(int64(len(run)))
 	for _, p := range run {
 		m.trackClean(p)
 	}
@@ -207,6 +209,7 @@ func (m *Mount) evictClean() {
 		m.forgetPage(pg)
 		delete(pg.ino.pages, pg.blk)
 		m.stats.PageEvictions++
+		m.m.pageEvict.Inc()
 	}
 }
 

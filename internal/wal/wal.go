@@ -18,6 +18,7 @@ import (
 	"hash/crc32"
 	"time"
 
+	"betrfs/internal/metrics"
 	"betrfs/internal/sim"
 	"betrfs/internal/stor"
 )
@@ -87,6 +88,14 @@ type Log struct {
 	SyncDelay time.Duration
 
 	stats Stats
+
+	// Pre-resolved registry instruments (see internal/metrics).
+	mAppend     *metrics.Counter
+	mFsync      *metrics.Counter
+	mWriteOut   *metrics.Counter
+	mBytes      *metrics.Counter
+	mPad        *metrics.Counter
+	mPinBlocked *metrics.Counter
 }
 
 type lsnPos struct {
@@ -107,13 +116,26 @@ type Stats struct {
 // distinguishes this incarnation of the log from stale bytes left by a
 // previous one occupying the same region.
 func New(env *sim.Env, f stor.File, epoch uint32) *Log {
+	reg := env.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	// Pre-register the replay counter Recover increments, so the full
+	// metric catalog is visible on a registry even before a recovery runs.
+	reg.Counter("wal.replay.records")
 	return &Log{
-		env:     env,
-		f:       f,
-		cap:     f.Capacity(),
-		epoch:   epoch,
-		nextLSN: 1,
-		pins:    make(map[uint64]int),
+		env:         env,
+		f:           f,
+		cap:         f.Capacity(),
+		epoch:       epoch,
+		nextLSN:     1,
+		pins:        make(map[uint64]int),
+		mAppend:     reg.Counter("wal.append.count"),
+		mFsync:      reg.Counter("wal.fsync.count"),
+		mWriteOut:   reg.Counter("wal.writeout.count"),
+		mBytes:      reg.Counter("wal.bytes.logged"),
+		mPad:        reg.Counter("wal.bytes.pad"),
+		mPinBlocked: reg.Counter("wal.reclaim.pinblocked"),
 	}
 }
 
@@ -157,6 +179,7 @@ func (l *Log) Append(t RecordType, payload []byte) (uint64, error) {
 			l.pending = append(l.pending, make([]byte, rem)...)
 			l.head += rem
 			l.stats.PadBytes += rem
+			l.mPad.Add(rem)
 		} else {
 			l.appendPad(int(rem))
 		}
@@ -169,6 +192,9 @@ func (l *Log) Append(t RecordType, payload []byte) (uint64, error) {
 	l.encode(t, lsn, payload)
 	l.stats.Appends++
 	l.stats.BytesLogged += need
+	l.mAppend.Inc()
+	l.mBytes.Add(need)
+	l.env.Trace("wal", "append", "", int64(lsn))
 	l.env.Charge(l.env.Costs.MessageOverhead)
 	return lsn, nil
 }
@@ -178,6 +204,7 @@ func (l *Log) appendPad(n int) {
 	payload := make([]byte, n-headerSize-crcSize)
 	l.encode(PadType, 0, payload)
 	l.stats.PadBytes += int64(n)
+	l.mPad.Add(int64(n))
 }
 
 func (l *Log) encode(t RecordType, lsn uint64, payload []byte) {
@@ -204,6 +231,7 @@ func (l *Log) WriteOut() {
 	if len(l.pending) == 0 {
 		return
 	}
+	l.mWriteOut.Inc()
 	// The pending buffer may straddle the wrap point only at pad
 	// boundaries, so writes can be split at region end safely.
 	data := l.pending
@@ -230,6 +258,8 @@ func (l *Log) Flush() {
 	l.env.Charge(l.SyncDelay)
 	l.durable = l.nextLSN - 1
 	l.stats.Flushes++
+	l.mFsync.Inc()
+	l.env.Trace("wal", "fsync", "", int64(l.durable))
 }
 
 // Pin prevents reclamation of the log at or beyond lsn; the returned
@@ -268,6 +298,7 @@ func (l *Log) Reclaim(upto uint64) Hint {
 	if min, ok := l.minPinned(); ok && min < upto {
 		upto = min
 		l.stats.PinsBlocked++
+		l.mPinBlocked.Inc()
 	}
 	i := 0
 	for i < len(l.positions) && l.positions[i].lsn < upto {
@@ -298,6 +329,12 @@ func (l *Log) Hint() Hint {
 // order. The scan stops at the first record that fails validation (torn
 // write, stale data, or wrap past the end of the log).
 func Recover(env *sim.Env, f stor.File, hint Hint) []Record {
+	var mReplay *metrics.Counter
+	if env.Metrics != nil {
+		mReplay = env.Metrics.Counter("wal.replay.records")
+	} else {
+		mReplay = &metrics.Counter{}
+	}
 	capacity := f.Capacity()
 	var out []Record
 	pos := hint.Offset
@@ -338,6 +375,7 @@ func Recover(env *sim.Env, f stor.File, hint Hint) []Record {
 				break // out-of-sequence: stale data from a prior lap
 			}
 			out = append(out, Record{LSN: lsn, Type: t, Payload: append([]byte{}, rec[headerSize:total-crcSize]...)})
+			mReplay.Inc()
 			want = lsn + 1
 		}
 		pos = (pos + total) % capacity
