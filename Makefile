@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test crashtest scrub bench-json
+.PHONY: check vet build test race crashtest scrub bench-json
 
-check: vet build test crashtest scrub bench-json
+check: vet build race crashtest scrub bench-json
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +16,13 @@ build:
 	$(GO) build ./...
 
 test:
+	$(GO) test ./...
+
+# The race-enabled suite is the one `make check` gates on: the
+# concurrent-mode stress tests (internal/betree/concurrent_test.go, the
+# parallel bench runner tests) are the repo's data-race canaries and are
+# only meaningful under the race detector.
+race:
 	$(GO) test -race ./...
 
 # Short crash sweep: prefix/torn/subset crash points on ext4, f2fs,

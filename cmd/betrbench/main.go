@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"betrfs/internal/bench"
 	"betrfs/internal/blockdev"
@@ -43,6 +44,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write a BENCH_<name>.json document")
 	outPath := flag.String("o", "", "path for the JSON document (implies -json)")
 	validate := flag.String("validate", "", "validate a BENCH_*.json document and exit")
+	parallel := flag.Int("parallel", 1, "run systems on N worker goroutines (cells stay identical; adds a parallel section to the JSON)")
+	clients := flag.Int("clients", 0, "run N concurrent client goroutines against one mount per system instead of the paper tables")
 	flag.Parse()
 
 	if *validate != "" {
@@ -69,9 +72,11 @@ func main() {
 		return out
 	}
 
-	opts := runOpts{json: *jsonOut, outPath: *outPath, scale: *scale}
+	opts := runOpts{json: *jsonOut, outPath: *outPath, scale: *scale, parallel: *parallel}
 	ok := true
 	switch {
+	case *clients > 0:
+		ok = runClients(pick([]string{"betrfs-v0.6"}), opts, *clients)
 	case *table == 1:
 		ok = runMicro(pick(bench.Systems), "table1", opts)
 	case *table == 2:
@@ -92,9 +97,10 @@ func main() {
 }
 
 type runOpts struct {
-	json    bool
-	outPath string
-	scale   int64
+	json     bool
+	outPath  string
+	scale    int64
+	parallel int
 }
 
 func (o runOpts) jsonPath(name string) string {
@@ -130,22 +136,40 @@ func runMicro(systems []string, name string, o runOpts) bool {
 	fmt.Printf("microbenchmarks at scale 1/%d (paper: Table 1/3)\n\n", o.scale)
 	var rows []bench.MicroResults
 	var snaps []metrics.Snapshot
+	var info *bench.ParallelInfo
 	ok := true
-	for _, s := range systems {
-		fmt.Fprintf(os.Stderr, "running %s...\n", s)
-		err := runSystem(s, func() {
-			r, snap := bench.RunMicroCollect(s, o.scale)
-			rows = append(rows, r)
-			snaps = append(snaps, snap)
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "betrbench: %v\n", err)
-			ok = false
+	if o.parallel > 1 {
+		var allRows []bench.MicroResults
+		var allSnaps []metrics.Snapshot
+		allRows, allSnaps, info = bench.RunMicroParallel(systems, o.scale, o.parallel)
+		for i, st := range info.Statuses {
+			if st.OK {
+				rows = append(rows, allRows[i])
+				snaps = append(snaps, allSnaps[i])
+			} else {
+				fmt.Fprintf(os.Stderr, "betrbench: %s\n", st.Err)
+				ok = false
+			}
+		}
+	} else {
+		for _, s := range systems {
+			fmt.Fprintf(os.Stderr, "running %s...\n", s)
+			err := runSystem(s, func() {
+				r, snap := bench.RunMicroCollect(s, o.scale)
+				rows = append(rows, r)
+				snaps = append(snaps, snap)
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "betrbench: %v\n", err)
+				ok = false
+			}
 		}
 	}
 	bench.WriteMicroTable(os.Stdout, rows)
 	if o.json && len(rows) > 0 {
-		ok = writeDoc(bench.MicroDoc(name, o.scale, rows, snaps), o.jsonPath(name)) && ok
+		d := bench.MicroDoc(name, o.scale, rows, snaps)
+		d.Parallel = info
+		ok = writeDoc(d, o.jsonPath(name)) && ok
 	}
 	return ok
 }
@@ -154,22 +178,63 @@ func runApps(systems []string, name string, o runOpts) bool {
 	fmt.Printf("application benchmarks at scale 1/%d (paper: Figure 2)\n\n", o.scale)
 	var rows []bench.AppResults
 	var snaps []metrics.Snapshot
+	var info *bench.ParallelInfo
 	ok := true
-	for _, s := range systems {
-		fmt.Fprintf(os.Stderr, "running %s...\n", s)
-		err := runSystem(s, func() {
-			r, snap := bench.RunAppsCollect(s, o.scale)
-			rows = append(rows, r)
-			snaps = append(snaps, snap)
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "betrbench: %v\n", err)
-			ok = false
+	if o.parallel > 1 {
+		var allRows []bench.AppResults
+		var allSnaps []metrics.Snapshot
+		allRows, allSnaps, info = bench.RunAppsParallel(systems, o.scale, o.parallel)
+		for i, st := range info.Statuses {
+			if st.OK {
+				rows = append(rows, allRows[i])
+				snaps = append(snaps, allSnaps[i])
+			} else {
+				fmt.Fprintf(os.Stderr, "betrbench: %s\n", st.Err)
+				ok = false
+			}
+		}
+	} else {
+		for _, s := range systems {
+			fmt.Fprintf(os.Stderr, "running %s...\n", s)
+			err := runSystem(s, func() {
+				r, snap := bench.RunAppsCollect(s, o.scale)
+				rows = append(rows, r)
+				snaps = append(snaps, snap)
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "betrbench: %v\n", err)
+				ok = false
+			}
 		}
 	}
 	bench.WriteAppTable(os.Stdout, rows)
 	if o.json && len(rows) > 0 {
-		ok = writeDoc(bench.AppDoc(name, o.scale, rows, snaps), o.jsonPath(name)) && ok
+		d := bench.AppDoc(name, o.scale, rows, snaps)
+		d.Parallel = info
+		ok = writeDoc(d, o.jsonPath(name)) && ok
+	}
+	return ok
+}
+
+// runClients drives the multi-client smoke mode: N goroutines sharing one
+// mount per system, with the betrfs background flusher pool active.
+func runClients(systems []string, o runOpts, clients int) bool {
+	workers := o.parallel
+	if workers < 2 {
+		workers = 2
+	}
+	fmt.Printf("multi-client mode: %d clients, %d pool workers, scale 1/%d\n\n", clients, workers, o.scale)
+	fmt.Printf("%-14s %8s %10s %12s %12s %10s\n", "System", "Clients", "Ops", "SimTime", "WallTime", "kop/s(sim)")
+	ok := true
+	for _, s := range systems {
+		r := bench.RunClients(s, o.scale, clients, workers)
+		fmt.Printf("%-14s %8d %10d %12s %12s %10.1f\n",
+			r.System, r.Clients, r.Ops, r.SimTime.Truncate(time.Microsecond),
+			r.WallTime.Truncate(time.Microsecond), r.KOpsPerSimSec())
+		for _, e := range r.Errors {
+			fmt.Fprintf(os.Stderr, "betrbench: %s: %s\n", s, e)
+			ok = false
+		}
 	}
 	return ok
 }

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Multi-client mode: N client goroutines share ONE mount (betrbench
+// -clients). The VFS serializes public entry points behind the mount big
+// lock while the betrfs store's background flusher pool overlaps message
+// flushing and dirty-node writeback with foreground operations — the
+// concurrency split DESIGN.md §9 describes. Because goroutine
+// interleaving is charge-visible (cache and clock state evolve in arrival
+// order), multi-client results are throughput-style numbers, not golden
+// cells; determinism is only guaranteed by the single-client path.
+
+// ClientsResult is the outcome of one multi-client run.
+type ClientsResult struct {
+	System   string
+	Clients  int
+	Workers  int
+	Ops      int64         // completed client operations
+	SimTime  time.Duration // simulated time consumed by the whole run
+	WallTime time.Duration // host wall-clock time
+	Errors   []string      // per-client failures (empty on success)
+}
+
+// KOpsPerSimSec reports simulated throughput.
+func (r ClientsResult) KOpsPerSimSec() float64 {
+	if r.SimTime <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.SimTime.Seconds() / 1000
+}
+
+// RunClients drives `clients` goroutines against a single shared mount of
+// the named system, each working under its own directory: create files,
+// write, fsync a fraction, read back, stat, and list. The per-client op
+// count scales with 1/scale like the other benchmarks.
+func RunClients(system string, scale int64, clients, workers int) ClientsResult {
+	if clients < 1 {
+		clients = 1
+	}
+	in := BuildConcurrent(system, scale, workers)
+	filesPerClient := int(20_000 / scale)
+	if filesPerClient < 50 {
+		filesPerClient = 50
+	}
+	var ops atomic.Int64
+	errs := make([]string, clients)
+	start := in.Env.Now()
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[c] = fmt.Sprintf("client %d: panic: %v", c, r)
+				}
+			}()
+			dir := fmt.Sprintf("client%03d", c)
+			if err := in.Mount.MkdirAll(dir); err != nil {
+				errs[c] = fmt.Sprintf("client %d: mkdir: %v", c, err)
+				return
+			}
+			ops.Add(1)
+			buf := make([]byte, 4096)
+			for i := 0; i < filesPerClient; i++ {
+				path := fmt.Sprintf("%s/f%05d", dir, i)
+				f, err := in.Mount.Create(path)
+				if err != nil {
+					errs[c] = fmt.Sprintf("client %d: create %s: %v", c, path, err)
+					return
+				}
+				f.Write(buf)
+				if i%32 == 0 {
+					f.Fsync()
+				}
+				f.Close()
+				ops.Add(2)
+			}
+			for i := 0; i < filesPerClient; i += 4 {
+				path := fmt.Sprintf("%s/f%05d", dir, i)
+				f, err := in.Mount.Open(path)
+				if err != nil {
+					errs[c] = fmt.Sprintf("client %d: open %s: %v", c, path, err)
+					return
+				}
+				f.Read(buf)
+				f.Close()
+				if _, err := in.Mount.Stat(path); err != nil {
+					errs[c] = fmt.Sprintf("client %d: stat %s: %v", c, path, err)
+					return
+				}
+				ops.Add(2)
+			}
+			if _, err := in.Mount.ReadDir(dir); err != nil {
+				errs[c] = fmt.Sprintf("client %d: readdir: %v", c, err)
+				return
+			}
+			ops.Add(1)
+		}(c)
+	}
+	wg.Wait()
+	in.Mount.Sync()
+	out := ClientsResult{
+		System:   system,
+		Clients:  clients,
+		Workers:  workers,
+		Ops:      ops.Load(),
+		SimTime:  in.Env.Now() - start,
+		WallTime: time.Since(wallStart),
+	}
+	for _, e := range errs {
+		if e != "" {
+			out.Errors = append(out.Errors, e)
+		}
+	}
+	return out
+}

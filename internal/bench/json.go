@@ -29,6 +29,12 @@ type Doc struct {
 	Scale         int64          `json:"scale"`
 	Columns       []ColumnMeta   `json:"columns"`
 	Systems       []SystemResult `json:"systems"`
+	// Parallel is present when the run used the parallel system runner
+	// (betrbench -parallel): worker count, per-system exit status, and
+	// the runner's bench.parallel.* counters. Optional and additive, so
+	// SchemaVersion stays at 1; sequential runs omit it and their
+	// documents are byte-identical to pre-parallel output.
+	Parallel *ParallelInfo `json:"parallel,omitempty"`
 }
 
 // ColumnMeta describes one benchmark column.
@@ -179,6 +185,30 @@ func Validate(data []byte) (*Doc, error) {
 		}
 		if len(s.Metrics.Counters) == 0 {
 			return nil, fmt.Errorf("bench json: system %q has an empty metric snapshot", s.System)
+		}
+	}
+	if p := d.Parallel; p != nil {
+		if p.Workers < 1 {
+			return nil, fmt.Errorf("bench json: parallel.workers %d < 1", p.Workers)
+		}
+		// A failed system carries a status but no result row, so the OK
+		// statuses must match d.Systems in order and the failed ones must
+		// explain themselves.
+		var okStatuses []string
+		for _, st := range p.Statuses {
+			if st.OK {
+				okStatuses = append(okStatuses, st.System)
+			} else if st.Err == "" {
+				return nil, fmt.Errorf("bench json: failed system %q missing error text", st.System)
+			}
+		}
+		if len(okStatuses) != len(d.Systems) {
+			return nil, fmt.Errorf("bench json: %d ok parallel statuses, want %d (one per system row)", len(okStatuses), len(d.Systems))
+		}
+		for i, name := range okStatuses {
+			if name != d.Systems[i].System {
+				return nil, fmt.Errorf("bench json: parallel status %d for %q, want %q", i, name, d.Systems[i].System)
+			}
 		}
 	}
 	remarshaled, err := d.Marshal()

@@ -46,7 +46,30 @@ type Instance struct {
 // are the Systems and Ladder entries plus "betrfs-v0.6-hdd" and
 // "ext4-hdd" for the HDD ablation.
 func Build(name string, scale int64) *Instance {
+	return buildWith(name, scale, 0)
+}
+
+// BuildConcurrent is Build with the concurrency layer switched on: the
+// VFS mount takes its client big lock, a betrfs tree store runs its
+// reader/writer locking protocol, and the sim worker pool gets `workers`
+// background goroutines for flushing and writeback. Results are not
+// deterministic run-to-run (goroutine interleaving is charge-visible), so
+// golden comparisons must use Build.
+func BuildConcurrent(name string, scale int64, workers int) *Instance {
+	if workers < 1 {
+		workers = 1
+	}
+	return buildWith(name, scale, workers)
+}
+
+// buildWith constructs the system; workers == 0 means the deterministic
+// single-goroutine configuration, workers >= 1 the concurrent one.
+func buildWith(name string, scale int64, workers int) *Instance {
 	env := sim.NewEnv(1)
+	concurrent := workers > 0
+	if concurrent {
+		env.Pool.SetWorkers(workers)
+	}
 	profile := blockdev.SamsungEVO860()
 	if name == "betrfs-v0.6-hdd" || name == "ext4-hdd" {
 		profile = blockdev.ToshibaDT01()
@@ -56,6 +79,7 @@ func Build(name string, scale int64) *Instance {
 	ramBytes := (32 << 30) / scale // the testbed's 32 GB, scaled
 	vcfg := vfs.DefaultConfig()
 	vcfg.CacheBytes = ramBytes
+	vcfg.Concurrent = concurrent
 
 	var fs vfs.FS
 	switch name {
@@ -70,7 +94,7 @@ func Build(name string, scale int64) *Instance {
 	case "zfs":
 		fs = cowfs.New(env, dev, cowfs.ZFSProfile())
 	default:
-		fs = buildBetrFS(env, dev, name, ramBytes)
+		fs = buildBetrFS(env, dev, name, ramBytes, concurrent)
 		// BetrFS splits RAM between the node cache and the page cache.
 		vcfg.CacheBytes = ramBytes / 2
 	}
@@ -131,9 +155,10 @@ func ladderConfig(name string) (cfg betrfs.Config, useSFL bool) {
 	return cfg, useSFL
 }
 
-func buildBetrFS(env *sim.Env, dev *blockdev.Dev, name string, ramBytes int64) vfs.FS {
+func buildBetrFS(env *sim.Env, dev *blockdev.Dev, name string, ramBytes int64, concurrent bool) vfs.FS {
 	cfg, useSFL := ladderConfig(name)
 	cfg.Tree.CacheBytes = ramBytes / 2
+	cfg.Tree.Concurrent = concurrent
 	alloc := kmem.New(env, cfg.CooperativeMem)
 	var fs *betrfs.FS
 	var err error

@@ -92,7 +92,7 @@ func TestManyInsertsAcrossSplits(t *testing.T) {
 		}
 	}
 	// Root must no longer be a leaf.
-	root, _ := s.cache.get(tr, tr.rootID)
+	root, _ := s.cache.lookup(tr, tr.rootID, false)
 	if root != nil && root.isLeaf() {
 		t.Fatal("tree never split with 5000 x 64B inserts and 64KiB nodes")
 	}

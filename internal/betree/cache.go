@@ -2,6 +2,7 @@ package betree
 
 import (
 	"container/list"
+	"sync"
 
 	"betrfs/internal/metrics"
 )
@@ -13,21 +14,48 @@ type cacheKey struct {
 }
 
 // nodeCache is the cachetable: an LRU of decoded nodes shared by the
-// metadata and data trees, bounded by a byte budget. Dirty nodes are
-// written back (copy-on-write) on eviction; clean nodes are dropped.
+// metadata and data trees, bounded by a byte budget.
+//
+// The cache is split into power-of-two lock-striped shards, each with its
+// own mutex, LRU list, and slice of the byte budget, so concurrent readers
+// on different nodes never contend on one lock (DESIGN.md §9). A
+// deterministic single-goroutine store uses exactly one shard, which makes
+// the eviction order — and therefore every golden benchmark number —
+// identical to the historical single-LRU implementation.
+//
+// Dirty-node writeback on eviction has two policies:
+//   - inline (deterministic mode): the evicting caller writes the node
+//     back synchronously via writeNode, exactly as before;
+//   - deferred (concurrent mode): dirty nodes are never evicted by
+//     readers — they are skipped like pinned nodes and onDirtyPressure is
+//     invoked so the store can schedule a background writeback on the
+//     flusher pool. Readers therefore never touch the block table or the
+//     write path, which keeps the lock protocol small.
 type nodeCache struct {
+	shards []*cacheShard
+	mask   uint64
+
+	// writeNode is provided by the Store (inline writeback).
+	writeNode func(t *Tree, n *node)
+	// deferDirty selects the deferred policy; onDirtyPressure (may be
+	// nil) is called, outside the shard lock, after an eviction sweep
+	// skipped at least one dirty node.
+	deferDirty      bool
+	onDirtyPressure func()
+
+	// Registry counters, set by Store.Open right after construction.
+	mHit, mMiss, mEvict, mEvictDirty, mDeferred *metrics.Counter
+}
+
+// cacheShard is one lock stripe: a fraction of the budget with its own LRU.
+type cacheShard struct {
+	mu      sync.Mutex
 	budget  int64
 	used    int64
 	lru     *list.List // front = most recently used
 	entries map[cacheKey]*list.Element
 
-	// writeNode is provided by the Store.
-	writeNode func(t *Tree, n *node)
-
 	hits, misses, evictions, dirtyEvictions int64
-
-	// Registry counters, set by Store.Open right after construction.
-	mHit, mMiss, mEvict, mEvictDirty *metrics.Counter
 }
 
 type cacheEntry struct {
@@ -35,116 +63,212 @@ type cacheEntry struct {
 	node *node
 }
 
-func newNodeCache(budget int64, writeNode func(*Tree, *node)) *nodeCache {
+// newNodeCache builds a cache with the given total budget split over
+// shards lock stripes (rounded up to a power of two; values below two
+// collapse to the deterministic single-shard layout).
+func newNodeCache(budget int64, shards int, writeNode func(*Tree, *node)) *nodeCache {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
 	zero := &metrics.Counter{}
-	return &nodeCache{
-		budget:      budget,
-		lru:         list.New(),
-		entries:     make(map[cacheKey]*list.Element),
+	c := &nodeCache{
+		shards:      make([]*cacheShard, n),
+		mask:        uint64(n - 1),
 		writeNode:   writeNode,
 		mHit:        zero,
 		mMiss:       zero,
 		mEvict:      zero,
 		mEvictDirty: zero,
+		mDeferred:   zero,
 	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			budget:  budget / int64(n),
+			lru:     list.New(),
+			entries: make(map[cacheKey]*list.Element),
+		}
+	}
+	return c
 }
 
-// get returns the cached node and pins it hot in the LRU.
-func (c *nodeCache) get(t *Tree, id nodeID) (*node, bool) {
-	el, ok := c.entries[cacheKey{t, id}]
+// shardFor routes a key to its stripe by hashing the node ID and a
+// per-tree salt (trees sharing the cache must not collide per-ID).
+func (c *nodeCache) shardFor(t *Tree, id nodeID) *cacheShard {
+	h := (uint64(id)*0x9e3779b97f4a7c15 ^ t.cacheSalt) >> 16
+	return c.shards[h&c.mask]
+}
+
+// lookup returns the cached node, counting the hit or miss and refreshing
+// LRU position. With pin set the node is pinned under the shard lock, so
+// no eviction can slip between lookup and pin (the historical get-then-pin
+// race).
+func (c *nodeCache) lookup(t *Tree, id nodeID, pin bool) (*node, bool) {
+	sh := c.shardFor(t, id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[cacheKey{t, id}]
 	if !ok {
-		c.misses++
+		sh.misses++
 		c.mMiss.Inc()
 		return nil, false
 	}
-	c.hits++
+	sh.hits++
 	c.mHit.Inc()
-	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).node, true
+	sh.lru.MoveToFront(el)
+	n := el.Value.(*cacheEntry).node
+	if pin {
+		n.pins.Add(1)
+	}
+	return n, true
 }
 
-// put inserts a node, evicting as needed to stay within budget.
+// insertPinned adds a freshly read node that the caller has already
+// pinned. If another goroutine cached the same node first (a concurrent
+// read miss), the existing node wins: it is pinned and returned, and the
+// caller's duplicate is discarded.
+func (c *nodeCache) insertPinned(t *Tree, n *node) *node {
+	key := cacheKey{t, n.id}
+	sh := c.shardFor(t, n.id)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		won := el.Value.(*cacheEntry).node
+		won.pins.Add(1)
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		n.releaseRefs()
+		return won
+	}
+	el := sh.lru.PushFront(&cacheEntry{key: key, node: n})
+	sh.entries[key] = el
+	sh.used += int64(n.computeMemSize())
+	pressure := c.evictShard(sh, sh.budget)
+	sh.mu.Unlock()
+	c.dirtyPressure(pressure)
+	return n
+}
+
+// put inserts (or replaces) a node, evicting as needed to stay within the
+// shard's budget. Used by structural code paths that manage pins
+// themselves; concurrent read misses use insertPinned.
 func (c *nodeCache) put(t *Tree, n *node) {
 	key := cacheKey{t, n.id}
-	if el, ok := c.entries[key]; ok {
+	sh := c.shardFor(t, n.id)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
 		old := el.Value.(*cacheEntry)
-		c.used -= int64(old.node.memSize)
+		sh.used -= int64(old.node.memSize)
 		old.node = n
-		c.used += int64(n.computeMemSize())
-		c.lru.MoveToFront(el)
-		c.evictTo(c.budget)
+		sh.used += int64(n.computeMemSize())
+		sh.lru.MoveToFront(el)
+		pressure := c.evictShard(sh, sh.budget)
+		sh.mu.Unlock()
+		c.dirtyPressure(pressure)
 		return
 	}
-	el := c.lru.PushFront(&cacheEntry{key: key, node: n})
-	c.entries[key] = el
-	c.used += int64(n.computeMemSize())
-	c.evictTo(c.budget)
+	el := sh.lru.PushFront(&cacheEntry{key: key, node: n})
+	sh.entries[key] = el
+	sh.used += int64(n.computeMemSize())
+	pressure := c.evictShard(sh, sh.budget)
+	sh.mu.Unlock()
+	c.dirtyPressure(pressure)
 }
 
 // resize recomputes a node's footprint after mutation.
 func (c *nodeCache) resize(t *Tree, n *node) {
-	if el, ok := c.entries[cacheKey{t, n.id}]; ok {
-		c.used -= int64(n.memSize)
-		c.used += int64(n.computeMemSize())
-		_ = el
+	sh := c.shardFor(t, n.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[cacheKey{t, n.id}]; ok {
+		sh.used -= int64(n.memSize)
+		sh.used += int64(n.computeMemSize())
 	}
 }
 
 // remove drops a node without writeback (deleted by merges).
 func (c *nodeCache) remove(t *Tree, id nodeID) {
+	sh := c.shardFor(t, id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	key := cacheKey{t, id}
-	if el, ok := c.entries[key]; ok {
+	if el, ok := sh.entries[key]; ok {
 		ce := el.Value.(*cacheEntry)
-		c.used -= int64(ce.node.memSize)
+		sh.used -= int64(ce.node.memSize)
 		ce.node.releaseRefs()
-		c.lru.Remove(el)
-		delete(c.entries, key)
+		sh.lru.Remove(el)
+		delete(sh.entries, key)
 	}
 }
 
-// evictTo evicts cold, unpinned nodes until used <= target.
-func (c *nodeCache) evictTo(target int64) {
-	el := c.lru.Back()
-	for el != nil && c.used > target {
+// evictShard evicts cold, unpinned nodes until used <= target, with the
+// shard lock held. Returns whether a dirty node was skipped under the
+// deferred policy (the caller reports pressure outside the lock).
+func (c *nodeCache) evictShard(sh *cacheShard, target int64) (dirtySkipped bool) {
+	el := sh.lru.Back()
+	for el != nil && sh.used > target {
 		prev := el.Prev()
 		ce := el.Value.(*cacheEntry)
-		if ce.node.pins > 0 {
+		if ce.node.pins.Load() > 0 {
 			el = prev
 			continue
 		}
-		if ce.node.dirty {
-			c.dirtyEvictions++
+		if ce.node.dirty.Load() {
+			if c.deferDirty {
+				// Readers never write back: leave the node cached (over
+				// budget) and let the flusher clean it.
+				c.mDeferred.Inc()
+				dirtySkipped = true
+				el = prev
+				continue
+			}
+			sh.dirtyEvictions++
 			c.mEvictDirty.Inc()
 			c.writeNode(ce.key.tree, ce.node)
 		}
-		c.evictions++
+		sh.evictions++
 		c.mEvict.Inc()
-		c.used -= int64(ce.node.memSize)
+		sh.used -= int64(ce.node.memSize)
 		ce.node.releaseRefs()
-		c.lru.Remove(el)
-		delete(c.entries, ce.key)
+		sh.lru.Remove(el)
+		delete(sh.entries, ce.key)
 		el = prev
+	}
+	return dirtySkipped
+}
+
+func (c *nodeCache) dirtyPressure(pressure bool) {
+	if pressure && c.onDirtyPressure != nil {
+		c.onDirtyPressure()
 	}
 }
 
-// dirtyNodes returns all dirty cached nodes of tree t (checkpoint sweep).
+// dirtyNodes returns all dirty cached nodes of tree t (checkpoint sweep),
+// shard by shard in LRU order.
 func (c *nodeCache) dirtyNodes(t *Tree) []*node {
 	var out []*node
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		ce := el.Value.(*cacheEntry)
-		if ce.key.tree == t && ce.node.dirty {
-			out = append(out, ce.node)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			ce := el.Value.(*cacheEntry)
+			if ce.key.tree == t && ce.node.dirty.Load() {
+				out = append(out, ce.node)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // dropAll empties the cache without writeback (crash simulation).
 func (c *nodeCache) dropAll() {
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		el.Value.(*cacheEntry).node.releaseRefs()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			el.Value.(*cacheEntry).node.releaseRefs()
+		}
+		sh.lru.Init()
+		sh.entries = make(map[cacheKey]*list.Element)
+		sh.used = 0
+		sh.mu.Unlock()
 	}
-	c.lru.Init()
-	c.entries = make(map[cacheKey]*list.Element)
-	c.used = 0
 }

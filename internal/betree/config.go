@@ -47,6 +47,22 @@ type Config struct {
 	// delay I/Os for little benefit on an SSD (§2.2), so it defaults
 	// off and exists for the ablation.
 	Compression bool
+
+	// Concurrent enables the reader/writer locking protocol of
+	// DESIGN.md §9: point queries and scans run concurrently with
+	// injects, readers defer dirty writeback to the background flusher,
+	// and the node cache uses CacheShards lock stripes. Off (the
+	// default), the store assumes single-goroutine use and keeps the
+	// historical deterministic behaviour bit-for-bit, which is what the
+	// golden benchmark cells are pinned against. Concurrent mode
+	// requires LegacyApplyOnQuery to be off for shared-mode reads; with
+	// the v0.4 policy reads serialize (they restructure the tree).
+	Concurrent bool
+	// CacheShards is the number of lock-striped node-cache shards,
+	// rounded up to a power of two. Zero selects one shard when
+	// Concurrent is off (preserving the historical global LRU eviction
+	// order) and eight when it is on.
+	CacheShards int
 }
 
 // DefaultConfig returns the BetrFS v0.6 tree configuration.

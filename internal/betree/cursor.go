@@ -2,6 +2,7 @@ package betree
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"betrfs/internal/keys"
 )
@@ -18,8 +19,15 @@ import (
 // serves range queries from a consistent view while leaving the on-disk
 // tree untouched (§2.1, §4). With read-ahead enabled, the next leaf is
 // prefetched while the current one is consumed (§3.2).
+//
+// Concurrency: each leaf is visited under the shared structure lock with
+// the root-to-leaf path latched (interior nodes shared, the leaf
+// exclusive, since materialization mutates basements); the lock is
+// released between leaves so injects and flushes can interleave with a
+// long scan. fn runs with those latches held and therefore must not
+// re-enter the tree (Get/Put/Scan on the same store would self-deadlock).
 func (t *Tree) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
-	t.stats.Scans++
+	atomic.AddInt64(&t.stats.Scans, 1)
 	s := t.store
 	s.m.queryScan.Inc()
 	cursor := lo
@@ -47,15 +55,28 @@ func (t *Tree) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
 // should continue.
 func (t *Tree) scanLeaf(cursor, hi []byte, fn func(k, v []byte) bool) ([]byte, bool, error) {
 	s := t.store
+	s.lockShared()
+	defer s.unlockShared()
 	var path []pathEl
 	var llo, lhi []byte
 	n, err := t.fetch(t.rootID, nil)
 	if err != nil {
 		return nil, false, err
 	}
+	if n.isLeaf() {
+		s.latchExcl(n)
+	} else {
+		s.latchShared(n)
+	}
 	defer func() {
 		for _, pe := range path {
+			s.unlatchShared(pe.n)
 			t.unpin(pe.n)
+		}
+		if n.isLeaf() {
+			s.unlatchExcl(n)
+		} else {
+			s.unlatchShared(n)
 		}
 		t.unpin(n)
 	}()
@@ -64,6 +85,11 @@ func (t *Tree) scanLeaf(cursor, hi []byte, fn func(k, v []byte) bool) ([]byte, b
 		child, err := t.fetch(n.children[ci], nil)
 		if err != nil {
 			return nil, false, err
+		}
+		if child.isLeaf() {
+			s.latchExcl(child)
+		} else {
+			s.latchShared(child)
 		}
 		llo, lhi = n.childRange(ci, llo, lhi)
 		path = append(path, pathEl{n, ci})

@@ -2,6 +2,8 @@ package betree
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"betrfs/internal/keys"
 	"betrfs/internal/sim"
@@ -74,7 +76,18 @@ func (b *basement) find(env *sim.Env, key []byte) (int, bool) {
 type node struct {
 	id     nodeID
 	height int // 0 = leaf
-	dirty  bool
+	// dirty is read by cache eviction sweeps concurrently with writers
+	// marking the node, hence atomic.
+	dirty atomic.Bool
+
+	// latch is the per-node reader/writer lock (DESIGN.md §9): descent
+	// takes it shared hand-over-hand; buffer appends and leaf mutation
+	// (basement loads, apply-on-query, scan materialization) take it
+	// exclusive. Structural operations (flush, split, checkpoint) run
+	// under the store's exclusive structure lock instead and do not
+	// latch. pivots, children, and height only change under that
+	// structure lock, so descent may read them with just the latch.
+	latch sync.RWMutex
 
 	// Interior state: child i covers keys < pivots[i] (and >= pivots[i-1]).
 	pivots   [][]byte
@@ -88,8 +101,9 @@ type node struct {
 	// partial loads need it to resolve aligned value offsets.
 	pageBase int
 
-	// Cache bookkeeping.
-	pins    int
+	// Cache bookkeeping. pins is atomic: fetch pins under the cache
+	// shard lock, but unpin is lock-free.
+	pins    atomic.Int32
 	memSize int
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"betrfs/internal/kmem"
@@ -22,7 +24,9 @@ type Backend interface {
 	File(name string) stor.File
 }
 
-// StoreStats aggregates store-level counters.
+// StoreStats aggregates store-level counters. Fields are updated with
+// atomic adds; read them only after the operations of interest have
+// quiesced.
 type StoreStats struct {
 	NodesWritten   int64
 	NodesRead      int64
@@ -75,6 +79,30 @@ type Store struct {
 
 	stats StoreStats
 	m     storeMetrics
+
+	// --- concurrency state (DESIGN.md §9) -------------------------------
+	//
+	// concurrent mirrors cfg.Concurrent. When false — the deterministic
+	// single-goroutine mode every golden benchmark runs in — none of the
+	// locks below is ever touched: the gated helpers (lockShared etc.)
+	// return immediately, so the deterministic execution is the
+	// historical lock-free code path, instruction for instruction.
+	concurrent bool
+	// treeMu is the structure lock: held shared by queries and scans,
+	// exclusively by root flushes, splits, checkpoints, and background
+	// writeback. Structural tree state (rootID, pivots/children arrays,
+	// the block tables, inflight) changes only under the exclusive mode.
+	treeMu sync.RWMutex
+	// writerMu serializes mutators end-to-end across log append, MSN
+	// assignment, and tree insertion, so WAL order, MSN order, and
+	// arrival order at every buffer agree (see Tree.logAndInsert).
+	// Lock order: writerMu before treeMu.
+	writerMu sync.Mutex
+	// pendingMu guards the pending prefetch map. Leaf-rank in the lock
+	// order: nothing else is acquired while it is held.
+	pendingMu sync.Mutex
+	// wbQueued dedups background writeback requests.
+	wbQueued atomic.Bool
 }
 
 // storeMetrics holds the store's registry instruments, resolved once at
@@ -100,6 +128,13 @@ type storeMetrics struct {
 	internalSplit *metrics.Counter
 	queryGet      *metrics.Counter
 	queryScan     *metrics.Counter
+
+	lockStoreShared *metrics.Counter
+	lockStoreExcl   *metrics.Counter
+	lockNodeShared  *metrics.Counter
+	lockNodeExcl    *metrics.Counter
+	wbBackground    *metrics.Counter
+	flushBackground *metrics.Counter
 }
 
 func resolveStoreMetrics(reg *metrics.Registry) storeMetrics {
@@ -127,7 +162,105 @@ func resolveStoreMetrics(reg *metrics.Registry) storeMetrics {
 		internalSplit: reg.Counter("betree.internal.split"),
 		queryGet:      reg.Counter("betree.query.get"),
 		queryScan:     reg.Counter("betree.query.scan"),
+
+		lockStoreShared: reg.Counter("betree.lock.store.shared"),
+		lockStoreExcl:   reg.Counter("betree.lock.store.excl"),
+		lockNodeShared:  reg.Counter("betree.lock.node.shared"),
+		lockNodeExcl:    reg.Counter("betree.lock.node.excl"),
+		wbBackground:    reg.Counter("flusher.writeback.bg"),
+		flushBackground: reg.Counter("flusher.flush.bg"),
 	}
+}
+
+// --- locking protocol -------------------------------------------------------
+//
+// Every lock operation in the betree package funnels through the gated
+// helpers below. In deterministic mode (cfg.Concurrent off) they are
+// no-ops, so single-goroutine runs take zero locks and match the
+// historical execution exactly. The betree.lock.* counters therefore read
+// zero in deterministic mode and count acquisitions in concurrent mode.
+
+// lockShared takes the structure lock shared (queries, scans).
+func (s *Store) lockShared() {
+	if !s.concurrent {
+		return
+	}
+	s.treeMu.RLock()
+	s.m.lockStoreShared.Inc()
+}
+
+func (s *Store) unlockShared() {
+	if !s.concurrent {
+		return
+	}
+	s.treeMu.RUnlock()
+}
+
+// lockExcl takes the structure lock exclusively (flush, split,
+// checkpoint, writeback). Background pool tasks must use tryLockExcl
+// instead: a task blocking here could deadlock a checkpoint that drains
+// the pool while holding the lock.
+func (s *Store) lockExcl() {
+	if !s.concurrent {
+		return
+	}
+	s.treeMu.Lock()
+	s.m.lockStoreExcl.Inc()
+}
+
+// tryLockExcl is the non-blocking lockExcl for pool tasks; the work is
+// re-triggerable, so a failed acquisition just drops it.
+func (s *Store) tryLockExcl() bool {
+	if !s.concurrent {
+		return true
+	}
+	if !s.treeMu.TryLock() {
+		return false
+	}
+	s.m.lockStoreExcl.Inc()
+	return true
+}
+
+func (s *Store) unlockExcl() {
+	if !s.concurrent {
+		return
+	}
+	s.treeMu.Unlock()
+}
+
+// latchShared read-latches one node (descent through interior nodes).
+// Latches are acquired strictly top-down and only while the structure
+// lock is held, shared or exclusive.
+func (s *Store) latchShared(n *node) {
+	if !s.concurrent {
+		return
+	}
+	n.latch.RLock()
+	s.m.lockNodeShared.Inc()
+}
+
+func (s *Store) unlatchShared(n *node) {
+	if !s.concurrent {
+		return
+	}
+	n.latch.RUnlock()
+}
+
+// latchExcl write-latches one node (buffer appends at the root, leaf
+// mutation by queries and scans).
+func (s *Store) latchExcl(n *node) {
+	if !s.concurrent {
+		return
+	}
+	n.latch.Lock()
+	s.m.lockNodeExcl.Inc()
+}
+
+func (s *Store) unlatchExcl(n *node) {
+	if !s.concurrent {
+		return
+	}
+	n.latch.Unlock()
 }
 
 type pendingRead struct {
@@ -151,11 +284,22 @@ func Open(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend Backend) (*St
 		reg = metrics.NewRegistry()
 	}
 	s.m = resolveStoreMetrics(reg)
-	s.cache = newNodeCache(cfg.CacheBytes, s.writeNode)
+	s.concurrent = cfg.Concurrent
+	shards := cfg.CacheShards
+	if shards <= 0 {
+		shards = 1
+		if cfg.Concurrent {
+			shards = 8
+		}
+	}
+	s.cache = newNodeCache(cfg.CacheBytes, shards, s.writeNode)
+	s.cache.deferDirty = cfg.Concurrent
+	s.cache.onDirtyPressure = s.requestBackgroundWriteback
 	s.cache.mHit = reg.Counter("betree.cache.hit")
 	s.cache.mMiss = reg.Counter("betree.cache.miss")
 	s.cache.mEvict = reg.Counter("betree.cache.evict")
 	s.cache.mEvictDirty = reg.Counter("betree.cache.evictdirty")
+	s.cache.mDeferred = reg.Counter("flusher.writeback.deferred")
 	s.meta = newTree(s, "meta", backend.File("meta"))
 	s.data = newTree(s, "data", backend.File("data"))
 
@@ -269,7 +413,9 @@ func (s *Store) logOp(t *Tree, m *Msg, withPayload bool) uint64 {
 		if s.OnLogPressure != nil {
 			s.OnLogPressure()
 		}
-		s.Checkpoint()
+		// checkpointLocked, not Checkpoint: in concurrent mode the caller
+		// already holds writerMu (logAndInsert / LogInsertOnly).
+		s.checkpointLocked()
 		lsn, err = s.log.Append(opRecord, rec)
 	}
 	if err != nil {
@@ -324,9 +470,27 @@ func (s *Store) replay(rec wal.Record) error {
 
 // --- node I/O -------------------------------------------------------------
 
+// nodeImage is a serialized node between the CPU half of a write
+// (prepareNodeImage) and the submission half (finishNodeWrite).
+type nodeImage struct {
+	buf  *kmem.Buf
+	data []byte
+}
+
 // writeNode serializes and writes a dirty node copy-on-write, charging the
-// allocator costs of assembling the serialization buffer.
+// allocator costs of assembling the serialization buffer. The two halves
+// are split so the checkpoint pipeline can fan serialization out across
+// the flusher pool while keeping block placement and write submission in
+// deterministic order on the coordinating goroutine (writeDirtyNodes).
 func (s *Store) writeNode(t *Tree, n *node) {
+	s.finishNodeWrite(t, n, s.prepareNodeImage(t, n))
+}
+
+// prepareNodeImage is the CPU half: allocate the serialization buffer,
+// serialize, compress. It touches no structural store state, so the
+// checkpoint pipeline may run several concurrently (the allocator and the
+// clock are both safe for concurrent use, and their charges commute).
+func (s *Store) prepareNodeImage(t *Tree, n *node) nodeImage {
 	// Serialization buffer life cycle: the legacy code path grows a
 	// buffer by doubling as it serializes (paying realloc copies); the
 	// cooperative path negotiates the final size up front (§5).
@@ -341,6 +505,14 @@ func (s *Store) writeNode(t *Tree, n *node) {
 	if s.cfg.Compression {
 		data = compressNode(s.env, data)
 	}
+	return nodeImage{buf: buf, data: data}
+}
+
+// finishNodeWrite is the submission half: place the image in the block
+// table and hand it to the device. It mutates structural state (block
+// table, inflight) and therefore runs under the exclusive structure lock.
+func (s *Store) finishNodeWrite(t *Tree, n *node, img nodeImage) {
+	data := img.data
 	ext, err := t.bt.allocate(int64(len(data)))
 	if err != nil {
 		panic(fmt.Sprintf("betree: %v", err))
@@ -351,10 +523,10 @@ func (s *Store) writeNode(t *Tree, n *node) {
 		s.inflight[0]()
 		s.inflight = s.inflight[1:]
 	}
-	s.alloc.FreeSized(buf)
-	n.dirty = false
-	s.stats.NodesWritten++
-	s.stats.BytesWritten += int64(len(data))
+	s.alloc.FreeSized(img.buf)
+	n.dirty.Store(false)
+	atomic.AddInt64(&s.stats.NodesWritten, 1)
+	atomic.AddInt64(&s.stats.BytesWritten, int64(len(data)))
 	s.m.nodeWrite.Inc()
 	s.m.bytesWritten.Add(int64(len(data)))
 	s.env.Trace("betree", "node.write", t.name, int64(len(data)))
@@ -374,11 +546,16 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 		return nil, fmt.Errorf("betree: %s node %d: %w", t.name, id, err)
 	}
 	key := cacheKey{t, id}
-	if pr, ok := s.pending[key]; ok {
-		// A prefetch is in flight: wait for it instead of re-reading.
+	s.pendingMu.Lock()
+	pr, havePending := s.pending[key]
+	if havePending {
 		delete(s.pending, key)
+	}
+	s.pendingMu.Unlock()
+	if havePending {
+		// A prefetch is in flight: wait for it instead of re-reading.
 		pr.wait()
-		s.stats.PrefetchHits++
+		atomic.AddInt64(&s.stats.PrefetchHits, 1)
 		s.m.prefetchHit.Inc()
 		raw, err := maybeDecompressNode(s.env, pr.data)
 		if err != nil {
@@ -388,8 +565,8 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 		if err != nil {
 			return fail(err)
 		}
-		s.stats.NodesRead++
-		s.stats.BytesRead += ext.len
+		atomic.AddInt64(&s.stats.NodesRead, 1)
+		atomic.AddInt64(&s.stats.BytesRead, ext.len)
 		s.m.nodeRead.Inc()
 		s.m.bytesRead.Add(ext.len)
 		return n, nil
@@ -417,8 +594,8 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 			if err != nil {
 				return fail(err)
 			}
-			s.stats.NodesRead++
-			s.stats.BytesRead += ext.len
+			atomic.AddInt64(&s.stats.NodesRead, 1)
+			atomic.AddInt64(&s.stats.BytesRead, ext.len)
 			s.m.nodeRead.Inc()
 			s.m.bytesRead.Add(ext.len)
 			return n, nil
@@ -427,9 +604,9 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 			basements, consumed, err := decodeLeafShell(hdr[:hlen])
 			if err == nil && consumed <= int(hlen) {
 				n := &node{id: id, height: 0, basements: basements, pageBase: pageBase(hdr)}
-				s.stats.NodesRead++
-				s.stats.PartialReads++
-				s.stats.BytesRead += hlen
+				atomic.AddInt64(&s.stats.NodesRead, 1)
+				atomic.AddInt64(&s.stats.PartialReads, 1)
+				atomic.AddInt64(&s.stats.BytesRead, hlen)
 				s.m.nodeRead.Inc()
 				s.m.nodePartial.Inc()
 				s.m.bytesRead.Add(hlen)
@@ -450,8 +627,8 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 		if err != nil {
 			return fail(err)
 		}
-		s.stats.NodesRead++
-		s.stats.BytesRead += ext.len
+		atomic.AddInt64(&s.stats.NodesRead, 1)
+		atomic.AddInt64(&s.stats.BytesRead, ext.len)
 		s.m.nodeRead.Inc()
 		s.m.bytesRead.Add(ext.len)
 		return n, nil
@@ -467,8 +644,8 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 	if err != nil {
 		return fail(err)
 	}
-	s.stats.NodesRead++
-	s.stats.BytesRead += ext.len
+	atomic.AddInt64(&s.stats.NodesRead, 1)
+	atomic.AddInt64(&s.stats.BytesRead, ext.len)
 	s.m.nodeRead.Inc()
 	s.m.bytesRead.Add(ext.len)
 	return n, nil
@@ -498,8 +675,8 @@ func (s *Store) loadBasement(t *Tree, n *node, ext extent, bi int) error {
 	if err := loadBasementFrom(s.env, img, b, n.pageBase); err != nil {
 		return fmt.Errorf("betree: %s node %d basement %d: %w", t.name, n.id, bi, err)
 	}
-	s.stats.BasementsRead++
-	s.stats.BytesRead += int64(b.diskLen + b.pageLen)
+	atomic.AddInt64(&s.stats.BasementsRead, 1)
+	atomic.AddInt64(&s.stats.BytesRead, int64(b.diskLen+b.pageLen))
 	s.m.basementRead.Inc()
 	s.m.bytesRead.Add(int64(b.diskLen + b.pageLen))
 	s.cache.resize(t, n)
@@ -514,10 +691,13 @@ func (s *Store) prefetch(t *Tree, id nodeID) {
 		return
 	}
 	key := cacheKey{t, id}
-	if _, ok := s.pending[key]; ok {
+	s.pendingMu.Lock()
+	_, inflight := s.pending[key]
+	s.pendingMu.Unlock()
+	if inflight {
 		return
 	}
-	if _, ok := s.cache.get(t, id); ok {
+	if _, ok := s.cache.lookup(t, id, false); ok {
 		return
 	}
 	ext, ok := t.bt.lookup(id)
@@ -526,8 +706,17 @@ func (s *Store) prefetch(t *Tree, id nodeID) {
 	}
 	data := make([]byte, ext.len)
 	wait := t.f.SubmitRead(data, ext.off)
+	s.pendingMu.Lock()
+	if _, raced := s.pending[key]; raced {
+		// Another goroutine issued the same prefetch between our check
+		// and the submit: keep theirs, absorb ours.
+		s.pendingMu.Unlock()
+		wait()
+		return
+	}
 	s.pending[key] = &pendingRead{data: data, wait: wait}
-	s.stats.Prefetches++
+	s.pendingMu.Unlock()
+	atomic.AddInt64(&s.stats.Prefetches, 1)
 	s.m.prefetchIssue.Inc()
 }
 
@@ -549,18 +738,26 @@ func (s *Store) SyncLog() {
 // Sync makes everything durable: the log is flushed, and if bulk data
 // entered the tree without payload logging, a checkpoint persists it.
 func (s *Store) Sync() {
+	if s.concurrent {
+		s.writerMu.Lock()
+		defer s.writerMu.Unlock()
+	}
 	s.log.Flush()
 	if s.unloggedData {
-		s.Checkpoint()
+		s.checkpointLocked()
 	}
 }
 
 // MaybeCheckpoint runs a checkpoint if the period elapsed or log space is
 // low; the northbound calls it on its operation paths.
 func (s *Store) MaybeCheckpoint() {
+	if s.concurrent {
+		s.writerMu.Lock()
+		defer s.writerMu.Unlock()
+	}
 	if s.env.Now()-s.lastCheckpoint >= s.cfg.CheckpointPeriod ||
 		s.log.FreeBytes() < s.log.LiveBytes()/4 {
-		s.Checkpoint()
+		s.checkpointLocked()
 	}
 }
 
@@ -568,12 +765,28 @@ func (s *Store) MaybeCheckpoint() {
 // superblock generation, recycles old extents, and reclaims log space
 // (§2.2 crash consistency).
 func (s *Store) Checkpoint() {
+	if s.concurrent {
+		s.writerMu.Lock()
+		defer s.writerMu.Unlock()
+	}
+	s.checkpointLocked()
+}
+
+// checkpointLocked is the checkpoint body. Concurrent-mode callers hold
+// writerMu (no mutator is mid-flight). It drains the flusher pool BEFORE
+// taking the structure lock: pool tasks only TryLock and drop on failure,
+// so the drain cannot deadlock, and afterwards no background task can be
+// holding store state while we write the superblock.
+func (s *Store) checkpointLocked() {
+	if s.concurrent && s.env.Pool != nil {
+		s.env.Pool.Drain()
+	}
+	s.lockExcl()
+	defer s.unlockExcl()
 	checkpointLSN := s.log.NextLSN()
 	s.log.Flush()
 	for _, t := range []*Tree{s.meta, s.data} {
-		for _, n := range s.cache.dirtyNodes(t) {
-			s.writeNode(t, n)
-		}
+		s.writeDirtyNodes(t)
 	}
 	s.drainWrites()
 	for _, t := range []*Tree{s.meta, s.data} {
@@ -586,9 +799,39 @@ func (s *Store) Checkpoint() {
 	s.log.Reclaim(checkpointLSN)
 	s.unloggedData = false
 	s.lastCheckpoint = s.env.Now()
-	s.stats.Checkpoints++
+	atomic.AddInt64(&s.stats.Checkpoints, 1)
 	s.m.checkpoint.Inc()
 	s.env.Trace("betree", "checkpoint", "", int64(checkpointLSN))
+}
+
+// writeDirtyNodes writes back every dirty cached node of tree t. With
+// more than one flusher worker the CPU half (serialize, compress,
+// checksum) fans out across the pool and the submission half runs on this
+// goroutine in sweep order; with one worker (deterministic mode) it is
+// the historical sequential loop.
+func (s *Store) writeDirtyNodes(t *Tree) {
+	dirty := s.cache.dirtyNodes(t)
+	pool := s.env.Pool
+	if !s.concurrent || pool == nil || pool.Workers() <= 1 || len(dirty) <= 1 {
+		for _, n := range dirty {
+			s.writeNode(t, n)
+		}
+		return
+	}
+	imgs := make([]nodeImage, len(dirty))
+	var wg sync.WaitGroup
+	for i, n := range dirty {
+		i, n := i, n
+		wg.Add(1)
+		pool.Submit(func() {
+			defer wg.Done()
+			imgs[i] = s.prepareNodeImage(t, n)
+		})
+	}
+	wg.Wait()
+	for i, n := range dirty {
+		s.finishNodeWrite(t, n, imgs[i])
+	}
 }
 
 // --- superblock -------------------------------------------------------------
@@ -696,10 +939,16 @@ func (s *Store) loadSuperblock(payload []byte) (wal.Hint, error) {
 // DropCleanCaches checkpoints and then empties the node cache and pending
 // prefetches — the cold-cache state benchmarks start from.
 func (s *Store) DropCleanCaches() {
-	s.Checkpoint()
+	if s.concurrent {
+		s.writerMu.Lock()
+		defer s.writerMu.Unlock()
+	}
+	s.checkpointLocked()
+	s.pendingMu.Lock()
 	for k, pr := range s.pending {
 		pr.wait()
 		delete(s.pending, k)
 	}
+	s.pendingMu.Unlock()
 	s.cache.dropAll()
 }

@@ -3,12 +3,14 @@ package betree
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"betrfs/internal/keys"
 	"betrfs/internal/stor"
 )
 
-// TreeStats aggregates per-tree counters.
+// TreeStats aggregates per-tree counters. Fields are updated with atomic
+// adds; read them only after the operations of interest have quiesced.
 type TreeStats struct {
 	Inserts      int64
 	Deletes      int64
@@ -19,6 +21,11 @@ type TreeStats struct {
 }
 
 // Tree is one Bε-tree index (metadata or data) within a Store.
+//
+// rootID, nextNodeID, and bt (the block table) are structural state:
+// they change only under the store's exclusive structure lock (or in
+// deterministic single-goroutine mode, where no locks are taken at all —
+// see DESIGN.md §9).
 type Tree struct {
 	store *Store
 	name  string
@@ -28,20 +35,32 @@ type Tree struct {
 	rootID     nodeID
 	nextNodeID nodeID
 
+	// cacheSalt separates this tree's node IDs from its sibling's in the
+	// shared sharded cache hash (cache.go).
+	cacheSalt uint64
+	// flushQueued dedups background root-flush tasks (concurrent mode).
+	flushQueued atomic.Bool
+
 	stats TreeStats
 
-	// seqGet tracks the last point-queried key for the cooperative
+	// seqHint tracks the last point-queried key for the cooperative
 	// read-ahead hint (§3.2): the northbound detects sequential file
 	// reads and tells the tree, which prefetches upcoming basements.
-	seqHint bool
+	// Atomic: clients set it while readers check it.
+	seqHint atomic.Bool
 }
 
 func newTree(s *Store, name string, f stor.File) *Tree {
+	salt := uint64(0xcbf29ce484222325)
+	for _, c := range name {
+		salt = salt*0x100000001b3 ^ uint64(c)
+	}
 	return &Tree{
-		store: s,
-		name:  name,
-		f:     f,
-		bt:    newBlockTable(f.Capacity()),
+		store:     s,
+		name:      name,
+		f:         f,
+		bt:        newBlockTable(f.Capacity()),
+		cacheSalt: salt,
 	}
 }
 
@@ -53,7 +72,7 @@ func (t *Tree) Stats() *TreeStats { return &t.stats }
 
 // SetSeqHint informs the tree that point queries are following a
 // sequential pattern, enabling basement/leaf read-ahead.
-func (t *Tree) SetSeqHint(on bool) { t.seqHint = on }
+func (t *Tree) SetSeqHint(on bool) { t.seqHint.Store(on) }
 
 // formatEmpty initializes the tree with a single empty root leaf.
 func (t *Tree) formatEmpty() {
@@ -61,9 +80,9 @@ func (t *Tree) formatEmpty() {
 	root := &node{
 		id:        t.newNodeID(),
 		height:    0,
-		dirty:     true,
 		basements: []*basement{{loaded: true}},
 	}
+	root.dirty.Store(true)
 	t.rootID = root.id
 	t.store.cache.put(t, root)
 }
@@ -82,13 +101,12 @@ func (t *Tree) newNodeID() nodeID {
 func (t *Tree) fetch(id nodeID, partialKey []byte) (*node, error) {
 	s := t.store
 	s.env.Charge(s.env.Costs.PageCacheOp) // cachetable lookup
-	if n, ok := s.cache.get(t, id); ok {
-		n.pins++
+	if n, ok := s.cache.lookup(t, id, true); ok {
 		return n, nil
 	}
 	var n *node
 	var err error
-	if partialKey != nil && !t.seqHint {
+	if partialKey != nil && !t.seqHint.Load() {
 		n, err = s.readNode(t, id, partialKey)
 	} else {
 		n, err = s.readNode(t, id, nil)
@@ -96,9 +114,8 @@ func (t *Tree) fetch(id nodeID, partialKey []byte) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.pins++
-	s.cache.put(t, n)
-	return n, nil
+	n.pins.Add(1)
+	return s.cache.insertPinned(t, n), nil
 }
 
 // mustFetch is fetch for write paths, where an unreadable node is fatal.
@@ -111,15 +128,14 @@ func (t *Tree) mustFetch(id nodeID, partialKey []byte) *node {
 }
 
 func (t *Tree) unpin(n *node) {
-	if n.pins <= 0 {
+	if n.pins.Add(-1) < 0 {
 		panic("betree: unpin of unpinned node")
 	}
-	n.pins--
 }
 
 // markDirty flags a node dirty and refreshes cache accounting.
 func (t *Tree) markDirty(n *node) {
-	n.dirty = true
+	n.dirty.Store(true)
 	t.store.cache.resize(t, n)
 }
 
@@ -169,7 +185,7 @@ const (
 
 // Put inserts or replaces key with an inline value.
 func (t *Tree) Put(key, val []byte, d Durability) {
-	t.stats.Inserts++
+	atomic.AddInt64(&t.stats.Inserts, 1)
 	m := &Msg{Type: MsgInsert, Key: key, Val: InlineValue(val)}
 	t.logAndInsert(m, d)
 }
@@ -178,7 +194,7 @@ func (t *Tree) Put(key, val []byte, d Durability) {
 // Without page sharing configured the value is copied inline immediately,
 // reproducing the v0.4 copy-on-ingest behaviour.
 func (t *Tree) PutRef(key []byte, ref PageRef, d Durability) {
-	t.stats.Inserts++
+	atomic.AddInt64(&t.stats.Inserts, 1)
 	var v Value
 	if t.store.cfg.PageSharing {
 		v = RefValue(ref)
@@ -195,14 +211,14 @@ func (t *Tree) PutRef(key []byte, ref PageRef, d Durability) {
 // Update applies a blind sub-value write: data is patched at byte offset
 // off of key's value, without reading it first (§2.1).
 func (t *Tree) Update(key []byte, off int, data []byte, d Durability) {
-	t.stats.Updates++
+	atomic.AddInt64(&t.stats.Updates, 1)
 	m := &Msg{Type: MsgUpdate, Key: key, Off: off, Val: InlineValue(data)}
 	t.logAndInsert(m, d)
 }
 
 // Delete removes key.
 func (t *Tree) Delete(key []byte, d Durability) {
-	t.stats.Deletes++
+	atomic.AddInt64(&t.stats.Deletes, 1)
 	m := &Msg{Type: MsgDelete, Key: key}
 	t.logAndInsert(m, d)
 }
@@ -210,32 +226,47 @@ func (t *Tree) Delete(key []byte, d Durability) {
 // DeleteRange removes every key in [lo, hi) with a single range-delete
 // message (§2.1, §4).
 func (t *Tree) DeleteRange(lo, hi []byte, d Durability) {
-	t.stats.RangeDeletes++
+	atomic.AddInt64(&t.stats.RangeDeletes, 1)
 	m := &Msg{Type: MsgRangeDelete, Key: lo, EndKey: hi}
 	t.logAndInsert(m, d)
 }
 
+// logAndInsert is the single mutating entry point: it assigns the MSN and
+// routes the message into the tree, under the store's writer lock in
+// concurrent mode so that WAL record order, MSN order, and tree insertion
+// order all agree (otherwise a later-MSN message could reach a leaf first
+// and its maxApplied watermark would silently swallow the earlier one).
 func (t *Tree) logAndInsert(m *Msg, d Durability) {
+	s := t.store
+	if s.concurrent {
+		s.writerMu.Lock()
+		defer s.writerMu.Unlock()
+	}
 	if d != LogNone {
 		withPayload := true
 		if m.Type == MsgInsert || m.Type == MsgUpdate {
-			if d == LogAuto && m.Val.Len() > t.store.cfg.LogPayloadMax {
+			if d == LogAuto && m.Val.Len() > s.cfg.LogPayloadMax {
 				withPayload = false
 			}
 		}
-		t.store.logOp(t, m, withPayload)
+		s.logOp(t, m, withPayload)
 	}
-	m.MSN = t.store.nextMsn()
+	m.MSN = s.nextMsn()
 	t.insertMsg(m)
 }
 
 // insertMsg routes a message into the root, flushing and splitting as
-// needed.
+// needed. The deterministic path below is the historical inline code;
+// concurrent mode forks to the latched fast path in concurrent.go.
 func (t *Tree) insertMsg(m *Msg) {
 	s := t.store
 	s.m.msgInject.Inc()
 	s.env.Trace("betree", "msg.inject", string(m.Key), int64(m.MSN))
 	s.env.Charge(s.env.Costs.MessageOverhead)
+	if s.concurrent {
+		t.insertMsgConcurrent(m)
+		return
+	}
 	root := t.mustFetch(t.rootID, nil)
 	defer t.unpin(root)
 	if root.isLeaf() {
@@ -296,7 +327,7 @@ func (t *Tree) flushDescend(n *node) {
 // flushToChild moves the entire buffer for child ci down one level.
 func (t *Tree) flushToChild(parent *node, ci int) {
 	s := t.store
-	s.stats.Flushes++
+	atomic.AddInt64(&s.stats.Flushes, 1)
 	s.m.flushRun.Inc()
 	child := t.mustFetch(parent.children[ci], nil)
 	defer t.unpin(child)
@@ -306,6 +337,11 @@ func (t *Tree) flushToChild(parent *node, ci int) {
 	t.markDirty(child)
 
 	if child.isLeaf() {
+		// Buffers hold messages in arrival order, which under the writer
+		// lock is MSN order; the stable sort is a host-side no-op then,
+		// and a safety net for any future out-of-order producer (the
+		// basement maxApplied guard drops late messages otherwise).
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].MSN < msgs[j].MSN })
 		for _, m := range msgs {
 			t.applyToLeaf(child, m)
 		}
@@ -373,7 +409,7 @@ func (t *Tree) applyToLeaf(n *node, m *Msg) {
 // deletes are adjacent-but-not-overlapping.
 func (t *Tree) pacman(n *node) {
 	s := t.store
-	s.stats.PacmanScans++
+	atomic.AddInt64(&s.stats.PacmanScans, 1)
 	s.m.pacmanScan.Inc()
 	type loc struct {
 		m     *Msg
@@ -455,7 +491,7 @@ func (t *Tree) pacman(n *node) {
 		for i := len(n.bufs[ci].msgs) - 1; i >= 0; i-- {
 			if eaten[n.bufs[ci].msgs[i]] {
 				n.bufs[ci].drop(i)
-				s.stats.PacmanDrops++
+				atomic.AddInt64(&s.stats.PacmanDrops, 1)
 				s.m.pacmanDrop.Inc()
 			}
 		}
@@ -474,15 +510,15 @@ func (t *Tree) splitRoot(old *node) {
 	newRoot := &node{
 		id:       t.newNodeID(),
 		height:   old.height + 1,
-		dirty:    true,
 		children: []nodeID{old.id},
 		bufs:     make([]buffer, 1),
 	}
+	newRoot.dirty.Store(true)
 	t.rootID = newRoot.id
 	s.cache.put(t, newRoot)
-	newRoot.pins++
+	newRoot.pins.Add(1)
 	t.splitChild(newRoot, 0, old)
-	newRoot.pins--
+	newRoot.pins.Add(-1)
 	t.markDirty(newRoot)
 }
 
@@ -496,7 +532,7 @@ func (t *Tree) splitChild(parent *node, ci int, child *node) {
 		if len(entries) < 2 {
 			return
 		}
-		s.stats.LeafSplits++
+		atomic.AddInt64(&s.stats.LeafSplits, 1)
 		s.m.leafSplit.Inc()
 		// Split into halves no larger than NodeSize/2.
 		pieces := splitEntries(entries, s.cfg.NodeSize/2)
@@ -512,7 +548,7 @@ func (t *Tree) splitChild(parent *node, ci int, child *node) {
 			} else {
 				nn = &node{id: t.newNodeID(), height: 0}
 			}
-			nn.dirty = true
+			nn.dirty.Store(true)
 			nn.basements = rebalanceBasements(p, s.cfg.BasementSize)
 			nodes[i] = nn
 		}
@@ -526,17 +562,17 @@ func (t *Tree) splitChild(parent *node, ci int, child *node) {
 	if len(child.children) < 2 {
 		return
 	}
-	s.stats.InternalSplits++
+	atomic.AddInt64(&s.stats.InternalSplits, 1)
 	s.m.internalSplit.Inc()
 	mid := len(child.children) / 2
 	right := &node{
 		id:       t.newNodeID(),
 		height:   child.height,
-		dirty:    true,
 		pivots:   append([][]byte{}, child.pivots[mid:]...),
 		children: append([]nodeID{}, child.children[mid:]...),
 		bufs:     append([]buffer{}, child.bufs[mid:]...),
 	}
+	right.dirty.Store(true)
 	promoted := child.pivots[mid-1]
 	child.pivots = child.pivots[:mid-1]
 	child.children = child.children[:mid]
@@ -653,11 +689,27 @@ type pathEl struct {
 // leaf entry in MSN order (§2.1), and then runs the configured
 // apply-on-query policy (§4). A corrupted node or basement on the path
 // surfaces an error wrapping ErrChecksum instead of garbage or a panic.
+//
+// Locking (concurrent mode, DESIGN.md §9): the query holds the store's
+// shared structure lock for its whole duration, latches interior path
+// nodes shared and the leaf exclusive (acquired top-down, held until the
+// end so apply-on-query and read-ahead see a stable path), and runs
+// concurrently with other queries, scans, and root injects into other
+// nodes. The legacy v0.4 apply-on-query policy restructures ancestor
+// buffers on reads, so it takes the exclusive structure lock instead.
+// Deterministic mode takes no locks and is the historical code path.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
-	t.stats.Gets++
+	atomic.AddInt64(&t.stats.Gets, 1)
 	s := t.store
 	s.m.queryGet.Inc()
 	s.env.Charge(s.env.Costs.MessageOverhead)
+	if s.cfg.LegacyApplyOnQuery {
+		s.lockExcl()
+		defer s.unlockExcl()
+	} else {
+		s.lockShared()
+		defer s.unlockShared()
+	}
 
 	var path []pathEl
 	var lo, hi []byte
@@ -665,9 +717,20 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	if n.isLeaf() {
+		s.latchExcl(n)
+	} else {
+		s.latchShared(n)
+	}
 	defer func() {
 		for _, pe := range path {
+			s.unlatchShared(pe.n)
 			t.unpin(pe.n)
+		}
+		if n.isLeaf() {
+			s.unlatchExcl(n)
+		} else {
+			s.unlatchShared(n)
 		}
 		t.unpin(n)
 	}()
@@ -681,6 +744,11 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
+		if child.isLeaf() {
+			s.latchExcl(child)
+		} else {
+			s.latchShared(child)
+		}
 		lo, hi = n.childRange(ci, lo, hi)
 		path = append(path, pathEl{n, ci})
 		n = child
@@ -691,7 +759,9 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	}
 	b := n.basements[bi]
 
-	// Gather pending messages for this key from the path.
+	// Gather pending messages for this key from the path. The ancestor
+	// shared latches exclude root injects, and the exclusive leaf latch
+	// pins b.maxApplied, so the collected set is consistent.
 	var pend []*Msg
 	for _, pe := range path {
 		pend = pe.n.bufs[pe.ci].collect(s.env, key, b.maxApplied, pend)
@@ -700,13 +770,21 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 
 	// Compute the query result.
 	val, found := currentValue(s, b, key, pend)
+	if s.concurrent && found {
+		// The value may point into basement-owned memory that a later
+		// apply-on-query (ours or another reader's) can mutate once the
+		// leaf latch drops; hand the caller a private copy. Host-side
+		// only — no simulated charge, so deterministic results are
+		// untouched.
+		val = append([]byte(nil), val...)
+	}
 
 	// Apply-on-query (§4).
 	t.applyOnQuery(path, n, bi, lo, hi, pend)
 
 	// Read-ahead (§3.2): on sequential hints, prefetch upcoming
 	// basements (or the next leaf when at the last basement).
-	if t.seqHint && s.cfg.ReadAhead {
+	if t.seqHint.Load() && s.cfg.ReadAhead {
 		t.prefetchAfter(path, n, bi)
 	}
 	return val, found, nil
@@ -780,12 +858,12 @@ func (t *Tree) applyOnQuery(path []pathEl, leaf *node, bi int, leafLo, leafHi []
 	if !legacy && len(pend) == 0 {
 		return
 	}
-	s.stats.ApplyOnQuery++
+	atomic.AddInt64(&s.stats.ApplyOnQuery, 1)
 	s.m.applyOnQuery.Inc()
 	b := leaf.basements[bi]
 	blo, bhi := basementRange(leaf, bi, leafLo, leafHi)
 
-	if leaf.dirty && legacy {
+	if leaf.dirty.Load() && legacy {
 		// Flush everything targeting the whole leaf out of the path.
 		llo, lhi := boundsOrSentinels(leafLo, leafHi)
 		var moved []*Msg
@@ -900,6 +978,11 @@ func (t *Tree) String() string {
 // to defer inode creation: the caller pins the log section via
 // Store.Log().Pin(lsn) and performs the real insert on inode write-back.
 func (t *Tree) LogInsertOnly(key, val []byte) uint64 {
+	s := t.store
+	if s.concurrent {
+		s.writerMu.Lock()
+		defer s.writerMu.Unlock()
+	}
 	m := &Msg{Type: MsgInsert, Key: key, Val: InlineValue(val)}
-	return t.store.logOp(t, m, true)
+	return s.logOp(t, m, true)
 }

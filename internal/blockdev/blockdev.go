@@ -14,6 +14,7 @@ package blockdev
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"betrfs/internal/metrics"
@@ -141,9 +142,17 @@ const chunkSize = 64 << 10
 
 // Dev is the standard simulated device. Storage is sparse: chunks are
 // allocated on first write and unwritten regions read as zeros.
+//
+// Submission entry points are serialized by a mutex, modeling the single
+// hardware queue the timing model already assumes: concurrent submitters
+// (the background flusher overlapping foreground reads, DESIGN.md §9) are
+// ordered at the device, and each command's timing is computed atomically
+// against the busy-until horizon. Single-goroutine runs take the
+// uncontended lock and observe identical timing.
 type Dev struct {
 	env     *sim.Env
 	profile Profile
+	mu      sync.Mutex
 	stats   Stats
 
 	chunks map[int64][]byte
@@ -278,6 +287,8 @@ func transfer(n int, bw int64) time.Duration {
 
 // SubmitRead starts an asynchronous read.
 func (d *Dev) SubmitRead(p []byte, off int64) Completion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.checkRange(len(p), off, "read")
 	start := d.env.Now()
 	if d.busyUntil > start {
@@ -309,6 +320,8 @@ func (d *Dev) SubmitRead(p []byte, off int64) Completion {
 
 // SubmitWrite starts an asynchronous write.
 func (d *Dev) SubmitWrite(p []byte, off int64) Completion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.checkRange(len(p), off, "write")
 	start := d.env.Now()
 	if d.busyUntil > start {
@@ -370,6 +383,8 @@ func (d *Dev) WriteAt(p []byte, off int64) {
 // Flush drains the queue and volatile cache; after Flush returns, all prior
 // writes are durable (crash injection will not revert them).
 func (d *Dev) Flush() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.env.Clock.AdvanceTo(d.busyUntil)
 	d.env.Clock.Advance(d.profile.FlushLatency)
 	d.busyUntil = d.env.Now()

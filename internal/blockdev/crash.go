@@ -44,6 +44,8 @@ type faultRange struct {
 // for tests; it has a memory cost proportional to write traffic between
 // flushes. Calling it again resets the unflushed log to empty.
 func (d *Dev) EnableCrashTracking() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.trackUnflushed = true
 	d.unflushed = d.unflushed[:0]
 }
@@ -57,11 +59,19 @@ func (d *Dev) recordUnflushed(p []byte, off int64) {
 }
 
 // UnflushedWrites reports how many writes are revertible right now.
-func (d *Dev) UnflushedWrites() int { return len(d.unflushed) }
+func (d *Dev) UnflushedWrites() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.unflushed)
+}
 
 // UnflushedWriteLen reports the byte length of unflushed write i, letting
 // harnesses enumerate torn-write cut points.
-func (d *Dev) UnflushedWriteLen(i int) int { return len(d.unflushed[i].new) }
+func (d *Dev) UnflushedWriteLen(i int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.unflushed[i].new)
+}
 
 // Crash reverts all unflushed writes from index keep onward (so the first
 // keep unflushed writes survive, emulating a partially drained device
@@ -78,6 +88,8 @@ func (d *Dev) Crash(keep int) {
 // and everything after is reverted. tornBytes == 0 (or keep beyond the
 // unflushed log) degenerates to Crash(keep).
 func (d *Dev) CrashTorn(keep, tornBytes int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if !d.trackUnflushed {
 		panic("blockdev: Crash without EnableCrashTracking")
 	}
@@ -109,6 +121,8 @@ func (d *Dev) CrashTorn(keep, tornBytes int) {
 // the newest version of a sector). Tracking stays armed afterwards, as
 // with Crash.
 func (d *Dev) CrashSubset(survive []bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if !d.trackUnflushed {
 		panic("blockdev: Crash without EnableCrashTracking")
 	}
@@ -140,6 +154,8 @@ func (d *Dev) postCrash() {
 // error or lost write that a flush cannot prevent. It bypasses timing,
 // stats, and crash tracking: the corruption is on the media itself.
 func (d *Dev) CorruptZero(off, n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.checkRange(int(n), off, "corrupt")
 	d.copyIn(make([]byte, n), off)
 }
@@ -148,6 +164,8 @@ func (d *Dev) CorruptZero(off, n int64) {
 // derived from seed) across n stored bytes at off, modeling bit-rot.
 // Deterministic for a given (off, n, seed).
 func (d *Dev) CorruptFlip(off, n int64, seed uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.checkRange(int(n), off, "corrupt")
 	buf := make([]byte, n)
 	d.copyOut(buf, off)
@@ -168,13 +186,19 @@ func (d *Dev) CorruptFlip(off, n int64, seed uint64) {
 // flash; since the Device interface carries no error returns, detection
 // is the checksum layer's job.
 func (d *Dev) InjectReadFault(off, n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.checkRange(int(n), off, "read-fault")
 	d.readFaults = append(d.readFaults, faultRange{off: off, n: n})
 }
 
 // ClearReadFaults removes all injected read faults (the sectors were
 // rewritten / remapped).
-func (d *Dev) ClearReadFaults() { d.readFaults = nil }
+func (d *Dev) ClearReadFaults() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.readFaults = nil
+}
 
 // applyReadFaults zeroes the portions of p overlapping injected fault
 // ranges, counting one fault per affected read.

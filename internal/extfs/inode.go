@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"time"
 )
 
@@ -218,16 +219,25 @@ func (fs *FS) readInode(ino Ino) (rx *xinode, err error) {
 // writebackMeta writes all dirty inode-table blocks (and dirty directory
 // content) in place, then the journal can be reclaimed.
 func (fs *FS) writebackMeta() {
+	// Iterate inodes in ascending number order, never map order: directory
+	// write-back allocates blocks and the table pass seeks the device, so
+	// iteration order is charge-visible and map order would make simulated
+	// timings vary run to run.
+	sorted := make([]Ino, 0, len(fs.inodes))
+	for ino := range fs.inodes {
+		sorted = append(sorted, ino)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	// Flush dirty directory content first: it allocates blocks and can
 	// dirty more inodes.
-	for _, x := range fs.inodes {
-		if x.dirty && x.dir && x.childrenLoaded {
+	for _, ino := range sorted {
+		if x := fs.inodes[ino]; x.dirty && x.dir && x.childrenLoaded {
 			fs.writeDir(x)
 		}
 	}
 	blocks := make(map[int64][]Ino)
-	for ino, x := range fs.inodes {
-		if x.dirty {
+	for _, ino := range sorted {
+		if fs.inodes[ino].dirty {
 			blk := int64(ino) / inodesPerBlock
 			blocks[blk] = append(blocks[blk], ino)
 		}
@@ -241,7 +251,13 @@ func (fs *FS) writebackMeta() {
 		}
 	}
 	fs.erased = fs.erased[:0]
-	for blk, inos := range blocks {
+	blkOrder := make([]int64, 0, len(blocks))
+	for blk := range blocks {
+		blkOrder = append(blkOrder, blk)
+	}
+	sort.Slice(blkOrder, func(i, j int) bool { return blkOrder[i] < blkOrder[j] })
+	for _, blk := range blkOrder {
+		inos := blocks[blk]
 		// Read-modify-write the table block with all its dirty inodes.
 		addr := fs.lay.itableOff + blk*BlockSize
 		buf := make([]byte, BlockSize)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"time"
 
 	"betrfs/internal/blockdev"
@@ -174,6 +175,9 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 			dirs = append(dirs, x)
 		}
 	}
+	// Visit in inode order: dirs was collected from a map walk and
+	// loadDir charges device reads, so order affects simulated timing.
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].ino < dirs[j].ino })
 	for _, x := range dirs {
 		fs.loadDir(x)
 		for name, d := range x.children {

@@ -20,6 +20,7 @@
 package kmem
 
 import (
+	"sync"
 	"time"
 
 	"betrfs/internal/metrics"
@@ -59,10 +60,15 @@ type Buf struct {
 	class   int // cache size class, 0 if none
 }
 
-// Allocator models one machine's kernel allocator state.
+// Allocator models one machine's kernel allocator state. All methods are
+// safe for concurrent use: the mutex serializes the buffer-cache state and
+// statistics, so the background flusher and checkpoint pipeline can
+// allocate serialization buffers while foreground operations run
+// (DESIGN.md §9). Charges commute, so single-goroutine runs are unchanged.
 type Allocator struct {
 	env         *sim.Env
 	cooperative bool
+	mu          sync.Mutex
 	// cache maps size class -> number of cached regions available.
 	cache    map[int]int
 	cacheCap map[int]int
@@ -146,6 +152,12 @@ func (a *Allocator) classFor(size int) int {
 // would. The returned Buf's Usable equals Size unless a cached region with
 // extra capacity was used.
 func (a *Allocator) Alloc(size int) *Buf {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.alloc(size)
+}
+
+func (a *Allocator) alloc(size int) *Buf {
 	a.mAllocHist.Observe(int64(size))
 	if size <= KmallocMax {
 		a.stats.Kmallocs++
@@ -180,18 +192,24 @@ func (a *Allocator) Alloc(size int) *Buf {
 // so bi-modal buffers reach their final size in one step. Without the
 // cooperative mode it behaves exactly like Alloc.
 func (a *Allocator) AllocUsable(size int) *Buf {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allocUsable(size)
+}
+
+func (a *Allocator) allocUsable(size int) *Buf {
 	if !a.cooperative || size <= KmallocMax {
-		return a.Alloc(size)
+		return a.alloc(size)
 	}
 	if c := a.classFor(size); c != 0 {
-		b := a.Alloc(c)
+		b := a.alloc(c)
 		b.Size = size
 		return b
 	}
 	// Beyond the largest cached class, negotiate head-room so the
 	// bi-modal growth pattern (§5) does not degenerate into a copy per
 	// append: reserve half again the request.
-	b := a.Alloc(size + size/2)
+	b := a.alloc(size + size/2)
 	b.Size = size
 	return b
 }
@@ -200,6 +218,8 @@ func (a *Allocator) AllocUsable(size int) *Buf {
 // kernel's size lookup plus a TLB shootdown unless they can be parked in
 // the buffer cache.
 func (a *Allocator) Free(b *Buf) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.free(b, false)
 }
 
@@ -207,6 +227,8 @@ func (a *Allocator) Free(b *Buf) {
 // cooperative interface), eliding the vmalloc size lookup. In legacy mode
 // it degrades to Free, as v0.4's code could not pass sizes down.
 func (a *Allocator) FreeSized(b *Buf) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.free(b, a.cooperative)
 }
 
@@ -239,10 +261,16 @@ func (a *Allocator) free(b *Buf, sized bool) {
 // caller was told the capacity up front. Otherwise the kernel pattern
 // applies: allocate, copy the used bytes, free the old region.
 func (a *Allocator) Realloc(b *Buf, newSize int, usedBytes int) *Buf {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.realloc(b, newSize, usedBytes)
+}
+
+func (a *Allocator) realloc(b *Buf, newSize int, usedBytes int) *Buf {
 	a.stats.Reallocs++
 	a.mRealloc.Inc()
 	if b == nil {
-		return a.Alloc(newSize)
+		return a.alloc(newSize)
 	}
 	if newSize <= b.Usable {
 		b.Size = newSize
@@ -252,9 +280,9 @@ func (a *Allocator) Realloc(b *Buf, newSize int, usedBytes int) *Buf {
 	a.mReallocCopy.Inc()
 	var nb *Buf
 	if a.cooperative {
-		nb = a.AllocUsable(newSize)
+		nb = a.allocUsable(newSize)
 	} else {
-		nb = a.Alloc(newSize)
+		nb = a.alloc(newSize)
 	}
 	if usedBytes > 0 {
 		a.stats.BytesCopied += int64(usedBytes)
@@ -270,18 +298,20 @@ func (a *Allocator) Realloc(b *Buf, newSize int, usedBytes int) *Buf {
 // step; cooperative mode collapses to a single Realloc because the
 // negotiated capacity absorbs the growth.
 func (a *Allocator) GrowDoubling(b *Buf, newSize int, usedBytes int) *Buf {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if b == nil {
-		return a.Alloc(newSize)
+		return a.alloc(newSize)
 	}
 	if a.cooperative {
-		return a.Realloc(b, newSize, usedBytes)
+		return a.realloc(b, newSize, usedBytes)
 	}
 	for b.Usable < newSize {
 		target := b.Usable * 2
 		if target < 4096 {
 			target = 4096
 		}
-		b = a.Realloc(b, target, usedBytes)
+		b = a.realloc(b, target, usedBytes)
 		usedBytes = target / 2
 	}
 	b.Size = newSize

@@ -1,6 +1,6 @@
 // Package sim provides the deterministic simulation substrate used by the
-// entire repository: a virtual clock, a calibrated CPU cost model, and a
-// seeded random source.
+// entire repository: a virtual clock, a calibrated CPU cost model, a seeded
+// random source, and a bounded worker pool for background work.
 //
 // Every component in this reproduction (block devices, allocators, the
 // Bε-tree, the VFS, the baseline file systems) charges simulated time to a
@@ -13,39 +13,50 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is a virtual clock measured in nanoseconds since the start of the
-// simulation. It is intentionally not safe for concurrent use: simulations
-// are single-goroutine and deterministic.
+// simulation. All methods are safe for concurrent use: Advance is an atomic
+// add, which commutes, so the *total* simulated time of a run is identical
+// no matter how concurrent charges interleave. Single-goroutine simulations
+// therefore remain bit-for-bit deterministic, and concurrent ones (the
+// flusher pool, multi-client benchmarks) are race-free.
 type Clock struct {
-	now int64 // ns
+	now atomic.Int64 // ns
 }
 
 // NewClock returns a clock at time zero.
 func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current simulated time.
-func (c *Clock) Now() time.Duration { return time.Duration(c.now) }
+func (c *Clock) Now() time.Duration { return time.Duration(c.now.Load()) }
 
 // Advance moves the clock forward by d. Negative durations are ignored so
 // that cost formulas need not guard against rounding underflow.
 func (c *Clock) Advance(d time.Duration) {
 	if d > 0 {
-		c.now += int64(d)
+		c.now.Add(int64(d))
 	}
 }
 
 // AdvanceTo moves the clock forward to t if t is in the future; it never
-// moves the clock backwards.
+// moves the clock backwards. Implemented as a CAS loop so concurrent
+// advances cannot lose the maximum.
 func (c *Clock) AdvanceTo(t time.Duration) {
-	if int64(t) > c.now {
-		c.now = int64(t)
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
 	}
 }
 
 // String formats the current time for logs and test failures.
 func (c *Clock) String() string {
-	return fmt.Sprintf("t=%s", time.Duration(c.now))
+	return fmt.Sprintf("t=%s", time.Duration(c.now.Load()))
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync/atomic"
 	"time"
 
 	"betrfs/internal/metrics"
@@ -19,12 +20,23 @@ type Env struct {
 	// no access to it), so instrumentation cannot perturb results.
 	Metrics *metrics.Registry
 
+	// Pool is the machine's bounded background-worker pool. With a single
+	// worker (the default) every submitted task runs inline at its
+	// submission point, which keeps single-goroutine simulations
+	// bit-identical; with more workers, tasks run on goroutines. See
+	// DESIGN.md §9.
+	Pool *WorkerPool
+
 	// Stats accumulates coarse CPU accounting by category so experiments
-	// can report where simulated time went.
+	// can report where simulated time went. Updates are atomic adds, so
+	// concurrent components may charge freely; because adds commute, the
+	// totals are deterministic for a given workload.
 	Stats CPUStats
 }
 
-// CPUStats tallies simulated CPU time by broad category.
+// CPUStats tallies simulated CPU time by broad category. Fields are
+// updated with atomic adds; read them after concurrent work has drained
+// (or via Total, which loads atomically).
 type CPUStats struct {
 	Memcpy    time.Duration
 	Checksum  time.Duration
@@ -34,19 +46,34 @@ type CPUStats struct {
 	Other     time.Duration
 }
 
-// Total returns the total CPU time across categories.
-func (s CPUStats) Total() time.Duration {
-	return s.Memcpy + s.Checksum + s.Compare + s.Serialize + s.Alloc + s.Other
+// addDur atomically adds d to the duration at p. time.Duration's
+// underlying type is int64, so the pointer conversion is well-defined.
+func addDur(p *time.Duration, d time.Duration) {
+	atomic.AddInt64((*int64)(p), int64(d))
 }
 
-// NewEnv returns an environment with default costs and the given seed.
+func loadDur(p *time.Duration) time.Duration {
+	return time.Duration(atomic.LoadInt64((*int64)(p)))
+}
+
+// Total returns the total CPU time across categories.
+func (s *CPUStats) Total() time.Duration {
+	return loadDur(&s.Memcpy) + loadDur(&s.Checksum) + loadDur(&s.Compare) +
+		loadDur(&s.Serialize) + loadDur(&s.Alloc) + loadDur(&s.Other)
+}
+
+// NewEnv returns an environment with default costs and the given seed. The
+// worker pool starts with one worker (deterministic inline mode); call
+// Pool.SetWorkers to enable background concurrency.
 func NewEnv(seed uint64) *Env {
-	return &Env{
+	e := &Env{
 		Clock:   NewClock(),
 		Costs:   DefaultCosts(),
 		Rand:    NewRand(seed),
 		Metrics: metrics.NewRegistry(),
 	}
+	e.Pool = NewWorkerPool(e, 1)
+	return e
 }
 
 // Now returns the current simulated time.
@@ -65,7 +92,7 @@ func (e *Env) Trace(layer, op, key string, value int64) {
 // Charge advances the clock by a fixed CPU cost.
 func (e *Env) Charge(d time.Duration) {
 	e.Clock.Advance(d)
-	e.Stats.Other += d
+	addDur(&e.Stats.Other, d)
 }
 
 func psCost(bytes int, psPerByte int64) time.Duration {
@@ -76,8 +103,8 @@ func psCost(bytes int, psPerByte int64) time.Duration {
 func (e *Env) Memcpy(n int) {
 	d := psCost(n, e.Costs.MemcpyPsPerByte)
 	e.Clock.Advance(d)
-	e.Stats.Memcpy += d
-	if memcpyTrap > 0 && e.Stats.Memcpy > memcpyTrap {
+	addDur(&e.Stats.Memcpy, d)
+	if memcpyTrap > 0 && loadDur(&e.Stats.Memcpy) > memcpyTrap {
 		panic("memcpy trap")
 	}
 }
@@ -85,34 +112,35 @@ func (e *Env) Memcpy(n int) {
 // memcpyTrap is a debugging aid: panic when cumulative memcpy passes it.
 var memcpyTrap = time.Duration(0)
 
-// SetMemcpyTrap arms the trap (tests/debugging only).
+// SetMemcpyTrap arms the trap (tests/debugging only; set it before any
+// concurrent work starts).
 func SetMemcpyTrap(d time.Duration) { memcpyTrap = d }
 
 // Checksum charges for checksumming n bytes.
 func (e *Env) Checksum(n int) {
 	d := psCost(n, e.Costs.ChecksumPsPerByte)
 	e.Clock.Advance(d)
-	e.Stats.Checksum += d
+	addDur(&e.Stats.Checksum, d)
 }
 
 // Serialize charges for encoding or decoding n bytes of structured data.
 func (e *Env) Serialize(n int) {
 	d := psCost(n, e.Costs.SerializePsPerByte)
 	e.Clock.Advance(d)
-	e.Stats.Serialize += d
+	addDur(&e.Stats.Serialize, d)
 }
 
 // Compare charges for one key comparison that inspected n bytes.
 func (e *Env) Compare(n int) {
 	d := e.Costs.CompareBase + psCost(n, e.Costs.ComparePsPerByte)
 	e.Clock.Advance(d)
-	e.Stats.Compare += d
+	addDur(&e.Stats.Compare, d)
 }
 
 // ChargeAlloc advances the clock by an allocation-related CPU cost.
 func (e *Env) ChargeAlloc(d time.Duration) {
 	e.Clock.Advance(d)
-	e.Stats.Alloc += d
+	addDur(&e.Stats.Alloc, d)
 }
 
 // CompareBulk charges for n key comparisons of avgLen bytes each in one
@@ -125,5 +153,5 @@ func (e *Env) CompareBulk(n int, avgLen int) {
 	}
 	d := time.Duration(n)*e.Costs.CompareBase + psCost(n*avgLen, e.Costs.ComparePsPerByte)
 	e.Clock.Advance(d)
-	e.Stats.Compare += d
+	addDur(&e.Stats.Compare, d)
 }

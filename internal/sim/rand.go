@@ -1,10 +1,17 @@
 package sim
 
+import "sync"
+
 // Rand is a small, fast, deterministic pseudo-random source
 // (xorshift64star). The standard library's math/rand would also work, but a
 // local implementation keeps the sequence stable across Go releases, which
 // matters for reproducible experiment output.
+//
+// Draws are serialized by a mutex so concurrent components may share one
+// source without racing; single-goroutine runs observe the exact same
+// sequence as before the lock existed.
 type Rand struct {
+	mu    sync.Mutex
 	state uint64
 }
 
@@ -19,6 +26,8 @@ func NewRand(seed uint64) *Rand {
 
 // Uint64 returns the next value in the sequence.
 func (r *Rand) Uint64() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	x := r.state
 	x ^= x >> 12
 	x ^= x << 25

@@ -28,6 +28,12 @@ func (m *Mount) Open(path string) (*File, error) {
 
 // OpenFile opens path; create makes it if absent, trunc empties it.
 func (m *Mount) OpenFile(path string, create, trunc bool) (*File, error) {
+	m.lock()
+	defer m.unlock()
+	return m.openFileLocked(path, create, trunc)
+}
+
+func (m *Mount) openFileLocked(path string, create, trunc bool) (*File, error) {
 	m.chargeSyscall()
 	defer m.maintain()
 	path = keys.Clean(path)
@@ -57,19 +63,33 @@ func (m *Mount) OpenFile(path string, create, trunc bool) (*File, error) {
 	}
 	f := &File{m: m, ino: ino}
 	if trunc && ino.attr.Size > 0 {
-		f.Truncate(0)
+		f.truncateLocked(0)
 	}
 	return f, nil
 }
 
 // Size returns the current file size.
-func (f *File) Size() int64 { return f.ino.attr.Size }
+func (f *File) Size() int64 {
+	f.m.lock()
+	defer f.m.unlock()
+	return f.ino.attr.Size
+}
 
 // Path returns the file's current path.
-func (f *File) Path() string { return f.ino.path }
+func (f *File) Path() string {
+	f.m.lock()
+	defer f.m.unlock()
+	return f.ino.path
+}
 
 // Truncate resizes the file to size (only shrinking discards data).
 func (f *File) Truncate(size int64) {
+	f.m.lock()
+	defer f.m.unlock()
+	f.truncateLocked(size)
+}
+
+func (f *File) truncateLocked(size int64) {
 	m := f.m
 	m.chargeSyscall()
 	if size < f.ino.attr.Size {
@@ -105,14 +125,18 @@ func (f *File) Truncate(size int64) {
 
 // Write appends at the cursor.
 func (f *File) Write(p []byte) (int, error) {
-	n, err := f.WriteAt(p, f.pos)
+	f.m.lock()
+	defer f.m.unlock()
+	n, err := f.writeAtLocked(p, f.pos)
 	f.pos += int64(n)
 	return n, err
 }
 
 // Read reads from the cursor.
 func (f *File) Read(p []byte) (int, error) {
-	n, err := f.ReadAt(p, f.pos)
+	f.m.lock()
+	defer f.m.unlock()
+	n, err := f.readAtLocked(p, f.pos)
 	f.pos += int64(n)
 	return n, err
 }
@@ -120,6 +144,8 @@ func (f *File) Read(p []byte) (int, error) {
 // Seek sets the cursor (whence 0 = absolute, 1 = relative, 2 = from end)
 // and returns the new position.
 func (f *File) Seek(off int64, whence int) (int64, error) {
+	f.m.lock()
+	defer f.m.unlock()
 	switch whence {
 	case 1:
 		f.pos += off
@@ -135,6 +161,12 @@ func (f *File) Seek(off int64, whence int) (int64, error) {
 // overwrites never read; sub-page writes to uncached blocks either use the
 // FS's blind-write path (WODs, §2.1) or fall back to read-modify-write.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.m.lock()
+	defer f.m.unlock()
+	return f.writeAtLocked(p, off)
+}
+
+func (f *File) writeAtLocked(p []byte, off int64) (int, error) {
 	m := f.m
 	m.chargeSyscall()
 	defer m.maintain()
@@ -201,6 +233,12 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 // ReadAt reads into p from offset off through the page cache with
 // sequential read-ahead.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.m.lock()
+	defer f.m.unlock()
+	return f.readAtLocked(p, off)
+}
+
+func (f *File) readAtLocked(p []byte, off int64) (int, error) {
 	m := f.m
 	m.chargeSyscall()
 	defer m.maintain()
@@ -301,6 +339,8 @@ const fsyncDurableMaxPages = 64
 // Fsync writes back the file's dirty pages and metadata, then asks the FS
 // for durability (§3.3, DESIGN.md).
 func (f *File) Fsync() {
+	f.m.lock()
+	defer f.m.unlock()
 	m := f.m
 	m.chargeSyscall()
 	m.stats.Fsyncs++

@@ -2,7 +2,9 @@ package vfs
 
 import (
 	"container/list"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"betrfs/internal/keys"
@@ -29,6 +31,14 @@ type Config struct {
 	// instantiate dentries and inodes opportunistically (§4 DC). The FS
 	// must also choose to return Known entries.
 	ReaddirPopulatesCaches bool
+	// Concurrent serializes every public Mount and File entry point
+	// behind one mount-wide lock so multiple client goroutines can share
+	// a mount (the betrbench -clients mode). The default (false) takes
+	// no locks at all, keeping single-client simulations bit-identical
+	// to historical results. The underlying FS must be prepared for
+	// overlapping operations itself (the betree store's own Concurrent
+	// mode); the big lock only protects VFS caches and accounting.
+	Concurrent bool
 }
 
 // DefaultConfig returns the standard VFS configuration.
@@ -102,6 +112,27 @@ type Mount struct {
 	lastMaintain time.Duration
 	stats        Stats
 	m            mountMetrics
+
+	// clientMu is the mount big lock (cfg.Concurrent only): public entry
+	// points lock it, unexported internals assume it is held. Lock order:
+	// clientMu is taken strictly above every FS-internal lock (betree
+	// store/node locks, WAL, device) and is never acquired twice on one
+	// call path — public methods immediately delegate to *Locked
+	// internals for any work a sibling entry point also needs.
+	clientMu sync.Mutex
+}
+
+// lock acquires the mount big lock in concurrent mode; no-op otherwise.
+func (m *Mount) lock() {
+	if m.cfg.Concurrent {
+		m.clientMu.Lock()
+	}
+}
+
+func (m *Mount) unlock() {
+	if m.cfg.Concurrent {
+		m.clientMu.Unlock()
+	}
 }
 
 // mountMetrics holds the VFS registry instruments, resolved at NewMount.
@@ -256,6 +287,12 @@ func (m *Mount) markInodeDirty(ino *inode) {
 
 // Mkdir creates a directory.
 func (m *Mount) Mkdir(path string) error {
+	m.lock()
+	defer m.unlock()
+	return m.mkdirLocked(path)
+}
+
+func (m *Mount) mkdirLocked(path string) error {
 	m.chargeSyscall()
 	defer m.maintain()
 	path = keys.Clean(path)
@@ -286,11 +323,13 @@ func (m *Mount) Mkdir(path string) error {
 
 // MkdirAll creates path and any missing parents.
 func (m *Mount) MkdirAll(path string) error {
+	m.lock()
+	defer m.unlock()
 	parts := keys.Split(path)
 	cur := ""
 	for _, p := range parts {
 		cur = keys.Join(cur, p)
-		if err := m.Mkdir(cur); err != nil && err != ErrExist {
+		if err := m.mkdirLocked(cur); err != nil && err != ErrExist {
 			return err
 		}
 	}
@@ -299,11 +338,15 @@ func (m *Mount) MkdirAll(path string) error {
 
 // Remove unlinks the file at path.
 func (m *Mount) Remove(path string) error {
+	m.lock()
+	defer m.unlock()
 	return m.remove(path, false)
 }
 
 // Rmdir removes the (empty) directory at path.
 func (m *Mount) Rmdir(path string) error {
+	m.lock()
+	defer m.unlock()
 	return m.remove(path, true)
 }
 
@@ -348,6 +391,12 @@ func (m *Mount) remove(path string, dir bool) error {
 // traversal through the VFS (§2.3): readdir each directory, recurse, then
 // unlink children before the parent rmdir.
 func (m *Mount) RemoveAll(path string) error {
+	m.lock()
+	defer m.unlock()
+	return m.removeAllLocked(path)
+}
+
+func (m *Mount) removeAllLocked(path string) error {
 	path = keys.Clean(path)
 	ino, err := m.walk(path)
 	if err != nil {
@@ -357,23 +406,29 @@ func (m *Mount) RemoveAll(path string) error {
 		return err
 	}
 	if !ino.attr.Dir {
-		return m.Remove(path)
+		return m.remove(path, false)
 	}
-	entries, err := m.ReadDir(path)
+	entries, err := m.readDirLocked(path)
 	if err != nil {
 		return err
 	}
 	for _, e := range entries {
-		if err := m.RemoveAll(keys.Join(path, e.Name)); err != nil {
+		if err := m.removeAllLocked(keys.Join(path, e.Name)); err != nil {
 			return err
 		}
 	}
-	return m.Rmdir(path)
+	return m.remove(path, true)
 }
 
 // ReadDir lists the directory at path, opportunistically instantiating
 // child dentries and inodes when the FS provides them (§4 DC).
 func (m *Mount) ReadDir(path string) ([]DirEntry, error) {
+	m.lock()
+	defer m.unlock()
+	return m.readDirLocked(path)
+}
+
+func (m *Mount) readDirLocked(path string) ([]DirEntry, error) {
 	m.chargeSyscall()
 	defer m.maintain()
 	path = keys.Clean(path)
@@ -408,6 +463,8 @@ func (m *Mount) ReadDir(path string) ([]DirEntry, error) {
 
 // Rename moves oldPath to newPath (replacing a non-directory target).
 func (m *Mount) Rename(oldPath, newPath string) error {
+	m.lock()
+	defer m.unlock()
 	m.chargeSyscall()
 	defer m.maintain()
 	oldPath = keys.Clean(oldPath)
@@ -420,7 +477,7 @@ func (m *Mount) Rename(oldPath, newPath string) error {
 		if target.attr.Dir {
 			return ErrExist
 		}
-		if err := m.Remove(newPath); err != nil {
+		if err := m.remove(newPath, false); err != nil {
 			return err
 		}
 	}
@@ -463,6 +520,8 @@ func (m *Mount) Rename(oldPath, newPath string) error {
 
 // Stat returns metadata for path.
 func (m *Mount) Stat(path string) (Attr, error) {
+	m.lock()
+	defer m.unlock()
 	m.chargeSyscall()
 	defer m.maintain()
 	m.m.stat.Inc()
@@ -475,6 +534,12 @@ func (m *Mount) Stat(path string) (Attr, error) {
 
 // Sync writes back all dirty state and asks the FS to persist everything.
 func (m *Mount) Sync() {
+	m.lock()
+	defer m.unlock()
+	m.syncLocked()
+}
+
+func (m *Mount) syncLocked() {
 	m.chargeSyscall()
 	m.writebackAll(false)
 	m.fs.Sync()
@@ -486,6 +551,8 @@ func (m *Mount) Sync() {
 // harnesses call this before cutting power so the unflushed-write
 // stream contains the interesting in-flight writes.
 func (m *Mount) Writeback() {
+	m.lock()
+	defer m.unlock()
 	m.writebackAll(false)
 }
 
@@ -493,10 +560,9 @@ func (m *Mount) Writeback() {
 // and inode caches plus the FS's own caches — the echo 3 >
 // /proc/sys/vm/drop_caches step cold-cache benchmarks perform.
 func (m *Mount) DropCaches() {
-	m.Sync()
-	for ino := range m.icache {
-		_ = ino
-	}
+	m.lock()
+	defer m.unlock()
+	m.syncLocked()
 	for h, ino := range m.icache {
 		m.dropInodePages(ino)
 		if ino != m.root {
@@ -512,14 +578,19 @@ func (m *Mount) chargeSyscall() {
 	m.env.Charge(m.env.Costs.Syscall)
 }
 
-// writebackSubtree flushes dirty pages and inodes under prefix.
+// writebackSubtree flushes dirty pages and inodes under prefix, in path
+// order (icache is a map; write-back order is charge-visible).
 func (m *Mount) writebackSubtree(prefix string) {
-	for h, ino := range m.icache {
-		_ = h
+	var inos []*inode
+	for _, ino := range m.icache {
 		if ino.path == prefix || strings.HasPrefix(ino.path, prefix+"/") {
-			m.writebackInodePages(ino, false)
-			m.writebackInodeAttr(ino)
+			inos = append(inos, ino)
 		}
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i].path < inos[j].path })
+	for _, ino := range inos {
+		m.writebackInodePages(ino, false)
+		m.writebackInodeAttr(ino)
 	}
 }
 

@@ -231,8 +231,8 @@ func (m *Mount) maintain() {
 		}
 		m.writebackPage(pg, false)
 	}
-	for ino, since := range m.dirtyInodes {
-		if now-since >= m.cfg.DirtyExpire {
+	for _, ino := range m.sortedDirtyInodes() {
+		if now-m.dirtyInodes[ino] >= m.cfg.DirtyExpire {
 			m.writebackInodePages(ino, false)
 			m.writebackInodeAttr(ino)
 		}
@@ -240,12 +240,25 @@ func (m *Mount) maintain() {
 	m.fs.Maintain()
 }
 
+// sortedDirtyInodes snapshots the dirty-inode set in path order. The map
+// is keyed by pointer, so ranging it directly would write inodes back in
+// a different order every run — and write-back order is charge-visible
+// (it decides FS write ordering and therefore simulated seek costs).
+func (m *Mount) sortedDirtyInodes() []*inode {
+	out := make([]*inode, 0, len(m.dirtyInodes))
+	for ino := range m.dirtyInodes {
+		out = append(out, ino)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out
+}
+
 // writebackAll flushes every dirty page and inode.
 func (m *Mount) writebackAll(durable bool) {
 	for m.dirty.Front() != nil {
 		m.writebackPage(m.dirty.Front().Value.(*Page), durable)
 	}
-	for ino := range m.dirtyInodes {
+	for _, ino := range m.sortedDirtyInodes() {
 		m.writebackInodeAttr(ino)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 	"time"
 
 	"betrfs/internal/metrics"
@@ -55,11 +56,18 @@ type Hint struct {
 }
 
 // Log is a circular redo log over a fixed storage region.
+//
+// Methods are serialized by an internal mutex so the background flusher
+// and concurrent readers of log state (free bytes, durable LSN) never
+// race with appends (DESIGN.md §9). The Bε-tree additionally orders all
+// appends under its writer lock, so record order equals MSN order.
 type Log struct {
 	env   *sim.Env
 	f     stor.File
 	cap   int64
 	epoch uint32
+
+	mu sync.Mutex
 
 	nextLSN uint64
 	durable uint64 // highest LSN guaranteed on stable storage
@@ -146,24 +154,44 @@ func (l *Log) Epoch() uint32 { return l.epoch }
 func (l *Log) Stats() *Stats { return &l.stats }
 
 // NextLSN returns the LSN the next Append will receive.
-func (l *Log) NextLSN() uint64 { return l.nextLSN }
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
 
 // DurableLSN returns the highest LSN known to be on stable storage.
-func (l *Log) DurableLSN() uint64 { return l.durable }
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
 
 // FreeBytes returns how much circular space remains before Append fails.
-func (l *Log) FreeBytes() int64 { return l.cap - (l.head - l.tail) }
+func (l *Log) FreeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cap - (l.head - l.tail)
+}
 
 // LiveBytes returns the space occupied by unreclaimed records.
-func (l *Log) LiveBytes() int64 { return l.head - l.tail }
+func (l *Log) LiveBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head - l.tail
+}
 
 func recordSize(payload int) int64 {
 	return int64(headerSize + payload + crcSize)
 }
 
+func (l *Log) freeBytesLocked() int64 { return l.cap - (l.head - l.tail) }
+
 // Append adds a record and returns its LSN. The record is buffered in
 // memory until Flush. ErrLogFull means the caller must reclaim space.
 func (l *Log) Append(t RecordType, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	need := recordSize(len(payload))
 	if need > l.cap {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds log capacity %d", need, l.cap)
@@ -172,7 +200,7 @@ func (l *Log) Append(t RecordType, payload []byte) (uint64, error) {
 	// sliver too small to hold even a pad record is skipped as implicit
 	// filler; recovery applies the same rule.
 	if rem := l.cap - l.head%l.cap; rem < need {
-		if l.FreeBytes() < rem+need {
+		if l.freeBytesLocked() < rem+need {
 			return 0, ErrLogFull
 		}
 		if rem < int64(headerSize+crcSize) {
@@ -183,7 +211,7 @@ func (l *Log) Append(t RecordType, payload []byte) (uint64, error) {
 		} else {
 			l.appendPad(int(rem))
 		}
-	} else if l.FreeBytes() < need {
+	} else if l.freeBytesLocked() < need {
 		return 0, ErrLogFull
 	}
 	lsn := l.nextLSN
@@ -228,6 +256,12 @@ func (l *Log) encode(t RecordType, lsn uint64, payload []byte) {
 // advance; a crash may tear or drop the written tail, which recovery
 // detects via record CRCs.
 func (l *Log) WriteOut() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.writeOut()
+}
+
+func (l *Log) writeOut() {
 	if len(l.pending) == 0 {
 		return
 	}
@@ -253,7 +287,9 @@ func (l *Log) WriteOut() {
 // Flush writes all pending records to the region and issues a durability
 // barrier; afterwards DurableLSN covers everything appended so far.
 func (l *Log) Flush() {
-	l.WriteOut()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.writeOut()
 	l.f.Flush()
 	l.env.Charge(l.SyncDelay)
 	l.durable = l.nextLSN - 1
@@ -266,9 +302,13 @@ func (l *Log) Flush() {
 // function releases the pin. Used by conditional logging to keep inode
 // creation records alive while the inode is only dirty in the VFS.
 func (l *Log) Pin(lsn uint64) func() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.pins[lsn]++
 	released := false
 	return func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
 		if released {
 			return
 		}
@@ -295,6 +335,8 @@ func (l *Log) minPinned() (uint64, bool) {
 // the LSN of the last completed checkpoint), except that pinned sections
 // survive. It returns the new recovery hint.
 func (l *Log) Reclaim(upto uint64) Hint {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if min, ok := l.minPinned(); ok && min < upto {
 		upto = min
 		l.stats.PinsBlocked++
@@ -314,11 +356,17 @@ func (l *Log) Reclaim(upto uint64) Hint {
 		}
 		l.positions = l.positions[i:]
 	}
-	return l.Hint()
+	return l.hint()
 }
 
 // Hint returns the current recovery starting point.
 func (l *Log) Hint() Hint {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hint()
+}
+
+func (l *Log) hint() Hint {
 	if len(l.positions) == 0 {
 		return Hint{Offset: l.head % l.cap, LSN: l.nextLSN, Epoch: l.epoch}
 	}
