@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race crashtest scrub bench-json
+.PHONY: check vet build test race crashtest scrub faults bench-json
 
-check: vet build race crashtest scrub bench-json
+check: vet build race crashtest scrub faults bench-json
 
 vet:
 	$(GO) vet ./...
@@ -31,12 +31,25 @@ race:
 crashtest:
 	$(GO) test -race -short -v -run 'Crash|Reorder' ./internal/crashtest/ ./internal/extfs/ ./internal/logfs/ ./internal/cowfs/
 
-# Corruption detection end to end: inject bit flips into a Bε-tree node
-# image and require betrfsck to report it (exit 1), then require a clean
-# image to pass (exit 0).
+# Corruption detection end to end, with fsck-style exit codes: a clean
+# image passes (0), injected bit flips are reported as checksum
+# corruption (2), a grown media defect as a media error (3), and a mix
+# reports the stronger media class (3).
+# (`go run` collapses any nonzero child exit to 1, so the exact-code
+# assertions need a real binary.)
 scrub:
-	$(GO) run ./cmd/betrfsck -mode=scrub > /dev/null
-	! $(GO) run ./cmd/betrfsck -mode=scrub -corrupt=2 > /dev/null
+	mkdir -p bin && $(GO) build -o bin/betrfsck ./cmd/betrfsck
+	./bin/betrfsck -mode=scrub > /dev/null
+	./bin/betrfsck -mode=scrub -corrupt=2 > /dev/null 2>&1; test $$? -eq 2
+	./bin/betrfsck -mode=scrub -badsector=1 > /dev/null 2>&1; test $$? -eq 3
+	./bin/betrfsck -mode=scrub -corrupt=1 -badsector=1 > /dev/null 2>&1; test $$? -eq 3
+
+# Deterministic fault-injection sweep (fixed seeds): transient faults
+# absorbed by retry, persistent write death degrading mounts read-only,
+# silent bit flips recovered by checksum re-reads, bad-sector EIO
+# propagation, and ENOSPC semantics — across every file system.
+faults:
+	$(GO) test -count=1 ./internal/faulttest/
 
 # Scaled microbenchmark run with machine-readable output: writes
 # BENCH_micro.json and fails unless the document round-trips the schema

@@ -101,7 +101,11 @@ func buildTree(b *testing.B, mutate func(*betree.Config)) (*sim.Env, *betree.Sto
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	s, err := betree.Open(env, kmem.New(env, true), cfg, sfl.NewDefault(env, dev))
+	backend, err := sfl.NewDefault(env, dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := betree.Open(env, kmem.New(env, true), cfg, backend)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -242,7 +242,11 @@ func runClients(systems []string, o runOpts, clients int) bool {
 func printLayout(scale int64) {
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(scale))
-	s := sfl.NewDefault(env, dev)
+	s, err := sfl.NewDefault(env, dev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "betrbench: layout:", err)
+		os.Exit(1)
+	}
 	lay := s.Layout()
 	fmt.Printf("SFL on-disk layout (paper: Table 2), device %d MiB:\n\n", dev.Size()>>20)
 	fmt.Printf("%-12s %12s\n", "Name", "Size")

@@ -5,10 +5,20 @@
 //	             remount, check the recovered state, and scrub every
 //	             node checksum (default)
 //	-mode=scrub  populate and checkpoint a store, optionally flip bytes
-//	             inside -corrupt node images, then verify every Bε-tree
+//	             inside -corrupt node images or grow -badsector media
+//	             defects under node extents, then verify every Bε-tree
 //	             node checksum and print a per-node report
 //
-// Exit codes: 0 clean, 1 corruption or recovery failure, 2 usage error.
+// Exit codes distinguish the failure class, fsck-style:
+//
+//	0   clean
+//	1   crash-recovery failure
+//	2   checksum corruption (the device returned bytes that do not verify)
+//	3   media error (the read command itself failed)
+//	64  usage error
+//
+// A scrub that hits both classes reports the media error (exit 3): it is
+// the stronger signal that the hardware, not just the data, is failing.
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"betrfs/internal/betree"
 	"betrfs/internal/betrfs"
 	"betrfs/internal/blockdev"
 	"betrfs/internal/keys"
@@ -31,12 +42,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "crash-point / corruption seed")
 	trials := flag.Int("trials", 10, "number of crash trials")
 	corrupt := flag.Int("corrupt", 0, "scrub mode: number of node images to corrupt")
+	badsector := flag.Int("badsector", 0, "scrub mode: number of node extents to turn into unreadable media defects")
 	verbose := flag.Bool("v", false, "scrub mode: print clean nodes too")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "betrfsck: unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(64)
 	}
 
 	switch *mode {
@@ -45,7 +57,7 @@ func main() {
 		case "prefix", "torn", "subset":
 		default:
 			fmt.Fprintf(os.Stderr, "betrfsck: unknown -kind %q (want prefix, torn, or subset)\n", *kind)
-			os.Exit(2)
+			os.Exit(64)
 		}
 		failures := 0
 		for trial := 0; trial < *trials; trial++ {
@@ -58,22 +70,29 @@ func main() {
 			os.Exit(1)
 		}
 	case "scrub":
-		os.Exit(runScrub(*seed, *corrupt, *verbose))
+		os.Exit(runScrub(*seed, *corrupt, *badsector, *verbose))
 	default:
 		fmt.Fprintf(os.Stderr, "betrfsck: unknown -mode %q (want crash or scrub)\n", *mode)
-		os.Exit(2)
+		os.Exit(64)
 	}
 }
 
 // buildPopulated formats a BetrFS over a fresh device and fills it with a
-// synced population under stable/.
-func buildPopulated(seed uint64) (env *sim.Env, dev *blockdev.Dev, backend *sfl.SFL, alloc *kmem.Allocator, fs *betrfs.FS, m *vfs.Mount, synced map[string]int) {
+// synced population under stable/. The SFL is stacked over a zero-plan
+// fault device so scrub mode can grow media defects after the fact; with
+// no faults configured the wrapper is a pure pass-through.
+func buildPopulated(seed uint64) (env *sim.Env, dev *blockdev.Dev, fdev *blockdev.FaultDev, backend *sfl.SFL, alloc *kmem.Allocator, fs *betrfs.FS, m *vfs.Mount, synced map[string]int) {
 	env = sim.NewEnv(seed)
 	dev = blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
 	dev.EnableCrashTracking()
-	backend = sfl.NewDefault(env, dev)
-	alloc = kmem.New(env, true)
+	fdev = blockdev.NewFault(env, dev, blockdev.FaultPlan{Seed: seed})
 	var err error
+	backend, err = sfl.NewDefault(env, fdev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "betrfsck: format:", err)
+		os.Exit(1)
+	}
+	alloc = kmem.New(env, true)
 	fs, err = betrfs.New(env, alloc, betrfs.V06Config(), backend)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "betrfsck: format:", err)
@@ -92,11 +111,11 @@ func buildPopulated(seed uint64) (env *sim.Env, dev *blockdev.Dev, backend *sfl.
 		synced[p] = size
 	}
 	m.Sync()
-	return env, dev, backend, alloc, fs, m, synced
+	return env, dev, fdev, backend, alloc, fs, m, synced
 }
 
 func runTrial(seed uint64, kind string) bool {
-	env, dev, backend, alloc, fs, m, synced := buildPopulated(seed)
+	env, dev, _, backend, alloc, fs, m, synced := buildPopulated(seed)
 	rnd := sim.NewRand(seed ^ 0x5eed)
 
 	// Unsynced phase, then crash.
@@ -198,51 +217,78 @@ func runTrial(seed uint64, kind string) bool {
 	return ok
 }
 
-// runScrub checkpoints a populated store, optionally corrupts node images
-// on the device, and reports every node's checksum verdict.
-func runScrub(seed uint64, corruptN int, verbose bool) int {
-	_, dev, backend, _, fs, m, _ := buildPopulated(seed)
+// runScrub checkpoints a populated store, optionally injects checksum
+// corruption (-corrupt) or media defects (-badsector) under node images,
+// and reports every node's verdict. The exit code classifies the worst
+// finding: 3 for media errors, 2 for checksum corruption, 0 clean.
+func runScrub(seed uint64, corruptN, badsectorN int, verbose bool) int {
+	_, dev, fdev, backend, _, fs, m, _ := buildPopulated(seed)
 	m.Sync()
-	fs.Store().Checkpoint()
+	if err := fs.Store().Checkpoint(); err != nil {
+		fmt.Fprintln(os.Stderr, "betrfsck: checkpoint:", err)
+		return 1
+	}
 
 	clean := fs.Store().Scrub()
 	if corruptN > len(clean) {
 		corruptN = len(clean)
 	}
+	if badsectorN > len(clean) {
+		badsectorN = len(clean)
+	}
 	rnd := sim.NewRand(seed)
 	lay := backend.Layout()
-	for i := 0; i < corruptN; i++ {
-		rep := clean[rnd.Intn(len(clean))]
-		// Node extents are offsets into the tree's SFL file; translate to
-		// a device offset via the static layout (super, log, meta, data).
+	// Node extents are offsets into the tree's SFL file; translate to a
+	// device offset via the static layout (super, log, meta, data).
+	devOff := func(rep betree.ScrubReport) int64 {
 		base := lay.SuperBytes + lay.LogBytes
 		if rep.Tree == "data" {
 			base += lay.MetaBytes
 		}
-		dev.CorruptFlip(base+rep.Off+rep.Len/2, 4, seed+uint64(i))
+		return base + rep.Off
+	}
+	for i := 0; i < corruptN; i++ {
+		rep := clean[rnd.Intn(len(clean))]
+		dev.CorruptFlip(devOff(rep)+rep.Len/2, 4, seed+uint64(i))
 		fmt.Printf("injected bit flips into %s node %d (extent off=%d len=%d)\n",
 			rep.Tree, rep.ID, rep.Off, rep.Len)
 	}
+	for i := 0; i < badsectorN; i++ {
+		rep := clean[rnd.Intn(len(clean))]
+		fdev.AddBadRange(devOff(rep), rep.Len)
+		fmt.Printf("grew media defect under %s node %d (extent off=%d len=%d)\n",
+			rep.Tree, rep.ID, rep.Off, rep.Len)
+	}
 
-	badNodes := 0
+	corruptNodes, mediaNodes := 0, 0
 	for _, rep := range fs.Store().Scrub() {
 		switch {
 		case rep.Err != nil:
 			verdict := "INVALID"
-			if rep.Corrupt() {
+			switch {
+			case rep.Unreadable():
+				verdict = "MEDIA"
+				mediaNodes++
+			case rep.Corrupt():
 				verdict = "CORRUPT"
+				corruptNodes++
+			default:
+				corruptNodes++
 			}
 			fmt.Printf("%-7s tree=%-4s node=%-6d off=%-10d len=%-7d err=%v\n",
 				verdict, rep.Tree, rep.ID, rep.Off, rep.Len, rep.Err)
-			badNodes++
 		case verbose:
 			fmt.Printf("%-7s tree=%-4s node=%-6d off=%-10d len=%-7d\n",
 				"OK", rep.Tree, rep.ID, rep.Off, rep.Len)
 		}
 	}
-	fmt.Printf("\nscrub: %d nodes checked, %d corrupt\n", len(clean), badNodes)
-	if badNodes > 0 {
-		return 1
+	fmt.Printf("\nscrub: %d nodes checked, %d corrupt, %d unreadable\n",
+		len(clean), corruptNodes, mediaNodes)
+	switch {
+	case mediaNodes > 0:
+		return 3
+	case corruptNodes > 0:
+		return 2
 	}
 	return 0
 }

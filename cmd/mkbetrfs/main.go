@@ -22,7 +22,11 @@ func main() {
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(*scale))
 	layout := sfl.DefaultLayout(dev.Size())
-	backend := sfl.New(env, dev, layout)
+	backend, err := sfl.New(env, dev, layout)
+	if err != nil {
+		fmt.Println("format failed:", err)
+		return
+	}
 
 	cfg := betrfs.V06Config()
 	if *version == "v0.4" {
@@ -33,7 +37,10 @@ func main() {
 		fmt.Println("format failed:", err)
 		return
 	}
-	fs.Sync()
+	if err := fs.Sync(); err != nil {
+		fmt.Println("sync failed:", err)
+		return
+	}
 
 	fmt.Printf("formatted BetrFS %s on %d MiB simulated SSD\n\n", *version, dev.Size()>>20)
 	fmt.Printf("%-12s %14s\n", "region", "size")

@@ -16,7 +16,11 @@ import (
 func main() {
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	store, err := betree.Open(env, kmem.New(env, true), betree.DefaultConfig(), sfl.NewDefault(env, dev))
+	backend, err := sfl.NewDefault(env, dev)
+	if err != nil {
+		panic(err)
+	}
+	store, err := betree.Open(env, kmem.New(env, true), betree.DefaultConfig(), backend)
 	if err != nil {
 		panic(err)
 	}

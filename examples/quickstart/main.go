@@ -23,7 +23,11 @@ func main() {
 
 	// BetrFS v0.6: Bε-tree on the Simple File Layer, all paper
 	// optimizations enabled, cooperative memory management.
-	fs, err := betrfs.New(env, kmem.New(env, true), betrfs.V06Config(), sfl.NewDefault(env, dev))
+	backend, err := sfl.NewDefault(env, dev)
+	if err != nil {
+		panic(err)
+	}
+	fs, err := betrfs.New(env, kmem.New(env, true), betrfs.V06Config(), backend)
 	if err != nil {
 		panic(err)
 	}

@@ -5,11 +5,14 @@ import (
 	"regexp"
 	"sort"
 	"testing"
+
+	"betrfs/internal/blockdev"
+	"betrfs/internal/sim"
 )
 
 // metricNameRE matches a backticked metric name in the docs: a known
 // layer prefix followed by dot-separated lower-case segments.
-var metricNameRE = regexp.MustCompile("`((?:betree|wal|sfl|southbound|blockdev|kmem|vfs|betrfs|flusher)\\.[a-z0-9_.]+)`")
+var metricNameRE = regexp.MustCompile("`((?:betree|wal|sfl|southbound|blockdev|kmem|vfs|betrfs|flusher|io)\\.[a-z0-9_.]+)`")
 
 // documentedMetrics extracts every metric name mentioned in the given
 // markdown files.
@@ -38,6 +41,15 @@ func registeredMetrics() map[string]bool {
 		for _, n := range in.Env.Metrics.Names() {
 			out[n] = true
 		}
+	}
+	// The fault-injection stack registers its io.* counters only when the
+	// wrappers are constructed (benchmarks never build them); stack one
+	// over a scratch device so the catalog covers those too.
+	env := sim.NewEnv(1)
+	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(4096))
+	blockdev.WithRetry(env, blockdev.NewFault(env, dev, blockdev.FaultPlan{}), blockdev.DefaultRetryPolicy())
+	for _, n := range env.Metrics.Names() {
+		out[n] = true
 	}
 	return out
 }
@@ -73,7 +85,7 @@ func TestDocumentedMetricsRegistered(t *testing.T) {
 	// The load-bearing names the observability chapter leans on must be
 	// present on both sides, guarding against a regex or doc restructure
 	// silently matching nothing.
-	for _, n := range []string{"betree.msg.pushed", "wal.fsync.count", "kmem.buffercache.hit"} {
+	for _, n := range []string{"betree.msg.pushed", "wal.fsync.count", "kmem.buffercache.hit", "io.fault.read", "io.retry.corrupt", "vfs.remount.ro"} {
 		if !documented[n] {
 			t.Errorf("expected %s to be documented", n)
 		}

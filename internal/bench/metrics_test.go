@@ -30,7 +30,11 @@ func qryStore(t *testing.T, legacy bool) (*sim.Env, *betree.Store) {
 	cfg.Fanout = 8
 	cfg.CacheBytes = 8 << 20
 	cfg.LegacyApplyOnQuery = legacy
-	s, err := betree.Open(env, kmem.New(env, true), cfg, sfl.NewDefault(env, dev))
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		t.Fatal(berr)
+	}
+	s, err := betree.Open(env, kmem.New(env, true), cfg, backend)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -83,7 +87,11 @@ func clMount(t *testing.T, cl bool) (*sim.Env, *vfs.Mount) {
 	cfg.ConditionalLogging = cl
 	cfg.Tree.CacheBytes = 64 << 20
 	cfg.Tree.CheckpointPeriod = 500 * time.Microsecond
-	fs, err := betrfs.New(env, kmem.New(env, true), cfg, sfl.NewDefault(env, dev))
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		t.Fatal(berr)
+	}
+	fs, err := betrfs.New(env, kmem.New(env, true), cfg, backend)
 	if err != nil {
 		t.Fatalf("betrfs: %v", err)
 	}

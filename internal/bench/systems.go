@@ -163,7 +163,11 @@ func buildBetrFS(env *sim.Env, dev *blockdev.Dev, name string, ramBytes int64, c
 	var fs *betrfs.FS
 	var err error
 	if useSFL {
-		fs, err = betrfs.New(env, alloc, cfg, sfl.NewDefault(env, dev))
+		backend, berr := sfl.NewDefault(env, dev)
+		if berr != nil {
+			panic(berr)
+		}
+		fs, err = betrfs.New(env, alloc, cfg, backend)
 	} else {
 		lower := extfs.New(env, dev, extfs.Ext4Profile())
 		fs, err = betrfs.New(env, alloc, cfg, southbound.New(env, lower, southbound.DefaultLayout(dev.Size())))

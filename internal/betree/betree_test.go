@@ -17,7 +17,10 @@ func testStore(t testing.TB, mutate func(*Config)) (*sim.Env, *Store) {
 	t.Helper()
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		t.Fatal(berr)
+	}
 	cfg := DefaultConfig()
 	cfg.NodeSize = 64 << 10
 	cfg.BasementSize = 4 << 10
@@ -245,7 +248,10 @@ func TestLargeValues(t *testing.T) {
 func TestPersistenceAcrossReopen(t *testing.T) {
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		t.Fatal(berr)
+	}
 	cfg := DefaultConfig()
 	cfg.NodeSize = 64 << 10
 	cfg.BasementSize = 4 << 10
@@ -280,7 +286,10 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 func TestLogReplayAfterCrash(t *testing.T) {
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		t.Fatal(berr)
+	}
 	cfg := DefaultConfig()
 	cfg.NodeSize = 64 << 10
 	cfg.CacheBytes = 8 << 20
@@ -311,7 +320,10 @@ func TestLogReplayAfterCrash(t *testing.T) {
 func TestUnsyncedOpsLostAfterCrash(t *testing.T) {
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		t.Fatal(berr)
+	}
 	cfg := DefaultConfig()
 	cfg.CheckpointPeriod = 1 << 40 // effectively never
 	alloc := kmem.New(env, true)
@@ -398,7 +410,10 @@ func TestWriteOptimization(t *testing.T) {
 	// the whole point of write optimization.
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		t.Fatal(berr)
+	}
 	cfg := DefaultConfig()
 	cfg.CacheBytes = 64 << 20
 	s, err := Open(env, kmem.New(env, true), cfg, backend)

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"betrfs/internal/ioerr"
 )
 
 // extent is a contiguous on-disk byte range within a tree's node file.
@@ -62,7 +64,7 @@ func (bt *blockTable) allocate(size int64) (extent, error) {
 			return e, nil
 		}
 	}
-	return extent{}, fmt.Errorf("betree: node file full (want %d bytes)", size)
+	return extent{}, fmt.Errorf("betree: node file full (want %d bytes): %w", size, ioerr.ErrNoSpace)
 }
 
 // release returns an extent to the free list, coalescing neighbors.

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"betrfs/internal/ioerr"
 	"betrfs/internal/metrics"
 )
 
@@ -142,9 +143,10 @@ func (c *nodeCache) insertPinned(t *Tree, n *node) *node {
 	el := sh.lru.PushFront(&cacheEntry{key: key, node: n})
 	sh.entries[key] = el
 	sh.used += int64(n.computeMemSize())
-	pressure := c.evictShard(sh, sh.budget)
+	pressure, evErr := c.evictShard(sh, sh.budget)
 	sh.mu.Unlock()
 	c.dirtyPressure(pressure)
+	ioerr.Check(evErr)
 	return n
 }
 
@@ -161,17 +163,19 @@ func (c *nodeCache) put(t *Tree, n *node) {
 		old.node = n
 		sh.used += int64(n.computeMemSize())
 		sh.lru.MoveToFront(el)
-		pressure := c.evictShard(sh, sh.budget)
+		pressure, evErr := c.evictShard(sh, sh.budget)
 		sh.mu.Unlock()
 		c.dirtyPressure(pressure)
+		ioerr.Check(evErr)
 		return
 	}
 	el := sh.lru.PushFront(&cacheEntry{key: key, node: n})
 	sh.entries[key] = el
 	sh.used += int64(n.computeMemSize())
-	pressure := c.evictShard(sh, sh.budget)
+	pressure, evErr := c.evictShard(sh, sh.budget)
 	sh.mu.Unlock()
 	c.dirtyPressure(pressure)
+	ioerr.Check(evErr)
 }
 
 // resize recomputes a node's footprint after mutation.
@@ -202,8 +206,10 @@ func (c *nodeCache) remove(t *Tree, id nodeID) {
 
 // evictShard evicts cold, unpinned nodes until used <= target, with the
 // shard lock held. Returns whether a dirty node was skipped under the
-// deferred policy (the caller reports pressure outside the lock).
-func (c *nodeCache) evictShard(sh *cacheShard, target int64) (dirtySkipped bool) {
+// deferred policy (the caller reports pressure outside the lock), and the
+// first write-back failure — which the caller must re-raise only after
+// releasing the shard lock, or the mutex would stay held forever.
+func (c *nodeCache) evictShard(sh *cacheShard, target int64) (dirtySkipped bool, failed error) {
 	el := sh.lru.Back()
 	for el != nil && sh.used > target {
 		prev := el.Prev()
@@ -221,9 +227,19 @@ func (c *nodeCache) evictShard(sh *cacheShard, target int64) (dirtySkipped bool)
 				el = prev
 				continue
 			}
+			if werr := c.tryWriteNode(ce.key.tree, ce.node); werr != nil {
+				// Write-back failed (device error or node file full):
+				// evicting would silently discard the dirty state, so the
+				// node stays cached over budget and the error surfaces
+				// once the sweep finishes.
+				if failed == nil {
+					failed = werr
+				}
+				el = prev
+				continue
+			}
 			sh.dirtyEvictions++
 			c.mEvictDirty.Inc()
-			c.writeNode(ce.key.tree, ce.node)
 		}
 		sh.evictions++
 		c.mEvict.Inc()
@@ -233,7 +249,16 @@ func (c *nodeCache) evictShard(sh *cacheShard, target int64) (dirtySkipped bool)
 		delete(sh.entries, ce.key)
 		el = prev
 	}
-	return dirtySkipped
+	return dirtySkipped, failed
+}
+
+// tryWriteNode runs the inline write-back callback, converting an abort
+// (device failure, node file full) into an error so the eviction sweep
+// can keep the node and release its shard lock before re-raising.
+func (c *nodeCache) tryWriteNode(t *Tree, n *node) (err error) {
+	defer ioerr.Guard(&err)
+	c.writeNode(t, n)
+	return nil
 }
 
 func (c *nodeCache) dirtyPressure(pressure bool) {

@@ -1,5 +1,7 @@
 package betree
 
+import "betrfs/internal/ioerr"
+
 // Concurrent-mode code paths (DESIGN.md §9).
 //
 // In concurrent mode (Config.Concurrent) the tree splits every inject
@@ -27,27 +29,7 @@ package betree
 // arrival order at the root equals MSN order.
 func (t *Tree) insertMsgConcurrent(m *Msg) {
 	s := t.store
-	s.lockShared()
-	root := t.mustFetch(t.rootID, nil)
-	s.latchExcl(root)
-	var size, limit int
-	if root.isLeaf() {
-		t.applyToLeaf(root, m)
-		t.markDirty(root)
-		size, limit = root.leafBytes(), s.cfg.NodeSize
-	} else {
-		ci := root.childFor(s.env, m.Key)
-		root.bufs[ci].appendCharged(s.alloc, m)
-		if m.Type == MsgRangeDelete {
-			t.routeRangeMsg(root, m, ci)
-		}
-		t.markDirty(root)
-		size, limit = root.bufferBytes(), s.cfg.NodeSize
-	}
-	s.unlatchExcl(root)
-	t.unpin(root)
-	s.unlockShared()
-
+	size, limit := t.injectRoot(m)
 	if size <= limit {
 		return
 	}
@@ -57,12 +39,44 @@ func (t *Tree) insertMsgConcurrent(m *Msg) {
 		// the root cannot grow without bound. Safe to block on the
 		// exclusive lock here — we hold writerMu, readers drain on their
 		// own, and pool tasks never block on the structure lock.
-		s.lockExcl()
-		t.flushRootLocked()
-		s.unlockExcl()
+		t.flushRootExcl()
 		return
 	}
 	t.scheduleBackgroundFlush()
+}
+
+// injectRoot appends m at the root under the shared structure lock and
+// root latch, using defers so a device-failure abort from deep inside the
+// apply still releases every lock on its way to the public-API guard.
+func (t *Tree) injectRoot(m *Msg) (size, limit int) {
+	s := t.store
+	s.lockShared()
+	defer s.unlockShared()
+	root := t.mustFetch(t.rootID, nil)
+	defer t.unpin(root)
+	s.latchExcl(root)
+	defer s.unlatchExcl(root)
+	if root.isLeaf() {
+		t.applyToLeaf(root, m)
+		t.markDirty(root)
+		return root.leafBytes(), s.cfg.NodeSize
+	}
+	ci := root.childFor(s.env, m.Key)
+	root.bufs[ci].appendCharged(s.alloc, m)
+	if m.Type == MsgRangeDelete {
+		t.routeRangeMsg(root, m, ci)
+	}
+	t.markDirty(root)
+	return root.bufferBytes(), s.cfg.NodeSize
+}
+
+// flushRootExcl runs flushRootLocked under the exclusive structure lock,
+// deferring the unlock so an abort cannot leak it.
+func (t *Tree) flushRootExcl() {
+	s := t.store
+	s.lockExcl()
+	defer s.unlockExcl()
+	t.flushRootLocked()
 }
 
 // flushRootLocked relieves root pressure: flush descend, then split if
@@ -102,15 +116,19 @@ func (t *Tree) scheduleBackgroundFlush() {
 			return
 		}
 		defer s.unlockExcl()
+		// A pool goroutine has no caller to report a device failure to:
+		// write failures were latched by devCheck and resurface at the
+		// next checkpoint, read failures recur on the next foreground
+		// fetch, so the abort is absorbed here instead of crashing.
+		var bgErr error
+		defer ioerr.Guard(&bgErr)
 		s.m.flushBackground.Inc()
 		t.flushRootLocked()
 	})
 	if !ok {
 		// Queue full: flush inline so pressure cannot outrun the pool.
 		t.flushQueued.Store(false)
-		s.lockExcl()
-		t.flushRootLocked()
-		s.unlockExcl()
+		t.flushRootExcl()
 	}
 }
 
@@ -132,6 +150,10 @@ func (s *Store) requestBackgroundWriteback() {
 			return
 		}
 		defer s.unlockExcl()
+		// Same absorption rule as the background flush: devCheck latched
+		// any write failure, and the next checkpoint re-raises it.
+		var bgErr error
+		defer ioerr.Guard(&bgErr)
 		s.m.wbBackground.Inc()
 		for _, t := range []*Tree{s.meta, s.data} {
 			for _, n := range s.cache.dirtyNodes(t) {

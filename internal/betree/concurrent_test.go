@@ -21,7 +21,10 @@ func concurrentStore(t testing.TB, workers int) (*sim.Env, *Store) {
 	env := sim.NewEnv(1)
 	env.Pool.SetWorkers(workers)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		panic(berr)
+	}
 	cfg := DefaultConfig()
 	cfg.NodeSize = 64 << 10
 	cfg.BasementSize = 4 << 10
@@ -153,7 +156,10 @@ func TestConcurrentCheckpointDurability(t *testing.T) {
 	env := sim.NewEnv(1)
 	env.Pool.SetWorkers(3)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		panic(berr)
+	}
 	cfg := DefaultConfig()
 	cfg.NodeSize = 64 << 10
 	cfg.BasementSize = 4 << 10

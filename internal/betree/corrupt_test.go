@@ -18,7 +18,10 @@ func corruptStore(t testing.TB, mutate func(*Config)) (*sim.Env, *blockdev.Dev, 
 	t.Helper()
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		panic(berr)
+	}
 	cfg := DefaultConfig()
 	cfg.NodeSize = 64 << 10
 	cfg.BasementSize = 4 << 10

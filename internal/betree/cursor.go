@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"betrfs/internal/ioerr"
 	"betrfs/internal/keys"
 )
 
@@ -26,7 +27,10 @@ import (
 // released between leaves so injects and flushes can interleave with a
 // long scan. fn runs with those latches held and therefore must not
 // re-enter the tree (Get/Put/Scan on the same store would self-deadlock).
-func (t *Tree) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
+func (t *Tree) Scan(lo, hi []byte, fn func(k, v []byte) bool) (err error) {
+	// The guard catches aborts raised below scanLeaf — e.g. a cache
+	// eviction whose inline write-back hits a device failure.
+	defer ioerr.Guard(&err)
 	atomic.AddInt64(&t.stats.Scans, 1)
 	s := t.store
 	s.m.queryScan.Inc()

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"betrfs/internal/ioerr"
 )
 
 // ScrubReport is the verification result for one on-disk node image.
@@ -18,6 +20,11 @@ type ScrubReport struct {
 // Corrupt reports whether the scrub result indicates on-disk corruption
 // (as opposed to a clean node or a structural lookup failure).
 func (r ScrubReport) Corrupt() bool { return errors.Is(r.Err, ErrChecksum) }
+
+// Unreadable reports whether the scrub failed on a device media error:
+// the read command itself failed, as opposed to returning bytes whose
+// checksum does not verify. betrfsck maps the two to different exit codes.
+func (r ScrubReport) Unreadable() bool { return errors.Is(r.Err, ioerr.ErrIO) }
 
 // Scrub reads every node extent referenced by the current block tables of
 // both trees and verifies its checksums — the whole-image CRC plus, for
@@ -47,7 +54,9 @@ func (s *Store) Scrub() []ScrubReport {
 // path normal reads use, reporting any checksum or format failure.
 func (s *Store) verifyExtent(t *Tree, id nodeID, ext extent) error {
 	data := make([]byte, ext.len)
-	t.f.SubmitRead(data, ext.off)()
+	if rerr := t.f.SubmitRead(data, ext.off)(); rerr != nil {
+		return rerr // wraps ErrIO: a media error, not checksum corruption
+	}
 	s.stats.BytesRead += ext.len
 	raw, err := maybeDecompressNode(s.env, data)
 	if err != nil {

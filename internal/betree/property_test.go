@@ -57,7 +57,10 @@ func TestRandomOpsAgainstModel(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			env := sim.NewEnv(seed)
 			dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-			backend := sfl.NewDefault(env, dev)
+			backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		panic(berr)
+	}
 			cfg := DefaultConfig()
 			cfg.NodeSize = 32 << 10
 			cfg.BasementSize = 2 << 10
@@ -155,7 +158,10 @@ func verifyAgainstModel(t *testing.T, tr *Tree, md *model) {
 func TestRandomUpdatesAgainstModel(t *testing.T) {
 	env := sim.NewEnv(5)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		panic(berr)
+	}
 	cfg := DefaultConfig()
 	cfg.NodeSize = 32 << 10
 	cfg.BasementSize = 2 << 10
@@ -201,7 +207,10 @@ func TestCrashInjection(t *testing.T) {
 			env := sim.NewEnv(seed)
 			dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
 			dev.EnableCrashTracking()
-			backend := sfl.NewDefault(env, dev)
+			backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		panic(berr)
+	}
 			cfg := DefaultConfig()
 			cfg.NodeSize = 32 << 10
 			cfg.CacheBytes = 1 << 20
@@ -273,7 +282,10 @@ func TestCrashInjection(t *testing.T) {
 func TestCrashDuringCheckpoint(t *testing.T) {
 	env := sim.NewEnv(9)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		panic(berr)
+	}
 	cfg := DefaultConfig()
 	cfg.NodeSize = 32 << 10
 	cfg.CacheBytes = 4 << 20

@@ -2,12 +2,14 @@ package betree
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"betrfs/internal/ioerr"
 	"betrfs/internal/kmem"
 	"betrfs/internal/metrics"
 	"betrfs/internal/sim"
@@ -80,6 +82,14 @@ type Store struct {
 	stats StoreStats
 	m     storeMetrics
 
+	// ioErr latches the first device write/flush failure seen anywhere in
+	// the store (including background pool tasks, whose panics never reach
+	// a caller). Checkpoints and syncs re-raise it so the northbound learns
+	// about failures that first fired on a background path. Read errors and
+	// ErrNoSpace are never latched: both are recoverable.
+	ioErrMu sync.Mutex
+	ioErr   error
+
 	// --- concurrency state (DESIGN.md §9) -------------------------------
 	//
 	// concurrent mirrors cfg.Concurrent. When false — the deterministic
@@ -128,6 +138,7 @@ type storeMetrics struct {
 	internalSplit *metrics.Counter
 	queryGet      *metrics.Counter
 	queryScan     *metrics.Counter
+	retryCorrupt  *metrics.Counter
 
 	lockStoreShared *metrics.Counter
 	lockStoreExcl   *metrics.Counter
@@ -162,6 +173,7 @@ func resolveStoreMetrics(reg *metrics.Registry) storeMetrics {
 		internalSplit: reg.Counter("betree.internal.split"),
 		queryGet:      reg.Counter("betree.query.get"),
 		queryScan:     reg.Counter("betree.query.scan"),
+		retryCorrupt:  reg.Counter("io.retry.corrupt"),
 
 		lockStoreShared: reg.Counter("betree.lock.store.shared"),
 		lockStoreExcl:   reg.Counter("betree.lock.store.excl"),
@@ -268,6 +280,36 @@ type pendingRead struct {
 	wait stor.Wait
 }
 
+// devCheck raises a device error as an ioerr.Abort to the nearest public
+// API guard, latching write/flush failures first so a failure on a
+// background path still surfaces at the next checkpoint. nil is a no-op.
+func (s *Store) devCheck(err error) {
+	if err == nil {
+		return
+	}
+	var de *ioerr.DeviceError
+	if errors.As(err, &de) && de.Op != "read" {
+		s.latchIOErr(err)
+	}
+	ioerr.Check(err)
+}
+
+func (s *Store) latchIOErr(err error) {
+	s.ioErrMu.Lock()
+	if s.ioErr == nil {
+		s.ioErr = err
+	}
+	s.ioErrMu.Unlock()
+}
+
+// IOErr returns the latched device write/flush failure, if any. The
+// northbound uses it to decide read-only degradation.
+func (s *Store) IOErr() error {
+	s.ioErrMu.Lock()
+	defer s.ioErrMu.Unlock()
+	return s.ioErr
+}
+
 // Open mounts (or formats, if empty) a store on backend.
 func Open(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend Backend) (*Store, error) {
 	s := &Store{
@@ -303,14 +345,21 @@ func Open(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend Backend) (*St
 	s.meta = newTree(s, "meta", backend.File("meta"))
 	s.data = newTree(s, "data", backend.File("data"))
 
-	gen, payload, ok := s.readSuperblock()
+	gen, payload, ok, sbErr := s.readSuperblock()
+	if sbErr != nil {
+		// A media error is not "no superblock": formatting a fresh store
+		// over an unreadable one would destroy data, so fail the mount.
+		return nil, fmt.Errorf("betree: superblock unreadable: %w", sbErr)
+	}
 	if !ok {
 		// Fresh store: empty root leaves, then an initial checkpoint so
 		// a crash right after format recovers to empty.
 		s.log = wal.New(env, backend.File("log"), 1)
 		s.meta.formatEmpty()
 		s.data.formatEmpty()
-		s.Checkpoint()
+		if err := s.Checkpoint(); err != nil {
+			return nil, err
+		}
 		return s, nil
 	}
 	s.generation = gen
@@ -332,12 +381,23 @@ func Open(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend Backend) (*St
 // the process down.
 func (s *Store) recoverFromLog(hint wal.Hint) (err error) {
 	defer func() {
-		if r := recover(); r != nil {
+		switch r := recover().(type) {
+		case nil:
+		case ioerr.Abort:
+			// Preserve the wrapped sentinel (ErrIO, ErrNoSpace) so the
+			// mount failure stays classifiable.
+			err = fmt.Errorf("betree: recovery failed: %w", r.Err)
+		default:
 			err = fmt.Errorf("betree: recovery failed: %v", r)
 		}
 	}()
 	s.log = wal.New(s.env, s.backend.File("log"), hint.Epoch)
-	for _, rec := range wal.Recover(s.env, s.backend.File("log"), hint) {
+	recs, rerr := wal.Recover(s.env, s.backend.File("log"), hint)
+	if rerr != nil {
+		// A truncated replay would silently lose logged operations.
+		return fmt.Errorf("betree: redo log unreadable: %w", rerr)
+	}
+	for _, rec := range recs {
 		if err := s.replay(rec); err != nil {
 			return err
 		}
@@ -345,8 +405,7 @@ func (s *Store) recoverFromLog(hint wal.Hint) (err error) {
 	// Start a fresh log incarnation; the immediate checkpoint persists
 	// the replayed state and records the new epoch in the superblock.
 	s.log = wal.New(s.env, s.backend.File("log"), hint.Epoch+1)
-	s.Checkpoint()
-	return nil
+	return s.Checkpoint()
 }
 
 // Env returns the simulation environment.
@@ -418,9 +477,12 @@ func (s *Store) logOp(t *Tree, m *Msg, withPayload bool) uint64 {
 		s.checkpointLocked()
 		lsn, err = s.log.Append(opRecord, rec)
 	}
-	if err != nil {
-		panic(fmt.Sprintf("betree: log append failed: %v", err))
+	if err == wal.ErrLogFull {
+		// Still full after a checkpoint reclaimed everything reclaimable:
+		// the record cannot fit — a space condition, not a bug.
+		ioerr.Check(fmt.Errorf("betree: log full after checkpoint: %w", ioerr.ErrNoSpace))
 	}
+	s.devCheck(err)
 	return lsn
 }
 
@@ -515,13 +577,17 @@ func (s *Store) finishNodeWrite(t *Tree, n *node, img nodeImage) {
 	data := img.data
 	ext, err := t.bt.allocate(int64(len(data)))
 	if err != nil {
-		panic(fmt.Sprintf("betree: %v", err))
+		// Wraps ErrNoSpace: the node file is full, which is recoverable
+		// (deletes make space) and must not crash or latch read-only.
+		s.alloc.FreeSized(img.buf)
+		ioerr.Check(err)
 	}
 	t.bt.place(n.id, ext)
 	s.inflight = append(s.inflight, t.f.SubmitWrite(data, ext.off))
 	if len(s.inflight) > 8 {
-		s.inflight[0]()
+		werr := s.inflight[0]()
 		s.inflight = s.inflight[1:]
+		s.devCheck(werr)
 	}
 	s.alloc.FreeSized(img.buf)
 	n.dirty.Store(false)
@@ -553,15 +619,17 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 	}
 	s.pendingMu.Unlock()
 	if havePending {
-		// A prefetch is in flight: wait for it instead of re-reading.
-		pr.wait()
+		// A prefetch is in flight: wait for it instead of re-reading. A
+		// failed prefetch read falls back to a fresh synchronous read
+		// (decodeWithReread re-reads on checksum failure too).
+		if werr := pr.wait(); werr != nil {
+			if rerr := t.f.SubmitRead(pr.data, ext.off)(); rerr != nil {
+				return fail(rerr)
+			}
+		}
 		atomic.AddInt64(&s.stats.PrefetchHits, 1)
 		s.m.prefetchHit.Inc()
-		raw, err := maybeDecompressNode(s.env, pr.data)
-		if err != nil {
-			return fail(err)
-		}
-		n, err := deserializeNode(s.env, &s.cfg, raw)
+		n, err := s.decodeWithReread(t, ext, pr.data)
 		if err != nil {
 			return fail(err)
 		}
@@ -579,18 +647,18 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 			hlen = ext.len
 		}
 		hdr := make([]byte, ext.len) // sparse image; only ranges read below are valid
-		t.f.SubmitRead(hdr[:hlen], ext.off)()
+		if rerr := t.f.SubmitRead(hdr[:hlen], ext.off)(); rerr != nil {
+			return fail(rerr)
+		}
 		if s.cfg.Compression && binary.BigEndian.Uint32(hdr) == compressedMagic {
 			// Compressed nodes cannot be partially read: fetch the
 			// rest and inflate.
 			if ext.len > hlen {
-				t.f.SubmitRead(hdr[hlen:], ext.off+hlen)()
+				if rerr := t.f.SubmitRead(hdr[hlen:], ext.off+hlen)(); rerr != nil {
+					return fail(rerr)
+				}
 			}
-			raw, err := maybeDecompressNode(s.env, hdr)
-			if err != nil {
-				return fail(err)
-			}
-			n, err := deserializeNode(s.env, &s.cfg, raw)
+			n, err := s.decodeWithReread(t, ext, hdr)
 			if err != nil {
 				return fail(err)
 			}
@@ -621,9 +689,11 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 		// fall through to a full read of the remainder, whose whole-image
 		// checksum decides.
 		if ext.len > hlen {
-			t.f.SubmitRead(hdr[hlen:], ext.off+hlen)()
+			if rerr := t.f.SubmitRead(hdr[hlen:], ext.off+hlen)(); rerr != nil {
+				return fail(rerr)
+			}
 		}
-		n, err := deserializeNode(s.env, &s.cfg, hdr)
+		n, err := s.decodeWithReread(t, ext, hdr)
 		if err != nil {
 			return fail(err)
 		}
@@ -635,12 +705,10 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 	}
 
 	data := make([]byte, ext.len)
-	t.f.SubmitRead(data, ext.off)()
-	raw, err := maybeDecompressNode(s.env, data)
-	if err != nil {
-		return fail(err)
+	if rerr := t.f.SubmitRead(data, ext.off)(); rerr != nil {
+		return fail(rerr)
 	}
-	n, err := deserializeNode(s.env, &s.cfg, raw)
+	n, err := s.decodeWithReread(t, ext, data)
 	if err != nil {
 		return fail(err)
 	}
@@ -651,9 +719,35 @@ func (s *Store) readNode(t *Tree, id nodeID, partialKey []byte) (*node, error) {
 	return n, nil
 }
 
+// decodeImage decompresses and deserializes a full node image.
+func (s *Store) decodeImage(data []byte) (*node, error) {
+	raw, err := maybeDecompressNode(s.env, data)
+	if err != nil {
+		return nil, err
+	}
+	return deserializeNode(s.env, &s.cfg, raw)
+}
+
+// decodeWithReread decodes a full node image, re-reading the extent once
+// when a checksum fails: a bit flip picked up in transfer (not on the
+// medium) yields a clean second read. Re-reads count in io.retry.corrupt;
+// a second failure is persistent corruption and surfaces ErrChecksum.
+func (s *Store) decodeWithReread(t *Tree, ext extent, data []byte) (*node, error) {
+	n, err := s.decodeImage(data)
+	if err == nil || !errors.Is(err, ErrChecksum) {
+		return n, err
+	}
+	s.m.retryCorrupt.Inc()
+	if rerr := t.f.SubmitRead(data, ext.off)(); rerr != nil {
+		return nil, rerr
+	}
+	return s.decodeImage(data)
+}
+
 // loadBasement materializes basement bi of cached leaf n with a partial
 // disk read (small section + page section), verifying the basement's
-// directory checksum.
+// directory checksum. A checksum failure is re-read once (see
+// decodeWithReread) before being reported as corruption.
 func (s *Store) loadBasement(t *Tree, n *node, ext extent, bi int) error {
 	b := n.basements[bi]
 	if b.loaded {
@@ -664,15 +758,33 @@ func (s *Store) loadBasement(t *Tree, n *node, ext extent, bi int) error {
 		return fmt.Errorf("betree: %s node %d basement %d extent out of bounds: %w", t.name, n.id, bi, ErrChecksum)
 	}
 	img := make([]byte, ext.len)
-	if b.diskLen > 0 {
-		t.f.SubmitRead(img[b.diskOff:b.diskOff+b.diskLen], ext.off+int64(b.diskOff))()
+	readRanges := func() error {
+		if b.diskLen > 0 {
+			if rerr := t.f.SubmitRead(img[b.diskOff:b.diskOff+b.diskLen], ext.off+int64(b.diskOff))(); rerr != nil {
+				return rerr
+			}
+		}
+		if b.pageLen > 0 {
+			if rerr := t.f.SubmitRead(img[b.pageOff:b.pageOff+b.pageLen], ext.off+int64(b.pageOff))(); rerr != nil {
+				return rerr
+			}
+		}
+		return nil
 	}
-	if b.pageLen > 0 {
-		t.f.SubmitRead(img[b.pageOff:b.pageOff+b.pageLen], ext.off+int64(b.pageOff))()
+	if rerr := readRanges(); rerr != nil {
+		return fmt.Errorf("betree: %s node %d basement %d: %w", t.name, n.id, bi, rerr)
 	}
 	s.env.Checksum(b.diskLen + b.pageLen)
 	s.env.Serialize(b.diskLen)
-	if err := loadBasementFrom(s.env, img, b, n.pageBase); err != nil {
+	err := loadBasementFrom(s.env, img, b, n.pageBase)
+	if err != nil && errors.Is(err, ErrChecksum) {
+		s.m.retryCorrupt.Inc()
+		if rerr := readRanges(); rerr != nil {
+			return fmt.Errorf("betree: %s node %d basement %d: %w", t.name, n.id, bi, rerr)
+		}
+		err = loadBasementFrom(s.env, img, b, n.pageBase)
+	}
+	if err != nil {
 		return fmt.Errorf("betree: %s node %d basement %d: %w", t.name, n.id, bi, err)
 	}
 	atomic.AddInt64(&s.stats.BasementsRead, 1)
@@ -709,9 +821,10 @@ func (s *Store) prefetch(t *Tree, id nodeID) {
 	s.pendingMu.Lock()
 	if _, raced := s.pending[key]; raced {
 		// Another goroutine issued the same prefetch between our check
-		// and the submit: keep theirs, absorb ours.
+		// and the submit: keep theirs, absorb ours (the duplicate's data
+		// is discarded, so its error is irrelevant).
 		s.pendingMu.Unlock()
-		wait()
+		_ = wait()
 		return
 	}
 	s.pending[key] = &pendingRead{data: data, wait: wait}
@@ -722,35 +835,46 @@ func (s *Store) prefetch(t *Tree, id nodeID) {
 
 // --- durability ------------------------------------------------------------
 
-// drainWrites waits for all in-flight node writes.
+// drainWrites waits for all in-flight node writes. Every wait is drained
+// even after a failure (the completions must not leak); the first error is
+// raised afterwards.
 func (s *Store) drainWrites() {
+	var first error
 	for _, w := range s.inflight {
-		w()
+		if err := w(); err != nil && first == nil {
+			first = err
+		}
 	}
 	s.inflight = s.inflight[:0]
+	s.devCheck(first)
 }
 
 // SyncLog flushes the redo log (the fsync fast path).
-func (s *Store) SyncLog() {
-	s.log.Flush()
+func (s *Store) SyncLog() (err error) {
+	defer ioerr.Guard(&err)
+	s.devCheck(s.log.Flush())
+	return nil
 }
 
 // Sync makes everything durable: the log is flushed, and if bulk data
 // entered the tree without payload logging, a checkpoint persists it.
-func (s *Store) Sync() {
+func (s *Store) Sync() (err error) {
+	defer ioerr.Guard(&err)
 	if s.concurrent {
 		s.writerMu.Lock()
 		defer s.writerMu.Unlock()
 	}
-	s.log.Flush()
+	s.devCheck(s.log.Flush())
 	if s.unloggedData {
 		s.checkpointLocked()
 	}
+	return nil
 }
 
 // MaybeCheckpoint runs a checkpoint if the period elapsed or log space is
 // low; the northbound calls it on its operation paths.
-func (s *Store) MaybeCheckpoint() {
+func (s *Store) MaybeCheckpoint() (err error) {
+	defer ioerr.Guard(&err)
 	if s.concurrent {
 		s.writerMu.Lock()
 		defer s.writerMu.Unlock()
@@ -759,17 +883,20 @@ func (s *Store) MaybeCheckpoint() {
 		s.log.FreeBytes() < s.log.LiveBytes()/4 {
 		s.checkpointLocked()
 	}
+	return nil
 }
 
 // Checkpoint writes all dirty nodes copy-on-write, commits a new
 // superblock generation, recycles old extents, and reclaims log space
 // (§2.2 crash consistency).
-func (s *Store) Checkpoint() {
+func (s *Store) Checkpoint() (err error) {
+	defer ioerr.Guard(&err)
 	if s.concurrent {
 		s.writerMu.Lock()
 		defer s.writerMu.Unlock()
 	}
 	s.checkpointLocked()
+	return nil
 }
 
 // checkpointLocked is the checkpoint body. Concurrent-mode callers hold
@@ -781,16 +908,20 @@ func (s *Store) checkpointLocked() {
 	if s.concurrent && s.env.Pool != nil {
 		s.env.Pool.Drain()
 	}
+	// A write failure latched on a background path (pool writeback, whose
+	// panics reach no caller) resurfaces at the next checkpoint, so the
+	// northbound always learns about it.
+	ioerr.Check(s.IOErr())
 	s.lockExcl()
 	defer s.unlockExcl()
 	checkpointLSN := s.log.NextLSN()
-	s.log.Flush()
+	s.devCheck(s.log.Flush())
 	for _, t := range []*Tree{s.meta, s.data} {
 		s.writeDirtyNodes(t)
 	}
 	s.drainWrites()
 	for _, t := range []*Tree{s.meta, s.data} {
-		t.f.Flush()
+		s.devCheck(t.f.Flush())
 	}
 	s.writeSuperblock()
 	for _, t := range []*Tree{s.meta, s.data} {
@@ -878,15 +1009,20 @@ func (s *Store) writeSuperblock() {
 	s.env.Serialize(len(blob))
 	s.env.Checksum(len(blob))
 	slot := int64(s.generation%2) * superSlotSize
-	s.superF.WriteAt(blob, slot)
-	s.superF.Flush()
+	s.devCheck(s.superF.WriteAt(blob, slot))
+	s.devCheck(s.superF.Flush())
 }
 
-// readSuperblock returns the newest valid superblock generation.
-func (s *Store) readSuperblock() (gen uint64, payload []byte, ok bool) {
+// readSuperblock returns the newest valid superblock generation. A device
+// read error fails the mount rather than counting the slot invalid: an
+// unreadable slot may hold the newer generation, and "no superblock" would
+// make Open format a fresh store over existing data.
+func (s *Store) readSuperblock() (gen uint64, payload []byte, ok bool, err error) {
 	for slot := int64(0); slot < 2; slot++ {
 		hdr := make([]byte, 16)
-		s.superF.ReadAt(hdr, slot*superSlotSize)
+		if rerr := s.superF.ReadAt(hdr, slot*superSlotSize); rerr != nil {
+			return 0, nil, false, rerr
+		}
 		if binary.BigEndian.Uint32(hdr) != superMagic {
 			continue
 		}
@@ -896,7 +1032,9 @@ func (s *Store) readSuperblock() (gen uint64, payload []byte, ok bool) {
 			continue
 		}
 		blob := make([]byte, 16+plen+4)
-		s.superF.ReadAt(blob, slot*superSlotSize)
+		if rerr := s.superF.ReadAt(blob, slot*superSlotSize); rerr != nil {
+			return 0, nil, false, rerr
+		}
 		s.env.Checksum(len(blob))
 		if crc32.ChecksumIEEE(blob[:16+plen]) != binary.BigEndian.Uint32(blob[16+plen:]) {
 			continue
@@ -907,7 +1045,7 @@ func (s *Store) readSuperblock() (gen uint64, payload []byte, ok bool) {
 			ok = true
 		}
 	}
-	return gen, payload, ok
+	return gen, payload, ok, nil
 }
 
 func (s *Store) loadSuperblock(payload []byte) (wal.Hint, error) {
@@ -938,7 +1076,8 @@ func (s *Store) loadSuperblock(payload []byte) (wal.Hint, error) {
 
 // DropCleanCaches checkpoints and then empties the node cache and pending
 // prefetches — the cold-cache state benchmarks start from.
-func (s *Store) DropCleanCaches() {
+func (s *Store) DropCleanCaches() (err error) {
+	defer ioerr.Guard(&err)
 	if s.concurrent {
 		s.writerMu.Lock()
 		defer s.writerMu.Unlock()
@@ -946,9 +1085,10 @@ func (s *Store) DropCleanCaches() {
 	s.checkpointLocked()
 	s.pendingMu.Lock()
 	for k, pr := range s.pending {
-		pr.wait()
+		_ = pr.wait() // prefetched data is being discarded
 		delete(s.pending, k)
 	}
 	s.pendingMu.Unlock()
 	s.cache.dropAll()
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"betrfs/internal/ioerr"
 	"betrfs/internal/keys"
 	"betrfs/internal/stor"
 )
@@ -118,12 +119,12 @@ func (t *Tree) fetch(id nodeID, partialKey []byte) (*node, error) {
 	return s.cache.insertPinned(t, n), nil
 }
 
-// mustFetch is fetch for write paths, where an unreadable node is fatal.
+// mustFetch is fetch for write paths, where an unreadable node aborts the
+// whole operation: the error is raised to the public-API guard, so the
+// mutation surfaces it instead of crashing the process.
 func (t *Tree) mustFetch(id nodeID, partialKey []byte) *node {
 	n, err := t.fetch(id, partialKey)
-	if err != nil {
-		panic(fmt.Sprintf("betree: %v", err))
-	}
+	ioerr.Check(err)
 	return n
 }
 
@@ -153,11 +154,10 @@ func (t *Tree) ensureBasement(n *node, bi int) error {
 	return t.store.loadBasement(t, n, ext, bi)
 }
 
-// mustEnsureBasement is ensureBasement for write paths.
+// mustEnsureBasement is ensureBasement for write paths; failures abort to
+// the public-API guard like mustFetch.
 func (t *Tree) mustEnsureBasement(n *node, bi int) {
-	if err := t.ensureBasement(n, bi); err != nil {
-		panic(fmt.Sprintf("betree: %v", err))
-	}
+	ioerr.Check(t.ensureBasement(n, bi))
 }
 
 // ensureAllBasements loads every basement (required before structural
@@ -183,17 +183,23 @@ const (
 	LogNone
 )
 
-// Put inserts or replaces key with an inline value.
-func (t *Tree) Put(key, val []byte, d Durability) {
+// Put inserts or replaces key with an inline value. Like every mutator it
+// returns an error when the device fails mid-operation (wrapping ErrIO,
+// ErrNoSpace, or ErrChecksum); the logged record, if any, keeps the
+// operation durable for replay even when the in-memory insert aborted.
+func (t *Tree) Put(key, val []byte, d Durability) (err error) {
+	defer ioerr.Guard(&err)
 	atomic.AddInt64(&t.stats.Inserts, 1)
 	m := &Msg{Type: MsgInsert, Key: key, Val: InlineValue(val)}
 	t.logAndInsert(m, d)
+	return nil
 }
 
 // PutRef inserts key with an externally owned page (insertByRef, §6).
 // Without page sharing configured the value is copied inline immediately,
 // reproducing the v0.4 copy-on-ingest behaviour.
-func (t *Tree) PutRef(key []byte, ref PageRef, d Durability) {
+func (t *Tree) PutRef(key []byte, ref PageRef, d Durability) (err error) {
+	defer ioerr.Guard(&err)
 	atomic.AddInt64(&t.stats.Inserts, 1)
 	var v Value
 	if t.store.cfg.PageSharing {
@@ -206,29 +212,36 @@ func (t *Tree) PutRef(key []byte, ref PageRef, d Durability) {
 	}
 	m := &Msg{Type: MsgInsert, Key: key, Val: v}
 	t.logAndInsert(m, d)
+	return nil
 }
 
 // Update applies a blind sub-value write: data is patched at byte offset
 // off of key's value, without reading it first (§2.1).
-func (t *Tree) Update(key []byte, off int, data []byte, d Durability) {
+func (t *Tree) Update(key []byte, off int, data []byte, d Durability) (err error) {
+	defer ioerr.Guard(&err)
 	atomic.AddInt64(&t.stats.Updates, 1)
 	m := &Msg{Type: MsgUpdate, Key: key, Off: off, Val: InlineValue(data)}
 	t.logAndInsert(m, d)
+	return nil
 }
 
 // Delete removes key.
-func (t *Tree) Delete(key []byte, d Durability) {
+func (t *Tree) Delete(key []byte, d Durability) (err error) {
+	defer ioerr.Guard(&err)
 	atomic.AddInt64(&t.stats.Deletes, 1)
 	m := &Msg{Type: MsgDelete, Key: key}
 	t.logAndInsert(m, d)
+	return nil
 }
 
 // DeleteRange removes every key in [lo, hi) with a single range-delete
 // message (§2.1, §4).
-func (t *Tree) DeleteRange(lo, hi []byte, d Durability) {
+func (t *Tree) DeleteRange(lo, hi []byte, d Durability) (err error) {
+	defer ioerr.Guard(&err)
 	atomic.AddInt64(&t.stats.RangeDeletes, 1)
 	m := &Msg{Type: MsgRangeDelete, Key: lo, EndKey: hi}
 	t.logAndInsert(m, d)
+	return nil
 }
 
 // logAndInsert is the single mutating entry point: it assigns the MSN and
@@ -698,7 +711,10 @@ type pathEl struct {
 // nodes. The legacy v0.4 apply-on-query policy restructures ancestor
 // buffers on reads, so it takes the exclusive structure lock instead.
 // Deterministic mode takes no locks and is the historical code path.
-func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+func (t *Tree) Get(key []byte) (val []byte, found bool, err error) {
+	// The guard also catches aborts raised below fetch — e.g. a cache
+	// eviction whose inline write-back hits a device failure.
+	defer ioerr.Guard(&err)
 	atomic.AddInt64(&t.stats.Gets, 1)
 	s := t.store
 	s.m.queryGet.Inc()
@@ -769,7 +785,7 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	sort.SliceStable(pend, func(i, j int) bool { return pend[i].MSN < pend[j].MSN })
 
 	// Compute the query result.
-	val, found := currentValue(s, b, key, pend)
+	val, found = currentValue(s, b, key, pend)
 	if s.concurrent && found {
 		// The value may point into basement-owned memory that a later
 		// apply-on-query (ours or another reader's) can mutate once the
@@ -977,12 +993,13 @@ func (t *Tree) String() string {
 // the tree, returning the record's LSN. Conditional logging (§3.3) uses it
 // to defer inode creation: the caller pins the log section via
 // Store.Log().Pin(lsn) and performs the real insert on inode write-back.
-func (t *Tree) LogInsertOnly(key, val []byte) uint64 {
+func (t *Tree) LogInsertOnly(key, val []byte) (lsn uint64, err error) {
+	defer ioerr.Guard(&err)
 	s := t.store
 	if s.concurrent {
 		s.writerMu.Lock()
 		defer s.writerMu.Unlock()
 	}
 	m := &Msg{Type: MsgInsert, Key: key, Val: InlineValue(val)}
-	return s.logOp(t, m, true)
+	return s.logOp(t, m, true), nil
 }

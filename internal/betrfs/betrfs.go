@@ -19,6 +19,7 @@ package betrfs
 
 import (
 	"encoding/binary"
+	"fmt"
 	"time"
 
 	"betrfs/internal/betree"
@@ -144,10 +145,9 @@ type Stats struct {
 	EmptyDirChecksByNlink int64
 	DirRangeDeletes       int64
 	RenamedKeys           int64
-	// CorruptReads counts data-index reads that failed checksum
-	// verification and were served as zero-filled pages (the vfs
-	// read-path interface carries no error; this is the degradation
-	// signal, mirrored by an EIO in a real kernel).
+	// CorruptReads counts data-index reads that failed — a checksum
+	// mismatch that survived the verified re-read, or a media error —
+	// and were surfaced to the VFS as an EIO-class error (DESIGN.md §10).
 	CorruptReads int64
 }
 
@@ -176,7 +176,9 @@ func New(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend betree.Backend
 	// in practice on the real log sizes; scaled simulations can hit it).
 	store.OnLogPressure = func() {
 		for path := range fs.pending {
-			fs.flushPending(path)
+			// Best-effort: a failed flush leaves the create pinned in the
+			// log; the error recurs on the operation that needs the space.
+			_ = fs.flushPending(path)
 		}
 	}
 	return fs, nil
@@ -184,6 +186,17 @@ func New(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend betree.Backend
 
 // Store exposes the underlying key-value store (tools, tests).
 func (fs *FS) Store() *betree.Store { return fs.store }
+
+// writeGate rejects mutating operations once the store has latched a
+// persistent device write failure: the mount degrades to read-only
+// (errors=remount-ro, DESIGN.md §10) while lookups and reads keep serving
+// cached and on-disk data.
+func (fs *FS) writeGate() error {
+	if err := fs.store.IOErr(); err != nil {
+		return fmt.Errorf("betrfs: mount degraded after %v: %w", err, vfs.ErrReadOnly)
+	}
+	return nil
+}
 
 // Stats returns counters.
 func (fs *FS) Stats() *Stats { return &fs.stats }
@@ -238,6 +251,9 @@ func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, erro
 // deferred: the creation is logged, the log section pinned, and the tree
 // insert happens when the VFS writes the inode back (§3.3).
 func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.Attr, error) {
+	if err := fs.writeGate(); err != nil {
+		return nil, vfs.Attr{}, err
+	}
 	path := keys.Join(parent.(string), name)
 	fs.m.create.Inc()
 	attr := vfs.Attr{Dir: dir, Nlink: 1, Mtime: fs.env.Now()}
@@ -245,13 +261,18 @@ func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.
 		attr.Nlink = 2
 	}
 	if fs.cfg.ConditionalLogging {
-		lsn := fs.store.Meta().LogInsertOnly(keys.MetaKey(path), encodeAttr(attr))
+		lsn, err := fs.store.Meta().LogInsertOnly(keys.MetaKey(path), encodeAttr(attr))
+		if err != nil {
+			return nil, vfs.Attr{}, err
+		}
 		fs.pending[path] = &deferredCreate{attr: attr, unpin: fs.store.Log().Pin(lsn)}
 		fs.stats.DeferredCreates++
 		fs.m.createDeferred.Inc()
 		fs.env.Trace("betrfs", "create.deferred", path, 0)
 	} else {
-		fs.store.Meta().Put(keys.MetaKey(path), encodeAttr(attr), betree.LogAuto)
+		if err := fs.store.Meta().Put(keys.MetaKey(path), encodeAttr(attr), betree.LogAuto); err != nil {
+			return nil, vfs.Attr{}, err
+		}
 	}
 	if fs.cfg.NlinkChecks {
 		if fs.nlinkKnown[parent.(string)] {
@@ -269,6 +290,9 @@ func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.
 // Remove unlinks a file (single range delete over its blocks plus a point
 // delete of its metadata) or removes an empty directory.
 func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) error {
+	if err := fs.writeGate(); err != nil {
+		return err
+	}
 	path := h.(string)
 	fs.m.remove.Inc()
 	if dir {
@@ -281,18 +305,26 @@ func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) err
 		dc.unpin()
 		delete(fs.pending, path)
 	}
-	fs.store.Meta().Delete(keys.MetaKey(path), betree.LogAuto)
+	if err := fs.store.Meta().Delete(keys.MetaKey(path), betree.LogAuto); err != nil {
+		return err
+	}
 	if fs.cfg.RedundantDeletes {
 		// v0.4: a second delete message from the evict_inode hook.
-		fs.store.Meta().Delete(keys.MetaKey(path), betree.LogAuto)
+		if err := fs.store.Meta().Delete(keys.MetaKey(path), betree.LogAuto); err != nil {
+			return err
+		}
 	}
 	if dir {
 		if fs.cfg.DirRangeDelete {
 			// RG (§4): a directory-wide range delete whose purpose is
 			// to let PacMan gobble the stale per-file messages below.
 			lo, hi := keys.SubtreeRange(path)
-			fs.store.Meta().DeleteRange(lo, hi, betree.LogAuto)
-			fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
+			if err := fs.store.Meta().DeleteRange(lo, hi, betree.LogAuto); err != nil {
+				return err
+			}
+			if err := fs.store.Data().DeleteRange(lo, hi, betree.LogAuto); err != nil {
+				return err
+			}
 			fs.stats.DirRangeDeletes++
 			fs.m.rangeDeleteDir.Inc()
 			fs.env.Trace("betrfs", "rangedelete.dir", path, 0)
@@ -301,9 +333,13 @@ func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) err
 		delete(fs.nlinkKnown, path)
 	} else {
 		lo, hi := keys.FileDataRange(path)
-		fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
+		if err := fs.store.Data().DeleteRange(lo, hi, betree.LogAuto); err != nil {
+			return err
+		}
 		if fs.cfg.RedundantDeletes {
-			fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
+			if err := fs.store.Data().DeleteRange(lo, hi, betree.LogAuto); err != nil {
+				return err
+			}
 		}
 	}
 	if fs.cfg.NlinkChecks && fs.nlinkKnown[parent.(string)] {
@@ -361,11 +397,16 @@ func isUnder(p, dir string) bool {
 // delete the old — rather than v0.4's lifted tree surgery; see DESIGN.md
 // for the substitution note.
 func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (vfs.Handle, error) {
+	if err := fs.writeGate(); err != nil {
+		return nil, err
+	}
 	oldPath := h.(string)
 	newPath := keys.Join(newParent.(string), newName)
 	fs.m.rename.Inc()
 	// Flush any deferred create so the rename sees tree state.
-	fs.flushPending(oldPath)
+	if err := fs.flushPending(oldPath); err != nil {
+		return nil, err
+	}
 
 	v, ok, err := fs.store.Meta().Get(keys.MetaKey(oldPath))
 	if err != nil {
@@ -375,8 +416,12 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 		return nil, vfs.ErrNotExist
 	}
 	attr := decodeAttr(v)
-	fs.store.Meta().Put(keys.MetaKey(newPath), v, betree.LogAuto)
-	fs.store.Meta().Delete(keys.MetaKey(oldPath), betree.LogAuto)
+	if err := fs.store.Meta().Put(keys.MetaKey(newPath), v, betree.LogAuto); err != nil {
+		return nil, err
+	}
+	if err := fs.store.Meta().Delete(keys.MetaKey(oldPath), betree.LogAuto); err != nil {
+		return nil, err
+	}
 	oldEnc := keys.Encode(oldPath)
 	newEnc := keys.Encode(newPath)
 	if attr.Dir {
@@ -392,12 +437,16 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 				return nil, err
 			}
 			for _, e := range moved {
-				t.Put(keys.RewritePrefix(e.k, oldEnc, newEnc), e.v, betree.LogAuto)
+				if err := t.Put(keys.RewritePrefix(e.k, oldEnc, newEnc), e.v, betree.LogAuto); err != nil {
+					return nil, err
+				}
 				fs.stats.RenamedKeys++
 				fs.m.renameKeys.Inc()
 				fs.m.renameKeys.Inc()
 			}
-			t.DeleteRange(lo, hi, betree.LogAuto)
+			if err := t.DeleteRange(lo, hi, betree.LogAuto); err != nil {
+				return nil, err
+			}
 		}
 		// Re-key in-memory child counts.
 		for d, n := range fs.nlink {
@@ -431,11 +480,15 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 			return nil, err
 		}
 		for _, e := range moved {
-			fs.store.Data().Put(keys.RewritePrefix(e.k, oldEnc, newEnc), e.v, betree.LogAuto)
+			if err := fs.store.Data().Put(keys.RewritePrefix(e.k, oldEnc, newEnc), e.v, betree.LogAuto); err != nil {
+				return nil, err
+			}
 			fs.stats.RenamedKeys++
 			fs.m.renameKeys.Inc()
 		}
-		fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
+		if err := fs.store.Data().DeleteRange(lo, hi, betree.LogAuto); err != nil {
+			return nil, err
+		}
 		if fs.unloggedData[oldPath] {
 			delete(fs.unloggedData, oldPath)
 			fs.unloggedData[newPath] = true
@@ -503,42 +556,55 @@ func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
 
 // WriteAttr persists inode metadata; for a deferred create this is the
 // moment the insert finally enters the tree and the log pin is released.
-func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) {
+func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) error {
+	if err := fs.writeGate(); err != nil {
+		return err
+	}
 	path := h.(string)
-	fs.store.Meta().Put(keys.MetaKey(path), encodeAttr(a), betree.LogAuto)
+	if err := fs.store.Meta().Put(keys.MetaKey(path), encodeAttr(a), betree.LogAuto); err != nil {
+		return err
+	}
 	if dc, ok := fs.pending[path]; ok {
 		dc.unpin()
 		delete(fs.pending, path)
 	}
 	fs.maybeCheckpoint()
+	return nil
 }
 
 // flushPending forces a deferred create into the tree. The insert is not
 // re-logged: the creation record already sits in the redo log (that is
-// what the pin protected), so only the tree needs the message.
-func (fs *FS) flushPending(path string) {
-	if dc, ok := fs.pending[path]; ok {
-		delete(fs.pending, path)
-		fs.store.Meta().Put(keys.MetaKey(path), encodeAttr(dc.attr), betree.LogNone)
-		dc.unpin()
+// what the pin protected), so only the tree needs the message. On failure
+// the create stays pending and the log stays pinned.
+func (fs *FS) flushPending(path string) error {
+	dc, ok := fs.pending[path]
+	if !ok {
+		return nil
 	}
+	if err := fs.store.Meta().Put(keys.MetaKey(path), encodeAttr(dc.attr), betree.LogNone); err != nil {
+		return err
+	}
+	delete(fs.pending, path)
+	dc.unpin()
+	return nil
 }
 
 // ReadBlocks queries the data index per block; sequential runs set the
 // tree's read-ahead hint (§3.2).
-func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
+func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) error {
 	path := h.(string)
 	data := fs.store.Data()
 	data.SetSeqHint(seq)
+	defer data.SetSeqHint(false)
 	for i, pg := range pages {
 		v, ok, err := data.Get(keys.DataKey(path, uint64(blk+int64(i))))
 		if err != nil {
-			// The vfs read-path interface carries no error: serve zeros
-			// and count the corruption (a real kernel returns EIO here).
+			// Checksum mismatch that survived the verified re-read, or a
+			// media error: surface it as EIO instead of serving zeros.
 			fs.stats.CorruptReads++
 			fs.m.readCorrupt.Inc()
 			fs.env.Trace("betrfs", "read.corrupt", path, blk+int64(i))
-			ok = false
+			return fmt.Errorf("betrfs: read %s block %d: %w", path, blk+int64(i), err)
 		}
 		if !ok {
 			for j := range pg.Data {
@@ -552,7 +618,7 @@ func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
 		}
 		fs.env.Memcpy(n)
 	}
-	data.SetSeqHint(false)
+	return nil
 }
 
 // pageRef adapts a VFS page to the tree's insert-by-reference interface.
@@ -570,7 +636,10 @@ func (r pageRef) Release()     { r.pg.Release() }
 // v0.4 copy-on-ingest applies. Durable (fsync-path) writes are
 // payload-logged; background write-back is logged key-only and relies on
 // checkpoints (DESIGN.md crash-semantics note).
-func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) {
+func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) error {
+	if err := fs.writeGate(); err != nil {
+		return err
+	}
 	path := h.(string)
 	d := betree.LogAuto
 	if durable {
@@ -582,25 +651,39 @@ func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool
 		key := keys.DataKey(path, uint64(blk+int64(i)))
 		if fs.cfg.Tree.PageSharing {
 			pg.Pin()
-			fs.store.Data().PutRef(key, pageRef{pg: pg}, d)
+			if err := fs.store.Data().PutRef(key, pageRef{pg: pg}, d); err != nil {
+				// The message may or may not have entered the tree before
+				// the abort; the pin is left in place (the page stays
+				// immutable) rather than risking a double release.
+				return err
+			}
 		} else {
 			data := append([]byte{}, pg.Data...)
 			fs.env.Memcpy(len(data))
-			fs.store.Data().Put(key, data, d)
+			if err := fs.store.Data().Put(key, data, d); err != nil {
+				return err
+			}
 		}
 	}
 	fs.maybeCheckpoint()
+	return nil
 }
 
 // WritePartial is a blind sub-block update (§2.1): no read, one message.
-func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) {
+func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) error {
+	if err := fs.writeGate(); err != nil {
+		return err
+	}
 	path := h.(string)
 	d := betree.LogAuto
 	if durable {
 		d = betree.LogPayload
 	}
-	fs.store.Data().Update(keys.DataKey(path, uint64(blk)), off, append([]byte{}, data...), d)
+	if err := fs.store.Data().Update(keys.DataKey(path, uint64(blk)), off, append([]byte{}, data...), d); err != nil {
+		return err
+	}
 	fs.maybeCheckpoint()
+	return nil
 }
 
 // SupportsBlindWrites reports true: BetrFS never reads before writing.
@@ -608,36 +691,50 @@ func (fs *FS) SupportsBlindWrites() bool { return true }
 
 // TruncateBlocks removes blocks at or beyond fromBlk with one range
 // delete.
-func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) {
+func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) error {
+	if err := fs.writeGate(); err != nil {
+		return err
+	}
 	path := h.(string)
 	lo := keys.DataKey(path, uint64(fromBlk))
 	_, hi := keys.FileDataRange(path)
-	fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
+	return fs.store.Data().DeleteRange(lo, hi, betree.LogAuto)
 }
 
 // Fsync makes the file durable: a log flush normally; a checkpoint when
-// the file has background-written unlogged data.
-func (fs *FS) Fsync(h vfs.Handle) {
+// the file has background-written unlogged data. On a degraded store the
+// underlying flush fails and the latched EIO comes back, as fsync does
+// after a write-back failure in a real kernel.
+func (fs *FS) Fsync(h vfs.Handle) error {
 	path := h.(string)
 	fs.m.fsync.Inc()
-	fs.flushPending(path)
+	if err := fs.flushPending(path); err != nil {
+		return err
+	}
 	if fs.unloggedData[path] {
 		fs.m.fsyncCheckpoint.Inc()
 		fs.env.Trace("betrfs", "fsync.checkpoint", path, 0)
-		fs.store.Sync()
+		if err := fs.store.Sync(); err != nil {
+			return err
+		}
 		fs.unloggedData = make(map[string]bool)
-		return
+		return nil
 	}
-	fs.store.SyncLog()
+	return fs.store.SyncLog()
 }
 
 // Sync makes the whole file system durable.
-func (fs *FS) Sync() {
+func (fs *FS) Sync() error {
 	for path := range fs.pending {
-		fs.flushPending(path)
+		if err := fs.flushPending(path); err != nil {
+			return err
+		}
 	}
-	fs.store.Sync()
+	if err := fs.store.Sync(); err != nil {
+		return err
+	}
 	fs.unloggedData = make(map[string]bool)
+	return nil
 }
 
 // Maintain runs periodic checkpoints.
@@ -645,17 +742,24 @@ func (fs *FS) Maintain() {
 	fs.maybeCheckpoint()
 }
 
+// maybeCheckpoint runs a periodic checkpoint. A checkpoint failure does
+// not fail the operation that happened to trigger it: a device write
+// error is latched by the store (the next mutating operation degrades to
+// ErrReadOnly via the write gate), and a log-full ENOSPC recurs on the
+// operation that actually needs the space.
 func (fs *FS) maybeCheckpoint() {
-	fs.store.MaybeCheckpoint()
+	_ = fs.store.MaybeCheckpoint()
 }
 
 // DropCaches empties the node cache after a checkpoint.
 func (fs *FS) DropCaches() {
 	for path := range fs.pending {
-		fs.flushPending(path)
+		// Best-effort: a failed flush keeps the create pinned in the log.
+		_ = fs.flushPending(path)
 	}
-	fs.store.DropCleanCaches()
-	fs.unloggedData = make(map[string]bool)
+	if fs.store.DropCleanCaches() == nil {
+		fs.unloggedData = make(map[string]bool)
+	}
 }
 
 var _ vfs.FS = (*FS)(nil)

@@ -22,7 +22,11 @@ func newFS(t testing.TB, mutate func(*Config)) (*sim.Env, *FS) {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	fs, err := New(env, kmem.New(env, cfg.CooperativeMem), cfg, sfl.NewDefault(env, dev))
+	backend, err := sfl.NewDefault(env, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(env, kmem.New(env, cfg.CooperativeMem), cfg, backend)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +249,11 @@ func TestLogPressureReleasesPins(t *testing.T) {
 	lay.LogBytes = 4 << 20 // tiny log to force pressure
 	cfg := V06Config()
 	cfg.Tree.CacheBytes = 64 << 20
-	fs, err := New(env, kmem.New(env, true), cfg, sfl.New(env, dev, lay))
+	backend, err := sfl.New(env, dev, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(env, kmem.New(env, true), cfg, backend)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,27 +24,35 @@ import (
 // BlockSize is the minimum I/O granularity of all simulated devices.
 const BlockSize = 4096
 
-// Completion identifies an in-flight I/O; it completes at time At.
+// Completion identifies an in-flight I/O; it completes at time At. Err
+// carries the command's outcome: a failed command still occupies the device
+// until At, but the data was not transferred.
 type Completion struct {
-	At time.Duration
+	At  time.Duration
+	Err error
 }
 
-// Device is the interface all simulated storage exposes.
+// Device is the interface all simulated storage exposes. All commands can
+// fail: real devices return errors for grown bad sectors, controller
+// timeouts, and media death, and fault-injecting wrappers (FaultDev)
+// simulate exactly that. The plain simulated Dev never fails.
 type Device interface {
-	// ReadAt synchronously reads len(p) bytes at off.
-	ReadAt(p []byte, off int64)
+	// ReadAt synchronously reads len(p) bytes at off. On error the
+	// contents of p are undefined.
+	ReadAt(p []byte, off int64) error
 	// WriteAt synchronously writes len(p) bytes at off.
-	WriteAt(p []byte, off int64)
+	WriteAt(p []byte, off int64) error
 	// SubmitRead starts an asynchronous read; the data is visible in p
-	// only after Wait returns.
+	// only after Wait returns without error.
 	SubmitRead(p []byte, off int64) Completion
 	// SubmitWrite starts an asynchronous write of p at off. The caller
 	// must not modify p before the write completes.
 	SubmitWrite(p []byte, off int64) Completion
-	// Wait advances the clock to the completion time of c.
-	Wait(c Completion)
+	// Wait advances the clock to the completion time of c and returns the
+	// command's outcome.
+	Wait(c Completion) error
 	// Flush drains the device queue and volatile write cache (a barrier).
-	Flush()
+	Flush() error
 	// Size returns the device capacity in bytes.
 	Size() int64
 	// Stats returns cumulative I/O statistics.
@@ -365,24 +373,26 @@ func (d *Dev) SubmitWrite(p []byte, off int64) Completion {
 	return Completion{At: d.busyUntil}
 }
 
-// Wait advances the clock to the completion time of c.
-func (d *Dev) Wait(c Completion) {
+// Wait advances the clock to the completion time of c and returns the
+// command's outcome.
+func (d *Dev) Wait(c Completion) error {
 	d.env.Clock.AdvanceTo(c.At)
+	return c.Err
 }
 
 // ReadAt synchronously reads len(p) bytes at off.
-func (d *Dev) ReadAt(p []byte, off int64) {
-	d.Wait(d.SubmitRead(p, off))
+func (d *Dev) ReadAt(p []byte, off int64) error {
+	return d.Wait(d.SubmitRead(p, off))
 }
 
 // WriteAt synchronously writes len(p) bytes at off.
-func (d *Dev) WriteAt(p []byte, off int64) {
-	d.Wait(d.SubmitWrite(p, off))
+func (d *Dev) WriteAt(p []byte, off int64) error {
+	return d.Wait(d.SubmitWrite(p, off))
 }
 
 // Flush drains the queue and volatile cache; after Flush returns, all prior
 // writes are durable (crash injection will not revert them).
-func (d *Dev) Flush() {
+func (d *Dev) Flush() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.env.Clock.AdvanceTo(d.busyUntil)
@@ -393,4 +403,5 @@ func (d *Dev) Flush() {
 	if d.trackUnflushed {
 		d.unflushed = d.unflushed[:0]
 	}
+	return nil
 }

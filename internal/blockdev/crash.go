@@ -18,9 +18,10 @@ package blockdev
 // Separately, the corruption injectors (CorruptZero, CorruptFlip) mutate
 // stored bytes directly, modeling bit-rot and latent sector errors that a
 // flush cannot prevent, and InjectReadFault registers ranges whose reads
-// return zeroed bytes (an unrecoverable-read-error sector: the Device
-// interface has no error returns, so a latent sector error manifests as
-// zeroed data plus a ReadFaults stats counter).
+// return zeroed bytes plus a ReadFaults stats counter — a silent-loss
+// variant kept for checksum-layer tests. For faults that surface as real
+// I/O errors (EIO at the mount API), wrap the device in a FaultDev (see
+// fault.go), which drives the error returns the Device interface carries.
 //
 // Post-crash semantics (auto re-arm): every crash entry point clears the
 // unflushed log but leaves tracking ENABLED, with the post-crash state as
@@ -182,9 +183,9 @@ func (d *Dev) CorruptFlip(off, n int64, seed uint64) {
 
 // InjectReadFault registers [off, off+n) as an unreadable range: reads
 // overlapping it have the overlapped bytes zeroed and bump the ReadFaults
-// counter. This models an unrecoverable read error (URE) on commodity
-// flash; since the Device interface carries no error returns, detection
-// is the checksum layer's job.
+// counter. This models an unrecoverable read error (URE) that the device
+// silently papers over, so detection is the checksum layer's job; use
+// FaultDev bad ranges instead when the device should report the error.
 func (d *Dev) InjectReadFault(off, n int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

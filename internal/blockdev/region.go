@@ -28,27 +28,27 @@ func (r *region) check(n int, off int64) {
 	}
 }
 
-func (r *region) ReadAt(p []byte, off int64) {
+func (r *region) ReadAt(p []byte, off int64) error {
 	r.check(len(p), off)
-	r.dev.ReadAt(p, r.off+off)
+	return r.dev.ReadAt(p, r.off+off)
 }
 
-func (r *region) WriteAt(p []byte, off int64) {
+func (r *region) WriteAt(p []byte, off int64) error {
 	r.check(len(p), off)
-	r.dev.WriteAt(p, r.off+off)
+	return r.dev.WriteAt(p, r.off+off)
 }
 
 func (r *region) SubmitRead(p []byte, off int64) stor.Wait {
 	r.check(len(p), off)
 	c := r.dev.SubmitRead(p, r.off+off)
-	return func() { r.dev.Wait(c) }
+	return func() error { return r.dev.Wait(c) }
 }
 
 func (r *region) SubmitWrite(p []byte, off int64) stor.Wait {
 	r.check(len(p), off)
 	c := r.dev.SubmitWrite(p, r.off+off)
-	return func() { r.dev.Wait(c) }
+	return func() error { return r.dev.Wait(c) }
 }
 
-func (r *region) Flush()          { r.dev.Flush() }
+func (r *region) Flush() error    { return r.dev.Flush() }
 func (r *region) Capacity() int64 { return r.len }

@@ -13,12 +13,14 @@ package cowfs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sort"
 	"time"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/ioerr"
 	"betrfs/internal/sim"
 	"betrfs/internal/vfs"
 	"betrfs/internal/wal"
@@ -83,8 +85,30 @@ type FS struct {
 	lastTxg    time.Duration
 	inTxg      bool
 	generation uint64 // uberblock generation, bumped per txg commit
-	stats      Stats
+
+	// ioErr is the sticky abort (§10): after a failed blob, imap, or
+	// uberblock write the on-disk tree may be inconsistent with memory, so
+	// mutations are refused while reads keep working.
+	ioErr error
+
+	stats Stats
 }
+
+// devCheck aborts the current operation on a device error; a failed
+// write or flush also latches the sticky abort.
+func (fs *FS) devCheck(err error) {
+	if err == nil {
+		return
+	}
+	var de *ioerr.DeviceError
+	if errors.As(err, &de) && de.Op != "read" && fs.ioErr == nil {
+		fs.ioErr = err
+	}
+	ioerr.Check(err)
+}
+
+// writeGate is checked at the top of every mutating operation.
+func (fs *FS) writeGate() error { return fs.ioErr }
 
 // Stats counts cowfs activity.
 type Stats struct {
@@ -169,7 +193,7 @@ func (fs *FS) alloc(want int64) (int64, int64) {
 		nb := skipAllocatedWords(fs.bitmap, b, total)
 		if nb >= total {
 			if wrapped {
-				panic(fmt.Sprintf("cowfs(%s): out of space", fs.prof.Name))
+				ioerr.Check(fmt.Errorf("cowfs(%s): out of space: %w", fs.prof.Name, ioerr.ErrNoSpace))
 			}
 			wrapped = true
 			// Space pressure: committing the txg releases the
@@ -236,7 +260,9 @@ func (fs *FS) node(ino Ino) *node {
 	}
 	n, err := fs.readBlob(ino, loc)
 	if err != nil {
-		panic(fmt.Sprintf("cowfs: %v", err))
+		// Device errors and corrupted blobs abort the operation with the
+		// wrapped cause (errors.Is(err, ErrIO) holds for media errors).
+		ioerr.Check(fmt.Errorf("cowfs: %w", err))
 	}
 	fs.inodes[ino] = n
 	return n
@@ -322,14 +348,14 @@ func (fs *FS) writeBlob(n *node) {
 	}
 	padded := make([]byte, nBlocks*BlockSize)
 	copy(padded, blob)
-	fs.dev.WriteAt(padded, fs.blockAddr(first))
+	fs.devCheck(fs.dev.WriteAt(padded, fs.blockAddr(first)))
 	fs.env.Serialize(len(blob))
 	fs.env.Checksum(len(padded))
 	fs.stats.MetaWrites++
 	// CoW path amplification: interior tree blocks rewritten.
 	for i := 0; i < fs.prof.MetaAmplification; i++ {
 		ab, _ := fs.alloc(1)
-		fs.dev.WriteAt(make([]byte, BlockSize), fs.blockAddr(ab))
+		fs.devCheck(fs.dev.WriteAt(make([]byte, BlockSize), fs.blockAddr(ab)))
 		fs.deferFree(ab) // superseded at the next rewrite; keep space bounded
 		fs.env.Checksum(BlockSize)
 		fs.stats.MetaWrites++
@@ -352,7 +378,11 @@ func (fs *FS) readBlob(ino Ino, loc blobLoc) (rn *node, err error) {
 		}
 	}()
 	buf := make([]byte, loc.count*BlockSize)
-	fs.dev.ReadAt(buf, fs.blockAddr(loc.first))
+	// Explicit error return (not devCheck): the deferred recover above
+	// would otherwise swallow the abort and mislabel it "malformed".
+	if rerr := fs.dev.ReadAt(buf, fs.blockAddr(loc.first)); rerr != nil {
+		return nil, fmt.Errorf("blob for inode %d: %w", ino, rerr)
+	}
 	fs.env.Checksum(len(buf))
 	fs.stats.MetaReads++
 	payload, err := openBlob(ino, buf)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/ioerr"
 	"betrfs/internal/vfs"
 	"betrfs/internal/wal"
 )
@@ -20,7 +21,8 @@ func (fs *FS) attrOf(n *node) vfs.Attr {
 }
 
 // Lookup resolves name in parent.
-func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, error) {
+func (fs *FS) Lookup(parent vfs.Handle, name string) (h vfs.Handle, a vfs.Attr, err error) {
+	defer ioerr.Guard(&err)
 	p := fs.node(parent.(Ino))
 	fs.env.Compare(len(name))
 	c, ok := p.children[name]
@@ -31,7 +33,11 @@ func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, erro
 }
 
 // Create allocates an inode; its blob reaches disk at the next txg.
-func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.Attr, error) {
+func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (h vfs.Handle, a vfs.Attr, err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return nil, vfs.Attr{}, ferr
+	}
 	p := fs.node(parent.(Ino))
 	if _, ok := p.children[name]; ok {
 		return nil, vfs.Attr{}, vfs.ErrExist
@@ -53,7 +59,11 @@ func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.
 }
 
 // Remove unlinks name; the child's blocks are freed after the next txg.
-func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) error {
+func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	p := fs.node(parent.(Ino))
 	c, ok := p.children[name]
 	if !ok {
@@ -81,7 +91,11 @@ func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) err
 }
 
 // Rename moves the entry.
-func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (vfs.Handle, error) {
+func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (nh vfs.Handle, err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return nil, ferr
+	}
 	op := fs.node(oldParent.(Ino))
 	np := fs.node(newParent.(Ino))
 	c, ok := op.children[oldName]
@@ -106,7 +120,8 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 }
 
 // ReadDir lists children in sorted (tree-key) order.
-func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
+func (fs *FS) ReadDir(h vfs.Handle) (ents []vfs.DirEntry, err error) {
+	defer ioerr.Guard(&err)
 	n := fs.node(h.(Ino))
 	if !n.dir {
 		return nil, vfs.ErrNotDir
@@ -126,16 +141,22 @@ func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
 
 // WriteAttr records metadata changes; the intent log carries them so an
 // fsync-then-crash recovers sizes correctly (ZFS logs setattr in the ZIL).
-func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) {
+func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	n := fs.node(h.(Ino))
 	n.size = a.Size
 	n.mtime = a.Mtime
 	n.dirty = true
 	fs.logZil(func(e *zilEnc) { e.op(zilAttr); e.i64(int64(n.ino)); e.i64(a.Size); e.i64(int64(a.Mtime)) })
+	return nil
 }
 
 // ReadBlocks fills pages, verifying checksums per record.
-func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
+func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) (err error) {
+	defer ioerr.Guard(&err)
 	n := fs.node(h.(Ino))
 	i := 0
 	for i < len(pages) {
@@ -156,7 +177,7 @@ func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
 			run++
 		}
 		buf := make([]byte, run*BlockSize)
-		fs.dev.ReadAt(buf, fs.blockAddr(phys))
+		fs.devCheck(fs.dev.ReadAt(buf, fs.blockAddr(phys)))
 		fs.env.Checksum(len(buf))
 		for j := 0; j < run; j++ {
 			copy(pages[i+j].Data, buf[j*BlockSize:(j+1)*BlockSize])
@@ -165,6 +186,7 @@ func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
 		fs.stats.DataReads++
 		i += run
 	}
+	return nil
 }
 
 // WriteBlocks writes a run of pages copy-on-write in record-sized units,
@@ -173,7 +195,11 @@ func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
 // must read the record's remaining blocks first and rewrite the whole
 // record — the read-modify-write that makes small random writes so
 // expensive on large-record CoW file systems (ZFS's 128 KiB recordsize).
-func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) {
+func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	n := fs.node(h.(Ino))
 	rb := int64(fs.prof.RecordBlocks)
 	// Sub-record writes into existing data: expand to record boundaries
@@ -220,10 +246,10 @@ func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool
 					}
 				}
 				if len(head) > 0 {
-					fs.ReadBlocks(h, rStart, head, false)
+					ioerr.Check(fs.ReadBlocks(h, rStart, head, false))
 				}
 				if len(tail) > 0 {
-					fs.ReadBlocks(h, blk+int64(len(pgs)), tail, false)
+					ioerr.Check(fs.ReadBlocks(h, blk+int64(len(pgs)), tail, false))
 				}
 				pgs = expanded
 				blk = rStart
@@ -246,7 +272,7 @@ func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool
 			copy(buf[j*BlockSize:], pgs[i+int(j)].Data)
 			n.blocks[l] = first + j
 		}
-		fs.dev.WriteAt(buf, fs.blockAddr(first))
+		fs.devCheck(fs.dev.WriteAt(buf, fs.blockAddr(first)))
 		fs.env.Checksum(len(buf))
 		fs.stats.DataWrites++
 		if durable {
@@ -260,10 +286,12 @@ func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool
 		i += int(run)
 	}
 	n.dirty = true
+	return nil
 }
 
-// WritePartial is unsupported.
-func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) {
+// WritePartial is unsupported; calling it is a programmer error, so the
+// panic stays.
+func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) error {
 	panic("cowfs: blind writes unsupported")
 }
 
@@ -271,7 +299,11 @@ func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durabl
 func (fs *FS) SupportsBlindWrites() bool { return false }
 
 // TruncateBlocks defer-frees blocks at or beyond fromBlk.
-func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) {
+func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	n := fs.node(h.(Ino))
 	for blk, b := range n.blocks {
 		if blk >= fromBlk {
@@ -280,22 +312,39 @@ func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) {
 		}
 	}
 	n.dirty = true
+	return nil
 }
 
 // Fsync flushes the intent log (ZIL / log tree): much cheaper than a txg.
-func (fs *FS) Fsync(h vfs.Handle) {
-	fs.zil.Flush()
-	fs.dev.Flush()
+func (fs *FS) Fsync(h vfs.Handle) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
+	fs.devCheck(fs.zil.Flush())
+	fs.devCheck(fs.dev.Flush())
 	fs.stats.ZilWrites++
+	return nil
 }
 
 // Sync commits a transaction group.
-func (fs *FS) Sync() {
+func (fs *FS) Sync() (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	fs.txgCommit()
+	return nil
 }
 
-// Maintain commits a txg when the interval has elapsed.
+// Maintain commits a txg when the interval has elapsed. No error return
+// in the vfs.FS contract; failures latch the sticky abort.
 func (fs *FS) Maintain() {
+	var err error
+	defer ioerr.Guard(&err)
+	if fs.ioErr != nil {
+		return
+	}
 	if fs.env.Now()-fs.lastTxg >= fs.prof.TxgInterval {
 		fs.txgCommit()
 	}
@@ -303,7 +352,11 @@ func (fs *FS) Maintain() {
 
 // DropCaches commits and evicts the inode cache.
 func (fs *FS) DropCaches() {
-	fs.txgCommit()
+	var err error
+	defer ioerr.Guard(&err)
+	if fs.ioErr == nil {
+		fs.txgCommit()
+	}
 	for ino := range fs.inodes {
 		if ino != rootIno {
 			delete(fs.inodes, ino)
@@ -334,7 +387,7 @@ func (fs *FS) txgCommit() {
 	// references them, and the imap slot before the uberblock that
 	// selects it — otherwise a reordered cache drain could persist a
 	// root pointing at state the device never wrote.
-	fs.dev.Flush()
+	fs.devCheck(fs.dev.Flush())
 	// The committed txg supersedes the intent log. Start a fresh log
 	// incarnation (epoch bump) rather than reclaiming in place: the
 	// uberblock records only the epoch, and recovery replays every
@@ -343,9 +396,9 @@ func (fs *FS) txgCommit() {
 	// committed state, resurrecting stale block maps.
 	fs.zil = wal.New(fs.env, blockdev.Region(fs.dev, fs.zilOff, fs.zilLen), fs.zil.Epoch()+1)
 	fs.writeImap()
-	fs.dev.Flush()
+	fs.devCheck(fs.dev.Flush())
 	fs.writeUberblock()
-	fs.dev.Flush()
+	fs.devCheck(fs.dev.Flush())
 	for _, b := range fs.deferred {
 		fs.bitClear(b)
 	}
@@ -382,7 +435,7 @@ func (fs *FS) writeImap() {
 			binary.BigEndian.PutUint64(buf[off:], uint64(loc.first))
 			binary.BigEndian.PutUint64(buf[off+8:], uint64(loc.count))
 		}
-		fs.dev.WriteAt(buf, base+int64(first)*entrySize)
+		fs.devCheck(fs.dev.WriteAt(buf, base+int64(first)*entrySize))
 	}
 	fs.env.Serialize(int(fs.nextIno) * entrySize)
 	fs.stats.MetaWrites++
@@ -391,8 +444,8 @@ func (fs *FS) writeImap() {
 // writeUberblock publishes the current generation; call only after the
 // imap slot it selects is durable.
 func (fs *FS) writeUberblock() {
-	fs.dev.WriteAt(encodeUberblock(fs.generation, fs.nextIno, fs.zil.Epoch()),
-		int64(fs.generation%2)*uberSlotSize)
+	fs.devCheck(fs.dev.WriteAt(encodeUberblock(fs.generation, fs.nextIno, fs.zil.Epoch()),
+		int64(fs.generation%2)*uberSlotSize))
 }
 
 // The uberblock is double-slotted like ZFS's uberblock ring: each txg

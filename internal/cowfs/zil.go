@@ -2,9 +2,11 @@ package cowfs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/ioerr"
 	"betrfs/internal/sim"
 	"betrfs/internal/wal"
 )
@@ -47,10 +49,12 @@ func (fs *FS) logZil(enc func(*zilEnc)) {
 	if _, err := fs.zil.Append(wal.RecordType(1), e.b); err == wal.ErrLogFull {
 		fs.txgCommit()
 		if _, err2 := fs.zil.Append(wal.RecordType(1), e.b); err2 != nil {
-			panic("cowfs: intent log full after txg commit")
+			// Still full after a txg commit: the log region cannot hold
+			// the record — a space problem, not a bug.
+			ioerr.Check(fmt.Errorf("cowfs: intent log full after txg commit: %w", ioerr.ErrNoSpace))
 		}
 	} else if err != nil {
-		panic(err)
+		ioerr.Check(err)
 	}
 }
 
@@ -79,14 +83,17 @@ func (d *zilDec) bytes() []byte {
 func timeDur(v int64) (d timeDuration) { return timeDuration(v) }
 
 // Recover mounts an existing cowfs from its uberblock, inode map, and
-// intent log.
-func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
+// intent log. A device error during recovery fails the mount.
+func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (rfs *FS, err error) {
+	defer ioerr.Guard(&err)
 	fs := New(env, dev, prof)
 	// Pick the newest slot of the uberblock ring that passes its CRC; a
 	// torn uberblock write then falls back to the previous generation
 	// instead of mounting garbage.
 	sb := make([]byte, BlockSize)
-	dev.ReadAt(sb, 0)
+	if rerr := dev.ReadAt(sb, 0); rerr != nil {
+		return nil, fmt.Errorf("cowfs: uberblock unreadable: %w", rerr)
+	}
 	var (
 		zilEpoch uint32
 		found    bool
@@ -115,7 +122,9 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 	per := Ino(BlockSize / entrySize)
 	buf := make([]byte, BlockSize)
 	for first := Ino(0); first < fs.nextIno; first += per {
-		dev.ReadAt(buf, fs.imapSlotBase(fs.generation)+int64(first)*entrySize)
+		if rerr := dev.ReadAt(buf, fs.imapSlotBase(fs.generation)+int64(first)*entrySize); rerr != nil {
+			return nil, fmt.Errorf("cowfs: imap block for inode %d unreadable: %w", first, rerr)
+		}
 		for i := Ino(0); i < per && first+i < fs.nextIno; i++ {
 			off := int64(i) * entrySize
 			f := binary.BigEndian.Uint64(buf[off:])
@@ -132,8 +141,13 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 		if loc.first < 0 {
 			continue
 		}
-		n, err := fs.readBlob(ino, loc)
-		if err != nil {
+		n, berr := fs.readBlob(ino, loc)
+		if berr != nil {
+			// A media error is not a torn write: dropping the inode would
+			// silently discard durable data, so fail the mount instead.
+			if errors.Is(berr, ioerr.ErrIO) {
+				return nil, fmt.Errorf("cowfs: blob for inode %d: %w", ino, berr)
+			}
 			delete(fs.imap, ino)
 			fs.stats.DroppedNodes++
 			continue
@@ -152,8 +166,13 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 		fs.imap[rootIno] = blobLoc{first: -1}
 	}
 	// Replay the intent log against the committed state, scanning from
-	// the region start in the epoch the uberblock recorded.
-	for _, rec := range wal.Recover(env, blockdev.Region(dev, fs.zilOff, fs.zilLen), wal.Hint{Offset: 0, LSN: 1, Epoch: zilEpoch}) {
+	// the region start in the epoch the uberblock recorded. An unreadable
+	// log fails the mount: a truncated replay would lose fsynced state.
+	recs, rerr := wal.Recover(env, blockdev.Region(dev, fs.zilOff, fs.zilLen), wal.Hint{Offset: 0, LSN: 1, Epoch: zilEpoch})
+	if rerr != nil {
+		return nil, fmt.Errorf("cowfs: intent log unreadable: %w", rerr)
+	}
+	for _, rec := range recs {
 		fs.replayZil(rec.Payload)
 	}
 	fs.zil = wal.New(env, blockdev.Region(dev, fs.zilOff, fs.zilLen), zilEpoch+1)
@@ -255,7 +274,7 @@ func (fs *FS) replayZil(payload []byte) {
 		b, _ := fs.alloc(1)
 		padded := make([]byte, BlockSize)
 		copy(padded, data)
-		fs.dev.WriteAt(padded, fs.blockAddr(b))
+		fs.devCheck(fs.dev.WriteAt(padded, fs.blockAddr(b)))
 		n.blocks[blk] = b
 		if int64(len(data)) > n.size-blk*BlockSize {
 			if sz := blk*BlockSize + int64(len(data)); sz > n.size {

@@ -49,7 +49,11 @@ func RunStoreTrial(ops []StoreOp, spec CrashSpec) []Violation {
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
 	cfg := betrfs.V06Config().Tree
-	st, err := betree.Open(env, kmem.New(env, true), cfg, sfl.NewDefault(env, dev))
+	backend, err := sfl.NewDefault(env, dev)
+	if err != nil {
+		panic(fmt.Sprintf("crashtest: sfl format: %v", err))
+	}
+	st, err := betree.Open(env, kmem.New(env, true), cfg, backend)
 	if err != nil {
 		panic(fmt.Sprintf("crashtest: store format: %v", err))
 	}
@@ -79,7 +83,11 @@ func RunStoreTrial(ops []StoreOp, spec CrashSpec) []Violation {
 
 	var st2 *betree.Store
 	if err := guard(func() {
-		s2, rerr := betree.Open(env, kmem.New(env, true), cfg, sfl.NewDefault(env, dev))
+		b2, berr := sfl.NewDefault(env, dev)
+		if berr != nil {
+			panic(berr)
+		}
+		s2, rerr := betree.Open(env, kmem.New(env, true), cfg, b2)
 		if rerr != nil {
 			panic(rerr)
 		}

@@ -33,7 +33,11 @@ func newBetrfs(env *sim.Env, dev *blockdev.Dev) (vfs.FS, error) {
 	// crash cuts contains in-flight node writes racing the log, not
 	// just the log tail.
 	cfg.Tree.CacheBytes = 1 << 20
-	return betrfs.New(env, kmem.New(env, true), cfg, sfl.NewDefault(env, dev))
+	backend, err := sfl.NewDefault(env, dev)
+	if err != nil {
+		return nil, err
+	}
+	return betrfs.New(env, kmem.New(env, true), cfg, backend)
 }
 
 // Systems returns the file systems under test: the three baselines plus

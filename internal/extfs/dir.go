@@ -141,7 +141,7 @@ func (fs *FS) readExtents(x *xinode, p []byte, off int64) {
 			}
 		} else {
 			buf := make([]byte, ((bo+want)+BlockSize-1)/BlockSize*BlockSize)
-			fs.dev.ReadAt(buf, fs.blockAddr(phys))
+			fs.devCheck(fs.dev.ReadAt(buf, fs.blockAddr(phys)))
 			copy(p[pos:pos+want], buf[bo:])
 			fs.stats.DataReads++
 		}
@@ -168,7 +168,7 @@ func (fs *FS) writeExtents(x *xinode, p []byte, off int64) {
 			}
 			run++
 		}
-		fs.dev.WriteAt(p[pos:pos+run*BlockSize], fs.blockAddr(phys))
+		fs.devCheck(fs.dev.WriteAt(p[pos:pos+run*BlockSize], fs.blockAddr(phys)))
 		fs.stats.DataWrites++
 		pos += run * BlockSize
 	}

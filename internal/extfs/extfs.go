@@ -17,10 +17,12 @@
 package extfs
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/ioerr"
 	"betrfs/internal/sim"
 	"betrfs/internal/vfs"
 )
@@ -92,6 +94,12 @@ type FS struct {
 
 	lastCommit time.Duration
 	superGen   uint64 // superblock generation, bumped per writeSuper
+
+	// ioErr is the sticky abort error (DESIGN.md §10): the first
+	// persistent write/flush failure is recorded here and every later
+	// mutating operation refuses with it, mirroring ext4's journal
+	// abort. Reads keep working.
+	ioErr error
 
 	stats Stats
 }
@@ -190,15 +198,15 @@ func (fs *FS) markInodeDirty(x *xinode) {
 }
 
 // inode returns the cached inode, reading its inode-table block on a
-// miss.
+// miss. Read failures abort to the enclosing vfs-op boundary (Guard)
+// rather than crashing: an unreadable inode block is a reachable media
+// error, not a programmer bug.
 func (fs *FS) inode(ino Ino) *xinode {
 	if x, ok := fs.inodes[ino]; ok {
 		return x
 	}
 	x, err := fs.readInode(ino)
-	if err != nil {
-		panic(err.Error())
-	}
+	ioerr.Check(err)
 	fs.inodes[ino] = x
 	return x
 }
@@ -223,6 +231,10 @@ func (fs *FS) inodeIfPresent(ino Ino) (*xinode, bool) {
 // DropCaches evicts clean cached metadata, forcing subsequent operations
 // back to the device (used by cold-cache benchmarks).
 func (fs *FS) DropCaches() {
+	// No error return in the vfs.FS contract; device failures here are
+	// recorded sticky by devCheck and surface on the next operation.
+	var err error
+	defer ioerr.Guard(&err)
 	fs.commit()
 	fs.writebackMeta()
 	for ino, x := range fs.inodes {
@@ -240,10 +252,28 @@ func (fs *FS) DropCaches() {
 // blockAddr converts a data-area block number to a device byte offset.
 func (fs *FS) blockAddr(b int64) int64 { return fs.lay.dataOff + b*BlockSize }
 
-// errNoSpace is returned (as a panic, since callers cannot recover in the
-// simulation) when the data area is exhausted.
+// noSpace aborts the current operation with ErrNoSpace; Guard at the
+// vfs-op boundary turns it into the error return. ENOSPC is recoverable
+// (freeing blocks clears it) and never sticky.
 func (fs *FS) noSpace() {
-	panic(fmt.Sprintf("extfs(%s): out of space", fs.prof.Name))
+	panic(ioerr.Abort{Err: fmt.Errorf("extfs(%s): %w", fs.prof.Name, ioerr.ErrNoSpace)})
 }
+
+// devCheck aborts the current operation when a device command failed.
+// Write and flush failures are sticky (journal abort): the FS refuses all
+// later mutations with the same error, while reads keep being served.
+func (fs *FS) devCheck(err error) {
+	if err == nil {
+		return
+	}
+	var de *ioerr.DeviceError
+	if errors.As(err, &de) && de.Op != "read" && fs.ioErr == nil {
+		fs.ioErr = err
+	}
+	ioerr.Check(err)
+}
+
+// writeGate refuses mutations after a sticky abort.
+func (fs *FS) writeGate() error { return fs.ioErr }
 
 var _ vfs.FS = (*FS)(nil)

@@ -114,7 +114,7 @@ func (fs *FS) writeOverflow(x *xinode, exts []extent) int64 {
 		if prevBuf != nil {
 			binary.BigEndian.PutUint64(prevBuf[0:], uint64(blk))
 			sealBlock(prevBuf)
-			fs.dev.WriteAt(prevBuf, prevAddr)
+			fs.devCheck(fs.dev.WriteAt(prevBuf, prevAddr))
 		}
 		prevBuf = buf
 		prevAddr = fs.blockAddr(blk)
@@ -122,7 +122,7 @@ func (fs *FS) writeOverflow(x *xinode, exts []extent) int64 {
 	}
 	if prevBuf != nil {
 		sealBlock(prevBuf)
-		fs.dev.WriteAt(prevBuf, prevAddr)
+		fs.devCheck(fs.dev.WriteAt(prevBuf, prevAddr))
 	}
 	fs.env.Serialize(BlockSize)
 	return first
@@ -139,7 +139,9 @@ func (fs *FS) readInode(ino Ino) (rx *xinode, err error) {
 		}
 	}()
 	buf := make([]byte, BlockSize)
-	fs.dev.ReadAt(buf, fs.itableBlockAddr(ino))
+	if rerr := fs.dev.ReadAt(buf, fs.itableBlockAddr(ino)); rerr != nil {
+		return nil, fmt.Errorf("extfs: inode %d table block: %w", ino, rerr)
+	}
 	fs.stats.InodeReads++
 	off := (int64(ino) % inodesPerBlock) * inodeSize
 	b := buf[off : off+inodeSize]
@@ -182,7 +184,9 @@ func (fs *FS) readInode(ino Ino) (rx *xinode, err error) {
 			}
 			x.overflow = append(x.overflow, next)
 			ob := make([]byte, BlockSize)
-			fs.dev.ReadAt(ob, fs.blockAddr(next))
+			if rerr := fs.dev.ReadAt(ob, fs.blockAddr(next)); rerr != nil {
+				return nil, fmt.Errorf("extfs: inode %d overflow block %d: %w", ino, next, rerr)
+			}
 			fs.env.Serialize(BlockSize)
 			if !blockSealed(ob) {
 				return nil, fmt.Errorf("extfs: inode %d overflow block %d checksum mismatch", ino, next)
@@ -261,7 +265,7 @@ func (fs *FS) writebackMeta() {
 		// Read-modify-write the table block with all its dirty inodes.
 		addr := fs.lay.itableOff + blk*BlockSize
 		buf := make([]byte, BlockSize)
-		fs.dev.ReadAt(buf, addr)
+		fs.devCheck(fs.dev.ReadAt(buf, addr))
 		for _, ino := range inos {
 			x := fs.inodes[ino]
 			blob := fs.encodeInode(x)
@@ -273,7 +277,7 @@ func (fs *FS) writebackMeta() {
 			zero := make([]byte, inodeSize)
 			copy(buf[(int64(ino)%inodesPerBlock)*inodeSize:], zero)
 		}
-		fs.dev.WriteAt(buf, addr)
+		fs.devCheck(fs.dev.WriteAt(buf, addr))
 		fs.stats.InodeWrites++
 		delete(fs.itableDirty, blk)
 	}

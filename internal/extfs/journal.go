@@ -2,8 +2,10 @@ package extfs
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/ioerr"
 	"betrfs/internal/sim"
 	"betrfs/internal/wal"
 )
@@ -75,28 +77,34 @@ func (fs *FS) logRec(t wal.RecordType, enc func(*recEncoder)) {
 	enc(e)
 	if _, err := fs.jnl.log.Append(t, e.b); err == wal.ErrLogFull {
 		fs.writebackMeta()
-		fs.jnl.log.Flush()
+		fs.devCheck(fs.jnl.log.Flush())
 		fs.applyPendingFrees()
 		fs.jnl.log.Reclaim(fs.jnl.log.NextLSN())
 		if _, err2 := fs.jnl.log.Append(t, e.b); err2 != nil {
-			panic("extfs: journal full after checkpoint")
+			// Still full after a checkpoint: the journal region cannot
+			// hold the record — a space problem, not a bug.
+			ioerr.Check(fmt.Errorf("extfs: journal full after checkpoint: %w", ioerr.ErrNoSpace))
 		}
 	} else if err != nil {
-		panic(err)
+		ioerr.Check(err)
 	}
 }
 
 // commit flushes the journal (a transaction commit with barrier). Once
 // the records are durable, blocks they freed become reusable.
 func (fs *FS) commit() {
-	fs.jnl.log.Flush()
+	fs.devCheck(fs.jnl.log.Flush())
 	fs.applyPendingFrees()
 	fs.stats.JournalCommits++
 	fs.lastCommit = fs.env.Now()
 }
 
-// Maintain implements periodic commit and metadata write-back.
+// Maintain implements periodic commit and metadata write-back. It has no
+// error return in the vfs.FS contract; write failures here are recorded
+// sticky by devCheck and surface from the next mutating operation.
 func (fs *FS) Maintain() {
+	var err error
+	defer ioerr.Guard(&err)
 	if fs.env.Now()-fs.lastCommit >= fs.prof.CommitInterval {
 		fs.commit()
 	}

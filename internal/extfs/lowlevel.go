@@ -2,6 +2,7 @@ package extfs
 
 import (
 	"betrfs/internal/blockdev"
+	"betrfs/internal/ioerr"
 	"betrfs/internal/vfs"
 )
 
@@ -41,11 +42,15 @@ func (f *ExtFile) Size() int64 { return f.x.size }
 
 // PWrite writes p at off directly to the file's extents (block-aligned
 // writes go straight through; unaligned ones read-modify-write).
-func (f *ExtFile) PWrite(p []byte, off int64) {
+func (f *ExtFile) PWrite(p []byte, off int64) (err error) {
+	defer ioerr.Guard(&err)
 	fs := f.fs
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	if off%BlockSize == 0 && int64(len(p))%BlockSize == 0 {
 		fs.writeExtents(f.x, p, off)
-		return
+		return nil
 	}
 	// Read-modify-write the boundary blocks.
 	start := off / BlockSize * BlockSize
@@ -54,52 +59,75 @@ func (f *ExtFile) PWrite(p []byte, off int64) {
 	fs.readExtents(f.x, buf, start)
 	copy(buf[off-start:], p)
 	fs.writeExtents(f.x, buf, start)
+	return nil
 }
 
 // PRead reads len(p) bytes at off.
-func (f *ExtFile) PRead(p []byte, off int64) {
+func (f *ExtFile) PRead(p []byte, off int64) (err error) {
+	defer ioerr.Guard(&err)
 	f.fs.readExtents(f.x, p, off)
+	return nil
 }
 
 // SubmitPWrite starts an asynchronous aligned write and returns a wait
-// function.
-func (f *ExtFile) SubmitPWrite(p []byte, off int64) func() {
+// function reporting the outcome.
+func (f *ExtFile) SubmitPWrite(p []byte, off int64) func() error {
 	fs := f.fs
 	if off%BlockSize != 0 || int64(len(p))%BlockSize != 0 {
-		f.PWrite(p, off)
-		return func() {}
+		err := f.PWrite(p, off)
+		return func() error { return err }
 	}
-	// Issue per physical run.
+	var submitErr error
 	var waits []blockdev.Completion
-	pos := int64(0)
-	for pos < int64(len(p)) {
-		blk := (off + pos) / BlockSize
-		phys := fs.ensureBlock(f.x, blk)
-		run := int64(1)
-		for pos+run*BlockSize < int64(len(p)) {
-			np := fs.ensureBlock(f.x, blk+run)
-			if np != phys+run {
-				break
+	func() {
+		defer ioerr.Guard(&submitErr)
+		if ferr := fs.writeGate(); ferr != nil {
+			submitErr = ferr
+			return
+		}
+		// Issue per physical run.
+		pos := int64(0)
+		for pos < int64(len(p)) {
+			blk := (off + pos) / BlockSize
+			phys := fs.ensureBlock(f.x, blk)
+			run := int64(1)
+			for pos+run*BlockSize < int64(len(p)) {
+				np := fs.ensureBlock(f.x, blk+run)
+				if np != phys+run {
+					break
+				}
+				run++
 			}
-			run++
+			c := fs.dev.SubmitWrite(p[pos:pos+run*BlockSize], fs.blockAddr(phys))
+			waits = append(waits, c)
+			fs.stats.DataWrites++
+			pos += run * BlockSize
 		}
-		c := fs.dev.SubmitWrite(p[pos:pos+run*BlockSize], fs.blockAddr(phys))
-		waits = append(waits, c)
-		fs.stats.DataWrites++
-		pos += run * BlockSize
-	}
-	return func() {
+	}()
+	return func() error {
+		err := submitErr
 		for _, c := range waits {
-			fs.dev.Wait(c)
+			if werr := fs.dev.Wait(c); werr != nil && err == nil {
+				err = werr
+				if fs.ioErr == nil {
+					fs.ioErr = werr // sticky: the journal cannot trust the device
+				}
+			}
 		}
+		return err
 	}
 }
 
 // Fsync commits the extfs journal on behalf of the file — this is the
 // second journal of the double-journaling pathology (§2.3).
-func (f *ExtFile) Fsync() {
-	f.fs.dev.Flush()
+func (f *ExtFile) Fsync() (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := f.fs.writeGate(); ferr != nil {
+		return ferr
+	}
+	f.fs.devCheck(f.fs.dev.Flush())
 	f.fs.commit()
+	return nil
 }
 
 var _ vfs.FS = (*FS)(nil)

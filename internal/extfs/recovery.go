@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/ioerr"
 	"betrfs/internal/sim"
 	"betrfs/internal/wal"
 )
@@ -33,7 +34,9 @@ func (fs *FS) inodeExists(ino Ino) bool {
 		return false
 	}
 	buf := make([]byte, BlockSize)
-	fs.dev.ReadAt(buf, addr)
+	if fs.dev.ReadAt(buf, addr) != nil {
+		return false // unreadable table block: treat the inode as lost
+	}
 	return buf[(int64(ino)%inodesPerBlock)*inodeSize] == 1
 }
 
@@ -54,14 +57,16 @@ func (fs *FS) writeSuper() {
 	binary.BigEndian.PutUint32(b[28:], hint.Epoch)
 	binary.BigEndian.PutUint64(b[32:], fs.superGen)
 	binary.BigEndian.PutUint32(b[40:], crc32.ChecksumIEEE(b[:40]))
-	fs.dev.WriteAt(b, int64(fs.superGen%2)*superSlotSize)
-	fs.dev.Flush()
+	fs.devCheck(fs.dev.WriteAt(b, int64(fs.superGen%2)*superSlotSize))
+	fs.devCheck(fs.dev.Flush())
 }
 
 // readSuper picks the newest superblock slot that passes its CRC.
 func readSuper(dev blockdev.Device) (nextIno Ino, hint wal.Hint, gen uint64, err error) {
 	sb := make([]byte, BlockSize)
-	dev.ReadAt(sb, 0)
+	if rerr := dev.ReadAt(sb, 0); rerr != nil {
+		return 0, wal.Hint{}, 0, fmt.Errorf("extfs: superblock unreadable: %w", rerr)
+	}
 	found := false
 	for slot := 0; slot < 2; slot++ {
 		b := sb[slot*superSlotSize : (slot+1)*superSlotSize]
@@ -91,7 +96,9 @@ func readSuper(dev blockdev.Device) (nextIno Ino, hint wal.Hint, gen uint64, err
 }
 
 // Recover mounts an existing extfs: superblock, fsck scan, journal replay.
-func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
+// A device error during recovery fails the mount (returned, not panicked).
+func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (rfs *FS, err error) {
+	defer ioerr.Guard(&err)
 	fs := New(env, dev, prof)
 	// New() created a fresh root; discard that state and reload.
 	fs.inodes = make(map[Ino]*xinode)
@@ -123,7 +130,9 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 		if Ino(firstIno) >= fs.nextIno {
 			break
 		}
-		fs.dev.ReadAt(buf, fs.lay.itableOff+tb*BlockSize)
+		if rerr := fs.dev.ReadAt(buf, fs.lay.itableOff+tb*BlockSize); rerr != nil {
+			return nil, fmt.Errorf("extfs: inode table block %d unreadable: %w", tb, rerr)
+		}
 		for i := int64(0); i < inodesPerBlock; i++ {
 			ino := Ino(firstIno + i)
 			if ino < rootIno {
@@ -161,9 +170,14 @@ func Recover(env *sim.Env, dev blockdev.Device, prof Profile) (*FS, error) {
 		fs.markInodeDirty(root)
 	}
 
-	// Journal replay.
+	// Journal replay. An unreadable journal fails the mount: replaying a
+	// truncated log would silently lose committed operations.
 	region := blockdev.Region(dev, fs.lay.journalOff, fs.lay.journalLen)
-	for _, rec := range wal.Recover(env, region, hint) {
+	recs, rerr := wal.Recover(env, region, hint)
+	if rerr != nil {
+		return nil, fmt.Errorf("extfs: journal unreadable: %w", rerr)
+	}
+	for _, rec := range recs {
 		fs.replayRecord(rec)
 	}
 	fs.jnl.log = wal.New(env, region, hint.Epoch+1)

@@ -3,6 +3,7 @@ package extfs
 import (
 	"sort"
 
+	"betrfs/internal/ioerr"
 	"betrfs/internal/vfs"
 	"betrfs/internal/wal"
 )
@@ -18,7 +19,8 @@ func (fs *FS) attrOf(x *xinode) vfs.Attr {
 
 // Lookup resolves name in parent, reading directory blocks and the child's
 // inode-table block on cache misses.
-func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, error) {
+func (fs *FS) Lookup(parent vfs.Handle, name string) (h vfs.Handle, a vfs.Attr, err error) {
+	defer ioerr.Guard(&err)
 	p := fs.inode(parent.(Ino))
 	fs.loadDir(p)
 	fs.env.Compare(len(name))
@@ -32,7 +34,11 @@ func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, erro
 
 // Create allocates an inode and adds the directory entry, journaling the
 // operation.
-func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.Attr, error) {
+func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (h vfs.Handle, a vfs.Attr, err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return nil, vfs.Attr{}, ferr
+	}
 	p := fs.inode(parent.(Ino))
 	fs.loadDir(p)
 	if _, ok := p.children[name]; ok {
@@ -70,7 +76,11 @@ func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.
 }
 
 // Remove unlinks name from parent, freeing the inode and its blocks.
-func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) error {
+func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	p := fs.inode(parent.(Ino))
 	fs.loadDir(p)
 	d, ok := p.children[name]
@@ -104,7 +114,11 @@ func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) err
 
 // Rename moves the entry; inode numbers are stable so the handle is
 // unchanged.
-func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (vfs.Handle, error) {
+func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (nh vfs.Handle, err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return nil, ferr
+	}
 	op := fs.inode(oldParent.(Ino))
 	np := fs.inode(newParent.(Ino))
 	fs.loadDir(op)
@@ -132,7 +146,8 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 // ReadDir lists parent's children, in hash order for the ext4 flavor and
 // sorted order for XFS. Entries are not Known: Linux's VFS does not
 // instantiate inodes from readdir (§4).
-func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
+func (fs *FS) ReadDir(h vfs.Handle) (ents []vfs.DirEntry, err error) {
+	defer ioerr.Guard(&err)
 	x := fs.inode(h.(Ino))
 	if !x.dir {
 		return nil, vfs.ErrNotDir
@@ -156,7 +171,11 @@ func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
 }
 
 // WriteAttr persists inode metadata.
-func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) {
+func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	x := fs.inode(h.(Ino))
 	x.size = a.Size
 	x.mtime = a.Mtime
@@ -167,10 +186,12 @@ func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) {
 		e.i64(int64(a.Nlink))
 		e.i64(int64(a.Mtime))
 	})
+	return nil
 }
 
 // ReadBlocks fills pages from the file's extents.
-func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
+func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) (err error) {
+	defer ioerr.Guard(&err)
 	x := fs.inode(h.(Ino))
 	// Merge the whole request into as few device reads as the physical
 	// layout allows.
@@ -180,12 +201,17 @@ func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
 		copy(pg.Data, buf[i*BlockSize:(i+1)*BlockSize])
 	}
 	fs.env.Memcpy(len(buf))
+	return nil
 }
 
 // WriteBlocks writes a run of pages in place (ordered mode: data first,
 // journal commit later), merging physically contiguous blocks into single
 // device writes. Extent allocation is journaled.
-func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) {
+func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	x := fs.inode(h.(Ino))
 	before := len(x.extents)
 	buf := make([]byte, len(pgs)*BlockSize)
@@ -219,11 +245,13 @@ func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool
 	// Ordered mode: the data is in place now; the journal transaction
 	// that references it commits in Fsync/Sync/Maintain, not per run.
 	_ = durable
+	return nil
 }
 
 // WritePartial is unsupported: update-in-place file systems must
-// read-modify-write.
-func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) {
+// read-modify-write. Calling it is a programmer error (the VFS checks
+// SupportsBlindWrites first), so this panic stays.
+func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) error {
 	panic("extfs: blind writes unsupported")
 }
 
@@ -231,28 +259,43 @@ func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durabl
 func (fs *FS) SupportsBlindWrites() bool { return false }
 
 // TruncateBlocks drops blocks at or beyond fromBlk.
-func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) {
+func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	x := fs.inode(h.(Ino))
 	fs.freeBlocksFrom(x, fromBlk)
 	fs.logRec(recTruncate, func(e *recEncoder) {
 		e.i64(int64(x.ino))
 		e.i64(fromBlk)
 	})
+	return nil
 }
 
 // Fsync commits the journal (data already reached the device in ordered
 // mode).
-func (fs *FS) Fsync(h vfs.Handle) {
+func (fs *FS) Fsync(h vfs.Handle) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	fs.commit()
+	return nil
 }
 
 // Sync commits the journal, writes back all dirty metadata, and refreshes
 // the superblock's recovery hint.
-func (fs *FS) Sync() {
+func (fs *FS) Sync() (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	fs.writebackMeta()
 	fs.commit()
 	fs.jnl.log.Reclaim(fs.jnl.log.NextLSN())
 	fs.writeSuper()
+	return nil
 }
 
 // replayRecord applies one journal record during recovery. Records

@@ -1,0 +1,211 @@
+// Package faulttest builds the file systems under test over an
+// injected-fault device stack and drives deterministic workloads through
+// them, checking the end-to-end error contract (DESIGN.md §10): faults
+// surface as errno-style errors at the mount API, never as panics;
+// transient faults are absorbed by bounded retry; persistent write
+// failure degrades the mount to read-only while reads keep serving
+// cached and on-device data.
+//
+// The stack under every system is
+//
+//	vfs.Mount → FS → [SFL] → RetryDev → FaultDev → Dev
+//
+// so the same seeded fault plan exercises each file system's own error
+// paths above an identical failing device.
+package faulttest
+
+import (
+	"fmt"
+
+	"betrfs/internal/betrfs"
+	"betrfs/internal/blockdev"
+	"betrfs/internal/cowfs"
+	"betrfs/internal/extfs"
+	"betrfs/internal/kmem"
+	"betrfs/internal/logfs"
+	"betrfs/internal/sfl"
+	"betrfs/internal/sim"
+	"betrfs/internal/southbound"
+	"betrfs/internal/vfs"
+)
+
+// Systems lists the file systems under fault test: the three baselines
+// plus both BetrFS generations (v0.4 on the southbound ext4 stack, v0.6
+// on the SFL).
+var Systems = []string{"ext4", "f2fs", "btrfs", "betrfs-v0.4", "betrfs-v0.6"}
+
+// DefaultScale shrinks the simulated SSD so sweeps stay fast; the fault
+// plan, not the capacity, is what these tests exercise.
+const DefaultScale = 256
+
+// System is one file system mounted over the fault stack.
+type System struct {
+	Name  string
+	Env   *sim.Env
+	Dev   *blockdev.Dev
+	Fault *blockdev.FaultDev
+	Mount *vfs.Mount
+	// Betr is non-nil for the betrfs systems (store-level scrub access).
+	Betr *betrfs.FS
+	// SFL is non-nil for betrfs-v0.6 (extent→device offset translation).
+	SFL *sfl.SFL
+}
+
+// Counter reads a metric counter from the system's registry.
+func (s *System) Counter(name string) int64 {
+	return s.Env.Metrics.Counter(name).Load()
+}
+
+// Build constructs name over a fresh scaled device wrapped in the given
+// fault plan and retry policy. Formatting happens through the fault
+// stack too, so plans aggressive enough to defeat the retry bound can
+// fail formatting; Build returns that error rather than panicking.
+func Build(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol blockdev.RetryPolicy) (*System, error) {
+	env := sim.NewEnv(seed)
+	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(scale))
+	fault := blockdev.NewFault(env, dev, plan)
+	retry := blockdev.WithRetry(env, fault, pol)
+
+	var fs vfs.FS
+	var backend *sfl.SFL
+	switch name {
+	case "ext4":
+		fs = extfs.New(env, retry, extfs.Ext4Profile())
+	case "f2fs":
+		fs = logfs.New(env, retry)
+	case "btrfs":
+		fs = cowfs.New(env, retry, cowfs.BtrfsProfile())
+	case "betrfs-v0.4":
+		lower := extfs.New(env, retry, extfs.Ext4Profile())
+		bfs, err := betrfs.New(env, kmem.New(env, true), betrfs.V04Config(),
+			southbound.New(env, lower, southbound.DefaultLayout(dev.Size())))
+		if err != nil {
+			return nil, fmt.Errorf("faulttest: %s: %w", name, err)
+		}
+		fs = bfs
+	case "betrfs-v0.6":
+		b, err := sfl.NewDefault(env, retry)
+		if err != nil {
+			return nil, fmt.Errorf("faulttest: %s: %w", name, err)
+		}
+		bfs, err := betrfs.New(env, kmem.New(env, true), betrfs.V06Config(), b)
+		if err != nil {
+			return nil, fmt.Errorf("faulttest: %s: %w", name, err)
+		}
+		fs = bfs
+		backend = b
+	default:
+		return nil, fmt.Errorf("faulttest: unknown system %q", name)
+	}
+
+	sys := &System{
+		Name:  name,
+		Env:   env,
+		Dev:   dev,
+		Fault: fault,
+		SFL:   backend,
+		Mount: vfs.NewMount(env, fs, vfs.DefaultConfig()),
+	}
+	if bfs, ok := fs.(*betrfs.FS); ok {
+		sys.Betr = bfs
+	}
+	return sys, nil
+}
+
+// FileContent returns the deterministic payload for file index i: every
+// read-back check in the sweeps verifies against it.
+func FileContent(i, size int) []byte {
+	p := make([]byte, size)
+	for j := range p {
+		p[j] = byte(i*131 + j*7 + 1)
+	}
+	return p
+}
+
+// Workload drives a deterministic mixed workload — directory tree,
+// file creates, writes, fsyncs, renames, removes, a final sync — and
+// returns the first error a fault surfaced (nil when retries absorbed
+// everything). Panics are never part of the contract; they propagate to
+// the caller as test failures. The surviving files and their sizes are
+// returned for read-back verification.
+func Workload(m *vfs.Mount, seed uint64, files int) (map[string]int, error) {
+	rnd := sim.NewRand(seed)
+	live := map[string]int{}
+	if err := m.MkdirAll("work/sub"); err != nil {
+		return live, fmt.Errorf("mkdir: %w", err)
+	}
+	for i := 0; i < files; i++ {
+		path := fmt.Sprintf("work/f%04d", i)
+		f, err := m.Create(path)
+		if err != nil {
+			return live, fmt.Errorf("create %s: %w", path, err)
+		}
+		size := 512 + rnd.Intn(3*4096)
+		if _, err := f.Write(FileContent(i, size)); err != nil {
+			return live, fmt.Errorf("write %s: %w", path, err)
+		}
+		if i%4 == 0 {
+			if err := f.Fsync(); err != nil {
+				return live, fmt.Errorf("fsync %s: %w", path, err)
+			}
+		}
+		f.Close()
+		live[path] = size
+	}
+	// Rename a slice of the files into the subdirectory.
+	for i := 0; i < files; i += 5 {
+		old := fmt.Sprintf("work/f%04d", i)
+		nw := fmt.Sprintf("work/sub/f%04d", i)
+		if err := m.Rename(old, nw); err != nil {
+			return live, fmt.Errorf("rename %s: %w", old, err)
+		}
+		live[nw] = live[old]
+		delete(live, old)
+	}
+	// Remove another slice.
+	for i := 1; i < files; i += 7 {
+		path := fmt.Sprintf("work/f%04d", i)
+		if _, ok := live[path]; !ok {
+			continue
+		}
+		if err := m.Remove(path); err != nil {
+			return live, fmt.Errorf("remove %s: %w", path, err)
+		}
+		delete(live, path)
+	}
+	if err := m.Sync(); err != nil {
+		return live, fmt.Errorf("sync: %w", err)
+	}
+	return live, nil
+}
+
+// VerifyFiles reads every surviving workload file back and checks its
+// bytes against FileContent. It returns the first mismatch or read error.
+func VerifyFiles(m *vfs.Mount, live map[string]int) error {
+	for path, size := range live {
+		var idx int
+		if _, err := fmt.Sscanf(path[len(path)-4:], "%d", &idx); err != nil {
+			return fmt.Errorf("bad workload path %s: %w", path, err)
+		}
+		f, err := m.Open(path)
+		if err != nil {
+			return fmt.Errorf("open %s: %w", path, err)
+		}
+		buf := make([]byte, size)
+		n, err := f.ReadAt(buf, 0)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", path, err)
+		}
+		if n != size {
+			return fmt.Errorf("read %s: got %d bytes, want %d", path, n, size)
+		}
+		want := FileContent(idx, size)
+		for j := range buf {
+			if buf[j] != want[j] {
+				return fmt.Errorf("%s: byte %d = %#x, want %#x", path, j, buf[j], want[j])
+			}
+		}
+		f.Close()
+	}
+	return nil
+}

@@ -42,7 +42,11 @@ func build(t testing.TB, name string) (*sim.Env, *vfs.Mount) {
 	case "betrfs-v0.6":
 		cfg := betrfs.V06Config()
 		cfg.Tree.CacheBytes = 64 << 20
-		b, err := betrfs.New(env, kmem.New(env, true), cfg, sfl.NewDefault(env, dev))
+		backend, serr := sfl.NewDefault(env, dev)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		b, err := betrfs.New(env, kmem.New(env, true), cfg, backend)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,7 +310,10 @@ func TestFsyncDurableAfterCrashBetrFS(t *testing.T) {
 	env := sim.NewEnv(7)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
 	dev.EnableCrashTracking()
-	backend := sfl.NewDefault(env, dev)
+	backend, berr := sfl.NewDefault(env, dev)
+	if berr != nil {
+		panic(berr)
+	}
 	alloc := kmem.New(env, true)
 	cfg := betrfs.V06Config()
 	b, err := betrfs.New(env, alloc, cfg, backend)

@@ -15,12 +15,14 @@ package logfs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sort"
 	"time"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/ioerr"
 	"betrfs/internal/sim"
 )
 
@@ -89,8 +91,29 @@ type FS struct {
 	// allocations the cleaner itself performs.
 	cleaning bool
 
+	// ioErr is the sticky abort (§10): once a node, NAT, or data write
+	// fails, the log's durable state cannot be trusted, so further
+	// mutations are refused while reads keep working.
+	ioErr error
+
 	stats Stats
 }
+
+// devCheck aborts the current operation on a device error; a failed
+// write or flush also latches the sticky abort.
+func (fs *FS) devCheck(err error) {
+	if err == nil {
+		return
+	}
+	var de *ioerr.DeviceError
+	if errors.As(err, &de) && de.Op != "read" && fs.ioErr == nil {
+		fs.ioErr = err
+	}
+	ioerr.Check(err)
+}
+
+// writeGate is checked at the top of every mutating operation.
+func (fs *FS) writeGate() error { return fs.ioErr }
 
 type owner struct {
 	ino     Ino
@@ -198,7 +221,7 @@ func (fs *FS) findFreeSegment() int64 {
 	// segments parked since the last checkpoint. Flush first so every
 	// blob the in-memory NAT references is durable before the NAT is.
 	if fs.pendingSegs > 0 {
-		fs.dev.Flush()
+		fs.devCheck(fs.dev.Flush())
 		fs.writeNAT()
 		fs.releasePendingSegs()
 		for s := int64(0); s < fs.segments; s++ {
@@ -207,7 +230,10 @@ func (fs *FS) findFreeSegment() int64 {
 			}
 		}
 	}
-	panic("logfs: no free segments")
+	// Out of segments even after cleaning and releasing pending frees:
+	// a space condition the caller must see, not a bug.
+	ioerr.Check(fmt.Errorf("logfs: no free segments: %w", ioerr.ErrNoSpace))
+	panic("unreachable")
 }
 
 // invalidate marks a block dead in its segment. A fully dead segment is
@@ -300,13 +326,13 @@ func (fs *FS) cleanSegment(seg int64) {
 		}
 		// Data block: migrate to the cold data log and repoint the
 		// owning node's block map (loading the node if cold).
-		fs.dev.ReadAt(buf, fs.blockAddr(b))
+		fs.devCheck(fs.dev.ReadAt(buf, fs.blockAddr(b)))
 		fs.stats.MovedBlocks++
 		nb := fs.allocBlock(headColdData)
 		n := fs.node(own.ino)
 		n.blocks[own.logical] = nb
 		n.dirty = true
-		fs.dev.WriteAt(buf, fs.blockAddr(nb))
+		fs.devCheck(fs.dev.WriteAt(buf, fs.blockAddr(nb)))
 		fs.blockOwner[nb] = own
 		fs.invalidate(b)
 	}
@@ -328,7 +354,10 @@ func (fs *FS) node(ino Ino) *node {
 	}
 	n, err := fs.readNodeBlock(ino, ent)
 	if err != nil {
-		panic(fmt.Sprintf("logfs: %v", err))
+		// A device error or corrupted blob on the cold-read path aborts
+		// the operation with the wrapped cause (errors.Is(err, ErrIO)
+		// holds for media errors).
+		ioerr.Check(err)
 	}
 	fs.inodes[ino] = n
 	return n
@@ -412,7 +441,7 @@ func (fs *FS) writeNodeBlock(n *node) {
 	padded := make([]byte, nBlocks*BlockSize)
 	copy(padded, blob)
 	first := fs.allocNodeRun(nBlocks)
-	fs.dev.WriteAt(padded, fs.blockAddr(first))
+	fs.devCheck(fs.dev.WriteAt(padded, fs.blockAddr(first)))
 	for i := 0; i < nBlocks; i++ {
 		fs.blockOwner[first+int64(i)] = owner{ino: n.ino, logical: -1}
 	}
@@ -499,7 +528,11 @@ func (fs *FS) readNodeBlock(ino Ino, ent natEntry) (rn *node, err error) {
 	}()
 	fs.stats.NodeReads++
 	raw := make([]byte, ent.count*BlockSize)
-	fs.dev.ReadAt(raw, fs.blockAddr(ent.first))
+	// Explicit error return (not devCheck): the deferred recover above
+	// would otherwise swallow the abort and mislabel it "malformed".
+	if rerr := fs.dev.ReadAt(raw, fs.blockAddr(ent.first)); rerr != nil {
+		return nil, fmt.Errorf("logfs: node blob for inode %d: %w", ino, rerr)
+	}
 	buf, err := openBlob(ino, raw)
 	if err != nil {
 		return nil, err

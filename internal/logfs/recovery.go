@@ -2,9 +2,11 @@ package logfs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/ioerr"
 	"betrfs/internal/sim"
 )
 
@@ -16,7 +18,9 @@ import (
 func Recover(env *sim.Env, dev blockdev.Device) (*FS, error) {
 	fs := New(env, dev)
 	sb := make([]byte, BlockSize)
-	dev.ReadAt(sb, 0)
+	if rerr := dev.ReadAt(sb, 0); rerr != nil {
+		return nil, fmt.Errorf("logfs: superblock unreadable: %w", rerr)
+	}
 	if binary.BigEndian.Uint32(sb) != 0xf2f5f2f5 {
 		return nil, fmt.Errorf("logfs: no superblock")
 	}
@@ -34,7 +38,9 @@ func Recover(env *sim.Env, dev blockdev.Device) (*FS, error) {
 	per := Ino(BlockSize / natEntrySize)
 	buf := make([]byte, BlockSize)
 	for first := Ino(0); first < fs.nextIno; first += per {
-		dev.ReadAt(buf, fs.natOff+int64(first)*natEntrySize)
+		if rerr := dev.ReadAt(buf, fs.natOff+int64(first)*natEntrySize); rerr != nil {
+			return nil, fmt.Errorf("logfs: NAT block for inode %d unreadable: %w", first, rerr)
+		}
 		for i := Ino(0); i < per && first+i < fs.nextIno; i++ {
 			off := int64(i) * natEntrySize
 			f := binary.BigEndian.Uint64(buf[off:])
@@ -54,6 +60,11 @@ func Recover(env *sim.Env, dev blockdev.Device) (*FS, error) {
 		}
 		n, err := fs.readNodeBlock(ino, ent)
 		if err != nil {
+			// A media error is not a torn write: dropping the inode would
+			// silently discard durable data, so fail the mount instead.
+			if errors.Is(err, ioerr.ErrIO) {
+				return nil, fmt.Errorf("logfs: node blob for inode %d: %w", ino, err)
+			}
 			delete(fs.nat, ino)
 			fs.stats.DroppedNodes++
 			continue

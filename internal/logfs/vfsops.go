@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"betrfs/internal/ioerr"
 	"betrfs/internal/vfs"
 )
 
@@ -17,7 +18,8 @@ func (fs *FS) attrOf(n *node) vfs.Attr {
 }
 
 // Lookup resolves name in parent (node blob read on cold cache).
-func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, error) {
+func (fs *FS) Lookup(parent vfs.Handle, name string) (h vfs.Handle, a vfs.Attr, err error) {
+	defer ioerr.Guard(&err)
 	p := fs.node(parent.(Ino))
 	fs.env.Compare(len(name))
 	c, ok := p.children[name]
@@ -29,7 +31,11 @@ func (fs *FS) Lookup(parent vfs.Handle, name string) (vfs.Handle, vfs.Attr, erro
 
 // Create allocates an inode; its node blob reaches the log at the next
 // fsync or checkpoint.
-func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.Attr, error) {
+func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (h vfs.Handle, a vfs.Attr, err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return nil, vfs.Attr{}, ferr
+	}
 	p := fs.node(parent.(Ino))
 	if _, ok := p.children[name]; ok {
 		return nil, vfs.Attr{}, vfs.ErrExist
@@ -50,7 +56,11 @@ func (fs *FS) Create(parent vfs.Handle, name string, dir bool) (vfs.Handle, vfs.
 }
 
 // Remove unlinks name, invalidating the child's blocks.
-func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) error {
+func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	p := fs.node(parent.(Ino))
 	c, ok := p.children[name]
 	if !ok {
@@ -77,7 +87,11 @@ func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) err
 }
 
 // Rename moves the entry (inode numbers are stable).
-func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (vfs.Handle, error) {
+func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newParent vfs.Handle, newName string) (nh vfs.Handle, err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return nil, ferr
+	}
 	op := fs.node(oldParent.(Ino))
 	np := fs.node(newParent.(Ino))
 	c, ok := op.children[oldName]
@@ -95,7 +109,8 @@ func (fs *FS) Rename(oldParent vfs.Handle, oldName string, h vfs.Handle, newPare
 
 // ReadDir lists children in sorted order (not Known: no opportunistic
 // inode instantiation).
-func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
+func (fs *FS) ReadDir(h vfs.Handle) (ents []vfs.DirEntry, err error) {
+	defer ioerr.Guard(&err)
 	n := fs.node(h.(Ino))
 	if !n.dir {
 		return nil, vfs.ErrNotDir
@@ -115,15 +130,21 @@ func (fs *FS) ReadDir(h vfs.Handle) ([]vfs.DirEntry, error) {
 
 // WriteAttr records metadata changes in the in-memory node (logged via its
 // node blob).
-func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) {
+func (fs *FS) WriteAttr(h vfs.Handle, a vfs.Attr) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	n := fs.node(h.(Ino))
 	n.size = a.Size
 	n.mtime = a.Mtime
 	n.dirty = true
+	return nil
 }
 
 // ReadBlocks fills pages, merging log-contiguous runs into single reads.
-func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
+func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) (err error) {
+	defer ioerr.Guard(&err)
 	n := fs.node(h.(Ino))
 	i := 0
 	for i < len(pages) {
@@ -144,20 +165,25 @@ func (fs *FS) ReadBlocks(h vfs.Handle, blk int64, pages []*vfs.Page, seq bool) {
 			run++
 		}
 		buf := make([]byte, run*BlockSize)
-		fs.dev.ReadAt(buf, fs.blockAddr(phys))
+		fs.devCheck(fs.dev.ReadAt(buf, fs.blockAddr(phys)))
 		for j := 0; j < run; j++ {
 			copy(pages[i+j].Data, buf[j*BlockSize:(j+1)*BlockSize])
 		}
 		fs.env.Memcpy(len(buf))
 		i += run
 	}
+	return nil
 }
 
 // WriteBlocks writes a run of pages. New data appends to the log
 // (out-of-place); overwrites of already-allocated blocks update in place —
 // F2FS's IPU policy, which it selects for fsync-bound random overwrites to
 // avoid node-block and cleaning amplification.
-func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) {
+func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	n := fs.node(h.(Ino))
 	// In-place-update path: every block already mapped.
 	allMapped := true
@@ -179,11 +205,11 @@ func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool
 			for j := 0; j < run; j++ {
 				copy(buf[j*BlockSize:], pgs[i+j].Data)
 			}
-			fs.dev.WriteAt(buf, fs.blockAddr(phys))
+			fs.devCheck(fs.dev.WriteAt(buf, fs.blockAddr(phys)))
 			fs.stats.DataWrites++
 			i += run
 		}
-		return
+		return nil
 	}
 	head := headColdData
 	if _, ok := n.blocks[blk]; ok {
@@ -214,15 +240,17 @@ func (fs *FS) WriteBlocks(h vfs.Handle, blk int64, pgs []*vfs.Page, durable bool
 			n.blocks[l] = first + int64(j)
 			fs.blockOwner[first+int64(j)] = owner{ino: n.ino, logical: l}
 		}
-		fs.dev.WriteAt(buf, fs.blockAddr(first))
+		fs.devCheck(fs.dev.WriteAt(buf, fs.blockAddr(first)))
 		fs.stats.DataWrites++
 		i += count
 	}
 	n.dirty = true
+	return nil
 }
 
-// WritePartial is unsupported (read-modify-write applies).
-func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) {
+// WritePartial is unsupported (read-modify-write applies); calling it is
+// a programmer error, so the panic stays.
+func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durable bool) error {
 	panic("logfs: blind writes unsupported")
 }
 
@@ -230,7 +258,11 @@ func (fs *FS) WritePartial(h vfs.Handle, blk int64, off int, data []byte, durabl
 func (fs *FS) SupportsBlindWrites() bool { return false }
 
 // TruncateBlocks invalidates blocks at or beyond fromBlk.
-func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) {
+func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	n := fs.node(h.(Ino))
 	for blk, b := range n.blocks {
 		if blk >= fromBlk {
@@ -239,13 +271,18 @@ func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) {
 		}
 	}
 	n.dirty = true
+	return nil
 }
 
 // Fsync writes every dirty node blob (the file's own, plus the parents
 // whose directory content references it) and the NAT blocks covering
 // them, then flushes — the F2FS fsync path, with the roll-forward scan
 // replaced by direct NAT updates.
-func (fs *FS) Fsync(h vfs.Handle) {
+func (fs *FS) Fsync(h vfs.Handle) (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	fs.stats.Fsyncs++
 	written := map[int64]bool{}
 	for ino, n := range fs.inodes {
@@ -258,30 +295,42 @@ func (fs *FS) Fsync(h vfs.Handle) {
 	// Two-phase flush: node blobs must be durable before the NAT blocks
 	// that point at them, or a crash between the two could leave a durable
 	// NAT entry referencing a blob the device never persisted.
-	fs.dev.Flush()
+	fs.devCheck(fs.dev.Flush())
 	for addr := range written {
 		fs.writeNATBlockAt(addr)
 	}
 	fs.writeSuperOnly()
-	fs.dev.Flush()
+	fs.devCheck(fs.dev.Flush())
 	fs.releasePendingSegs()
+	return nil
 }
 
 // writeNATBlockAt persists one NAT block by device address.
 func (fs *FS) writeNATBlockAt(addr int64) {
 	buf := make([]byte, BlockSize)
-	fs.dev.ReadAt(buf, addr)
+	fs.devCheck(fs.dev.ReadAt(buf, addr))
 	fs.fillNATBlock(buf, Ino((addr-fs.natOff)/natEntrySize))
-	fs.dev.WriteAt(buf, addr)
+	fs.devCheck(fs.dev.WriteAt(buf, addr))
 }
 
 // Sync checkpoints the whole file system.
-func (fs *FS) Sync() {
+func (fs *FS) Sync() (err error) {
+	defer ioerr.Guard(&err)
+	if ferr := fs.writeGate(); ferr != nil {
+		return ferr
+	}
 	fs.Checkpoint()
+	return nil
 }
 
-// Maintain runs periodic checkpoints and opportunistic cleaning.
+// Maintain runs periodic checkpoints and opportunistic cleaning. No error
+// return in the vfs.FS contract; failures latch the sticky abort.
 func (fs *FS) Maintain() {
+	var err error
+	defer ioerr.Guard(&err)
+	if fs.ioErr != nil {
+		return
+	}
 	if fs.env.Now()-fs.lastCheckpoint >= fs.CheckpointInterval {
 		fs.Checkpoint()
 	}
@@ -289,7 +338,11 @@ func (fs *FS) Maintain() {
 
 // DropCaches writes back dirty nodes and evicts the inode cache.
 func (fs *FS) DropCaches() {
-	fs.Checkpoint()
+	var err error
+	defer ioerr.Guard(&err)
+	if fs.ioErr == nil {
+		fs.Checkpoint()
+	}
 	for ino := range fs.inodes {
 		if ino != rootIno {
 			delete(fs.inodes, ino)
@@ -311,7 +364,7 @@ func (fs *FS) Checkpoint() {
 		fs.writeNodeBlock(fs.inodes[ino])
 	}
 	// Blob/NAT write barrier — see Fsync.
-	fs.dev.Flush()
+	fs.devCheck(fs.dev.Flush())
 	fs.writeNAT()
 	fs.releasePendingSegs()
 	fs.lastCheckpoint = fs.env.Now()
@@ -330,7 +383,7 @@ func (fs *FS) writeSuperOnly() {
 	sb := make([]byte, BlockSize)
 	binary.BigEndian.PutUint32(sb, 0xf2f5f2f5)
 	binary.BigEndian.PutUint64(sb[4:], uint64(fs.nextIno))
-	fs.dev.WriteAt(sb, 0)
+	fs.devCheck(fs.dev.WriteAt(sb, 0))
 }
 
 // fillNATBlock writes the in-memory entries for the block starting at
@@ -358,10 +411,10 @@ func (fs *FS) writeNAT() {
 	buf := make([]byte, BlockSize)
 	for first := rootIno - rootIno; first < fs.nextIno; first += per {
 		fs.fillNATBlock(buf, first)
-		fs.dev.WriteAt(buf, fs.natOff+int64(first)*natEntrySize)
+		fs.devCheck(fs.dev.WriteAt(buf, fs.natOff+int64(first)*natEntrySize))
 	}
 	fs.writeSuperOnly()
-	fs.dev.Flush()
+	fs.devCheck(fs.dev.Flush())
 	fs.env.Serialize(int(fs.nextIno) * natEntrySize)
 }
 

@@ -12,6 +12,7 @@
 package sfl
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -31,8 +32,12 @@ type Layout struct {
 	DataBytes  int64
 }
 
+// ErrDeviceTooSmall reports a device that cannot hold the minimum layout.
+var ErrDeviceTooSmall = errors.New("sfl: device too small for layout")
+
 // DefaultLayout computes the Table 2 proportions for a device of the given
-// capacity.
+// capacity. Devices too small for even the fixed regions yield a zero
+// DataBytes layout that New rejects with ErrDeviceTooSmall.
 func DefaultLayout(capacity int64) Layout {
 	l := Layout{
 		SuperBytes: 8 << 20,
@@ -43,7 +48,7 @@ func DefaultLayout(capacity int64) Layout {
 	}
 	rest := capacity - l.SuperBytes - l.LogBytes
 	if rest <= 0 {
-		panic("sfl: device too small for layout")
+		return l // New reports ErrDeviceTooSmall
 	}
 	l.MetaBytes = rest / 10
 	l.DataBytes = rest - l.MetaBytes
@@ -64,11 +69,16 @@ type SFL struct {
 	mFlushCount *metrics.Counter
 }
 
-// New formats an SFL over dev with the given layout.
-func New(env *sim.Env, dev blockdev.Device, layout Layout) *SFL {
+// New formats an SFL over dev with the given layout. A layout that does
+// not fit the device — user-reachable through undersized devices or bad
+// mkfs parameters — is an error, not a panic.
+func New(env *sim.Env, dev blockdev.Device, layout Layout) (*SFL, error) {
+	if layout.DataBytes <= 0 {
+		return nil, ErrDeviceTooSmall
+	}
 	total := layout.SuperBytes + layout.LogBytes + layout.MetaBytes + layout.DataBytes
 	if total > dev.Size() {
-		panic(fmt.Sprintf("sfl: layout (%d) exceeds device (%d)", total, dev.Size()))
+		return nil, fmt.Errorf("sfl: layout (%d) exceeds device (%d): %w", total, dev.Size(), ErrDeviceTooSmall)
 	}
 	s := &SFL{env: env, dev: dev, files: make(map[string]*file), layout: layout}
 	reg := env.Metrics
@@ -93,11 +103,11 @@ func New(env *sim.Env, dev blockdev.Device, layout Layout) *SFL {
 		s.files[f.name] = &file{sfl: s, name: f.name, base: off, size: f.size}
 		off += f.size
 	}
-	return s
+	return s, nil
 }
 
 // NewDefault formats an SFL with the default layout for dev.
-func NewDefault(env *sim.Env, dev blockdev.Device) *SFL {
+func NewDefault(env *sim.Env, dev blockdev.Device) (*SFL, error) {
 	return New(env, dev, DefaultLayout(dev.Size()))
 }
 
@@ -140,19 +150,19 @@ func (f *file) check(n int, off int64) {
 }
 
 // ReadAt synchronously reads len(p) bytes at off.
-func (f *file) ReadAt(p []byte, off int64) {
+func (f *file) ReadAt(p []byte, off int64) error {
 	f.check(len(p), off)
 	f.sfl.mReadCount.Inc()
 	f.sfl.mReadBytes.Add(int64(len(p)))
-	f.sfl.dev.ReadAt(p, f.base+off)
+	return f.sfl.dev.ReadAt(p, f.base+off)
 }
 
 // WriteAt synchronously writes len(p) bytes at off.
-func (f *file) WriteAt(p []byte, off int64) {
+func (f *file) WriteAt(p []byte, off int64) error {
 	f.check(len(p), off)
 	f.sfl.mWriteCount.Inc()
 	f.sfl.mWriteBytes.Add(int64(len(p)))
-	f.sfl.dev.WriteAt(p, f.base+off)
+	return f.sfl.dev.WriteAt(p, f.base+off)
 }
 
 // SubmitRead starts an asynchronous read.
@@ -161,7 +171,7 @@ func (f *file) SubmitRead(p []byte, off int64) stor.Wait {
 	f.sfl.mReadCount.Inc()
 	f.sfl.mReadBytes.Add(int64(len(p)))
 	c := f.sfl.dev.SubmitRead(p, f.base+off)
-	return func() { f.sfl.dev.Wait(c) }
+	return func() error { return f.sfl.dev.Wait(c) }
 }
 
 // SubmitWrite starts an asynchronous write.
@@ -170,13 +180,13 @@ func (f *file) SubmitWrite(p []byte, off int64) stor.Wait {
 	f.sfl.mWriteCount.Inc()
 	f.sfl.mWriteBytes.Add(int64(len(p)))
 	c := f.sfl.dev.SubmitWrite(p, f.base+off)
-	return func() { f.sfl.dev.Wait(c) }
+	return func() error { return f.sfl.dev.Wait(c) }
 }
 
 // Flush issues a device barrier.
-func (f *file) Flush() {
+func (f *file) Flush() error {
 	f.sfl.mFlushCount.Inc()
-	f.sfl.dev.Flush()
+	return f.sfl.dev.Flush()
 }
 
 // Capacity returns the extent size.

@@ -12,7 +12,11 @@ func newSFL(t testing.TB) (*sim.Env, *blockdev.Dev, *SFL) {
 	t.Helper()
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
-	return env, dev, NewDefault(env, dev)
+	s, err := NewDefault(env, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, dev, s
 }
 
 func TestLayoutProportions(t *testing.T) {

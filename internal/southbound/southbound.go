@@ -73,7 +73,7 @@ type Backend struct {
 }
 
 type pendingWrite struct {
-	wait  func()
+	wait  func() error
 	bytes int64
 }
 
@@ -132,28 +132,34 @@ func (b *Backend) File(name string) stor.File {
 }
 
 // drainTo waits for in-flight lower writes until dirtyBytes <= target.
-func (b *Backend) drainTo(target int64) {
+// The first write-back failure is returned; the drain keeps going so the
+// dirty accounting stays consistent.
+func (b *Backend) drainTo(target int64) error {
+	var err error
 	for b.dirtyBytes > target && len(b.pending) > 0 {
 		p := b.pending[0]
 		b.pending = b.pending[1:]
-		p.wait()
+		if werr := p.wait(); werr != nil && err == nil {
+			err = werr
+		}
 		b.dirtyBytes -= p.bytes
 	}
+	return err
 }
 
 // throttle models balance_dirty_pages: crossing the watermark forces the
 // writer to sleep while the lower write-back drains — the "stutter" of
 // §2.3, since the Bε-tree's writes re-dirty lower pages with no net
 // progress on the dirty count.
-func (b *Backend) throttle() {
+func (b *Backend) throttle() error {
 	if b.dirtyBytes <= b.StallThreshold {
-		return
+		return nil
 	}
 	b.stats.Stalls++
 	b.mStallCount.Inc()
 	b.env.Trace("southbound", "stall", "", b.dirtyBytes)
 	b.env.Charge(b.StallDelay)
-	b.drainTo(b.StallThreshold / 2)
+	return b.drainTo(b.StallThreshold / 2)
 }
 
 // sbFile adapts one lower file to stor.File with the stacking costs.
@@ -165,18 +171,18 @@ type sbFile struct {
 
 // ReadAt reads synchronously; the data crosses the lower page cache, so a
 // copy is charged on top of the device read.
-func (f *sbFile) ReadAt(p []byte, off int64) {
+func (f *sbFile) ReadAt(p []byte, off int64) error {
 	f.b.env.Memcpy(len(p))
 	f.b.stats.BytesCopied += int64(len(p))
 	f.b.mReadCount.Inc()
 	f.b.mReadBytes.Add(int64(len(p)))
 	f.b.mBytesCopied.Add(int64(len(p)))
-	f.lf.PRead(p, off)
+	return f.lf.PRead(p, off)
 }
 
 // WriteAt copies into the lower page cache and issues the device write,
 // throttling at the dirty watermark.
-func (f *sbFile) WriteAt(p []byte, off int64) {
+func (f *sbFile) WriteAt(p []byte, off int64) error {
 	b := f.b
 	b.env.Memcpy(len(p))
 	b.stats.BytesCopied += int64(len(p))
@@ -186,7 +192,7 @@ func (f *sbFile) WriteAt(p []byte, off int64) {
 	wait := f.lf.SubmitPWrite(p, off)
 	b.dirtyBytes += int64(len(p))
 	b.pending = append(b.pending, pendingWrite{wait: wait, bytes: int64(len(p))})
-	b.throttle()
+	return b.throttle()
 }
 
 // SubmitRead starts an asynchronous read (still paying the cache copy).
@@ -196,25 +202,28 @@ func (f *sbFile) SubmitRead(p []byte, off int64) stor.Wait {
 	f.b.mReadCount.Inc()
 	f.b.mReadBytes.Add(int64(len(p)))
 	f.b.mBytesCopied.Add(int64(len(p)))
-	f.lf.PRead(p, off) // lower read path is synchronous through the cache
-	return func() {}
+	err := f.lf.PRead(p, off) // lower read path is synchronous through the cache
+	return func() error { return err }
 }
 
-// SubmitWrite behaves like WriteAt; the returned wait is a no-op because
-// the lower cache already absorbed the data.
+// SubmitWrite behaves like WriteAt; the returned wait resolves eagerly
+// because the lower cache already absorbed the data.
 func (f *sbFile) SubmitWrite(p []byte, off int64) stor.Wait {
-	f.WriteAt(p, off)
-	return func() {}
+	err := f.WriteAt(p, off)
+	return func() error { return err }
 }
 
 // Flush drains the lower cache and commits the lower journal: the
 // double-journaling path of §2.3.
-func (f *sbFile) Flush() {
+func (f *sbFile) Flush() error {
 	b := f.b
-	b.drainTo(0)
+	derr := b.drainTo(0)
 	b.stats.Fsyncs++
 	b.mFlushCount.Inc()
-	f.lf.Fsync()
+	if err := f.lf.Fsync(); err != nil {
+		return err
+	}
+	return derr
 }
 
 // Capacity returns the file size.

@@ -88,7 +88,11 @@ func TestDoubleJournalCostlierThanSFL(t *testing.T) {
 
 	envS := sim.NewEnv(1)
 	dev := blockdev.New(envS, blockdev.SamsungEVO860().Scale(64))
-	var sf stor.File = sfl.NewDefault(envS, dev).File("log")
+	sflS, serr := sfl.NewDefault(envS, dev)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	var sf stor.File = sflS.File("log")
 	start := envS.Now()
 	for i := 0; i < 50; i++ {
 		sf.WriteAt(make([]byte, 4096), int64(i)*4096)

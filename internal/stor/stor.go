@@ -5,24 +5,28 @@
 package stor
 
 // Wait blocks (advances the simulated clock) until an asynchronous I/O
-// completes.
-type Wait func()
+// completes, returning the command's outcome. On error the I/O did not
+// transfer its data.
+type Wait func() error
 
 // File is a named region of storage with direct synchronous and
 // asynchronous I/O plus a durability barrier. Offsets are file-relative.
+// All I/O can fail with a device error (wrapping ioerr.ErrIO); callers
+// must check.
 type File interface {
-	// ReadAt synchronously reads len(p) bytes at off.
-	ReadAt(p []byte, off int64)
+	// ReadAt synchronously reads len(p) bytes at off; on error the
+	// contents of p are undefined.
+	ReadAt(p []byte, off int64) error
 	// WriteAt synchronously writes len(p) bytes at off.
-	WriteAt(p []byte, off int64)
+	WriteAt(p []byte, off int64) error
 	// SubmitRead starts an asynchronous read; p is filled when the
-	// returned Wait is called.
+	// returned Wait is called and returns nil.
 	SubmitRead(p []byte, off int64) Wait
 	// SubmitWrite starts an asynchronous write; the caller must not
 	// modify p until the returned Wait is called.
 	SubmitWrite(p []byte, off int64) Wait
 	// Flush makes all completed writes durable.
-	Flush()
+	Flush() error
 	// Capacity returns the addressable size of the file in bytes.
 	Capacity() int64
 }

@@ -44,6 +44,9 @@ func (m *Mount) openFileLocked(path string, create, trunc bool) (*File, error) {
 		if perr != nil {
 			return nil, perr
 		}
+		if gerr := m.writeGate(); gerr != nil {
+			return nil, gerr
+		}
 		m.stats.Creates++
 		m.m.create.Inc()
 		m.env.Trace("vfs", "create", path, 0)
@@ -63,7 +66,9 @@ func (m *Mount) openFileLocked(path string, create, trunc bool) (*File, error) {
 	}
 	f := &File{m: m, ino: ino}
 	if trunc && ino.attr.Size > 0 {
-		f.truncateLocked(0)
+		if terr := f.truncateLocked(0); terr != nil {
+			return nil, terr
+		}
 	}
 	return f, nil
 }
@@ -83,15 +88,18 @@ func (f *File) Path() string {
 }
 
 // Truncate resizes the file to size (only shrinking discards data).
-func (f *File) Truncate(size int64) {
+func (f *File) Truncate(size int64) error {
 	f.m.lock()
 	defer f.m.unlock()
-	f.truncateLocked(size)
+	return f.truncateLocked(size)
 }
 
-func (f *File) truncateLocked(size int64) {
+func (f *File) truncateLocked(size int64) error {
 	m := f.m
 	m.chargeSyscall()
+	if err := m.writeGate(); err != nil {
+		return err
+	}
 	if size < f.ino.attr.Size {
 		fromBlk := (size + PageSize - 1) / PageSize
 		for blk, pg := range f.ino.pages {
@@ -100,7 +108,9 @@ func (f *File) truncateLocked(size int64) {
 				delete(f.ino.pages, blk)
 			}
 		}
-		m.fs.TruncateBlocks(f.ino.h, fromBlk)
+		if err := m.fs.TruncateBlocks(f.ino.h, fromBlk); err != nil {
+			return err
+		}
 		// Zero the tail of the new EOF block so a later extension past
 		// it reads zeros, not stale bytes (as the kernel does at
 		// truncate time).
@@ -109,7 +119,11 @@ func (f *File) truncateLocked(size int64) {
 			pg, ok := f.ino.pages[blk]
 			if !ok {
 				pg = m.newPage(f.ino, blk)
-				m.fs.ReadBlocks(f.ino.h, blk, []*Page{pg}, false)
+				if err := m.fs.ReadBlocks(f.ino.h, blk, []*Page{pg}, false); err != nil {
+					m.forgetPage(pg)
+					delete(f.ino.pages, blk)
+					return err
+				}
 			} else {
 				pg = m.cowIfPinned(f.ino, blk, pg, false)
 			}
@@ -121,6 +135,7 @@ func (f *File) truncateLocked(size int64) {
 	}
 	f.ino.attr.Size = size
 	m.markInodeDirty(f.ino)
+	return nil
 }
 
 // Write appends at the cursor.
@@ -172,11 +187,15 @@ func (f *File) writeAtLocked(p []byte, off int64) (int, error) {
 	defer m.maintain()
 	opStart := m.env.Now()
 	defer func() { m.m.writeNs.Observe(int64(m.env.Now() - opStart)) }()
+	if err := m.writeGate(); err != nil {
+		return 0, err
+	}
 	ino := f.ino
 	m.stats.WriteBytes += int64(len(p))
 	m.m.bytesWrite.Add(int64(len(p)))
 	rest := p
 	pos := off
+	written := 0
 	for len(rest) > 0 {
 		blk := pos / PageSize
 		po := int(pos % PageSize)
@@ -206,13 +225,19 @@ func (f *File) writeAtLocked(p []byte, off int64) (int, error) {
 			m.stats.BlindWrites++
 			m.m.writeBlind.Inc()
 			m.env.Memcpy(n)
-			m.fs.WritePartial(ino.h, blk, po, chunk, false)
+			if err := m.fs.WritePartial(ino.h, blk, po, chunk, false); err != nil {
+				return f.finishWrite(written, pos, err)
+			}
 		default:
 			// Read-modify-write, the update-in-place path.
 			m.stats.RMWReads++
 			m.m.writeRMW.Inc()
 			pg = m.newPage(ino, blk)
-			m.fs.ReadBlocks(ino.h, blk, []*Page{pg}, false)
+			if err := m.fs.ReadBlocks(ino.h, blk, []*Page{pg}, false); err != nil {
+				m.forgetPage(pg)
+				delete(ino.pages, blk)
+				return f.finishWrite(written, pos, err)
+			}
 			m.stats.PagesRead++
 			m.m.pageRead.Inc()
 			m.env.Memcpy(n)
@@ -221,13 +246,24 @@ func (f *File) writeAtLocked(p []byte, off int64) (int, error) {
 		}
 		rest = rest[n:]
 		pos += int64(n)
+		written += n
 	}
-	if pos > ino.attr.Size {
-		ino.attr.Size = pos
+	if _, err := f.finishWrite(written, pos, nil); err != nil {
+		return written, err
 	}
-	m.markInodeDirty(ino)
 	m.balanceDirty()
 	return len(p), nil
+}
+
+// finishWrite records how far a (possibly short) write got: the size
+// grows to cover every byte actually written, the inode goes dirty
+// (mtime), and the causing error passes through.
+func (f *File) finishWrite(written int, pos int64, err error) (int, error) {
+	if pos > f.ino.attr.Size {
+		f.ino.attr.Size = pos
+	}
+	f.m.markInodeDirty(f.ino)
+	return written, err
 }
 
 // ReadAt reads into p from offset off through the page cache with
@@ -279,7 +315,11 @@ func (f *File) readAtLocked(p []byte, off int64) (int, error) {
 		m.env.Charge(m.env.Costs.PageCacheOp)
 		pg, ok := ino.pages[blk]
 		if !ok {
-			pg = m.fillPages(ino, blk, seq, f.raPages)
+			var ferr error
+			pg, ferr = m.fillPages(ino, blk, seq, f.raPages)
+			if ferr != nil {
+				return read, ferr
+			}
 		} else {
 			m.touchPage(pg)
 		}
@@ -293,8 +333,9 @@ func (f *File) readAtLocked(p []byte, off int64) (int, error) {
 }
 
 // fillPages reads block blk (plus read-ahead) from the FS and returns
-// blk's page.
-func (m *Mount) fillPages(ino *inode, blk int64, seq bool, raPages int) *Page {
+// blk's page. On a read failure every just-instantiated page is dropped
+// from the cache — a later retry must hit the FS again, not garbage.
+func (m *Mount) fillPages(ino *inode, blk int64, seq bool, raPages int) (*Page, error) {
 	lastBlk := (ino.attr.Size + PageSize - 1) / PageSize
 	count := 1
 	if seq && raPages > 1 {
@@ -320,14 +361,19 @@ func (m *Mount) fillPages(ino *inode, blk int64, seq bool, raPages int) *Page {
 		pages = append(pages, pg)
 		blks = append(blks, b)
 	}
-	m.fs.ReadBlocks(ino.h, blk, pages, seq)
+	if err := m.fs.ReadBlocks(ino.h, blk, pages, seq); err != nil {
+		for i, pg := range pages {
+			m.forgetPage(pg)
+			delete(ino.pages, blks[i])
+		}
+		return nil, err
+	}
 	m.stats.PagesRead += int64(len(pages))
 	m.m.pageRead.Add(int64(len(pages)))
-	for i, pg := range pages {
-		_ = blks[i]
+	for _, pg := range pages {
 		m.trackClean(pg)
 	}
-	return pages[0]
+	return pages[0], nil
 }
 
 // fsyncDurableMaxPages bounds how many dirty pages an fsync writes back
@@ -337,8 +383,10 @@ func (m *Mount) fillPages(ino *inode, blk int64, seq bool, raPages int) *Page {
 const fsyncDurableMaxPages = 64
 
 // Fsync writes back the file's dirty pages and metadata, then asks the FS
-// for durability (§3.3, DESIGN.md).
-func (f *File) Fsync() {
+// for durability (§3.3, DESIGN.md). It returns the first failure from this
+// pass or any latched background write-back error (errseq semantics: a
+// latched error is reported by exactly one Fsync or Sync).
+func (f *File) Fsync() error {
 	f.m.lock()
 	defer f.m.unlock()
 	m := f.m
@@ -356,8 +404,13 @@ func (f *File) Fsync() {
 	}
 	m.writebackInodePages(f.ino, dirty <= fsyncDurableMaxPages)
 	m.writebackInodeAttr(f.ino)
-	m.fs.Fsync(f.ino.h)
+	err := m.fs.Fsync(f.ino.h)
+	if err != nil {
+		m.writebackError(err)
+	}
+	err = m.reportWbErr(nil)
 	m.maintain()
+	return err
 }
 
 // Close drops the descriptor (data remains cached; Close does not sync).

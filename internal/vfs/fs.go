@@ -15,6 +15,8 @@ package vfs
 import (
 	"errors"
 	"time"
+
+	"betrfs/internal/ioerr"
 )
 
 // PageSize is the VFS page and file-block size.
@@ -27,6 +29,19 @@ var (
 	ErrNotDir   = errors.New("vfs: not a directory")
 	ErrIsDir    = errors.New("vfs: is a directory")
 	ErrNotEmpty = errors.New("vfs: directory not empty")
+)
+
+// Errno-style I/O errors, aliased from ioerr so workloads can classify
+// against either package (DESIGN.md §10).
+var (
+	// ErrIO is EIO: a device command failed beneath the file system.
+	ErrIO = ioerr.ErrIO
+	// ErrNoSpace is ENOSPC: the FS allocator is exhausted. Deleting
+	// files makes writes succeed again; it never degrades the mount.
+	ErrNoSpace = ioerr.ErrNoSpace
+	// ErrReadOnly is EROFS: the mount degraded to read-only after a
+	// persistent write failure (errors=remount-ro).
+	ErrReadOnly = ioerr.ErrReadOnly
 )
 
 // Handle is a file-system-specific node reference: BetrFS uses full paths,
@@ -92,26 +107,27 @@ type FS interface {
 	// ReadDir lists parent's direct children.
 	ReadDir(h Handle) ([]DirEntry, error)
 	// WriteAttr persists inode metadata (dirty-inode write-back).
-	WriteAttr(h Handle, a Attr)
+	WriteAttr(h Handle, a Attr) error
 	// ReadBlocks fills pages [blk, blk+len(pages)) of the file; seq
-	// hints that the reads are part of a sequential run.
-	ReadBlocks(h Handle, blk int64, pages []*Page, seq bool)
+	// hints that the reads are part of a sequential run. On error the
+	// page contents are undefined.
+	ReadBlocks(h Handle, blk int64, pages []*Page, seq bool) error
 	// WriteBlocks persists a contiguous run of file pages starting at
 	// blk (write-back coalesces adjacent dirty pages into one call, as
 	// bio merging does). durable marks an fsync-driven write-back. The
 	// FS may Pin pages instead of copying them (page sharing).
-	WriteBlocks(h Handle, blk int64, pgs []*Page, durable bool)
+	WriteBlocks(h Handle, blk int64, pgs []*Page, durable bool) error
 	// WritePartial is a blind sub-page write (off, data within one
 	// block) without a prior read; only WODs support it.
-	WritePartial(h Handle, blk int64, off int, data []byte, durable bool)
+	WritePartial(h Handle, blk int64, off int, data []byte, durable bool) error
 	// SupportsBlindWrites reports whether WritePartial is available.
 	SupportsBlindWrites() bool
 	// TruncateBlocks drops blocks at index >= fromBlk.
-	TruncateBlocks(h Handle, fromBlk int64)
+	TruncateBlocks(h Handle, fromBlk int64) error
 	// Fsync makes h's previously written data and metadata durable.
-	Fsync(h Handle)
+	Fsync(h Handle) error
 	// Sync makes the whole file system durable.
-	Sync()
+	Sync() error
 	// Maintain gives the FS a chance to run background work
 	// (checkpoints, segment cleaning, transaction-group commits); the
 	// VFS calls it periodically from operation paths.

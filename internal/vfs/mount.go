@@ -2,6 +2,8 @@ package vfs
 
 import (
 	"container/list"
+	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -113,6 +115,14 @@ type Mount struct {
 	stats        Stats
 	m            mountMetrics
 
+	// Write-back error state (DESIGN.md §10). wbErr latches the first
+	// unreported asynchronous write-back failure, Linux errseq-style: the
+	// next Fsync or Sync returns it, then it clears. roErr latches the
+	// EIO-class failure that degraded the mount read-only; it never
+	// clears — remount (a fresh NewMount) is the only way back.
+	wbErr error
+	roErr error
+
 	// clientMu is the mount big lock (cfg.Concurrent only): public entry
 	// points lock it, unexported internals assume it is held. Lock order:
 	// clientMu is taken strictly above every FS-internal lock (betree
@@ -154,6 +164,7 @@ type mountMetrics struct {
 	writeRMW   *metrics.Counter
 	cowCopy    *metrics.Counter
 	fsync      *metrics.Counter
+	remountRO  *metrics.Counter
 	readNs     *metrics.Histogram
 	writeNs    *metrics.Histogram
 	fsyncNs    *metrics.Histogram
@@ -181,6 +192,7 @@ func resolveMountMetrics(reg *metrics.Registry) mountMetrics {
 		writeRMW:   reg.Counter("vfs.write.rmw"),
 		cowCopy:    reg.Counter("vfs.page.cow"),
 		fsync:      reg.Counter("vfs.fsync.count"),
+		remountRO:  reg.Counter("vfs.remount.ro"),
 		readNs:     reg.Histogram("vfs.read.ns", "ns"),
 		writeNs:    reg.Histogram("vfs.write.ns", "ns"),
 		fsyncNs:    reg.Histogram("vfs.fsync.ns", "ns"),
@@ -211,6 +223,55 @@ func NewMount(env *sim.Env, fs FS, cfg Config) *Mount {
 
 // Stats returns VFS counters.
 func (m *Mount) Stats() *Stats { return &m.stats }
+
+// Degraded returns the write failure that flipped the mount read-only,
+// or nil while the mount is healthy.
+func (m *Mount) Degraded() error {
+	m.lock()
+	defer m.unlock()
+	return m.roErr
+}
+
+// writebackError latches an asynchronous write failure so the next Fsync
+// or Sync reports it (errseq semantics). An EIO-class failure additionally
+// degrades the mount read-only: dirty state can no longer reliably reach
+// the device, so accepting more writes would only grow the loss. ErrNoSpace
+// never degrades — it is recoverable by deleting files.
+func (m *Mount) writebackError(err error) {
+	if err == nil {
+		return
+	}
+	if m.wbErr == nil {
+		m.wbErr = err
+	}
+	if m.roErr == nil && errors.Is(err, ErrIO) {
+		m.roErr = err
+		m.m.remountRO.Inc()
+		m.env.Trace("vfs", "remount-ro", err.Error(), 0)
+	}
+}
+
+// writeGate rejects namespace and data mutations on a degraded mount with
+// EROFS, as the kernel does after errors=remount-ro trips.
+func (m *Mount) writeGate() error {
+	if m.roErr == nil {
+		return nil
+	}
+	return fmt.Errorf("vfs: mount degraded after %v: %w", m.roErr, ErrReadOnly)
+}
+
+// reportWbErr folds the latched write-back error into an op's own result:
+// the op error wins, otherwise the latched one is returned. Reporting
+// clears the latch (the read-only latch, if set, stays).
+func (m *Mount) reportWbErr(opErr error) error {
+	if m.wbErr != nil {
+		if opErr == nil {
+			opErr = m.wbErr
+		}
+		m.wbErr = nil
+	}
+	return opErr
+}
 
 // FS returns the underlying file system.
 func (m *Mount) FS() FS { return m.fs }
@@ -295,6 +356,9 @@ func (m *Mount) Mkdir(path string) error {
 func (m *Mount) mkdirLocked(path string) error {
 	m.chargeSyscall()
 	defer m.maintain()
+	if err := m.writeGate(); err != nil {
+		return err
+	}
 	path = keys.Clean(path)
 	parentPath, name := keys.ParentAndName(path)
 	if name == "" {
@@ -353,6 +417,9 @@ func (m *Mount) Rmdir(path string) error {
 func (m *Mount) remove(path string, dir bool) error {
 	m.chargeSyscall()
 	defer m.maintain()
+	if err := m.writeGate(); err != nil {
+		return err
+	}
 	path = keys.Clean(path)
 	ino, err := m.walk(path)
 	if err != nil {
@@ -467,6 +534,9 @@ func (m *Mount) Rename(oldPath, newPath string) error {
 	defer m.unlock()
 	m.chargeSyscall()
 	defer m.maintain()
+	if err := m.writeGate(); err != nil {
+		return err
+	}
 	oldPath = keys.Clean(oldPath)
 	newPath = keys.Clean(newPath)
 	ino, err := m.walk(oldPath)
@@ -533,16 +603,21 @@ func (m *Mount) Stat(path string) (Attr, error) {
 }
 
 // Sync writes back all dirty state and asks the FS to persist everything.
-func (m *Mount) Sync() {
+// It returns the first failure from this pass or from earlier background
+// write-back (errseq: each latched error is reported exactly once).
+func (m *Mount) Sync() error {
 	m.lock()
 	defer m.unlock()
-	m.syncLocked()
+	return m.syncLocked()
 }
 
-func (m *Mount) syncLocked() {
+func (m *Mount) syncLocked() error {
 	m.chargeSyscall()
 	m.writebackAll(false)
-	m.fs.Sync()
+	if err := m.fs.Sync(); err != nil {
+		m.writebackError(err)
+	}
+	return m.reportWbErr(nil)
 }
 
 // Writeback pushes every dirty page and inode attribute to the file
@@ -562,7 +637,12 @@ func (m *Mount) Writeback() {
 func (m *Mount) DropCaches() {
 	m.lock()
 	defer m.unlock()
-	m.syncLocked()
+	// Best effort: a sync failure is latched for the next Fsync/Sync to
+	// report; dropping caches proceeds regardless (the dirty data the
+	// failed pass could not persist has already been dropped-with-count).
+	if err := m.syncLocked(); err != nil {
+		m.writebackError(err)
+	}
 	for h, ino := range m.icache {
 		m.dropInodePages(ino)
 		if ino != m.root {

@@ -102,12 +102,13 @@ func (f *memFS) ReadDir(h Handle) ([]DirEntry, error) {
 	return out, nil
 }
 
-func (f *memFS) WriteAttr(h Handle, a Attr) {
+func (f *memFS) WriteAttr(h Handle, a Attr) error {
 	f.attrWrites++
 	f.nodes[h.(int)].size = a.Size
+	return nil
 }
 
-func (f *memFS) ReadBlocks(h Handle, blk int64, pages []*Page, seq bool) {
+func (f *memFS) ReadBlocks(h Handle, blk int64, pages []*Page, seq bool) error {
 	f.readCalls++
 	n := f.nodes[h.(int)]
 	for i, pg := range pages {
@@ -119,9 +120,10 @@ func (f *memFS) ReadBlocks(h Handle, blk int64, pages []*Page, seq bool) {
 			}
 		}
 	}
+	return nil
 }
 
-func (f *memFS) WriteBlocks(h Handle, blk int64, pgs []*Page, durable bool) {
+func (f *memFS) WriteBlocks(h Handle, blk int64, pgs []*Page, durable bool) error {
 	f.writeCalls++
 	f.lastWriteRunLen = len(pgs)
 	n := f.nodes[h.(int)]
@@ -129,9 +131,10 @@ func (f *memFS) WriteBlocks(h Handle, blk int64, pgs []*Page, durable bool) {
 		n.blocks[blk+int64(i)] = append([]byte{}, pg.Data...)
 		f.blocksWritten++
 	}
+	return nil
 }
 
-func (f *memFS) WritePartial(h Handle, blk int64, off int, data []byte, durable bool) {
+func (f *memFS) WritePartial(h Handle, blk int64, off int, data []byte, durable bool) error {
 	f.partialWrites++
 	n := f.nodes[h.(int)]
 	b, ok := n.blocks[blk]
@@ -140,21 +143,23 @@ func (f *memFS) WritePartial(h Handle, blk int64, off int, data []byte, durable 
 	}
 	copy(b[off:], data)
 	n.blocks[blk] = b
+	return nil
 }
 
 func (f *memFS) SupportsBlindWrites() bool { return f.blind }
-func (f *memFS) TruncateBlocks(h Handle, fromBlk int64) {
+func (f *memFS) TruncateBlocks(h Handle, fromBlk int64) error {
 	n := f.nodes[h.(int)]
 	for b := range n.blocks {
 		if b >= fromBlk {
 			delete(n.blocks, b)
 		}
 	}
+	return nil
 }
-func (f *memFS) Fsync(h Handle) { f.fsyncs++ }
-func (f *memFS) Sync()          {}
-func (f *memFS) Maintain()      { f.maintains++ }
-func (f *memFS) DropCaches()    {}
+func (f *memFS) Fsync(h Handle) error { f.fsyncs++; return nil }
+func (f *memFS) Sync() error          { return nil }
+func (f *memFS) Maintain()            { f.maintains++ }
+func (f *memFS) DropCaches()          {}
 
 func newTestMount(t testing.TB, mutate func(*Config)) (*sim.Env, *memFS, *Mount) {
 	t.Helper()

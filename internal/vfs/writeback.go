@@ -132,16 +132,23 @@ func (m *Mount) writebackPage(pg *Page, durable bool) {
 	m.writebackRun(ino, start, run, durable)
 }
 
-// writebackRun writes one contiguous run of dirty pages.
+// writebackRun writes one contiguous run of dirty pages. On failure the
+// pages are still marked clean — as the kernel does after a failed
+// write-back — so the dirty lists always drain and the balance/maintain
+// loops terminate; the error is latched for the next Fsync/Sync (and, for
+// EIO, degrades the mount read-only). The data stays readable from cache.
 func (m *Mount) writebackRun(ino *inode, blk int64, run []*Page, durable bool) {
 	for _, p := range run {
 		m.forgetPage(p)
 	}
-	m.fs.WriteBlocks(ino.h, blk, run, durable)
+	err := m.fs.WriteBlocks(ino.h, blk, run, durable)
 	m.stats.PagesWritten += int64(len(run))
 	m.m.pageWrite.Add(int64(len(run)))
 	for _, p := range run {
 		m.trackClean(p)
+	}
+	if err != nil {
+		m.writebackError(err)
 	}
 }
 
@@ -170,12 +177,16 @@ func (m *Mount) writebackInodePages(ino *inode, durable bool) {
 	}
 }
 
-// writebackInodeAttr persists dirty inode metadata.
+// writebackInodeAttr persists dirty inode metadata. Failures latch like
+// page write-back failures, and the inode is still marked clean so the
+// dirty-inode set drains (the attribute stays correct in the icache).
 func (m *Mount) writebackInodeAttr(ino *inode) {
 	if !ino.dirty {
 		return
 	}
-	m.fs.WriteAttr(ino.h, ino.attr)
+	if err := m.fs.WriteAttr(ino.h, ino.attr); err != nil {
+		m.writebackError(err)
+	}
 	ino.dirty = false
 	delete(m.dirtyInodes, ino)
 }

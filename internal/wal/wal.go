@@ -254,16 +254,17 @@ func (l *Log) encode(t RecordType, lsn uint64, payload []byte) {
 // WriteOut writes all pending records to the region without a
 // durability barrier — background log writeback. DurableLSN does not
 // advance; a crash may tear or drop the written tail, which recovery
-// detects via record CRCs.
-func (l *Log) WriteOut() {
+// detects via record CRCs. On a device error the unwritten tail stays
+// pending, so a later WriteOut or Flush retries it.
+func (l *Log) WriteOut() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.writeOut()
+	return l.writeOut()
 }
 
-func (l *Log) writeOut() {
+func (l *Log) writeOut() error {
 	if len(l.pending) == 0 {
-		return
+		return nil
 	}
 	l.mWriteOut.Inc()
 	// The pending buffer may straddle the wrap point only at pad
@@ -276,26 +277,38 @@ func (l *Log) writeOut() {
 		if off+n > l.cap {
 			n = l.cap - off
 		}
-		l.f.WriteAt(data[:n], off)
+		if err := l.f.WriteAt(data[:n], off); err != nil {
+			// Keep everything from the failed write onward pending.
+			l.pending = append(l.pending[:0:0], data...)
+			l.flushedTo = pos
+			return err
+		}
 		data = data[n:]
 		pos += n
 	}
 	l.flushedTo = l.head
 	l.pending = l.pending[:0]
+	return nil
 }
 
 // Flush writes all pending records to the region and issues a durability
-// barrier; afterwards DurableLSN covers everything appended so far.
-func (l *Log) Flush() {
+// barrier; afterwards DurableLSN covers everything appended so far. On
+// error DurableLSN does not advance: nothing new is promised durable.
+func (l *Log) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.writeOut()
-	l.f.Flush()
+	if err := l.writeOut(); err != nil {
+		return err
+	}
+	if err := l.f.Flush(); err != nil {
+		return err
+	}
 	l.env.Charge(l.SyncDelay)
 	l.durable = l.nextLSN - 1
 	l.stats.Flushes++
 	l.mFsync.Inc()
 	l.env.Trace("wal", "fsync", "", int64(l.durable))
+	return nil
 }
 
 // Pin prevents reclamation of the log at or beyond lsn; the returned
@@ -375,8 +388,11 @@ func (l *Log) hint() Hint {
 
 // Recover scans the region from hint, returning every valid record in LSN
 // order. The scan stops at the first record that fails validation (torn
-// write, stale data, or wrap past the end of the log).
-func Recover(env *sim.Env, f stor.File, hint Hint) []Record {
+// write, stale data, or wrap past the end of the log); that is a normal
+// end-of-log, not an error. A device read error aborts the scan and is
+// returned alongside the records recovered so far — the caller decides
+// whether a partially unreadable log is fatal for the mount.
+func Recover(env *sim.Env, f stor.File, hint Hint) ([]Record, error) {
 	var mReplay *metrics.Counter
 	if env.Metrics != nil {
 		mReplay = env.Metrics.Counter("wal.replay.records")
@@ -397,7 +413,9 @@ func Recover(env *sim.Env, f stor.File, hint Hint) []Record {
 			continue
 		}
 		var hdr [headerSize]byte
-		readWrapped(f, hdr[:], pos, capacity)
+		if err := readWrapped(f, hdr[:], pos, capacity); err != nil {
+			return out, err
+		}
 		if binary.BigEndian.Uint32(hdr[0:]) != recMagic {
 			break
 		}
@@ -412,7 +430,9 @@ func Recover(env *sim.Env, f stor.File, hint Hint) []Record {
 			break
 		}
 		rec := make([]byte, total)
-		readWrapped(f, rec, pos, capacity)
+		if err := readWrapped(f, rec, pos, capacity); err != nil {
+			return out, err
+		}
 		env.Checksum(len(rec))
 		crc := binary.BigEndian.Uint32(rec[total-crcSize:])
 		if crc32.ChecksumIEEE(rec[:total-crcSize]) != crc {
@@ -429,19 +449,20 @@ func Recover(env *sim.Env, f stor.File, hint Hint) []Record {
 		pos = (pos + total) % capacity
 		scanned += total
 	}
-	return out
+	return out, nil
 }
 
-func readWrapped(f stor.File, p []byte, pos, capacity int64) {
+func readWrapped(f stor.File, p []byte, pos, capacity int64) error {
 	off := pos % capacity
 	n := int64(len(p))
 	if off+n <= capacity {
-		f.ReadAt(p, off)
-		return
+		return f.ReadAt(p, off)
 	}
 	first := capacity - off
-	f.ReadAt(p[:first], off)
-	f.ReadAt(p[first:], 0)
+	if err := f.ReadAt(p[:first], off); err != nil {
+		return err
+	}
+	return f.ReadAt(p[first:], 0)
 }
 
 // Capacity returns the size of the circular region in bytes.

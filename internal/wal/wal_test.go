@@ -20,17 +20,17 @@ func newMemFile(env *sim.Env, size int64) *memFile {
 	return &memFile{env: env, data: make([]byte, size)}
 }
 
-func (m *memFile) ReadAt(p []byte, off int64)  { copy(p, m.data[off:]) }
-func (m *memFile) WriteAt(p []byte, off int64) { copy(m.data[off:], p) }
+func (m *memFile) ReadAt(p []byte, off int64) error  { copy(p, m.data[off:]); return nil }
+func (m *memFile) WriteAt(p []byte, off int64) error { copy(m.data[off:], p); return nil }
 func (m *memFile) SubmitRead(p []byte, off int64) stor.Wait {
 	m.ReadAt(p, off)
-	return func() {}
+	return func() error { return nil }
 }
 func (m *memFile) SubmitWrite(p []byte, off int64) stor.Wait {
 	m.WriteAt(p, off)
-	return func() {}
+	return func() error { return nil }
 }
-func (m *memFile) Flush()          {}
+func (m *memFile) Flush() error    { return nil }
 func (m *memFile) Capacity() int64 { return int64(len(m.data)) }
 
 func newLog(t *testing.T, size int64) (*sim.Env, *memFile, *Log) {
@@ -51,7 +51,10 @@ func TestAppendFlushRecover(t *testing.T) {
 		}
 	}
 	l.Flush()
-	recs := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	recs, rerr := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	if rerr != nil {
+		t.Fatalf("recover: %v", rerr)
+	}
 	if len(recs) != len(want) {
 		t.Fatalf("recovered %d records, want %d", len(recs), len(want))
 	}
@@ -71,7 +74,10 @@ func TestUnflushedRecordsNotRecovered(t *testing.T) {
 	l.Flush()
 	l.Append(1, []byte("volatile"))
 	// no flush
-	recs := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	recs, rerr := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	if rerr != nil {
+		t.Fatalf("recover: %v", rerr)
+	}
 	if len(recs) != 1 || string(recs[0].Payload) != "durable" {
 		t.Fatalf("recovered %v", recs)
 	}
@@ -98,7 +104,10 @@ func TestCorruptRecordStopsRecovery(t *testing.T) {
 	// Corrupt the second record's payload.
 	first := recordSize(4)
 	f.data[first+headerSize+1] ^= 0xff
-	recs := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	recs, rerr := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	if rerr != nil {
+		t.Fatalf("recover: %v", rerr)
+	}
 	if len(recs) != 1 {
 		t.Fatalf("recovered %d records past corruption, want 1", len(recs))
 	}
@@ -122,7 +131,10 @@ func TestWrapAround(t *testing.T) {
 	if l.head <= l.cap {
 		t.Fatal("log never wrapped; test is not exercising wrap-around")
 	}
-	recs := Recover(env, f, lastHint)
+	recs, rerr := Recover(env, f, lastHint)
+	if rerr != nil {
+		t.Fatalf("recover: %v", rerr)
+	}
 	if len(recs) != 1 {
 		t.Fatalf("recovered %d records after wrap, want 1", len(recs))
 	}
@@ -194,7 +206,10 @@ func TestRecoverFromHintMidLog(t *testing.T) {
 	hint := l.Reclaim(3) // both old records reclaimed
 	l.Append(1, []byte("new-3"))
 	l.Flush()
-	recs := Recover(env, f, hint)
+	recs, rerr := Recover(env, f, hint)
+	if rerr != nil {
+		t.Fatalf("recover: %v", rerr)
+	}
 	if len(recs) != 1 || string(recs[0].Payload) != "new-3" {
 		t.Fatalf("recovered %v from mid-log hint", recs)
 	}
@@ -245,7 +260,10 @@ func TestTornTailEveryByteBoundary(t *testing.T) {
 			for i := lastPos + cut; i < l.head; i++ {
 				f.data[i] = fill
 			}
-			recs := Recover(env, f, hint)
+			recs, rerr := Recover(env, f, hint)
+	if rerr != nil {
+		t.Fatalf("recover: %v", rerr)
+	}
 			if len(recs) != nrec-1 {
 				t.Fatalf("fill %#x cut %d: recovered %d records, want %d (flushed prefix)",
 					fill, cut, len(recs), nrec-1)
@@ -260,8 +278,8 @@ func TestTornTailEveryByteBoundary(t *testing.T) {
 	}
 	// The full record survives an exact cut at its end.
 	copy(f.data, pristine)
-	if recs := Recover(env, f, hint); len(recs) != nrec {
-		t.Fatalf("untorn log recovered %d records, want %d", len(recs), nrec)
+	if recs, rerr := Recover(env, f, hint); rerr != nil || len(recs) != nrec {
+		t.Fatalf("untorn log recovered %d records (err %v), want %d", len(recs), rerr, nrec)
 	}
 }
 
@@ -284,7 +302,10 @@ func TestRecoverStopsAtInvalidMiddleRecord(t *testing.T) {
 	for i := start; i < end; i++ {
 		f.data[i] = 0
 	}
-	recs := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	recs, rerr := Recover(env, f, Hint{Offset: 0, LSN: 1, Epoch: 1})
+	if rerr != nil {
+		t.Fatalf("recover: %v", rerr)
+	}
 	if len(recs) != 5 {
 		t.Fatalf("recovered %d records past a hole, want 5", len(recs))
 	}
