@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race crashtest scrub faults bench-json
+.PHONY: check vet build test race crashtest scrub faults bench-json serve
 
-check: vet build race crashtest scrub faults bench-json
+check: vet build race crashtest scrub faults serve bench-json
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,18 @@ scrub:
 # propagation, and ENOSPC semantics — across every file system.
 faults:
 	$(GO) test -count=1 ./internal/faulttest/
+
+# Network file-service layer: protocol conformance (every wire op vs
+# the direct mount, identical statuses/attrs/data including EIO, ENOSPC
+# and EROFS mapping, across all five systems), backpressure (EBUSY shed
+# on a full queue, queue-wait deadline shed, graceful drain), and the
+# multi-client write-death contract under the race detector. Then a
+# deterministic serve-mode bench whose JSON must validate.
+serve:
+	$(GO) test -race -count=1 -run 'Conformance|Saturation|QueueWait|Drain|OverWire|Handle|Sessions|ServeDeterministic|ServeDoc|ServerWriteDeath' \
+		./internal/fsrpc/ ./internal/fsserve/ ./internal/faulttest/ ./internal/bench/
+	$(GO) run ./cmd/betrbench -serve -clients 4 -scale 256 -o BENCH_serve.json > /dev/null
+	$(GO) run ./cmd/betrbench -validate BENCH_serve.json
 
 # Scaled microbenchmark run with machine-readable output: writes
 # BENCH_micro.json and fails unless the document round-trips the schema

@@ -46,6 +46,8 @@ func main() {
 	validate := flag.String("validate", "", "validate a BENCH_*.json document and exit")
 	parallel := flag.Int("parallel", 1, "run systems on N worker goroutines (cells stay identical; adds a parallel section to the JSON)")
 	clients := flag.Int("clients", 0, "run N concurrent client goroutines against one mount per system instead of the paper tables")
+	serve := flag.Bool("serve", false, "drive -clients N sessions through the fsrpc wire path per system (deterministic with -workers 1)")
+	serveWorkers := flag.Int("workers", 1, "server request workers for -serve (1 = deterministic round-robin mode)")
 	flag.Parse()
 
 	if *validate != "" {
@@ -75,6 +77,8 @@ func main() {
 	opts := runOpts{json: *jsonOut, outPath: *outPath, scale: *scale, parallel: *parallel}
 	ok := true
 	switch {
+	case *serve:
+		ok = runServe(pick(bench.ServeSystems), opts, *clients, *serveWorkers)
 	case *clients > 0:
 		ok = runClients(pick([]string{"betrfs-v0.6"}), opts, *clients)
 	case *table == 1:
@@ -235,6 +239,47 @@ func runClients(systems []string, o runOpts, clients int) bool {
 			fmt.Fprintf(os.Stderr, "betrbench: %s: %s\n", s, e)
 			ok = false
 		}
+	}
+	return ok
+}
+
+// runServe drives the wire-path benchmark: per system, an fsserve server
+// over one mount with `clients` fsrpc sessions. workers == 1 is the
+// deterministic round-robin mode whose JSON output is bit-identical run
+// to run at a fixed seed.
+func runServe(systems []string, o runOpts, clients, workers int) bool {
+	if clients < 1 {
+		clients = 8
+	}
+	mode := "deterministic round-robin"
+	if workers > 1 {
+		mode = "concurrent"
+	}
+	fmt.Printf("serve bench: %d clients over fsrpc, %d server workers (%s), scale 1/%d\n\n",
+		clients, workers, mode, o.scale)
+	var rows []bench.ServeResult
+	var snaps []metrics.Snapshot
+	ok := true
+	for _, s := range systems {
+		fmt.Fprintf(os.Stderr, "serving %s...\n", s)
+		err := runSystem(s, func() {
+			r, snap := bench.RunServe(s, o.scale, clients, workers)
+			for _, e := range r.Errors {
+				fmt.Fprintf(os.Stderr, "betrbench: %s: %s\n", s, e)
+				ok = false
+			}
+			rows = append(rows, r)
+			snaps = append(snaps, snap)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "betrbench: %v\n", err)
+			ok = false
+		}
+	}
+	bench.WriteServeTable(os.Stdout, rows)
+	if o.json && len(rows) > 0 {
+		d := bench.ServeDoc("serve", o.scale, rows, snaps)
+		ok = writeDoc(d, o.jsonPath("serve")) && ok
 	}
 	return ok
 }

@@ -1,0 +1,78 @@
+// Command fsserved exports one simulated file system over TCP via the
+// fsrpc wire protocol, serving any number of concurrent client
+// connections with the bounded-queue admission control fsserve provides.
+//
+//	$ go run ./cmd/fsserved -addr :9000 -fs betrfs-v0.6 -workers 4
+//	$ go run ./cmd/fsshell -connect localhost:9000
+//
+// SIGINT/SIGTERM drain gracefully: new requests are rejected with
+// ESHUTDOWN, in-flight requests complete and their replies are delivered,
+// then the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"betrfs/internal/bench"
+	"betrfs/internal/fsserve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9000", "TCP listen address")
+	fsName := flag.String("fs", "betrfs-v0.6", "file system: "+strings.Join(bench.Systems, ", "))
+	scale := flag.Int64("scale", bench.DefaultScale, "divide paper hardware sizes by this factor")
+	workers := flag.Int("workers", 2, "request worker goroutines (1 = serialized execution)")
+	queue := flag.Int("queue", 64, "admission queue depth; a full queue sheds requests with EBUSY")
+	queueWait := flag.Duration("queue-wait", 0, "max time a request may wait queued before being shed (0 = no deadline)")
+	maxHandles := flag.Int("max-handles", 128, "per-session open-handle cap (oldest evicted beyond it)")
+	flag.Parse()
+
+	var in *bench.Instance
+	if *workers > 1 {
+		in = bench.BuildConcurrent(*fsName, *scale, *workers)
+	} else {
+		in = bench.Build(*fsName, *scale)
+	}
+	cfg := fsserve.Config{Workers: *workers, QueueDepth: *queue, QueueWait: *queueWait, MaxHandles: *maxHandles}
+	srv := fsserve.New(in.Env, in.Mount, cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsserved:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fsserved: %s mounted (scale 1/%d), listening on %s (%d workers, queue %d)\n",
+		*fsName, *scale, ln.Addr(), cfg.Workers, cfg.QueueDepth)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "fsserved: draining...")
+		ln.Close()
+		srv.Shutdown()
+		fmt.Fprintln(os.Stderr, "fsserved: drained, exiting")
+		os.Exit(0)
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Listener closed by the drain path; wait for it to finish.
+			time.Sleep(time.Second)
+			return
+		}
+		go func(c net.Conn) {
+			if err := srv.ServeConn(c); err != nil {
+				fmt.Fprintf(os.Stderr, "fsserved: %s: %v\n", c.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+}

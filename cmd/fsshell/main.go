@@ -8,6 +8,9 @@
 //	> ls a
 //	> cat a/hello.txt
 //	> stats
+//
+// With -connect host:port the shell instead drives a remote fsserved
+// process over the fsrpc wire protocol (see cmd/fsserved).
 package main
 
 import (
@@ -24,7 +27,13 @@ import (
 
 func main() {
 	fsName := flag.String("fs", "betrfs-v0.6", "file system: "+strings.Join(bench.Systems, ", "))
+	connect := flag.String("connect", "", "host:port of an fsserved to drive over the wire instead of mounting in-process")
 	flag.Parse()
+
+	if *connect != "" {
+		runRemote(*connect)
+		return
+	}
 
 	in := bench.Build(*fsName, 64)
 	m := in.Mount

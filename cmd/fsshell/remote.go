@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"betrfs/internal/fsrpc"
+	"betrfs/internal/vfs"
+)
+
+// Remote mode: fsshell -connect host:port drives an fsserved process over
+// the fsrpc wire protocol instead of mounting in-process. The command set
+// mirrors the local shell where the protocol allows; stats becomes
+// statfs, and dropcaches/time are server-side concepts the wire does not
+// expose.
+
+func runRemote(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsshell: connect:", err)
+		os.Exit(1)
+	}
+	cli := fsrpc.NewClient(conn)
+	defer cli.Close()
+	fmt.Printf("connected to fsserved at %s; type 'help'\n", addr)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 {
+			if !executeRemote(cli, fields) {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+// mkdirAll creates each path component over the wire, tolerating the ones
+// that already exist (the protocol has no recursive MKDIR).
+func mkdirAll(cli *fsrpc.Client, path string) error {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for i := range parts {
+		prefix := strings.Join(parts[:i+1], "/")
+		if err := cli.Mkdir(prefix); err != nil && fsrpc.StatusOf(err) != fsrpc.StatusExist {
+			return err
+		}
+	}
+	return nil
+}
+
+func executeRemote(cli *fsrpc.Client, f []string) bool {
+	fail := func(cmd string, err error) {
+		fmt.Printf("%s: %v\n", cmd, err)
+	}
+	switch f[0] {
+	case "help":
+		fmt.Println("commands: ls [dir] | mkdir p | write p text... | cat p | rm p | rmdir p | mv a b | stat p | fsync p | statfs | quit")
+	case "quit", "exit":
+		return false
+	case "ls":
+		dir := ""
+		if len(f) > 1 {
+			dir = f[1]
+		}
+		ents, err := cli.Readdir(dir)
+		if err != nil {
+			fail("ls", err)
+			break
+		}
+		for _, e := range ents {
+			kind := "-"
+			if e.Dir {
+				kind = "d"
+			}
+			fmt.Printf("%s %s\n", kind, e.Name)
+		}
+	case "mkdir":
+		if len(f) < 2 {
+			break
+		}
+		if err := mkdirAll(cli, f[1]); err != nil {
+			fail("mkdir", err)
+		}
+	case "write":
+		if len(f) < 3 {
+			break
+		}
+		h, _, err := cli.Create(f[1])
+		if err != nil {
+			fail("write", err)
+			break
+		}
+		if _, err := cli.Write(h, 0, []byte(strings.Join(f[2:], " "))); err != nil {
+			fail("write", err)
+		}
+	case "cat":
+		if len(f) < 2 {
+			break
+		}
+		h, attr, err := cli.Lookup(f[1], true)
+		if err != nil {
+			fail("cat", err)
+			break
+		}
+		if attr.Dir {
+			fail("cat", vfs.ErrIsDir)
+			break
+		}
+		var out []byte
+		for off := int64(0); off < attr.Size; off += fsrpc.MaxData {
+			n := attr.Size - off
+			if n > fsrpc.MaxData {
+				n = fsrpc.MaxData
+			}
+			chunk, err := cli.Read(h, off, int(n))
+			if err != nil {
+				fail("cat", err)
+				return true
+			}
+			out = append(out, chunk...)
+			if len(chunk) == 0 {
+				break
+			}
+		}
+		fmt.Println(string(out))
+	case "rm":
+		if len(f) < 2 {
+			break
+		}
+		if err := cli.Unlink(f[1]); err != nil {
+			fail("rm", err)
+		}
+	case "rmdir":
+		if len(f) < 2 {
+			break
+		}
+		if err := cli.Rmdir(f[1]); err != nil {
+			fail("rmdir", err)
+		}
+	case "mv":
+		if len(f) < 3 {
+			break
+		}
+		if err := cli.Rename(f[1], f[2]); err != nil {
+			fail("mv", err)
+		}
+	case "stat":
+		if len(f) < 2 {
+			break
+		}
+		a, err := cli.Getattr(f[1])
+		if err != nil {
+			fail("stat", err)
+			break
+		}
+		fmt.Printf("dir=%v size=%d nlink=%d mtime=%v\n", a.Dir, a.Size, a.Nlink, time.Duration(a.Mtime))
+	case "fsync":
+		if len(f) < 2 {
+			break
+		}
+		h, _, err := cli.Lookup(f[1], true)
+		if err != nil {
+			fail("fsync", err)
+			break
+		}
+		if err := cli.Fsync(h); err != nil {
+			fail("fsync", err)
+		}
+	case "statfs":
+		sf, err := cli.Statfs()
+		if err != nil {
+			fail("statfs", err)
+			break
+		}
+		fmt.Printf("block=%d simtime=%v degraded=%v sessions=%d ops=%d\n",
+			sf.BlockSize, time.Duration(sf.SimTimeNs), sf.Degraded, sf.Sessions, sf.OpsServed)
+	default:
+		fmt.Println("unknown command; try 'help'")
+	}
+	return true
+}

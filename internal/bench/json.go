@@ -35,6 +35,19 @@ type Doc struct {
 	// SchemaVersion stays at 1; sequential runs omit it and their
 	// documents are byte-identical to pre-parallel output.
 	Parallel *ParallelInfo `json:"parallel,omitempty"`
+	// Serve is present when Kind is "serve" (betrbench -serve): the
+	// wire-path run's client/worker configuration. Optional and additive
+	// like Parallel, so SchemaVersion stays at 1.
+	Serve *ServeInfo `json:"serve,omitempty"`
+}
+
+// ServeInfo records the serve-bench configuration. Deterministic marks the
+// single-worker round-robin mode whose documents are bit-identical run to
+// run at a fixed seed.
+type ServeInfo struct {
+	Clients       int  `json:"clients"`
+	Workers       int  `json:"workers"`
+	Deterministic bool `json:"deterministic"`
 }
 
 // ColumnMeta describes one benchmark column.
@@ -112,6 +125,29 @@ func AppDoc(name string, scale int64, rows []AppResults, snaps []metrics.Snapsho
 	return d
 }
 
+// ServeDoc assembles a Doc from serve-bench rows; snaps[i] belongs to
+// rows[i].
+func ServeDoc(name string, scale int64, rows []ServeResult, snaps []metrics.Snapshot) *Doc {
+	d := &Doc{SchemaVersion: SchemaVersion, Name: name, Kind: "serve", Scale: scale}
+	for _, c := range serveColumns {
+		d.Columns = append(d.Columns, ColumnMeta{Name: c.Name, Unit: c.Unit, Better: better(c.Lower)})
+	}
+	for i, r := range rows {
+		sr := SystemResult{System: r.System}
+		for _, c := range serveColumns {
+			sr.Cells = append(sr.Cells, CellJSON{Name: c.Name, Value: c.Get(r)})
+		}
+		if i < len(snaps) {
+			sr.Metrics = snaps[i]
+		}
+		d.Systems = append(d.Systems, sr)
+		if d.Serve == nil {
+			d.Serve = &ServeInfo{Clients: r.Clients, Workers: r.Workers, Deterministic: r.Workers <= 1}
+		}
+	}
+	return d
+}
+
 // Marshal renders the document exactly as WriteFile stores it.
 func (d *Doc) Marshal() ([]byte, error) {
 	b, err := json.MarshalIndent(d, "", "  ")
@@ -151,8 +187,19 @@ func Validate(data []byte) (*Doc, error) {
 	if d.Name == "" {
 		return nil, fmt.Errorf("bench json: empty name")
 	}
-	if d.Kind != "micro" && d.Kind != "apps" {
-		return nil, fmt.Errorf("bench json: kind %q, want \"micro\" or \"apps\"", d.Kind)
+	if d.Kind != "micro" && d.Kind != "apps" && d.Kind != "serve" {
+		return nil, fmt.Errorf("bench json: kind %q, want \"micro\", \"apps\", or \"serve\"", d.Kind)
+	}
+	if d.Kind == "serve" && d.Serve == nil {
+		return nil, fmt.Errorf("bench json: kind \"serve\" requires a serve section")
+	}
+	if d.Serve != nil {
+		if d.Kind != "serve" {
+			return nil, fmt.Errorf("bench json: serve section on kind %q document", d.Kind)
+		}
+		if d.Serve.Clients < 1 || d.Serve.Workers < 1 {
+			return nil, fmt.Errorf("bench json: serve section clients %d / workers %d, want >= 1", d.Serve.Clients, d.Serve.Workers)
+		}
 	}
 	if d.Scale < 1 {
 		return nil, fmt.Errorf("bench json: scale %d < 1", d.Scale)

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"betrfs/internal/fsrpc"
+	"betrfs/internal/fsserve"
+	"betrfs/internal/metrics"
+)
+
+// Serve-bench mode: betrbench -serve -clients N mounts each system behind
+// an fsserve server and drives N client sessions through the fsrpc wire
+// path over in-process pipes. With workers <= 1 the run is deterministic —
+// one driver goroutine issues ops round-robin across the sessions against
+// a single-worker server, so requests execute in a fixed order and the
+// latency histogram (hence the reported percentiles) is bit-identical run
+// to run at a fixed seed. With workers > 1 each session gets its own
+// goroutine and results are throughput-style, like the §9 multi-client
+// mode.
+
+// ServeSystems lists the systems the serve bench sweeps: the five
+// fault-injection stacks (one representative per FS family plus both
+// BetrFS generations).
+var ServeSystems = []string{"ext4", "f2fs", "btrfs", "betrfs-v0.4", "betrfs-v0.6"}
+
+// ServeResult is one system's serve-bench row.
+type ServeResult struct {
+	System   string
+	Clients  int
+	Workers  int
+	Ops      int64         // completed client calls (successful replies)
+	Shed     int64         // requests shed with EBUSY (queue full or deadline)
+	SimTime  time.Duration // simulated time consumed
+	WallTime time.Duration // host wall clock (not part of the JSON document)
+	P50      int64         // per-op simulated latency percentiles, ns
+	P95      int64
+	P99      int64
+	Errors   []string
+}
+
+// KOpsPerSimSec reports simulated wire-op throughput.
+func (r ServeResult) KOpsPerSimSec() float64 {
+	if r.SimTime <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.SimTime.Seconds() / 1000
+}
+
+// serveClient is one session's scripted state: the wire client, the handle
+// the previous step produced, and the first error (which stops the
+// script).
+type serveClient struct {
+	cli   *fsrpc.Client
+	h     uint64
+	steps []func(*serveClient) error
+	next  int
+	err   error
+	ops   int64
+}
+
+// buildScript returns the per-client op sequence. Every step is exactly
+// one wire call, so the round-robin driver interleaves sessions at op
+// granularity. Handles flow through d.h.
+func buildScript(c int, files int, payload []byte) []func(*serveClient) error {
+	dir := fmt.Sprintf("client%03d", c)
+	var steps []func(*serveClient) error
+	steps = append(steps, func(d *serveClient) error { return d.cli.Mkdir(dir) })
+	for i := 0; i < files; i++ {
+		path := fmt.Sprintf("%s/f%05d", dir, i)
+		steps = append(steps, func(d *serveClient) error {
+			h, _, err := d.cli.Create(path)
+			d.h = h
+			return err
+		})
+		steps = append(steps, func(d *serveClient) error {
+			_, err := d.cli.Write(d.h, 0, payload)
+			return err
+		})
+		if i%16 == 0 {
+			steps = append(steps, func(d *serveClient) error { return d.cli.Fsync(d.h) })
+		}
+	}
+	for i := 0; i < files; i += 4 {
+		path := fmt.Sprintf("%s/f%05d", dir, i)
+		steps = append(steps, func(d *serveClient) error {
+			h, _, err := d.cli.Lookup(path, true)
+			d.h = h
+			return err
+		})
+		steps = append(steps, func(d *serveClient) error {
+			_, err := d.cli.Read(d.h, 0, len(payload))
+			return err
+		})
+		steps = append(steps, func(d *serveClient) error {
+			_, err := d.cli.Getattr(path)
+			return err
+		})
+	}
+	steps = append(steps, func(d *serveClient) error {
+		_, err := d.cli.Readdir(dir)
+		return err
+	})
+	steps = append(steps, func(d *serveClient) error {
+		return d.cli.Rename(dir+"/f00000", dir+"/renamed")
+	})
+	steps = append(steps, func(d *serveClient) error { return d.cli.Unlink(dir + "/renamed") })
+	steps = append(steps, func(d *serveClient) error {
+		_, err := d.cli.Statfs()
+		return err
+	})
+	return steps
+}
+
+// step runs one script step, retrying when the server sheds it with EBUSY
+// (only possible in the concurrent configuration). A handle evicted by the
+// bounded table surfaces as EBADF mid-script; the script treats any other
+// error as fatal for this client.
+func (d *serveClient) step() bool {
+	if d.err != nil || d.next >= len(d.steps) {
+		return false
+	}
+	fn := d.steps[d.next]
+	for try := 0; ; try++ {
+		err := fn(d)
+		if err == nil {
+			d.ops++
+			break
+		}
+		if errors.Is(err, fsrpc.ErrBusy) && try < 1000 {
+			continue // shed under load; the server counted it, retry
+		}
+		d.err = fmt.Errorf("step %d: %w", d.next, err)
+		break
+	}
+	d.next++
+	return d.err == nil && d.next < len(d.steps)
+}
+
+// RunServe benchmarks the wire path: it mounts system behind an fsserve
+// server, connects `clients` sessions over net.Pipe, runs the scripted
+// workload on each, and reports throughput, per-op simulated latency
+// percentiles, and the shed count, plus the instance's full metric
+// snapshot (fsrpc.* / fsserve.* included).
+func RunServe(system string, scale int64, clients, workers int) (ServeResult, metrics.Snapshot) {
+	if clients < 1 {
+		clients = 1
+	}
+	deterministic := workers <= 1
+	var in *Instance
+	if deterministic {
+		in = Build(system, scale)
+	} else {
+		in = BuildConcurrent(system, scale, workers)
+	}
+	cfg := fsserve.DefaultConfig()
+	if !deterministic {
+		cfg.Workers = workers
+	}
+	srv := fsserve.New(in.Env, in.Mount, cfg)
+
+	files := int(6400 / scale)
+	if files < 16 {
+		files = 16
+	}
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	cls := make([]*serveClient, clients)
+	for c := range cls {
+		cliEnd, srvEnd := net.Pipe()
+		go srv.ServeConn(srvEnd)
+		cls[c] = &serveClient{cli: fsrpc.NewClient(cliEnd), steps: buildScript(c, files, payload)}
+	}
+
+	start := in.Env.Now()
+	wallStart := time.Now()
+	if deterministic {
+		// Round-robin: one synchronous call in flight at a time, so the
+		// single-worker server executes ops in a fixed global order.
+		for live := true; live; {
+			live = false
+			for _, d := range cls {
+				if d.step() {
+					live = true
+				}
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, d := range cls {
+			wg.Add(1)
+			go func(d *serveClient) {
+				defer wg.Done()
+				for d.step() {
+				}
+			}(d)
+		}
+		wg.Wait()
+	}
+	out := ServeResult{
+		System:   system,
+		Clients:  clients,
+		Workers:  cfg.Workers,
+		SimTime:  in.Env.Now() - start,
+		WallTime: time.Since(wallStart),
+	}
+	for c, d := range cls {
+		out.Ops += d.ops
+		if d.err != nil {
+			out.Errors = append(out.Errors, fmt.Sprintf("client %d: %v", c, d.err))
+		}
+		d.cli.Close()
+	}
+	srv.Shutdown()
+
+	snap := in.Env.Metrics.Snapshot()
+	h := snap.Histograms["fsserve.op.ns"]
+	out.P50 = h.Quantile(0.50)
+	out.P95 = h.Quantile(0.95)
+	out.P99 = h.Quantile(0.99)
+	out.Shed = snap.Counters["fsserve.queue.shed"] + snap.Counters["fsserve.deadline.shed"]
+	return out, snap
+}
+
+// serveColumn mirrors microColumn for the serve table.
+type serveColumn struct {
+	Name  string
+	Unit  string
+	Lower bool
+	Get   func(ServeResult) float64
+}
+
+var serveColumns = []serveColumn{
+	{"wire_ops", "kop/s", false, func(r ServeResult) float64 { return r.KOpsPerSimSec() }},
+	{"p50", "ns", true, func(r ServeResult) float64 { return float64(r.P50) }},
+	{"p95", "ns", true, func(r ServeResult) float64 { return float64(r.P95) }},
+	{"p99", "ns", true, func(r ServeResult) float64 { return float64(r.P99) }},
+	{"shed", "ops", true, func(r ServeResult) float64 { return float64(r.Shed) }},
+}
+
+// WriteServeTable renders the human-readable serve-bench table.
+func WriteServeTable(w io.Writer, rows []ServeResult) {
+	fmt.Fprintf(w, "%-14s", "system")
+	for _, c := range serveColumns {
+		fmt.Fprintf(w, " | %14s", fmt.Sprintf("%s (%s)", c.Name, c.Unit))
+	}
+	fmt.Fprintf(w, " | %10s\n", "wall")
+	fmt.Fprintln(w, strings.Repeat("-", 14+len(serveColumns)*17+13))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s", r.System)
+		for _, c := range serveColumns {
+			fmt.Fprintf(w, " | %14.1f", c.Get(r))
+		}
+		fmt.Fprintf(w, " | %10s\n", r.WallTime.Truncate(time.Millisecond))
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"betrfs/internal/metrics"
+)
+
+// TestServeDeterministic: the single-worker round-robin mode must produce
+// a bit-identical JSON document run to run at a fixed seed — percentiles,
+// throughput cells, and the full metric snapshot included.
+func TestServeDeterministic(t *testing.T) {
+	run := func() []byte {
+		r, snap := RunServe("betrfs-v0.6", 2048, 4, 1)
+		if len(r.Errors) != 0 {
+			t.Fatalf("serve run failed: %v", r.Errors)
+		}
+		d := ServeDoc("serve", 2048, []ServeResult{r}, []metrics.Snapshot{snap})
+		b, err := d.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("deterministic serve runs produced different JSON documents")
+	}
+}
+
+// TestServeDocValidates: a serve document passes Validate and carries the
+// serve section; the section is rejected on other kinds.
+func TestServeDocValidates(t *testing.T) {
+	r, snap := RunServe("ext4", 2048, 2, 1)
+	if len(r.Errors) != 0 {
+		t.Fatalf("serve run failed: %v", r.Errors)
+	}
+	if r.Ops == 0 || r.SimTime <= 0 {
+		t.Fatalf("empty serve result: %+v", r)
+	}
+	if r.P50 == 0 || r.P99 < r.P50 {
+		t.Fatalf("implausible percentiles: p50=%d p95=%d p99=%d", r.P50, r.P95, r.P99)
+	}
+	d := ServeDoc("serve", 2048, []ServeResult{r}, []metrics.Snapshot{snap})
+	b, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Validate(b)
+	if err != nil {
+		t.Fatalf("serve doc rejected: %v", err)
+	}
+	if got.Kind != "serve" || got.Serve == nil || got.Serve.Clients != 2 || !got.Serve.Deterministic {
+		t.Fatalf("serve section mangled: %+v", got.Serve)
+	}
+	if len(got.Systems) != 1 || len(got.Systems[0].Cells) != len(serveColumns) {
+		t.Fatalf("serve cells mangled: %+v", got.Systems)
+	}
+	if got.Systems[0].Metrics.Counters["fsserve.op.count"] == 0 {
+		t.Fatal("serve metrics missing fsserve.op.count")
+	}
+
+	// A serve section on a micro document must be rejected.
+	md := sampleDoc()
+	md.Serve = &ServeInfo{Clients: 1, Workers: 1}
+	mb, err := md.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(mb); err == nil || !strings.Contains(err.Error(), "serve section") {
+		t.Fatalf("serve section on micro doc accepted (err=%v)", err)
+	}
+	// And kind "serve" without the section too.
+	sb := bytes.Replace(b, []byte(`"serve": {`), []byte(`"notserve": {`), 1)
+	if _, err := Validate(sb); err == nil {
+		t.Fatal("kind serve without serve section accepted")
+	}
+}
+
+// TestServeConcurrentSmoke: the goroutine-per-client mode completes every
+// script without errors and serves ops in overlap.
+func TestServeConcurrentSmoke(t *testing.T) {
+	r, snap := RunServe("betrfs-v0.6", 2048, 6, 4)
+	if len(r.Errors) != 0 {
+		t.Fatalf("concurrent serve run failed: %v", r.Errors)
+	}
+	if r.Workers != 4 || r.Ops == 0 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+	if snap.Counters["fsserve.op.count"] != r.Ops+snap.Counters["fsserve.deadline.shed"] {
+		// Executed ops == successful client calls (retries re-count on
+		// both sides; EBUSY sheds never reach execute).
+		t.Fatalf("op accounting mismatch: served %d, clients saw %d",
+			snap.Counters["fsserve.op.count"], r.Ops)
+	}
+}

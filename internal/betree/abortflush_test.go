@@ -1,0 +1,176 @@
+package betree
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"betrfs/internal/blockdev"
+	"betrfs/internal/ioerr"
+	"betrfs/internal/kmem"
+	"betrfs/internal/sfl"
+	"betrfs/internal/sim"
+	"betrfs/internal/stor"
+)
+
+// ioBomb fails exactly one I/O command — the fuse-th after arming — with
+// a device error, then heals. Sweeping the fuse walks the single fault
+// across every I/O the flush path issues, including the ones between
+// buffer takeAll and the end of the apply loop where an abort used to
+// abandon in-memory messages.
+type ioBomb struct {
+	armed   bool
+	fuse    int
+	tripped bool
+}
+
+func (b *ioBomb) boom() bool {
+	if !b.armed {
+		return false
+	}
+	b.fuse--
+	if b.fuse == 0 {
+		b.armed = false
+		b.tripped = true
+		return true
+	}
+	return false
+}
+
+type bombFile struct {
+	stor.File
+	b *ioBomb
+}
+
+func (f bombFile) ReadAt(p []byte, off int64) error {
+	if f.b.boom() {
+		return &ioerr.DeviceError{Op: "read", Off: off, Len: len(p)}
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f bombFile) WriteAt(p []byte, off int64) error {
+	if f.b.boom() {
+		return &ioerr.DeviceError{Op: "write", Off: off, Len: len(p)}
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f bombFile) SubmitRead(p []byte, off int64) stor.Wait {
+	if f.b.boom() {
+		return func() error { return &ioerr.DeviceError{Op: "read", Off: off, Len: len(p)} }
+	}
+	return f.File.SubmitRead(p, off)
+}
+
+func (f bombFile) SubmitWrite(p []byte, off int64) stor.Wait {
+	if f.b.boom() {
+		return func() error { return &ioerr.DeviceError{Op: "write", Off: off, Len: len(p)} }
+	}
+	return f.File.SubmitWrite(p, off)
+}
+
+type bombBackend struct {
+	inner Backend
+	b     *ioBomb
+}
+
+func (bb bombBackend) File(name string) stor.File {
+	return bombFile{File: bb.inner.File(name), b: bb.b}
+}
+
+// TestFlushAbortRestoresAcknowledgedWrites is the flushDescend abort
+// hardening regression: a device fault that aborts a flush mid-way must
+// not lose buffered messages from earlier *acknowledged* Puts. The sweep
+// builds the same tree for every fuse value, overwrites every key with a
+// fresh value, detonates one I/O fault somewhere in the overwrite phase
+// (for several fuse values that is exactly between the flush's buffer
+// takeAll and the end of its apply loop), heals, and then requires every
+// acknowledged overwrite to read back the new value — reads must see the
+// pre-flush buffer contents, not a hole where the taken messages were.
+func TestFlushAbortRestoresAcknowledgedWrites(t *testing.T) {
+	const n = 400
+	oldVal := func(i int) []byte { return v(i, 300) }
+	newVal := func(i int) []byte {
+		b := bytes.Repeat([]byte{byte(i*5 + 3)}, 300)
+		b[1] = 0xee
+		return b
+	}
+
+	anyRestore := false
+	for fuse := 1; fuse <= 60; fuse++ {
+		env := sim.NewEnv(1)
+		dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(256))
+		backend, err := sfl.NewDefault(env, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bomb := &ioBomb{}
+		cfg := DefaultConfig()
+		cfg.NodeSize = 64 << 10
+		cfg.BasementSize = 4 << 10
+		cfg.Fanout = 8
+		cfg.CacheBytes = 8 << 20
+		s, err := Open(env, kmem.New(env, true), cfg, bombBackend{backend, bomb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := s.Meta()
+		for i := 0; i < n; i++ {
+			if err := tr.Put(k(i), oldVal(i), LogNone); err != nil {
+				t.Fatalf("fuse %d: seed put %d: %v", fuse, i, err)
+			}
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatalf("fuse %d: checkpoint: %v", fuse, err)
+		}
+		// Drop every cached node, then warm the cache with sparse point
+		// reads. A point read materializes a leaf with only the one
+		// basement holding the key resident, so the later flush finds the
+		// leaf cached but must load the remaining basements from the
+		// device mid-apply — exactly the I/O between takeAll and the end
+		// of the apply loop that the bomb targets.
+		s.cache.dropAll()
+		for i := 0; i < n; i += 64 {
+			if _, ok, gerr := tr.Get(k(i)); gerr != nil || !ok {
+				t.Fatalf("fuse %d: warm get %d: ok=%v err=%v", fuse, i, ok, gerr)
+			}
+		}
+
+		bomb.armed, bomb.fuse, bomb.tripped = true, fuse, false
+		acked := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if err := tr.Put(k(i), newVal(i), LogNone); err != nil {
+				if !errors.Is(err, ioerr.ErrIO) {
+					t.Fatalf("fuse %d: put %d: unexpected error class %v", fuse, i, err)
+				}
+				continue
+			}
+			acked[i] = true
+		}
+		bomb.armed = false
+		if env.Metrics.Counter("betree.flush.restore").Load() > 0 {
+			anyRestore = true
+		}
+
+		for i := 0; i < n; i++ {
+			got, ok, gerr := tr.Get(k(i))
+			if gerr != nil {
+				t.Fatalf("fuse %d: get %d after heal: %v", fuse, i, gerr)
+			}
+			if !ok {
+				t.Fatalf("fuse %d: key %d missing after aborted flush", fuse, i)
+			}
+			if acked[i] {
+				if !bytes.Equal(got, newVal(i)) {
+					t.Fatalf("fuse %d: acknowledged overwrite of key %d lost (tripped=%v)", fuse, i, bomb.tripped)
+				}
+			} else if !bytes.Equal(got, newVal(i)) && !bytes.Equal(got, oldVal(i)) {
+				t.Fatalf("fuse %d: key %d reads garbage after failed overwrite", fuse, i)
+			}
+		}
+	}
+	if !anyRestore {
+		t.Fatal("no fuse value landed an abort inside the flush restore window; widen the sweep")
+	}
+}

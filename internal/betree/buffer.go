@@ -47,6 +47,22 @@ func maxInt(a, c int) int {
 	return c
 }
 
+// restore prepends msgs, which takeAll previously removed, preserving MSN
+// order against anything appended since. It is uncharged: it runs while
+// an ioerr.Abort panic unwinds the flush path, and charging the allocator
+// there could itself abort (a panic during a panic crashes the process).
+// The allocator therefore under-counts the restored bytes until the next
+// appendCharged regrows the buffer.
+func (b *buffer) restore(msgs []*Msg) {
+	merged := make([]*Msg, 0, len(msgs)+len(b.msgs))
+	merged = append(merged, msgs...)
+	merged = append(merged, b.msgs...)
+	b.msgs = merged
+	for _, m := range msgs {
+		b.bytes += m.memBytes()
+	}
+}
+
 // takeAll removes and returns every message, oldest first, releasing the
 // backing buffer through the allocator.
 func (b *buffer) takeAll(alloc *kmem.Allocator) []*Msg {

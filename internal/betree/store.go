@@ -131,6 +131,7 @@ type storeMetrics struct {
 	prefetchIssue *metrics.Counter
 	prefetchHit   *metrics.Counter
 	flushRun      *metrics.Counter
+	flushRestore  *metrics.Counter
 	applyOnQuery  *metrics.Counter
 	pacmanScan    *metrics.Counter
 	pacmanDrop    *metrics.Counter
@@ -166,6 +167,7 @@ func resolveStoreMetrics(reg *metrics.Registry) storeMetrics {
 		prefetchIssue: reg.Counter("betree.prefetch.issue"),
 		prefetchHit:   reg.Counter("betree.prefetch.hit"),
 		flushRun:      reg.Counter("betree.flush.run"),
+		flushRestore:  reg.Counter("betree.flush.restore"),
 		applyOnQuery:  reg.Counter("betree.applyonquery.run"),
 		pacmanScan:    reg.Counter("betree.pacman.scan"),
 		pacmanDrop:    reg.Counter("betree.pacman.drop"),

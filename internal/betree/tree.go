@@ -349,22 +349,41 @@ func (t *Tree) flushToChild(parent *node, ci int) {
 	t.markDirty(parent)
 	t.markDirty(child)
 
+	// An ioerr.Abort can unwind mid-flush (a basement read or an eviction
+	// writeback hitting a device fault). The taken messages are then in
+	// neither the parent buffer nor the child, so without repair they
+	// would silently vanish from the in-memory tree while the mount stays
+	// readable. Re-apply the unconsumed tail to the parent buffer as the
+	// panic passes through: a message partially applied to a leaf is safe
+	// to re-flush later because each basement's maxApplied MSN watermark
+	// drops the second application.
+	pending := msgs
+	defer func() {
+		if len(pending) != 0 {
+			s.m.flushRestore.Add(int64(len(pending)))
+			parent.bufs[ci].restore(pending)
+		}
+	}()
+
 	if child.isLeaf() {
 		// Buffers hold messages in arrival order, which under the writer
 		// lock is MSN order; the stable sort is a host-side no-op then,
 		// and a safety net for any future out-of-order producer (the
 		// basement maxApplied guard drops late messages otherwise).
 		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].MSN < msgs[j].MSN })
-		for _, m := range msgs {
+		for i, m := range msgs {
 			t.applyToLeaf(child, m)
+			pending = msgs[i+1:]
 		}
+		// Fully applied: resize/split aborts below must not re-queue.
+		pending = nil
 		s.cache.resize(t, child)
 		if child.leafBytes() > s.cfg.NodeSize {
 			t.splitChild(parent, ci, child)
 		}
 		return
 	}
-	for _, m := range msgs {
+	for i, m := range msgs {
 		// Without page sharing, the complete message is memcpy-ed into
 		// the child's buffer at every level (§2.3, §6).
 		if !s.cfg.PageSharing {
@@ -377,7 +396,9 @@ func (t *Tree) flushToChild(parent *node, ci int) {
 		if m.Type == MsgRangeDelete {
 			t.routeRangeMsg(child, m, cci)
 		}
+		pending = msgs[i+1:]
 	}
+	pending = nil
 	t.pacman(child)
 	s.cache.resize(t, child)
 	if child.bufferBytes() > s.cfg.NodeSize {

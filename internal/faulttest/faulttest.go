@@ -61,7 +61,31 @@ func (s *System) Counter(name string) int64 {
 // stack too, so plans aggressive enough to defeat the retry bound can
 // fail formatting; Build returns that error rather than panicking.
 func Build(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol blockdev.RetryPolicy) (*System, error) {
+	return buildWith(name, seed, scale, plan, pol, 0)
+}
+
+// BuildConcurrent is Build with the concurrency layer switched on: the
+// VFS mount takes its client big lock, a betrfs tree store runs its
+// reader/writer locking protocol, and the sim worker pool gets `workers`
+// background goroutines. Goroutine interleaving makes results
+// nondeterministic run-to-run, so concurrent fault tests assert the
+// error contract (latching, degradation, no panics), never exact golden
+// state.
+func BuildConcurrent(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol blockdev.RetryPolicy, workers int) (*System, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return buildWith(name, seed, scale, plan, pol, workers)
+}
+
+// buildWith constructs the system; workers == 0 means the deterministic
+// single-goroutine configuration, workers >= 1 the concurrent one.
+func buildWith(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol blockdev.RetryPolicy, workers int) (*System, error) {
 	env := sim.NewEnv(seed)
+	concurrent := workers > 0
+	if concurrent {
+		env.Pool.SetWorkers(workers)
+	}
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(scale))
 	fault := blockdev.NewFault(env, dev, plan)
 	retry := blockdev.WithRetry(env, fault, pol)
@@ -77,7 +101,9 @@ func Build(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol b
 		fs = cowfs.New(env, retry, cowfs.BtrfsProfile())
 	case "betrfs-v0.4":
 		lower := extfs.New(env, retry, extfs.Ext4Profile())
-		bfs, err := betrfs.New(env, kmem.New(env, true), betrfs.V04Config(),
+		cfg := betrfs.V04Config()
+		cfg.Tree.Concurrent = concurrent
+		bfs, err := betrfs.New(env, kmem.New(env, true), cfg,
 			southbound.New(env, lower, southbound.DefaultLayout(dev.Size())))
 		if err != nil {
 			return nil, fmt.Errorf("faulttest: %s: %w", name, err)
@@ -88,7 +114,9 @@ func Build(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol b
 		if err != nil {
 			return nil, fmt.Errorf("faulttest: %s: %w", name, err)
 		}
-		bfs, err := betrfs.New(env, kmem.New(env, true), betrfs.V06Config(), b)
+		cfg := betrfs.V06Config()
+		cfg.Tree.Concurrent = concurrent
+		bfs, err := betrfs.New(env, kmem.New(env, true), cfg, b)
 		if err != nil {
 			return nil, fmt.Errorf("faulttest: %s: %w", name, err)
 		}
@@ -98,13 +126,15 @@ func Build(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol b
 		return nil, fmt.Errorf("faulttest: unknown system %q", name)
 	}
 
+	vcfg := vfs.DefaultConfig()
+	vcfg.Concurrent = concurrent
 	sys := &System{
 		Name:  name,
 		Env:   env,
 		Dev:   dev,
 		Fault: fault,
 		SFL:   backend,
-		Mount: vfs.NewMount(env, fs, vfs.DefaultConfig()),
+		Mount: vfs.NewMount(env, fs, vcfg),
 	}
 	if bfs, ok := fs.(*betrfs.FS); ok {
 		sys.Betr = bfs

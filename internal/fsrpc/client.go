@@ -1,0 +1,176 @@
+package fsrpc
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Client drives the fsrpc protocol over any byte stream. Calls are
+// synchronous and serialized: one request is on the wire at a time, which
+// keeps the in-process deterministic mode (net.Pipe, single server
+// worker) bit-identical run to run. Methods are safe for concurrent use —
+// concurrent callers simply queue on the call mutex.
+type Client struct {
+	mu   sync.Mutex
+	rw   io.ReadWriteCloser
+	tag  uint64
+	dead error // first transport failure; every later call repeats it
+}
+
+// NewClient wraps an established connection (a net.Conn or one end of a
+// net.Pipe).
+func NewClient(rw io.ReadWriteCloser) *Client {
+	return &Client{rw: rw}
+}
+
+// Close tears down the transport.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead == nil {
+		c.dead = fmt.Errorf("fsrpc: client closed")
+	}
+	return c.rw.Close()
+}
+
+// call sends q and waits for its reply, checking tag and op echo. A
+// transport error (as opposed to a status error) poisons the client: the
+// stream cannot be resynchronized after a partial frame.
+func (c *Client) call(q *Request) (*Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return nil, c.dead
+	}
+	c.tag++
+	q.Tag = c.tag
+	if err := WriteFrame(c.rw, q.Encode()); err != nil {
+		c.dead = fmt.Errorf("fsrpc: send: %w", err)
+		return nil, c.dead
+	}
+	payload, err := ReadFrame(c.rw)
+	if err != nil {
+		c.dead = fmt.Errorf("fsrpc: recv: %w", err)
+		return nil, c.dead
+	}
+	r, err := DecodeReply(payload)
+	if err != nil {
+		c.dead = err
+		return nil, err
+	}
+	if r.Tag != q.Tag || r.Op != q.Op {
+		c.dead = fmt.Errorf("%w: reply tag/op mismatch (got %s tag %d, want %s tag %d)",
+			ErrProto, r.Op, r.Tag, q.Op, q.Tag)
+		return nil, c.dead
+	}
+	if r.Status != StatusOK {
+		return r, r.Status.Err()
+	}
+	return r, nil
+}
+
+// Lookup resolves path. When open is true and the target is a regular
+// file, the server opens it in this session and returns the handle.
+func (c *Client) Lookup(path string, open bool) (handle uint64, attr Attr, err error) {
+	q := &Request{Op: OpLookup, Path: path}
+	if open {
+		q.Flags = LookupOpen
+	}
+	r, err := c.call(q)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	return r.Handle, r.Attr, nil
+}
+
+// Getattr stats path.
+func (c *Client) Getattr(path string) (Attr, error) {
+	r, err := c.call(&Request{Op: OpGetattr, Path: path})
+	if err != nil {
+		return Attr{}, err
+	}
+	return r.Attr, nil
+}
+
+// Create creates (or truncates) a file and opens it, returning the
+// session handle and initial attributes.
+func (c *Client) Create(path string) (handle uint64, attr Attr, err error) {
+	r, err := c.call(&Request{Op: OpCreate, Path: path})
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	return r.Handle, r.Attr, nil
+}
+
+// Read reads up to n bytes at off from handle.
+func (c *Client) Read(handle uint64, off int64, n int) ([]byte, error) {
+	if n < 0 || n > MaxData {
+		return nil, fmt.Errorf("%w: read size %d out of range", ErrProto, n)
+	}
+	r, err := c.call(&Request{Op: OpRead, Handle: handle, Off: off, N: uint32(n)})
+	if err != nil {
+		return nil, err
+	}
+	return r.Data, nil
+}
+
+// Write writes data at off through handle, returning bytes written.
+func (c *Client) Write(handle uint64, off int64, data []byte) (int, error) {
+	if len(data) > MaxData {
+		return 0, fmt.Errorf("%w: write size %d exceeds MaxData", ErrProto, len(data))
+	}
+	r, err := c.call(&Request{Op: OpWrite, Handle: handle, Off: off, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	return int(r.N), nil
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	_, err := c.call(&Request{Op: OpMkdir, Path: path})
+	return err
+}
+
+// Unlink removes a file.
+func (c *Client) Unlink(path string) error {
+	_, err := c.call(&Request{Op: OpUnlink, Path: path})
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(path string) error {
+	_, err := c.call(&Request{Op: OpRmdir, Path: path})
+	return err
+}
+
+// Rename moves oldPath to newPath.
+func (c *Client) Rename(oldPath, newPath string) error {
+	_, err := c.call(&Request{Op: OpRename, Path: oldPath, Path2: newPath})
+	return err
+}
+
+// Readdir lists a directory.
+func (c *Client) Readdir(path string) ([]DirEnt, error) {
+	r, err := c.call(&Request{Op: OpReaddir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return r.Entries, nil
+}
+
+// Fsync makes handle's data and metadata durable.
+func (c *Client) Fsync(handle uint64) error {
+	_, err := c.call(&Request{Op: OpFsync, Handle: handle})
+	return err
+}
+
+// Statfs returns service-level file-system information.
+func (c *Client) Statfs() (Statfs, error) {
+	r, err := c.call(&Request{Op: OpStatfs})
+	if err != nil {
+		return Statfs{}, err
+	}
+	return r.Statfs, nil
+}

@@ -1,0 +1,254 @@
+package fsrpc
+
+import (
+	"fmt"
+	"time"
+
+	"betrfs/internal/vfs"
+)
+
+// Attr is the wire form of vfs.Attr.
+type Attr struct {
+	Dir   bool
+	Size  int64
+	Nlink int
+	Mtime time.Duration
+}
+
+// FromVFS converts a vfs.Attr to its wire form.
+func FromVFS(a vfs.Attr) Attr {
+	return Attr{Dir: a.Dir, Size: a.Size, Nlink: a.Nlink, Mtime: a.Mtime}
+}
+
+// VFS converts a wire Attr back to vfs.Attr.
+func (a Attr) VFS() vfs.Attr {
+	return vfs.Attr{Dir: a.Dir, Size: a.Size, Nlink: a.Nlink, Mtime: a.Mtime}
+}
+
+// DirEnt is one READDIR reply entry.
+type DirEnt struct {
+	Name string
+	Dir  bool
+}
+
+// Statfs is the STATFS reply: service-level file-system information.
+type Statfs struct {
+	BlockSize int64
+	SimTimeNs int64 // the serving machine's simulated clock
+	Degraded  bool  // mount has degraded read-only (errors=remount-ro)
+	Sessions  int64 // live sessions on the server
+	OpsServed int64 // requests executed since the server started
+}
+
+// LookupOpen is the Request.Flags bit asking LOOKUP to also open a file
+// handle when the target is a regular file.
+const LookupOpen = 1
+
+// Request is one decoded client request. A single struct covers every op;
+// Encode writes only the fields the op defines and Decode reads exactly
+// those, so unused fields are never on the wire.
+//
+// Field usage by op:
+//
+//	LOOKUP   Path, Flags      → Handle (if opened), Attr
+//	GETATTR  Path             → Attr
+//	READ     Handle, Off, N   → Data
+//	WRITE    Handle, Off, Data→ N
+//	CREATE   Path             → Handle, Attr
+//	MKDIR    Path             → –
+//	UNLINK   Path             → –
+//	RMDIR    Path             → –
+//	RENAME   Path, Path2      → –
+//	READDIR  Path             → Entries
+//	FSYNC    Handle           → –
+//	STATFS   –                → Statfs
+type Request struct {
+	Op     Op
+	Tag    uint64
+	Path   string
+	Path2  string
+	Handle uint64
+	Off    int64
+	N      uint32
+	Data   []byte
+	Flags  uint8
+}
+
+// Encode renders the request payload.
+func (q *Request) Encode() []byte {
+	e := &enc{buf: make([]byte, 0, 16+len(q.Path)+len(q.Path2)+len(q.Data))}
+	e.u8(uint8(q.Op))
+	e.u64(q.Tag)
+	switch q.Op {
+	case OpLookup:
+		e.str(q.Path)
+		e.u8(q.Flags)
+	case OpGetattr, OpMkdir, OpUnlink, OpRmdir, OpReaddir, OpCreate:
+		e.str(q.Path)
+	case OpRename:
+		e.str(q.Path)
+		e.str(q.Path2)
+	case OpRead:
+		e.u64(q.Handle)
+		e.i64(q.Off)
+		e.u32(q.N)
+	case OpWrite:
+		e.u64(q.Handle)
+		e.i64(q.Off)
+		e.bytes(q.Data)
+	case OpFsync:
+		e.u64(q.Handle)
+	case OpStatfs:
+	}
+	return e.buf
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(payload []byte) (*Request, error) {
+	d := &dec{buf: payload}
+	q := &Request{Op: Op(d.u8()), Tag: d.u64()}
+	switch q.Op {
+	case OpLookup:
+		q.Path = d.str()
+		q.Flags = d.u8()
+	case OpGetattr, OpMkdir, OpUnlink, OpRmdir, OpReaddir, OpCreate:
+		q.Path = d.str()
+	case OpRename:
+		q.Path = d.str()
+		q.Path2 = d.str()
+	case OpRead:
+		q.Handle = d.u64()
+		q.Off = d.i64()
+		q.N = d.u32()
+		if q.N > MaxData {
+			return nil, fmt.Errorf("%w: READ of %d bytes exceeds MaxData %d", ErrProto, q.N, MaxData)
+		}
+	case OpWrite:
+		q.Handle = d.u64()
+		q.Off = d.i64()
+		q.Data = d.bytes()
+		if len(q.Data) > MaxData {
+			return nil, fmt.Errorf("%w: WRITE of %d bytes exceeds MaxData %d", ErrProto, len(q.Data), MaxData)
+		}
+	case OpFsync:
+		q.Handle = d.u64()
+	case OpStatfs:
+	default:
+		return nil, fmt.Errorf("%w: unknown op %d", ErrProto, uint8(q.Op))
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Reply is one decoded server reply. Body fields are meaningful only when
+// Status == StatusOK.
+type Reply struct {
+	Op      Op
+	Tag     uint64
+	Status  Status
+	Handle  uint64
+	Attr    Attr
+	N       uint32
+	Data    []byte
+	Entries []DirEnt
+	Statfs  Statfs
+}
+
+func (e *enc) attr(a Attr) {
+	e.bool(a.Dir)
+	e.i64(a.Size)
+	e.u32(uint32(a.Nlink))
+	e.i64(int64(a.Mtime))
+}
+
+func (d *dec) attr() Attr {
+	return Attr{Dir: d.bool(), Size: d.i64(), Nlink: int(d.u32()), Mtime: time.Duration(d.i64())}
+}
+
+// Encode renders the reply payload.
+func (r *Reply) Encode() []byte {
+	e := &enc{buf: make([]byte, 0, 16+len(r.Data))}
+	e.u8(uint8(r.Op) | replyBit)
+	e.u64(r.Tag)
+	e.u8(uint8(r.Status))
+	if r.Status != StatusOK {
+		return e.buf
+	}
+	switch r.Op {
+	case OpLookup, OpCreate:
+		e.u64(r.Handle)
+		e.attr(r.Attr)
+	case OpGetattr:
+		e.attr(r.Attr)
+	case OpRead:
+		e.bytes(r.Data)
+	case OpWrite:
+		e.u32(r.N)
+	case OpReaddir:
+		e.u32(uint32(len(r.Entries)))
+		for _, ent := range r.Entries {
+			e.str(ent.Name)
+			e.bool(ent.Dir)
+		}
+	case OpStatfs:
+		e.i64(r.Statfs.BlockSize)
+		e.i64(r.Statfs.SimTimeNs)
+		e.bool(r.Statfs.Degraded)
+		e.i64(r.Statfs.Sessions)
+		e.i64(r.Statfs.OpsServed)
+	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync:
+	}
+	return e.buf
+}
+
+// DecodeReply parses a reply payload.
+func DecodeReply(payload []byte) (*Reply, error) {
+	d := &dec{buf: payload}
+	opByte := d.u8()
+	if opByte&replyBit == 0 {
+		return nil, fmt.Errorf("%w: reply bit missing", ErrProto)
+	}
+	r := &Reply{Op: Op(opByte &^ replyBit), Tag: d.u64(), Status: Status(d.u8())}
+	if r.Status != StatusOK {
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	switch r.Op {
+	case OpLookup, OpCreate:
+		r.Handle = d.u64()
+		r.Attr = d.attr()
+	case OpGetattr:
+		r.Attr = d.attr()
+	case OpRead:
+		r.Data = d.bytes()
+	case OpWrite:
+		r.N = d.u32()
+	case OpReaddir:
+		n := int(d.u32())
+		if n > MaxFrame/3 {
+			return nil, fmt.Errorf("%w: READDIR entry count %d implausible", ErrProto, n)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Entries = append(r.Entries, DirEnt{Name: d.str(), Dir: d.bool()})
+		}
+	case OpStatfs:
+		r.Statfs = Statfs{
+			BlockSize: d.i64(),
+			SimTimeNs: d.i64(),
+			Degraded:  d.bool(),
+			Sessions:  d.i64(),
+			OpsServed: d.i64(),
+		}
+	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync:
+	default:
+		return nil, fmt.Errorf("%w: unknown reply op %d", ErrProto, uint8(r.Op))
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

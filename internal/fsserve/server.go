@@ -1,0 +1,429 @@
+// Package fsserve is the serving half of the network file-service layer
+// (DESIGN.md §11): it mounts any of the simulated file systems behind the
+// fsrpc wire protocol and serves N concurrent client connections with
+// per-session handle tables, a bounded worker pool with admission control
+// and backpressure, per-request queue-wait deadlines, and graceful drain
+// on shutdown.
+//
+// Admission control is strictly non-blocking: a connection reader never
+// waits for queue space. When the bounded request queue is full the
+// request is shed immediately with EBUSY (`fsserve.queue.shed`), so a
+// saturated server degrades by rejecting load instead of building an
+// unbounded backlog or deadlocking. The queue depth is visible as the
+// `fsserve.queue.depth` gauge; requests that waited in the queue longer
+// than Config.QueueWait are shed at dequeue time (`fsserve.deadline.shed`)
+// — the client already gave up on them, executing them would only burn
+// capacity.
+//
+// With Workers == 1 and a single synchronous client driver the server is
+// deterministic: requests execute in arrival order on one goroutine, so
+// simulated results (and the serve benchmark's latency percentiles) are
+// bit-identical run to run at a fixed seed. With more workers, ops overlap
+// and the shared simulated clock makes results throughput-style numbers,
+// exactly like the §9 multi-client mode.
+package fsserve
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"betrfs/internal/fsrpc"
+	"betrfs/internal/metrics"
+	"betrfs/internal/sim"
+	"betrfs/internal/vfs"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Workers is the number of goroutines executing requests. 1 (the
+	// default) is the deterministic mode.
+	Workers int
+	// QueueDepth bounds the admission queue shared by all sessions;
+	// requests arriving on a full queue are shed with EBUSY. Default 64.
+	QueueDepth int
+	// QueueWait is the wall-clock deadline a request may spend queued
+	// before being shed unexecuted. Zero disables the deadline (the
+	// deterministic configuration).
+	QueueWait time.Duration
+	// MaxHandles bounds each session's open-file table; the oldest handle
+	// is evicted (closed) beyond it. Default 128.
+	MaxHandles int
+	// OnExecute, when set, runs at the top of every execute call, before
+	// the op touches the mount. It exists for instrumentation and for the
+	// saturation/drain tests, which use it to park the worker
+	// deterministically. Leave nil in production.
+	OnExecute func(op fsrpc.Op)
+}
+
+// DefaultConfig returns the deterministic single-worker configuration.
+func DefaultConfig() Config {
+	return Config{Workers: 1, QueueDepth: 64, MaxHandles: 128}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.MaxHandles < 1 {
+		c.MaxHandles = 128
+	}
+	return c
+}
+
+// serveMetrics holds the registry instruments, resolved at New.
+type serveMetrics struct {
+	reqCount   *metrics.Counter
+	reqBytes   *metrics.Counter
+	respBytes  *metrics.Counter
+	statusErr  *metrics.Counter
+	opCount    *metrics.Counter
+	opPanic    *metrics.Counter
+	queueDepth *metrics.Gauge
+	queueShed  *metrics.Counter
+	deadline   *metrics.Counter
+	sessions   *metrics.Gauge
+	drain      *metrics.Counter
+	opNs       *metrics.Histogram
+	perOp      [16]*metrics.Counter
+}
+
+func resolveServeMetrics(reg *metrics.Registry) serveMetrics {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	m := serveMetrics{
+		reqCount:   reg.Counter("fsrpc.req.count"),
+		reqBytes:   reg.Counter("fsrpc.req.bytes"),
+		respBytes:  reg.Counter("fsrpc.resp.bytes"),
+		statusErr:  reg.Counter("fsrpc.status.err"),
+		opCount:    reg.Counter("fsserve.op.count"),
+		opPanic:    reg.Counter("fsserve.op.panic"),
+		queueDepth: reg.Gauge("fsserve.queue.depth"),
+		queueShed:  reg.Counter("fsserve.queue.shed"),
+		deadline:   reg.Counter("fsserve.deadline.shed"),
+		sessions:   reg.Gauge("fsserve.session.open"),
+		drain:      reg.Counter("fsserve.drain.count"),
+		opNs:       reg.Histogram("fsserve.op.ns", "ns"),
+	}
+	for _, op := range fsrpc.Ops {
+		m.perOp[op] = reg.Counter("fsserve.op." + op.String())
+	}
+	return m
+}
+
+// server lifecycle states.
+const (
+	stateServing = iota
+	stateDraining
+	stateClosed
+)
+
+// task is one admitted request awaiting a worker.
+type task struct {
+	sess     *session
+	req      *fsrpc.Request
+	enqueued time.Time
+}
+
+// Server serves fsrpc requests against one vfs.Mount.
+type Server struct {
+	env   *sim.Env
+	mount *vfs.Mount
+	cfg   Config
+	m     serveMetrics
+
+	queue    chan *task
+	workerWG sync.WaitGroup
+	inflight sync.WaitGroup
+
+	mu       sync.Mutex
+	state    int
+	sessions map[*session]struct{}
+}
+
+// New starts a server over mount with cfg.Workers request workers. The
+// mount must be built with vfs.Config.Concurrent (and a concurrent FS
+// beneath it) when Workers > 1 or multiple connections are served.
+func New(env *sim.Env, mount *vfs.Mount, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		env:      env,
+		mount:    mount,
+		cfg:      cfg,
+		m:        resolveServeMetrics(env.Metrics),
+		queue:    make(chan *task, cfg.QueueDepth),
+		sessions: make(map[*session]struct{}),
+	}
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Mount returns the served mount (tests poke at it directly).
+func (s *Server) Mount() *vfs.Mount { return s.mount }
+
+// ServeConn serves one client connection until the peer closes it, a
+// protocol error tears it down, or the server shuts down. It blocks;
+// callers run it on a goroutine per connection.
+func (s *Server) ServeConn(rw io.ReadWriteCloser) error {
+	sess := newSession(s, rw)
+	s.mu.Lock()
+	if s.state != stateServing {
+		s.mu.Unlock()
+		rw.Close()
+		return fsrpc.ErrShutdown
+	}
+	s.sessions[sess] = struct{}{}
+	s.m.sessions.Add(1)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if _, ok := s.sessions[sess]; ok {
+			delete(s.sessions, sess)
+			s.m.sessions.Add(-1)
+		}
+		s.mu.Unlock()
+		sess.close()
+	}()
+
+	for {
+		payload, err := fsrpc.ReadFrame(rw)
+		if err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			if errors.Is(err, fsrpc.ErrProto) {
+				return err
+			}
+			return nil // transport torn down (shutdown or peer reset)
+		}
+		s.m.reqCount.Inc()
+		s.m.reqBytes.Add(int64(len(payload)))
+		req, err := fsrpc.DecodeRequest(payload)
+		if err != nil {
+			// The stream cannot be resynchronized after a malformed
+			// frame; reply EPROTO best-effort and tear down.
+			sess.writeReply(&fsrpc.Reply{Op: 0, Tag: 0, Status: fsrpc.StatusProto})
+			return err
+		}
+		if st := s.admit(&task{sess: sess, req: req, enqueued: time.Now()}); st != fsrpc.StatusOK {
+			if st == fsrpc.StatusBusy {
+				s.m.queueShed.Inc()
+			}
+			s.m.statusErr.Inc()
+			sess.writeReply(&fsrpc.Reply{Op: req.Op, Tag: req.Tag, Status: st})
+		}
+	}
+}
+
+// admit places t on the bounded queue without ever blocking: a full queue
+// sheds with EBUSY, a draining server rejects with ESHUTDOWN. The
+// inflight count is raised under the state lock so Shutdown's drain
+// barrier cannot miss an admitted request.
+func (s *Server) admit(t *task) fsrpc.Status {
+	s.mu.Lock()
+	if s.state != stateServing {
+		s.mu.Unlock()
+		return fsrpc.StatusShutdown
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	select {
+	case s.queue <- t:
+		s.m.queueDepth.Add(1)
+		return fsrpc.StatusOK
+	default:
+		s.inflight.Done()
+		return fsrpc.StatusBusy
+	}
+}
+
+// worker executes admitted requests in queue order.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.queue {
+		s.m.queueDepth.Add(-1)
+		var rep *fsrpc.Reply
+		if s.cfg.QueueWait > 0 && time.Since(t.enqueued) > s.cfg.QueueWait {
+			// The request outlived its queue-wait budget; shed it
+			// unexecuted rather than burn capacity on a reply the client
+			// has given up on.
+			s.m.deadline.Inc()
+			rep = &fsrpc.Reply{Op: t.req.Op, Tag: t.req.Tag, Status: fsrpc.StatusBusy}
+		} else {
+			rep = s.execute(t.sess, t.req)
+		}
+		if rep.Status != fsrpc.StatusOK {
+			s.m.statusErr.Inc()
+		}
+		t.sess.writeReply(rep)
+		s.inflight.Done()
+	}
+}
+
+// Shutdown drains the server gracefully: new requests (and new
+// connections) are rejected with ESHUTDOWN, every already-admitted
+// request executes to completion and its reply is delivered, then the
+// workers stop and every session is closed.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.state != stateServing {
+		s.mu.Unlock()
+		return
+	}
+	s.state = stateDraining
+	s.m.drain.Inc()
+	s.mu.Unlock()
+
+	s.inflight.Wait() // every admitted request replied
+	close(s.queue)
+	s.workerWG.Wait()
+
+	s.mu.Lock()
+	s.state = stateClosed
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = make(map[*session]struct{})
+	s.m.sessions.Set(0)
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.close()
+	}
+}
+
+// execute runs one request against the mount and builds its reply. A
+// panic from the FS stack (a programmer invariant, never a hardware
+// fault — those arrive as errors) is converted to an EIO reply and
+// counted, so one broken op cannot wedge every client of the server.
+func (s *Server) execute(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply) {
+	rep = &fsrpc.Reply{Op: q.Op, Tag: q.Tag}
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.opPanic.Inc()
+			rep = &fsrpc.Reply{Op: q.Op, Tag: q.Tag, Status: fsrpc.StatusIO}
+		}
+	}()
+	if s.cfg.OnExecute != nil {
+		s.cfg.OnExecute(q.Op)
+	}
+	s.m.opCount.Inc()
+	if c := s.m.perOp[q.Op]; c != nil {
+		c.Inc()
+	}
+	start := s.env.Now()
+	defer func() { s.m.opNs.Observe(int64(s.env.Now() - start)) }()
+
+	fail := func(err error) *fsrpc.Reply {
+		rep.Status = fsrpc.StatusOf(err)
+		return rep
+	}
+	switch q.Op {
+	case fsrpc.OpLookup:
+		a, err := s.mount.Stat(q.Path)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Attr = fsrpc.FromVFS(a)
+		if !a.Dir && q.Flags&fsrpc.LookupOpen != 0 {
+			f, err := s.mount.Open(q.Path)
+			if err != nil {
+				return fail(err)
+			}
+			rep.Handle = sess.put(f)
+		}
+	case fsrpc.OpGetattr:
+		a, err := s.mount.Stat(q.Path)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Attr = fsrpc.FromVFS(a)
+	case fsrpc.OpCreate:
+		f, err := s.mount.Create(q.Path)
+		if err != nil {
+			return fail(err)
+		}
+		a, err := s.mount.Stat(q.Path)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Handle = sess.put(f)
+		rep.Attr = fsrpc.FromVFS(a)
+	case fsrpc.OpRead:
+		f, ok := sess.get(q.Handle)
+		if !ok {
+			return fail(fsrpc.ErrBadHandle)
+		}
+		buf := make([]byte, q.N)
+		n, err := f.ReadAt(buf, q.Off)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Data = buf[:n]
+	case fsrpc.OpWrite:
+		f, ok := sess.get(q.Handle)
+		if !ok {
+			return fail(fsrpc.ErrBadHandle)
+		}
+		n, err := f.WriteAt(q.Data, q.Off)
+		if err != nil {
+			return fail(err)
+		}
+		rep.N = uint32(n)
+	case fsrpc.OpFsync:
+		f, ok := sess.get(q.Handle)
+		if !ok {
+			return fail(fsrpc.ErrBadHandle)
+		}
+		if err := f.Fsync(); err != nil {
+			return fail(err)
+		}
+	case fsrpc.OpMkdir:
+		if err := s.mount.Mkdir(q.Path); err != nil {
+			return fail(err)
+		}
+	case fsrpc.OpUnlink:
+		if err := s.mount.Remove(q.Path); err != nil {
+			return fail(err)
+		}
+	case fsrpc.OpRmdir:
+		if err := s.mount.Rmdir(q.Path); err != nil {
+			return fail(err)
+		}
+	case fsrpc.OpRename:
+		if err := s.mount.Rename(q.Path, q.Path2); err != nil {
+			return fail(err)
+		}
+	case fsrpc.OpReaddir:
+		ents, err := s.mount.ReadDir(q.Path)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Entries = make([]fsrpc.DirEnt, 0, len(ents))
+		for _, e := range ents {
+			rep.Entries = append(rep.Entries, fsrpc.DirEnt{Name: e.Name, Dir: e.Dir})
+		}
+	case fsrpc.OpStatfs:
+		s.mu.Lock()
+		sessions := int64(len(s.sessions))
+		s.mu.Unlock()
+		rep.Statfs = fsrpc.Statfs{
+			BlockSize: vfs.PageSize,
+			SimTimeNs: int64(s.env.Now()),
+			Degraded:  s.mount.Degraded() != nil,
+			Sessions:  sessions,
+			OpsServed: s.m.opCount.Load(),
+		}
+	default:
+		return fail(fsrpc.ErrProto)
+	}
+	return rep
+}

@@ -1,0 +1,87 @@
+package fsserve
+
+import (
+	"io"
+	"sync"
+
+	"betrfs/internal/fsrpc"
+	"betrfs/internal/vfs"
+)
+
+// session is one client connection's server-side state: the transport, a
+// write mutex (the worker pool and the reader's shed path both write
+// replies), and the bounded handle table.
+//
+// Handles are per-session open-file descriptions. The protocol has no
+// RELEASE op; instead the table is a bounded cache — beyond
+// Config.MaxHandles the oldest handle is closed and evicted, and a
+// request naming an evicted handle gets EBADF (clients re-LOOKUP). This
+// keeps a misbehaving client from pinning unbounded server memory while
+// sparing well-behaved clients an extra round trip per file.
+type session struct {
+	srv *Server
+
+	wmu sync.Mutex
+	rw  io.ReadWriteCloser
+
+	hmu     sync.Mutex
+	nextID  uint64
+	handles map[uint64]*vfs.File
+	order   []uint64 // insertion order, for FIFO eviction
+}
+
+func newSession(srv *Server, rw io.ReadWriteCloser) *session {
+	return &session{srv: srv, rw: rw, handles: make(map[uint64]*vfs.File)}
+}
+
+// put registers f and returns its handle, evicting the oldest handle if
+// the table is full.
+func (s *session) put(f *vfs.File) uint64 {
+	s.hmu.Lock()
+	defer s.hmu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.handles[id] = f
+	s.order = append(s.order, id)
+	if len(s.handles) > s.srv.cfg.MaxHandles {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		if old, ok := s.handles[victim]; ok {
+			old.Close()
+			delete(s.handles, victim)
+		}
+	}
+	return id
+}
+
+// get resolves a handle.
+func (s *session) get(id uint64) (*vfs.File, bool) {
+	s.hmu.Lock()
+	defer s.hmu.Unlock()
+	f, ok := s.handles[id]
+	return f, ok
+}
+
+// writeReply frames and writes one reply, serialized against concurrent
+// writers. Write failures mean the peer is gone; the reader loop notices
+// on its next read, so they are dropped here.
+func (s *session) writeReply(r *fsrpc.Reply) {
+	payload := r.Encode()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := fsrpc.WriteFrame(s.rw, payload); err == nil {
+		s.srv.m.respBytes.Add(int64(len(payload)) + 4)
+	}
+}
+
+// close releases the session: every open handle and the transport.
+func (s *session) close() {
+	s.hmu.Lock()
+	for _, f := range s.handles {
+		f.Close()
+	}
+	s.handles = make(map[uint64]*vfs.File)
+	s.order = nil
+	s.hmu.Unlock()
+	s.rw.Close()
+}

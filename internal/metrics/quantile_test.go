@@ -1,0 +1,147 @@
+package metrics
+
+import "testing"
+
+// histOf records vs into a fresh histogram and snapshots it.
+func histOf(vs ...int64) HistSnapshot {
+	r := NewRegistry()
+	h := r.Histogram("test.hist", "ns")
+	for _, v := range vs {
+		h.Observe(v)
+	}
+	return r.Snapshot().Histograms["test.hist"]
+}
+
+// TestQuantileExactOnPowersOfTwo: every power-of-two value is its own
+// bucket's upper bound, so quantiles are exact rank statistics.
+func TestQuantileExactOnPowersOfTwo(t *testing.T) {
+	var vs []int64
+	for i := 0; i < 10; i++ {
+		vs = append(vs, int64(1)<<uint(i)) // 1, 2, 4, ..., 512
+	}
+	h := histOf(vs...)
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.0, 1},    // clamped to rank 1
+		{0.1, 1},    // ceil(1.0) = 1st smallest
+		{0.5, 16},   // ceil(5.0) = 5th smallest = 2^4
+		{0.55, 32},  // ceil(5.5) = 6th smallest = 2^5
+		{0.9, 256},  // ceil(9.0) = 9th
+		{0.95, 512}, // ceil(9.5) = 10th
+		{0.99, 512},
+		{1.0, 512},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileSkewedDistribution: a bimodal latency-like shape where the
+// tail only shows up past p90.
+func TestQuantileSkewedDistribution(t *testing.T) {
+	var vs []int64
+	for i := 0; i < 90; i++ {
+		vs = append(vs, 4)
+	}
+	for i := 0; i < 10; i++ {
+		vs = append(vs, 1024)
+	}
+	h := histOf(vs...)
+	if got := h.Quantile(0.50); got != 4 {
+		t.Errorf("p50 = %d, want 4", got)
+	}
+	if got := h.Quantile(0.90); got != 4 { // ceil(90) = 90th sample is still 4
+		t.Errorf("p90 = %d, want 4", got)
+	}
+	if got := h.Quantile(0.95); got != 1024 {
+		t.Errorf("p95 = %d, want 1024", got)
+	}
+	if got := h.Quantile(0.99); got != 1024 {
+		t.Errorf("p99 = %d, want 1024", got)
+	}
+}
+
+// TestQuantileClampsToMax: non-power-of-two values land in a bucket whose
+// bound overshoots; the observed maximum caps the answer.
+func TestQuantileClampsToMax(t *testing.T) {
+	h := histOf(5) // bucket le=8, max=5
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %d, want max-clamped 5", got)
+	}
+	h = histOf(3, 5, 7) // all in bucket le=4 and le=8
+	if got := h.Quantile(1.0); got != 7 {
+		t.Errorf("Quantile(1.0) = %d, want max 7", got)
+	}
+	if got := h.Quantile(0.01); got != 4 { // rank 1 -> bucket le=4, below max
+		t.Errorf("Quantile(0.01) = %d, want 4", got)
+	}
+}
+
+// TestQuantileEmpty: an empty histogram reports 0 for every quantile.
+func TestQuantileEmpty(t *testing.T) {
+	h := histOf()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileAfterMerge: merging two snapshots must yield the quantiles
+// of the combined distribution, including overlapping buckets.
+func TestQuantileAfterMerge(t *testing.T) {
+	a := Snapshot{Histograms: map[string]HistSnapshot{"h": histOf(1, 2, 4)}}
+	b := Snapshot{Histograms: map[string]HistSnapshot{"h": histOf(8, 16, 32)}}
+	a.Merge(b)
+	m := a.Histograms["h"]
+	if m.Count != 6 {
+		t.Fatalf("merged count = %d, want 6", m.Count)
+	}
+	if got := m.Quantile(0.5); got != 4 { // ceil(3.0) = 3rd smallest
+		t.Errorf("merged p50 = %d, want 4", got)
+	}
+	if got := m.Quantile(1.0); got != 32 {
+		t.Errorf("merged p100 = %d, want 32", got)
+	}
+
+	// Overlapping buckets must sum, not shadow.
+	c := Snapshot{Histograms: map[string]HistSnapshot{"h": histOf(4, 4, 4, 4, 4)}}
+	d := Snapshot{Histograms: map[string]HistSnapshot{"h": histOf(4, 4, 4, 4, 4, 64, 64)}}
+	c.Merge(d)
+	m = c.Histograms["h"]
+	if m.Count != 12 {
+		t.Fatalf("merged count = %d, want 12", m.Count)
+	}
+	if got := m.Quantile(0.5); got != 4 { // ceil(6.0) = 6th of twelve
+		t.Errorf("merged overlapping p50 = %d, want 4", got)
+	}
+	if got := m.Quantile(0.99); got != 64 {
+		t.Errorf("merged overlapping p99 = %d, want 64", got)
+	}
+}
+
+// TestQuantileAfterDiff: interval quantiles from before/after snapshots,
+// the shape the serve bench uses.
+func TestQuantileAfterDiff(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "ns")
+	for i := 0; i < 8; i++ {
+		h.Observe(2)
+	}
+	before := r.Snapshot()
+	for i := 0; i < 8; i++ {
+		h.Observe(128)
+	}
+	after := r.Snapshot()
+	d := Diff(before, after).Histograms["h"]
+	if d.Count != 8 {
+		t.Fatalf("diff count = %d, want 8", d.Count)
+	}
+	if got := d.Quantile(0.5); got != 128 { // interval contains only 128s
+		t.Errorf("diff p50 = %d, want 128", got)
+	}
+}

@@ -25,6 +25,39 @@ type Bucket struct {
 	Count int64 `json:"count"`
 }
 
+// Quantile returns the q-quantile (0 < q <= 1) of the recorded values as
+// an upper bound: the smallest bucket bound b such that at least
+// ceil(q*Count) samples are <= b, clamped to Max. Because buckets are
+// power-of-two sized, the answer is exact when every recorded value is a
+// power of two (each such value is its own bucket's bound) and otherwise
+// overestimates by at most 2x. An empty histogram reports 0.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count <= 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(float64(h.Count) * q)
+	if float64(rank) < float64(h.Count)*q {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			if h.Max > 0 && b.Le > h.Max {
+				return h.Max
+			}
+			return b.Le
+		}
+	}
+	return h.Max
+}
+
 // bucketUpperBound returns the inclusive upper bound of bucket i.
 func bucketUpperBound(i int) int64 {
 	if i >= 63 {
