@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race crashtest scrub faults bench-json serve
+.PHONY: check vet build test race crashtest scrub repair faults bench-json serve
 
-check: vet build race crashtest scrub faults serve bench-json
+check: vet build race crashtest scrub repair faults serve bench-json
 
 vet:
 	$(GO) vet ./...
@@ -44,12 +44,30 @@ scrub:
 	./bin/betrfsck -mode=scrub -badsector=1 > /dev/null 2>&1; test $$? -eq 3
 	./bin/betrfsck -mode=scrub -corrupt=1 -badsector=1 > /dev/null 2>&1; test $$? -eq 3
 
+# Self-healing storage end to end (DESIGN.md §10.6), with fsck-style
+# exit codes pinned through a real binary: a -repair run over
+# recoverable damage (bad sectors under cached nodes, checksum flips)
+# relocates every image and exits 0, while the same damage without
+# -repair keeps the historical exit 3. The race-enabled sweep then
+# covers the library level across all five systems: scrub-driven
+# repair, write-path relocation, the disabled-relocation negative
+# controls, and the remap table's crash round-trip.
+repair:
+	mkdir -p bin && $(GO) build -o bin/betrfsck ./cmd/betrfsck
+	./bin/betrfsck -mode=scrub -badsector=2 -seed=7 -repair > /dev/null
+	./bin/betrfsck -mode=scrub -corrupt=2 -seed=9 -repair > /dev/null
+	./bin/betrfsck -mode=scrub -badsector=2 -seed=7 > /dev/null 2>&1; test $$? -eq 3
+	$(GO) test -race -count=1 -run 'Repair|Relocat|ScrubHook|DefectRemap|RetryExhausted' \
+		./internal/faulttest/ ./internal/betree/ ./internal/crashtest/ ./internal/blockdev/
+
 # Deterministic fault-injection sweep (fixed seeds): transient faults
 # absorbed by retry, persistent write death degrading mounts read-only,
 # silent bit flips recovered by checksum re-reads, bad-sector EIO
-# propagation, and ENOSPC semantics — across every file system.
+# propagation, ENOSPC semantics, and the seeded multi-client sweep on a
+# single concurrent mount — across every file system, under the race
+# detector (the multi-client sweep is only meaningful with it).
 faults:
-	$(GO) test -count=1 ./internal/faulttest/
+	$(GO) test -race -count=1 ./internal/faulttest/
 
 # Network file-service layer: protocol conformance (every wire op vs
 # the direct mount, identical statuses/attrs/data including EIO, ENOSPC

@@ -7,18 +7,25 @@
 //	-mode=scrub  populate and checkpoint a store, optionally flip bytes
 //	             inside -corrupt node images or grow -badsector media
 //	             defects under node extents, then verify every Bε-tree
-//	             node checksum and print a per-node report
+//	             node checksum and print a per-node report. With -repair,
+//	             a scrub-repair pass runs first: bad node images that are
+//	             still recoverable (re-read decodes cleanly, or a resident
+//	             cache copy exists) are rewritten to fresh space, the old
+//	             extents retire to the grown-defect list, and the exit
+//	             code reflects what the follow-up scrub still finds
 //
 // Exit codes distinguish the failure class, fsck-style:
 //
-//	0   clean
-//	1   crash-recovery failure
+//	0   clean — including a -repair run that relocated every bad image
+//	1   crash-recovery failure, or a -repair pass that itself failed
 //	2   checksum corruption (the device returned bytes that do not verify)
 //	3   media error (the read command itself failed)
 //	64  usage error
 //
 // A scrub that hits both classes reports the media error (exit 3): it is
 // the stronger signal that the hardware, not just the data, is failing.
+// With -repair, exits 2 and 3 mean unrepairable damage remains — no
+// readable copy of the node image exists anywhere.
 package main
 
 import (
@@ -43,6 +50,7 @@ func main() {
 	trials := flag.Int("trials", 10, "number of crash trials")
 	corrupt := flag.Int("corrupt", 0, "scrub mode: number of node images to corrupt")
 	badsector := flag.Int("badsector", 0, "scrub mode: number of node extents to turn into unreadable media defects")
+	repair := flag.Bool("repair", false, "scrub mode: relocate recoverable bad node images before the verifying scrub")
 	verbose := flag.Bool("v", false, "scrub mode: print clean nodes too")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -70,7 +78,7 @@ func main() {
 			os.Exit(1)
 		}
 	case "scrub":
-		os.Exit(runScrub(*seed, *corrupt, *badsector, *verbose))
+		os.Exit(runScrub(*seed, *corrupt, *badsector, *repair, *verbose))
 	default:
 		fmt.Fprintf(os.Stderr, "betrfsck: unknown -mode %q (want crash or scrub)\n", *mode)
 		os.Exit(64)
@@ -220,8 +228,10 @@ func runTrial(seed uint64, kind string) bool {
 // runScrub checkpoints a populated store, optionally injects checksum
 // corruption (-corrupt) or media defects (-badsector) under node images,
 // and reports every node's verdict. The exit code classifies the worst
-// finding: 3 for media errors, 2 for checksum corruption, 0 clean.
-func runScrub(seed uint64, corruptN, badsectorN int, verbose bool) int {
+// finding: 3 for media errors, 2 for checksum corruption, 0 clean. With
+// repair set, a scrub-repair pass runs between injection and the verdict
+// scrub, so the exit code reflects only the damage repair could not fix.
+func runScrub(seed uint64, corruptN, badsectorN int, repair, verbose bool) int {
 	_, dev, fdev, backend, _, fs, m, _ := buildPopulated(seed)
 	m.Sync()
 	if err := fs.Store().Checkpoint(); err != nil {
@@ -237,15 +247,10 @@ func runScrub(seed uint64, corruptN, badsectorN int, verbose bool) int {
 		badsectorN = len(clean)
 	}
 	rnd := sim.NewRand(seed)
-	lay := backend.Layout()
-	// Node extents are offsets into the tree's SFL file; translate to a
-	// device offset via the static layout (super, log, meta, data).
+	// Node extents are offsets into the tree's SFL file; translate to
+	// device offsets for the media-level injectors.
 	devOff := func(rep betree.ScrubReport) int64 {
-		base := lay.SuperBytes + lay.LogBytes
-		if rep.Tree == "data" {
-			base += lay.MetaBytes
-		}
-		return base + rep.Off
+		return backend.DevOffset(rep.Tree, rep.Off)
 	}
 	for i := 0; i < corruptN; i++ {
 		rep := clean[rnd.Intn(len(clean))]
@@ -258,6 +263,19 @@ func runScrub(seed uint64, corruptN, badsectorN int, verbose bool) int {
 		fdev.AddBadRange(devOff(rep), rep.Len)
 		fmt.Printf("grew media defect under %s node %d (extent off=%d len=%d)\n",
 			rep.Tree, rep.ID, rep.Off, rep.Len)
+	}
+
+	if repair {
+		// Online repair through the mount hook (the same entry point a
+		// running system would use), then report what it managed.
+		st, err := m.Scrub(true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "betrfsck: repair:", err)
+			return 1
+		}
+		count, bytes := fs.Store().DefectStats()
+		fmt.Printf("repair: %d nodes checked, %d bad, %d relocated, %d unrepairable; grown-defect list: %d extents / %d bytes\n",
+			st.Checked, st.Bad, st.Repaired, st.Unrepairable, count, bytes)
 	}
 
 	corruptNodes, mediaNodes := 0, 0

@@ -12,7 +12,7 @@ import (
 
 // metricNameRE matches a backticked metric name in the docs: a known
 // layer prefix followed by dot-separated lower-case segments.
-var metricNameRE = regexp.MustCompile("`((?:betree|wal|sfl|southbound|blockdev|kmem|vfs|betrfs|flusher|io)\\.[a-z0-9_.]+)`")
+var metricNameRE = regexp.MustCompile("`((?:betree|wal|sfl|southbound|blockdev|kmem|vfs|betrfs|flusher|io|scrub)\\.[a-z0-9_.]+)`")
 
 // documentedMetrics extracts every metric name mentioned in the given
 // markdown files.
@@ -85,7 +85,7 @@ func TestDocumentedMetricsRegistered(t *testing.T) {
 	// The load-bearing names the observability chapter leans on must be
 	// present on both sides, guarding against a regex or doc restructure
 	// silently matching nothing.
-	for _, n := range []string{"betree.msg.pushed", "wal.fsync.count", "kmem.buffercache.hit", "io.fault.read", "io.retry.corrupt", "vfs.remount.ro"} {
+	for _, n := range []string{"betree.msg.pushed", "wal.fsync.count", "kmem.buffercache.hit", "io.fault.read", "io.retry.corrupt", "io.retry.exhausted", "io.defect.grown", "scrub.repair.node", "vfs.remount.ro"} {
 		if !documented[n] {
 			t.Errorf("expected %s to be documented", n)
 		}

@@ -18,7 +18,15 @@ import (
 
 // SchemaVersion identifies the BENCH_*.json document layout. Bump it on
 // any incompatible change and update EXPERIMENTS.md in the same commit.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial layout (columns, systems, optional parallel/serve info)
+//	2 — betrfs system rows guarantee the device-health counter families
+//	    `io.defect.*` and `scrub.repair.*` in their metric snapshots, so
+//	    the benchmark trajectory records grown defects and repairs;
+//	    Validate enforces their presence
+const SchemaVersion = 2
 
 // Doc is one benchmark run: a set of columns measured across a set of
 // systems, plus per-system metric snapshots.
@@ -32,12 +40,12 @@ type Doc struct {
 	// Parallel is present when the run used the parallel system runner
 	// (betrbench -parallel): worker count, per-system exit status, and
 	// the runner's bench.parallel.* counters. Optional and additive, so
-	// SchemaVersion stays at 1; sequential runs omit it and their
-	// documents are byte-identical to pre-parallel output.
+	// it needs no SchemaVersion bump of its own; sequential runs omit it
+	// and their documents are byte-identical to pre-parallel output.
 	Parallel *ParallelInfo `json:"parallel,omitempty"`
 	// Serve is present when Kind is "serve" (betrbench -serve): the
 	// wire-path run's client/worker configuration. Optional and additive
-	// like Parallel, so SchemaVersion stays at 1.
+	// like Parallel, so it needs no SchemaVersion bump of its own.
 	Serve *ServeInfo `json:"serve,omitempty"`
 }
 
@@ -232,6 +240,20 @@ func Validate(data []byte) (*Doc, error) {
 		}
 		if len(s.Metrics.Counters) == 0 {
 			return nil, fmt.Errorf("bench json: system %q has an empty metric snapshot", s.System)
+		}
+		// Schema v2: rows produced by a betree-backed system (identified by
+		// the store's always-registered counters) must carry the
+		// device-health families, so downstream tooling can chart defect
+		// growth and repairs without probing for key presence.
+		if _, betree := s.Metrics.Counters["betree.node.write"]; betree {
+			for _, key := range []string{
+				"io.defect.grown", "io.defect.bytes", "io.defect.relocate.write",
+				"scrub.repair.run", "scrub.repair.node", "scrub.repair.fail",
+			} {
+				if _, ok := s.Metrics.Counters[key]; !ok {
+					return nil, fmt.Errorf("bench json: betree-backed system %q missing %s in its metric snapshot", s.System, key)
+				}
+			}
 		}
 	}
 	if p := d.Parallel; p != nil {

@@ -63,7 +63,7 @@ func TestJSONValidateRejects(t *testing.T) {
 			return bytes.Replace(b, []byte(`"schema_version"`), []byte(`"bogus": 1, "schema_version"`), 1)
 		}, "decode"},
 		{"wrong version", func(b []byte) []byte {
-			return bytes.Replace(b, []byte(`"schema_version": 1`), []byte(`"schema_version": 99`), 1)
+			return bytes.Replace(b, []byte(`"schema_version": 2`), []byte(`"schema_version": 99`), 1)
 		}, "schema_version"},
 		{"bad better", func(b []byte) []byte {
 			return bytes.Replace(b, []byte(`"better": "higher"`), []byte(`"better": "sideways"`), 1)
@@ -93,5 +93,41 @@ func TestJSONValidateRejects(t *testing.T) {
 		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestJSONDefectFamilyRequired covers the schema v2 rule: a system row
+// whose snapshot carries the betree store counters must also carry the
+// io.defect.* / scrub.repair.* families.
+func TestJSONDefectFamilyRequired(t *testing.T) {
+	build := func(defects bool) []byte {
+		reg := metrics.NewRegistry()
+		reg.Counter("betree.node.write").Add(12)
+		reg.Counter("wal.fsync.count").Add(3)
+		if defects {
+			for _, n := range []string{
+				"io.defect.grown", "io.defect.bytes", "io.defect.relocate.write",
+				"scrub.repair.run", "scrub.repair.node", "scrub.repair.fail",
+			} {
+				reg.Counter(n)
+			}
+		}
+		rows := []MicroResults{{System: "betrfs-v0.6", SeqRead: 400, SeqWrite: 300,
+			Rand4K: 100, Rand4B: 0.3, TokuBench: 10, Grep: 1.5, Rm: 2, Find: 0.3}}
+		b, err := MicroDoc("table1", 64, rows, []metrics.Snapshot{reg.Snapshot()}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if _, err := Validate(build(true)); err != nil {
+		t.Fatalf("betree row with defect family rejected: %v", err)
+	}
+	_, err := Validate(build(false))
+	if err == nil {
+		t.Fatal("betree row without io.defect.* family accepted")
+	}
+	if !strings.Contains(err.Error(), "io.defect.grown") {
+		t.Fatalf("error %q does not name the missing counter", err)
 	}
 }

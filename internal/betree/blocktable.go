@@ -32,6 +32,10 @@ type blockTable struct {
 	// deferred holds extents that become free once the next checkpoint
 	// commits.
 	deferred []extent
+	// defects is the grown-defect list: extents retired after a media
+	// error, never returned to the free list. Persisted with the table so
+	// a remount does not re-allocate known-bad space (DESIGN.md §10.6).
+	defects []extent
 }
 
 const blockAlign = 4096
@@ -112,6 +116,45 @@ func (bt *blockTable) remove(id nodeID) {
 	}
 }
 
+// retire adds an extent to the grown-defect list, keeping it sorted by
+// offset. Retired space is never freed: the media under it is bad.
+func (bt *blockTable) retire(e extent) {
+	i := sort.Search(len(bt.defects), func(i int) bool { return bt.defects[i].off > e.off })
+	bt.defects = append(bt.defects, extent{})
+	copy(bt.defects[i+1:], bt.defects[i:])
+	bt.defects[i] = e
+}
+
+// relocate moves node id to freshly allocated space and retires its
+// current extent to the defect list. Allocation happens first so an
+// ENOSPC failure leaves the mapping untouched; on success the node is
+// marked non-checkpointed (its new home must reach the next superblock)
+// and the caller is responsible for rewriting the node image at the
+// returned extent.
+func (bt *blockTable) relocate(id nodeID, size int64) (extent, error) {
+	old, ok := bt.entries[id]
+	if !ok {
+		return extent{}, fmt.Errorf("betree: relocate of unmapped node %d", id)
+	}
+	ne, err := bt.allocate(size)
+	if err != nil {
+		return extent{}, err
+	}
+	bt.retire(old)
+	bt.checkpointed[id] = false
+	bt.entries[id] = ne
+	return ne, nil
+}
+
+// defectStats reports the grown-defect list size (count, bytes).
+func (bt *blockTable) defectStats() (int64, int64) {
+	var bytes int64
+	for _, d := range bt.defects {
+		bytes += d.len
+	}
+	return int64(len(bt.defects)), bytes
+}
+
 // lookup returns the extent of node id.
 func (bt *blockTable) lookup(id nodeID) (extent, bool) {
 	e, ok := bt.entries[id]
@@ -141,15 +184,15 @@ func (bt *blockTable) usedBytes() int64 {
 	return bt.capacity - free
 }
 
-// serialize encodes the mapping (used at checkpoint time). The free list
-// is rebuilt from the mapping at load.
+// serialize encodes the mapping plus the grown-defect list (used at
+// checkpoint time). The free list is rebuilt from both at load.
 func (bt *blockTable) serialize() []byte {
 	ids := make([]nodeID, 0, len(bt.entries))
 	for id := range bt.entries {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]byte, 0, 8+24*len(ids))
+	out := make([]byte, 0, 16+24*len(ids)+16*len(bt.defects))
 	var tmp [8]byte
 	binary.BigEndian.PutUint64(tmp[:], uint64(len(ids)))
 	out = append(out, tmp[:]...)
@@ -161,6 +204,20 @@ func (bt *blockTable) serialize() []byte {
 		out = append(out, tmp[:]...)
 		binary.BigEndian.PutUint64(tmp[:], uint64(e.len))
 		out = append(out, tmp[:]...)
+	}
+	// The defect section is appended only when non-empty: the loader
+	// treats it as optional, and omitting it keeps a defect-free table
+	// byte-identical to the pre-defect-list format (golden benchmark
+	// cells checksum the superblock bytes' length).
+	if len(bt.defects) > 0 {
+		binary.BigEndian.PutUint64(tmp[:], uint64(len(bt.defects)))
+		out = append(out, tmp[:]...)
+		for _, d := range bt.defects {
+			binary.BigEndian.PutUint64(tmp[:], uint64(d.off))
+			out = append(out, tmp[:]...)
+			binary.BigEndian.PutUint64(tmp[:], uint64(d.len))
+			out = append(out, tmp[:]...)
+		}
 	}
 	return out
 }
@@ -193,21 +250,45 @@ func loadBlockTable(capacity int64, data []byte) (*blockTable, error) {
 		data = data[24:]
 		pairs = append(pairs, pair{id: id, e: extent{off: off, len: ln}})
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].e.off < pairs[j].e.off })
-	pos := int64(0)
 	for _, p := range pairs {
-		if p.e.off < pos {
-			return nil, fmt.Errorf("betree: overlapping extents in block table")
-		}
-		if p.e.off > pos {
-			bt.free = append(bt.free, extent{off: pos, len: p.e.off - pos})
-		}
 		bt.entries[p.id] = p.e
 		bt.checkpointed[p.id] = true
-		pos = p.e.off + p.e.len
+	}
+	// Defect section (absent in pre-defect-list superblocks).
+	if len(data) >= 8 {
+		dn := binary.BigEndian.Uint64(data)
+		data = data[8:]
+		if uint64(len(data)) < dn*16 {
+			return nil, fmt.Errorf("betree: truncated block table defect list")
+		}
+		for i := uint64(0); i < dn; i++ {
+			off := int64(binary.BigEndian.Uint64(data))
+			ln := int64(binary.BigEndian.Uint64(data[8:]))
+			data = data[16:]
+			bt.defects = append(bt.defects, extent{off: off, len: ln})
+		}
+	}
+	// Rebuild the free list from the gaps between allocated extents and
+	// grown defects; neither may overlap anything else.
+	used := make([]extent, 0, len(pairs)+len(bt.defects))
+	for _, p := range pairs {
+		used = append(used, p.e)
+	}
+	used = append(used, bt.defects...)
+	sort.Slice(used, func(i, j int) bool { return used[i].off < used[j].off })
+	pos := int64(0)
+	for _, e := range used {
+		if e.off < pos {
+			return nil, fmt.Errorf("betree: overlapping extents in block table")
+		}
+		if e.off > pos {
+			bt.free = append(bt.free, extent{off: pos, len: e.off - pos})
+		}
+		pos = e.off + e.len
 	}
 	if pos < capacity {
 		bt.free = append(bt.free, extent{off: pos, len: capacity - pos})
 	}
+	sort.Slice(bt.defects, func(i, j int) bool { return bt.defects[i].off < bt.defects[j].off })
 	return bt, nil
 }

@@ -63,6 +63,14 @@ type Config struct {
 	// Concurrent is off (preserving the historical global LRU eviction
 	// order) and eight when it is on.
 	CacheShards int
+
+	// RelocateAttempts bounds write-path relocation (DESIGN.md §10.6):
+	// when a node-image write fails with a non-transient device error,
+	// the store retires the extent to the grown-defect list and retries
+	// the write at freshly allocated space up to this many times before
+	// latching the sticky write error (errors=remount-ro). Zero disables
+	// relocation entirely, restoring the pre-defect-list behaviour.
+	RelocateAttempts int
 }
 
 // DefaultConfig returns the BetrFS v0.6 tree configuration.
@@ -80,6 +88,7 @@ func DefaultConfig() Config {
 		CoalesceRangeDeletes: true,
 		Lifting:              true,
 		Compression:          false,
+		RelocateAttempts:     2,
 	}
 }
 

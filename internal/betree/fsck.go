@@ -50,6 +50,140 @@ func (s *Store) Scrub() []ScrubReport {
 	return reports
 }
 
+// ScrubOnline is Scrub under the store's mutator and structure locks, for
+// scrubbing a live concurrent-mode store (the vfs Mount.Scrub hook). In
+// deterministic mode the locks are no-ops and it is identical to Scrub.
+func (s *Store) ScrubOnline() []ScrubReport {
+	if s.concurrent {
+		s.writerMu.Lock()
+		defer s.writerMu.Unlock()
+	}
+	s.lockExcl()
+	defer s.unlockExcl()
+	return s.Scrub()
+}
+
+// RepairStats summarizes one ScrubRepair pass.
+type RepairStats struct {
+	Checked      int64 // node extents scrubbed
+	Bad          int64 // extents whose verification failed
+	Repaired     int64 // bad extents relocated to fresh space
+	Unrepairable int64 // bad extents with no recoverable image
+}
+
+// ScrubRepair scrubs both trees and relocates every bad node image it can
+// recover (DESIGN.md §10.6): a readable-but-corrupt extent whose re-read
+// decodes cleanly (transfer corruption), or any node with a resident cache
+// copy, is rewritten to freshly allocated space and the old extent retired
+// to the grown-defect list. A checkpoint then persists the new mapping and
+// defect list, so repaired media errors stay repaired across remounts.
+// Nodes with no recoverable image are left in place and counted
+// Unrepairable; a follow-up fsck still reports them.
+func (s *Store) ScrubRepair() (st RepairStats, err error) {
+	defer ioerr.Guard(&err)
+	if s.concurrent {
+		s.writerMu.Lock()
+		defer s.writerMu.Unlock()
+	}
+	s.m.repairRun.Inc()
+	s.lockExcl()
+	reports := s.Scrub()
+	for _, rep := range reports {
+		st.Checked++
+		if rep.Err == nil {
+			continue
+		}
+		st.Bad++
+		t := s.meta
+		if rep.Tree == "data" {
+			t = s.data
+		}
+		if s.repairNode(t, nodeID(rep.ID)) {
+			st.Repaired++
+			s.m.repairNode.Inc()
+		} else {
+			st.Unrepairable++
+			s.m.repairFail.Inc()
+		}
+	}
+	s.unlockExcl()
+	if st.Repaired > 0 {
+		// Persist the new mapping and defect list (checkpointLocked takes
+		// the structure lock itself).
+		s.checkpointLocked()
+	}
+	return st, nil
+}
+
+// repairNode tries to produce a good image for one bad node and rewrite it
+// at fresh space. Recovery sources, in order: a re-read of the extent that
+// decodes cleanly (the corruption was in transfer, or intermittent —
+// "readable but degrading"), then a resident cache copy serialized anew.
+// Runs under writerMu and the exclusive structure lock.
+func (s *Store) repairNode(t *Tree, id nodeID) bool {
+	ext, ok := t.bt.lookup(id)
+	if !ok {
+		return false
+	}
+	var data []byte
+	img := make([]byte, ext.len)
+	if rerr := t.f.SubmitRead(img, ext.off)(); rerr == nil {
+		s.m.retryCorrupt.Inc()
+		if n, derr := s.decodeImage(img); derr == nil && n.id == id {
+			data = img
+		}
+	}
+	if data == nil {
+		// No good bytes on the media: fall back to a resident cache copy,
+		// the current logical state of the node. Unloaded basements must be
+		// materialized first — from the old extent, which may still succeed
+		// when the corruption sits outside their ranges.
+		n, ok := s.cache.lookup(t, id, false)
+		if !ok {
+			return false
+		}
+		if n.height == 0 {
+			for bi, b := range n.basements {
+				if b.loaded {
+					continue
+				}
+				if lerr := s.loadBasement(t, n, ext, bi); lerr != nil {
+					return false
+				}
+			}
+		}
+		ni := s.prepareNodeImage(t, n)
+		data = ni.data
+		s.alloc.FreeSized(ni.buf)
+		n.dirty.Store(false)
+	}
+	ne, rerr := t.bt.relocate(id, int64(len(data)))
+	if rerr != nil {
+		return false // node file full; leave the mapping as it was
+	}
+	s.m.defectGrown.Inc()
+	s.m.defectBytes.Add(ext.len)
+	s.env.Trace("betree", "node.repair", t.name, ext.off)
+	// completeWrite handles the new extent itself landing on bad media
+	// (cascading relocation, bounded by cfg.RelocateAttempts).
+	w := &inflightWrite{t: t, id: id, ext: ne, data: data, wait: t.f.SubmitWrite(data, ne.off)}
+	if werr := s.completeWrite(w); werr != nil {
+		return false
+	}
+	return true
+}
+
+// DefectStats reports the grown-defect lists of both trees combined:
+// retired extent count and retired bytes.
+func (s *Store) DefectStats() (count, bytes int64) {
+	for _, t := range []*Tree{s.meta, s.data} {
+		c, b := t.bt.defectStats()
+		count += c
+		bytes += b
+	}
+	return count, bytes
+}
+
 // verifyExtent reads one node image and runs it through the same decode
 // path normal reads use, reporting any checksum or format failure.
 func (s *Store) verifyExtent(t *Tree, id nodeID, ext extent) error {

@@ -64,9 +64,11 @@ type Store struct {
 
 	cache   *nodeCache
 	pending map[cacheKey]*pendingRead
-	// inflight holds node-write completions not yet waited on, so
-	// serialization CPU overlaps device writes; barriers drain it.
-	inflight []stor.Wait
+	// inflight holds node writes not yet waited on, so serialization CPU
+	// overlaps device writes; barriers drain it. Each entry keeps the
+	// image and target extent so a failed write can be relocated and
+	// retried (DESIGN.md §10.6).
+	inflight []*inflightWrite
 
 	nextMSN        MSN
 	generation     uint64
@@ -141,6 +143,13 @@ type storeMetrics struct {
 	queryScan     *metrics.Counter
 	retryCorrupt  *metrics.Counter
 
+	defectGrown    *metrics.Counter
+	defectBytes    *metrics.Counter
+	defectRelocate *metrics.Counter
+	repairRun      *metrics.Counter
+	repairNode     *metrics.Counter
+	repairFail     *metrics.Counter
+
 	lockStoreShared *metrics.Counter
 	lockStoreExcl   *metrics.Counter
 	lockNodeShared  *metrics.Counter
@@ -176,6 +185,13 @@ func resolveStoreMetrics(reg *metrics.Registry) storeMetrics {
 		queryGet:      reg.Counter("betree.query.get"),
 		queryScan:     reg.Counter("betree.query.scan"),
 		retryCorrupt:  reg.Counter("io.retry.corrupt"),
+
+		defectGrown:    reg.Counter("io.defect.grown"),
+		defectBytes:    reg.Counter("io.defect.bytes"),
+		defectRelocate: reg.Counter("io.defect.relocate.write"),
+		repairRun:      reg.Counter("scrub.repair.run"),
+		repairNode:     reg.Counter("scrub.repair.node"),
+		repairFail:     reg.Counter("scrub.repair.fail"),
 
 		lockStoreShared: reg.Counter("betree.lock.store.shared"),
 		lockStoreExcl:   reg.Counter("betree.lock.store.excl"),
@@ -572,6 +588,18 @@ func (s *Store) prepareNodeImage(t *Tree, n *node) nodeImage {
 	return nodeImage{buf: buf, data: data}
 }
 
+// inflightWrite is one submitted node-image write. The image and target
+// extent are retained so a failed write can be relocated to fresh space
+// and retried before the sticky write error latches.
+type inflightWrite struct {
+	t        *Tree
+	id       nodeID
+	ext      extent
+	data     []byte
+	wait     stor.Wait
+	attempts int
+}
+
 // finishNodeWrite is the submission half: place the image in the block
 // table and hand it to the device. It mutates structural state (block
 // table, inflight) and therefore runs under the exclusive structure lock.
@@ -585,11 +613,14 @@ func (s *Store) finishNodeWrite(t *Tree, n *node, img nodeImage) {
 		ioerr.Check(err)
 	}
 	t.bt.place(n.id, ext)
-	s.inflight = append(s.inflight, t.f.SubmitWrite(data, ext.off))
+	s.inflight = append(s.inflight, &inflightWrite{
+		t: t, id: n.id, ext: ext, data: data,
+		wait: t.f.SubmitWrite(data, ext.off),
+	})
 	if len(s.inflight) > 8 {
-		werr := s.inflight[0]()
+		w := s.inflight[0]
 		s.inflight = s.inflight[1:]
-		s.devCheck(werr)
+		s.devCheck(s.completeWrite(w))
 	}
 	s.alloc.FreeSized(img.buf)
 	n.dirty.Store(false)
@@ -598,6 +629,48 @@ func (s *Store) finishNodeWrite(t *Tree, n *node, img nodeImage) {
 	s.m.nodeWrite.Inc()
 	s.m.bytesWritten.Add(int64(len(data)))
 	s.env.Trace("betree", "node.write", t.name, int64(len(data)))
+}
+
+// completeWrite waits for one node write and, on a device write error,
+// runs write-path relocation (DESIGN.md §10.6): the failed extent is
+// retired to the grown-defect list and the same image is rewritten at
+// freshly allocated space, up to cfg.RelocateAttempts times. The final
+// error — device failure that outlasted the attempt bound, or allocator
+// exhaustion during relocation — is returned for the caller to latch,
+// preserving the historical errors=remount-ro degradation. Runs under
+// the exclusive structure lock (it mutates the block table).
+func (s *Store) completeWrite(w *inflightWrite) error {
+	err := w.wait()
+	for err != nil {
+		var de *ioerr.DeviceError
+		if !errors.As(err, &de) || de.Op != "write" || de.Transient {
+			break // not a media write error (or still transient after RetryDev)
+		}
+		if w.attempts >= s.cfg.RelocateAttempts {
+			break // relocation disabled or attempt bound exhausted
+		}
+		if cur, ok := w.t.bt.lookup(w.id); !ok || cur != w.ext {
+			// The node was rewritten or deleted while this write was in
+			// flight; the failed extent backs nothing live, so there is
+			// nothing to remap — surface the error.
+			break
+		}
+		w.attempts++
+		ne, rerr := w.t.bt.relocate(w.id, int64(len(w.data)))
+		if rerr != nil {
+			break // node file full: keep the mapping intact, latch the EIO
+		}
+		s.m.defectGrown.Inc()
+		s.m.defectBytes.Add(w.ext.len)
+		s.m.defectRelocate.Inc()
+		s.env.Trace("betree", "node.relocate", w.t.name, w.ext.off)
+		w.ext = ne
+		err = w.t.f.SubmitWrite(w.data, ne.off)()
+	}
+	if err == nil {
+		w.data = nil
+	}
+	return err
 }
 
 // readNode fetches a node image from disk. If partialKey is non-nil and
@@ -837,13 +910,14 @@ func (s *Store) prefetch(t *Tree, id nodeID) {
 
 // --- durability ------------------------------------------------------------
 
-// drainWrites waits for all in-flight node writes. Every wait is drained
-// even after a failure (the completions must not leak); the first error is
-// raised afterwards.
+// drainWrites waits for all in-flight node writes, relocating failed
+// ones (completeWrite). Every wait is drained even after a failure (the
+// completions must not leak); the first unrecovered error is raised
+// afterwards.
 func (s *Store) drainWrites() {
 	var first error
 	for _, w := range s.inflight {
-		if err := w(); err != nil && first == nil {
+		if err := s.completeWrite(w); err != nil && first == nil {
 			first = err
 		}
 	}

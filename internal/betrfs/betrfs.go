@@ -751,6 +751,30 @@ func (fs *FS) maybeCheckpoint() {
 	_ = fs.store.MaybeCheckpoint()
 }
 
+// Scrub verifies every node extent of both trees (vfs.Scrubber). With
+// repair set, bad extents with a recoverable image are rewritten to fresh
+// space and the old extents retired to the grown-defect list; the new
+// mapping is checkpointed before returning (DESIGN.md §10.6).
+func (fs *FS) Scrub(repair bool) (vfs.ScrubStats, error) {
+	if repair {
+		rs, err := fs.store.ScrubRepair()
+		return vfs.ScrubStats{
+			Checked:      rs.Checked,
+			Bad:          rs.Bad,
+			Repaired:     rs.Repaired,
+			Unrepairable: rs.Unrepairable,
+		}, err
+	}
+	var st vfs.ScrubStats
+	for _, rep := range fs.store.ScrubOnline() {
+		st.Checked++
+		if rep.Err != nil {
+			st.Bad++
+		}
+	}
+	return st, nil
+}
+
 // DropCaches empties the node cache after a checkpoint.
 func (fs *FS) DropCaches() {
 	for path := range fs.pending {
@@ -762,4 +786,7 @@ func (fs *FS) DropCaches() {
 	}
 }
 
-var _ vfs.FS = (*FS)(nil)
+var (
+	_ vfs.FS       = (*FS)(nil)
+	_ vfs.Scrubber = (*FS)(nil)
+)

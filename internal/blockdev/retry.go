@@ -40,11 +40,12 @@ type RetryDev struct {
 	dev Device
 	pol RetryPolicy
 
-	mRetryRead  *metrics.Counter
-	mRetryWrite *metrics.Counter
-	mErrRead    *metrics.Counter
-	mErrWrite   *metrics.Counter
-	mErrFlush   *metrics.Counter
+	mRetryRead      *metrics.Counter
+	mRetryWrite     *metrics.Counter
+	mRetryExhausted *metrics.Counter
+	mErrRead        *metrics.Counter
+	mErrWrite       *metrics.Counter
+	mErrFlush       *metrics.Counter
 }
 
 // WithRetry wraps dev with the given retry policy.
@@ -57,14 +58,15 @@ func WithRetry(env *sim.Env, dev Device, pol RetryPolicy) *RetryDev {
 		reg = metrics.NewRegistry()
 	}
 	return &RetryDev{
-		env:         env,
-		dev:         dev,
-		pol:         pol,
-		mRetryRead:  reg.Counter("io.retry.read"),
-		mRetryWrite: reg.Counter("io.retry.write"),
-		mErrRead:    reg.Counter("io.error.read"),
-		mErrWrite:   reg.Counter("io.error.write"),
-		mErrFlush:   reg.Counter("io.error.flush"),
+		env:             env,
+		dev:             dev,
+		pol:             pol,
+		mRetryRead:      reg.Counter("io.retry.read"),
+		mRetryWrite:     reg.Counter("io.retry.write"),
+		mRetryExhausted: reg.Counter("io.retry.exhausted"),
+		mErrRead:        reg.Counter("io.error.read"),
+		mErrWrite:       reg.Counter("io.error.write"),
+		mErrFlush:       reg.Counter("io.error.flush"),
 	}
 }
 
@@ -75,6 +77,15 @@ func (d *RetryDev) Size() int64 { return d.dev.Size() }
 func (d *RetryDev) Stats() *Stats { return d.dev.Stats() }
 
 // submit runs the shared retry loop for one command.
+//
+// Counter contract (metrics assertions rely on it): io.retry.read/write
+// count RE-submissions only — a command that fails N times and then
+// succeeds counts N retries and zero errors. io.error.* counts exactly one
+// per command whose final attempt failed, whatever the attempt number.
+// io.retry.exhausted additionally counts exactly one per command whose
+// final error was still transient — the retry budget ran out — so
+// "transient fault outlasted the retry loop" and "persistent fault" are
+// distinguishable in the metrics.
 func (d *RetryDev) submit(retries, errs *metrics.Counter,
 	op func() Completion) Completion {
 	c := op()
@@ -89,6 +100,9 @@ func (d *RetryDev) submit(retries, errs *metrics.Counter,
 	}
 	if c.Err != nil {
 		errs.Inc()
+		if ioerr.IsTransient(c.Err) {
+			d.mRetryExhausted.Inc()
+		}
 	}
 	return c
 }

@@ -17,6 +17,7 @@ package faulttest
 import (
 	"fmt"
 
+	"betrfs/internal/betree"
 	"betrfs/internal/betrfs"
 	"betrfs/internal/blockdev"
 	"betrfs/internal/cowfs"
@@ -61,7 +62,15 @@ func (s *System) Counter(name string) int64 {
 // stack too, so plans aggressive enough to defeat the retry bound can
 // fail formatting; Build returns that error rather than panicking.
 func Build(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol blockdev.RetryPolicy) (*System, error) {
-	return buildWith(name, seed, scale, plan, pol, 0)
+	return buildWith(name, seed, scale, plan, pol, 0, nil)
+}
+
+// BuildTuned is Build with a hook to adjust the betrfs tree
+// configuration before the file system is constructed; the baselines
+// ignore it. The self-healing sweeps use it to disable write-path
+// relocation for negative controls.
+func BuildTuned(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol blockdev.RetryPolicy, tune func(*betree.Config)) (*System, error) {
+	return buildWith(name, seed, scale, plan, pol, 0, tune)
 }
 
 // BuildConcurrent is Build with the concurrency layer switched on: the
@@ -75,12 +84,13 @@ func BuildConcurrent(name string, seed uint64, scale int64, plan blockdev.FaultP
 	if workers < 1 {
 		workers = 1
 	}
-	return buildWith(name, seed, scale, plan, pol, workers)
+	return buildWith(name, seed, scale, plan, pol, workers, nil)
 }
 
 // buildWith constructs the system; workers == 0 means the deterministic
-// single-goroutine configuration, workers >= 1 the concurrent one.
-func buildWith(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol blockdev.RetryPolicy, workers int) (*System, error) {
+// single-goroutine configuration, workers >= 1 the concurrent one. A
+// non-nil tune hook edits the betrfs tree config before construction.
+func buildWith(name string, seed uint64, scale int64, plan blockdev.FaultPlan, pol blockdev.RetryPolicy, workers int, tune func(*betree.Config)) (*System, error) {
 	env := sim.NewEnv(seed)
 	concurrent := workers > 0
 	if concurrent {
@@ -103,6 +113,9 @@ func buildWith(name string, seed uint64, scale int64, plan blockdev.FaultPlan, p
 		lower := extfs.New(env, retry, extfs.Ext4Profile())
 		cfg := betrfs.V04Config()
 		cfg.Tree.Concurrent = concurrent
+		if tune != nil {
+			tune(&cfg.Tree)
+		}
 		bfs, err := betrfs.New(env, kmem.New(env, true), cfg,
 			southbound.New(env, lower, southbound.DefaultLayout(dev.Size())))
 		if err != nil {
@@ -116,6 +129,9 @@ func buildWith(name string, seed uint64, scale int64, plan blockdev.FaultPlan, p
 		}
 		cfg := betrfs.V06Config()
 		cfg.Tree.Concurrent = concurrent
+		if tune != nil {
+			tune(&cfg.Tree)
+		}
 		bfs, err := betrfs.New(env, kmem.New(env, true), cfg, b)
 		if err != nil {
 			return nil, fmt.Errorf("faulttest: %s: %w", name, err)

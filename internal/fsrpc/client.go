@@ -1,10 +1,20 @@
 package fsrpc
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 )
+
+// ErrPoisoned marks a client whose transport broke mid-protocol: a frame
+// was cut short, a reply arrived out of order, or the stream closed. Every
+// error returned from a poisoned client wraps it (errors.Is reports it),
+// so callers can distinguish "this call failed" (a status error, safe to
+// retry) from "this connection is unusable" and implement a reconnect with
+// Reset. See DESIGN.md §11 for the idempotency caveat on resending the
+// poisoning call after a reconnect.
+var ErrPoisoned = errors.New("fsrpc: client poisoned")
 
 // Client drives the fsrpc protocol over any byte stream. Calls are
 // synchronous and serialized: one request is on the wire at a time, which
@@ -29,14 +39,33 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dead == nil {
-		c.dead = fmt.Errorf("fsrpc: client closed")
+		c.dead = fmt.Errorf("%w: client closed", ErrPoisoned)
 	}
 	return c.rw.Close()
 }
 
+// Reset replaces the transport with a freshly established connection and
+// clears the poisoned state, so a caller that detected ErrPoisoned can
+// redial and keep using the same Client. The old transport is closed
+// (best-effort) and the tag sequence restarts: the new connection is a new
+// server session, so handles opened on the old one are gone and in-flight
+// effects of the poisoning call are unknown (DESIGN.md §11 — non-idempotent
+// calls such as Create or Write may or may not have been applied).
+func (c *Client) Reset(rw io.ReadWriteCloser) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rw != nil && c.rw != rw {
+		_ = c.rw.Close()
+	}
+	c.rw = rw
+	c.tag = 0
+	c.dead = nil
+}
+
 // call sends q and waits for its reply, checking tag and op echo. A
 // transport error (as opposed to a status error) poisons the client: the
-// stream cannot be resynchronized after a partial frame.
+// stream cannot be resynchronized after a partial frame. Poisoning errors
+// wrap ErrPoisoned; Reset clears the state after a redial.
 func (c *Client) call(q *Request) (*Reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -46,22 +75,22 @@ func (c *Client) call(q *Request) (*Reply, error) {
 	c.tag++
 	q.Tag = c.tag
 	if err := WriteFrame(c.rw, q.Encode()); err != nil {
-		c.dead = fmt.Errorf("fsrpc: send: %w", err)
+		c.dead = fmt.Errorf("%w: send: %w", ErrPoisoned, err)
 		return nil, c.dead
 	}
 	payload, err := ReadFrame(c.rw)
 	if err != nil {
-		c.dead = fmt.Errorf("fsrpc: recv: %w", err)
+		c.dead = fmt.Errorf("%w: recv: %w", ErrPoisoned, err)
 		return nil, c.dead
 	}
 	r, err := DecodeReply(payload)
 	if err != nil {
-		c.dead = err
-		return nil, err
+		c.dead = fmt.Errorf("%w: %w", ErrPoisoned, err)
+		return nil, c.dead
 	}
 	if r.Tag != q.Tag || r.Op != q.Op {
-		c.dead = fmt.Errorf("%w: reply tag/op mismatch (got %s tag %d, want %s tag %d)",
-			ErrProto, r.Op, r.Tag, q.Op, q.Tag)
+		c.dead = fmt.Errorf("%w: %w: reply tag/op mismatch (got %s tag %d, want %s tag %d)",
+			ErrPoisoned, ErrProto, r.Op, r.Tag, q.Op, q.Tag)
 		return nil, c.dead
 	}
 	if r.Status != StatusOK {

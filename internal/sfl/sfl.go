@@ -124,6 +124,18 @@ func (s *SFL) File(name string) stor.File {
 // Layout returns the static partitioning.
 func (s *SFL) Layout() Layout { return s.layout }
 
+// DevOffset translates a file-relative offset to the absolute device
+// offset, for tools that inject faults at (or reason about) the device
+// level: betrfsck and the fault harness place bad ranges under specific
+// node extents this way. Unknown names panic like File.
+func (s *SFL) DevOffset(name string, off int64) int64 {
+	f, ok := s.files[name]
+	if !ok {
+		panic(fmt.Sprintf("sfl: unknown file %q", name))
+	}
+	return f.base + off
+}
+
 // Names returns the file names in layout order (for tools).
 func (s *SFL) Names() []string {
 	names := make([]string, 0, len(s.files))

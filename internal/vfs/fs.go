@@ -29,6 +29,10 @@ var (
 	ErrNotDir   = errors.New("vfs: not a directory")
 	ErrIsDir    = errors.New("vfs: is a directory")
 	ErrNotEmpty = errors.New("vfs: directory not empty")
+	// ErrNotSupported is EOPNOTSUPP: the mounted FS does not implement the
+	// requested optional interface (e.g. Scrubber on the simulated
+	// baselines).
+	ErrNotSupported = errors.New("vfs: operation not supported")
 )
 
 // Errno-style I/O errors, aliased from ioerr so workloads can classify
@@ -47,6 +51,22 @@ var (
 // Handle is a file-system-specific node reference: BetrFS uses full paths,
 // the inode-based file systems use inode numbers.
 type Handle interface{}
+
+// ScrubStats summarizes one online scrub (Mount.Scrub) pass.
+type ScrubStats struct {
+	Checked      int64 // on-disk structures verified
+	Bad          int64 // structures whose verification failed
+	Repaired     int64 // bad structures rewritten to fresh space (repair mode)
+	Unrepairable int64 // bad structures with no recoverable copy
+}
+
+// Scrubber is the optional FS interface behind Mount.Scrub: verify every
+// on-disk structure's checksums and, with repair set, relocate the bad
+// ones that still have a recoverable copy (DESIGN.md §10.6). File systems
+// that do not implement it surface ErrNotSupported from Mount.Scrub.
+type Scrubber interface {
+	Scrub(repair bool) (ScrubStats, error)
+}
 
 // Attr is the stat metadata of a file or directory.
 type Attr struct {

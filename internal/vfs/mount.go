@@ -620,6 +620,28 @@ func (m *Mount) syncLocked() error {
 	return m.reportWbErr(nil)
 }
 
+// Scrub verifies every on-disk structure of the mounted FS and, with
+// repair set, relocates what can be recovered (see the Scrubber
+// interface). Dirty state is written back first so the scrub sees — and
+// repair mode preserves — the mount's current contents; the results of a
+// repair pass are durable when Scrub returns. File systems without scrub
+// support return ErrNotSupported.
+func (m *Mount) Scrub(repair bool) (ScrubStats, error) {
+	m.lock()
+	defer m.unlock()
+	sc, ok := m.fs.(Scrubber)
+	if !ok {
+		return ScrubStats{}, ErrNotSupported
+	}
+	m.chargeSyscall()
+	if repair {
+		if err := m.syncLocked(); err != nil {
+			return ScrubStats{}, err
+		}
+	}
+	return sc.Scrub(repair)
+}
+
 // Writeback pushes every dirty page and inode attribute to the file
 // system without a durability barrier — the state the device sees when
 // background writeback has run but no flush was issued. Crash-test
