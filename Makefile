@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race crashtest scrub repair faults bench-json serve
+.PHONY: check vet build test race crashtest scrub repair faults bench-json serve aging
 
-check: vet build race crashtest scrub repair faults serve bench-json
+check: vet build race crashtest scrub repair faults serve aging bench-json
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +80,19 @@ serve:
 		./internal/fsrpc/ ./internal/fsserve/ ./internal/faulttest/ ./internal/bench/
 	$(GO) run ./cmd/betrbench -serve -clients 4 -scale 256 -o BENCH_serve.json > /dev/null
 	$(GO) run ./cmd/betrbench -validate BENCH_serve.json
+
+# FTL aging rung (DESIGN.md §12): discard plumbing correctness under
+# the race detector — the crash sweeps over FTL-backed stacks, the
+# betree trim-queue rejection/two-generation tests, the FTL unit suite
+# — then the pinned write-amplification invariance test, and a fast
+# two-system aging run whose schema-v3 JSON must validate.
+aging:
+	$(GO) test -race -count=1 -run 'Discard|Trim|WAF|GC|FTL|PassThrough|SequentialOverwrite|Composes|CountersDeterministic|SubPage' \
+		./internal/ftl/ ./internal/crashtest/ ./internal/betree/ ./internal/bench/
+	$(GO) run ./cmd/betrbench -aging -scale 4096 -systems f2fs,btrfs \
+		-o BENCH_aging_smoke.json > /dev/null
+	$(GO) run ./cmd/betrbench -validate BENCH_aging_smoke.json
+	rm -f BENCH_aging_smoke.json
 
 # Scaled microbenchmark run with machine-readable output: writes
 # BENCH_micro.json and fails unless the document round-trips the schema

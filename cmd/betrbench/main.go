@@ -48,6 +48,8 @@ func main() {
 	clients := flag.Int("clients", 0, "run N concurrent client goroutines against one mount per system instead of the paper tables")
 	serve := flag.Bool("serve", false, "drive -clients N sessions through the fsrpc wire path per system (deterministic with -workers 1)")
 	serveWorkers := flag.Int("workers", 1, "server request workers for -serve (1 = deterministic round-robin mode)")
+	aging := flag.Bool("aging", false, "run the FTL aging rung: create/delete churn past the over-provisioning point, TRIM vs no-TRIM control")
+	agingChurn := flag.Float64("churn", 0, "aging churn volume as a multiple of device capacity (default 2.5)")
 	flag.Parse()
 
 	if *validate != "" {
@@ -77,6 +79,8 @@ func main() {
 	opts := runOpts{json: *jsonOut, outPath: *outPath, scale: *scale, parallel: *parallel}
 	ok := true
 	switch {
+	case *aging:
+		ok = runAging(pick(bench.ServeSystems), opts, *agingChurn)
 	case *serve:
 		ok = runServe(pick(bench.ServeSystems), opts, *clients, *serveWorkers)
 	case *clients > 0:
@@ -280,6 +284,43 @@ func runServe(systems []string, o runOpts, clients, workers int) bool {
 	if o.json && len(rows) > 0 {
 		d := bench.ServeDoc("serve", o.scale, rows, snaps)
 		ok = writeDoc(d, o.jsonPath("serve")) && ok
+	}
+	return ok
+}
+
+// runAging drives the FTL churn rung: per system, identical create/delete
+// churn against the TRIM-aware stack and a no-discard control FTL, so the
+// table contrasts the aged write-amplification factors directly.
+func runAging(systems []string, o runOpts, churn float64) bool {
+	cfg := bench.DefaultAgingConfig()
+	if churn > 0 {
+		cfg.WriteMultiple = churn
+	}
+	fmt.Printf("FTL aging rung: %.1fx capacity churn, %d KiB files, scale 1/%d\n\n",
+		cfg.WriteMultiple, cfg.FileBytes>>10, o.scale)
+	var rows []bench.AgingResult
+	var snaps []metrics.Snapshot
+	ok := true
+	for _, s := range systems {
+		fmt.Fprintf(os.Stderr, "aging %s...\n", s)
+		err := runSystem(s, func() {
+			r, snap := bench.RunAging(s, o.scale, cfg)
+			for _, e := range r.Errors {
+				fmt.Fprintf(os.Stderr, "betrbench: %s: %s\n", s, e)
+				ok = false
+			}
+			rows = append(rows, r)
+			snaps = append(snaps, snap)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "betrbench: %v\n", err)
+			ok = false
+		}
+	}
+	bench.WriteAgingTable(os.Stdout, rows)
+	if o.json && len(rows) > 0 {
+		d := bench.AgingDoc("aging", o.scale, cfg, rows, snaps)
+		ok = writeDoc(d, o.jsonPath("aging")) && ok
 	}
 	return ok
 }

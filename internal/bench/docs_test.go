@@ -12,7 +12,7 @@ import (
 
 // metricNameRE matches a backticked metric name in the docs: a known
 // layer prefix followed by dot-separated lower-case segments.
-var metricNameRE = regexp.MustCompile("`((?:betree|wal|sfl|southbound|blockdev|kmem|vfs|betrfs|flusher|io|scrub)\\.[a-z0-9_.]+)`")
+var metricNameRE = regexp.MustCompile("`((?:betree|wal|sfl|southbound|blockdev|kmem|vfs|betrfs|flusher|io|scrub|ftl)\\.[a-z0-9_.]+)`")
 
 // documentedMetrics extracts every metric name mentioned in the given
 // markdown files.

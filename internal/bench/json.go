@@ -26,7 +26,12 @@ import (
 //	    `io.defect.*` and `scrub.repair.*` in their metric snapshots, so
 //	    the benchmark trajectory records grown defects and repairs;
 //	    Validate enforces their presence
-const SchemaVersion = 2
+//	3 — systems run over the simulated FTL (identified by the
+//	    `ftl.write.host.bytes` marker counter) guarantee the full flash
+//	    lifetime family — `ftl.write.*`, `ftl.gc.*`, `ftl.erase.count`,
+//	    `ftl.trim.*` — plus the `io.waf` write-amplification gauge;
+//	    adds the "aging" kind and its `aging` config section
+const SchemaVersion = 3
 
 // Doc is one benchmark run: a set of columns measured across a set of
 // systems, plus per-system metric snapshots.
@@ -47,6 +52,21 @@ type Doc struct {
 	// wire-path run's client/worker configuration. Optional and additive
 	// like Parallel, so it needs no SchemaVersion bump of its own.
 	Serve *ServeInfo `json:"serve,omitempty"`
+	// Aging is present when Kind is "aging" (betrbench -aging): the
+	// churn rung's workload configuration (schema v3).
+	Aging *AgingInfo `json:"aging,omitempty"`
+}
+
+// AgingInfo records the aging-rung configuration: the create/delete churn
+// that pushes the FTL past its over-provisioning point. Deterministic
+// marks the single-worker mode whose documents are bit-identical run to
+// run at a fixed seed.
+type AgingInfo struct {
+	FileBytes     int64   `json:"file_bytes"`
+	WorkingSet    int     `json:"working_set"`    // files held live during churn
+	WriteMultiple float64 `json:"write_multiple"` // churn volume as a multiple of device capacity
+	Seed          int64   `json:"seed"`
+	Deterministic bool    `json:"deterministic"`
 }
 
 // ServeInfo records the serve-bench configuration. Deterministic marks the
@@ -156,6 +176,35 @@ func ServeDoc(name string, scale int64, rows []ServeResult, snaps []metrics.Snap
 	return d
 }
 
+// AgingDoc assembles a Doc from aging-rung rows; snaps[i] belongs to
+// rows[i].
+func AgingDoc(name string, scale int64, cfg AgingConfig, rows []AgingResult, snaps []metrics.Snapshot) *Doc {
+	d := &Doc{SchemaVersion: SchemaVersion, Name: name, Kind: "aging", Scale: scale}
+	for _, c := range agingColumns {
+		d.Columns = append(d.Columns, ColumnMeta{Name: c.Name, Unit: c.Unit, Better: better(c.Lower)})
+	}
+	for i, r := range rows {
+		sr := SystemResult{System: r.System}
+		for _, c := range agingColumns {
+			sr.Cells = append(sr.Cells, CellJSON{Name: c.Name, Value: c.Get(r)})
+		}
+		if i < len(snaps) {
+			sr.Metrics = snaps[i]
+		}
+		d.Systems = append(d.Systems, sr)
+		if d.Aging == nil {
+			d.Aging = &AgingInfo{
+				FileBytes:     r.FileBytes,
+				WorkingSet:    r.WorkingSet,
+				WriteMultiple: cfg.WriteMultiple,
+				Seed:          cfg.Seed,
+				Deterministic: true,
+			}
+		}
+	}
+	return d
+}
+
 // Marshal renders the document exactly as WriteFile stores it.
 func (d *Doc) Marshal() ([]byte, error) {
 	b, err := json.MarshalIndent(d, "", "  ")
@@ -195,8 +244,8 @@ func Validate(data []byte) (*Doc, error) {
 	if d.Name == "" {
 		return nil, fmt.Errorf("bench json: empty name")
 	}
-	if d.Kind != "micro" && d.Kind != "apps" && d.Kind != "serve" {
-		return nil, fmt.Errorf("bench json: kind %q, want \"micro\", \"apps\", or \"serve\"", d.Kind)
+	if d.Kind != "micro" && d.Kind != "apps" && d.Kind != "serve" && d.Kind != "aging" {
+		return nil, fmt.Errorf("bench json: kind %q, want \"micro\", \"apps\", \"serve\", or \"aging\"", d.Kind)
 	}
 	if d.Kind == "serve" && d.Serve == nil {
 		return nil, fmt.Errorf("bench json: kind \"serve\" requires a serve section")
@@ -207,6 +256,18 @@ func Validate(data []byte) (*Doc, error) {
 		}
 		if d.Serve.Clients < 1 || d.Serve.Workers < 1 {
 			return nil, fmt.Errorf("bench json: serve section clients %d / workers %d, want >= 1", d.Serve.Clients, d.Serve.Workers)
+		}
+	}
+	if d.Kind == "aging" && d.Aging == nil {
+		return nil, fmt.Errorf("bench json: kind \"aging\" requires an aging section")
+	}
+	if d.Aging != nil {
+		if d.Kind != "aging" {
+			return nil, fmt.Errorf("bench json: aging section on kind %q document", d.Kind)
+		}
+		if d.Aging.FileBytes < 1 || d.Aging.WorkingSet < 1 || d.Aging.WriteMultiple <= 0 {
+			return nil, fmt.Errorf("bench json: aging section file_bytes %d / working_set %d / write_multiple %g, want positive",
+				d.Aging.FileBytes, d.Aging.WorkingSet, d.Aging.WriteMultiple)
 		}
 	}
 	if d.Scale < 1 {
@@ -253,6 +314,23 @@ func Validate(data []byte) (*Doc, error) {
 				if _, ok := s.Metrics.Counters[key]; !ok {
 					return nil, fmt.Errorf("bench json: betree-backed system %q missing %s in its metric snapshot", s.System, key)
 				}
+			}
+		}
+		// Schema v3: rows produced over the simulated FTL (identified by
+		// its always-registered host-write counter) must carry the full
+		// flash lifetime family and the write-amplification gauge, so
+		// downstream tooling can chart WAF and wear without probing.
+		if _, ftl := s.Metrics.Counters["ftl.write.host.bytes"]; ftl {
+			for _, key := range []string{
+				"ftl.write.flash.bytes", "ftl.gc.run", "ftl.gc.moved.pages",
+				"ftl.gc.moved.bytes", "ftl.erase.count", "ftl.trim.count", "ftl.trim.bytes",
+			} {
+				if _, ok := s.Metrics.Counters[key]; !ok {
+					return nil, fmt.Errorf("bench json: FTL-backed system %q missing %s in its metric snapshot", s.System, key)
+				}
+			}
+			if _, ok := s.Metrics.Gauges["io.waf"]; !ok {
+				return nil, fmt.Errorf("bench json: FTL-backed system %q missing the io.waf gauge in its metric snapshot", s.System)
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"betrfs/internal/blockdev"
 	"betrfs/internal/cowfs"
 	"betrfs/internal/extfs"
+	"betrfs/internal/ftl"
 	"betrfs/internal/kmem"
 	"betrfs/internal/logfs"
 	"betrfs/internal/sfl"
@@ -34,11 +35,15 @@ var Ladder = []string{
 	"betrfs+PGSH", "betrfs+DC", "betrfs+CL", "betrfs+QRY",
 }
 
-// Instance is one mounted system under test.
+// Instance is one mounted system under test. Dev is the raw simulated
+// device (crash and corruption injection operate on it directly); FTL is
+// the flash translation layer the file system actually writes through,
+// carrying the device-lifetime ledger (io.waf, ftl.* — DESIGN.md §12).
 type Instance struct {
 	Name  string
 	Env   *sim.Env
 	Dev   *blockdev.Dev
+	FTL   *ftl.Dev
 	Mount *vfs.Mount
 }
 
@@ -65,6 +70,12 @@ func BuildConcurrent(name string, scale int64, workers int) *Instance {
 // buildWith constructs the system; workers == 0 means the deterministic
 // single-goroutine configuration, workers >= 1 the concurrent one.
 func buildWith(name string, scale int64, workers int) *Instance {
+	return buildFTL(name, scale, workers, ftl.DefaultConfig())
+}
+
+// buildFTL is buildWith with an explicit FTL configuration (the aging
+// rung uses it to build TRIM-aware and TRIM-blind twins of a system).
+func buildFTL(name string, scale int64, workers int, fcfg ftl.Config) *Instance {
 	env := sim.NewEnv(1)
 	concurrent := workers > 0
 	if concurrent {
@@ -75,6 +86,10 @@ func buildWith(name string, scale int64, workers int) *Instance {
 		profile = blockdev.ToshibaDT01()
 	}
 	dev := blockdev.New(env, profile.Scale(scale))
+	// Every system mounts over a simulated FTL, so all bench rows carry
+	// the device-lifetime ledger. The default configuration is
+	// timing-free (zero latencies), keeping golden cells bit-identical.
+	fdev := ftl.New(env, dev, fcfg)
 
 	ramBytes := (32 << 30) / scale // the testbed's 32 GB, scaled
 	vcfg := vfs.DefaultConfig()
@@ -84,21 +99,21 @@ func buildWith(name string, scale int64, workers int) *Instance {
 	var fs vfs.FS
 	switch name {
 	case "ext4", "ext4-hdd":
-		fs = extfs.New(env, dev, extfs.Ext4Profile())
+		fs = extfs.New(env, fdev, extfs.Ext4Profile())
 	case "xfs":
-		fs = extfs.New(env, dev, extfs.XFSProfile())
+		fs = extfs.New(env, fdev, extfs.XFSProfile())
 	case "f2fs":
-		fs = logfs.New(env, dev)
+		fs = logfs.New(env, fdev)
 	case "btrfs":
-		fs = cowfs.New(env, dev, cowfs.BtrfsProfile())
+		fs = cowfs.New(env, fdev, cowfs.BtrfsProfile())
 	case "zfs":
-		fs = cowfs.New(env, dev, cowfs.ZFSProfile())
+		fs = cowfs.New(env, fdev, cowfs.ZFSProfile())
 	default:
-		fs = buildBetrFS(env, dev, name, ramBytes, concurrent)
+		fs = buildBetrFS(env, fdev, name, ramBytes, concurrent)
 		// BetrFS splits RAM between the node cache and the page cache.
 		vcfg.CacheBytes = ramBytes / 2
 	}
-	return &Instance{Name: name, Env: env, Dev: dev, Mount: vfs.NewMount(env, fs, vcfg)}
+	return &Instance{Name: name, Env: env, Dev: dev, FTL: fdev, Mount: vfs.NewMount(env, fs, vcfg)}
 }
 
 // ladderConfig returns the cumulative betrfs configuration for a ladder
@@ -155,7 +170,7 @@ func ladderConfig(name string) (cfg betrfs.Config, useSFL bool) {
 	return cfg, useSFL
 }
 
-func buildBetrFS(env *sim.Env, dev *blockdev.Dev, name string, ramBytes int64, concurrent bool) vfs.FS {
+func buildBetrFS(env *sim.Env, dev blockdev.Device, name string, ramBytes int64, concurrent bool) vfs.FS {
 	cfg, useSFL := ladderConfig(name)
 	cfg.Tree.CacheBytes = ramBytes / 2
 	cfg.Tree.Concurrent = concurrent

@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// goldenWAF4096 pins the aged write-amplification gauge (io.waf, in
+// milli) of the TRIM-aware churn rung at scale 4096 for the two fastest
+// discard-wired systems. Like the golden Table 1 cells, the deterministic
+// single-worker mode admits no tolerance: the churn sequence, the FTL's
+// greedy victim selection, and therefore the final gauge are a pure
+// function of the seed. Regenerate with:
+// go run ./cmd/betrbench -aging -scale 4096 -systems f2fs,btrfs
+// (and update this table in the same commit, explaining the change).
+var goldenWAF4096 = map[string]int64{
+	"f2fs":  1070,
+	"btrfs": 1087,
+}
+
+// TestWAFDeterministic asserts two fresh aging runs produce bit-identical
+// FTL ledgers, and that the TRIM-run WAF matches the pinned golden value.
+func TestWAFDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultAgingConfig()
+	for system, want := range goldenWAF4096 {
+		snap1, _, errs1 := runAgingOnce(system, 4096, cfg, false)
+		snap2, _, errs2 := runAgingOnce(system, 4096, cfg, false)
+		if len(errs1) > 0 || len(errs2) > 0 {
+			t.Fatalf("%s: aging errors: %v %v", system, errs1, errs2)
+		}
+		if got1, got2 := snap1.Gauges["io.waf"], snap2.Gauges["io.waf"]; got1 != got2 {
+			t.Errorf("%s: io.waf diverged across identical runs: %d vs %d", system, got1, got2)
+		} else if got1 != want {
+			t.Errorf("%s: io.waf = %d milli, pinned %d", system, got1, want)
+		}
+		for _, k := range []string{"ftl.write.host.bytes", "ftl.write.flash.bytes", "ftl.erase.count", "ftl.gc.moved.pages", "ftl.trim.bytes"} {
+			if snap1.Counters[k] != snap2.Counters[k] {
+				t.Errorf("%s: counter %s diverged: %d vs %d", system, k, snap1.Counters[k], snap2.Counters[k])
+			}
+		}
+	}
+}

@@ -36,6 +36,12 @@ type blockTable struct {
 	// error, never returned to the free list. Persisted with the table so
 	// a remount does not re-allocate known-bad space (DESIGN.md §10.6).
 	defects []extent
+	// onFree, when set, observes every extent the moment it returns to
+	// the free list — the single point where betree space becomes dead.
+	// The store uses it to hand freed extents to the device as TRIMs
+	// (DESIGN.md §12). Retired (defect) extents never pass through here:
+	// they are never freed, so they are never discarded.
+	onFree func(extent)
 }
 
 const blockAlign = 4096
@@ -86,6 +92,21 @@ func (bt *blockTable) release(e extent) {
 		bt.free[i-1].len += bt.free[i].len
 		bt.free = append(bt.free[:i], bt.free[i+1:]...)
 	}
+	if bt.onFree != nil {
+		bt.onFree(e)
+	}
+}
+
+// freeContains reports whether e lies entirely within free space. Because
+// the free list never overlaps entries, deferred extents, or defects,
+// containment here proves e maps no live data.
+func (bt *blockTable) freeContains(e extent) bool {
+	i := sort.Search(len(bt.free), func(i int) bool { return bt.free[i].off > e.off })
+	if i == 0 {
+		return false
+	}
+	f := bt.free[i-1]
+	return e.off+e.len <= f.off+f.len
 }
 
 // place records a fresh extent for node id, handling the copy-on-write

@@ -1,0 +1,74 @@
+package betree
+
+import (
+	"testing"
+)
+
+// TestDiscardRejectsMappedExtent hands the trim queue an extent the block
+// table still maps: the structural guard must refuse to discard it, count
+// the rejection, and leave the node data intact.
+func TestDiscardRejectsMappedExtent(t *testing.T) {
+	env, _, _, s := corruptStore(t, nil)
+	for i := 0; i < 200; i++ {
+		s.Data().Put(k(i), v(i, 64), LogAuto)
+	}
+	s.Checkpoint()
+
+	tree := s.data
+	leaf := largestLeaf(t, s)
+	mapped := extent{off: leaf.Off, len: leaf.Len}
+	// Prepend: the queue is ordered by safeGen and scanned from the front.
+	tree.trimq = append([]trimCand{{e: mapped, safeGen: 0}}, tree.trimq...)
+	tree.flushTrimQueue(s.generation)
+
+	snap := env.Metrics.Snapshot()
+	if got := snap.Counters["betree.discard.rejected"]; got != 1 {
+		t.Fatalf("betree.discard.rejected = %d, want 1", got)
+	}
+	for i := 0; i < 200; i++ {
+		got, found, err := s.Data().Get(k(i))
+		if err != nil || !found || len(got) != 64 {
+			t.Fatalf("key %d unreadable after rejected discard: %v", i, err)
+		}
+	}
+}
+
+// TestDiscardAgesTwoGenerations frees tree space (via overwrite churn) and
+// verifies no discard is issued until two further checkpoints commit —
+// while either reachable superblock slot might still reference a freed
+// extent, the trim must wait.
+func TestDiscardAgesTwoGenerations(t *testing.T) {
+	env, _, _, s := corruptStore(t, nil)
+	big := make([]byte, 2048)
+	for i := range big {
+		big[i] = byte(1 + i%255)
+	}
+	for i := 0; i < 500; i++ {
+		s.Data().Put(k(i), big, LogAuto)
+	}
+	s.Checkpoint() // gen G: population durable
+
+	for i := 0; i < 500; i++ {
+		s.Data().Put(k(i), big, LogAuto)
+	}
+	s.Checkpoint() // gen G+1: rewrites defer-free the old nodes
+	queued := len(s.data.trimq) + len(s.meta.trimq)
+	if queued == 0 {
+		t.Fatal("overwrite churn queued no trim candidates")
+	}
+	base := env.Metrics.Snapshot().Counters["betree.discard.count"]
+
+	s.Checkpoint() // gen G+2
+	s.Checkpoint() // gen G+3: candidates from G+1 (safe at G+3) may fire
+	after := env.Metrics.Snapshot().Counters["betree.discard.count"]
+	if after <= base {
+		t.Fatalf("no discards fired after two aging checkpoints (count %d -> %d)", base, after)
+	}
+
+	for i := 0; i < 500; i++ {
+		got, found, err := s.Data().Get(k(i))
+		if err != nil || !found || len(got) != len(big) {
+			t.Fatalf("key %d lost after aged discards: %v", i, err)
+		}
+	}
+}

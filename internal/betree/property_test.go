@@ -58,9 +58,9 @@ func TestRandomOpsAgainstModel(t *testing.T) {
 			env := sim.NewEnv(seed)
 			dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
 			backend, berr := sfl.NewDefault(env, dev)
-	if berr != nil {
-		panic(berr)
-	}
+			if berr != nil {
+				panic(berr)
+			}
 			cfg := DefaultConfig()
 			cfg.NodeSize = 32 << 10
 			cfg.BasementSize = 2 << 10
@@ -208,9 +208,9 @@ func TestCrashInjection(t *testing.T) {
 			dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(64))
 			dev.EnableCrashTracking()
 			backend, berr := sfl.NewDefault(env, dev)
-	if berr != nil {
-		panic(berr)
-	}
+			if berr != nil {
+				panic(berr)
+			}
 			cfg := DefaultConfig()
 			cfg.NodeSize = 32 << 10
 			cfg.CacheBytes = 1 << 20

@@ -150,6 +150,10 @@ type storeMetrics struct {
 	repairNode     *metrics.Counter
 	repairFail     *metrics.Counter
 
+	discardCount    *metrics.Counter
+	discardBytes    *metrics.Counter
+	discardRejected *metrics.Counter
+
 	lockStoreShared *metrics.Counter
 	lockStoreExcl   *metrics.Counter
 	lockNodeShared  *metrics.Counter
@@ -192,6 +196,10 @@ func resolveStoreMetrics(reg *metrics.Registry) storeMetrics {
 		repairRun:      reg.Counter("scrub.repair.run"),
 		repairNode:     reg.Counter("scrub.repair.node"),
 		repairFail:     reg.Counter("scrub.repair.fail"),
+
+		discardCount:    reg.Counter("betree.discard.count"),
+		discardBytes:    reg.Counter("betree.discard.bytes"),
+		discardRejected: reg.Counter("betree.discard.rejected"),
 
 		lockStoreShared: reg.Counter("betree.lock.store.shared"),
 		lockStoreExcl:   reg.Counter("betree.lock.store.excl"),
@@ -362,6 +370,8 @@ func Open(env *sim.Env, alloc *kmem.Allocator, cfg Config, backend Backend) (*St
 	s.cache.mDeferred = reg.Counter("flusher.writeback.deferred")
 	s.meta = newTree(s, "meta", backend.File("meta"))
 	s.data = newTree(s, "data", backend.File("data"))
+	s.meta.bt.onFree = s.meta.discardFreed
+	s.data.bt.onFree = s.data.discardFreed
 
 	gen, payload, ok, sbErr := s.readSuperblock()
 	if sbErr != nil {
@@ -1000,8 +1010,14 @@ func (s *Store) checkpointLocked() {
 		s.devCheck(t.f.Flush())
 	}
 	s.writeSuperblock()
+	// The superblock just made durable, together with the one still in
+	// the other slot, bounds every state recovery can select. Log space
+	// below the OLDER slot's recovery hint and extents free across both
+	// generations can now be handed back to the device as TRIMs.
+	s.log.DiscardReclaimed()
 	for _, t := range []*Tree{s.meta, s.data} {
 		t.bt.checkpointCommitted()
+		t.flushTrimQueue(s.generation)
 	}
 	s.log.Reclaim(checkpointLSN)
 	s.unloggedData = false
@@ -1146,6 +1162,7 @@ func (s *Store) loadSuperblock(payload []byte) (wal.Hint, error) {
 		}
 		payload = payload[btLen:]
 		t.bt = bt
+		bt.onFree = t.discardFreed
 	}
 	return hint, nil
 }

@@ -49,6 +49,10 @@ type Tree struct {
 	// reads and tells the tree, which prefetches upcoming basements.
 	// Atomic: clients set it while readers check it.
 	seqHint atomic.Bool
+
+	// trimq holds freed extents aging toward TRIM eligibility (see
+	// discardFreed); ordered by nondecreasing safeGen.
+	trimq []trimCand
 }
 
 func newTree(s *Store, name string, f stor.File) *Tree {
@@ -67,6 +71,51 @@ func newTree(s *Store, name string, f stor.File) *Tree {
 
 // Name returns the index name ("meta" or "data").
 func (t *Tree) Name() string { return t.name }
+
+// trimCand is a freed extent queued for TRIM once enough superblock
+// generations have passed that no durable tree can reference it.
+type trimCand struct {
+	e       extent
+	safeGen uint64
+}
+
+// discardFreed queues a freed extent for TRIM. Wired as bt.onFree, so it
+// fires at the single point betree space dies: a release into the free
+// list. The extent is NOT trimmed immediately: the store keeps two
+// superblock generations and Open falls back to the older one when the
+// newer slot is corrupt, so an extent freed while generation G is current
+// may still be referenced by the on-disk generation G-1 tree. Trimming is
+// deferred until two more generations are durable (safeGen = G+2), at
+// which point neither reachable superblock slot references the space.
+func (t *Tree) discardFreed(e extent) {
+	t.trimq = append(t.trimq, trimCand{e: e, safeGen: t.store.generation + 2})
+}
+
+// flushTrimQueue trims every queued extent whose safe generation has been
+// reached. Called from the checkpoint after the new superblock is
+// durable; gen is the just-committed generation. The guard is structural
+// — only space the free list fully contains may be discarded, so an
+// extent reallocated while it aged in the queue (or a caller handing in a
+// still-mapped extent) is rejected and counted instead of zeroing live
+// data (DESIGN.md §12). Discard failures are advisory: the space is
+// simply not handed back until it is overwritten.
+func (t *Tree) flushTrimQueue(gen uint64) {
+	s := t.store
+	i := 0
+	for ; i < len(t.trimq) && t.trimq[i].safeGen <= gen; i++ {
+		e := t.trimq[i].e
+		if !t.bt.freeContains(e) {
+			s.m.discardRejected.Inc()
+			continue
+		}
+		if err := t.f.Discard(e.off, e.len); err != nil {
+			continue
+		}
+		s.m.discardCount.Inc()
+		s.m.discardBytes.Add(e.len)
+	}
+	t.trimq = t.trimq[i:]
+}
 
 // Stats returns per-tree counters.
 func (t *Tree) Stats() *TreeStats { return &t.stats }

@@ -53,6 +53,13 @@ type Device interface {
 	Wait(c Completion) error
 	// Flush drains the device queue and volatile write cache (a barrier).
 	Flush() error
+	// Discard (TRIM) tells the device that [off, off+length) no longer
+	// holds live data, so its flash translation layer can stop preserving
+	// it. Discarded ranges read back as zeroes (deterministic
+	// read-after-TRIM). Discard is advisory: callers must treat a failure
+	// as harmless, and like any write it is not durable until the next
+	// Flush barrier — a crash may revert it.
+	Discard(off, length int64) error
 	// Size returns the device capacity in bytes.
 	Size() int64
 	// Stats returns cumulative I/O statistics.
@@ -74,6 +81,10 @@ type Stats struct {
 	// ReadFaults counts reads that overlapped an injected unreadable
 	// range (see Dev.InjectReadFault).
 	ReadFaults int64
+	// Discards / BytesDiscarded count TRIM commands and the bytes they
+	// covered.
+	Discards       int64
+	BytesDiscarded int64
 }
 
 // Profile describes the performance characteristics of a device.
@@ -97,6 +108,11 @@ type Profile struct {
 	RandWritePenalty time.Duration
 	// FlushLatency is the cost of a cache-flush barrier.
 	FlushLatency time.Duration
+	// DiscardLatency is the per-TRIM command cost. Zero (the default for
+	// both stock profiles) makes discard a timing-free hint, so
+	// timing-pinned workloads stay bit-identical whether or not a file
+	// system trims; set it non-zero to study TRIM storms.
+	DiscardLatency time.Duration
 }
 
 // SamsungEVO860 models the paper's 250 GB SATA SSD: 567 MB/s peak reads,
@@ -178,17 +194,19 @@ type Dev struct {
 	unflushed      []writeRecord
 	readFaults     []faultRange
 
-	mReadCount  *metrics.Counter
-	mWriteCount *metrics.Counter
-	mReadBytes  *metrics.Counter
-	mWriteBytes *metrics.Counter
-	mFlushCount *metrics.Counter
-	mReadSeq    *metrics.Counter
-	mReadRand   *metrics.Counter
-	mWriteSeq   *metrics.Counter
-	mWriteRand  *metrics.Counter
-	mReadSize   *metrics.Histogram
-	mWriteSize  *metrics.Histogram
+	mReadCount    *metrics.Counter
+	mWriteCount   *metrics.Counter
+	mReadBytes    *metrics.Counter
+	mWriteBytes   *metrics.Counter
+	mFlushCount   *metrics.Counter
+	mReadSeq      *metrics.Counter
+	mReadRand     *metrics.Counter
+	mWriteSeq     *metrics.Counter
+	mWriteRand    *metrics.Counter
+	mReadSize     *metrics.Histogram
+	mWriteSize    *metrics.Histogram
+	mDiscardCount *metrics.Counter
+	mDiscardBytes *metrics.Counter
 }
 
 // New creates a device with the given profile.
@@ -198,20 +216,22 @@ func New(env *sim.Env, profile Profile) *Dev {
 		reg = metrics.NewRegistry()
 	}
 	return &Dev{
-		env:         env,
-		profile:     profile,
-		chunks:      make(map[int64][]byte),
-		mReadCount:  reg.Counter("blockdev.read.count"),
-		mWriteCount: reg.Counter("blockdev.write.count"),
-		mReadBytes:  reg.Counter("blockdev.read.bytes"),
-		mWriteBytes: reg.Counter("blockdev.write.bytes"),
-		mFlushCount: reg.Counter("blockdev.flush.count"),
-		mReadSeq:    reg.Counter("blockdev.read.seq"),
-		mReadRand:   reg.Counter("blockdev.read.rand"),
-		mWriteSeq:   reg.Counter("blockdev.write.seq"),
-		mWriteRand:  reg.Counter("blockdev.write.rand"),
-		mReadSize:   reg.Histogram("blockdev.read.size", "bytes"),
-		mWriteSize:  reg.Histogram("blockdev.write.size", "bytes"),
+		env:           env,
+		profile:       profile,
+		chunks:        make(map[int64][]byte),
+		mReadCount:    reg.Counter("blockdev.read.count"),
+		mWriteCount:   reg.Counter("blockdev.write.count"),
+		mReadBytes:    reg.Counter("blockdev.read.bytes"),
+		mWriteBytes:   reg.Counter("blockdev.write.bytes"),
+		mFlushCount:   reg.Counter("blockdev.flush.count"),
+		mReadSeq:      reg.Counter("blockdev.read.seq"),
+		mReadRand:     reg.Counter("blockdev.read.rand"),
+		mWriteSeq:     reg.Counter("blockdev.write.seq"),
+		mWriteRand:    reg.Counter("blockdev.write.rand"),
+		mReadSize:     reg.Histogram("blockdev.read.size", "bytes"),
+		mWriteSize:    reg.Histogram("blockdev.write.size", "bytes"),
+		mDiscardCount: reg.Counter("blockdev.discard.count"),
+		mDiscardBytes: reg.Counter("blockdev.discard.bytes"),
 	}
 }
 
@@ -404,4 +424,65 @@ func (d *Dev) Flush() error {
 		d.unflushed = d.unflushed[:0]
 	}
 	return nil
+}
+
+// Discard (TRIM) drops [off, off+length) from the device: the range reads
+// back as zeroes and fully covered storage chunks are released. With the
+// default DiscardLatency of zero the command charges no simulated time —
+// discard is a hint, and the timing-pinned golden workloads must stay
+// bit-identical whether or not a file system trims. Under crash tracking
+// the zeroing is recorded like any unflushed write, so a Crash* call can
+// revert it: a real TRIM is not durable until the next flush barrier
+// either, which is exactly the window the free-vs-discard crash sweeps
+// probe.
+func (d *Dev) Discard(off, length int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkRange(int(length), off, "discard")
+	if length == 0 {
+		return nil
+	}
+	if d.profile.DiscardLatency > 0 {
+		start := d.env.Now()
+		if d.busyUntil > start {
+			start = d.busyUntil
+		}
+		dur := d.profile.CmdOverhead + d.profile.DiscardLatency
+		d.busyUntil = start + dur
+		d.stats.BusyTime += dur
+	}
+	d.stats.Discards++
+	d.stats.BytesDiscarded += length
+	d.mDiscardCount.Inc()
+	d.mDiscardBytes.Add(length)
+	if d.trackUnflushed {
+		zero := make([]byte, length)
+		d.recordUnflushed(zero, off)
+		d.copyIn(zero, off)
+		return nil
+	}
+	d.zeroRange(off, length)
+	return nil
+}
+
+// zeroRange zeroes [off, off+n) in place, deleting chunks the range fully
+// covers so discarded space costs no memory.
+func (d *Dev) zeroRange(off, n int64) {
+	for n > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		want := n
+		if max := chunkSize - co; want > max {
+			want = max
+		}
+		if co == 0 && want == chunkSize {
+			delete(d.chunks, ci)
+		} else if c, ok := d.chunks[ci]; ok {
+			for i := co; i < co+want; i++ {
+				c[i] = 0
+			}
+		}
+		off += want
+		n -= want
+	}
 }

@@ -227,6 +227,22 @@ func (d *FaultDev) WriteAt(p []byte, off int64) error {
 	return d.Wait(d.SubmitWrite(p, off))
 }
 
+// Discard delegates the TRIM unless the write path is dead or the range
+// overlaps a grown defect: a device that cannot write cannot retire
+// mapping entries either, and trimming over a bad sector fails like any
+// other command there. Discard faults are counted with the write-path
+// faults (they travel the same firmware path).
+func (d *FaultDev) Discard(off, length int64) error {
+	d.mu.Lock()
+	dead := d.dead || d.badRange(off, int(length))
+	d.mu.Unlock()
+	if dead {
+		d.mFaultWrite.Inc()
+		return &ioerr.DeviceError{Op: "discard", Off: off, Len: int(length), Transient: false}
+	}
+	return d.dev.Discard(off, length)
+}
+
 // Flush delegates the barrier; on a dead write path the barrier itself
 // fails (the device can no longer promise durability).
 func (d *FaultDev) Flush() error {

@@ -50,5 +50,10 @@ func (r *region) SubmitWrite(p []byte, off int64) stor.Wait {
 	return func() error { return r.dev.Wait(c) }
 }
 
+func (r *region) Discard(off, length int64) error {
+	r.check(int(length), off)
+	return r.dev.Discard(r.off+off, length)
+}
+
 func (r *region) Flush() error    { return r.dev.Flush() }
 func (r *region) Capacity() int64 { return r.len }

@@ -132,6 +132,13 @@ func (d *RetryDev) WriteAt(p []byte, off int64) error {
 	return d.Wait(d.SubmitWrite(p, off))
 }
 
+// Discard passes the TRIM through without retry: discard is advisory, so
+// spending retry budget on it buys nothing — a failed trim just leaves
+// the FTL holding stale pages until the space is overwritten.
+func (d *RetryDev) Discard(off, length int64) error {
+	return d.dev.Discard(off, length)
+}
+
 // Flush issues the barrier; flush failures are never transient in our
 // fault model, so they surface directly.
 func (d *RetryDev) Flush() error {

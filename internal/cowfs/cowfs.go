@@ -112,13 +112,14 @@ func (fs *FS) writeGate() error { return fs.ioErr }
 
 // Stats counts cowfs activity.
 type Stats struct {
-	DataWrites   int64
-	DataReads    int64
-	MetaWrites   int64
-	MetaReads    int64
-	TxgCommits   int64
-	ZilWrites    int64
-	DroppedNodes int64 // invalid metadata blobs discarded during recovery
+	DataWrites      int64
+	DataReads       int64
+	MetaWrites      int64
+	MetaReads       int64
+	TxgCommits      int64
+	ZilWrites       int64
+	DroppedNodes    int64 // invalid metadata blobs discarded during recovery
+	DiscardedBlocks int64 // deferred-freed blocks handed to the device as TRIMs
 }
 
 type blobLoc struct {

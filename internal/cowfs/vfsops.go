@@ -73,7 +73,10 @@ func (fs *FS) Remove(parent vfs.Handle, name string, h vfs.Handle, dir bool) (er
 	if dir && len(n.children) > 0 {
 		return vfs.ErrNotEmpty
 	}
-	for _, b := range n.blocks {
+	// Free in block order, not map order: deferFree can commit a txg
+	// mid-loop, and which blocks make that txg decides the bitmap state
+	// every later allocation sees.
+	for _, b := range sortedBlocks(n, 0) {
 		fs.deferFree(b)
 	}
 	if loc, ok := fs.imap[c.ino]; ok && loc.first >= 0 {
@@ -305,14 +308,34 @@ func (fs *FS) TruncateBlocks(h vfs.Handle, fromBlk int64) (err error) {
 		return ferr
 	}
 	n := fs.node(h.(Ino))
-	for blk, b := range n.blocks {
+	// Same ordering rule as Remove: deferFree may commit mid-loop.
+	for _, b := range sortedBlocks(n, fromBlk) {
+		fs.deferFree(b)
+	}
+	for blk := range n.blocks {
 		if blk >= fromBlk {
-			fs.deferFree(b)
 			delete(n.blocks, blk)
 		}
 	}
 	n.dirty = true
 	return nil
+}
+
+// sortedBlocks returns the data-block addresses of n at or beyond logical
+// block fromBlk, ordered by logical block number.
+func sortedBlocks(n *node, fromBlk int64) []int64 {
+	var blks []int64
+	for blk := range n.blocks {
+		if blk >= fromBlk {
+			blks = append(blks, blk)
+		}
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	out := make([]int64, len(blks))
+	for i, blk := range blks {
+		out[i] = n.blocks[blk]
+	}
+	return out
 }
 
 // Fsync flushes the intent log (ZIL / log tree): much cheaper than a txg.
@@ -399,8 +422,23 @@ func (fs *FS) txgCommit() {
 	fs.devCheck(fs.dev.Flush())
 	fs.writeUberblock()
 	fs.devCheck(fs.dev.Flush())
-	for _, b := range fs.deferred {
-		fs.bitClear(b)
+	// The uberblock selecting the new generation is durable, so nothing
+	// can reference the deferred blocks any more: free them and hand the
+	// ranges to the device as TRIMs (coalesced into runs, the way ZFS
+	// batches frees per txg) so the FTL stops migrating dead data.
+	sort.Slice(fs.deferred, func(i, j int) bool { return fs.deferred[i] < fs.deferred[j] })
+	for i := 0; i < len(fs.deferred); {
+		run := int64(1)
+		for i+int(run) < len(fs.deferred) && fs.deferred[i+int(run)] == fs.deferred[i]+run {
+			run++
+		}
+		for j := int64(0); j < run; j++ {
+			fs.bitClear(fs.deferred[i] + j)
+		}
+		if fs.dev.Discard(fs.blockAddr(fs.deferred[i]), run*BlockSize) == nil {
+			fs.stats.DiscardedBlocks += run
+		}
+		i += int(run)
 	}
 	fs.deferred = fs.deferred[:0]
 	fs.lastTxg = fs.env.Now()

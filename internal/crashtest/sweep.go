@@ -217,6 +217,62 @@ func Sweep(sys System, steps []Step, specs []CrashSpec) Outcome {
 	return out
 }
 
+// RemoveHeavyWorkload builds the discard-stress workload: a durable
+// population, then rounds of interleaved remove-and-replace churn each
+// sealed with a full sync, then an unsynced mutation tail. Every sync
+// boundary is a checkpoint that frees the removed files' space, so by
+// the later rounds the file systems are issuing discards for space freed
+// one or two checkpoints earlier — a crash cut anywhere in the write
+// stream lands between some free and its deferred discard, which is
+// exactly the window where premature trimming would zero extents an
+// older superblock generation still references. Removed names are never
+// reused (replacements get fresh names), matching the workload rule the
+// oracle assumes everywhere else.
+func RemoveHeavyWorkload(seed uint64, nFiles, rounds int) []Step {
+	rnd := sim.NewRand(seed)
+	var steps []Step
+	steps = append(steps, Step{Op: OpMkdir, Path: "d"})
+	data := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(1 + rnd.Intn(255))
+		}
+		return b
+	}
+	var live []string
+	next := 0
+	create := func(n int) {
+		p := fmt.Sprintf("d/f%03d", next)
+		next++
+		steps = append(steps, Step{Op: OpWrite, Path: p, Data: data(n)})
+		live = append(live, p)
+	}
+	for i := 0; i < nFiles; i++ {
+		create(512 + rnd.Intn(4096))
+	}
+	steps = append(steps, Step{Op: OpSync})
+	remove := func() {
+		j := rnd.Intn(len(live))
+		steps = append(steps, Step{Op: OpRemove, Path: live[j]})
+		live = append(live[:j], live[j+1:]...)
+	}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < nFiles/2; i++ {
+			remove()
+			create(512 + rnd.Intn(4096))
+		}
+		steps = append(steps, Step{Op: OpSync})
+	}
+	// Unsynced tail: removes and new files whose fate the crash decides.
+	for i := 0; i < nFiles/2; i++ {
+		remove()
+		if i%2 == 0 {
+			create(256 + rnd.Intn(2048))
+		}
+	}
+	return steps
+}
+
 // StandardWorkload builds the deterministic mixed workload used by the
 // smoke sweeps: a durable (synced) population phase, then an unsynced
 // mutation phase of overwrites, appends, new files, removes and fsyncs.

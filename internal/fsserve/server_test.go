@@ -128,7 +128,7 @@ func TestHandleTableBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 4; i++ {
-		if _, _, err := cli.Create(string(rune('f'))+string(rune('0'+i))); err != nil {
+		if _, _, err := cli.Create(string(rune('f')) + string(rune('0'+i))); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -122,14 +122,15 @@ type owner struct {
 
 // Stats counts logfs activity.
 type Stats struct {
-	DataWrites   int64
-	NodeWrites   int64
-	NodeReads    int64
-	Checkpoints  int64
-	CleanedSegs  int64
-	MovedBlocks  int64
-	Fsyncs       int64
-	DroppedNodes int64 // invalid node blobs discarded during recovery
+	DataWrites    int64
+	NodeWrites    int64
+	NodeReads     int64
+	Checkpoints   int64
+	CleanedSegs   int64
+	MovedBlocks   int64
+	Fsyncs        int64
+	DroppedNodes  int64 // invalid node blobs discarded during recovery
+	DiscardedSegs int64 // dead segments handed to the device as TRIMs
 }
 
 // node is an in-memory inode with its block map and directory content.
@@ -259,6 +260,10 @@ func (fs *FS) invalidate(b int64) {
 // releasePendingSegs returns pending-free segments to the allocatable
 // pool. Call only after the NAT and superblock have been flushed — at
 // that point no durable metadata can reference their old contents.
+// Each released segment is also handed to the device as a TRIM, so the
+// FTL stops migrating its dead blocks; the device keeps discards
+// crash-revertible until the next barrier, which covers the window where
+// the just-written NAT is itself still volatile.
 func (fs *FS) releasePendingSegs() {
 	if fs.pendingSegs == 0 {
 		return
@@ -267,6 +272,9 @@ func (fs *FS) releasePendingSegs() {
 		if fs.segState[s] == segPendingFree {
 			fs.segState[s] = 0
 			fs.freeSegs++
+			if fs.dev.Discard(fs.blockAddr(s*SegmentBlocks), SegmentBlocks*BlockSize) == nil {
+				fs.stats.DiscardedSegs++
+			}
 		}
 	}
 	fs.pendingSegs = 0

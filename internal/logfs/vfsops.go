@@ -284,19 +284,31 @@ func (fs *FS) Fsync(h vfs.Handle) (err error) {
 		return ferr
 	}
 	fs.stats.Fsyncs++
-	written := map[int64]bool{}
+	// Write in inode order, not map order: blob placement in the log is
+	// order-dependent, so a map-ordered walk would put segments in a
+	// different state every run (see Checkpoint).
+	inos := make([]Ino, 0, len(fs.inodes))
 	for ino, n := range fs.inodes {
 		if n.dirty {
-			fs.writeNodeBlock(n)
-			written[fs.natAddr(ino)] = true
+			inos = append(inos, ino)
 		}
 	}
-	written[fs.natAddr(h.(Ino))] = true
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	written := map[int64]bool{fs.natAddr(h.(Ino)): true}
+	for _, ino := range inos {
+		fs.writeNodeBlock(fs.inodes[ino])
+		written[fs.natAddr(ino)] = true
+	}
 	// Two-phase flush: node blobs must be durable before the NAT blocks
 	// that point at them, or a crash between the two could leave a durable
 	// NAT entry referencing a blob the device never persisted.
 	fs.devCheck(fs.dev.Flush())
+	addrs := make([]int64, 0, len(written))
 	for addr := range written {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
 		fs.writeNATBlockAt(addr)
 	}
 	fs.writeSuperOnly()

@@ -62,11 +62,13 @@ type SFL struct {
 	files  map[string]*file
 	layout Layout
 
-	mReadCount  *metrics.Counter
-	mWriteCount *metrics.Counter
-	mReadBytes  *metrics.Counter
-	mWriteBytes *metrics.Counter
-	mFlushCount *metrics.Counter
+	mReadCount    *metrics.Counter
+	mWriteCount   *metrics.Counter
+	mReadBytes    *metrics.Counter
+	mWriteBytes   *metrics.Counter
+	mFlushCount   *metrics.Counter
+	mDiscardCount *metrics.Counter
+	mDiscardBytes *metrics.Counter
 }
 
 // New formats an SFL over dev with the given layout. A layout that does
@@ -90,6 +92,8 @@ func New(env *sim.Env, dev blockdev.Device, layout Layout) (*SFL, error) {
 	s.mReadBytes = reg.Counter("sfl.read.bytes")
 	s.mWriteBytes = reg.Counter("sfl.write.bytes")
 	s.mFlushCount = reg.Counter("sfl.flush.count")
+	s.mDiscardCount = reg.Counter("sfl.discard.count")
+	s.mDiscardBytes = reg.Counter("sfl.discard.bytes")
 	off := int64(0)
 	for _, f := range []struct {
 		name string
@@ -199,6 +203,16 @@ func (f *file) SubmitWrite(p []byte, off int64) stor.Wait {
 func (f *file) Flush() error {
 	f.sfl.mFlushCount.Inc()
 	return f.sfl.dev.Flush()
+}
+
+// Discard passes the TRIM through to the device at the extent's base
+// offset; the SFL owns the device directly (§2.1), so unlike the stacked
+// southbound path the hint survives the translation.
+func (f *file) Discard(off, length int64) error {
+	f.check(int(length), off)
+	f.sfl.mDiscardCount.Inc()
+	f.sfl.mDiscardBytes.Add(length)
+	return f.sfl.dev.Discard(f.base+off, length)
 }
 
 // Capacity returns the extent size.

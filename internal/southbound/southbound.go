@@ -63,13 +63,14 @@ type Backend struct {
 
 	stats Stats
 
-	mReadCount   *metrics.Counter
-	mWriteCount  *metrics.Counter
-	mReadBytes   *metrics.Counter
-	mWriteBytes  *metrics.Counter
-	mFlushCount  *metrics.Counter
-	mBytesCopied *metrics.Counter
-	mStallCount  *metrics.Counter
+	mReadCount      *metrics.Counter
+	mWriteCount     *metrics.Counter
+	mReadBytes      *metrics.Counter
+	mWriteBytes     *metrics.Counter
+	mFlushCount     *metrics.Counter
+	mBytesCopied    *metrics.Counter
+	mStallCount     *metrics.Counter
+	mDiscardDropped *metrics.Counter
 }
 
 type pendingWrite struct {
@@ -105,6 +106,7 @@ func New(env *sim.Env, lower *extfs.FS, lay Layout) *Backend {
 	b.mFlushCount = reg.Counter("southbound.flush.count")
 	b.mBytesCopied = reg.Counter("southbound.bytes.copied")
 	b.mStallCount = reg.Counter("southbound.stall.count")
+	b.mDiscardDropped = reg.Counter("southbound.discard.dropped")
 	for _, f := range []struct {
 		name string
 		size int64
@@ -224,6 +226,15 @@ func (f *sbFile) Flush() error {
 		return err
 	}
 	return derr
+}
+
+// Discard drops the TRIM hint: the stacked path writes through a lower
+// file system's files, and file offsets do not map to device LBAs the
+// upper layer can trim (§2.3 — another cost of stacking). The counter
+// records how much lifetime headroom the v0.4 design leaves on the table.
+func (f *sbFile) Discard(off, length int64) error {
+	f.b.mDiscardDropped.Inc()
+	return nil
 }
 
 // Capacity returns the file size.

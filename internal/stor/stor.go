@@ -27,6 +27,12 @@ type File interface {
 	SubmitWrite(p []byte, off int64) Wait
 	// Flush makes all completed writes durable.
 	Flush() error
+	// Discard (TRIM) tells the storage that [off, off+length) no longer
+	// holds live data. Advisory: backends that cannot pass the hint down
+	// (the stacked southbound path) silently drop it, and callers must
+	// tolerate failure. Like a write, a discard is not durable — and its
+	// effect on stored bytes not guaranteed — until the next Flush.
+	Discard(off, length int64) error
 	// Capacity returns the addressable size of the file in bytes.
 	Capacity() int64
 }

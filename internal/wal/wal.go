@@ -77,6 +77,16 @@ type Log struct {
 	head int64
 	tail int64
 
+	// discarded is the monotonic position up to which reclaimed log space
+	// has been handed back to the device via TRIM. It trails tail by a
+	// full checkpoint: ckptTail records the tail embedded in the most
+	// recent durable superblock, and DiscardReclaimed trims only below
+	// the PREVIOUS superblock's tail — the older of the two superblock
+	// slots recovery can fall back to — so no recovery starting point any
+	// crash-plus-corruption scenario selects lies inside a trimmed range.
+	discarded int64
+	ckptTail  int64
+
 	// pending holds appended-but-unflushed bytes, destined for positions
 	// [flushedTo, head).
 	pending   []byte
@@ -98,12 +108,14 @@ type Log struct {
 	stats Stats
 
 	// Pre-resolved registry instruments (see internal/metrics).
-	mAppend     *metrics.Counter
-	mFsync      *metrics.Counter
-	mWriteOut   *metrics.Counter
-	mBytes      *metrics.Counter
-	mPad        *metrics.Counter
-	mPinBlocked *metrics.Counter
+	mAppend       *metrics.Counter
+	mFsync        *metrics.Counter
+	mWriteOut     *metrics.Counter
+	mBytes        *metrics.Counter
+	mPad          *metrics.Counter
+	mPinBlocked   *metrics.Counter
+	mDiscardCount *metrics.Counter
+	mDiscardBytes *metrics.Counter
 }
 
 type lsnPos struct {
@@ -132,18 +144,20 @@ func New(env *sim.Env, f stor.File, epoch uint32) *Log {
 	// metric catalog is visible on a registry even before a recovery runs.
 	reg.Counter("wal.replay.records")
 	return &Log{
-		env:         env,
-		f:           f,
-		cap:         f.Capacity(),
-		epoch:       epoch,
-		nextLSN:     1,
-		pins:        make(map[uint64]int),
-		mAppend:     reg.Counter("wal.append.count"),
-		mFsync:      reg.Counter("wal.fsync.count"),
-		mWriteOut:   reg.Counter("wal.writeout.count"),
-		mBytes:      reg.Counter("wal.bytes.logged"),
-		mPad:        reg.Counter("wal.bytes.pad"),
-		mPinBlocked: reg.Counter("wal.reclaim.pinblocked"),
+		env:           env,
+		f:             f,
+		cap:           f.Capacity(),
+		epoch:         epoch,
+		nextLSN:       1,
+		pins:          make(map[uint64]int),
+		mAppend:       reg.Counter("wal.append.count"),
+		mFsync:        reg.Counter("wal.fsync.count"),
+		mWriteOut:     reg.Counter("wal.writeout.count"),
+		mBytes:        reg.Counter("wal.bytes.logged"),
+		mPad:          reg.Counter("wal.bytes.pad"),
+		mPinBlocked:   reg.Counter("wal.reclaim.pinblocked"),
+		mDiscardCount: reg.Counter("wal.discard.count"),
+		mDiscardBytes: reg.Counter("wal.discard.bytes"),
 	}
 }
 
@@ -370,6 +384,41 @@ func (l *Log) Reclaim(upto uint64) Hint {
 		l.positions = l.positions[i:]
 	}
 	return l.hint()
+}
+
+// DiscardReclaimed trims reclaimed log space, telling the device's FTL
+// the dead records no longer need preserving. The caller invokes it once
+// per checkpoint, right after the new superblock is durable. Because the
+// store keeps TWO superblock generations and may fall back to the older
+// one, the trimmed range is aged one checkpoint: this call trims only
+// below the tail captured by the PREVIOUS call — the recovery hint
+// embedded in the older durable slot — so no starting point recovery can
+// select lies inside a trimmed range. Positions the ring has already
+// physically reused for newer records are skipped, not trimmed. Discard
+// failures are advisory and ignored — the space is simply not handed
+// back.
+func (l *Log) DiscardReclaimed() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bound := l.ckptTail
+	l.ckptTail = l.tail
+	// Physical slots below head-cap hold newer records now; the dead
+	// positions there are gone already and must not be touched.
+	if reused := l.head - l.cap; l.discarded < reused {
+		l.discarded = reused
+	}
+	for l.discarded < bound {
+		off := l.discarded % l.cap
+		n := bound - l.discarded
+		if off+n > l.cap {
+			n = l.cap - off // split at the wrap point
+		}
+		if err := l.f.Discard(off, n); err == nil {
+			l.mDiscardCount.Inc()
+			l.mDiscardBytes.Add(n)
+		}
+		l.discarded += n
+	}
 }
 
 // Hint returns the current recovery starting point.

@@ -30,7 +30,11 @@ func (m *memFile) SubmitWrite(p []byte, off int64) stor.Wait {
 	m.WriteAt(p, off)
 	return func() error { return nil }
 }
-func (m *memFile) Flush() error    { return nil }
+func (m *memFile) Flush() error { return nil }
+func (m *memFile) Discard(off, length int64) error {
+	copy(m.data[off:off+length], make([]byte, length))
+	return nil
+}
 func (m *memFile) Capacity() int64 { return int64(len(m.data)) }
 
 func newLog(t *testing.T, size int64) (*sim.Env, *memFile, *Log) {
@@ -261,9 +265,9 @@ func TestTornTailEveryByteBoundary(t *testing.T) {
 				f.data[i] = fill
 			}
 			recs, rerr := Recover(env, f, hint)
-	if rerr != nil {
-		t.Fatalf("recover: %v", rerr)
-	}
+			if rerr != nil {
+				t.Fatalf("recover: %v", rerr)
+			}
 			if len(recs) != nrec-1 {
 				t.Fatalf("fill %#x cut %d: recovered %d records, want %d (flushed prefix)",
 					fill, cut, len(recs), nrec-1)
