@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race crashtest scrub repair faults bench-json serve aging
+.PHONY: check vet build test race crashtest scrub repair faults bench-json serve servebench aging
 
-check: vet build race crashtest scrub repair faults serve aging bench-json
+check: vet build race crashtest scrub repair faults serve servebench aging bench-json
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +80,24 @@ serve:
 		./internal/fsrpc/ ./internal/fsserve/ ./internal/faulttest/ ./internal/bench/
 	$(GO) run ./cmd/betrbench -serve -clients 4 -scale 256 -o BENCH_serve.json > /dev/null
 	$(GO) run ./cmd/betrbench -validate BENCH_serve.json
+
+# Async pipelined wire path (DESIGN.md §13): the multiplexing client
+# (out-of-order completion, window saturation, transport-death and
+# tag-mismatch poison, Reset), pipelined server execution (issue-order
+# writes per handle, per-directory namespace ordering, concurrent
+# sessions), the scatter-gather frame equivalence, the buffered bench
+# transport, the §13 spec drift tests, and the pinned deterministic
+# goldens — all under the race detector. Then a concurrent serve run
+# with the pipelined-vs-serialized comparison pass whose schema-v4
+# JSON must validate.
+servebench:
+	$(GO) test -race -count=1 \
+		-run 'OutOfOrder|WindowSaturation|MidPipeline|TagMismatch|ResetRestarts|FrameParts|Pipelined|BufPipe|WireSpec|DocumentedMetrics|ServeGolden' \
+		./internal/fsrpc/ ./internal/fsserve/ ./internal/bench/
+	$(GO) run ./cmd/betrbench -serve -workers 8 -clients 4 -scale 256 \
+		-o BENCH_serve_pipe.json > /dev/null
+	$(GO) run ./cmd/betrbench -validate BENCH_serve_pipe.json
+	rm -f BENCH_serve_pipe.json
 
 # FTL aging rung (DESIGN.md §12): discard plumbing correctness under
 # the race detector — the crash sweeps over FTL-backed stacks, the

@@ -32,6 +32,8 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth; a full queue sheds requests with EBUSY")
 	queueWait := flag.Duration("queue-wait", 0, "max time a request may wait queued before being shed (0 = no deadline)")
 	maxHandles := flag.Int("max-handles", 128, "per-session open-handle cap (oldest evicted beyond it)")
+	directReads := flag.Bool("direct-reads", true, "execute read-class ops on the session reader, skipping the admission queue (DESIGN.md §13.5)")
+	inlineReplies := flag.Bool("inline-replies", false, "write each reply frame synchronously instead of batching through the session writer")
 	flag.Parse()
 
 	var in *bench.Instance
@@ -40,7 +42,14 @@ func main() {
 	} else {
 		in = bench.Build(*fsName, *scale)
 	}
-	cfg := fsserve.Config{Workers: *workers, QueueDepth: *queue, QueueWait: *queueWait, MaxHandles: *maxHandles}
+	cfg := fsserve.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		QueueWait:     *queueWait,
+		MaxHandles:    *maxHandles,
+		DirectReads:   *directReads,
+		InlineReplies: *inlineReplies,
+	}
 	srv := fsserve.New(in.Env, in.Mount, cfg)
 
 	ln, err := net.Listen("tcp", *addr)

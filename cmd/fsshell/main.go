@@ -10,7 +10,10 @@
 //	> stats
 //
 // With -connect host:port the shell instead drives a remote fsserved
-// process over the fsrpc wire protocol (see cmd/fsserved).
+// process over the fsrpc wire protocol (see cmd/fsserved). -window bounds
+// how many requests the client keeps in flight, and the remote-only
+// `pipe` command issues a burst of pipelined calls to show out-of-order
+// completion on the shared connection.
 package main
 
 import (
@@ -22,16 +25,18 @@ import (
 	"strings"
 
 	"betrfs/internal/bench"
+	"betrfs/internal/fsrpc"
 	"betrfs/internal/vfs"
 )
 
 func main() {
 	fsName := flag.String("fs", "betrfs-v0.6", "file system: "+strings.Join(bench.Systems, ", "))
 	connect := flag.String("connect", "", "host:port of an fsserved to drive over the wire instead of mounting in-process")
+	window := flag.Int("window", fsrpc.DefaultWindow, "with -connect: max requests in flight on the connection (1 = serialized)")
 	flag.Parse()
 
 	if *connect != "" {
-		runRemote(*connect)
+		runRemote(*connect, *window)
 		return
 	}
 

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"betrfs/internal/fsrpc"
@@ -18,15 +21,15 @@ import (
 // statfs, and dropcaches/time are server-side concepts the wire does not
 // expose.
 
-func runRemote(addr string) {
+func runRemote(addr string, window int) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsshell: connect:", err)
 		os.Exit(1)
 	}
-	cli := fsrpc.NewClient(conn)
+	cli := fsrpc.NewClientWindow(conn, window)
 	defer cli.Close()
-	fmt.Printf("connected to fsserved at %s; type 'help'\n", addr)
+	fmt.Printf("connected to fsserved at %s (window %d); type 'help'\n", addr, cli.Window())
 
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
@@ -60,7 +63,7 @@ func executeRemote(cli *fsrpc.Client, f []string) bool {
 	}
 	switch f[0] {
 	case "help":
-		fmt.Println("commands: ls [dir] | mkdir p | write p text... | cat p | rm p | rmdir p | mv a b | stat p | fsync p | statfs | quit")
+		fmt.Println("commands: ls [dir] | mkdir p | write p text... | cat p | rm p | rmdir p | mv a b | stat p | fsync p | statfs | pipe [n] [path] | quit")
 	case "quit", "exit":
 		return false
 	case "ls":
@@ -172,6 +175,18 @@ func executeRemote(cli *fsrpc.Client, f []string) bool {
 		if err := cli.Fsync(h); err != nil {
 			fail("fsync", err)
 		}
+	case "pipe":
+		n := 16
+		if len(f) > 1 {
+			if v, err := strconv.Atoi(f[1]); err == nil && v > 0 {
+				n = v
+			}
+		}
+		path := ""
+		if len(f) > 2 {
+			path = f[2]
+		}
+		pipeBurst(cli, n, path)
 	case "statfs":
 		sf, err := cli.Statfs()
 		if err != nil {
@@ -184,4 +199,51 @@ func executeRemote(cli *fsrpc.Client, f []string) bool {
 		fmt.Println("unknown command; try 'help'")
 	}
 	return true
+}
+
+// pipeBurst issues n GETATTR requests back to back without waiting for
+// replies — as many as the client window admits at once — then collects
+// the completions in whatever order the server produced them. With
+// -window 1 the issue loop serializes and the completion order is the
+// issue order; with a wide window the burst pipelines on the one
+// connection and read-class replies may return out of order.
+func pipeBurst(cli *fsrpc.Client, n int, path string) {
+	type done struct {
+		idx int
+		lat time.Duration
+		err error
+	}
+	start := time.Now()
+	results := make(chan done, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// Go blocks only while the window is saturated; each completion
+		// is harvested on its own goroutine so the issue loop keeps the
+		// window full.
+		call := cli.Go(context.Background(), &fsrpc.Request{Op: fsrpc.OpGetattr, Path: path})
+		wg.Add(1)
+		go func(idx int, issued time.Time, call *fsrpc.Call) {
+			defer wg.Done()
+			<-call.Done()
+			results <- done{idx: idx, lat: time.Since(issued), err: call.Err}
+		}(i, time.Now(), call)
+	}
+	wg.Wait()
+	close(results)
+
+	order := make([]int, 0, n)
+	var worst time.Duration
+	errs := 0
+	for d := range results {
+		order = append(order, d.idx)
+		if d.lat > worst {
+			worst = d.lat
+		}
+		if d.err != nil {
+			errs++
+		}
+	}
+	fmt.Printf("pipe: %d GETATTR %q in %v (window %d, worst call %v, errors %d)\n",
+		n, path, time.Since(start), cli.Window(), worst, errs)
+	fmt.Printf("completion order: %v\n", order)
 }

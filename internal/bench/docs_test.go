@@ -7,12 +7,13 @@ import (
 	"testing"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/fsserve"
 	"betrfs/internal/sim"
 )
 
 // metricNameRE matches a backticked metric name in the docs: a known
 // layer prefix followed by dot-separated lower-case segments.
-var metricNameRE = regexp.MustCompile("`((?:betree|wal|sfl|southbound|blockdev|kmem|vfs|betrfs|flusher|io|scrub|ftl)\\.[a-z0-9_.]+)`")
+var metricNameRE = regexp.MustCompile("`((?:betree|wal|sfl|southbound|blockdev|kmem|vfs|betrfs|flusher|io|scrub|ftl|fsrpc|fsserve)\\.[a-z0-9_.]+)`")
 
 // documentedMetrics extracts every metric name mentioned in the given
 // markdown files.
@@ -51,6 +52,13 @@ func registeredMetrics() map[string]bool {
 	for _, n := range env.Metrics.Names() {
 		out[n] = true
 	}
+	// The serve path's fsrpc.*/fsserve.* instruments register at server
+	// construction (§13.7); stand one up over a scratch mount.
+	in := Build("ext4", 256)
+	fsserve.New(in.Env, in.Mount, fsserve.DefaultConfig()).Shutdown()
+	for _, n := range in.Env.Metrics.Names() {
+		out[n] = true
+	}
 	return out
 }
 
@@ -85,7 +93,7 @@ func TestDocumentedMetricsRegistered(t *testing.T) {
 	// The load-bearing names the observability chapter leans on must be
 	// present on both sides, guarding against a regex or doc restructure
 	// silently matching nothing.
-	for _, n := range []string{"betree.msg.pushed", "wal.fsync.count", "kmem.buffercache.hit", "io.fault.read", "io.retry.corrupt", "io.retry.exhausted", "io.defect.grown", "scrub.repair.node", "vfs.remount.ro"} {
+	for _, n := range []string{"betree.msg.pushed", "wal.fsync.count", "kmem.buffercache.hit", "io.fault.read", "io.retry.corrupt", "io.retry.exhausted", "io.defect.grown", "scrub.repair.node", "vfs.remount.ro", "fsrpc.pipeline.depth", "fsserve.batch.replies", "fsserve.zerocopy.bytes"} {
 		if !documented[n] {
 			t.Errorf("expected %s to be documented", n)
 		}

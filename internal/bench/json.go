@@ -31,7 +31,14 @@ import (
 //	    lifetime family — `ftl.write.*`, `ftl.gc.*`, `ftl.erase.count`,
 //	    `ftl.trim.*` — plus the `io.waf` write-amplification gauge;
 //	    adds the "aging" kind and its `aging` config section
-const SchemaVersion = 3
+//	4 — serve documents guarantee the pipelining instruments in every
+//	    system snapshot: the `fsrpc.pipeline.depth` and
+//	    `fsserve.batch.replies` histograms, the `fsserve.zerocopy.bytes`
+//	    counter, and the `fsrpc.inflight` gauge; the serve section gains
+//	    optional `window`/`streams` fields recording the pipelined pass
+//	    (absent on deterministic single-worker documents, whose measured
+//	    cells are unchanged from v3)
+const SchemaVersion = 4
 
 // Doc is one benchmark run: a set of columns measured across a set of
 // systems, plus per-system metric snapshots.
@@ -71,11 +78,15 @@ type AgingInfo struct {
 
 // ServeInfo records the serve-bench configuration. Deterministic marks the
 // single-worker round-robin mode whose documents are bit-identical run to
-// run at a fixed seed.
+// run at a fixed seed. Window and Streams (schema v4) record the pipelined
+// pass — the client's in-flight window and the scripts multiplexed per
+// connection — and are absent on deterministic documents.
 type ServeInfo struct {
 	Clients       int  `json:"clients"`
 	Workers       int  `json:"workers"`
 	Deterministic bool `json:"deterministic"`
+	Window        int  `json:"window,omitempty"`
+	Streams       int  `json:"streams,omitempty"`
 }
 
 // ColumnMeta describes one benchmark column.
@@ -157,12 +168,13 @@ func AppDoc(name string, scale int64, rows []AppResults, snaps []metrics.Snapsho
 // rows[i].
 func ServeDoc(name string, scale int64, rows []ServeResult, snaps []metrics.Snapshot) *Doc {
 	d := &Doc{SchemaVersion: SchemaVersion, Name: name, Kind: "serve", Scale: scale}
-	for _, c := range serveColumns {
+	cols := serveColumnsFor(rows)
+	for _, c := range cols {
 		d.Columns = append(d.Columns, ColumnMeta{Name: c.Name, Unit: c.Unit, Better: better(c.Lower)})
 	}
 	for i, r := range rows {
 		sr := SystemResult{System: r.System}
-		for _, c := range serveColumns {
+		for _, c := range cols {
 			sr.Cells = append(sr.Cells, CellJSON{Name: c.Name, Value: c.Get(r)})
 		}
 		if i < len(snaps) {
@@ -170,7 +182,13 @@ func ServeDoc(name string, scale int64, rows []ServeResult, snaps []metrics.Snap
 		}
 		d.Systems = append(d.Systems, sr)
 		if d.Serve == nil {
-			d.Serve = &ServeInfo{Clients: r.Clients, Workers: r.Workers, Deterministic: r.Workers <= 1}
+			d.Serve = &ServeInfo{
+				Clients:       r.Clients,
+				Workers:       r.Workers,
+				Deterministic: r.Workers <= 1,
+				Window:        r.Window,
+				Streams:       r.Streams,
+			}
 		}
 	}
 	return d
@@ -257,6 +275,12 @@ func Validate(data []byte) (*Doc, error) {
 		if d.Serve.Clients < 1 || d.Serve.Workers < 1 {
 			return nil, fmt.Errorf("bench json: serve section clients %d / workers %d, want >= 1", d.Serve.Clients, d.Serve.Workers)
 		}
+		if d.Serve.Window < 0 || d.Serve.Streams < 0 {
+			return nil, fmt.Errorf("bench json: serve section window %d / streams %d, want >= 0", d.Serve.Window, d.Serve.Streams)
+		}
+		if d.Serve.Deterministic && d.Serve.Streams > 0 {
+			return nil, fmt.Errorf("bench json: deterministic serve document cannot carry a pipelined pass (streams %d)", d.Serve.Streams)
+		}
 	}
 	if d.Kind == "aging" && d.Aging == nil {
 		return nil, fmt.Errorf("bench json: kind \"aging\" requires an aging section")
@@ -314,6 +338,23 @@ func Validate(data []byte) (*Doc, error) {
 				if _, ok := s.Metrics.Counters[key]; !ok {
 					return nil, fmt.Errorf("bench json: betree-backed system %q missing %s in its metric snapshot", s.System, key)
 				}
+			}
+		}
+		// Schema v4: serve documents must carry the pipelining instruments
+		// in every system snapshot — they are always registered by
+		// fsserve.New, so their absence means the document was not
+		// produced by the wire path it claims to measure.
+		if d.Kind == "serve" {
+			for _, key := range []string{"fsrpc.pipeline.depth", "fsserve.batch.replies"} {
+				if _, ok := s.Metrics.Histograms[key]; !ok {
+					return nil, fmt.Errorf("bench json: serve system %q missing the %s histogram in its metric snapshot", s.System, key)
+				}
+			}
+			if _, ok := s.Metrics.Counters["fsserve.zerocopy.bytes"]; !ok {
+				return nil, fmt.Errorf("bench json: serve system %q missing fsserve.zerocopy.bytes in its metric snapshot", s.System)
+			}
+			if _, ok := s.Metrics.Gauges["fsrpc.inflight"]; !ok {
+				return nil, fmt.Errorf("bench json: serve system %q missing the fsrpc.inflight gauge in its metric snapshot", s.System)
 			}
 		}
 		// Schema v3: rows produced over the simulated FTL (identified by

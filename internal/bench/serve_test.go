@@ -79,6 +79,52 @@ func TestServeDocValidates(t *testing.T) {
 	}
 }
 
+// goldenServe256 pins the deterministic serve-mode cells at -clients 4
+// -scale 256 — the exact values the single-worker round-robin driver must
+// reproduce bit-for-bit. These are the same figures the seed pipelining
+// PR inherited; any drift means the deterministic wire path changed
+// behavior. Regenerate with: go run ./cmd/betrbench -serve -clients 4
+// -scale 256 (and update here in the same commit, explaining why).
+var goldenServe256 = map[string]struct {
+	wireOps  float64
+	p99, p95 int64
+}{
+	"ext4":        {43.70468353116473, 820717, 4096},
+	"f2fs":        {18.683320531466215, 2097152, 4096},
+	"btrfs":       {27.78874532656986, 1331919, 4096},
+	"betrfs-v0.4": {28.619221623216205, 1284404, 4096},
+	"betrfs-v0.6": {61.28345226971711, 665583, 4096},
+}
+
+// TestServeGoldenCells runs the full deterministic serve sweep and
+// asserts every system's cells against the pinned goldens with zero
+// tolerance: the async client, direct-read fast path, and batched writer
+// must leave the workers<=1 wire path bit-identical.
+func TestServeGoldenCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, sys := range ServeSystems {
+		want, ok := goldenServe256[sys]
+		if !ok {
+			t.Fatalf("no golden pinned for %s", sys)
+		}
+		r, _ := RunServe(sys, 256, 4, 1)
+		if len(r.Errors) != 0 {
+			t.Fatalf("%s: serve run failed: %v", sys, r.Errors)
+		}
+		if got := r.KOpsPerSimSec(); got != want.wireOps {
+			t.Errorf("%s: wire_ops = %v, want %v", sys, got, want.wireOps)
+		}
+		if r.P99 != want.p99 || r.P95 != want.p95 {
+			t.Errorf("%s: p95/p99 = %d/%d, want %d/%d", sys, r.P95, r.P99, want.p95, want.p99)
+		}
+		if r.Shed != 0 {
+			t.Errorf("%s: shed = %d, want 0", sys, r.Shed)
+		}
+	}
+}
+
 // TestServeConcurrentSmoke: the goroutine-per-client mode completes every
 // script without errors and serves ops in overlap.
 func TestServeConcurrentSmoke(t *testing.T) {

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"io"
+	"sync"
+)
+
+// The concurrent serve comparison runs its connections over buffered
+// in-memory duplex streams rather than net.Pipe. net.Pipe is a pure
+// rendezvous: every Write blocks until the peer's Read arrives, so each
+// frame costs a synchronous goroutine hand-off and the server's reply
+// batching can never coalesce anything — the transport itself forces
+// one wake-up per frame, which is the behaviour of no real socket.
+// Kernel sockets buffer; a writer dumps a batch and the reader drains
+// it on its own schedule. bufDuplex reproduces that: a bounded byte
+// buffer per direction with blocking reads and writes.
+//
+// The deterministic mode (workers <= 1) keeps net.Pipe: with one op in
+// flight globally the rendezvous is free, and the goldens pin that
+// path.
+
+// wireBufSize is each direction's buffer capacity. Comfortably larger
+// than the largest frame in the bench (a 4 KiB READ reply) and in line
+// with a default socket buffer.
+const wireBufSize = 256 << 10
+
+// bufHalf is one direction of the duplex: a bounded FIFO byte stream.
+type bufHalf struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []byte
+	closed   bool
+}
+
+func newBufHalf() *bufHalf {
+	h := &bufHalf{}
+	h.notEmpty.L = &h.mu
+	h.notFull.L = &h.mu
+	return h
+}
+
+func (h *bufHalf) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for len(p) > 0 {
+		if h.closed {
+			return n, io.ErrClosedPipe
+		}
+		free := wireBufSize - len(h.buf)
+		if free == 0 {
+			h.notFull.Wait()
+			continue
+		}
+		w := len(p)
+		if w > free {
+			w = free
+		}
+		h.buf = append(h.buf, p[:w]...)
+		p = p[w:]
+		n += w
+		h.notEmpty.Signal()
+	}
+	return n, nil
+}
+
+func (h *bufHalf) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) == 0 {
+		if h.closed {
+			return 0, io.EOF
+		}
+		h.notEmpty.Wait()
+	}
+	n := copy(p, h.buf)
+	rest := len(h.buf) - n
+	copy(h.buf, h.buf[n:])
+	h.buf = h.buf[:rest]
+	h.notFull.Signal()
+	return n, nil
+}
+
+func (h *bufHalf) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.notEmpty.Broadcast()
+	h.notFull.Broadcast()
+	h.mu.Unlock()
+}
+
+// bufConn is one endpoint of a bufPipe: reads drain one half, writes
+// fill the other.
+type bufConn struct {
+	rd *bufHalf
+	wr *bufHalf
+}
+
+func (c *bufConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *bufConn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+// Close tears down both directions, unblocking the peer: its pending
+// reads return EOF and its writes ErrClosedPipe, matching what the
+// fsrpc client and fsserve session expect from a dead transport.
+func (c *bufConn) Close() error {
+	c.rd.close()
+	c.wr.close()
+	return nil
+}
+
+// bufPipe returns the two endpoints of a buffered in-memory duplex
+// connection.
+func bufPipe() (*bufConn, *bufConn) {
+	a, b := newBufHalf(), newBufHalf()
+	return &bufConn{rd: a, wr: b}, &bufConn{rd: b, wr: a}
+}

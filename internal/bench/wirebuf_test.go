@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestBufPipeTransfersAndBuffers: data written to one end arrives intact
+// at the other, and writes up to the buffer capacity complete without a
+// concurrent reader — the property that distinguishes bufPipe from
+// net.Pipe's rendezvous and lets the server's reply batching coalesce.
+func TestBufPipeTransfersAndBuffers(t *testing.T) {
+	a, b := bufPipe()
+
+	// A full buffer's worth of writes completes with nobody reading.
+	chunk := make([]byte, 4096)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	for written := 0; written < wireBufSize; written += len(chunk) {
+		if _, err := a.Write(chunk); err != nil {
+			t.Fatalf("buffered write failed at %d bytes: %v", written, err)
+		}
+	}
+	// Drain from the peer and verify byte fidelity.
+	got := make([]byte, wireBufSize)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for off := 0; off < wireBufSize; off += len(chunk) {
+		if !bytes.Equal(got[off:off+len(chunk)], chunk) {
+			t.Fatalf("corruption in chunk at offset %d", off)
+		}
+	}
+
+	// A write beyond capacity blocks until the reader frees space, then
+	// completes — backpressure, not loss.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	big := make([]byte, wireBufSize+len(chunk))
+	go func() {
+		defer wg.Done()
+		if _, err := a.Write(big); err != nil {
+			t.Errorf("oversized write: %v", err)
+		}
+	}()
+	if _, err := io.ReadFull(b, make([]byte, len(big))); err != nil {
+		t.Fatalf("drain oversized: %v", err)
+	}
+	wg.Wait()
+}
+
+// TestBufPipeCloseSemantics: closing one end gives the peer EOF on read
+// and ErrClosedPipe on write — the contract the fsrpc client's poison
+// path and the fsserve session writer rely on to detect a dead
+// transport.
+func TestBufPipeCloseSemantics(t *testing.T) {
+	a, b := bufPipe()
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	a.Close()
+
+	// Buffered bytes written before the close are still readable...
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(b, got); err != nil || string(got) != "tail" {
+		t.Fatalf("pre-close bytes = %q, %v", got, err)
+	}
+	// ...then the stream reports EOF, and writes fail with ErrClosedPipe.
+	if _, err := b.Read(got); err != io.EOF {
+		t.Fatalf("read after close = %v, want io.EOF", err)
+	}
+	if _, err := b.Write([]byte("x")); err != io.ErrClosedPipe {
+		t.Fatalf("write after close = %v, want io.ErrClosedPipe", err)
+	}
+
+	// A reader blocked on an empty pipe is unblocked by the close.
+	c, d := bufPipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Read(make([]byte, 1))
+		done <- err
+	}()
+	c.Close()
+	if err := <-done; err != io.EOF {
+		t.Fatalf("blocked read unblocked with %v, want io.EOF", err)
+	}
+}

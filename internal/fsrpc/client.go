@@ -1,6 +1,7 @@
 package fsrpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,95 +9,300 @@ import (
 )
 
 // ErrPoisoned marks a client whose transport broke mid-protocol: a frame
-// was cut short, a reply arrived out of order, or the stream closed. Every
-// error returned from a poisoned client wraps it (errors.Is reports it),
-// so callers can distinguish "this call failed" (a status error, safe to
-// retry) from "this connection is unusable" and implement a reconnect with
-// Reset. See DESIGN.md §11 for the idempotency caveat on resending the
-// poisoning call after a reconnect.
+// was cut short, a reply arrived for a tag the client never issued, or the
+// stream closed. Every error returned from a poisoned client wraps it
+// (errors.Is reports it), so callers can distinguish "this call failed"
+// (a status error, safe to retry) from "this connection is unusable" and
+// implement a reconnect with Reset. Poisoning is total: every call in
+// flight when the transport dies fails with the same class, and the
+// transport is closed deterministically so no half-read frame lingers.
+// See DESIGN.md §13.6 for the state machine and the idempotency caveat on
+// resending the poisoning call after a reconnect.
 var ErrPoisoned = errors.New("fsrpc: client poisoned")
 
-// Client drives the fsrpc protocol over any byte stream. Calls are
-// synchronous and serialized: one request is on the wire at a time, which
-// keeps the in-process deterministic mode (net.Pipe, single server
-// worker) bit-identical run to run. Methods are safe for concurrent use —
-// concurrent callers simply queue on the call mutex.
+// DefaultWindow is the default bound on calls in flight per client. A
+// caller that would exceed it blocks in Go/Do until a slot frees — the
+// window applies backpressure, it never drops (DESIGN.md §13.4).
+const DefaultWindow = 32
+
+// Call is one in-flight request issued with Go. When the call completes
+// (reply received, transport poisoned, or Reset), Reply/Err are set and
+// the call is delivered on its done channel exactly once.
+type Call struct {
+	Req   *Request
+	Reply *Reply // nil on transport errors
+	Err   error  // nil on success; Status.Err() on status errors
+	done  chan *Call
+}
+
+// Done returns the completion channel; the call itself is sent on it
+// exactly once, after Reply and Err are set.
+func (c *Call) Done() <-chan *Call { return c.done }
+
+// Client drives the fsrpc protocol over any byte stream, pipelined: up to
+// `window` requests may be in flight at once, each identified by its tag,
+// with a dedicated reader goroutine dispatching completions in whatever
+// order the server produces them. The synchronous convenience methods
+// (Lookup, Read, …) each occupy one window slot for the duration of the
+// call, so a single-goroutine caller behaves exactly like the historical
+// serialized client, while N goroutines (or Go) multiplex one connection.
+//
+// A transport error — send failure, short frame, a reply for an unknown
+// tag — poisons the client: every in-flight call fails with an error
+// wrapping ErrPoisoned, the transport is closed, and later calls fail
+// fast until Reset installs a fresh connection.
 type Client struct {
-	mu   sync.Mutex
-	rw   io.ReadWriteCloser
-	tag  uint64
-	dead error // first transport failure; every later call repeats it
+	window chan struct{} // in-flight slots; send = acquire
+
+	wmu sync.Mutex // serializes frame writes (wire order = Go order)
+
+	mu      sync.Mutex
+	rw      io.ReadWriteCloser
+	gen     uint64 // bumped by Reset; stale readers/writers check it
+	tag     uint64
+	pending map[uint64]*Call    // tag → in-flight call
+	orphans map[uint64]struct{} // tags abandoned by a cancelled context
+	dead    error               // first transport failure; later calls repeat it
 }
 
 // NewClient wraps an established connection (a net.Conn or one end of a
-// net.Pipe).
+// net.Pipe) with the default in-flight window.
 func NewClient(rw io.ReadWriteCloser) *Client {
-	return &Client{rw: rw}
+	return NewClientWindow(rw, DefaultWindow)
 }
 
-// Close tears down the transport.
+// NewClientWindow wraps an established connection with an explicit bound
+// on calls in flight. window < 1 means 1 (fully serialized, the historical
+// behavior).
+func NewClientWindow(rw io.ReadWriteCloser, window int) *Client {
+	if window < 1 {
+		window = 1
+	}
+	c := &Client{
+		window:  make(chan struct{}, window),
+		rw:      rw,
+		pending: make(map[uint64]*Call),
+		orphans: make(map[uint64]struct{}),
+	}
+	go c.reader(0, rw)
+	return c
+}
+
+// Window returns the client's in-flight bound.
+func (c *Client) Window() int { return cap(c.window) }
+
+// Close tears down the transport, failing every in-flight call with
+// ErrPoisoned.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.dead == nil {
-		c.dead = fmt.Errorf("%w: client closed", ErrPoisoned)
-	}
-	return c.rw.Close()
+	gen, rw := c.gen, c.rw
+	c.mu.Unlock()
+	c.poison(gen, fmt.Errorf("%w: client closed", ErrPoisoned))
+	return rw.Close()
 }
 
 // Reset replaces the transport with a freshly established connection and
 // clears the poisoned state, so a caller that detected ErrPoisoned can
-// redial and keep using the same Client. The old transport is closed
-// (best-effort) and the tag sequence restarts: the new connection is a new
-// server session, so handles opened on the old one are gone and in-flight
-// effects of the poisoning call are unknown (DESIGN.md §11 — non-idempotent
-// calls such as Create or Write may or may not have been applied).
+// redial and keep using the same Client. Any calls still in flight on the
+// old transport fail with ErrPoisoned, the old transport is closed
+// (best-effort), and the tag sequence restarts: the new connection is a
+// new server session, so handles opened on the old one are gone and
+// in-flight effects of the poisoned calls are unknown (DESIGN.md §13.6 —
+// non-idempotent calls such as Create or Write may or may not have been
+// applied).
 func (c *Client) Reset(rw io.ReadWriteCloser) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.rw != nil && c.rw != rw {
-		_ = c.rw.Close()
-	}
+	old := c.rw
+	calls := c.takeInflightLocked()
+	c.gen++
+	gen := c.gen
 	c.rw = rw
 	c.tag = 0
 	c.dead = nil
+	c.mu.Unlock()
+	if old != nil && old != rw {
+		_ = old.Close()
+	}
+	c.failAll(calls, fmt.Errorf("%w: reset", ErrPoisoned))
+	go c.reader(gen, rw)
 }
 
-// call sends q and waits for its reply, checking tag and op echo. A
-// transport error (as opposed to a status error) poisons the client: the
-// stream cannot be resynchronized after a partial frame. Poisoning errors
-// wrap ErrPoisoned; Reset clears the state after a redial.
-func (c *Client) call(q *Request) (*Reply, error) {
+// takeInflightLocked empties the pending and orphan tables, returning the
+// calls that must be failed. Caller holds c.mu.
+func (c *Client) takeInflightLocked() []*Call {
+	calls := make([]*Call, 0, len(c.pending))
+	for _, call := range c.pending {
+		calls = append(calls, call)
+	}
+	c.pending = make(map[uint64]*Call)
+	c.orphans = make(map[uint64]struct{})
+	return calls
+}
+
+// failAll delivers err to every call and releases its window slot.
+func (c *Client) failAll(calls []*Call, err error) {
+	for _, call := range calls {
+		call.Err = err
+		<-c.window
+		call.done <- call
+	}
+}
+
+// poison latches the first transport failure for generation gen: every
+// in-flight call fails with err, the transport is closed so the broken
+// stream is torn down deterministically (a poisoned byte stream cannot be
+// resynchronized, and leaving it open would leave the peer writing into
+// the void), and every later call fails fast with the latched error.
+// Stale generations (superseded by Reset) are ignored.
+func (c *Client) poison(gen uint64, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if gen != c.gen || c.dead != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = err
+	calls := c.takeInflightLocked()
+	rw := c.rw
+	c.mu.Unlock()
+	_ = rw.Close()
+	c.failAll(calls, err)
+}
+
+// reader is the dispatch loop for one transport generation: it reads
+// reply frames and completes the matching in-flight call, in whatever
+// order the server pipelines them.
+func (c *Client) reader(gen uint64, rw io.ReadWriteCloser) {
+	for {
+		payload, err := ReadFrame(rw)
+		if err != nil {
+			c.poison(gen, fmt.Errorf("%w: recv: %w", ErrPoisoned, err))
+			return
+		}
+		r, err := DecodeReply(payload)
+		if err != nil {
+			c.poison(gen, fmt.Errorf("%w: %w", ErrPoisoned, err))
+			return
+		}
+		c.mu.Lock()
+		if gen != c.gen {
+			c.mu.Unlock()
+			return
+		}
+		if _, ok := c.orphans[r.Tag]; ok {
+			// The caller's context expired and the call was abandoned;
+			// the slot was released at abandonment. Discard the reply.
+			delete(c.orphans, r.Tag)
+			c.mu.Unlock()
+			continue
+		}
+		call, ok := c.pending[r.Tag]
+		if !ok || call.Req.Op != r.Op {
+			c.mu.Unlock()
+			c.poison(gen, fmt.Errorf("%w: %w: reply tag/op mismatch (got %s tag %d)",
+				ErrPoisoned, ErrProto, r.Op, r.Tag))
+			return
+		}
+		delete(c.pending, r.Tag)
+		c.mu.Unlock()
+		call.Reply = r
+		if r.Status != StatusOK {
+			call.Err = r.Status.Err()
+		}
+		<-c.window
+		call.done <- call
+	}
+}
+
+// Go issues q asynchronously: it acquires an in-flight window slot
+// (blocking while the window is saturated — requests are never dropped),
+// assigns the tag, writes the frame, and returns the in-flight call,
+// which is delivered on its Done channel when the reply arrives or the
+// transport dies. ctx bounds only the wait for a window slot; use Do for
+// a context that also bounds the reply wait. Calls issued by a single
+// goroutine reach the wire in issue order, which is what the server's
+// per-class ordering guarantees key off (DESIGN.md §13.5).
+func (c *Client) Go(ctx context.Context, q *Request) *Call {
+	call := &Call{Req: q, done: make(chan *Call, 1)}
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead != nil {
+		call.Err = dead
+		call.done <- call
+		return call
+	}
+	select {
+	case c.window <- struct{}{}:
+	case <-ctx.Done():
+		call.Err = ctx.Err()
+		call.done <- call
+		return call
+	}
+	c.mu.Lock()
 	if c.dead != nil {
-		return nil, c.dead
+		err := c.dead
+		c.mu.Unlock()
+		<-c.window
+		call.Err = err
+		call.done <- call
+		return call
 	}
 	c.tag++
 	q.Tag = c.tag
-	if err := WriteFrame(c.rw, q.Encode()); err != nil {
-		c.dead = fmt.Errorf("%w: send: %w", ErrPoisoned, err)
-		return nil, c.dead
-	}
-	payload, err := ReadFrame(c.rw)
+	gen := c.gen
+	rw := c.rw
+	c.pending[q.Tag] = call
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := WriteFrame(rw, q.Encode())
+	c.wmu.Unlock()
 	if err != nil {
-		c.dead = fmt.Errorf("%w: recv: %w", ErrPoisoned, err)
-		return nil, c.dead
+		c.poison(gen, fmt.Errorf("%w: send: %w", ErrPoisoned, err))
 	}
-	r, err := DecodeReply(payload)
-	if err != nil {
-		c.dead = fmt.Errorf("%w: %w", ErrPoisoned, err)
-		return nil, c.dead
+	return call
+}
+
+// abandon detaches call after its context expired: the tag moves to the
+// orphan table so the eventual reply is discarded instead of poisoning
+// the stream, and the window slot is released. Returns false when the
+// call already completed (its result is on the done channel).
+func (c *Client) abandon(call *Call) bool {
+	c.mu.Lock()
+	if cur, ok := c.pending[call.Req.Tag]; !ok || cur != call {
+		c.mu.Unlock()
+		return false
 	}
-	if r.Tag != q.Tag || r.Op != q.Op {
-		c.dead = fmt.Errorf("%w: %w: reply tag/op mismatch (got %s tag %d, want %s tag %d)",
-			ErrPoisoned, ErrProto, r.Op, r.Tag, q.Op, q.Tag)
-		return nil, c.dead
+	delete(c.pending, call.Req.Tag)
+	c.orphans[call.Req.Tag] = struct{}{}
+	c.mu.Unlock()
+	<-c.window
+	return true
+}
+
+// Do issues q and waits for its completion under ctx. On ctx expiry the
+// call is abandoned: its window slot frees immediately and the eventual
+// reply is discarded. The request may still execute on the server — the
+// same fate-unknown caveat as a poisoned call (DESIGN.md §13.6).
+func (c *Client) Do(ctx context.Context, q *Request) (*Reply, error) {
+	call := c.Go(ctx, q)
+	select {
+	case <-call.done:
+		return call.Reply, call.Err
+	case <-ctx.Done():
+		if c.abandon(call) {
+			return nil, ctx.Err()
+		}
+		<-call.done // completion raced the context; prefer the result
+		return call.Reply, call.Err
 	}
-	if r.Status != StatusOK {
-		return r, r.Status.Err()
-	}
-	return r, nil
+}
+
+// call is the synchronous form every convenience method uses.
+func (c *Client) call(q *Request) (*Reply, error) {
+	call := c.Go(context.Background(), q)
+	<-call.done
+	return call.Reply, call.Err
 }
 
 // Lookup resolves path. When open is true and the target is a regular

@@ -1,6 +1,7 @@
 package fsrpc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -201,6 +202,39 @@ func (r *Reply) Encode() []byte {
 	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync:
 	}
 	return e.buf
+}
+
+// FrameParts renders the reply as a complete wire frame (length prefix
+// included) split into scatter-gather segments, byte-identical to
+// WriteFrame(w, r.Encode()). For a successful READ the data bytes are
+// referenced, not copied: the first segment is the 18-byte header built
+// in scratch (reused when its capacity suffices) and the second is
+// r.Data itself, so a read payload travels device buffer → socket with
+// no intermediate copy. zerocopy reports how many payload bytes were
+// passed by reference. Every other reply encodes normally into scratch
+// as a single segment.
+func (r *Reply) FrameParts(scratch []byte) (segs [][]byte, zerocopy int, err error) {
+	if r.Op == OpRead && r.Status == StatusOK {
+		e := &enc{buf: append(scratch[:0], 0, 0, 0, 0)}
+		e.u8(uint8(r.Op) | replyBit)
+		e.u64(r.Tag)
+		e.u8(uint8(r.Status))
+		e.u32(uint32(len(r.Data)))
+		payloadLen := len(e.buf) - 4 + len(r.Data)
+		if payloadLen > MaxFrame {
+			return nil, 0, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame %d", ErrProto, payloadLen, MaxFrame)
+		}
+		binary.BigEndian.PutUint32(e.buf[:4], uint32(payloadLen))
+		return [][]byte{e.buf, r.Data}, len(r.Data), nil
+	}
+	payload := r.Encode()
+	if len(payload) > MaxFrame {
+		return nil, 0, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame %d", ErrProto, len(payload), MaxFrame)
+	}
+	buf := append(scratch[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	buf = append(buf, payload...)
+	return [][]byte{buf}, 0, nil
 }
 
 // DecodeReply parses a reply payload.

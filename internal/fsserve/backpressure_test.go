@@ -18,6 +18,10 @@ import (
 func parkableServer(t *testing.T, cfg fsserve.Config) (in *bench.Instance, srv *fsserve.Server, release func(), parked chan struct{}) {
 	t.Helper()
 	in = bench.BuildConcurrent("ext4", 256, 1)
+	// These tests drive read-class ops (STATFS/GETATTR) through the
+	// admission queue to exercise backpressure; the DirectReads fast path
+	// would serve them on the session reader and bypass it.
+	cfg.DirectReads = false
 	gate := make(chan struct{})
 	parked = make(chan struct{}, 4)
 	cfg.OnExecute = func(op fsrpc.Op) {

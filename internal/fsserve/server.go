@@ -15,6 +15,14 @@
 // — the client already gave up on them, executing them would only burn
 // capacity.
 //
+// Execution is pipelined per connection (DESIGN.md §13.5): requests from
+// one session may complete out of order — reads overlap freely — while
+// mutating ops stay ordered via per-class chains (WRITE/FSYNC per handle,
+// path-mutating ops on one namespace chain). Replies are staged to a
+// per-session writer goroutine that flushes whole batches in one
+// scatter-gather write, with READ payloads passed by reference from the
+// pooled device buffer into the frame (no intermediate copy).
+//
 // With Workers == 1 and a single synchronous client driver the server is
 // deterministic: requests execute in arrival order on one goroutine, so
 // simulated results (and the serve benchmark's latency percentiles) are
@@ -26,6 +34,7 @@ package fsserve
 import (
 	"errors"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -55,11 +64,45 @@ type Config struct {
 	// saturation/drain tests, which use it to park the worker
 	// deterministically. Leave nil in production.
 	OnExecute func(op fsrpc.Op)
+	// InlineReplies disables the per-session reply writer: workers encode
+	// and write each reply synchronously, one frame per write, with no
+	// batching or zero-copy framing. This is the pre-pipeline baseline;
+	// the serve benchmark uses it to measure the batched path against the
+	// old one in a single run. Leave false in production.
+	InlineReplies bool
+	// DirectReads executes chainless (read-class) requests on the session
+	// reader goroutine itself instead of handing them to the worker pool:
+	// LOOKUP/GETATTR/READ/READDIR/STATFS skip the queue handoff and reply
+	// from the same goroutine that decoded them. §13.5 already allows
+	// reads to complete out of order relative to queued mutations, so the
+	// only cost is that reads from one session no longer overlap each
+	// other — in exchange every read saves two scheduler handoffs, which
+	// dominates small-op latency. Mutations stay in the worker pool on
+	// purpose: they are the expensive op class, and executing them on the
+	// reader would head-of-line block every other request multiplexed on
+	// the connection behind one slow commit. Backpressure still exists:
+	// the reader cannot read ahead while executing, so a read-heavy
+	// session is naturally limited to one direct op in flight. Disabled
+	// automatically in the InlineReplies baseline, and by tests that need
+	// reads to traverse the admission queue.
+	DirectReads bool
+	// ExecSlots bounds how many requests execute against the mount at
+	// once, across the worker pool and the DirectReads fast path. The
+	// mount big lock serializes the FS work regardless, so slots beyond
+	// the CPU count buy no overlap — they only pile waiters onto the
+	// mutex, whose barging hand-off lets an unlucky request wait out the
+	// full 1ms starvation threshold under load. The gate is a channel
+	// semaphore, so waiters queue FIFO and the execution tail is bounded
+	// by queue depth instead. 0 (the default) sizes the gate to
+	// GOMAXPROCS; negative disables it. Chain waits happen before the
+	// gate, so a slot is never held by a request waiting on a
+	// predecessor.
+	ExecSlots int
 }
 
 // DefaultConfig returns the deterministic single-worker configuration.
 func DefaultConfig() Config {
-	return Config{Workers: 1, QueueDepth: 64, MaxHandles: 128}
+	return Config{Workers: 1, QueueDepth: 64, MaxHandles: 128, DirectReads: true}
 }
 
 func (c Config) withDefaults() Config {
@@ -77,19 +120,23 @@ func (c Config) withDefaults() Config {
 
 // serveMetrics holds the registry instruments, resolved at New.
 type serveMetrics struct {
-	reqCount   *metrics.Counter
-	reqBytes   *metrics.Counter
-	respBytes  *metrics.Counter
-	statusErr  *metrics.Counter
-	opCount    *metrics.Counter
-	opPanic    *metrics.Counter
-	queueDepth *metrics.Gauge
-	queueShed  *metrics.Counter
-	deadline   *metrics.Counter
-	sessions   *metrics.Gauge
-	drain      *metrics.Counter
-	opNs       *metrics.Histogram
-	perOp      [16]*metrics.Counter
+	reqCount      *metrics.Counter
+	reqBytes      *metrics.Counter
+	respBytes     *metrics.Counter
+	statusErr     *metrics.Counter
+	opCount       *metrics.Counter
+	opPanic       *metrics.Counter
+	queueDepth    *metrics.Gauge
+	queueShed     *metrics.Counter
+	deadline      *metrics.Counter
+	sessions      *metrics.Gauge
+	drain         *metrics.Counter
+	opNs          *metrics.Histogram
+	inflight      *metrics.Gauge     // fsrpc.inflight: admitted, not yet replied
+	pipeDepth     *metrics.Histogram // fsrpc.pipeline.depth: per-session outstanding at admission
+	batchReplies  *metrics.Histogram // fsserve.batch.replies: replies per writer flush
+	zerocopyBytes *metrics.Counter   // fsserve.zerocopy.bytes: READ payload bytes framed by reference
+	perOp         [16]*metrics.Counter
 }
 
 func resolveServeMetrics(reg *metrics.Registry) serveMetrics {
@@ -97,18 +144,22 @@ func resolveServeMetrics(reg *metrics.Registry) serveMetrics {
 		reg = metrics.NewRegistry()
 	}
 	m := serveMetrics{
-		reqCount:   reg.Counter("fsrpc.req.count"),
-		reqBytes:   reg.Counter("fsrpc.req.bytes"),
-		respBytes:  reg.Counter("fsrpc.resp.bytes"),
-		statusErr:  reg.Counter("fsrpc.status.err"),
-		opCount:    reg.Counter("fsserve.op.count"),
-		opPanic:    reg.Counter("fsserve.op.panic"),
-		queueDepth: reg.Gauge("fsserve.queue.depth"),
-		queueShed:  reg.Counter("fsserve.queue.shed"),
-		deadline:   reg.Counter("fsserve.deadline.shed"),
-		sessions:   reg.Gauge("fsserve.session.open"),
-		drain:      reg.Counter("fsserve.drain.count"),
-		opNs:       reg.Histogram("fsserve.op.ns", "ns"),
+		reqCount:      reg.Counter("fsrpc.req.count"),
+		reqBytes:      reg.Counter("fsrpc.req.bytes"),
+		respBytes:     reg.Counter("fsrpc.resp.bytes"),
+		statusErr:     reg.Counter("fsrpc.status.err"),
+		opCount:       reg.Counter("fsserve.op.count"),
+		opPanic:       reg.Counter("fsserve.op.panic"),
+		queueDepth:    reg.Gauge("fsserve.queue.depth"),
+		queueShed:     reg.Counter("fsserve.queue.shed"),
+		deadline:      reg.Counter("fsserve.deadline.shed"),
+		sessions:      reg.Gauge("fsserve.session.open"),
+		drain:         reg.Counter("fsserve.drain.count"),
+		opNs:          reg.Histogram("fsserve.op.ns", "ns"),
+		inflight:      reg.Gauge("fsrpc.inflight"),
+		pipeDepth:     reg.Histogram("fsrpc.pipeline.depth", "reqs"),
+		batchReplies:  reg.Histogram("fsserve.batch.replies", "replies"),
+		zerocopyBytes: reg.Counter("fsserve.zerocopy.bytes"),
 	}
 	for _, op := range fsrpc.Ops {
 		m.perOp[op] = reg.Counter("fsserve.op." + op.String())
@@ -123,11 +174,17 @@ const (
 	stateClosed
 )
 
-// task is one admitted request awaiting a worker.
+// task is one admitted request awaiting a worker, plus its position in
+// the session's ordering chain (DESIGN.md §13.5) when the op has one.
 type task struct {
 	sess     *session
 	req      *fsrpc.Request
 	enqueued time.Time
+
+	chainKeys [2]uint64
+	nchains   int
+	prev      [2]chan struct{} // predecessors' done; nil at a chain head
+	done      chan struct{}    // closed once this task's turn is over
 }
 
 // Server serves fsrpc requests against one vfs.Mount.
@@ -138,6 +195,7 @@ type Server struct {
 	m     serveMetrics
 
 	queue    chan *task
+	gate     chan struct{} // FIFO execution gate (Config.ExecSlots); nil when disabled
 	workerWG sync.WaitGroup
 	inflight sync.WaitGroup
 
@@ -158,6 +216,13 @@ func New(env *sim.Env, mount *vfs.Mount, cfg Config) *Server {
 		m:        resolveServeMetrics(env.Metrics),
 		queue:    make(chan *task, cfg.QueueDepth),
 		sessions: make(map[*session]struct{}),
+	}
+	slots := cfg.ExecSlots
+	if slots == 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	if slots > 0 {
+		s.gate = make(chan struct{}, slots)
 	}
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -210,23 +275,65 @@ func (s *Server) ServeConn(rw io.ReadWriteCloser) error {
 		if err != nil {
 			// The stream cannot be resynchronized after a malformed
 			// frame; reply EPROTO best-effort and tear down.
-			sess.writeReply(&fsrpc.Reply{Op: 0, Tag: 0, Status: fsrpc.StatusProto})
+			sess.sendReply(&fsrpc.Reply{Op: 0, Tag: 0, Status: fsrpc.StatusProto}, nil, nil)
+			sess.flush()
 			return err
+		}
+		if s.cfg.DirectReads && !sess.inline {
+			if _, n := chainKeys(req); n == 0 {
+				if st := s.serveDirect(sess, req); st != fsrpc.StatusOK {
+					s.m.statusErr.Inc()
+					sess.sendReply(&fsrpc.Reply{Op: req.Op, Tag: req.Tag, Status: st}, nil, nil)
+				}
+				continue
+			}
 		}
 		if st := s.admit(&task{sess: sess, req: req, enqueued: time.Now()}); st != fsrpc.StatusOK {
 			if st == fsrpc.StatusBusy {
 				s.m.queueShed.Inc()
 			}
 			s.m.statusErr.Inc()
-			sess.writeReply(&fsrpc.Reply{Op: req.Op, Tag: req.Tag, Status: st})
+			sess.sendReply(&fsrpc.Reply{Op: req.Op, Tag: req.Tag, Status: st}, nil, nil)
 		}
 	}
+}
+
+// serveDirect is the DirectReads request fast path: execute a chainless
+// request on the calling (session reader) goroutine and stage its reply.
+// Accounting mirrors admit/worker exactly — the inflight count is raised
+// under the state lock so Shutdown's drain barrier cannot miss it, and
+// the pipeline-depth sample and gauge decrements are identical — so the
+// metric catalog cannot tell fast-path ops from pooled ones except
+// through fsserve.queue.depth, which direct ops never touch.
+func (s *Server) serveDirect(sess *session, req *fsrpc.Request) fsrpc.Status {
+	s.mu.Lock()
+	if s.state != stateServing {
+		s.mu.Unlock()
+		return fsrpc.StatusShutdown
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	s.m.inflight.Add(1)
+	s.m.pipeDepth.Observe(sess.outstanding.Add(1))
+	rep, data := s.execute(sess, req)
+	if rep.Status != fsrpc.StatusOK {
+		s.m.statusErr.Inc()
+	}
+	sess.sendReply(rep, data, func() {
+		sess.outstanding.Add(-1)
+		s.m.inflight.Add(-1)
+		s.inflight.Done()
+	})
+	return fsrpc.StatusOK
 }
 
 // admit places t on the bounded queue without ever blocking: a full queue
 // sheds with EBUSY, a draining server rejects with ESHUTDOWN. The
 // inflight count is raised under the state lock so Shutdown's drain
-// barrier cannot miss an admitted request.
+// barrier cannot miss an admitted request. An admitted task is linked
+// into its session ordering chain before it is enqueued (the session
+// reader calls admit serially, so chain order equals wire order), and the
+// session's outstanding depth is sampled into fsrpc.pipeline.depth.
 func (s *Server) admit(t *task) fsrpc.Status {
 	s.mu.Lock()
 	if s.state != stateServing {
@@ -235,22 +342,38 @@ func (s *Server) admit(t *task) fsrpc.Status {
 	}
 	s.inflight.Add(1)
 	s.mu.Unlock()
+	t.sess.link(t)
 	select {
 	case s.queue <- t:
 		s.m.queueDepth.Add(1)
+		s.m.inflight.Add(1)
+		s.m.pipeDepth.Observe(t.sess.outstanding.Add(1))
 		return fsrpc.StatusOK
 	default:
+		t.sess.unlink(t)
 		s.inflight.Done()
 		return fsrpc.StatusBusy
 	}
 }
 
-// worker executes admitted requests in queue order.
+// worker executes admitted requests in queue order, subject to the
+// per-session ordering chains: a chained task (WRITE/FSYNC on a handle,
+// path-mutating ops) waits for its predecessor's turn to end before
+// executing, so pipelined mutations apply in issue order while reads
+// from the same session overlap freely. Chains cannot deadlock the
+// bounded pool: admission order equals queue order, so the earliest
+// unfinished chained task's predecessor has always already been dequeued.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.queue {
 		s.m.queueDepth.Add(-1)
+		for i := 0; i < t.nchains; i++ {
+			if t.prev[i] != nil {
+				<-t.prev[i]
+			}
+		}
 		var rep *fsrpc.Reply
+		var data *[]byte
 		if s.cfg.QueueWait > 0 && time.Since(t.enqueued) > s.cfg.QueueWait {
 			// The request outlived its queue-wait budget; shed it
 			// unexecuted rather than burn capacity on a reply the client
@@ -258,13 +381,18 @@ func (s *Server) worker() {
 			s.m.deadline.Inc()
 			rep = &fsrpc.Reply{Op: t.req.Op, Tag: t.req.Tag, Status: fsrpc.StatusBusy}
 		} else {
-			rep = s.execute(t.sess, t.req)
+			rep, data = s.execute(t.sess, t.req)
 		}
+		t.sess.finishChain(t)
 		if rep.Status != fsrpc.StatusOK {
 			s.m.statusErr.Inc()
 		}
-		t.sess.writeReply(rep)
-		s.inflight.Done()
+		sess := t.sess
+		sess.sendReply(rep, data, func() {
+			sess.outstanding.Add(-1)
+			s.m.inflight.Add(-1)
+			s.inflight.Done()
+		})
 	}
 }
 
@@ -304,14 +432,23 @@ func (s *Server) Shutdown() {
 // panic from the FS stack (a programmer invariant, never a hardware
 // fault — those arrive as errors) is converted to an EIO reply and
 // counted, so one broken op cannot wedge every client of the server.
-func (s *Server) execute(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply) {
+//
+// data is the pooled buffer a successful READ reply's Data references;
+// the caller must route it to sendReply so it returns to the pool after
+// the frame is written. Nil for every other reply.
+func (s *Server) execute(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply, data *[]byte) {
 	rep = &fsrpc.Reply{Op: q.Op, Tag: q.Tag}
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.opPanic.Inc()
 			rep = &fsrpc.Reply{Op: q.Op, Tag: q.Tag, Status: fsrpc.StatusIO}
+			data = nil
 		}
 	}()
+	if s.gate != nil {
+		s.gate <- struct{}{}
+		defer func() { <-s.gate }()
+	}
 	if s.cfg.OnExecute != nil {
 		s.cfg.OnExecute(q.Op)
 	}
@@ -322,9 +459,9 @@ func (s *Server) execute(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply) {
 	start := s.env.Now()
 	defer func() { s.m.opNs.Observe(int64(s.env.Now() - start)) }()
 
-	fail := func(err error) *fsrpc.Reply {
+	fail := func(err error) (*fsrpc.Reply, *[]byte) {
 		rep.Status = fsrpc.StatusOf(err)
-		return rep
+		return rep, nil
 	}
 	switch q.Op {
 	case fsrpc.OpLookup:
@@ -362,12 +499,17 @@ func (s *Server) execute(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply) {
 		if !ok {
 			return fail(fsrpc.ErrBadHandle)
 		}
-		buf := make([]byte, q.N)
-		n, err := f.ReadAt(buf, q.Off)
+		// Pooled buffer, filled by the device and referenced (not copied)
+		// by the reply frame; the session writer returns it to the pool
+		// once the frame is on the wire.
+		bufp := readBufPool.Get().(*[]byte)
+		n, err := f.ReadAt((*bufp)[:q.N], q.Off)
 		if err != nil {
+			readBufPool.Put(bufp)
 			return fail(err)
 		}
-		rep.Data = buf[:n]
+		rep.Data = (*bufp)[:n]
+		data = bufp
 	case fsrpc.OpWrite:
 		f, ok := sess.get(q.Handle)
 		if !ok {
@@ -425,5 +567,5 @@ func (s *Server) execute(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply) {
 	default:
 		return fail(fsrpc.ErrProto)
 	}
-	return rep
+	return rep, data
 }
