@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race crashtest scrub repair faults bench-json serve servebench aging
+.PHONY: check vet build test race crashtest scrub repair faults bench-json serve servebench netfaults aging
 
-check: vet build race crashtest scrub repair faults serve servebench aging bench-json
+check: vet build race crashtest scrub repair faults serve servebench netfaults aging bench-json
 
 vet:
 	$(GO) vet ./...
@@ -98,6 +98,17 @@ servebench:
 		-o BENCH_serve_pipe.json > /dev/null
 	$(GO) run ./cmd/betrbench -validate BENCH_serve_pipe.json
 	rm -f BENCH_serve_pipe.json
+
+# Wire-level fault injection and session resumption (DESIGN.md §13.9):
+# the seeded multi-client torture sweep (mid-frame connection cuts vs a
+# fault-free oracle, byte-for-byte), the exactly-once replay tests
+# (DRC hits over re-execution, handle survival, typed lease expiry,
+# bounded redial give-up, PING keepalive), and the teardown races
+# (Reset/Close vs in-flight calls and the redial loop) — all only
+# meaningful under the race detector.
+netfaults:
+	$(GO) test -race -count=1 ./internal/nettest/
+	$(GO) test -race -count=1 -run 'ResetRacesInFlightGo|CloseRacesRedialLoop' ./internal/fsrpc/
 
 # FTL aging rung (DESIGN.md §12): discard plumbing correctness under
 # the race detector — the crash sweeps over FTL-backed stacks, the

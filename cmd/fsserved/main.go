@@ -34,6 +34,8 @@ func main() {
 	maxHandles := flag.Int("max-handles", 128, "per-session open-handle cap (oldest evicted beyond it)")
 	directReads := flag.Bool("direct-reads", true, "execute read-class ops on the session reader, skipping the admission queue (DESIGN.md §13.5)")
 	inlineReplies := flag.Bool("inline-replies", false, "write each reply frame synchronously instead of batching through the session writer")
+	sessionLease := flag.Duration("session-lease", 2*time.Minute, "how long a disconnected named session (HELLO, DESIGN.md §13.9) survives without traffic before its handles close (0 = never expire)")
+	drcEntries := flag.Int("drc-entries", 256, "per-session duplicate-reply cache entries; must exceed the client window or slow replays are refused with ERETIRED")
 	flag.Parse()
 
 	var in *bench.Instance
@@ -49,6 +51,8 @@ func main() {
 		MaxHandles:    *maxHandles,
 		DirectReads:   *directReads,
 		InlineReplies: *inlineReplies,
+		SessionLease:  *sessionLease,
+		DRCEntries:    *drcEntries,
 	}
 	srv := fsserve.New(in.Env, in.Mount, cfg)
 
@@ -57,8 +61,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fsserved:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "fsserved: %s mounted (scale 1/%d), listening on %s (%d workers, queue %d)\n",
-		*fsName, *scale, ln.Addr(), cfg.Workers, cfg.QueueDepth)
+	fmt.Fprintf(os.Stderr, "fsserved: %s mounted (scale 1/%d), listening on %s (%d workers, queue %d, lease %v, drc %d)\n",
+		*fsName, *scale, ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.SessionLease, cfg.DRCEntries)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -4,14 +4,17 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"betrfs/internal/fsrpc"
+	"betrfs/internal/metrics"
 	"betrfs/internal/vfs"
 )
 
@@ -27,8 +30,27 @@ func runRemote(addr string, window int) {
 		fmt.Fprintln(os.Stderr, "fsshell: connect:", err)
 		os.Exit(1)
 	}
-	cli := fsrpc.NewClientWindow(conn, window)
+	reg := metrics.NewRegistry()
+	cli := fsrpc.NewClientOpts(conn, fsrpc.Options{Window: window, Metrics: reg})
 	defer cli.Close()
+
+	// Arm automatic reconnection (DESIGN.md §13.9): a dropped TCP
+	// connection is redialed with backoff and the session — open handles
+	// included — resumes where it left off. In-flight calls replay
+	// exactly-once through the server's duplicate-reply cache.
+	err = cli.EnableRedial(
+		func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) },
+		fsrpc.RedialPolicy{OnReconnect: func(attempts int, resumed bool) {
+			if resumed {
+				fmt.Fprintf(os.Stderr, "fsshell: reconnected to %s after %d attempt(s); session resumed\n", addr, attempts)
+			} else {
+				fmt.Fprintf(os.Stderr, "fsshell: reconnected to %s after %d attempt(s); session lease had expired — handles lost, fresh session started\n", addr, attempts)
+			}
+		}},
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsshell: session handshake failed (%v); continuing without auto-reconnect\n", err)
+	}
 	fmt.Printf("connected to fsserved at %s (window %d); type 'help'\n", addr, cli.Window())
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -36,7 +58,7 @@ func runRemote(addr string, window int) {
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) > 0 {
-			if !executeRemote(cli, fields) {
+			if !executeRemote(cli, reg, fields) {
 				return
 			}
 		}
@@ -57,13 +79,13 @@ func mkdirAll(cli *fsrpc.Client, path string) error {
 	return nil
 }
 
-func executeRemote(cli *fsrpc.Client, f []string) bool {
+func executeRemote(cli *fsrpc.Client, reg *metrics.Registry, f []string) bool {
 	fail := func(cmd string, err error) {
 		fmt.Printf("%s: %v\n", cmd, err)
 	}
 	switch f[0] {
 	case "help":
-		fmt.Println("commands: ls [dir] | mkdir p | write p text... | cat p | rm p | rmdir p | mv a b | stat p | fsync p | statfs | pipe [n] [path] | quit")
+		fmt.Println("commands: ls [dir] | mkdir p | write p text... | cat p | rm p | rmdir p | mv a b | stat p | fsync p | statfs | stats | ping | pipe [n] [path] | quit")
 	case "quit", "exit":
 		return false
 	case "ls":
@@ -195,6 +217,31 @@ func executeRemote(cli *fsrpc.Client, f []string) bool {
 		}
 		fmt.Printf("block=%d simtime=%v degraded=%v sessions=%d ops=%d\n",
 			sf.BlockSize, time.Duration(sf.SimTimeNs), sf.Degraded, sf.Sessions, sf.OpsServed)
+	case "stats":
+		// Client-side wire resilience counters (DESIGN.md §13.7):
+		// redials, replays, and deadline expiries this shell has seen.
+		token, lease := cli.Session()
+		if token == "" {
+			fmt.Println("session: none (server predates HELLO)")
+		} else {
+			fmt.Printf("session: %s (lease %v)\n", token, lease)
+		}
+		snap := reg.Snapshot()
+		names := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-24s %8d\n", name, snap.Counters[name])
+		}
+	case "ping":
+		start := time.Now()
+		if err := cli.Ping(); err != nil {
+			fail("ping", err)
+			break
+		}
+		fmt.Printf("pong in %v (lease renewed)\n", time.Since(start))
 	default:
 		fmt.Println("unknown command; try 'help'")
 	}

@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"net"
 	"os"
 	"regexp"
 	"sort"
 	"testing"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/fsrpc"
 	"betrfs/internal/fsserve"
 	"betrfs/internal/sim"
 )
@@ -53,9 +55,14 @@ func registeredMetrics() map[string]bool {
 		out[n] = true
 	}
 	// The serve path's fsrpc.*/fsserve.* instruments register at server
-	// construction (§13.7); stand one up over a scratch mount.
+	// construction (§13.7); stand one up over a scratch mount. The
+	// client-side resilience counters register at client construction
+	// when Options.Metrics is set (§13.9), so build one of those too.
 	in := Build("ext4", 256)
 	fsserve.New(in.Env, in.Mount, fsserve.DefaultConfig()).Shutdown()
+	end, peer := net.Pipe()
+	peer.Close()
+	fsrpc.NewClientOpts(end, fsrpc.Options{Metrics: in.Env.Metrics}).Close()
 	for _, n := range in.Env.Metrics.Names() {
 		out[n] = true
 	}

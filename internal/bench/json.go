@@ -38,7 +38,15 @@ import (
 //	    optional `window`/`streams` fields recording the pipelined pass
 //	    (absent on deterministic single-worker documents, whose measured
 //	    cells are unchanged from v3)
-const SchemaVersion = 4
+//	5 — serve documents guarantee the session-resilience families in
+//	    every system snapshot: the client redial counters
+//	    `fsrpc.redial.attempt`, `fsrpc.redial.success`,
+//	    `fsrpc.redial.giveup` and the server duplicate-reply-cache
+//	    counters `fsserve.drc.hit`, `fsserve.drc.miss`,
+//	    `fsserve.drc.evict` (DESIGN.md §13.9) — all zero on fault-free
+//	    runs, but their presence proves the resilient wire path
+//	    produced the document; measured cells are unchanged from v4
+const SchemaVersion = 5
 
 // Doc is one benchmark run: a set of columns measured across a set of
 // systems, plus per-system metric snapshots.
@@ -355,6 +363,17 @@ func Validate(data []byte) (*Doc, error) {
 			}
 			if _, ok := s.Metrics.Gauges["fsrpc.inflight"]; !ok {
 				return nil, fmt.Errorf("bench json: serve system %q missing the fsrpc.inflight gauge in its metric snapshot", s.System)
+			}
+			// Schema v5: the resilience families must be present — the
+			// client counters register when the bench builds its clients on
+			// the instance registry, the DRC counters at fsserve.New.
+			for _, key := range []string{
+				"fsrpc.redial.attempt", "fsrpc.redial.success", "fsrpc.redial.giveup",
+				"fsserve.drc.hit", "fsserve.drc.miss", "fsserve.drc.evict",
+			} {
+				if _, ok := s.Metrics.Counters[key]; !ok {
+					return nil, fmt.Errorf("bench json: serve system %q missing %s in its metric snapshot", s.System, key)
+				}
 			}
 		}
 		// Schema v3: rows produced over the simulated FTL (identified by

@@ -308,7 +308,11 @@ func runServeDeterministic(system string, scale int64, clients int) (ServeResult
 	for c := range cls {
 		cliEnd, srvEnd := net.Pipe()
 		go srv.ServeConn(srvEnd)
-		cls[c] = &serveClient{cli: fsrpc.NewClient(cliEnd), steps: buildScript(c, files, payload)}
+		// The instance registry makes the client-side resilience counters
+		// (fsrpc.redial.* etc., all zero on this fault-free path) part of
+		// the snapshot, which schema v5 requires on serve documents.
+		cli := fsrpc.NewClientOpts(cliEnd, fsrpc.Options{Metrics: in.Env.Metrics})
+		cls[c] = &serveClient{cli: cli, steps: buildScript(c, files, payload)}
 	}
 
 	start := in.Env.Now()
@@ -405,9 +409,9 @@ func runServeTrial(system string, scale int64, clients, streams, workers, files 
 		go srv.ServeConn(srvEnd)
 		var cli *fsrpc.Client
 		if pipelined {
-			cli = fsrpc.NewClient(cliEnd)
+			cli = fsrpc.NewClientOpts(cliEnd, fsrpc.Options{Metrics: in.Env.Metrics})
 		} else {
-			cli = fsrpc.NewClientWindow(cliEnd, 1)
+			cli = fsrpc.NewClientOpts(cliEnd, fsrpc.Options{Window: 1, Metrics: in.Env.Metrics})
 		}
 		conns = append(conns, cli)
 		for s := 0; s < streams; s++ {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"regexp"
 	"strconv"
@@ -94,6 +95,9 @@ func TestWireSpecMatchesCode(t *testing.T) {
 	// --- §13.7 metric table vs the live registry ---
 	in := Build("ext4", 256)
 	fsserve.New(in.Env, in.Mount, fsserve.DefaultConfig()).Shutdown()
+	end, peer := net.Pipe()
+	peer.Close()
+	fsrpc.NewClientOpts(end, fsrpc.Options{Metrics: in.Env.Metrics}).Close()
 	snap := in.Env.Metrics.Snapshot()
 	kind := map[string]string{}
 	for n := range snap.Counters {

@@ -3,8 +3,10 @@ package bench
 import (
 	"bytes"
 	"io"
+	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestBufPipeTransfersAndBuffers: data written to one end arrives intact
@@ -86,5 +88,98 @@ func TestBufPipeCloseSemantics(t *testing.T) {
 	c.Close()
 	if err := <-done; err != io.EOF {
 		t.Fatalf("blocked read unblocked with %v, want io.EOF", err)
+	}
+}
+
+// TestBufPipeCloseUnblocksBlockedWriter: a writer parked on a full
+// buffer must be released by a close of either end with ErrClosedPipe —
+// the teardown edge the session writer hits when a client vanishes while
+// its reply stream is backed up.
+func TestBufPipeCloseUnblocksBlockedWriter(t *testing.T) {
+	for _, who := range []string{"own-end", "peer-end"} {
+		a, b := bufPipe()
+		if _, err := a.Write(make([]byte, wireBufSize)); err != nil {
+			t.Fatalf("%s: fill: %v", who, err)
+		}
+		errc := make(chan error, 1)
+		go func() {
+			_, err := a.Write(make([]byte, 1))
+			errc <- err
+		}()
+		time.Sleep(5 * time.Millisecond) // let the writer park on notFull
+		if who == "own-end" {
+			a.Close()
+		} else {
+			b.Close()
+		}
+		if err := <-errc; err != io.ErrClosedPipe {
+			t.Fatalf("%s: blocked write unblocked with %v, want io.ErrClosedPipe", who, err)
+		}
+	}
+}
+
+// TestBufPipeCloseDuringVectoredFlush: the reply writer's net.Buffers
+// flush spans many Write calls; a peer close mid-flush must fail the
+// flush with ErrClosedPipe instead of deadlocking, and the bytes flushed
+// before the close stay readable.
+func TestBufPipeCloseDuringVectoredFlush(t *testing.T) {
+	a, b := bufPipe()
+	var frames net.Buffers
+	for i := 0; i < 6; i++ {
+		frames = append(frames, make([]byte, wireBufSize/2))
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := frames.WriteTo(a)
+		done <- err
+	}()
+	// Drain part of the flush so some frames land, then cut the pipe
+	// while the writer is still blocked pushing the rest.
+	if _, err := io.ReadFull(b, make([]byte, wireBufSize)); err != nil {
+		t.Fatalf("partial drain: %v", err)
+	}
+	b.Close()
+	if err := <-done; err != io.ErrClosedPipe {
+		t.Fatalf("vectored flush across close = %v, want io.ErrClosedPipe", err)
+	}
+}
+
+// TestBufPipeConcurrentCloseWriteRead hammers one duplex from writer,
+// reader, and closer goroutines; the race detector owns the assertions —
+// nothing may deadlock and every call must return.
+func TestBufPipeConcurrentCloseWriteRead(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a, b := bufPipe()
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := a.Write(make([]byte, 1024)); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 512)
+			for {
+				if _, err := b.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if i%2 == 0 {
+				a.Close()
+			} else {
+				b.Close()
+			}
+		}()
+		wg.Wait()
+		// Whichever end survived: both ends must now observe the close.
+		a.Close()
+		b.Close()
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // ErrPoisoned marks a client whose transport broke mid-protocol: a frame
@@ -53,16 +54,27 @@ func (c *Call) Done() <-chan *Call { return c.done }
 // fast until Reset installs a fresh connection.
 type Client struct {
 	window chan struct{} // in-flight slots; send = acquire
+	opts   Options
+	m      *clientMetrics
 
 	wmu sync.Mutex // serializes frame writes (wire order = Go order)
 
 	mu      sync.Mutex
 	rw      io.ReadWriteCloser
-	gen     uint64 // bumped by Reset; stale readers/writers check it
+	gen     uint64 // bumped by Reset/reconnect; stale readers/writers check it
 	tag     uint64
 	pending map[uint64]*Call    // tag → in-flight call
 	orphans map[uint64]struct{} // tags abandoned by a cancelled context
 	dead    error               // first transport failure; later calls repeat it
+
+	// Session resumption state (DESIGN.md §13.9).
+	token    string        // server-issued session token (empty: anonymous)
+	lease    time.Duration // lease the server granted with the token
+	seq      uint64        // last sequence number assigned to a mutation
+	dialer   func() (io.ReadWriteCloser, error)
+	policy   RedialPolicy
+	resuming chan struct{} // non-nil while a redial loop owns the transport
+	replay   []*Call       // fate-unknown calls awaiting resume (hold window slots)
 }
 
 // NewClient wraps an established connection (a net.Conn or one end of a
@@ -78,8 +90,22 @@ func NewClientWindow(rw io.ReadWriteCloser, window int) *Client {
 	if window < 1 {
 		window = 1
 	}
+	return NewClientOpts(rw, Options{Window: window})
+}
+
+// NewClientOpts wraps an established connection with full Options.
+func NewClientOpts(rw io.ReadWriteCloser, o Options) *Client {
+	if o.Window < 1 {
+		if o.Window == 0 {
+			o.Window = DefaultWindow
+		} else {
+			o.Window = 1
+		}
+	}
 	c := &Client{
-		window:  make(chan struct{}, window),
+		window:  make(chan struct{}, o.Window),
+		opts:    o,
+		m:       resolveClientMetrics(o.Metrics),
 		rw:      rw,
 		pending: make(map[uint64]*Call),
 		orphans: make(map[uint64]struct{}),
@@ -92,51 +118,64 @@ func NewClientWindow(rw io.ReadWriteCloser, window int) *Client {
 func (c *Client) Window() int { return cap(c.window) }
 
 // Close tears down the transport, failing every in-flight call with
-// ErrPoisoned.
+// ErrPoisoned. A redial loop in progress is superseded and exits.
 func (c *Client) Close() error {
+	err := fmt.Errorf("%w: client closed", ErrPoisoned)
 	c.mu.Lock()
-	gen, rw := c.gen, c.rw
+	c.gen++ // invalidate the reader and any redial loop
+	rw := c.rw
+	if c.dead == nil {
+		c.dead = err
+	}
+	c.takeReplayLocked()
+	calls := c.replay
+	c.replay = nil
+	ch := c.resuming
+	c.resuming = nil
 	c.mu.Unlock()
-	c.poison(gen, fmt.Errorf("%w: client closed", ErrPoisoned))
-	return rw.Close()
+	if ch != nil {
+		close(ch)
+	}
+	cerr := rw.Close()
+	c.failAll(calls, err)
+	return cerr
 }
 
 // Reset replaces the transport with a freshly established connection and
 // clears the poisoned state, so a caller that detected ErrPoisoned can
 // redial and keep using the same Client. Any calls still in flight on the
 // old transport fail with ErrPoisoned, the old transport is closed
-// (best-effort), and the tag sequence restarts: the new connection is a
-// new server session, so handles opened on the old one are gone and
-// in-flight effects of the poisoned calls are unknown (DESIGN.md §13.6 —
-// non-idempotent calls such as Create or Write may or may not have been
-// applied).
+// (best-effort), and the tag sequence restarts: the new connection starts
+// a new anonymous server session, so handles opened on the old one are
+// gone, any resumable session token is dropped, and in-flight effects of
+// the poisoned calls are unknown (DESIGN.md §13.6 — non-idempotent calls
+// such as Create or Write may or may not have been applied). For
+// transparent reconnection with exactly-once replay, use Hello +
+// EnableRedial instead (§13.9).
 func (c *Client) Reset(rw io.ReadWriteCloser) {
 	c.mu.Lock()
 	old := c.rw
-	calls := c.takeInflightLocked()
+	c.takeReplayLocked()
+	calls := c.replay
+	c.replay = nil
+	ch := c.resuming
+	c.resuming = nil
 	c.gen++
 	gen := c.gen
 	c.rw = rw
 	c.tag = 0
 	c.dead = nil
+	c.token = ""
+	c.seq = 0
 	c.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
 	if old != nil && old != rw {
 		_ = old.Close()
 	}
 	c.failAll(calls, fmt.Errorf("%w: reset", ErrPoisoned))
 	go c.reader(gen, rw)
-}
-
-// takeInflightLocked empties the pending and orphan tables, returning the
-// calls that must be failed. Caller holds c.mu.
-func (c *Client) takeInflightLocked() []*Call {
-	calls := make([]*Call, 0, len(c.pending))
-	for _, call := range c.pending {
-		calls = append(calls, call)
-	}
-	c.pending = make(map[uint64]*Call)
-	c.orphans = make(map[uint64]struct{})
-	return calls
 }
 
 // failAll delivers err to every call and releases its window slot.
@@ -148,20 +187,38 @@ func (c *Client) failAll(calls []*Call, err error) {
 	}
 }
 
-// poison latches the first transport failure for generation gen: every
-// in-flight call fails with err, the transport is closed so the broken
-// stream is torn down deterministically (a poisoned byte stream cannot be
-// resynchronized, and leaving it open would leave the peer writing into
-// the void), and every later call fails fast with the latched error.
-// Stale generations (superseded by Reset) are ignored.
+// poison handles the first transport failure for generation gen. With a
+// resumable session and a dialer installed (EnableRedial), the client
+// enters reconnecting instead of dying: in-flight calls move to the
+// replay set (keeping their window slots), the broken transport is
+// closed, and a redial loop takes over the next generation. Otherwise the
+// failure latches terminally: every in-flight call fails with err, the
+// transport is closed so the broken stream is torn down deterministically
+// (a poisoned byte stream cannot be resynchronized, and leaving it open
+// would leave the peer writing into the void), and every later call fails
+// fast with the latched error. Stale generations (superseded by Reset or
+// a reconnect) are ignored.
 func (c *Client) poison(gen uint64, err error) {
 	c.mu.Lock()
 	if gen != c.gen || c.dead != nil {
 		c.mu.Unlock()
 		return
 	}
+	if c.dialer != nil && c.token != "" {
+		c.gen++
+		rgen := c.gen
+		rw := c.rw
+		c.takeReplayLocked()
+		c.resuming = make(chan struct{})
+		c.mu.Unlock()
+		_ = rw.Close()
+		go c.redialLoop(rgen, err)
+		return
+	}
 	c.dead = err
-	calls := c.takeInflightLocked()
+	c.takeReplayLocked()
+	calls := c.replay
+	c.replay = nil
 	rw := c.rw
 	c.mu.Unlock()
 	_ = rw.Close()
@@ -247,6 +304,18 @@ func (c *Client) Go(ctx context.Context, q *Request) *Call {
 		call.done <- call
 		return call
 	}
+	if q.Seq == 0 && c.token != "" && q.Op.Mutating() {
+		c.seq++
+		q.Seq = c.seq
+	}
+	if c.resuming != nil {
+		// Transport down, redial in progress: park the call in the replay
+		// set (it keeps its window slot). It is assigned a tag and written
+		// after the fate-unknown calls when the session resumes.
+		c.replay = append(c.replay, call)
+		c.mu.Unlock()
+		return call
+	}
 	c.tag++
 	q.Tag = c.tag
 	gen := c.gen
@@ -265,19 +334,28 @@ func (c *Client) Go(ctx context.Context, q *Request) *Call {
 
 // abandon detaches call after its context expired: the tag moves to the
 // orphan table so the eventual reply is discarded instead of poisoning
-// the stream, and the window slot is released. Returns false when the
-// call already completed (its result is on the done channel).
+// the stream, and the window slot is released. A call parked in the
+// replay set during a reconnect is simply removed from it. Returns false
+// when the call already completed (its result is on the done channel).
 func (c *Client) abandon(call *Call) bool {
 	c.mu.Lock()
-	if cur, ok := c.pending[call.Req.Tag]; !ok || cur != call {
+	if cur, ok := c.pending[call.Req.Tag]; ok && cur == call {
+		delete(c.pending, call.Req.Tag)
+		c.orphans[call.Req.Tag] = struct{}{}
 		c.mu.Unlock()
-		return false
+		<-c.window
+		return true
 	}
-	delete(c.pending, call.Req.Tag)
-	c.orphans[call.Req.Tag] = struct{}{}
+	for i, parked := range c.replay {
+		if parked == call {
+			c.replay = append(c.replay[:i], c.replay[i+1:]...)
+			c.mu.Unlock()
+			<-c.window
+			return true
+		}
+	}
 	c.mu.Unlock()
-	<-c.window
-	return true
+	return false
 }
 
 // Do issues q and waits for its completion under ctx. On ctx expiry the
@@ -291,6 +369,9 @@ func (c *Client) Do(ctx context.Context, q *Request) (*Reply, error) {
 		return call.Reply, call.Err
 	case <-ctx.Done():
 		if c.abandon(call) {
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				c.m.deadlineExpired.Inc()
+			}
 			return nil, ctx.Err()
 		}
 		<-call.done // completion raced the context; prefer the result
@@ -298,8 +379,14 @@ func (c *Client) Do(ctx context.Context, q *Request) (*Reply, error) {
 	}
 }
 
-// call is the synchronous form every convenience method uses.
+// call is the synchronous form every convenience method uses, bounded by
+// Options.CallTimeout when one is configured.
 func (c *Client) call(q *Request) (*Reply, error) {
+	if t := c.opts.CallTimeout; t > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), t)
+		defer cancel()
+		return c.Do(ctx, q)
+	}
 	call := c.Go(context.Background(), q)
 	<-call.done
 	return call.Reply, call.Err

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -310,5 +311,110 @@ func TestFramePartsByteEquivalence(t *testing.T) {
 		} else if zc != 0 {
 			t.Fatalf("%s: zerocopy = %d, want 0", r.Op, zc)
 		}
+	}
+}
+
+// echoServe answers every decoded request with an empty OK reply until
+// the transport dies — a minimal live server for churn tests.
+func echoServe(conn net.Conn) {
+	for {
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		q, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		rep := &Reply{Op: q.Op, Tag: q.Tag}
+		if q.Op == OpHello {
+			rep.Token = "t" // a resumable session, so poison redials instead of latching
+		}
+		if err := WriteFrame(conn, rep.Encode()); err != nil {
+			return
+		}
+	}
+}
+
+// TestResetRacesInFlightGo churns Reset against goroutines issuing Go
+// continuously. The race detector owns the memory assertions; the test
+// asserts liveness — every call completes exactly once (reply or
+// ErrPoisoned), no slot leaks, and the client works after the last
+// Reset.
+func TestResetRacesInFlightGo(t *testing.T) {
+	cliEnd, srvEnd := net.Pipe()
+	go echoServe(srvEnd)
+	cli := NewClientWindow(cliEnd, 8)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				call := cli.Go(context.Background(), &Request{Op: OpGetattr, Path: "x"})
+				wait(t, call)
+				if call.Err != nil && !errors.Is(call.Err, ErrPoisoned) {
+					t.Errorf("Go across Reset failed with %v, want nil or ErrPoisoned", call.Err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		ce, se := net.Pipe()
+		go echoServe(se)
+		cli.Reset(ce)
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The window must be fully free again: a burst of exactly window-many
+	// calls cannot block.
+	var calls []*Call
+	for i := 0; i < cli.Window(); i++ {
+		calls = append(calls, cli.Go(context.Background(), &Request{Op: OpStatfs}))
+	}
+	for _, call := range calls {
+		wait(t, call)
+		if call.Err != nil {
+			t.Fatalf("post-churn call: %v", call.Err)
+		}
+	}
+	cli.Close()
+}
+
+// TestCloseRacesRedialLoop: Close during an active redial loop must
+// terminate the loop and fail held calls instead of leaking the
+// goroutine or resurrecting the transport.
+func TestCloseRacesRedialLoop(t *testing.T) {
+	cliEnd, srvEnd := net.Pipe()
+	go echoServe(srvEnd)
+	cli := NewClient(cliEnd)
+	dialing := make(chan struct{}, 8)
+	if err := cli.EnableRedial(func() (io.ReadWriteCloser, error) {
+		dialing <- struct{}{}
+		return nil, errors.New("unreachable")
+	}, RedialPolicy{BaseDelay: time.Millisecond, Sleep: func(time.Duration) {}}); err != nil {
+		t.Fatalf("enable redial: %v", err)
+	}
+
+	srvEnd.Close() // kill the transport: the client starts redialing
+	<-dialing      // redial loop is live
+	call := cli.Go(context.Background(), &Request{Op: OpGetattr, Path: "x"})
+	cli.Close()
+	wait(t, call)
+	if !errors.Is(call.Err, ErrPoisoned) {
+		t.Fatalf("call across Close during redial = %v, want ErrPoisoned", call.Err)
+	}
+	if _, err := cli.Getattr("x"); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("call after Close = %v, want ErrPoisoned", err)
 	}
 }

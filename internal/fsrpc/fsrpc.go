@@ -55,6 +55,8 @@ const (
 	OpReaddir
 	OpFsync
 	OpStatfs
+	OpHello
+	OpPing
 )
 
 // replyBit marks a reply payload's op byte.
@@ -64,6 +66,20 @@ const replyBit = 0x80
 var Ops = []Op{
 	OpLookup, OpGetattr, OpRead, OpWrite, OpCreate, OpMkdir,
 	OpUnlink, OpRmdir, OpRename, OpReaddir, OpFsync, OpStatfs,
+	OpHello, OpPing,
+}
+
+// Mutating reports whether op changes file-system state. Mutating requests
+// carry a per-session sequence number so the server's duplicate-reply
+// cache can make replays after a reconnect exactly-once (DESIGN.md §13.9);
+// read-class ops are idempotent and retry freely. FSYNC is classified
+// read-class: re-running it is harmless.
+func (o Op) Mutating() bool {
+	switch o {
+	case OpWrite, OpCreate, OpMkdir, OpUnlink, OpRmdir, OpRename:
+		return true
+	}
+	return false
 }
 
 // String returns the lower-case op mnemonic used in metric names.
@@ -93,6 +109,10 @@ func (o Op) String() string {
 		return "fsync"
 	case OpStatfs:
 		return "statfs"
+	case OpHello:
+		return "hello"
+	case OpPing:
+		return "ping"
 	default:
 		return fmt.Sprintf("op%d", uint8(o))
 	}
@@ -124,6 +144,8 @@ const (
 	StatusInval
 	StatusShutdown
 	StatusProto
+	StatusStale
+	StatusRetired
 )
 
 // Client-visible sentinel errors for the service-level statuses that have
@@ -141,6 +163,14 @@ var (
 	ErrShutdown = errors.New("fsrpc: server shutting down")
 	// ErrProto reports a malformed or oversized frame.
 	ErrProto = errors.New("fsrpc: protocol error")
+	// ErrStaleSession is ESTALE: a HELLO named a session token the server
+	// no longer holds — the lease expired or the server restarted — so the
+	// session's handles and duplicate-reply cache are gone (DESIGN.md §13.9).
+	ErrStaleSession = errors.New("fsrpc: stale session (lease expired or unknown token)")
+	// ErrSeqRetired is ERETIRED: a replayed mutation's sequence number fell
+	// behind the server's duplicate-reply cache horizon, so the server can
+	// neither re-execute it safely nor return the original reply.
+	ErrSeqRetired = errors.New("fsrpc: sequence retired from duplicate-reply cache")
 )
 
 // String returns the errno-style name of s.
@@ -174,6 +204,10 @@ func (s Status) String() string {
 		return "ESHUTDOWN"
 	case StatusProto:
 		return "EPROTO"
+	case StatusStale:
+		return "ESTALE"
+	case StatusRetired:
+		return "ERETIRED"
 	default:
 		return fmt.Sprintf("status%d", uint8(s))
 	}
@@ -211,6 +245,10 @@ func StatusOf(err error) Status {
 		return StatusShutdown
 	case errors.Is(err, ErrProto):
 		return StatusProto
+	case errors.Is(err, ErrStaleSession):
+		return StatusStale
+	case errors.Is(err, ErrSeqRetired):
+		return StatusRetired
 	default:
 		return StatusInval
 	}
@@ -247,6 +285,10 @@ func (s Status) Err() error {
 		return ErrShutdown
 	case StatusProto:
 		return ErrProto
+	case StatusStale:
+		return ErrStaleSession
+	case StatusRetired:
+		return ErrSeqRetired
 	default:
 		return fmt.Errorf("fsrpc: %s", s)
 	}

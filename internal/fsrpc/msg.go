@@ -63,9 +63,17 @@ const LookupOpen = 1
 //	READDIR  Path             → Entries
 //	FSYNC    Handle           → –
 //	STATFS   –                → Statfs
+//	HELLO    Token            → Token, Lease, Resumed
+//	PING     –                → –
+//
+// Mutating requests (Op.Mutating) additionally carry Seq, the per-session
+// monotonic sequence number the server's duplicate-reply cache keys on;
+// Seq 0 marks an unsequenced (sessionless) request that is executed
+// without duplicate detection (DESIGN.md §13.9).
 type Request struct {
 	Op     Op
 	Tag    uint64
+	Seq    uint64
 	Path   string
 	Path2  string
 	Handle uint64
@@ -73,6 +81,7 @@ type Request struct {
 	N      uint32
 	Data   []byte
 	Flags  uint8
+	Token  string
 }
 
 // Encode renders the request payload.
@@ -84,11 +93,15 @@ func (q *Request) Encode() []byte {
 	case OpLookup:
 		e.str(q.Path)
 		e.u8(q.Flags)
-	case OpGetattr, OpMkdir, OpUnlink, OpRmdir, OpReaddir, OpCreate:
+	case OpGetattr, OpReaddir:
 		e.str(q.Path)
+	case OpMkdir, OpUnlink, OpRmdir, OpCreate:
+		e.str(q.Path)
+		e.u64(q.Seq)
 	case OpRename:
 		e.str(q.Path)
 		e.str(q.Path2)
+		e.u64(q.Seq)
 	case OpRead:
 		e.u64(q.Handle)
 		e.i64(q.Off)
@@ -97,9 +110,12 @@ func (q *Request) Encode() []byte {
 		e.u64(q.Handle)
 		e.i64(q.Off)
 		e.bytes(q.Data)
+		e.u64(q.Seq)
 	case OpFsync:
 		e.u64(q.Handle)
-	case OpStatfs:
+	case OpStatfs, OpPing:
+	case OpHello:
+		e.str(q.Token)
 	}
 	return e.buf
 }
@@ -112,11 +128,15 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	case OpLookup:
 		q.Path = d.str()
 		q.Flags = d.u8()
-	case OpGetattr, OpMkdir, OpUnlink, OpRmdir, OpReaddir, OpCreate:
+	case OpGetattr, OpReaddir:
 		q.Path = d.str()
+	case OpMkdir, OpUnlink, OpRmdir, OpCreate:
+		q.Path = d.str()
+		q.Seq = d.u64()
 	case OpRename:
 		q.Path = d.str()
 		q.Path2 = d.str()
+		q.Seq = d.u64()
 	case OpRead:
 		q.Handle = d.u64()
 		q.Off = d.i64()
@@ -131,9 +151,12 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		if len(q.Data) > MaxData {
 			return nil, fmt.Errorf("%w: WRITE of %d bytes exceeds MaxData %d", ErrProto, len(q.Data), MaxData)
 		}
+		q.Seq = d.u64()
 	case OpFsync:
 		q.Handle = d.u64()
-	case OpStatfs:
+	case OpStatfs, OpPing:
+	case OpHello:
+		q.Token = d.str()
 	default:
 		return nil, fmt.Errorf("%w: unknown op %d", ErrProto, uint8(q.Op))
 	}
@@ -155,6 +178,9 @@ type Reply struct {
 	Data    []byte
 	Entries []DirEnt
 	Statfs  Statfs
+	Token   string // HELLO: server-issued session token
+	Lease   int64  // HELLO: session lease in nanoseconds (0 = no expiry)
+	Resumed bool   // HELLO: an existing session was resumed
 }
 
 func (e *enc) attr(a Attr) {
@@ -199,7 +225,11 @@ func (r *Reply) Encode() []byte {
 		e.bool(r.Statfs.Degraded)
 		e.i64(r.Statfs.Sessions)
 		e.i64(r.Statfs.OpsServed)
-	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync:
+	case OpHello:
+		e.str(r.Token)
+		e.i64(r.Lease)
+		e.bool(r.Resumed)
+	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync, OpPing:
 	}
 	return e.buf
 }
@@ -277,7 +307,11 @@ func DecodeReply(payload []byte) (*Reply, error) {
 			Sessions:  d.i64(),
 			OpsServed: d.i64(),
 		}
-	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync:
+	case OpHello:
+		r.Token = d.str()
+		r.Lease = d.i64()
+		r.Resumed = d.bool()
+	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync, OpPing:
 	default:
 		return nil, fmt.Errorf("%w: unknown reply op %d", ErrProto, uint8(r.Op))
 	}

@@ -86,6 +86,22 @@ type Config struct {
 	// automatically in the InlineReplies baseline, and by tests that need
 	// reads to traverse the admission queue.
 	DirectReads bool
+	// SessionLease is how long a named session (HELLO, DESIGN.md §13.9)
+	// survives without traffic: a detached session idle past the lease is
+	// expired — its handle table closes and a later HELLO with its token
+	// gets ESTALE. Zero (the default) disables expiry; sessions attached
+	// to a live connection never expire regardless. Wall-clock, like
+	// QueueWait.
+	SessionLease time.Duration
+	// DRCEntries bounds each named session's duplicate-reply cache: the
+	// replies of the last DRCEntries completed mutations are retained so a
+	// client replay after a reconnect is answered from cache instead of
+	// re-executed. Must exceed the client window or a slow replay can fall
+	// past the horizon (ERETIRED). Default 256.
+	DRCEntries int
+	// LeaseNow replaces time.Now for lease bookkeeping. Tests use it to
+	// expire sessions deterministically; leave nil in production.
+	LeaseNow func() time.Time
 	// ExecSlots bounds how many requests execute against the mount at
 	// once, across the worker pool and the DirectReads fast path. The
 	// mount big lock serializes the FS work regardless, so slots beyond
@@ -115,6 +131,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxHandles < 1 {
 		c.MaxHandles = 128
 	}
+	if c.DRCEntries < 1 {
+		c.DRCEntries = 256
+	}
 	return c
 }
 
@@ -136,6 +155,11 @@ type serveMetrics struct {
 	pipeDepth     *metrics.Histogram // fsrpc.pipeline.depth: per-session outstanding at admission
 	batchReplies  *metrics.Histogram // fsserve.batch.replies: replies per writer flush
 	zerocopyBytes *metrics.Counter   // fsserve.zerocopy.bytes: READ payload bytes framed by reference
+	sessResume    *metrics.Counter   // fsserve.session.resume: HELLO(token) re-attachments
+	sessExpire    *metrics.Counter   // fsserve.session.expire: named sessions expired/discarded
+	drcHit        *metrics.Counter   // fsserve.drc.hit: replayed mutations answered from cache
+	drcMiss       *metrics.Counter   // fsserve.drc.miss: sequenced mutations executed and cached
+	drcEvict      *metrics.Counter   // fsserve.drc.evict: cache entries retired past the horizon
 	perOp         [16]*metrics.Counter
 }
 
@@ -160,6 +184,11 @@ func resolveServeMetrics(reg *metrics.Registry) serveMetrics {
 		pipeDepth:     reg.Histogram("fsrpc.pipeline.depth", "reqs"),
 		batchReplies:  reg.Histogram("fsserve.batch.replies", "replies"),
 		zerocopyBytes: reg.Counter("fsserve.zerocopy.bytes"),
+		sessResume:    reg.Counter("fsserve.session.resume"),
+		sessExpire:    reg.Counter("fsserve.session.expire"),
+		drcHit:        reg.Counter("fsserve.drc.hit"),
+		drcMiss:       reg.Counter("fsserve.drc.miss"),
+		drcEvict:      reg.Counter("fsserve.drc.evict"),
 	}
 	for _, op := range fsrpc.Ops {
 		m.perOp[op] = reg.Counter("fsserve.op." + op.String())
@@ -202,6 +231,10 @@ type Server struct {
 	mu       sync.Mutex
 	state    int
 	sessions map[*session]struct{}
+	named    map[string]*sessState // resumable sessions by token (§13.9)
+	tokenSeq uint64
+
+	janitorStop chan struct{} // closes at Shutdown; nil without a lease
 }
 
 // New starts a server over mount with cfg.Workers request workers. The
@@ -216,6 +249,7 @@ func New(env *sim.Env, mount *vfs.Mount, cfg Config) *Server {
 		m:        resolveServeMetrics(env.Metrics),
 		queue:    make(chan *task, cfg.QueueDepth),
 		sessions: make(map[*session]struct{}),
+		named:    make(map[string]*sessState),
 	}
 	slots := cfg.ExecSlots
 	if slots == 0 {
@@ -227,6 +261,14 @@ func New(env *sim.Env, mount *vfs.Mount, cfg Config) *Server {
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.SessionLease > 0 {
+		period := cfg.SessionLease / 4
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		s.janitorStop = make(chan struct{})
+		go s.janitor(period)
 	}
 	return s
 }
@@ -254,6 +296,7 @@ func (s *Server) ServeConn(rw io.ReadWriteCloser) error {
 			delete(s.sessions, sess)
 			s.m.sessions.Add(-1)
 		}
+		s.detachLocked(sess)
 		s.mu.Unlock()
 		sess.close()
 	}()
@@ -278,6 +321,9 @@ func (s *Server) ServeConn(rw io.ReadWriteCloser) error {
 			sess.sendReply(&fsrpc.Reply{Op: 0, Tag: 0, Status: fsrpc.StatusProto}, nil, nil)
 			sess.flush()
 			return err
+		}
+		if s.cfg.SessionLease > 0 {
+			sess.touch(s.now())
 		}
 		if s.cfg.DirectReads && !sess.inline {
 			if _, n := chainKeys(req); n == 0 {
@@ -413,6 +459,9 @@ func (s *Server) Shutdown() {
 	s.inflight.Wait() // every admitted request replied
 	close(s.queue)
 	s.workerWG.Wait()
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+	}
 
 	s.mu.Lock()
 	s.state = stateClosed
@@ -421,14 +470,58 @@ func (s *Server) Shutdown() {
 		sessions = append(sessions, sess)
 	}
 	s.sessions = make(map[*session]struct{})
+	named := make([]*sessState, 0, len(s.named))
+	for _, st := range s.named {
+		st.cur = nil
+		named = append(named, st)
+	}
+	s.named = make(map[string]*sessState)
 	s.m.sessions.Set(0)
 	s.mu.Unlock()
 	for _, sess := range sessions {
 		sess.close()
 	}
+	for _, st := range named {
+		st.closeHandles()
+	}
 }
 
-// execute runs one request against the mount and builds its reply. A
+// execute runs one request, routing sequenced mutations through the
+// session's duplicate-reply cache (DESIGN.md §13.9): a replayed sequence
+// is answered from cache (fsserve.drc.hit) — waiting out the original
+// execution if it is still in flight on another worker — instead of being
+// applied twice; a sequence evicted past the cache horizon is refused
+// with ERETIRED. Unsequenced requests (anonymous sessions, read-class
+// ops) execute directly.
+func (s *Server) execute(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply, data *[]byte) {
+	if q.Seq == 0 || !q.Op.Mutating() {
+		return s.executeOp(sess, q)
+	}
+	st := sess.state()
+	if st.token == "" {
+		// Sequenced request on an anonymous session: nothing to dedup
+		// against; execute like a legacy request.
+		return s.executeOp(sess, q)
+	}
+	verdict, cached, entry := st.drc.begin(q.Seq)
+	switch verdict {
+	case drcHit:
+		s.m.drcHit.Inc()
+		cp := *cached
+		cp.Op, cp.Tag = q.Op, q.Tag
+		return &cp, nil
+	case drcRetired:
+		return &fsrpc.Reply{Op: q.Op, Tag: q.Tag, Status: fsrpc.StatusRetired}, nil
+	}
+	rep, data = s.executeOp(sess, q)
+	s.m.drcMiss.Inc()
+	if n := st.drc.commit(q.Seq, entry, rep); n > 0 {
+		s.m.drcEvict.Add(n)
+	}
+	return rep, data
+}
+
+// executeOp runs one request against the mount and builds its reply. A
 // panic from the FS stack (a programmer invariant, never a hardware
 // fault — those arrive as errors) is converted to an EIO reply and
 // counted, so one broken op cannot wedge every client of the server.
@@ -436,7 +529,7 @@ func (s *Server) Shutdown() {
 // data is the pooled buffer a successful READ reply's Data references;
 // the caller must route it to sendReply so it returns to the pool after
 // the frame is written. Nil for every other reply.
-func (s *Server) execute(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply, data *[]byte) {
+func (s *Server) executeOp(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply, data *[]byte) {
 	rep = &fsrpc.Reply{Op: q.Op, Tag: q.Tag}
 	defer func() {
 		if r := recover(); r != nil {
@@ -564,6 +657,10 @@ func (s *Server) execute(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply, dat
 			Sessions:  sessions,
 			OpsServed: s.m.opCount.Load(),
 		}
+	case fsrpc.OpHello:
+		rep = s.hello(sess, q)
+	case fsrpc.OpPing:
+		// Keepalive no-op: the lease was renewed at arrival.
 	default:
 		return fail(fsrpc.ErrProto)
 	}

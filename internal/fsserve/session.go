@@ -108,20 +108,20 @@ type session struct {
 	omu    sync.Mutex
 	chains map[uint64]chan struct{}
 
-	hmu     sync.Mutex
-	nextID  uint64
-	handles map[uint64]*vfs.File
-	order   []uint64 // insertion order, for FIFO eviction
+	// st is the resumable state (handle table + duplicate-reply cache,
+	// DESIGN.md §13.9): anonymous until HELLO names it, swapped atomically
+	// when a HELLO promotes or resumes while other ops are in flight.
+	st atomic.Pointer[sessState]
 }
 
 func newSession(srv *Server, rw io.ReadWriteCloser) *session {
 	s := &session{
-		srv:     srv,
-		rw:      rw,
-		inline:  srv.cfg.InlineReplies,
-		chains:  make(map[uint64]chan struct{}),
-		handles: make(map[uint64]*vfs.File),
+		srv:    srv,
+		rw:     rw,
+		inline: srv.cfg.InlineReplies,
+		chains: make(map[uint64]chan struct{}),
 	}
+	s.st.Store(newSessState(srv.cfg.DRCEntries))
 	s.wcond = sync.NewCond(&s.wmu)
 	s.wspace = sync.NewCond(&s.wmu)
 	if !s.inline {
@@ -251,29 +251,12 @@ func (s *session) finishChain(t *task) {
 // put registers f and returns its handle, evicting the oldest handle if
 // the table is full.
 func (s *session) put(f *vfs.File) uint64 {
-	s.hmu.Lock()
-	defer s.hmu.Unlock()
-	s.nextID++
-	id := s.nextID
-	s.handles[id] = f
-	s.order = append(s.order, id)
-	if len(s.handles) > s.srv.cfg.MaxHandles {
-		victim := s.order[0]
-		s.order = s.order[1:]
-		if old, ok := s.handles[victim]; ok {
-			old.Close()
-			delete(s.handles, victim)
-		}
-	}
-	return id
+	return s.state().put(f, s.srv.cfg.MaxHandles)
 }
 
 // get resolves a handle.
 func (s *session) get(id uint64) (*vfs.File, bool) {
-	s.hmu.Lock()
-	defer s.hmu.Unlock()
-	f, ok := s.handles[id]
-	return f, ok
+	return s.state().get(id)
 }
 
 // sendReply hands one reply to the session writer (or writes it inline in
@@ -428,8 +411,11 @@ func (s *session) flush() {
 }
 
 // close releases the session: the writer (after it drains — replies
-// staged behind a closed transport are finished, not written), every open
-// handle, and the transport. Safe to call more than once.
+// staged behind a closed transport are finished, not written), the
+// transport, and — for an anonymous session only — every open handle. A
+// named session's handle table belongs to its sessState and survives the
+// connection for the lease, awaiting a resuming HELLO (DESIGN.md §13.9).
+// Safe to call more than once.
 func (s *session) close() {
 	s.wmu.Lock()
 	s.wclosed = true
@@ -440,11 +426,7 @@ func (s *session) close() {
 	if !s.inline {
 		<-s.writerDone
 	}
-	s.hmu.Lock()
-	for _, f := range s.handles {
-		f.Close()
+	if st := s.state(); st.token == "" {
+		st.closeHandles()
 	}
-	s.handles = make(map[uint64]*vfs.File)
-	s.order = nil
-	s.hmu.Unlock()
 }

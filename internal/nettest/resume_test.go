@@ -1,0 +1,342 @@
+package nettest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"betrfs/internal/bench"
+	"betrfs/internal/fsrpc"
+	"betrfs/internal/fsserve"
+	"betrfs/internal/metrics"
+)
+
+// replyDropConn wraps the server end of a pipe: while armed, the next
+// write (the reply frame) is swallowed and the connection closed, so the
+// server executes the request but the client never learns its fate —
+// the exact window the duplicate-reply cache exists for.
+type replyDropConn struct {
+	net.Conn
+	armed atomic.Bool
+}
+
+func (c *replyDropConn) Write(p []byte) (int, error) {
+	if c.armed.CompareAndSwap(true, false) {
+		c.Conn.Close()
+		return 0, io.ErrClosedPipe
+	}
+	return c.Conn.Write(p)
+}
+
+// resumeRig is a server plus a redialing client whose current server-side
+// connection can be armed to drop the next reply.
+type resumeRig struct {
+	in  *bench.Instance
+	srv *fsserve.Server
+	cli *fsrpc.Client
+	reg *metrics.Registry
+
+	mu  sync.Mutex
+	cur *replyDropConn
+}
+
+func (r *resumeRig) dial() (io.ReadWriteCloser, error) {
+	cliEnd, srvEnd := net.Pipe()
+	dc := &replyDropConn{Conn: srvEnd}
+	r.mu.Lock()
+	r.cur = dc
+	r.mu.Unlock()
+	go r.srv.ServeConn(dc)
+	return cliEnd, nil
+}
+
+// arm drops the next reply the server writes on the current connection.
+func (r *resumeRig) arm() {
+	r.mu.Lock()
+	r.cur.armed.Store(true)
+	r.mu.Unlock()
+}
+
+func newResumeRig(t *testing.T, mutate func(*fsserve.Config)) *resumeRig {
+	t.Helper()
+	r := &resumeRig{in: bench.Build("betrfs-v0.6", 256), reg: metrics.NewRegistry()}
+	cfg := fsserve.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r.srv = fsserve.New(r.in.Env, r.in.Mount, cfg)
+	t.Cleanup(r.srv.Shutdown)
+	conn, _ := r.dial()
+	r.cli = fsrpc.NewClientOpts(conn, fsrpc.Options{Metrics: r.reg})
+	t.Cleanup(func() { r.cli.Close() })
+	if err := r.cli.EnableRedial(r.dial, fsrpc.RedialPolicy{
+		BaseDelay: time.Millisecond,
+		Sleep:     func(time.Duration) {},
+	}); err != nil {
+		t.Fatalf("enable redial: %v", err)
+	}
+	return r
+}
+
+func (r *resumeRig) counter(name string) int64 {
+	return r.reg.Counter(name).Load()
+}
+
+func (r *resumeRig) srvCounter(name string) int64 {
+	return r.in.Env.Metrics.Counter(name).Load()
+}
+
+// TestReplayHitsDRCNotReexecute pins the exactly-once guarantee: a
+// mutation whose reply is lost mid-wire is replayed after the reconnect
+// and answered from the duplicate-reply cache — the server must not run
+// it twice. RENAME proves it: a second execution would fail ENOENT.
+func TestReplayHitsDRCNotReexecute(t *testing.T) {
+	r := newResumeRig(t, nil)
+
+	h, _, err := r.cli.Create("a")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	payload := bytes.Repeat([]byte{0x5a}, 4096)
+
+	// Lost WRITE reply: executed once, replayed, answered from cache.
+	r.arm()
+	n, err := r.cli.Write(h, 0, payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("write across reply loss = %d, %v", n, err)
+	}
+	if got := r.srvCounter("fsserve.drc.hit"); got != 1 {
+		t.Fatalf("fsserve.drc.hit = %d after replayed WRITE, want 1", got)
+	}
+
+	// Lost RENAME reply: if the replay re-executed, the source would be
+	// gone and the call would fail ENOENT.
+	r.arm()
+	if err := r.cli.Rename("a", "b"); err != nil {
+		t.Fatalf("rename across reply loss: %v", err)
+	}
+	if got := r.srvCounter("fsserve.drc.hit"); got != 2 {
+		t.Fatalf("fsserve.drc.hit = %d after replayed RENAME, want 2", got)
+	}
+	if _, err := r.cli.Getattr("b"); err != nil {
+		t.Fatalf("rename target missing: %v", err)
+	}
+	if _, err := r.cli.Getattr("a"); err == nil {
+		t.Fatal("rename source still exists")
+	}
+
+	// The handle survived both reconnects; the data landed exactly once.
+	got, err := r.cli.Read(h, 0, len(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read-back after resumes: %d bytes, %v", len(got), err)
+	}
+	if got := r.counter("fsrpc.redial.success"); got != 2 {
+		t.Errorf("fsrpc.redial.success = %d, want 2", got)
+	}
+	if got := r.counter("fsrpc.replay.call"); got != 2 {
+		t.Errorf("fsrpc.replay.call = %d, want 2", got)
+	}
+	if got := r.srvCounter("fsserve.session.resume"); got != 2 {
+		t.Errorf("fsserve.session.resume = %d, want 2", got)
+	}
+}
+
+// TestHandlesSurviveAbruptCut kills the transport outright (no reply in
+// flight) and checks the session — including the open handle — carries
+// across the reconnect.
+func TestHandlesSurviveAbruptCut(t *testing.T) {
+	r := newResumeRig(t, nil)
+
+	h, _, err := r.cli.Create("f")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := r.cli.Write(h, 0, []byte("first")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	// Yank the server side; the client notices on its next read or write.
+	r.mu.Lock()
+	r.cur.Conn.Close()
+	r.mu.Unlock()
+
+	if _, err := r.cli.Write(h, 5, []byte("second")); err != nil {
+		t.Fatalf("write after cut: %v", err)
+	}
+	got, err := r.cli.Read(h, 0, 11)
+	if err != nil || string(got) != "firstsecond" {
+		t.Fatalf("read after resume = %q, %v", got, err)
+	}
+	if got := r.counter("fsrpc.redial.success"); got < 1 {
+		t.Errorf("fsrpc.redial.success = %d, want >= 1", got)
+	}
+	if got := r.srvCounter("fsserve.session.resume"); got < 1 {
+		t.Errorf("fsserve.session.resume = %d, want >= 1", got)
+	}
+}
+
+// TestLeaseExpiryFailsReplaysTyped expires the session while the client
+// is disconnected: the fate-unknown call must fail with ErrStaleSession
+// (never silently retry), and the client must come back usable on a
+// fresh session with the old handles gone.
+func TestLeaseExpiryFailsReplaysTyped(t *testing.T) {
+	var clock struct {
+		mu  sync.Mutex
+		now time.Time
+	}
+	clock.now = time.Unix(1000, 0)
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+
+	r := &resumeRig{in: bench.Build("betrfs-v0.6", 256), reg: metrics.NewRegistry()}
+	cfg := fsserve.DefaultConfig()
+	cfg.SessionLease = time.Minute
+	cfg.LeaseNow = func() time.Time {
+		clock.mu.Lock()
+		defer clock.mu.Unlock()
+		return clock.now
+	}
+	r.srv = fsserve.New(r.in.Env, r.in.Mount, cfg)
+	t.Cleanup(r.srv.Shutdown)
+
+	gatedDial := func() (io.ReadWriteCloser, error) {
+		<-gate // first redial waits until the lease has been expired
+		return r.dial()
+	}
+	conn, _ := r.dial()
+	r.cli = fsrpc.NewClientOpts(conn, fsrpc.Options{Metrics: r.reg})
+	t.Cleanup(func() { r.cli.Close() })
+	if err := r.cli.EnableRedial(gatedDial, fsrpc.RedialPolicy{
+		BaseDelay: time.Millisecond,
+		Sleep:     func(time.Duration) {},
+	}); err != nil {
+		t.Fatalf("enable redial: %v", err)
+	}
+
+	h, _, err := r.cli.Create("f")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// A mutation whose reply is dropped: the client holds it for replay
+	// while the redial loop blocks on the gate.
+	r.arm()
+	writeErr := make(chan error, 1)
+	go func() {
+		_, err := r.cli.Write(h, 0, []byte("data"))
+		writeErr <- err
+	}()
+
+	// Wait for the cut to land (the client enters its redial loop, which
+	// then blocks on the gate) before advancing the clock — otherwise the
+	// in-flight WRITE stamps the session with the already-advanced time
+	// and the lease never looks expired.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.counter("fsrpc.redial.attempt") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never started redialing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Advance the fake clock past the lease and expire the (now
+	// detached) session. Detach races the server noticing the dead
+	// connection, so poll briefly.
+	clock.mu.Lock()
+	clock.now = clock.now.Add(2 * time.Minute)
+	clock.mu.Unlock()
+	for r.srv.ExpireSessions() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session never became expirable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gateOnce.Do(func() { close(gate) })
+
+	err = <-writeErr
+	if err == nil {
+		t.Fatal("fate-unknown write across an expired lease reported success")
+	}
+	if !errors.Is(err, fsrpc.ErrStaleSession) {
+		t.Fatalf("write error = %v, want ErrStaleSession", err)
+	}
+	if got := r.counter("fsrpc.replay.expired"); got != 1 {
+		t.Errorf("fsrpc.replay.expired = %d, want 1", got)
+	}
+	if got := r.srvCounter("fsserve.session.expire"); got != 1 {
+		t.Errorf("fsserve.session.expire = %d, want 1", got)
+	}
+
+	// Fresh session: new ops work, the dead session's handle does not.
+	if err := r.cli.Mkdir("z"); err != nil {
+		t.Fatalf("mkdir on fresh session: %v", err)
+	}
+	if _, err := r.cli.Read(h, 0, 4); err == nil {
+		t.Fatal("handle from the expired session still resolves")
+	}
+}
+
+// TestRedialGiveUp bounds the reconnect loop: with MaxAttempts dials all
+// failing, in-flight and future calls fail with ErrPoisoned and the
+// backoff schedule is the documented deterministic doubling.
+func TestRedialGiveUp(t *testing.T) {
+	r := newResumeRig(t, nil)
+
+	var delays []time.Duration
+	var delayMu sync.Mutex
+	dialErr := errors.New("network unreachable")
+	if err := r.cli.EnableRedial(
+		func() (io.ReadWriteCloser, error) { return nil, dialErr },
+		fsrpc.RedialPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    time.Second,
+			Sleep: func(d time.Duration) {
+				delayMu.Lock()
+				delays = append(delays, d)
+				delayMu.Unlock()
+			},
+		}); err != nil {
+		t.Fatalf("enable redial: %v", err)
+	}
+
+	r.mu.Lock()
+	r.cur.Conn.Close()
+	r.mu.Unlock()
+
+	_, err := r.cli.Getattr("anything")
+	if !errors.Is(err, fsrpc.ErrPoisoned) {
+		t.Fatalf("call after give-up = %v, want ErrPoisoned", err)
+	}
+	if got := r.counter("fsrpc.redial.giveup"); got != 1 {
+		t.Errorf("fsrpc.redial.giveup = %d, want 1", got)
+	}
+	if got := r.counter("fsrpc.redial.attempt"); got != 3 {
+		t.Errorf("fsrpc.redial.attempt = %d, want 3", got)
+	}
+	delayMu.Lock()
+	defer delayMu.Unlock()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+		t.Errorf("backoff schedule = %v, want %v", delays, want)
+	}
+}
+
+// TestPingKeepsSessionAlive drives the keepalive through the fast path
+// and checks it renews the lease clock.
+func TestPingKeepsSessionAlive(t *testing.T) {
+	r := newResumeRig(t, func(cfg *fsserve.Config) {
+		cfg.SessionLease = time.Minute
+	})
+	if err := r.cli.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	token, lease := r.cli.Session()
+	if token == "" || lease != time.Minute {
+		t.Fatalf("session = %q lease %v, want token and 1m lease", token, lease)
+	}
+}
