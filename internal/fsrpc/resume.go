@@ -213,13 +213,15 @@ func (c *Client) redialLoop(rgen uint64, cause error) {
 // their original issue order, the reader restarts, and the replay frames
 // are written before any new call can reach the wire (the write lock is
 // held across the whole install). done=false means the handshake failed
-// and the caller should back off and retry; done=true means this
-// generation is finished — resumed, superseded, or (stale session) the
-// replays were failed and a fresh session installed.
+// and the caller should back off and retry (the caller closes rw);
+// done=true means this generation is finished — resumed, superseded
+// (resume closes rw itself, since it was never installed), or (stale
+// session) the replays were failed and a fresh session installed.
 func (c *Client) resume(rgen uint64, rw io.ReadWriteCloser, attempts int) (done bool, err error) {
 	c.mu.Lock()
 	if c.gen != rgen {
 		c.mu.Unlock()
+		_ = rw.Close()
 		return true, nil
 	}
 	token := c.token
@@ -277,6 +279,7 @@ func (c *Client) resume(rgen uint64, rw io.ReadWriteCloser, attempts int) (done 
 	if c.gen != rgen {
 		c.mu.Unlock()
 		c.wmu.Unlock()
+		_ = rw.Close()
 		return true, nil
 	}
 	c.token = r.Token

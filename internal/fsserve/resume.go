@@ -18,9 +18,8 @@ import (
 // map, survives a transport death, and is re-attached by HELLO(token) on
 // the next connection, subject to the lease.
 type sessState struct {
-	token string // empty: anonymous, discarded at connection close
-
 	hmu     sync.Mutex
+	token   string // empty: anonymous, discarded at connection close
 	nextID  uint64
 	handles map[uint64]*vfs.File
 	order   []uint64 // insertion order, for FIFO eviction
@@ -30,7 +29,7 @@ type sessState struct {
 	// lastActive is the wall-clock (unixnano) of the last request that
 	// arrived for this state; the lease janitor expires detached named
 	// states idle past Config.SessionLease.
-	lastActive int64 // atomic
+	lastActive int64
 
 	// cur is the connection currently holding this state; guarded by the
 	// server mu. Nil while detached (between a transport death and the
@@ -165,10 +164,28 @@ func (d *drcCache) commit(seq uint64, e *drcEntry, rep *fsrpc.Reply) (evicted in
 // state returns the session's resumable state.
 func (s *session) state() *sessState { return s.st.Load() }
 
+// tok returns the state's token ("" while anonymous). The promote path in
+// hello names a published state in place, so any read that does not hold
+// s.mu must go through hmu to see the write safely.
+func (st *sessState) tok() string {
+	st.hmu.Lock()
+	defer st.hmu.Unlock()
+	return st.token
+}
+
+// setTok names the state. The caller holds s.mu (the only writer runs
+// there); hmu publishes the write to lock-free readers — execute, touch,
+// session.close — that race the promoting HELLO.
+func (st *sessState) setTok(tok string) {
+	st.hmu.Lock()
+	st.token = tok
+	st.hmu.Unlock()
+}
+
 // touch stamps the session state's lease clock.
 func (s *session) touch(now time.Time) {
 	st := s.state()
-	if st.token != "" {
+	if st.tok() != "" {
 		st.storeActive(now)
 	}
 }
@@ -215,13 +232,15 @@ func (s *Server) hello(sess *session, q *fsrpc.Request) *fsrpc.Reply {
 		s.mu.Lock()
 		old := sess.state()
 		if old.token == "" {
-			// Promote the anonymous state in place.
+			// Promote the anonymous state in place. The DRC capacity was
+			// already set at newSessState; only the token changes, via
+			// setTok so readers that skip s.mu see it safely.
 			s.tokenSeq++
-			old.token = fmt.Sprintf("s%016x", s.tokenSeq)
-			old.drc.cap = s.cfg.DRCEntries
-			s.named[old.token] = old
+			tok := fmt.Sprintf("s%016x", s.tokenSeq)
+			old.setTok(tok)
+			s.named[tok] = old
 			old.cur = sess
-			rep.Token = old.token
+			rep.Token = tok
 		} else {
 			// A fresh session on a connection that already had one: the old
 			// state is abandoned.
@@ -246,11 +265,12 @@ func (s *Server) hello(sess *session, q *fsrpc.Request) *fsrpc.Reply {
 
 	s.mu.Lock()
 	st, ok := s.named[q.Token]
-	if ok && s.cfg.SessionLease > 0 && now.UnixNano()-st.loadActive() > int64(s.cfg.SessionLease) {
-		// Lazy expiry: the lease ran out while the state sat detached (or
-		// idle); treat the token as gone.
+	if ok && st.cur == nil && s.cfg.SessionLease > 0 && now.UnixNano()-st.loadActive() > int64(s.cfg.SessionLease) {
+		// Lazy expiry: the lease ran out while the state sat detached;
+		// treat the token as gone. A state still attached to a live
+		// connection is never expired (the ExpireSessions invariant) — it
+		// is taken over via the latest-wins path below instead.
 		delete(s.named, q.Token)
-		st.cur = nil
 		s.mu.Unlock()
 		st.closeHandles()
 		s.m.sessExpire.Inc()
@@ -271,17 +291,21 @@ func (s *Server) hello(sess *session, q *fsrpc.Request) *fsrpc.Reply {
 
 	if stale != nil {
 		// Latest wins: the previous holder (usually a dead transport the
-		// server has not noticed yet) is torn down. Its session object now
-		// must not touch st on close, so point it at a throwaway state.
-		stale.st.Store(newSessState(s.cfg.DRCEntries))
+		// server has not noticed yet) is torn down. It keeps pointing at st
+		// on purpose: requests it already admitted to the worker queue must
+		// keep executing against the shared duplicate-reply cache, or a
+		// replay of the same sequence on this connection could apply the
+		// mutation a second time. close is safe on a shared named state —
+		// it only closes handles for anonymous ones — and detachLocked
+		// only clears cur when it still points at the closing session.
 		stale.close()
 	}
-	if anon != st && anon.token == "" {
+	if anon != st && anon.tok() == "" {
 		anon.closeHandles()
 	}
 	st.storeActive(now)
 	s.m.sessResume.Inc()
-	rep.Token = st.token
+	rep.Token = st.tok()
 	rep.Resumed = true
 	return rep
 }

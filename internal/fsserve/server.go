@@ -498,7 +498,7 @@ func (s *Server) execute(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply, dat
 		return s.executeOp(sess, q)
 	}
 	st := sess.state()
-	if st.token == "" {
+	if st.tok() == "" {
 		// Sequenced request on an anonymous session: nothing to dedup
 		// against; execute like a legacy request.
 		return s.executeOp(sess, q)

@@ -426,7 +426,7 @@ func (s *session) close() {
 	if !s.inline {
 		<-s.writerDone
 	}
-	if st := s.state(); st.token == "" {
+	if st := s.state(); st.tok() == "" {
 		st.closeHandles()
 	}
 }
