@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race crashtest scrub repair faults bench-json serve servebench netfaults aging
+.PHONY: check vet build test race crashtest scrub repair faults bench-json serve servebench netfaults aging shard
 
-check: vet build race crashtest scrub repair faults serve servebench netfaults aging bench-json
+check: vet build race crashtest scrub repair faults serve servebench netfaults aging shard bench-json
 
 vet:
 	$(GO) vet ./...
@@ -63,9 +63,10 @@ repair:
 # Deterministic fault-injection sweep (fixed seeds): transient faults
 # absorbed by retry, persistent write death degrading mounts read-only,
 # silent bit flips recovered by checksum re-reads, bad-sector EIO
-# propagation, ENOSPC semantics, and the seeded multi-client sweep on a
-# single concurrent mount — across every file system, under the race
-# detector (the multi-client sweep is only meaningful with it).
+# propagation, ENOSPC semantics, the seeded multi-client storm on a
+# single concurrent mount across every file system, and the multi-seed
+# FaultPlan sweep under -clients (TestSeededFaultPlanSweep) — under the
+# race detector (the multi-client sweeps are only meaningful with it).
 faults:
 	$(GO) test -race -count=1 ./internal/faulttest/
 
@@ -122,6 +123,25 @@ aging:
 		-o BENCH_aging_smoke.json > /dev/null
 	$(GO) run ./cmd/betrbench -validate BENCH_aging_smoke.json
 	rm -f BENCH_aging_smoke.json
+
+# Scale-out sharded service (DESIGN.md §14): the share registry and
+# block-class wire ops (ATTACH/BOPEN semantics, handle scoping, discard
+# forwarding), remote-vs-local blockstore equivalence (byte-identical
+# device images, identical EIO/ENOSPC surfacing through the wire), the
+# read cache's hit/miss/evict contract, the prefix shard map, the
+# 3-shard wire-vs-direct conformance suite, and the cross-shard
+# workload with per-shard metrics roll-up — all under the race
+# detector, plus the §14.3 spec drift test and the pinned deterministic
+# shard rung. Then a 3-shard bench run whose schema-v6 JSON must
+# validate.
+shard:
+	$(GO) test -race -count=1 ./internal/blockstore/... ./internal/controlplane/
+	$(GO) test -race -count=1 -run 'OverWire|Shard|BlockClassSpec|Discard' \
+		./internal/fsserve/ ./internal/bench/
+	$(GO) run ./cmd/betrbench -shard -shards 3 -scale 2048 \
+		-o BENCH_shard_smoke.json > /dev/null
+	$(GO) run ./cmd/betrbench -validate BENCH_shard_smoke.json
+	rm -f BENCH_shard_smoke.json
 
 # Scaled microbenchmark run with machine-readable output: writes
 # BENCH_micro.json and fails unless the document round-trips the schema

@@ -8,6 +8,7 @@
 //	betrbench -table 3            # Table 3: cumulative optimization ladder
 //	betrbench -figure 2           # Figure 2: application benchmarks
 //	betrbench -hdd                # HDD ablation (BetrFS was compleat there first)
+//	betrbench -shard -shards 3    # scale-out rung: prefix-routed shard deployment
 //	betrbench -scale 128 -table 1 # coarser scaling for quick runs
 //	betrbench -systems ext4,betrfs-v0.6 -table 1
 //	betrbench -table 1 -json      # also write BENCH_table1.json
@@ -50,6 +51,8 @@ func main() {
 	serveWorkers := flag.Int("workers", 1, "server request workers for -serve (1 = deterministic round-robin mode)")
 	aging := flag.Bool("aging", false, "run the FTL aging rung: create/delete churn past the over-provisioning point, TRIM vs no-TRIM control")
 	agingChurn := flag.Float64("churn", 0, "aging churn volume as a multiple of device capacity (default 2.5)")
+	shard := flag.Bool("shard", false, "run the multi-shard rung: a prefix-routed control plane over -shards simulated shard pairs (deterministic)")
+	shards := flag.Int("shards", 3, "shard count for -shard")
 	flag.Parse()
 
 	if *validate != "" {
@@ -79,6 +82,8 @@ func main() {
 	opts := runOpts{json: *jsonOut, outPath: *outPath, scale: *scale, parallel: *parallel}
 	ok := true
 	switch {
+	case *shard:
+		ok = runShardCmd(opts, *shards)
 	case *aging:
 		ok = runAging(pick(bench.ServeSystems), opts, *agingChurn)
 	case *serve:
@@ -321,6 +326,28 @@ func runAging(systems []string, o runOpts, churn float64) bool {
 	if o.json && len(rows) > 0 {
 		d := bench.AgingDoc("aging", o.scale, cfg, rows, snaps)
 		ok = writeDoc(d, o.jsonPath("aging")) && ok
+	}
+	return ok
+}
+
+// runShardCmd drives the scale-out rung (DESIGN.md §14.5): a
+// prefix-routed control plane over N shard pairs (file node + storage
+// node per shard), write phase then cache-dropped read rounds, one table
+// row and one snapshot per shard plus the deployment roll-up. Fully
+// deterministic: the JSON document is bit-identical run to run.
+func runShardCmd(o runOpts, shards int) bool {
+	fmt.Printf("shard bench: %d shards of %s, prefix-routed, scale 1/%d\n\n",
+		shards, bench.ShardSystem, o.scale)
+	run := bench.RunShard(shards, o.scale)
+	bench.WriteShardTable(os.Stdout, run)
+	ok := true
+	for _, e := range run.Errors {
+		fmt.Fprintf(os.Stderr, "betrbench: shard: %s\n", e)
+		ok = false
+	}
+	if o.json {
+		d := bench.ShardDoc("shard", run)
+		ok = writeDoc(d, o.jsonPath("shard")) && ok
 	}
 	return ok
 }

@@ -1,9 +1,17 @@
-// Command fsserved exports one simulated file system over TCP via the
-// fsrpc wire protocol, serving any number of concurrent client
+// Command fsserved exports one or more simulated file systems over TCP
+// via the fsrpc wire protocol, serving any number of concurrent client
 // connections with the bounded-queue admission control fsserve provides.
 //
 //	$ go run ./cmd/fsserved -addr :9000 -fs betrfs-v0.6 -workers 4
 //	$ go run ./cmd/fsshell -connect localhost:9000
+//
+// The primary mount is always exported as the mount share "fs"
+// (DESIGN.md §14.2). -shares exports additional named mounts a client
+// can ATTACH to, and -block-shares exports named FTL-backed devices a
+// client (typically another node's file system) can BOPEN and use as a
+// remote block store:
+//
+//	$ go run ./cmd/fsserved -shares scratch=ext4 -block-shares blk0,blk1
 //
 // SIGINT/SIGTERM drain gracefully: new requests are rejected with
 // ESHUTDOWN, in-flight requests complete and their replies are delivered,
@@ -21,7 +29,11 @@ import (
 	"time"
 
 	"betrfs/internal/bench"
+	"betrfs/internal/blockdev"
+	"betrfs/internal/blockstore/local"
 	"betrfs/internal/fsserve"
+	"betrfs/internal/ftl"
+	"betrfs/internal/registry"
 )
 
 func main() {
@@ -36,6 +48,8 @@ func main() {
 	inlineReplies := flag.Bool("inline-replies", false, "write each reply frame synchronously instead of batching through the session writer")
 	sessionLease := flag.Duration("session-lease", 2*time.Minute, "how long a disconnected named session (HELLO, DESIGN.md §13.9) survives without traffic before its handles close (0 = never expire)")
 	drcEntries := flag.Int("drc-entries", 256, "per-session duplicate-reply cache entries; must exceed the client window or slow replays are refused with ERETIRED")
+	shares := flag.String("shares", "", "extra mount shares, comma-separated name=system pairs (clients ATTACH by name; the primary mount is always exported as \"fs\")")
+	blockShares := flag.String("block-shares", "", "block shares, comma-separated names; each exports a fresh FTL-backed device at -scale (clients BOPEN by name)")
 	flag.Parse()
 
 	var in *bench.Instance
@@ -44,6 +58,7 @@ func main() {
 	} else {
 		in = bench.Build(*fsName, *scale)
 	}
+	reg := buildRegistry(in, *scale, *shares, *blockShares)
 	cfg := fsserve.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
@@ -53,6 +68,7 @@ func main() {
 		InlineReplies: *inlineReplies,
 		SessionLease:  *sessionLease,
 		DRCEntries:    *drcEntries,
+		Registry:      reg,
 	}
 	srv := fsserve.New(in.Env, in.Mount, cfg)
 
@@ -63,6 +79,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "fsserved: %s mounted (scale 1/%d), listening on %s (%d workers, queue %d, lease %v, drc %d)\n",
 		*fsName, *scale, ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.SessionLease, cfg.DRCEntries)
+	for _, sh := range reg.Shares() {
+		if sh.Mount {
+			fmt.Fprintf(os.Stderr, "fsserved: share %s (mount)\n", sh.Name)
+		} else {
+			fmt.Fprintf(os.Stderr, "fsserved: share %s (block, %d MiB)\n", sh.Name, sh.Size>>20)
+		}
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -88,4 +111,38 @@ func main() {
 			}
 		}(conn)
 	}
+}
+
+// buildRegistry assembles the daemon's share table (DESIGN.md §14.2):
+// the primary mount as "fs", one extra mount per -shares name=system
+// pair (each its own simulated stack at the daemon's scale), and one
+// fresh FTL-backed device per -block-shares name. Block-share devices
+// live on the daemon's machine, so their I/O charges its clock and
+// their counters land in its registry.
+func buildRegistry(in *bench.Instance, scale int64, shares, blockShares string) *registry.Registry {
+	reg := registry.New()
+	reg.AddMount("fs", in.Env, in.Mount)
+	if shares != "" {
+		for _, pair := range strings.Split(shares, ",") {
+			name, system, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || name == "" || system == "" {
+				fmt.Fprintf(os.Stderr, "fsserved: -shares: %q is not name=system\n", pair)
+				os.Exit(2)
+			}
+			extra := bench.Build(system, scale)
+			reg.AddMount(name, extra.Env, extra.Mount)
+		}
+	}
+	if blockShares != "" {
+		for _, name := range strings.Split(blockShares, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				fmt.Fprintln(os.Stderr, "fsserved: -block-shares: empty share name")
+				os.Exit(2)
+			}
+			dev := blockdev.New(in.Env, blockdev.SamsungEVO860().Scale(scale))
+			reg.AddStore(name, in.Env, local.New(ftl.New(in.Env, dev, ftl.DefaultConfig())))
+		}
+	}
+	return reg
 }

@@ -14,6 +14,11 @@
 // how many requests the client keeps in flight, and the remote-only
 // `pipe` command issues a burst of pipelined calls to show out-of-order
 // completion on the shared connection.
+//
+// With -shards N the shell stands up an in-process prefix-routed
+// deployment (DESIGN.md §14) and drives it through the control plane's
+// routing client; `shardmap`, `shares`, and `stats` inspect the
+// topology and the per-shard metrics.
 package main
 
 import (
@@ -33,10 +38,15 @@ func main() {
 	fsName := flag.String("fs", "betrfs-v0.6", "file system: "+strings.Join(bench.Systems, ", "))
 	connect := flag.String("connect", "", "host:port of an fsserved to drive over the wire instead of mounting in-process")
 	window := flag.Int("window", fsrpc.DefaultWindow, "with -connect: max requests in flight on the connection (1 = serialized)")
+	shards := flag.Int("shards", 0, "stand up an in-process N-shard prefix-routed deployment (DESIGN.md §14) and drive it through the control plane")
 	flag.Parse()
 
 	if *connect != "" {
 		runRemote(*connect, *window)
+		return
+	}
+	if *shards > 0 {
+		runShards(*shards)
 		return
 	}
 

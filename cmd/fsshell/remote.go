@@ -85,7 +85,7 @@ func executeRemote(cli *fsrpc.Client, reg *metrics.Registry, f []string) bool {
 	}
 	switch f[0] {
 	case "help":
-		fmt.Println("commands: ls [dir] | mkdir p | write p text... | cat p | rm p | rmdir p | mv a b | stat p | fsync p | statfs | stats | ping | pipe [n] [path] | quit")
+		fmt.Println("commands: ls [dir] | mkdir p | write p text... | cat p | rm p | rmdir p | mv a b | stat p | fsync p | statfs | stats | shares | attach name | ping | pipe [n] [path] | quit")
 	case "quit", "exit":
 		return false
 	case "ls":
@@ -235,6 +235,30 @@ func executeRemote(cli *fsrpc.Client, reg *metrics.Registry, f []string) bool {
 		for _, name := range names {
 			fmt.Printf("  %-24s %8d\n", name, snap.Counters[name])
 		}
+	case "shares":
+		// The server registry's share table (DESIGN.md §14.2): mount
+		// shares list as directories, block shares as files.
+		ents, err := cli.Shares()
+		if err != nil {
+			fail("shares", err)
+			break
+		}
+		for _, e := range ents {
+			kind := "block"
+			if e.Dir {
+				kind = "mount"
+			}
+			fmt.Printf("%s (%s)\n", e.Name, kind)
+		}
+	case "attach":
+		if len(f) < 2 {
+			break
+		}
+		if err := cli.Attach(f[1]); err != nil {
+			fail("attach", err)
+			break
+		}
+		fmt.Printf("attached to mount share %s\n", f[1])
 	case "ping":
 		start := time.Now()
 		if err := cli.Ping(); err != nil {

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"betrfs/internal/controlplane"
+	"betrfs/internal/fsrpc"
+	"betrfs/internal/metrics"
+	"betrfs/internal/vfs"
+)
+
+// Shard mode: fsshell -shards N stands up an in-process prefix-routed
+// deployment (DESIGN.md §14.4) — N shard pairs, each a file node over a
+// remote block share on its own storage node — and drives it through the
+// control plane's routing client. The extra commands make the shard map
+// and the per-machine metrics inspectable: `shardmap` shows the routes,
+// `shares` asks each front end over the wire, and `stats` rolls shard
+// machines up the same way the shard bench does.
+func runShards(shards int) {
+	fmt.Fprintf(os.Stderr, "fsshell: building %d-shard deployment (scale 1/64)...\n", shards)
+	d := controlplane.New(controlplane.Config{Shards: shards, Scale: 64})
+	defer d.Close()
+	cli := d.Connect(metrics.NewRegistry())
+	defer cli.Close()
+	fmt.Printf("%d shards of %s mounted behind a prefix-routing client; type 'help'\n",
+		shards, "betrfs-v0.6")
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 {
+			if !executeShard(d, cli, fields) {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func executeShard(d *controlplane.Deployment, cli *controlplane.Client, f []string) bool {
+	fail := func(cmd string, err error) {
+		fmt.Printf("%s: %v\n", cmd, err)
+	}
+	switch f[0] {
+	case "help":
+		fmt.Println("commands: ls [dir] | mkdir p | write p text... | cat p | rm p | rmdir p | mv a b | stat p | route p | shardmap | shares | stats [shard [fs|blk0]] | statfs | dropcaches | quit")
+	case "quit", "exit":
+		return false
+	case "ls":
+		dir := ""
+		if len(f) > 1 {
+			dir = f[1]
+		}
+		ents, err := cli.Readdir(dir)
+		if err != nil {
+			fail("ls", err)
+			break
+		}
+		for _, e := range ents {
+			kind := "-"
+			if e.Dir {
+				kind = "d"
+			}
+			fmt.Printf("%s %s\n", kind, e.Name)
+		}
+	case "mkdir":
+		if len(f) < 2 {
+			break
+		}
+		if err := shardMkdirAll(cli, f[1]); err != nil {
+			fail("mkdir", err)
+		}
+	case "write":
+		if len(f) < 3 {
+			break
+		}
+		h, _, err := cli.Create(f[1])
+		if err != nil {
+			fail("write", err)
+			break
+		}
+		if _, err := cli.Write(h, 0, []byte(strings.Join(f[2:], " "))); err != nil {
+			fail("write", err)
+		}
+	case "cat":
+		if len(f) < 2 {
+			break
+		}
+		h, attr, err := cli.Lookup(f[1], true)
+		if err != nil {
+			fail("cat", err)
+			break
+		}
+		if attr.Dir {
+			fail("cat", vfs.ErrIsDir)
+			break
+		}
+		var out []byte
+		for off := int64(0); off < attr.Size; off += fsrpc.MaxData {
+			n := attr.Size - off
+			if n > fsrpc.MaxData {
+				n = fsrpc.MaxData
+			}
+			chunk, err := cli.Read(h, off, int(n))
+			if err != nil {
+				fail("cat", err)
+				return true
+			}
+			out = append(out, chunk...)
+			if len(chunk) == 0 {
+				break
+			}
+		}
+		fmt.Println(string(out))
+	case "rm":
+		if len(f) < 2 {
+			break
+		}
+		if err := cli.Unlink(f[1]); err != nil {
+			fail("rm", err)
+		}
+	case "rmdir":
+		if len(f) < 2 {
+			break
+		}
+		if err := cli.Rmdir(f[1]); err != nil {
+			fail("rmdir", err)
+		}
+	case "mv":
+		if len(f) < 3 {
+			break
+		}
+		if err := cli.Rename(f[1], f[2]); err != nil {
+			fail("mv", err)
+		}
+	case "stat":
+		if len(f) < 2 {
+			break
+		}
+		a, err := cli.Getattr(f[1])
+		if err != nil {
+			fail("stat", err)
+			break
+		}
+		fmt.Printf("dir=%v size=%d nlink=%d mtime=%v (shard %d)\n",
+			a.Dir, a.Size, a.Nlink, time.Duration(a.Mtime), cli.Route(f[1]))
+	case "route":
+		if len(f) < 2 {
+			break
+		}
+		fmt.Printf("%s -> shard %d\n", f[1], cli.Route(f[1]))
+	case "shardmap":
+		// Longest-prefix-first, the order lookups try them in.
+		fmt.Printf("%d shards, %d routes (longest prefix wins):\n", cli.Map().Shards(), len(cli.Map().Routes()))
+		for _, r := range cli.Map().Routes() {
+			prefix := r.Prefix
+			if prefix == "" {
+				prefix = "(catch-all)"
+			}
+			fmt.Printf("  %-20s -> shard %d\n", prefix, r.Shard)
+		}
+	case "shares":
+		// Ask each shard's front end over the wire (the SHARES op), so
+		// the listing reflects what a remote client would see.
+		for i := 0; i < cli.Map().Shards(); i++ {
+			ents, err := cli.Shard(i).Shares()
+			if err != nil {
+				fail("shares", err)
+				break
+			}
+			for _, e := range ents {
+				kind := "block"
+				if e.Dir {
+					kind = "mount"
+				}
+				fmt.Printf("shard %d: %s (%s)\n", i, e.Name, kind)
+			}
+			// The storage node's block share is one hop behind the front
+			// end; name it so the topology is visible from the REPL.
+			fmt.Printf("shard %d: %s (block, storage node)\n", i, controlplane.BlockShare)
+		}
+	case "stats":
+		printShardStats(d, f[1:])
+	case "statfs":
+		sf, err := cli.Statfs()
+		if err != nil {
+			fail("statfs", err)
+			break
+		}
+		fmt.Printf("block=%d simtime=%v degraded=%v sessions=%d ops=%d (aggregated over %d shards)\n",
+			sf.BlockSize, time.Duration(sf.SimTimeNs), sf.Degraded, sf.Sessions, sf.OpsServed, cli.Map().Shards())
+	case "dropcaches":
+		d.DropCaches()
+	default:
+		fmt.Println("unknown command; try 'help'")
+	}
+	return true
+}
+
+// printShardStats prints nonzero counters for the selected scope:
+// no args = the deployment roll-up, one arg = that shard's two machines
+// merged, two args = just the machine hosting the named share (fs = the
+// file node, blk0 = the storage node).
+func printShardStats(d *controlplane.Deployment, args []string) {
+	var snap metrics.Snapshot
+	switch {
+	case len(args) == 0:
+		snap = d.Snapshot()
+		fmt.Printf("deployment roll-up (%d shards):\n", len(d.Shards))
+	default:
+		i, err := strconv.Atoi(args[0])
+		if err != nil || i < 0 || i >= len(d.Shards) {
+			fmt.Printf("stats: no shard %q\n", args[0])
+			return
+		}
+		if len(args) == 1 {
+			snap = d.ShardSnapshot(i)
+			fmt.Printf("shard %d (file node + storage node):\n", i)
+			break
+		}
+		switch args[1] {
+		case controlplane.MountShare:
+			snap = d.Shards[i].FileEnv.Metrics.Snapshot()
+			fmt.Printf("shard %d, share %s (file node):\n", i, args[1])
+		case controlplane.BlockShare:
+			snap = d.Shards[i].StorageEnv.Metrics.Snapshot()
+			fmt.Printf("shard %d, share %s (storage node):\n", i, args[1])
+		default:
+			fmt.Printf("stats: no share %q (try %s or %s)\n", args[1], controlplane.MountShare, controlplane.BlockShare)
+			return
+		}
+	}
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := snap.Counters[name]; v != 0 {
+			fmt.Printf("  %-28s %12d\n", name, v)
+		}
+	}
+}
+
+// shardMkdirAll creates each path component through the routing client,
+// tolerating components that already exist. Every component of one path
+// routes to the same shard only when the shard map's prefixes are
+// directory-aligned, which DefaultRoutes guarantees; a cross-shard
+// ancestor simply gets created on its own shard.
+func shardMkdirAll(cli *controlplane.Client, path string) error {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for i := range parts {
+		prefix := strings.Join(parts[:i+1], "/")
+		if err := cli.Mkdir(prefix); err != nil && fsrpc.StatusOf(err) != fsrpc.StatusExist {
+			return err
+		}
+	}
+	return nil
+}

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"betrfs/internal/blockdev"
+	"betrfs/internal/blockstore/local"
+	"betrfs/internal/blockstore/readcache"
 	"betrfs/internal/fsrpc"
 	"betrfs/internal/fsserve"
 	"betrfs/internal/sim"
@@ -15,7 +17,7 @@ import (
 
 // metricNameRE matches a backticked metric name in the docs: a known
 // layer prefix followed by dot-separated lower-case segments.
-var metricNameRE = regexp.MustCompile("`((?:betree|wal|sfl|southbound|blockdev|kmem|vfs|betrfs|flusher|io|scrub|ftl|fsrpc|fsserve)\\.[a-z0-9_.]+)`")
+var metricNameRE = regexp.MustCompile("`((?:betree|wal|sfl|southbound|blockdev|kmem|vfs|betrfs|flusher|io|scrub|ftl|fsrpc|fsserve|readcache)\\.[a-z0-9_.]+)`")
 
 // documentedMetrics extracts every metric name mentioned in the given
 // markdown files.
@@ -51,6 +53,9 @@ func registeredMetrics() map[string]bool {
 	env := sim.NewEnv(1)
 	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(4096))
 	blockdev.WithRetry(env, blockdev.NewFault(env, dev, blockdev.FaultPlan{}), blockdev.DefaultRetryPolicy())
+	// The sharded file node's read cache (§14.4) registers its counters at
+	// construction; stand one up over the scratch device.
+	readcache.New(env.Metrics, local.New(dev), readcache.Config{})
 	for _, n := range env.Metrics.Names() {
 		out[n] = true
 	}

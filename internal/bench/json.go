@@ -46,7 +46,15 @@ import (
 //	    `fsserve.drc.evict` (DESIGN.md §13.9) — all zero on fault-free
 //	    runs, but their presence proves the resilient wire path
 //	    produced the document; measured cells are unchanged from v4
-const SchemaVersion = 5
+//	6 — adds the "shard" kind and its `shard` config section
+//	    (DESIGN.md §14): one system row per shard, each snapshot
+//	    guaranteed to carry the read-cache counters `readcache.hit`,
+//	    `readcache.miss`, `readcache.evict`; Validate enforces the
+//	    roll-up — the shard section's rc_* totals must equal the sums
+//	    over the per-shard rows — and that the workload's cold re-read
+//	    rounds produced at least one read-cache hit; documents of other
+//	    kinds are unchanged from v5
+const SchemaVersion = 6
 
 // Doc is one benchmark run: a set of columns measured across a set of
 // systems, plus per-system metric snapshots.
@@ -70,6 +78,24 @@ type Doc struct {
 	// Aging is present when Kind is "aging" (betrbench -aging): the
 	// churn rung's workload configuration (schema v3).
 	Aging *AgingInfo `json:"aging,omitempty"`
+	// Shard is present when Kind is "shard" (betrbench -shard): the
+	// multi-shard rung's deployment configuration and read-cache roll-up
+	// (schema v6).
+	Shard *ShardInfo `json:"shard,omitempty"`
+}
+
+// ShardInfo records the shard-rung configuration and the deployment
+// roll-up of the read-cache counters; Validate cross-checks the totals
+// against the per-shard system rows, so a document whose roll-up
+// disagrees with its own shards is rejected.
+type ShardInfo struct {
+	Shards        int    `json:"shards"`
+	System        string `json:"system"` // the per-shard stack, e.g. "betrfs-v0.6"
+	ReadRounds    int    `json:"read_rounds"`
+	Deterministic bool   `json:"deterministic"`
+	RcHit         int64  `json:"rc_hit"`
+	RcMiss        int64  `json:"rc_miss"`
+	RcEvict       int64  `json:"rc_evict"`
 }
 
 // AgingInfo records the aging-rung configuration: the create/delete churn
@@ -202,6 +228,36 @@ func ServeDoc(name string, scale int64, rows []ServeResult, snaps []metrics.Snap
 	return d
 }
 
+// ShardDoc assembles a Doc from one multi-shard rung: one system row per
+// shard (named "shard00", "shard01", …) carrying that shard's merged
+// snapshot, plus the shard section with the deployment roll-up.
+func ShardDoc(name string, run ShardRun) *Doc {
+	d := &Doc{SchemaVersion: SchemaVersion, Name: name, Kind: "shard", Scale: run.Scale}
+	for _, c := range shardColumns {
+		d.Columns = append(d.Columns, ColumnMeta{Name: c.Name, Unit: c.Unit, Better: better(c.Lower)})
+	}
+	for i, r := range run.Rows {
+		sr := SystemResult{System: fmt.Sprintf("shard%02d", r.Shard)}
+		for _, c := range shardColumns {
+			sr.Cells = append(sr.Cells, CellJSON{Name: c.Name, Value: c.Get(r)})
+		}
+		if i < len(run.Snaps) {
+			sr.Metrics = run.Snaps[i]
+		}
+		d.Systems = append(d.Systems, sr)
+	}
+	d.Shard = &ShardInfo{
+		Shards:        run.Shards,
+		System:        ShardSystem,
+		ReadRounds:    shardReadRounds,
+		Deterministic: true,
+		RcHit:         run.Total.Counters["readcache.hit"],
+		RcMiss:        run.Total.Counters["readcache.miss"],
+		RcEvict:       run.Total.Counters["readcache.evict"],
+	}
+	return d
+}
+
 // AgingDoc assembles a Doc from aging-rung rows; snaps[i] belongs to
 // rows[i].
 func AgingDoc(name string, scale int64, cfg AgingConfig, rows []AgingResult, snaps []metrics.Snapshot) *Doc {
@@ -270,8 +326,8 @@ func Validate(data []byte) (*Doc, error) {
 	if d.Name == "" {
 		return nil, fmt.Errorf("bench json: empty name")
 	}
-	if d.Kind != "micro" && d.Kind != "apps" && d.Kind != "serve" && d.Kind != "aging" {
-		return nil, fmt.Errorf("bench json: kind %q, want \"micro\", \"apps\", \"serve\", or \"aging\"", d.Kind)
+	if d.Kind != "micro" && d.Kind != "apps" && d.Kind != "serve" && d.Kind != "aging" && d.Kind != "shard" {
+		return nil, fmt.Errorf("bench json: kind %q, want \"micro\", \"apps\", \"serve\", \"aging\", or \"shard\"", d.Kind)
 	}
 	if d.Kind == "serve" && d.Serve == nil {
 		return nil, fmt.Errorf("bench json: kind \"serve\" requires a serve section")
@@ -300,6 +356,26 @@ func Validate(data []byte) (*Doc, error) {
 		if d.Aging.FileBytes < 1 || d.Aging.WorkingSet < 1 || d.Aging.WriteMultiple <= 0 {
 			return nil, fmt.Errorf("bench json: aging section file_bytes %d / working_set %d / write_multiple %g, want positive",
 				d.Aging.FileBytes, d.Aging.WorkingSet, d.Aging.WriteMultiple)
+		}
+	}
+	if d.Kind == "shard" && d.Shard == nil {
+		return nil, fmt.Errorf("bench json: kind \"shard\" requires a shard section")
+	}
+	if d.Shard != nil {
+		if d.Kind != "shard" {
+			return nil, fmt.Errorf("bench json: shard section on kind %q document", d.Kind)
+		}
+		if d.Shard.Shards < 1 || d.Shard.Shards != len(d.Systems) {
+			return nil, fmt.Errorf("bench json: shard section shards %d, want one per system row (%d)", d.Shard.Shards, len(d.Systems))
+		}
+		if d.Shard.System == "" || d.Shard.ReadRounds < 1 {
+			return nil, fmt.Errorf("bench json: shard section missing system or read_rounds")
+		}
+		// The cold re-read rounds must have produced read-cache hits; a
+		// shard document with none was not measuring the cached remote
+		// block path it claims to.
+		if d.Shard.RcHit < 1 {
+			return nil, fmt.Errorf("bench json: shard document with rc_hit %d, want >= 1", d.Shard.RcHit)
 		}
 	}
 	if d.Scale < 1 {
@@ -376,6 +452,16 @@ func Validate(data []byte) (*Doc, error) {
 				}
 			}
 		}
+		// Schema v6: shard documents must carry the read-cache counters in
+		// every shard row — each file node registers them at readcache.New
+		// — so the roll-up check below is possible in-document.
+		if d.Kind == "shard" {
+			for _, key := range []string{"readcache.hit", "readcache.miss", "readcache.evict"} {
+				if _, ok := s.Metrics.Counters[key]; !ok {
+					return nil, fmt.Errorf("bench json: shard row %q missing %s in its metric snapshot", s.System, key)
+				}
+			}
+		}
 		// Schema v3: rows produced over the simulated FTL (identified by
 		// its always-registered host-write counter) must carry the full
 		// flash lifetime family and the write-amplification gauge, so
@@ -392,6 +478,20 @@ func Validate(data []byte) (*Doc, error) {
 			if _, ok := s.Metrics.Gauges["io.waf"]; !ok {
 				return nil, fmt.Errorf("bench json: FTL-backed system %q missing the io.waf gauge in its metric snapshot", s.System)
 			}
+		}
+	}
+	// Schema v6: the shard section's roll-up must be exactly the sum of
+	// the per-shard rows it travels with.
+	if d.Shard != nil {
+		var hit, miss, evict int64
+		for _, s := range d.Systems {
+			hit += s.Metrics.Counters["readcache.hit"]
+			miss += s.Metrics.Counters["readcache.miss"]
+			evict += s.Metrics.Counters["readcache.evict"]
+		}
+		if hit != d.Shard.RcHit || miss != d.Shard.RcMiss || evict != d.Shard.RcEvict {
+			return nil, fmt.Errorf("bench json: shard roll-up rc %d/%d/%d disagrees with the per-shard sums %d/%d/%d",
+				d.Shard.RcHit, d.Shard.RcMiss, d.Shard.RcEvict, hit, miss, evict)
 		}
 	}
 	if p := d.Parallel; p != nil {

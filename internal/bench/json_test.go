@@ -63,7 +63,7 @@ func TestJSONValidateRejects(t *testing.T) {
 			return bytes.Replace(b, []byte(`"schema_version"`), []byte(`"bogus": 1, "schema_version"`), 1)
 		}, "decode"},
 		{"wrong version", func(b []byte) []byte {
-			return bytes.Replace(b, []byte(`"schema_version": 5`), []byte(`"schema_version": 99`), 1)
+			return bytes.Replace(b, []byte(`"schema_version": 6`), []byte(`"schema_version": 99`), 1)
 		}, "schema_version"},
 		{"bad better", func(b []byte) []byte {
 			return bytes.Replace(b, []byte(`"better": "higher"`), []byte(`"better": "sideways"`), 1)

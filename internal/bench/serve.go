@@ -79,12 +79,32 @@ func (r ServeResult) KOpsPerSimSec() float64 {
 	return float64(r.Ops) / r.SimTime.Seconds() / 1000
 }
 
+// wireClient is the client surface the bench scripts drive: exactly the
+// file-class convenience methods of *fsrpc.Client. The shard rung
+// substitutes *controlplane.Client — the prefix-routing multiplexer —
+// behind the same scripts, so the single-mount and sharded modes measure
+// identical op sequences.
+type wireClient interface {
+	Lookup(path string, open bool) (uint64, fsrpc.Attr, error)
+	Getattr(path string) (fsrpc.Attr, error)
+	Create(path string) (uint64, fsrpc.Attr, error)
+	Read(handle uint64, off int64, n int) ([]byte, error)
+	Write(handle uint64, off int64, data []byte) (int, error)
+	Fsync(handle uint64) error
+	Mkdir(path string) error
+	Unlink(path string) error
+	Rename(oldPath, newPath string) error
+	Readdir(path string) ([]fsrpc.DirEnt, error)
+	Statfs() (fsrpc.Statfs, error)
+	Close() error
+}
+
 // serveClient is one scripted session driver: the wire client (possibly
 // shared with other drivers on the same connection in pipelined mode), the
 // handle the previous step produced, and the first error (which stops the
 // script). With record set it collects per-step wall latency.
 type serveClient struct {
-	cli    *fsrpc.Client
+	cli    wireClient
 	h      uint64
 	steps  []func(*serveClient) error
 	next   int
@@ -317,14 +337,7 @@ func runServeDeterministic(system string, scale int64, clients int) (ServeResult
 
 	start := in.Env.Now()
 	wallStart := time.Now()
-	for live := true; live; {
-		live = false
-		for _, d := range cls {
-			if d.step() {
-				live = true
-			}
-		}
-	}
+	driveRoundRobin(cls)
 	out := ServeResult{
 		System:   system,
 		Clients:  clients,

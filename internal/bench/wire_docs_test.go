@@ -138,3 +138,52 @@ func TestWireSpecMatchesCode(t *testing.T) {
 		}
 	}
 }
+
+// blockRowRE matches one row of the DESIGN.md §14.3 block/control op
+// table: "| `bopen` | yes | ... |". Mnemonic-first and code-less, so
+// opcodeRowRE cannot mistake these rows for §13.2 entries.
+var blockRowRE = regexp.MustCompile("(?m)^\\| `([a-z0-9]+)` +\\| (yes|no) +\\|")
+
+// TestBlockClassSpecMatchesCode diffs the §14.3 table against
+// fsrpc.Op.Block() in both directions: every row must name a real §14 op
+// with the right block-class bit, every op the code adds beyond PING
+// (the §13 frontier) must have a row, and every Block() op must be
+// marked "yes".
+func TestBlockClassSpecMatchesCode(t *testing.T) {
+	data, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	i := strings.Index(string(data), "## 14.")
+	if i < 0 {
+		t.Fatal("DESIGN.md has no §14")
+	}
+	spec := string(data[i:])
+
+	byMnemonic := map[string]fsrpc.Op{}
+	for _, op := range fsrpc.Ops {
+		byMnemonic[op.String()] = op
+	}
+	rows := blockRowRE.FindAllStringSubmatch(spec, -1)
+	documented := map[string]bool{}
+	for _, row := range rows {
+		mnemonic, wantBlock := row[1], row[2] == "yes"
+		documented[mnemonic] = true
+		op, ok := byMnemonic[mnemonic]
+		if !ok {
+			t.Errorf("§14.3 documents op %q but the code defines no such op", mnemonic)
+			continue
+		}
+		if op <= fsrpc.OpPing {
+			t.Errorf("§14.3 row %q is a §13 file-class op (code %d)", mnemonic, uint8(op))
+		}
+		if op.Block() != wantBlock {
+			t.Errorf("§14.3: %s block-class is %v in code, %v in the spec", mnemonic, op.Block(), wantBlock)
+		}
+	}
+	for _, op := range fsrpc.Ops {
+		if op > fsrpc.OpPing && !documented[op.String()] {
+			t.Errorf("op %s (code %d) is missing from the §14.3 table", op, uint8(op))
+		}
+	}
+}

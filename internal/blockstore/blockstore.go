@@ -1,0 +1,116 @@
+// Package blockstore defines the pluggable block-storage backend layer
+// (DESIGN.md §14): a Store is the synchronous byte-addressed contract a
+// mount's southbound ultimately writes through, narrow enough to travel
+// over the fsrpc wire. Three implementations exist: local (an adapter
+// over any blockdev.Device — the historical in-process stack), remote (a
+// store served by another node over the block-class fsrpc ops), and
+// readcache (a bounded read-through cache stacked in front of a slow
+// store, typically a remote one).
+//
+// AsDevice adapts a Store back into a blockdev.Device so the existing
+// file systems mount over any backend unchanged. The adapter is free for
+// the local store — it unwraps to the underlying Device, preserving the
+// async submission timing every golden benchmark cell was pinned on —
+// and synchronous for everything else: Submit* executes eagerly and
+// completes at the current simulated time, which is exactly the timing a
+// synchronous RPC round trip has.
+package blockstore
+
+import (
+	"betrfs/internal/blockdev"
+	"betrfs/internal/sim"
+)
+
+// Store is the synchronous block-backend contract. Offsets and lengths
+// are bytes; implementations may require blockdev.BlockSize alignment
+// (the local store inherits its device's rules). All methods may be
+// called concurrently.
+type Store interface {
+	// ReadAt reads len(p) bytes at off. On error the contents of p are
+	// undefined.
+	ReadAt(p []byte, off int64) error
+	// WriteAt writes len(p) bytes at off.
+	WriteAt(p []byte, off int64) error
+	// Flush drains queues and volatile caches (a durability barrier).
+	Flush() error
+	// Discard (TRIM) hints that [off, off+length) no longer holds live
+	// data. Advisory, like blockdev.Device.Discard.
+	Discard(off, length int64) error
+	// Size returns the store capacity in bytes.
+	Size() int64
+}
+
+// deviceUnwrapper is implemented by stores that are a pure adapter over
+// a blockdev.Device (the local store); AsDevice returns the wrapped
+// device itself so the adapter costs nothing.
+type deviceUnwrapper interface {
+	Device() blockdev.Device
+}
+
+// AsDevice adapts st into a blockdev.Device. A local store unwraps to
+// its underlying device (free: identical timing, async submission
+// preserved); any other store gets the synchronous adapter, whose
+// Submit* execute eagerly and complete at env.Now().
+func AsDevice(env *sim.Env, st Store) blockdev.Device {
+	if u, ok := st.(deviceUnwrapper); ok {
+		return u.Device()
+	}
+	return &storeDev{env: env, st: st}
+}
+
+// storeDev is the synchronous Store→Device adapter.
+type storeDev struct {
+	env   *sim.Env
+	st    Store
+	stats blockdev.Stats
+}
+
+func (d *storeDev) ReadAt(p []byte, off int64) error {
+	err := d.st.ReadAt(p, off)
+	d.stats.Reads++
+	if err == nil {
+		d.stats.BytesRead += int64(len(p))
+	}
+	return err
+}
+
+func (d *storeDev) WriteAt(p []byte, off int64) error {
+	err := d.st.WriteAt(p, off)
+	d.stats.Writes++
+	if err == nil {
+		d.stats.BytesWritten += int64(len(p))
+	}
+	return err
+}
+
+// SubmitRead executes eagerly: a store has no asynchronous submission
+// (an RPC round trip is synchronous), so the completion is immediate.
+func (d *storeDev) SubmitRead(p []byte, off int64) blockdev.Completion {
+	err := d.ReadAt(p, off)
+	return blockdev.Completion{At: d.env.Now(), Err: err}
+}
+
+func (d *storeDev) SubmitWrite(p []byte, off int64) blockdev.Completion {
+	err := d.WriteAt(p, off)
+	return blockdev.Completion{At: d.env.Now(), Err: err}
+}
+
+func (d *storeDev) Wait(c blockdev.Completion) error { return c.Err }
+
+func (d *storeDev) Flush() error {
+	d.stats.Flushes++
+	return d.st.Flush()
+}
+
+func (d *storeDev) Discard(off, length int64) error {
+	err := d.st.Discard(off, length)
+	if err == nil {
+		d.stats.Discards++
+		d.stats.BytesDiscarded += length
+	}
+	return err
+}
+
+func (d *storeDev) Size() int64 { return d.st.Size() }
+
+func (d *storeDev) Stats() *blockdev.Stats { return &d.stats }

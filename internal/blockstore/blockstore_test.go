@@ -1,0 +1,129 @@
+package blockstore_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"betrfs/internal/blockdev"
+	"betrfs/internal/blockstore"
+	"betrfs/internal/blockstore/local"
+	"betrfs/internal/blockstore/readcache"
+	"betrfs/internal/ftl"
+	"betrfs/internal/ioerr"
+	"betrfs/internal/sim"
+)
+
+func newDev(t *testing.T) (*sim.Env, *blockdev.Dev) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	return env, blockdev.New(env, blockdev.SamsungEVO860().Scale(256))
+}
+
+// TestAsDeviceUnwrapsLocal pins the free-unwrap invariant: adapting a
+// local store back to a device returns the wrapped device itself, so the
+// default single-node stack keeps its async submission timing (and the
+// golden bench cells stay bit-identical).
+func TestAsDeviceUnwrapsLocal(t *testing.T) {
+	env, dev := newDev(t)
+	got := blockstore.AsDevice(env, local.New(dev))
+	if got != blockdev.Device(dev) {
+		t.Fatalf("AsDevice(local) = %T, want the wrapped *blockdev.Dev itself", got)
+	}
+}
+
+// TestStoreDevSynchronousAdapter covers the non-local path: a store that
+// cannot unwrap gets the synchronous adapter, whose Submit* complete
+// eagerly and whose stats ledger counts the traffic.
+func TestStoreDevSynchronousAdapter(t *testing.T) {
+	env, dev := newDev(t)
+	// readcache cannot unwrap (it is not a pure device adapter).
+	st := readcache.New(env.Metrics, local.New(dev), readcache.Config{})
+	adapted := blockstore.AsDevice(env, st)
+	if _, ok := adapted.(*blockdev.Dev); ok {
+		t.Fatal("readcache store unexpectedly unwrapped to the raw device")
+	}
+	payload := bytes.Repeat([]byte{7}, blockdev.BlockSize)
+	c := adapted.SubmitWrite(payload, 0)
+	if c.At != env.Now() {
+		t.Fatalf("synchronous adapter completion at %v, now %v", c.At, env.Now())
+	}
+	if err := adapted.Wait(c); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if err := adapted.ReadAt(got, 0); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read back: %v", err)
+	}
+	if err := adapted.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := adapted.Stats()
+	if s.Writes != 1 || s.Reads != 1 || s.Flushes != 1 ||
+		s.BytesWritten != int64(len(payload)) || s.BytesRead != int64(len(payload)) {
+		t.Fatalf("adapter stats = %+v", s)
+	}
+	if adapted.Size() != dev.Size() {
+		t.Fatalf("size = %d, want %d", adapted.Size(), dev.Size())
+	}
+}
+
+// TestDiscardForwarding is the PR 7 TRIM-accounting regression guard:
+// Discard must traverse the new blockstore indirection end to end — the
+// RetryDev/FaultDev composition, the local store, the Store→Device
+// adapter, and the FTL's trim ledger — exactly as it did when the
+// southbound held the device directly.
+func TestDiscardForwarding(t *testing.T) {
+	env, dev := newDev(t)
+	fdev := ftl.New(env, dev, ftl.DefaultConfig())
+	faulted := blockdev.NewFault(env, fdev, blockdev.FaultPlan{Seed: 1})
+	retried := blockdev.WithRetry(env, faulted, blockdev.DefaultRetryPolicy())
+
+	// Local path: the unwrap must return the retry wrapper unchanged.
+	d1 := blockstore.AsDevice(env, local.New(retried))
+	if d1 != blockdev.Device(retried) {
+		t.Fatalf("AsDevice(local(retry)) = %T, want the retry wrapper", d1)
+	}
+	length := int64(8 * blockdev.BlockSize)
+	if err := d1.Discard(0, length); err != nil {
+		t.Fatalf("discard via local path: %v", err)
+	}
+	if dev.Stats().Discards != 1 || dev.Stats().BytesDiscarded != length {
+		t.Fatalf("discard did not reach the raw device: %+v", dev.Stats())
+	}
+	snap := env.Metrics.Snapshot()
+	if snap.Counters["ftl.trim.count"] != 1 || snap.Counters["ftl.trim.bytes"] != length {
+		t.Fatalf("discard did not reach the FTL ledger: trim.count=%d trim.bytes=%d",
+			snap.Counters["ftl.trim.count"], snap.Counters["ftl.trim.bytes"])
+	}
+
+	// Adapter path: a non-unwrappable store must forward too.
+	d2 := blockstore.AsDevice(env, readcache.New(env.Metrics, local.New(retried), readcache.Config{}))
+	if err := d2.Discard(length, length); err != nil {
+		t.Fatalf("discard via adapter path: %v", err)
+	}
+	if dev.Stats().Discards != 2 || dev.Stats().BytesDiscarded != 2*length {
+		t.Fatalf("adapter discard did not reach the raw device: %+v", dev.Stats())
+	}
+	if d2.Stats().Discards != 1 || d2.Stats().BytesDiscarded != length {
+		t.Fatalf("adapter discard ledger = %+v", d2.Stats())
+	}
+}
+
+// nospaceStore fails every write with ENOSPC (the equivalence suite
+// checks the sentinel crosses the wire intact).
+type nospaceStore struct{ blockstore.Store }
+
+func (nospaceStore) WriteAt(p []byte, off int64) error { return ioerr.ErrNoSpace }
+
+func TestErrNoSpaceSentinelThroughAdapter(t *testing.T) {
+	env, dev := newDev(t)
+	ad := blockstore.AsDevice(env, nospaceStore{local.New(dev)})
+	err := ad.WriteAt(make([]byte, blockdev.BlockSize), 0)
+	if !errors.Is(err, ioerr.ErrNoSpace) {
+		t.Fatalf("adapter write error = %v, want ENOSPC", err)
+	}
+	if ad.Stats().BytesWritten != 0 {
+		t.Fatal("failed write counted bytes")
+	}
+}

@@ -1,0 +1,27 @@
+// Package local adapts any blockdev.Device into a blockstore.Store —
+// the in-process backend every single-node deployment uses. The adapter
+// is bidirectionally free: blockstore.AsDevice recognizes it and returns
+// the wrapped device unchanged, so stacking local under a mount changes
+// neither timing nor metrics, and every pre-existing golden benchmark
+// cell stays bit-identical.
+package local
+
+import "betrfs/internal/blockdev"
+
+// Store serves block-store operations straight from a device.
+type Store struct {
+	dev blockdev.Device
+}
+
+// New wraps dev.
+func New(dev blockdev.Device) *Store { return &Store{dev: dev} }
+
+// Device returns the wrapped device; blockstore.AsDevice uses it to
+// unwrap the adapter for free.
+func (s *Store) Device() blockdev.Device { return s.dev }
+
+func (s *Store) ReadAt(p []byte, off int64) error  { return s.dev.ReadAt(p, off) }
+func (s *Store) WriteAt(p []byte, off int64) error { return s.dev.WriteAt(p, off) }
+func (s *Store) Flush() error                      { return s.dev.Flush() }
+func (s *Store) Discard(off, length int64) error   { return s.dev.Discard(off, length) }
+func (s *Store) Size() int64                       { return s.dev.Size() }

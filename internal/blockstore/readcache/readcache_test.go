@@ -1,0 +1,149 @@
+package readcache_test
+
+import (
+	"bytes"
+	"testing"
+
+	"betrfs/internal/blockdev"
+	"betrfs/internal/blockstore/local"
+	"betrfs/internal/blockstore/readcache"
+	"betrfs/internal/metrics"
+	"betrfs/internal/sim"
+)
+
+func build(t *testing.T, cfg readcache.Config) (*readcache.Store, *blockdev.Dev, *metrics.Registry) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	dev := blockdev.New(env, blockdev.SamsungEVO860().Scale(2048))
+	reg := metrics.NewRegistry()
+	return readcache.New(reg, local.New(dev), cfg), dev, reg
+}
+
+func counters(reg *metrics.Registry) (hit, miss, evict int64) {
+	s := reg.Snapshot()
+	return s.Counters["readcache.hit"], s.Counters["readcache.miss"], s.Counters["readcache.evict"]
+}
+
+// TestReadThroughAndHit pins the core contract: the first read of a line
+// misses and fills from the backing store, a re-read within the same
+// line hits without touching the device.
+func TestReadThroughAndHit(t *testing.T) {
+	st, dev, reg := build(t, readcache.Config{LineSize: 64 << 10, Lines: 8})
+	payload := bytes.Repeat([]byte{0xaa}, blockdev.BlockSize)
+	if err := st.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, blockdev.BlockSize)
+	if err := st.ReadAt(got, 0); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("first read: %v", err)
+	}
+	if hit, miss, _ := counters(reg); hit != 0 || miss != 1 {
+		t.Fatalf("after fill: hit=%d miss=%d", hit, miss)
+	}
+	devReads := dev.Stats().Reads
+	// Same line, different block: must be served from cache.
+	if err := st.ReadAt(got, 4*blockdev.BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if hit, miss, _ := counters(reg); hit != 1 || miss != 1 {
+		t.Fatalf("after re-read: hit=%d miss=%d", hit, miss)
+	}
+	if dev.Stats().Reads != devReads {
+		t.Fatal("cache hit touched the device")
+	}
+}
+
+// TestWriteInvalidates: a write through the cache must invalidate the
+// overlapping line, so the next read sees the new bytes (re-fetched),
+// never a stale cached copy.
+func TestWriteInvalidates(t *testing.T) {
+	st, _, reg := build(t, readcache.Config{LineSize: 64 << 10, Lines: 8})
+	old := bytes.Repeat([]byte{1}, blockdev.BlockSize)
+	if err := st.WriteAt(old, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, blockdev.BlockSize)
+	if err := st.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	neu := bytes.Repeat([]byte{2}, blockdev.BlockSize)
+	if err := st.WriteAt(neu, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ReadAt(got, 0); err != nil || !bytes.Equal(got, neu) {
+		t.Fatalf("stale read after write-through: %v", err)
+	}
+	if _, miss, _ := counters(reg); miss != 2 {
+		t.Fatalf("invalidation should force a re-fill: miss=%d", miss)
+	}
+}
+
+// TestDiscardInvalidates: TRIM through the cache forwards to the backing
+// store and drops the cached lines, so read-after-TRIM returns the
+// deterministic zeroes.
+func TestDiscardInvalidates(t *testing.T) {
+	st, dev, _ := build(t, readcache.Config{LineSize: 64 << 10, Lines: 8})
+	payload := bytes.Repeat([]byte{3}, blockdev.BlockSize)
+	if err := st.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, blockdev.BlockSize)
+	if err := st.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Discard(0, blockdev.BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().Discards != 1 {
+		t.Fatalf("discard not forwarded: %+v", dev.Stats())
+	}
+	if err := st.ReadAt(got, 0); err != nil || !bytes.Equal(got, make([]byte, len(got))) {
+		t.Fatalf("read after TRIM not zeroed: %v", err)
+	}
+}
+
+// TestBoundedEviction: the cache never holds more than Lines lines; the
+// LRU line is evicted and counted.
+func TestBoundedEviction(t *testing.T) {
+	const lineSize = 64 << 10
+	st, _, reg := build(t, readcache.Config{LineSize: lineSize, Lines: 2})
+	buf := make([]byte, blockdev.BlockSize)
+	for i := int64(0); i < 4; i++ {
+		if err := st.ReadAt(buf, i*lineSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hit, miss, evict := counters(reg)
+	if miss != 4 || evict != 2 || hit != 0 {
+		t.Fatalf("eviction accounting: hit=%d miss=%d evict=%d", hit, miss, evict)
+	}
+	// Lines 2 and 3 are resident; 0 was evicted and must miss again.
+	if err := st.ReadAt(buf, 3*lineSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	hit, miss, evict = counters(reg)
+	if hit != 1 || miss != 5 || evict != 3 {
+		t.Fatalf("LRU order: hit=%d miss=%d evict=%d", hit, miss, evict)
+	}
+}
+
+// TestTailLineClamp: the store's last line is shorter than LineSize; a
+// read inside it must still fill and serve correctly.
+func TestTailLineClamp(t *testing.T) {
+	// A scaled EVO is not line-aligned in general; pick a line size that
+	// leaves a ragged tail.
+	st, dev, _ := build(t, readcache.Config{LineSize: 48 << 10, Lines: 4})
+	size := dev.Size()
+	tail := size - blockdev.BlockSize
+	payload := bytes.Repeat([]byte{9}, blockdev.BlockSize)
+	if err := st.WriteAt(payload, tail); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, blockdev.BlockSize)
+	if err := st.ReadAt(got, tail); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("tail read: %v", err)
+	}
+}

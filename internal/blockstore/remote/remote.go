@@ -1,0 +1,85 @@
+// Package remote implements a blockstore.Store backed by another node's
+// fsserved over the block-class fsrpc ops (DESIGN.md §14). Open names a
+// block share in the remote registry; reads and writes are chunked at
+// fsrpc.MaxData and errors surface as the same sentinels a local device
+// returns (Status→Err round trip), so EIO from a faulty remote device
+// classifies identically to EIO from a local one.
+package remote
+
+import (
+	"fmt"
+
+	"betrfs/internal/fsrpc"
+	"betrfs/internal/ioerr"
+)
+
+// Store is a block share on a remote fsserved, reached through cli.
+type Store struct {
+	cli    *fsrpc.Client
+	name   string
+	handle uint64
+	size   int64
+}
+
+// Open binds a remote block share by name. The returned store caches the
+// share's capacity from the BOPEN reply; an unknown name surfaces as
+// vfs.ErrNotExist.
+func Open(cli *fsrpc.Client, name string) (*Store, error) {
+	h, size, err := cli.Bopen(name)
+	if err != nil {
+		return nil, fmt.Errorf("remote: open %q: %w", name, err)
+	}
+	return &Store{cli: cli, name: name, handle: h, size: size}, nil
+}
+
+// Name returns the share name the store was opened with.
+func (s *Store) Name() string { return s.name }
+
+func (s *Store) ReadAt(p []byte, off int64) error {
+	for n := 0; n < len(p); {
+		want := len(p) - n
+		if want > fsrpc.MaxData {
+			want = fsrpc.MaxData
+		}
+		data, err := s.cli.Bread(s.handle, off+int64(n), want)
+		if err != nil {
+			return err
+		}
+		if len(data) != want {
+			// A block device has no EOF inside its capacity; a short BREAD
+			// means the transfer was truncated in flight.
+			return fmt.Errorf("remote: short read %d/%d at %d: %w",
+				len(data), want, off+int64(n), ioerr.ErrIO)
+		}
+		copy(p[n:], data)
+		n += want
+	}
+	return nil
+}
+
+func (s *Store) WriteAt(p []byte, off int64) error {
+	for n := 0; n < len(p); {
+		want := len(p) - n
+		if want > fsrpc.MaxData {
+			want = fsrpc.MaxData
+		}
+		wrote, err := s.cli.Bwrite(s.handle, off+int64(n), p[n:n+want])
+		if err != nil {
+			return err
+		}
+		if wrote != want {
+			return fmt.Errorf("remote: short write %d/%d at %d: %w",
+				wrote, want, off+int64(n), ioerr.ErrIO)
+		}
+		n += want
+	}
+	return nil
+}
+
+func (s *Store) Flush() error { return s.cli.Bflush(s.handle) }
+
+func (s *Store) Discard(off, length int64) error {
+	return s.cli.Bdiscard(s.handle, off, length)
+}
+
+func (s *Store) Size() int64 { return s.size }

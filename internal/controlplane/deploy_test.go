@@ -1,0 +1,314 @@
+package controlplane_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"betrfs/internal/controlplane"
+	"betrfs/internal/fsrpc"
+	"betrfs/internal/metrics"
+	"betrfs/internal/vfs"
+)
+
+// directDriver applies the same operations a wire client issues, but
+// straight on the deployment's mounts, routed by the same shard map.
+// The conformance test diffs its results against the routed wire path.
+type directDriver struct {
+	t *testing.T
+	d *controlplane.Deployment
+}
+
+func (dd *directDriver) mount(path string) *vfs.Mount {
+	return dd.d.Shards[dd.d.Map.Route(path)].Mount
+}
+
+func (dd *directDriver) mkdir(path string) error { return dd.mount(path).Mkdir(path) }
+
+func (dd *directDriver) createWrite(path string, data []byte) error {
+	f, err := dd.mount(path).Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return err
+	}
+	return f.Fsync()
+}
+
+func (dd *directDriver) read(path string, n int) ([]byte, error) {
+	f, err := dd.mount(path).Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	rn, err := f.ReadAt(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:rn], nil
+}
+
+func (dd *directDriver) stat(path string) (fsrpc.Attr, error) {
+	a, err := dd.mount(path).Stat(path)
+	return fsrpc.FromVFS(a), err
+}
+
+func (dd *directDriver) readdir(path string) ([]fsrpc.DirEnt, error) {
+	ents, err := dd.mount(path).ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fsrpc.DirEnt, len(ents))
+	for i, e := range ents {
+		out[i] = fsrpc.DirEnt{Name: e.Name, Dir: e.Dir}
+	}
+	return out, nil
+}
+
+// sameStatus requires the wire and direct paths to classify an outcome
+// identically at the wire-status level (DESIGN.md §13.4): both succeed,
+// or both fail with the same Status.
+func sameStatus(t *testing.T, what string, wire, direct error) {
+	t.Helper()
+	if fsrpc.StatusOf(wire) != fsrpc.StatusOf(direct) {
+		t.Fatalf("%s: wire %v (status %v) vs direct %v (status %v)",
+			what, wire, fsrpc.StatusOf(wire), direct, fsrpc.StatusOf(direct))
+	}
+}
+
+// TestWireVsDirectConformance is the per-shard conformance gate from
+// DESIGN.md §14.5: two identical 3-shard deployments, one driven over
+// the prefix-routing wire client and one driven directly on the mounts
+// with the same routing, must agree on every result — data, attributes,
+// directory listings, and error classification — on every shard.
+func TestWireVsDirectConformance(t *testing.T) {
+	cfg := controlplane.Config{Shards: 3, Scale: 2048}
+	dw := controlplane.New(cfg)
+	defer dw.Close()
+	dd := controlplane.New(cfg)
+	defer dd.Close()
+
+	wire := dw.Connect(nil)
+	defer wire.Close()
+	direct := &directDriver{t: t, d: dd}
+
+	// Prefixes landing on all three shards plus the catch-all.
+	prefixes := []string{"s00", "s01", "s02", "misc"}
+	for _, p := range prefixes {
+		sameStatus(t, "mkdir "+p, wire.Mkdir(p), direct.mkdir(p))
+		for i := 0; i < 4; i++ {
+			path := fmt.Sprintf("%s/f%d", p, i)
+			payload := bytes.Repeat([]byte{byte(i + 1)}, 3000+512*i)
+			h, _, errW := wire.Create(path)
+			errD := direct.createWrite(path, payload)
+			if errW == nil {
+				if _, err := wire.Write(h, 0, payload); err != nil {
+					errW = err
+				} else {
+					errW = wire.Fsync(h)
+				}
+			}
+			sameStatus(t, "create+write "+path, errW, errD)
+		}
+	}
+
+	for _, p := range prefixes {
+		for i := 0; i < 4; i++ {
+			path := fmt.Sprintf("%s/f%d", p, i)
+			n := 3000 + 512*i
+
+			aw, errW := wire.Getattr(path)
+			ad, errD := direct.stat(path)
+			sameStatus(t, "getattr "+path, errW, errD)
+			if aw.Size != ad.Size || aw.Dir != ad.Dir {
+				t.Fatalf("getattr %s: wire %+v vs direct %+v", path, aw, ad)
+			}
+			if aw.Size != int64(n) {
+				t.Fatalf("getattr %s: size %d, want %d", path, aw.Size, n)
+			}
+
+			h, _, err := wire.Lookup(path, true)
+			if err != nil {
+				t.Fatalf("lookup %s: %v", path, err)
+			}
+			gw, errW := wire.Read(h, 0, n)
+			gd, errD := direct.read(path, n)
+			sameStatus(t, "read "+path, errW, errD)
+			if !bytes.Equal(gw, gd) {
+				t.Fatalf("read %s: wire and direct bytes diverge", path)
+			}
+		}
+
+		ew, errW := wire.Readdir(p)
+		ed, errD := direct.readdir(p)
+		sameStatus(t, "readdir "+p, errW, errD)
+		if len(ew) != len(ed) {
+			t.Fatalf("readdir %s: wire %d entries, direct %d", p, len(ew), len(ed))
+		}
+		for i := range ew {
+			if ew[i] != ed[i] {
+				t.Fatalf("readdir %s[%d]: wire %+v vs direct %+v", p, i, ew[i], ed[i])
+			}
+		}
+	}
+
+	// Error classification must match on every shard too.
+	for _, p := range prefixes {
+		_, errW := wire.Getattr(p + "/absent")
+		_, errD := direct.stat(p + "/absent")
+		sameStatus(t, "getattr absent under "+p, errW, errD)
+		sameStatus(t, "mkdir existing "+p, wire.Mkdir(p), direct.mkdir(p))
+		sameStatus(t, "rmdir non-empty "+p, wire.Rmdir(p), dd.Shards[dd.Map.Route(p)].Mount.Rmdir(p))
+		sameStatus(t, "unlink absent under "+p,
+			wire.Unlink(p+"/absent"), dd.Shards[dd.Map.Route(p)].Mount.Remove(p+"/absent"))
+	}
+
+	// Same-shard rename agrees; the renamed file keeps its bytes.
+	sameStatus(t, "rename s01/f0",
+		wire.Rename("s01/f0", "s01/r0"), dd.Shards[dd.Map.Route("s01")].Mount.Rename("s01/f0", "s01/r0"))
+	_, errW := wire.Getattr("s01/f0")
+	_, errD := direct.stat("s01/f0")
+	sameStatus(t, "getattr renamed-away s01/f0", errW, errD)
+	aw, err := wire.Getattr("s01/r0")
+	if err != nil || aw.Size != 3000 {
+		t.Fatalf("rename target: %+v, %v", aw, err)
+	}
+}
+
+// TestCrossShardWorkload runs one workload across all three shards
+// through the routing client and checks the §14 acceptance properties:
+// per-shard metrics, the deployment roll-up summing them, read-cache
+// hits under cold re-reads, cross-shard rename refusal, and the
+// aggregated STATFS view.
+func TestCrossShardWorkload(t *testing.T) {
+	d := controlplane.New(controlplane.Config{Shards: 3, Scale: 2048})
+	defer d.Close()
+	cli := d.Connect(metrics.NewRegistry())
+	defer cli.Close()
+
+	prefixes := []string{"s00", "s01", "s02", "misc"}
+	const files = 3
+	payload := bytes.Repeat([]byte{0x42}, 8192)
+	handles := map[string]uint64{}
+	for _, p := range prefixes {
+		if err := cli.Mkdir(p); err != nil {
+			t.Fatalf("mkdir %s: %v", p, err)
+		}
+		for i := 0; i < files; i++ {
+			path := fmt.Sprintf("%s/f%d", p, i)
+			h, _, err := cli.Create(path)
+			if err != nil {
+				t.Fatalf("create %s: %v", path, err)
+			}
+			if _, err := cli.Write(h, 0, payload); err != nil {
+				t.Fatalf("write %s: %v", path, err)
+			}
+			if err := cli.Fsync(h); err != nil {
+				t.Fatalf("fsync %s: %v", path, err)
+			}
+			handles[path] = h
+		}
+	}
+
+	// Handle tags route reads back to the owning shard: "s02" files carry
+	// shard 2's tag and still read correctly.
+	if got := cli.Route("s02/f0"); got != 2 {
+		t.Fatalf("route s02 = %d", got)
+	}
+	if _, err := cli.Read(handles["s02/f0"], 0, 512); err != nil {
+		t.Fatalf("tagged read: %v", err)
+	}
+	// A handle tagged with a nonexistent shard is EBADF, not a panic.
+	if _, err := cli.Read(uint64(7)<<56|1, 0, 512); !errors.Is(err, fsrpc.ErrBadHandle) {
+		t.Fatalf("out-of-range shard tag = %v, want EBADF", err)
+	}
+
+	// Cold re-read rounds: dropping the file nodes' caches before each
+	// round forces the second round's block reads into the read cache.
+	for round := 0; round < 2; round++ {
+		d.DropCaches()
+		for _, p := range prefixes {
+			for i := 0; i < files; i++ {
+				path := fmt.Sprintf("%s/f%d", p, i)
+				h, _, err := cli.Lookup(path, true)
+				if err != nil {
+					t.Fatalf("lookup %s: %v", path, err)
+				}
+				got, err := cli.Read(h, 0, len(payload))
+				if err != nil || !bytes.Equal(got, payload) {
+					t.Fatalf("round %d read %s: %v", round, path, err)
+				}
+			}
+		}
+	}
+
+	// Every shard did file work on its front end and block work on its
+	// storage node.
+	perShard := make([]metrics.Snapshot, 3)
+	for i := 0; i < 3; i++ {
+		perShard[i] = d.ShardSnapshot(i)
+		if perShard[i].Counters["fsserve.op.create"] < files {
+			t.Fatalf("shard %d served %d creates, want ≥ %d",
+				i, perShard[i].Counters["fsserve.op.create"], files)
+		}
+		if perShard[i].Counters["fsserve.op.bwrite"] == 0 {
+			t.Fatalf("shard %d storage node served no BWRITEs", i)
+		}
+	}
+	// Shard 0 owns the catch-all and "s00": strictly more creates.
+	if perShard[0].Counters["fsserve.op.create"] <= perShard[1].Counters["fsserve.op.create"] {
+		t.Fatalf("catch-all shard should serve the most creates: %d vs %d",
+			perShard[0].Counters["fsserve.op.create"], perShard[1].Counters["fsserve.op.create"])
+	}
+
+	// The deployment roll-up is exactly the sum of the shard snapshots.
+	total := d.Snapshot()
+	for _, key := range []string{
+		"fsserve.op.create", "fsserve.op.read", "fsserve.op.bread",
+		"fsserve.op.bwrite", "readcache.miss", "blockdev.read.count",
+	} {
+		var sum int64
+		for i := 0; i < 3; i++ {
+			sum += perShard[i].Counters[key]
+		}
+		if total.Counters[key] != sum {
+			t.Fatalf("roll-up %s = %d, shard sum %d", key, total.Counters[key], sum)
+		}
+	}
+	if total.Counters["readcache.hit"] == 0 {
+		t.Fatal("no readcache hits after cold re-read rounds")
+	}
+	if total.Counters["readcache.miss"] == 0 {
+		t.Fatal("no readcache misses recorded")
+	}
+
+	// Cross-shard rename is refused with the sentinel; both trees are
+	// untouched.
+	err := cli.Rename("s00/f0", "s01/moved")
+	if !errors.Is(err, controlplane.ErrCrossShard) {
+		t.Fatalf("cross-shard rename = %v, want ErrCrossShard", err)
+	}
+	if _, err := cli.Getattr("s00/f0"); err != nil {
+		t.Fatalf("source disturbed by refused rename: %v", err)
+	}
+
+	// STATFS aggregates: one session per shard from this client, every
+	// shard healthy.
+	sf, err := cli.Statfs()
+	if err != nil {
+		t.Fatalf("statfs: %v", err)
+	}
+	if sf.Sessions < 3 {
+		t.Fatalf("aggregated sessions = %d, want ≥ 3", sf.Sessions)
+	}
+	if sf.Degraded {
+		t.Fatal("deployment reports degraded")
+	}
+	if sf.OpsServed == 0 || sf.SimTimeNs == 0 {
+		t.Fatalf("aggregate statfs empty: %+v", sf)
+	}
+}

@@ -496,3 +496,71 @@ func (c *Client) Statfs() (Statfs, error) {
 	}
 	return r.Statfs, nil
 }
+
+// Bopen opens the named block store on the server's registry (DESIGN.md
+// §14), returning the session-scoped block handle and the store's
+// capacity in bytes. Block handles do not survive a session resume.
+func (c *Client) Bopen(store string) (handle uint64, size int64, err error) {
+	r, err := c.call(&Request{Op: OpBopen, Path: store})
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.Handle, r.Size, nil
+}
+
+// Bread reads n bytes at absolute device offset off from a block handle.
+func (c *Client) Bread(handle uint64, off int64, n int) ([]byte, error) {
+	if n < 0 || n > MaxData {
+		return nil, fmt.Errorf("%w: bread size %d out of range", ErrProto, n)
+	}
+	r, err := c.call(&Request{Op: OpBread, Handle: handle, Off: off, N: uint32(n)})
+	if err != nil {
+		return nil, err
+	}
+	return r.Data, nil
+}
+
+// Bwrite writes data at absolute device offset off through a block
+// handle, returning bytes written. Idempotent: re-applying the same
+// BWRITE yields the same device state (§14).
+func (c *Client) Bwrite(handle uint64, off int64, data []byte) (int, error) {
+	if len(data) > MaxData {
+		return 0, fmt.Errorf("%w: bwrite size %d exceeds MaxData", ErrProto, len(data))
+	}
+	r, err := c.call(&Request{Op: OpBwrite, Handle: handle, Off: off, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	return int(r.N), nil
+}
+
+// Bflush drains the block store's queue and volatile write cache.
+func (c *Client) Bflush(handle uint64) error {
+	_, err := c.call(&Request{Op: OpBflush, Handle: handle})
+	return err
+}
+
+// Bdiscard forwards a TRIM hint for [off, off+length) through a block
+// handle.
+func (c *Client) Bdiscard(handle uint64, off, length int64) error {
+	_, err := c.call(&Request{Op: OpBdiscard, Handle: handle, Off: off, Len: length})
+	return err
+}
+
+// Attach rebinds this session's file operations to the named mount share
+// on the server's registry (§14). Handles opened before the attach keep
+// working against the files they already name.
+func (c *Client) Attach(share string) error {
+	_, err := c.call(&Request{Op: OpAttach, Path: share})
+	return err
+}
+
+// Shares lists the server registry's shares: mount shares as directory
+// entries (Dir true), block stores as file entries (Dir false).
+func (c *Client) Shares() ([]DirEnt, error) {
+	r, err := c.call(&Request{Op: OpShares})
+	if err != nil {
+		return nil, err
+	}
+	return r.Entries, nil
+}

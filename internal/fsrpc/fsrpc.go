@@ -7,7 +7,7 @@
 // A frame is a 4-byte big-endian payload length followed by the payload.
 // Request payloads are
 //
-//	op   uint8      operation code (OpLookup … OpStatfs)
+//	op   uint8      operation code (OpLookup … OpShares)
 //	tag  uint64     client-chosen request identifier, echoed in the reply
 //	body            op-specific fields (see msg.go)
 //
@@ -57,6 +57,13 @@ const (
 	OpStatfs
 	OpHello
 	OpPing
+	OpBopen
+	OpBread
+	OpBwrite
+	OpBflush
+	OpBdiscard
+	OpAttach
+	OpShares
 )
 
 // replyBit marks a reply payload's op byte.
@@ -66,17 +73,32 @@ const replyBit = 0x80
 var Ops = []Op{
 	OpLookup, OpGetattr, OpRead, OpWrite, OpCreate, OpMkdir,
 	OpUnlink, OpRmdir, OpRename, OpReaddir, OpFsync, OpStatfs,
-	OpHello, OpPing,
+	OpHello, OpPing, OpBopen, OpBread, OpBwrite, OpBflush,
+	OpBdiscard, OpAttach, OpShares,
 }
 
 // Mutating reports whether op changes file-system state. Mutating requests
 // carry a per-session sequence number so the server's duplicate-reply
 // cache can make replays after a reconnect exactly-once (DESIGN.md §13.9);
 // read-class ops are idempotent and retry freely. FSYNC is classified
-// read-class: re-running it is harmless.
+// read-class: re-running it is harmless. The block class (§14) is
+// deliberately unsequenced too: BWRITE and BDISCARD name absolute device
+// offsets, so re-applying one is idempotent by construction.
 func (o Op) Mutating() bool {
 	switch o {
 	case OpWrite, OpCreate, OpMkdir, OpUnlink, OpRmdir, OpRename:
+		return true
+	}
+	return false
+}
+
+// Block reports whether op belongs to the block-store class (DESIGN.md
+// §14): it operates on a named block share through a block handle rather
+// than on the file namespace. ATTACH and SHARES are control-plane ops,
+// not block ops — they inspect or rebind the session's shares.
+func (o Op) Block() bool {
+	switch o {
+	case OpBopen, OpBread, OpBwrite, OpBflush, OpBdiscard:
 		return true
 	}
 	return false
@@ -113,6 +135,20 @@ func (o Op) String() string {
 		return "hello"
 	case OpPing:
 		return "ping"
+	case OpBopen:
+		return "bopen"
+	case OpBread:
+		return "bread"
+	case OpBwrite:
+		return "bwrite"
+	case OpBflush:
+		return "bflush"
+	case OpBdiscard:
+		return "bdiscard"
+	case OpAttach:
+		return "attach"
+	case OpShares:
+		return "shares"
 	default:
 		return fmt.Sprintf("op%d", uint8(o))
 	}

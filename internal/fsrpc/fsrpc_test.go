@@ -26,6 +26,13 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpReaddir, Path: ""},
 		{Op: OpFsync, Handle: 9},
 		{Op: OpStatfs},
+		{Op: OpBopen, Path: "blk0"},
+		{Op: OpBread, Handle: 5, Off: 4096, N: 4096},
+		{Op: OpBwrite, Handle: 5, Off: 8192, Data: []byte("block")},
+		{Op: OpBflush, Handle: 5},
+		{Op: OpBdiscard, Handle: 5, Off: 4096, Len: 65536},
+		{Op: OpAttach, Path: "fs"},
+		{Op: OpShares},
 	}
 	for _, q := range reqs {
 		q.Tag = 31337
@@ -56,8 +63,17 @@ func TestReplyRoundTrip(t *testing.T) {
 		{Op: OpReaddir, Status: StatusOK, Entries: []DirEnt{{Name: "x", Dir: true}, {Name: "y"}}},
 		{Op: OpFsync, Status: StatusOK},
 		{Op: OpStatfs, Status: StatusOK, Statfs: Statfs{BlockSize: 4096, SimTimeNs: 99, Degraded: true, Sessions: 2, OpsServed: 10}},
+		{Op: OpBopen, Status: StatusOK, Handle: 2, Size: 1 << 30},
+		{Op: OpBread, Status: StatusOK, Data: []byte{9, 8, 7}},
+		{Op: OpBwrite, Status: StatusOK, N: 4096},
+		{Op: OpBflush, Status: StatusOK},
+		{Op: OpBdiscard, Status: StatusOK},
+		{Op: OpAttach, Status: StatusOK},
+		{Op: OpShares, Status: StatusOK, Entries: []DirEnt{{Name: "fs", Dir: true}, {Name: "blk0"}}},
 		{Op: OpRead, Status: StatusIO},
 		{Op: OpCreate, Status: StatusReadOnly},
+		{Op: OpBread, Status: StatusIO},
+		{Op: OpBopen, Status: StatusNotExist},
 	}
 	for _, r := range reps {
 		r.Tag = 5

@@ -65,11 +65,19 @@ const LookupOpen = 1
 //	STATFS   –                → Statfs
 //	HELLO    Token            → Token, Lease, Resumed
 //	PING     –                → –
+//	BOPEN    Path (store name)→ Handle, Size
+//	BREAD    Handle, Off, N   → Data
+//	BWRITE   Handle, Off, Data→ N
+//	BFLUSH   Handle           → –
+//	BDISCARD Handle, Off, Len → –
+//	ATTACH   Path (share name)→ –
+//	SHARES   –                → Entries
 //
 // Mutating requests (Op.Mutating) additionally carry Seq, the per-session
 // monotonic sequence number the server's duplicate-reply cache keys on;
 // Seq 0 marks an unsequenced (sessionless) request that is executed
-// without duplicate detection (DESIGN.md §13.9).
+// without duplicate detection (DESIGN.md §13.9). The block class (§14)
+// never carries Seq — its writes are idempotent at absolute offsets.
 type Request struct {
 	Op     Op
 	Tag    uint64
@@ -82,6 +90,7 @@ type Request struct {
 	Data   []byte
 	Flags  uint8
 	Token  string
+	Len    int64 // BDISCARD: byte length of the discarded range
 }
 
 // Encode renders the request payload.
@@ -113,9 +122,25 @@ func (q *Request) Encode() []byte {
 		e.u64(q.Seq)
 	case OpFsync:
 		e.u64(q.Handle)
-	case OpStatfs, OpPing:
+	case OpStatfs, OpPing, OpShares:
 	case OpHello:
 		e.str(q.Token)
+	case OpBopen, OpAttach:
+		e.str(q.Path)
+	case OpBread:
+		e.u64(q.Handle)
+		e.i64(q.Off)
+		e.u32(q.N)
+	case OpBwrite:
+		e.u64(q.Handle)
+		e.i64(q.Off)
+		e.bytes(q.Data)
+	case OpBflush:
+		e.u64(q.Handle)
+	case OpBdiscard:
+		e.u64(q.Handle)
+		e.i64(q.Off)
+		e.i64(q.Len)
 	}
 	return e.buf
 }
@@ -154,9 +179,31 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		q.Seq = d.u64()
 	case OpFsync:
 		q.Handle = d.u64()
-	case OpStatfs, OpPing:
+	case OpStatfs, OpPing, OpShares:
 	case OpHello:
 		q.Token = d.str()
+	case OpBopen, OpAttach:
+		q.Path = d.str()
+	case OpBread:
+		q.Handle = d.u64()
+		q.Off = d.i64()
+		q.N = d.u32()
+		if q.N > MaxData {
+			return nil, fmt.Errorf("%w: BREAD of %d bytes exceeds MaxData %d", ErrProto, q.N, MaxData)
+		}
+	case OpBwrite:
+		q.Handle = d.u64()
+		q.Off = d.i64()
+		q.Data = d.bytes()
+		if len(q.Data) > MaxData {
+			return nil, fmt.Errorf("%w: BWRITE of %d bytes exceeds MaxData %d", ErrProto, len(q.Data), MaxData)
+		}
+	case OpBflush:
+		q.Handle = d.u64()
+	case OpBdiscard:
+		q.Handle = d.u64()
+		q.Off = d.i64()
+		q.Len = d.i64()
 	default:
 		return nil, fmt.Errorf("%w: unknown op %d", ErrProto, uint8(q.Op))
 	}
@@ -181,6 +228,7 @@ type Reply struct {
 	Token   string // HELLO: server-issued session token
 	Lease   int64  // HELLO: session lease in nanoseconds (0 = no expiry)
 	Resumed bool   // HELLO: an existing session was resumed
+	Size    int64  // BOPEN: capacity of the opened block store in bytes
 }
 
 func (e *enc) attr(a Attr) {
@@ -229,22 +277,35 @@ func (r *Reply) Encode() []byte {
 		e.str(r.Token)
 		e.i64(r.Lease)
 		e.bool(r.Resumed)
-	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync, OpPing:
+	case OpBopen:
+		e.u64(r.Handle)
+		e.i64(r.Size)
+	case OpBread:
+		e.bytes(r.Data)
+	case OpBwrite:
+		e.u32(r.N)
+	case OpShares:
+		e.u32(uint32(len(r.Entries)))
+		for _, ent := range r.Entries {
+			e.str(ent.Name)
+			e.bool(ent.Dir)
+		}
+	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync, OpPing, OpBflush, OpBdiscard, OpAttach:
 	}
 	return e.buf
 }
 
 // FrameParts renders the reply as a complete wire frame (length prefix
 // included) split into scatter-gather segments, byte-identical to
-// WriteFrame(w, r.Encode()). For a successful READ the data bytes are
-// referenced, not copied: the first segment is the 18-byte header built
-// in scratch (reused when its capacity suffices) and the second is
-// r.Data itself, so a read payload travels device buffer → socket with
-// no intermediate copy. zerocopy reports how many payload bytes were
-// passed by reference. Every other reply encodes normally into scratch
-// as a single segment.
+// WriteFrame(w, r.Encode()). For a successful READ or BREAD the data
+// bytes are referenced, not copied: the first segment is the 18-byte
+// header built in scratch (reused when its capacity suffices) and the
+// second is r.Data itself, so a read payload travels device buffer →
+// socket with no intermediate copy. zerocopy reports how many payload
+// bytes were passed by reference. Every other reply encodes normally
+// into scratch as a single segment.
 func (r *Reply) FrameParts(scratch []byte) (segs [][]byte, zerocopy int, err error) {
-	if r.Op == OpRead && r.Status == StatusOK {
+	if (r.Op == OpRead || r.Op == OpBread) && r.Status == StatusOK {
 		e := &enc{buf: append(scratch[:0], 0, 0, 0, 0)}
 		e.u8(uint8(r.Op) | replyBit)
 		e.u64(r.Tag)
@@ -311,7 +372,22 @@ func DecodeReply(payload []byte) (*Reply, error) {
 		r.Token = d.str()
 		r.Lease = d.i64()
 		r.Resumed = d.bool()
-	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync, OpPing:
+	case OpBopen:
+		r.Handle = d.u64()
+		r.Size = d.i64()
+	case OpBread:
+		r.Data = d.bytes()
+	case OpBwrite:
+		r.N = d.u32()
+	case OpShares:
+		n := int(d.u32())
+		if n > MaxFrame/3 {
+			return nil, fmt.Errorf("%w: SHARES entry count %d implausible", ErrProto, n)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Entries = append(r.Entries, DirEnt{Name: d.str(), Dir: d.bool()})
+		}
+	case OpMkdir, OpUnlink, OpRmdir, OpRename, OpFsync, OpPing, OpBflush, OpBdiscard, OpAttach:
 	default:
 		return nil, fmt.Errorf("%w: unknown reply op %d", ErrProto, uint8(r.Op))
 	}

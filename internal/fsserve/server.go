@@ -38,8 +38,10 @@ import (
 	"sync"
 	"time"
 
+	"betrfs/internal/blockstore"
 	"betrfs/internal/fsrpc"
 	"betrfs/internal/metrics"
+	"betrfs/internal/registry"
 	"betrfs/internal/sim"
 	"betrfs/internal/vfs"
 )
@@ -114,6 +116,11 @@ type Config struct {
 	// gate, so a slot is never held by a request waiting on a
 	// predecessor.
 	ExecSlots int
+	// Registry names the shares this server exports (DESIGN.md §14.2):
+	// mount shares a client ATTACHes to and block shares a client BOPENs.
+	// Nil leaves the server single-mount (BOPEN/ATTACH answer ENOENT and
+	// SHARES lists nothing), which is every pre-§14 deployment.
+	Registry *registry.Registry
 }
 
 // DefaultConfig returns the deterministic single-worker configuration.
@@ -160,7 +167,7 @@ type serveMetrics struct {
 	drcHit        *metrics.Counter   // fsserve.drc.hit: replayed mutations answered from cache
 	drcMiss       *metrics.Counter   // fsserve.drc.miss: sequenced mutations executed and cached
 	drcEvict      *metrics.Counter   // fsserve.drc.evict: cache entries retired past the horizon
-	perOp         [16]*metrics.Counter
+	perOp         [32]*metrics.Counter
 }
 
 func resolveServeMetrics(reg *metrics.Registry) serveMetrics {
@@ -240,6 +247,10 @@ type Server struct {
 // New starts a server over mount with cfg.Workers request workers. The
 // mount must be built with vfs.Config.Concurrent (and a concurrent FS
 // beneath it) when Workers > 1 or multiple connections are served.
+// mount is the default share every session starts attached to; it may be
+// nil for a block-only storage node (cfg.Registry exporting block
+// shares), in which case file-class ops answer ENOENT until the client
+// ATTACHes a mount share.
 func New(env *sim.Env, mount *vfs.Mount, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -365,8 +376,13 @@ func (s *Server) serveDirect(sess *session, req *fsrpc.Request) fsrpc.Status {
 	if rep.Status != fsrpc.StatusOK {
 		s.m.statusErr.Inc()
 	}
+	// The depth ledger drops before the reply frame is written, not in the
+	// post-flush callback: a synchronous client's next request arrives
+	// right after the flush, and sampling it against a not-yet-decremented
+	// counter would race the writer goroutine (nondeterministic
+	// fsrpc.pipeline.depth histograms on deterministic workloads).
+	sess.outstanding.Add(-1)
 	sess.sendReply(rep, data, func() {
-		sess.outstanding.Add(-1)
 		s.m.inflight.Add(-1)
 		s.inflight.Done()
 	})
@@ -434,12 +450,27 @@ func (s *Server) worker() {
 			s.m.statusErr.Inc()
 		}
 		sess := t.sess
+		// Decrement before the write for the same reason as serveDirect:
+		// the next synchronous request must never sample a stale depth.
+		sess.outstanding.Add(-1)
 		sess.sendReply(rep, data, func() {
-			sess.outstanding.Add(-1)
 			s.m.inflight.Add(-1)
 			s.inflight.Done()
 		})
 	}
+}
+
+// Quiesce blocks until every admitted request has been replied to and
+// its reply-side accounting (fsrpc.resp.bytes, fsserve.batch.replies,
+// the fsrpc.inflight gauge) has landed in the registry. A client's call
+// completes when the reply frame crosses the transport, which is before
+// the serving goroutine runs that accounting — so a snapshot taken the
+// moment the last call returns can catch the counters mid-update.
+// Callers that snapshot a live server (the shard rung) quiesce first;
+// Shutdown subsumes this via its own drain barrier. Only meaningful once
+// the driver is idle: a concurrent client can re-raise the count.
+func (s *Server) Quiesce() {
+	s.inflight.Wait()
 }
 
 // Shutdown drains the server gracefully: new requests (and new
@@ -556,32 +587,38 @@ func (s *Server) executeOp(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply, d
 		rep.Status = fsrpc.StatusOf(err)
 		return rep, nil
 	}
+	mnt := sess.mount()
+	if mnt == nil && fileClassOp(q.Op) {
+		// Block-only storage node (or no mount share attached): the file
+		// namespace does not exist here.
+		return fail(vfs.ErrNotExist)
+	}
 	switch q.Op {
 	case fsrpc.OpLookup:
-		a, err := s.mount.Stat(q.Path)
+		a, err := mnt.Stat(q.Path)
 		if err != nil {
 			return fail(err)
 		}
 		rep.Attr = fsrpc.FromVFS(a)
 		if !a.Dir && q.Flags&fsrpc.LookupOpen != 0 {
-			f, err := s.mount.Open(q.Path)
+			f, err := mnt.Open(q.Path)
 			if err != nil {
 				return fail(err)
 			}
 			rep.Handle = sess.put(f)
 		}
 	case fsrpc.OpGetattr:
-		a, err := s.mount.Stat(q.Path)
+		a, err := mnt.Stat(q.Path)
 		if err != nil {
 			return fail(err)
 		}
 		rep.Attr = fsrpc.FromVFS(a)
 	case fsrpc.OpCreate:
-		f, err := s.mount.Create(q.Path)
+		f, err := mnt.Create(q.Path)
 		if err != nil {
 			return fail(err)
 		}
-		a, err := s.mount.Stat(q.Path)
+		a, err := mnt.Stat(q.Path)
 		if err != nil {
 			return fail(err)
 		}
@@ -622,23 +659,23 @@ func (s *Server) executeOp(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply, d
 			return fail(err)
 		}
 	case fsrpc.OpMkdir:
-		if err := s.mount.Mkdir(q.Path); err != nil {
+		if err := mnt.Mkdir(q.Path); err != nil {
 			return fail(err)
 		}
 	case fsrpc.OpUnlink:
-		if err := s.mount.Remove(q.Path); err != nil {
+		if err := mnt.Remove(q.Path); err != nil {
 			return fail(err)
 		}
 	case fsrpc.OpRmdir:
-		if err := s.mount.Rmdir(q.Path); err != nil {
+		if err := mnt.Rmdir(q.Path); err != nil {
 			return fail(err)
 		}
 	case fsrpc.OpRename:
-		if err := s.mount.Rename(q.Path, q.Path2); err != nil {
+		if err := mnt.Rename(q.Path, q.Path2); err != nil {
 			return fail(err)
 		}
 	case fsrpc.OpReaddir:
-		ents, err := s.mount.ReadDir(q.Path)
+		ents, err := mnt.ReadDir(q.Path)
 		if err != nil {
 			return fail(err)
 		}
@@ -653,9 +690,75 @@ func (s *Server) executeOp(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply, d
 		rep.Statfs = fsrpc.Statfs{
 			BlockSize: vfs.PageSize,
 			SimTimeNs: int64(s.env.Now()),
-			Degraded:  s.mount.Degraded() != nil,
+			Degraded:  mnt != nil && mnt.Degraded() != nil,
 			Sessions:  sessions,
 			OpsServed: s.m.opCount.Load(),
+		}
+	case fsrpc.OpBopen:
+		var st blockstore.Store
+		if s.cfg.Registry != nil {
+			st = s.cfg.Registry.Store(q.Path)
+		}
+		if st == nil {
+			return fail(vfs.ErrNotExist)
+		}
+		rep.Handle = sess.bput(st)
+		rep.Size = st.Size()
+	case fsrpc.OpBread:
+		bs, ok := sess.bget(q.Handle)
+		if !ok {
+			return fail(fsrpc.ErrBadHandle)
+		}
+		// Same pooled zero-copy path as READ: the store fills the buffer
+		// and the reply frame references it.
+		bufp := readBufPool.Get().(*[]byte)
+		if err := bs.ReadAt((*bufp)[:q.N], q.Off); err != nil {
+			readBufPool.Put(bufp)
+			return fail(err)
+		}
+		rep.Data = (*bufp)[:q.N]
+		data = bufp
+	case fsrpc.OpBwrite:
+		bs, ok := sess.bget(q.Handle)
+		if !ok {
+			return fail(fsrpc.ErrBadHandle)
+		}
+		if err := bs.WriteAt(q.Data, q.Off); err != nil {
+			return fail(err)
+		}
+		rep.N = uint32(len(q.Data))
+	case fsrpc.OpBflush:
+		bs, ok := sess.bget(q.Handle)
+		if !ok {
+			return fail(fsrpc.ErrBadHandle)
+		}
+		if err := bs.Flush(); err != nil {
+			return fail(err)
+		}
+	case fsrpc.OpBdiscard:
+		bs, ok := sess.bget(q.Handle)
+		if !ok {
+			return fail(fsrpc.ErrBadHandle)
+		}
+		if err := bs.Discard(q.Off, q.Len); err != nil {
+			return fail(err)
+		}
+	case fsrpc.OpAttach:
+		var m *vfs.Mount
+		if s.cfg.Registry != nil {
+			m = s.cfg.Registry.Mount(q.Path)
+		}
+		if m == nil {
+			return fail(vfs.ErrNotExist)
+		}
+		sess.mnt.Store(m)
+	case fsrpc.OpShares:
+		if s.cfg.Registry != nil {
+			shares := s.cfg.Registry.Shares()
+			rep.Entries = make([]fsrpc.DirEnt, 0, len(shares))
+			for _, sh := range shares {
+				rep.Entries = append(rep.Entries, fsrpc.DirEnt{Name: sh.Name, Dir: sh.Mount})
+			}
 		}
 	case fsrpc.OpHello:
 		rep = s.hello(sess, q)
@@ -665,4 +768,16 @@ func (s *Server) executeOp(sess *session, q *fsrpc.Request) (rep *fsrpc.Reply, d
 		return fail(fsrpc.ErrProto)
 	}
 	return rep, data
+}
+
+// fileClassOp reports whether op operates on the session's attached
+// mount (and therefore fails ENOENT on a block-only storage node).
+// HELLO/PING/STATFS are sessionwide, ATTACH/SHARES are control-plane,
+// and the block class goes to the session's block handles.
+func fileClassOp(op fsrpc.Op) bool {
+	switch op {
+	case fsrpc.OpHello, fsrpc.OpPing, fsrpc.OpStatfs, fsrpc.OpAttach, fsrpc.OpShares:
+		return false
+	}
+	return !op.Block()
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"betrfs/internal/blockstore"
 	"betrfs/internal/fsrpc"
 	"betrfs/internal/vfs"
 )
@@ -112,6 +113,22 @@ type session struct {
 	// DESIGN.md §13.9): anonymous until HELLO names it, swapped atomically
 	// when a HELLO promotes or resumes while other ops are in flight.
 	st atomic.Pointer[sessState]
+
+	// mnt is the mount the session's file-class ops run against: the
+	// server's default mount until an ATTACH rebinds it to a registry
+	// mount share (DESIGN.md §14.2). Nil on a block-only storage node.
+	// Connection-scoped, like the block handles: a resumed session starts
+	// back on the default mount.
+	mnt atomic.Pointer[vfs.Mount]
+
+	// Block-share handles (BOPEN, §14.3). Connection-scoped on purpose —
+	// they are NOT part of sessState and do not survive a session resume:
+	// a block handle holds no server-side state worth replaying (block
+	// ops are idempotent at absolute offsets), so the client simply
+	// re-BOPENs after a reconnect.
+	bmu     sync.Mutex
+	bnext   uint64
+	bstores map[uint64]blockstore.Store
 }
 
 func newSession(srv *Server, rw io.ReadWriteCloser) *session {
@@ -122,6 +139,9 @@ func newSession(srv *Server, rw io.ReadWriteCloser) *session {
 		chains: make(map[uint64]chan struct{}),
 	}
 	s.st.Store(newSessState(srv.cfg.DRCEntries))
+	if srv.mount != nil {
+		s.mnt.Store(srv.mount)
+	}
 	s.wcond = sync.NewCond(&s.wmu)
 	s.wspace = sync.NewCond(&s.wmu)
 	if !s.inline {
@@ -170,6 +190,14 @@ func parentDir(path string) string {
 func chainKeys(q *fsrpc.Request) (keys [2]uint64, n int) {
 	switch q.Op {
 	case fsrpc.OpWrite, fsrpc.OpFsync:
+		keys[0] = q.Handle | handleKeyBit
+		return keys, 1
+	case fsrpc.OpBwrite, fsrpc.OpBflush, fsrpc.OpBdiscard:
+		// Block mutations chain per block handle so a pipelined
+		// write→flush applies in issue order. Block and file handles are
+		// separate id spaces sharing one chain-key space; a collision
+		// only over-serializes, never misorders. BREAD stays chainless
+		// (DirectReads fast path), like READ.
 		keys[0] = q.Handle | handleKeyBit
 		return keys, 1
 	case fsrpc.OpCreate, fsrpc.OpMkdir, fsrpc.OpUnlink:
@@ -257,6 +285,41 @@ func (s *session) put(f *vfs.File) uint64 {
 // get resolves a handle.
 func (s *session) get(id uint64) (*vfs.File, bool) {
 	return s.state().get(id)
+}
+
+// mount returns the session's attached mount (nil on a block-only node).
+func (s *session) mount() *vfs.Mount { return s.mnt.Load() }
+
+// bput registers a block-share handle. The table is bounded like the
+// file-handle table: beyond MaxHandles the oldest handle is evicted and
+// later requests naming it get EBADF.
+func (s *session) bput(st blockstore.Store) uint64 {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	if s.bstores == nil {
+		s.bstores = make(map[uint64]blockstore.Store)
+	}
+	s.bnext++
+	id := s.bnext
+	s.bstores[id] = st
+	if len(s.bstores) > s.srv.cfg.MaxHandles {
+		oldest := id
+		for k := range s.bstores {
+			if k < oldest {
+				oldest = k
+			}
+		}
+		delete(s.bstores, oldest)
+	}
+	return id
+}
+
+// bget resolves a block-share handle.
+func (s *session) bget(id uint64) (blockstore.Store, bool) {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	st, ok := s.bstores[id]
+	return st, ok
 }
 
 // sendReply hands one reply to the session writer (or writes it inline in
